@@ -1,0 +1,257 @@
+//! Distribution utilities and two-sample comparison.
+//!
+//! The benches compare strategies across seeds; [`welch_t`] gives a
+//! principled "is A really slower than B" answer, and [`percentile`] /
+//! [`Histogram`] summarize completion-time distributions beyond the mean.
+
+use crate::t_quantile_975;
+
+/// The `q`-th percentile (`0.0 ..= 1.0`) of a sample, by linear
+/// interpolation between order statistics.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::percentile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 1.0), 4.0);
+/// assert_eq!(percentile(&xs, 0.5), 2.5);
+/// ```
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "cannot take a percentile of nothing");
+    assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The sample median.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 0.5)
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchResult {
+    /// The t statistic (positive when sample A's mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Whether the difference is significant at (two-sided) 5%.
+    pub significant: bool,
+}
+
+/// Welch's unequal-variance t-test on two samples.
+///
+/// Returns `t`, the Welch–Satterthwaite degrees of freedom, and a 5%
+/// two-sided significance verdict using the same Student-t table as the
+/// confidence intervals.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::welch_t;
+///
+/// let slow = [110.0, 112.0, 108.0, 111.0, 109.0];
+/// let fast = [100.0, 101.0, 99.0, 100.0, 100.5];
+/// let r = welch_t(&slow, &fast);
+/// assert!(r.t > 0.0);
+/// assert!(r.significant);
+///
+/// let same = welch_t(&fast, &fast);
+/// assert!(!same.significant);
+/// ```
+pub fn welch_t(a: &[f64], b: &[f64]) -> WelchResult {
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "need at least two observations per sample"
+    );
+    let mean = |x: &[f64]| x.iter().sum::<f64>() / x.len() as f64;
+    let var =
+        |x: &[f64], m: f64| x.iter().map(|&v| (v - m).powi(2)).sum::<f64>() / (x.len() - 1) as f64;
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        return WelchResult {
+            t: 0.0,
+            df: na + nb - 2.0,
+            significant: false,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2.powi(2)
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    let crit = t_quantile_975(df.floor().max(1.0) as usize);
+    WelchResult {
+        t,
+        df,
+        significant: t.abs() > crit,
+    }
+}
+
+/// A fixed-bin histogram with ASCII rendering.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::Histogram;
+///
+/// let h = Histogram::new(&[1.0, 1.5, 2.0, 2.2, 9.0], 4);
+/// assert_eq!(h.counts().iter().sum::<usize>(), 5);
+/// let art = h.render(20);
+/// assert_eq!(art.lines().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Bins `samples` into `bins` equal-width buckets spanning the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `bins == 0`.
+    pub fn new(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "cannot histogram nothing");
+        assert!(bins >= 1, "need at least one bin");
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; bins];
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        for &x in samples {
+            let idx = (((x - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The data range covered.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Renders one line per bin: `lo..hi | ####`.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let bin_width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = self.lo + bin_width * i as f64;
+            let hi = lo + bin_width;
+            let bar = "#".repeat(c * width / max);
+            out.push_str(&format!("{lo:>10.1} .. {hi:<10.1} |{bar} {c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.25), 20.0);
+        assert_eq!(median(&xs), 30.0);
+        assert_eq!(percentile(&xs, 0.9), 46.0);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let xs = [50.0, 10.0, 30.0, 20.0, 40.0];
+        assert_eq!(median(&xs), 30.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let xs = [7.0];
+        assert_eq!(percentile(&xs, 0.0), 7.0);
+        assert_eq!(percentile(&xs, 1.0), 7.0);
+        assert_eq!(median(&xs), 7.0);
+    }
+
+    #[test]
+    fn welch_detects_clear_separation() {
+        let a = [10.0, 10.5, 9.5, 10.2, 9.8];
+        let b = [20.0, 19.5, 20.5, 20.2, 19.8];
+        let r = welch_t(&b, &a);
+        assert!(r.t > 10.0);
+        assert!(r.significant);
+        assert!(r.df > 1.0);
+    }
+
+    #[test]
+    fn welch_symmetric_in_sign() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let ab = welch_t(&a, &b);
+        let ba = welch_t(&b, &a);
+        assert!((ab.t + ba.t).abs() < 1e-12);
+        assert_eq!(ab.significant, ba.significant);
+    }
+
+    #[test]
+    fn welch_identical_samples_not_significant() {
+        let a = [5.0, 5.0, 5.0];
+        let r = welch_t(&a, &a);
+        assert_eq!(r.t, 0.0);
+        assert!(!r.significant);
+    }
+
+    #[test]
+    fn welch_overlapping_samples_not_significant() {
+        let a = [10.0, 12.0, 11.0, 13.0];
+        let b = [11.0, 12.5, 10.5, 12.0];
+        assert!(!welch_t(&a, &b).significant);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let h = Histogram::new(&[0.0, 0.1, 0.9, 1.0, 2.0], 2);
+        assert_eq!(h.counts(), &[3, 2]);
+        assert_eq!(h.range(), (0.0, 2.0));
+    }
+
+    #[test]
+    fn histogram_constant_data() {
+        let h = Histogram::new(&[3.0, 3.0, 3.0], 3);
+        assert_eq!(h.counts().iter().sum::<usize>(), 3);
+        let art = h.render(10);
+        assert_eq!(art.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn bad_quantile_rejected() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Statistics and experiment harness for the *Price of Barter*
+//! reproduction.
+//!
+//! The paper's evaluation reports mean completion times with 95%
+//! confidence intervals over repeated randomized runs, and fits
+//! `T ≈ a·k + b·log n + c` by least squares (§2.4.4). This crate provides
+//! exactly those tools, with no dependency on the simulator itself:
+//!
+//! * [`Summary`] — mean / stddev / Student-t 95% CI of a sample;
+//! * [`LinearFit`] and [`fit_t_vs_k_logn`] — ordinary least squares;
+//! * [`run_seeds`] and [`sweep`] — deterministic multi-seed fan-out
+//!   across threads;
+//! * [`Table`] — aligned ASCII and CSV rendering of result series;
+//! * [`welch_t`], [`percentile`], [`Histogram`] — distribution summaries
+//!   and two-sample comparison for strategy shoot-outs.
+//!
+//! # Example
+//!
+//! ```
+//! use pob_analysis::{run_seeds, Summary};
+//!
+//! // Pretend experiment: completion time is 100 + seed-dependent noise.
+//! let times = run_seeds(8, 0, 4, |seed| 100.0 + (seed % 3) as f64);
+//! let summary = Summary::from_samples(&times);
+//! assert!(summary.contains(101.0) || summary.mean > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compare;
+mod regression;
+mod stats;
+mod sweep;
+mod table;
+
+pub use compare::{median, percentile, welch_t, Histogram, WelchResult};
+pub use regression::{fit_t_vs_k_logn, FitError, LinearFit};
+pub use stats::{t_quantile_975, Summary};
+pub use sweep::{default_threads, run_seeds, sweep, SweepPoint};
+pub use table::Table;

@@ -1,0 +1,321 @@
+//! Multivariate linear least squares.
+//!
+//! Section 2.4.4 fits the randomized algorithm's completion time as
+//! `T ≈ a·k + b·log n + c` by least squares over a matrix of `(n, k)`
+//! data points. This module implements exactly that: ordinary least
+//! squares via the normal equations, solved with partial-pivot Gaussian
+//! elimination (the design matrices here are tiny — a handful of
+//! features).
+
+use std::error::Error;
+use std::fmt;
+
+/// Least-squares fitting failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// No observations were supplied.
+    Empty,
+    /// An observation's feature vector had the wrong length.
+    RaggedRow {
+        /// Index of the offending observation.
+        row: usize,
+    },
+    /// The normal equations are singular (collinear features or fewer
+    /// observations than features).
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Empty => f.write_str("no observations to fit"),
+            FitError::RaggedRow { row } => {
+                write!(f, "observation {row} has the wrong number of features")
+            }
+            FitError::Singular => f.write_str("normal equations are singular"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// An ordinary-least-squares fit `y ≈ Σ coefficients[j] · x[j]`.
+///
+/// # Examples
+///
+/// Recovering `y = 2x + 1` exactly:
+///
+/// ```
+/// use pob_analysis::LinearFit;
+///
+/// let rows = vec![vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]];
+/// let y = vec![1.0, 3.0, 5.0];
+/// let fit = LinearFit::ordinary_least_squares(&rows, &y)?;
+/// assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+/// assert!((fit.coefficients[1] - 1.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// # Ok::<(), pob_analysis::FitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// One coefficient per feature column.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination `R²` (1 for a perfect fit; can be
+    /// negative for fits worse than the mean when no intercept column is
+    /// included).
+    pub r_squared: f64,
+    /// Root-mean-square of the residuals.
+    pub rmse: f64,
+}
+
+impl LinearFit {
+    /// Fits `y ≈ X·β` by ordinary least squares.
+    ///
+    /// Each `rows[i]` is one observation's feature vector (include a
+    /// constant `1.0` column for an intercept).
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::Empty`] for no data, [`FitError::RaggedRow`] for
+    /// inconsistent feature vectors, [`FitError::Singular`] when the
+    /// normal equations cannot be solved.
+    pub fn ordinary_least_squares(rows: &[Vec<f64>], y: &[f64]) -> Result<Self, FitError> {
+        if rows.is_empty() || y.is_empty() {
+            return Err(FitError::Empty);
+        }
+        assert_eq!(rows.len(), y.len(), "feature and target lengths differ");
+        let p = rows[0].len();
+        if p == 0 {
+            return Err(FitError::Singular);
+        }
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != p {
+                return Err(FitError::RaggedRow { row: i });
+            }
+        }
+        // Normal equations: (XᵀX) β = Xᵀy.
+        #[allow(clippy::needless_range_loop)] // index math mirrors the formulas
+        let (xtx, xty) = {
+            let mut xtx = vec![vec![0.0f64; p]; p];
+            let mut xty = vec![0.0f64; p];
+            for (r, &yi) in rows.iter().zip(y) {
+                for a in 0..p {
+                    xty[a] += r[a] * yi;
+                    for b in a..p {
+                        xtx[a][b] += r[a] * r[b];
+                    }
+                }
+            }
+            for a in 0..p {
+                for b in 0..a {
+                    xtx[a][b] = xtx[b][a];
+                }
+            }
+            (xtx, xty)
+        };
+        let (mut xtx, mut xty) = (xtx, xty);
+        let beta = solve(&mut xtx, &mut xty)?;
+
+        // Goodness of fit.
+        let mean_y = y.iter().sum::<f64>() / y.len() as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (r, &yi) in rows.iter().zip(y) {
+            let pred: f64 = r.iter().zip(&beta).map(|(x, b)| x * b).sum();
+            ss_res += (yi - pred).powi(2);
+            ss_tot += (yi - mean_y).powi(2);
+        }
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearFit {
+            coefficients: beta,
+            r_squared,
+            rmse: (ss_res / y.len() as f64).sqrt(),
+        })
+    }
+
+    /// Predicts `y` for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong length.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len(),
+            "feature vector length mismatch"
+        );
+        features
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(x, b)| x * b)
+            .sum()
+    }
+}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial
+/// pivoting.
+#[allow(clippy::needless_range_loop)] // index math mirrors the algorithm
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(FitError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[row][c] -= factor * a[col][c];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Convenience for the paper's §2.4.4 model: fits
+/// `T ≈ a·k + b·log₂ n + c` over `(n, k, T)` observations and returns
+/// `(a, b, c)` plus the fit diagnostics.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] from the underlying least-squares solve.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::fit_t_vs_k_logn;
+///
+/// // Synthetic data from T = 1.05k + 4 log₂ n + 2.
+/// let mut obs = Vec::new();
+/// for n in [64usize, 256, 1024] {
+///     for k in [100u32, 400, 1600] {
+///         let t = 1.05 * f64::from(k) + 4.0 * (n as f64).log2() + 2.0;
+///         obs.push((n, k, t));
+///     }
+/// }
+/// let (fit, [a, b, c]) = fit_t_vs_k_logn(&obs)?;
+/// assert!((a - 1.05).abs() < 1e-6);
+/// assert!((b - 4.0).abs() < 1e-6);
+/// assert!((c - 2.0).abs() < 1e-4);
+/// assert!(fit.r_squared > 0.9999);
+/// # Ok::<(), pob_analysis::FitError>(())
+/// ```
+pub fn fit_t_vs_k_logn(
+    observations: &[(usize, u32, f64)],
+) -> Result<(LinearFit, [f64; 3]), FitError> {
+    let rows: Vec<Vec<f64>> = observations
+        .iter()
+        .map(|&(n, k, _)| vec![f64::from(k), (n as f64).log2(), 1.0])
+        .collect();
+    let y: Vec<f64> = observations.iter().map(|&(_, _, t)| t).collect();
+    let fit = LinearFit::ordinary_least_squares(&rows, &y)?;
+    let coeffs = [
+        fit.coefficients[0],
+        fit.coefficients[1],
+        fit.coefficients[2],
+    ];
+    Ok((fit, coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i), 1.0]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 * f64::from(i) - 2.0).collect();
+        let fit = LinearFit::ordinary_least_squares(&rows, &y).unwrap();
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] + 2.0).abs() < 1e-9);
+        assert!(fit.rmse < 1e-9);
+        assert!((fit.predict(&[20.0, 1.0]) - 58.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        // Deterministic "noise" with zero mean over the sample.
+        let noise = [0.5, -0.5, 0.25, -0.25, 0.1, -0.1, 0.3, -0.3];
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![f64::from(i), 1.0]).collect();
+        let y: Vec<f64> = (0..8)
+            .map(|i| 2.0 * f64::from(i) + 1.0 + noise[i as usize])
+            .collect();
+        let fit = LinearFit::ordinary_least_squares(&rows, &y).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn singular_detection() {
+        // Two identical columns.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(
+            LinearFit::ordinary_least_squares(&rows, &y).unwrap_err(),
+            FitError::Singular
+        );
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let rows = vec![vec![1.0, 1.0], vec![2.0]];
+        let y = vec![1.0, 2.0];
+        assert_eq!(
+            LinearFit::ordinary_least_squares(&rows, &y).unwrap_err(),
+            FitError::RaggedRow { row: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            LinearFit::ordinary_least_squares(&[], &[]).unwrap_err(),
+            FitError::Empty
+        );
+    }
+
+    #[test]
+    fn three_feature_plane() {
+        // y = 2a + 3b − c over a grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                rows.push(vec![f64::from(a), f64::from(b), 1.0]);
+                y.push(2.0 * f64::from(a) + 3.0 * f64::from(b) - 1.0);
+            }
+        }
+        let fit = LinearFit::ordinary_least_squares(&rows, &y).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FitError::Singular.to_string().contains("singular"));
+        assert!(FitError::RaggedRow { row: 3 }.to_string().contains('3'));
+    }
+}

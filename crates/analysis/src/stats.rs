@@ -1,0 +1,193 @@
+//! Summary statistics with confidence intervals.
+//!
+//! The paper reports mean completion times with 95% confidence intervals
+//! over repeated runs; [`Summary`] reproduces that: Student-t intervals
+//! for small samples, the normal approximation beyond the table.
+
+/// Two-sided 97.5% Student-t quantiles for 1..=30 degrees of freedom.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 97.5% quantile of Student's t distribution with `df` degrees of
+/// freedom (normal approximation `1.96` beyond 30).
+///
+/// # Panics
+///
+/// Panics if `df == 0`.
+pub fn t_quantile_975(df: usize) -> f64 {
+    assert!(df >= 1, "need at least one degree of freedom");
+    if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean, spread and a 95% confidence interval of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::Summary;
+///
+/// let s = Summary::from_samples(&[10.0, 12.0, 11.0, 13.0, 9.0]);
+/// assert_eq!(s.n, 5);
+/// assert!((s.mean - 11.0).abs() < 1e-12);
+/// assert!(s.ci95 > 0.0);
+/// let (lo, hi) = s.interval();
+/// assert!(lo < s.mean && s.mean < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n − 1` denominator).
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval on the mean.
+    pub ci95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if n == 1 {
+            return Summary {
+                n,
+                mean,
+                stddev: 0.0,
+                ci95: 0.0,
+                min,
+                max,
+            };
+        }
+        let var = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        let ci95 = t_quantile_975(n - 1) * stddev / (n as f64).sqrt();
+        Summary {
+            n,
+            mean,
+            stddev,
+            ci95,
+            min,
+            max,
+        }
+    }
+
+    /// Summarizes integer samples (e.g. completion ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_u32(samples: &[u32]) -> Self {
+        let v: Vec<f64> = samples.iter().map(|&x| f64::from(x)).collect();
+        Self::from_samples(&v)
+    }
+
+    /// The `(low, high)` bounds of the 95% confidence interval.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.ci95, self.mean + self.ci95)
+    }
+
+    /// Whether `value` lies inside the 95% confidence interval.
+    pub fn contains(&self, value: f64) -> bool {
+        let (lo, hi) = self.interval();
+        (lo..=hi).contains(&value)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ± {:.1} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::from_samples(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.interval(), (5.0, 5.0));
+        assert!(s.contains(5.0));
+        assert!(!s.contains(5.1));
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_standard_deviation() {
+        // Sample [2, 4, 4, 4, 5, 5, 7, 9]: mean 5, sample variance 32/7.
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn t_quantiles() {
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-9);
+        assert!((t_quantile_975(10) - 2.228).abs() < 1e-9);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-9);
+        assert!((t_quantile_975(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let big_vec: Vec<f64> = (0..300).map(|i| 1.0 + f64::from(i % 3)).collect();
+        let big = Summary::from_samples(&big_vec);
+        assert!(big.ci95 < small.ci95);
+    }
+
+    #[test]
+    fn from_u32_matches_float_path() {
+        let a = Summary::from_u32(&[10, 20, 30]);
+        let b = Summary::from_samples(&[10.0, 20.0, 30.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::from_samples(&[10.0, 12.0]);
+        assert!(s.to_string().contains("n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Multi-seed, multi-parameter experiment fan-out.
+//!
+//! The paper's figures average several independent runs per data point.
+//! These helpers run a seeded experiment closure across OS threads — the
+//! closure receives only the seed, so determinism is preserved per seed
+//! regardless of scheduling.
+
+use crate::Summary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `experiment(seed)` for `seeds` seeds (starting at `first_seed`),
+/// fanning out across up to `threads` OS threads, and returns the results
+/// in seed order.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0` or `threads == 0`, or if the experiment closure
+/// panics on any thread.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::run_seeds;
+///
+/// let squares = run_seeds(5, 10, 4, |seed| seed * seed);
+/// assert_eq!(squares, vec![100, 121, 144, 169, 196]);
+/// ```
+pub fn run_seeds<T, F>(seeds: usize, first_seed: u64, threads: usize, experiment: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    assert!(seeds >= 1, "need at least one seed");
+    assert!(threads >= 1, "need at least one thread");
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..seeds).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(seeds) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= seeds {
+                    break;
+                }
+                let out = experiment(first_seed + i as u64);
+                results.lock().expect("experiment thread panicked")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("experiment thread panicked")
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// The default thread fan-out: the machine's parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// One swept data point: the parameter, per-seed completion times (already
+/// censored at the cap if a run did not finish), and how many runs were
+/// censored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint<P> {
+    /// The swept parameter value.
+    pub param: P,
+    /// Per-seed (possibly censored) observations.
+    pub observations: Vec<f64>,
+    /// How many observations hit the cap instead of completing.
+    pub censored: usize,
+    /// Summary statistics of the observations.
+    pub summary: Summary,
+}
+
+/// Sweeps `experiment(param, seed)` over every parameter × seed pair.
+///
+/// The experiment returns `(value, censored)`; censored observations are
+/// included in the summary at their capped value (matching how the paper
+/// plots off-the-chart points) and counted separately.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::sweep;
+///
+/// let points = sweep(&[1u32, 2, 3], 4, 0, |&p, seed| (f64::from(p) * 10.0 + seed as f64, false));
+/// assert_eq!(points.len(), 3);
+/// assert_eq!(points[1].param, 2);
+/// assert!((points[1].summary.mean - 21.5).abs() < 1e-12);
+/// assert_eq!(points[1].censored, 0);
+/// ```
+pub fn sweep<P, F>(params: &[P], seeds: usize, first_seed: u64, experiment: F) -> Vec<SweepPoint<P>>
+where
+    P: Clone + Sync,
+    F: Fn(&P, u64) -> (f64, bool) + Sync,
+{
+    params
+        .iter()
+        .map(|p| {
+            let results = run_seeds(seeds, first_seed, default_threads(), |seed| {
+                experiment(p, seed)
+            });
+            let observations: Vec<f64> = results.iter().map(|&(v, _)| v).collect();
+            let censored = results.iter().filter(|&&(_, c)| c).count();
+            SweepPoint {
+                param: p.clone(),
+                summary: Summary::from_samples(&observations),
+                observations,
+                censored,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_seeds_is_in_seed_order() {
+        let out = run_seeds(20, 100, 8, |seed| seed);
+        assert_eq!(out, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_seeds_single_thread() {
+        let out = run_seeds(3, 0, 1, |seed| seed * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn sweep_summarizes_each_point() {
+        let pts = sweep(&[10.0f64, 20.0], 3, 0, |&p, seed| {
+            (p + seed as f64, seed == 2)
+        });
+        assert_eq!(pts.len(), 2);
+        // Observations 10, 11, 12 → mean 11, one censored (seed 2).
+        assert!((pts[0].summary.mean - 11.0).abs() < 1e-12);
+        assert_eq!(pts[0].censored, 1);
+        assert_eq!(pts[0].observations.len(), 3);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // The result only depends on the seed, not on scheduling.
+        let one = run_seeds(10, 7, 1, |seed| seed * seed);
+        let many = run_seeds(10, 7, 8, |seed| seed * seed);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let _ = run_seeds(0, 0, 1, |s| s);
+    }
+}

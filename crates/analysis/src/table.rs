@@ -1,0 +1,245 @@
+//! Plain-text result tables (ASCII and CSV).
+//!
+//! The figure-regeneration benches print their series as aligned tables
+//! so paper-vs-measured comparisons are readable straight from
+//! `cargo bench` output, and can dump CSV for external plotting.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::Table;
+///
+/// let mut t = Table::new(["n", "T (measured)", "T (paper)"]);
+/// t.push_row(["10", "1042.1", "~1040"]);
+/// t.push_row(["100", "1061.5", "~1060"]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("n   | T (measured) | T (paper)"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("n,T (measured),T (paper)\n"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a header rule.
+    pub fn to_ascii(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (c, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if c > 0 {
+                    out.push_str(" | ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = *w);
+            }
+            // Trim trailing padding on the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for (c, w) in widths.iter().enumerate().take(cols) {
+            if c > 0 {
+                out.push_str("-+-");
+            }
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavored Markdown (pipes in cells are
+    /// escaped).
+    pub fn to_markdown(&self) -> String {
+        let escape = |cell: &str| cell.replace('|', "\\|");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(out, "|{}", "---|".repeat(self.headers.len()));
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (quotes cells containing
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["a", "longer"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["333", "4"]);
+        t
+    }
+
+    #[test]
+    fn ascii_alignment() {
+        let ascii = sample().to_ascii();
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert_eq!(lines[0], "a   | longer");
+        assert_eq!(lines[1], "----+-------");
+        assert_eq!(lines[2], "1   | 2");
+        assert_eq!(lines[3], "333 | 4");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| a | longer |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+        let mut t = Table::new(["x|y"]);
+        t.push_row(["a|b"]);
+        assert!(t.to_markdown().contains("a\\|b") || t.to_markdown().contains("a\\|b"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        assert_eq!(sample().to_csv(), "a,longer\n1,2\n333,4\n");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(["x"]);
+        t.push_row(["a,b"]);
+        t.push_row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn length_tracking() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(Table::new(["h"]).is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("pob_table_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), t.to_csv());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+}

@@ -1,0 +1,115 @@
+//! **X-bt** (§4 extension): a stylized BitTorrent-like tit-for-tat
+//! strategy against the unrestricted randomized swarm and the optimal
+//! schedule.
+//!
+//! The paper reports (from its own unpublished simulations) that even
+//! well-tuned BitTorrent completes >30% above the §2.2.4 optimum; our
+//! synchronous caricature reproduces a clear gap of the same flavor, and
+//! an unchoke-slot ablation shows where it comes from.
+
+use pob_analysis::{run_seeds, Summary, Table};
+use pob_bench::{banner, emit, scaled, seeds};
+use pob_core::bounds::cooperative_lower_bound;
+use pob_core::strategies::{BitTorrentLike, BlockSelection, SwarmStrategy};
+use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_bt(n: usize, k: usize, slots: usize, rechoke: u32, seed: u64) -> u32 {
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+    Engine::new(cfg, &overlay)
+        .run(
+            &mut BitTorrentLike::with_parameters(slots, rechoke, 30),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .expect("bittorrent-like strategy stays admissible")
+        .completion_time()
+        .expect("completes")
+}
+
+fn run_swarm_rarest(n: usize, k: usize, seed: u64) -> u32 {
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+    Engine::new(cfg, &overlay)
+        .run(
+            &mut SwarmStrategy::new(BlockSelection::RarestFirst),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .expect("swarm")
+        .completion_time()
+        .expect("completes")
+}
+
+fn main() {
+    banner(
+        "ext-bt",
+        "BitTorrent-like tit-for-tat vs swarm vs optimal (§4 extension)",
+    );
+    // The tit-for-tat penalty is a per-peer coordination cost, so the
+    // relative gap is largest when the swarm is large relative to the
+    // file (n ≫ k) — the full-scale point reproduces the paper's >30%.
+    let (n, k) = scaled((128usize, 128usize), (1024, 128));
+    let runs = seeds(scaled(5, 4));
+    let optimum = f64::from(cooperative_lower_bound(n, k));
+    println!("n = {n}, k = {k}, {runs} runs per point; optimum {optimum} ticks\n");
+
+    let threads = pob_analysis::default_threads();
+    let bt: Vec<f64> = run_seeds(runs, 1, threads, |s| f64::from(run_bt(n, k, 3, 10, s)));
+    let swarm: Vec<f64> = run_seeds(runs, 1, threads, |s| f64::from(run_swarm_rarest(n, k, s)));
+    let bt_s = Summary::from_samples(&bt);
+    let swarm_s = Summary::from_samples(&swarm);
+
+    let mut table = Table::new(["strategy", "T mean ± CI", "vs optimum"]);
+    table.push_row([
+        "bittorrent-like (3 slots)".to_string(),
+        format!("{:.1} ± {:.1}", bt_s.mean, bt_s.ci95),
+        format!("{:.2}x", bt_s.mean / optimum),
+    ]);
+    table.push_row([
+        "randomized swarm (rarest-first)".to_string(),
+        format!("{:.1} ± {:.1}", swarm_s.mean, swarm_s.ci95),
+        format!("{:.2}x", swarm_s.mean / optimum),
+    ]);
+    table.push_row([
+        "optimal (binomial pipeline)".to_string(),
+        format!("{optimum:.0}"),
+        "1.00x".to_string(),
+    ]);
+    emit("ext_bittorrent", &table);
+
+    assert!(
+        bt_s.mean > swarm_s.mean,
+        "tit-for-tat restriction must cost time"
+    );
+    assert!(
+        bt_s.mean > 1.10 * optimum,
+        "bittorrent-like should sit clearly above the optimum"
+    );
+    println!(
+        "gap over optimum: {:.0}% (paper: >30% for real BitTorrent under asynchronous simulation)\n",
+        (bt_s.mean / optimum - 1.0) * 100.0
+    );
+
+    // Ablation: unchoke slots and rechoke cadence.
+    println!("--- ablation: unchoke slots × rechoke interval ---");
+    let mut atable = Table::new(["slots", "rechoke every", "T mean", "vs optimum"]);
+    for &slots in &[1usize, 3, 8] {
+        for &rechoke in &[5u32, 10, 40] {
+            let times: Vec<f64> = run_seeds(runs.min(3), 1, threads, |s| {
+                f64::from(run_bt(n, k, slots, rechoke, s))
+            });
+            let s = Summary::from_samples(&times);
+            atable.push_row([
+                slots.to_string(),
+                rechoke.to_string(),
+                format!("{:.1}", s.mean),
+                format!("{:.2}x", s.mean / optimum),
+            ]);
+        }
+    }
+    emit("ext_bittorrent_ablation", &atable);
+    println!(
+        "more slots / faster rechoke close part of the gap — the restriction itself is the cost"
+    );
+}

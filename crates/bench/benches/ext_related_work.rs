@@ -1,0 +1,148 @@
+//! **X-related** (§4 extension): the full related-work shoot-out on one
+//! workload — optimal Binomial Pipeline, SplitStream-like multi-tree,
+//! randomized swarm, BitTorrent-like tit-for-tat, and the randomized
+//! triangular-barter swarm — with Welch-t significance tests between
+//! adjacent ranks.
+
+use pob_analysis::{median, run_seeds, welch_t, Summary, Table};
+use pob_bench::{banner, emit, scaled, seeds};
+use pob_core::bounds::cooperative_lower_bound;
+use pob_core::strategies::{
+    BitTorrentLike, BlockSelection, SplitStream, SwarmStrategy, TriangularSwarm,
+};
+use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, Mechanism, SimConfig, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_once(
+    n: usize,
+    k: usize,
+    mechanism: Mechanism,
+    strategy: &mut dyn Strategy,
+    seed: u64,
+) -> f64 {
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(mechanism)
+        .with_download_capacity(DownloadCapacity::Unlimited);
+    f64::from(
+        Engine::new(cfg, &overlay)
+            .run(strategy, &mut StdRng::seed_from_u64(seed))
+            .expect("strategy admissible")
+            .completion_time()
+            .expect("completes"),
+    )
+}
+
+fn main() {
+    banner("ext-related", "related-work shoot-out on one workload (§4)");
+    // m | clients so the SplitStream interior sets partition.
+    let (n, k) = scaled((129usize, 128usize), (513, 512));
+    let runs = seeds(scaled(5, 4));
+    let optimum = f64::from(cooperative_lower_bound(n, k));
+    println!("n = {n}, k = {k}, {runs} runs per strategy; optimum {optimum} ticks\n");
+
+    let threads = pob_analysis::default_threads();
+    let contenders: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "binomial pipeline (optimal)",
+            run_seeds(runs, 1, threads, |_| {
+                f64::from(
+                    pob_core::run::run_binomial_pipeline(n, k)
+                        .expect("admissible")
+                        .completion_time()
+                        .expect("completes"),
+                )
+            }),
+        ),
+        (
+            "randomized swarm (rarest-first)",
+            run_seeds(runs, 1, threads, |s| {
+                run_once(
+                    n,
+                    k,
+                    Mechanism::Cooperative,
+                    &mut SwarmStrategy::new(BlockSelection::RarestFirst),
+                    s,
+                )
+            }),
+        ),
+        (
+            "splitstream-like (4 stripes)",
+            run_seeds(runs, 1, threads, |s| {
+                run_once(
+                    n,
+                    k,
+                    Mechanism::Cooperative,
+                    &mut SplitStream::new(n, k, 4),
+                    s,
+                )
+            }),
+        ),
+        (
+            "triangular-barter swarm (s=2)",
+            run_seeds(runs, 1, threads, |s| {
+                run_once(
+                    n,
+                    k,
+                    Mechanism::TriangularBarter { credit: 2 },
+                    &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+                    s,
+                )
+            }),
+        ),
+        (
+            "bittorrent-like (3 slots)",
+            run_seeds(runs, 1, threads, |s| {
+                run_once(n, k, Mechanism::Cooperative, &mut BitTorrentLike::new(), s)
+            }),
+        ),
+    ];
+
+    let mut rows: Vec<(&str, Summary, f64)> = contenders
+        .iter()
+        .map(|(name, times)| (*name, Summary::from_samples(times), median(times)))
+        .collect();
+    rows.sort_by(|a, b| a.1.mean.total_cmp(&b.1.mean));
+
+    let mut table = Table::new(["strategy", "T mean ± CI", "median", "vs optimum"]);
+    for (name, s, med) in &rows {
+        table.push_row([
+            name.to_string(),
+            format!("{:.1} ± {:.1}", s.mean, s.ci95),
+            format!("{med:.0}"),
+            format!("{:.2}x", s.mean / optimum),
+        ]);
+    }
+    emit("ext_related_work", &table);
+
+    // Significance between adjacent ranks.
+    println!("--- Welch t-tests between adjacent ranks ---");
+    for w in rows.windows(2) {
+        let a = contenders
+            .iter()
+            .find(|(n, _)| *n == w[0].0)
+            .expect("present");
+        let b = contenders
+            .iter()
+            .find(|(n, _)| *n == w[1].0)
+            .expect("present");
+        let r = welch_t(&b.1, &a.1);
+        println!(
+            "{:<34} vs {:<34} t = {:>6.2}  {}",
+            w[1].0,
+            w[0].0,
+            r.t,
+            if r.significant {
+                "significant at 5%"
+            } else {
+                "not significant"
+            }
+        );
+    }
+
+    // Sanity: the optimal schedule ranks first; everything ≥ the bound.
+    assert_eq!(rows[0].0, "binomial pipeline (optimal)");
+    assert!(rows.iter().all(|(_, s, _)| s.mean >= optimum - 1e-9));
+    println!("\nranking sane: the Binomial Pipeline leads; every contender respects the bound");
+}

@@ -1,0 +1,98 @@
+//! **X-rewire** (§3.2.4 extension): credit-limited barter on a low-degree
+//! overlay whose nodes periodically change neighbors.
+//!
+//! The paper closes §3.2.4 with: "we experiment with a variation of the
+//! algorithm where nodes are constrained in a low-degree overlay network,
+//! but allowed to change their neighbors periodically. Initial results
+//! from this approach appear promising." This bench runs that experiment:
+//! a degree far below the static Figure 6/7 threshold, rewired every `R`
+//! ticks, versus the static baseline.
+
+use pob_analysis::{sweep, Table};
+use pob_bench::{banner, emit, scaled, seeds};
+use pob_core::run::{run_rewiring_swarm, run_swarm, SwarmOptions};
+use pob_core::strategies::BlockSelection;
+use pob_sim::{CompleteOverlay, Mechanism};
+
+fn main() {
+    banner(
+        "ext-rewire",
+        "periodic neighbor changes under credit-limited barter (§3.2.4)",
+    );
+    let n: usize = scaled(256, 1000);
+    let k: usize = n;
+    let degree: usize = scaled(12, 20); // far below the static threshold
+    let cap: u32 = 12 * (n + k) as u32;
+    let runs = seeds(scaled(4, 3));
+    println!("n = k = {n}, degree {degree}, s = 1, Random policy, {runs} runs per point\n");
+
+    let reference = {
+        let overlay = CompleteOverlay::new(n);
+        f64::from(
+            run_swarm(
+                &overlay,
+                k,
+                Mechanism::Cooperative,
+                BlockSelection::Random,
+                None,
+                1,
+            )
+            .expect("swarm")
+            .completion_time()
+            .expect("completes"),
+        )
+    };
+
+    let periods: Vec<Option<u32>> = vec![None, Some(200), Some(50), Some(10)];
+    let opts = SwarmOptions {
+        mechanism: Mechanism::CreditLimited { credit: 1 },
+        max_ticks: Some(cap),
+        ..SwarmOptions::default()
+    };
+    let points = sweep(&periods, runs, 30, |&period, seed| {
+        let report = run_rewiring_swarm(n, k, degree, period, &opts, seed)
+            .expect("randomized strategy respects the mechanism");
+        (
+            f64::from(report.censored_completion_time()),
+            !report.completed(),
+        )
+    });
+
+    let mut table = Table::new([
+        "rewire period",
+        "T mean ± CI",
+        "censored",
+        "T / cooperative",
+    ]);
+    for pt in &points {
+        table.push_row([
+            pt.param
+                .map_or("static".to_string(), |p| format!("every {p}")),
+            pob_bench::pm(&pt.summary),
+            format!("{}/{}", pt.censored, pt.observations.len()),
+            format!("{:.2}", pt.summary.mean / reference),
+        ]);
+    }
+    emit("ext_rewire", &table);
+
+    // The paper's hunch: rewiring rescues sub-threshold degrees.
+    let static_pt = &points[0];
+    let fast_rewire = points.last().expect("points");
+    assert!(
+        static_pt.censored > 0 || static_pt.summary.mean > 2.0 * reference,
+        "the static overlay at this degree should be far from cooperative"
+    );
+    assert_eq!(
+        fast_rewire.censored, 0,
+        "fast rewiring must complete every run"
+    );
+    assert!(
+        fast_rewire.summary.mean < 1.5 * reference,
+        "fast rewiring should approach cooperative performance ({:.0} vs {reference:.0})",
+        fast_rewire.summary.mean
+    );
+    println!(
+        "confirmed: periodic rewiring turns a deadlocked degree-{degree} barter economy into a \
+         near-cooperative one —\nthe paper's \"initial results appear promising\" replicated"
+    );
+}

@@ -1,0 +1,195 @@
+//! **Figure 5**: randomized cooperative completion time vs overlay degree
+//! on random regular graphs, two file sizes, plus the hypercube-like
+//! overlay comparison point and a collision-model ablation.
+//!
+//! Paper's observation (n = 4000, k ∈ {1000, 2000}): `T` drops steeply
+//! with degree and converges to its complete-graph value once the degree
+//! is around 20 ≈ Θ(log n), irrespective of `k`; a hypercube-like overlay
+//! of degree ≈ log₂ n matches the complete graph. Run here at `D = B`
+//! (sparse overlays are where the download constraint bites).
+
+use pob_analysis::{sweep, Table};
+use pob_bench::{banner, emit, pm, scaled, seeds};
+use pob_core::run::{run_swarm_with, SwarmOptions};
+use pob_core::strategies::CollisionModel;
+use pob_overlay::{paired_hypercube, random_regular, CompleteOverlay};
+use pob_sim::DownloadCapacity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn opts(collisions: CollisionModel) -> SwarmOptions {
+    SwarmOptions {
+        download: DownloadCapacity::Finite(1),
+        collisions,
+        ..SwarmOptions::default()
+    }
+}
+
+fn main() {
+    banner(
+        "fig5",
+        "T vs overlay degree — random regular graphs (§2.4.4)",
+    );
+    let n: usize = scaled(512, 4000);
+    let ks: Vec<usize> = scaled(vec![128, 256], vec![1000, 2000]);
+    let degrees: Vec<usize> = scaled(
+        vec![3, 4, 6, 8, 10, 14, 20, 30, 50],
+        vec![4, 6, 8, 10, 14, 20, 30, 40, 60, 80, 100],
+    );
+    let runs = seeds(scaled(4, 3));
+    println!("n = {n}, k ∈ {ks:?}, D = B, {runs} runs per point\n");
+
+    let run_opts = opts(CollisionModel::Resolved);
+    for &k in &ks {
+        let points = sweep(&degrees, runs, 10, |&d, seed| {
+            let mut graph_rng = StdRng::seed_from_u64(seed.wrapping_mul(1_000_003) + d as u64);
+            let overlay = random_regular(n, d, &mut graph_rng).expect("regular graph");
+            let report = run_swarm_with(&overlay, k, &run_opts, seed)
+                .expect("cooperative swarm cannot violate the mechanism");
+            (
+                f64::from(report.censored_completion_time()),
+                !report.completed(),
+            )
+        });
+
+        // Reference: complete graph.
+        let complete = sweep(&[0usize], runs, 10, |_, seed| {
+            let overlay = CompleteOverlay::new(n);
+            let report = run_swarm_with(&overlay, k, &run_opts, seed).expect("swarm");
+            (f64::from(report.censored_completion_time()), false)
+        });
+        let complete_mean = complete[0].summary.mean;
+
+        let mut table = Table::new(["degree", "T mean ± 95% CI", "T / complete-graph T"]);
+        for pt in &points {
+            table.push_row([
+                pt.param.to_string(),
+                pm(&pt.summary),
+                format!("{:.3}", pt.summary.mean / complete_mean),
+            ]);
+        }
+        table.push_row([
+            "complete".to_string(),
+            pm(&complete[0].summary),
+            "1.000".to_string(),
+        ]);
+        println!("k = {k}:");
+        emit(&format!("fig5_k{k}"), &table);
+
+        // Shape checks: drop with degree, convergence by degree ≈ Θ(log n).
+        let lowest = points.first().expect("points").summary.mean;
+        for pt in points.iter().filter(|pt| pt.param >= 20) {
+            assert!(
+                pt.summary.mean < 1.10 * complete_mean,
+                "degree ≥ 20 should match the complete graph (got {:.1} vs {complete_mean:.1})",
+                pt.summary.mean
+            );
+        }
+        assert!(
+            lowest > 1.05 * complete_mean,
+            "very low degree should be visibly worse ({lowest:.1} vs {complete_mean:.1})"
+        );
+        println!(
+            "shape ok: degree-{} is {:.2}x the complete graph; degree ≥ 20 within 10%\n",
+            degrees[0],
+            lowest / complete_mean
+        );
+    }
+
+    // Hypercube-like overlay comparison (paper: matches the complete graph).
+    println!("--- hypercube-like overlay (degree ≈ log2 n) ---");
+    let k = ks[0];
+    let cube = paired_hypercube(n);
+    let (dmin, dmax, dmean) = cube.degree_stats();
+    let cube_pts = sweep(&[0usize], runs, 10, |_, seed| {
+        let report = run_swarm_with(&cube, k, &run_opts, seed).expect("swarm");
+        (f64::from(report.censored_completion_time()), false)
+    });
+    let complete_ref = sweep(&[0usize], runs, 10, |_, seed| {
+        let overlay = CompleteOverlay::new(n);
+        let report = run_swarm_with(&overlay, k, &run_opts, seed).expect("swarm");
+        (f64::from(report.censored_completion_time()), false)
+    });
+    let mut table = Table::new(["overlay", "degree (min/mean/max)", "T mean ± 95% CI"]);
+    table.push_row([
+        "hypercube-like".to_string(),
+        format!("{dmin}/{dmean:.1}/{dmax}"),
+        pm(&cube_pts[0].summary),
+    ]);
+    table.push_row([
+        "complete".to_string(),
+        format!("{0}/{0}/{0}", n - 1),
+        pm(&complete_ref[0].summary),
+    ]);
+    emit("fig5_hypercube", &table);
+    let ratio = cube_pts[0].summary.mean / complete_ref[0].summary.mean;
+    assert!(
+        ratio < 1.10,
+        "hypercube overlay should match the complete graph (ratio {ratio:.3})"
+    );
+    println!(
+        "hypercube-like overlay within {:.1}% of the complete graph — matches the paper\n",
+        (ratio - 1.0).abs() * 100.0
+    );
+
+    // The paper's closing conjecture for this figure: "the phenomenon may
+    // be related to the mixing properties of G, with near-optimal
+    // performance kicking in when the graph degree is Θ(log n)". Print
+    // the bluntest mixing proxies per degree.
+    println!("--- mixing proxies: distance structure per degree ---");
+    let mut dtable = Table::new(["degree", "mean distance", "diameter"]);
+    for &d in degrees.iter().take(6) {
+        let mut graph_rng = StdRng::seed_from_u64(12_345 + d as u64);
+        let g = random_regular(n, d, &mut graph_rng).expect("regular graph");
+        let samples = 32.min(n);
+        dtable.push_row([
+            d.to_string(),
+            format!("{:.2}", g.mean_distance(samples).expect("connected")),
+            g.diameter().map_or("—".to_string(), |x| x.to_string()),
+        ]);
+    }
+    emit("fig5_mixing", &dtable);
+    println!(
+        "(log2 n = {:.1}; distances collapse toward 2 as the degree passes Θ(log n))
+",
+        (n as f64).log2()
+    );
+
+    // Ablation: handshake strength. With simultaneous (start-of-tick)
+    // target choices, collisions waste uploads and the degree trend
+    // changes — a sensitivity the paper's protocol sketch leaves open.
+    println!(
+        "--- ablation: collision model (degree {} vs complete) ---",
+        degrees[1]
+    );
+    let sim_opts = opts(CollisionModel::Simultaneous);
+    let mut atable = Table::new(["collision model", "overlay", "T mean ± 95% CI"]);
+    for (label, o) in [("resolved", &run_opts), ("simultaneous", &sim_opts)] {
+        for sparse in [true, false] {
+            let pts = sweep(&[0usize], runs, 10, |_, seed| {
+                let report = if sparse {
+                    let mut graph_rng =
+                        StdRng::seed_from_u64(seed.wrapping_mul(1_000_003) + degrees[1] as u64);
+                    let overlay =
+                        random_regular(n, degrees[1], &mut graph_rng).expect("regular graph");
+                    run_swarm_with(&overlay, k, o, seed).expect("swarm")
+                } else {
+                    let overlay = CompleteOverlay::new(n);
+                    run_swarm_with(&overlay, k, o, seed).expect("swarm")
+                };
+                (f64::from(report.censored_completion_time()), false)
+            });
+            atable.push_row([
+                label.to_string(),
+                if sparse {
+                    format!("regular d={}", degrees[1])
+                } else {
+                    "complete".to_string()
+                },
+                pm(&pts[0].summary),
+            ]);
+        }
+    }
+    emit("fig5_collision_ablation", &atable);
+    println!("fig5 checks passed");
+}

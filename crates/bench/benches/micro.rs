@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks for the simulation substrate: block-set
+//! operations, engine tick throughput, overlay construction, and schedule
+//! generation. These guard the performance the figure sweeps rely on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pob_core::schedules::{HypercubeSchedule, RifflePipeline};
+use pob_core::strategies::{BlockSelection, SwarmStrategy, TriangularSwarm};
+use pob_overlay::{random_regular, Hypercube, HypercubeEmbedding, LinkCosts};
+use pob_sim::{BlockId, BlockSet, CompleteOverlay, DownloadCapacity, Engine, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn blockset_ops(c: &mut Criterion) {
+    let k = 2048;
+    let mut a = BlockSet::empty(k);
+    let mut b = BlockSet::empty(k);
+    for i in (0..k).step_by(3) {
+        a.insert(BlockId::from_index(i));
+    }
+    for i in (0..k).step_by(2) {
+        b.insert(BlockId::from_index(i));
+    }
+    let mut group = c.benchmark_group("blockset");
+    group.throughput(Throughput::Elements(k as u64));
+    group.bench_function("interest_check_k2048", |bench| {
+        bench.iter(|| black_box(&a).has_any_not_in(black_box(&b)))
+    });
+    group.bench_function("highest_not_in_k2048", |bench| {
+        bench.iter(|| black_box(&a).highest_not_in(black_box(&b)))
+    });
+    group.bench_function("intersect_k2048", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.intersect_with(black_box(&b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut rng = StdRng::seed_from_u64(0);
+    group.bench_function("random_block_k2048", |bench| {
+        bench.iter(|| {
+            black_box(&a).random_not_in_either(
+                black_box(&b),
+                black_box(&BlockSet::empty(k)),
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn engine_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("hypercube_n256_k256", |bench| {
+        bench.iter(|| {
+            let overlay = Hypercube::new(8);
+            let engine = Engine::new(SimConfig::new(256, 256), &overlay);
+            engine
+                .run(
+                    &mut HypercubeSchedule::new(8),
+                    &mut StdRng::seed_from_u64(0),
+                )
+                .expect("admissible")
+        })
+    });
+    group.bench_function("swarm_n256_k256", |bench| {
+        bench.iter(|| {
+            let overlay = CompleteOverlay::new(256);
+            let cfg = SimConfig::new(256, 256).with_download_capacity(DownloadCapacity::Unlimited);
+            Engine::new(cfg, &overlay)
+                .run(
+                    &mut SwarmStrategy::new(BlockSelection::Random),
+                    &mut StdRng::seed_from_u64(0),
+                )
+                .expect("admissible")
+        })
+    });
+    group.finish();
+}
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.bench_function("random_regular_n1000_d20", |bench| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.iter(|| random_regular(1000, 20, &mut rng).expect("regular graph"))
+    });
+    group.bench_function("riffle_schedule_n101_k1000", |bench| {
+        bench.iter(|| RifflePipeline::new(101, 1000, true))
+    });
+    group.bench_function("embedding_optimize_h6", |bench| {
+        let costs = LinkCosts::two_clusters(64, 1.0, 20.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        bench.iter(|| HypercubeEmbedding::optimize(&costs, 6, 2_000, &mut rng))
+    });
+    group.finish();
+}
+
+fn barter_engines(c: &mut Criterion) {
+    use pob_sim::Mechanism;
+    let mut group = c.benchmark_group("barter");
+    group.sample_size(10);
+    group.bench_function("riffle_run_n33_k128", |bench| {
+        bench.iter(|| pob_core::run::run_riffle_pipeline(33, 128, true).expect("admissible"))
+    });
+    group.bench_function("triangular_swarm_n64_k64", |bench| {
+        bench.iter(|| {
+            let overlay = CompleteOverlay::new(64);
+            let cfg = SimConfig::new(64, 64)
+                .with_mechanism(Mechanism::TriangularBarter { credit: 2 })
+                .with_download_capacity(DownloadCapacity::Unlimited);
+            Engine::new(cfg, &overlay)
+                .run(
+                    &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+                    &mut StdRng::seed_from_u64(0),
+                )
+                .expect("admissible")
+        })
+    });
+    group.bench_function("credit_swarm_n256_k256", |bench| {
+        bench.iter(|| {
+            let overlay = CompleteOverlay::new(256);
+            let cfg = SimConfig::new(256, 256)
+                .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+                .with_download_capacity(DownloadCapacity::Unlimited);
+            Engine::new(cfg, &overlay)
+                .run(
+                    &mut SwarmStrategy::new(BlockSelection::Random),
+                    &mut StdRng::seed_from_u64(0),
+                )
+                .expect("admissible")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    blockset_ops,
+    engine_runs,
+    construction,
+    barter_engines
+);
+criterion_main!(benches);

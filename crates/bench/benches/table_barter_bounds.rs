@@ -1,0 +1,183 @@
+//! **T-barter** (§3.1–§3.3): the strict-barter lower bounds (Theorem 2),
+//! the Riffle Pipeline's near-matching completion times (Theorem 3), the
+//! credit-limited tightness results, the price of barter, and the
+//! triangular/cyclic compliance of the generalized hypercube schedule.
+
+use pob_analysis::Table;
+use pob_bench::{banner, emit, scaled};
+use pob_core::bounds::{
+    cooperative_lower_bound, price_of_barter, strict_barter_lower_bound_d1,
+    strict_barter_lower_bound_d2,
+};
+use pob_core::run::{run_binomial_pipeline, run_riffle_pipeline};
+use pob_core::schedules::{GeneralBinomialPipeline, HypercubeSchedule, RifflePipeline};
+use pob_overlay::{CompleteOverlay, Hypercube};
+use pob_sim::{DownloadCapacity, Engine, Mechanism, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("T-barter", "strict/credit/triangular barter results (§3)");
+
+    // Riffle Pipeline vs Theorem 2 lower bounds.
+    let shapes: Vec<(usize, usize)> = if pob_bench::full_scale() {
+        vec![
+            (11, 50),
+            (101, 500),
+            (101, 1000),
+            (501, 2000),
+            (1001, 1000),
+            (1001, 3000),
+        ]
+    } else {
+        vec![(11, 50), (33, 128), (65, 256), (101, 300)]
+    };
+    let mut table = Table::new([
+        "n",
+        "k",
+        "coop LB",
+        "strict LB (D=B)",
+        "strict LB (D>=2B)",
+        "riffle T (overlap)",
+        "riffle T (no overlap)",
+        "price of barter",
+    ]);
+    for &(n, k) in &shapes {
+        let overlap =
+            run_riffle_pipeline(n, k, true).expect("riffle admissible under strict barter");
+        let serial = run_riffle_pipeline(n, k, false).expect("riffle admissible at D=B");
+        let t_overlap = overlap.completion_time().expect("completes");
+        let t_serial = serial.completion_time().expect("completes");
+        let lb1 = strict_barter_lower_bound_d1(n, k);
+        let lb2 = strict_barter_lower_bound_d2(n, k);
+        assert!(t_overlap >= lb2, "riffle beats the D≥2B lower bound?!");
+        assert!(t_serial >= lb1, "riffle at D=B beats the D=B lower bound?!");
+        // Theorem 3 tightness: within one cycle-length of the bound.
+        assert!(
+            t_overlap <= lb1 + n as u32,
+            "riffle (overlap) too far above k+n-2: {t_overlap} vs {lb1}"
+        );
+        table.push_row([
+            n.to_string(),
+            k.to_string(),
+            cooperative_lower_bound(n, k).to_string(),
+            lb1.to_string(),
+            lb2.to_string(),
+            t_overlap.to_string(),
+            t_serial.to_string(),
+            format!("{:.2}", price_of_barter(n, k)),
+        ]);
+    }
+    emit("table_barter_bounds", &table);
+    println!("riffle ≥ both Theorem 2 bounds and ≤ (k + n − 2) + n everywhere — Theorem 3 holds\n");
+
+    // Credit-limited tightness (§3.2.2).
+    println!("--- credit-limited barter: optimal algorithms under small credit ---");
+    let mut ctable = Table::new(["algorithm", "mechanism", "n", "k", "T", "optimal"]);
+    let (h, k) = scaled((5u32, 40usize), (9, 512));
+    let n = 1usize << h;
+    let overlay = Hypercube::new(h);
+    let cfg = SimConfig::new(n, k).with_mechanism(Mechanism::CreditLimited { credit: 2 });
+    let hc = Engine::new(cfg, &overlay)
+        .run(
+            &mut HypercubeSchedule::new(h),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .expect("hypercube under s=2 credit");
+    assert_eq!(hc.completion_time(), Some(cooperative_lower_bound(n, k)));
+    ctable.push_row([
+        "binomial pipeline (n=2^h)".to_string(),
+        "credit s=2".to_string(),
+        n.to_string(),
+        k.to_string(),
+        hc.completion_time().unwrap().to_string(),
+        cooperative_lower_bound(n, k).to_string(),
+    ]);
+
+    let (rn, rk) = scaled((33usize, 128usize), (501, 1500));
+    let mut riffle = RifflePipeline::new(rn, rk, true);
+    let overlay = CompleteOverlay::new(rn);
+    let cfg = SimConfig::new(rn, rk)
+        .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+        .with_download_capacity(DownloadCapacity::Finite(2));
+    let rf = Engine::new(cfg, &overlay)
+        .run(&mut riffle, &mut StdRng::seed_from_u64(0))
+        .expect("riffle under s=1 credit");
+    ctable.push_row([
+        "riffle pipeline".to_string(),
+        "credit s=1".to_string(),
+        rn.to_string(),
+        rk.to_string(),
+        rf.completion_time().unwrap().to_string(),
+        format!("≤ {} (k+n-2)", strict_barter_lower_bound_d1(rn, rk)),
+    ]);
+    emit("table_credit_tightness", &ctable);
+
+    // Triangular / cyclic barter (§3.3).
+    println!("--- triangular & cyclic barter: generalized hypercube schedule ---");
+    let mut ttable = Table::new(["n", "k", "mechanism", "T", "optimal", "status"]);
+    let tri_shapes: Vec<(usize, usize)> = scaled(
+        vec![(11, 32), (21, 64), (47, 100)],
+        vec![(11, 200), (101, 500), (501, 1000)],
+    );
+    for &(n, k) in &tri_shapes {
+        let overlay = CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k).with_mechanism(Mechanism::CyclicBarter { credit: 1 });
+        let r = Engine::new(cfg, &overlay)
+            .run(
+                &mut GeneralBinomialPipeline::new(n),
+                &mut StdRng::seed_from_u64(0),
+            )
+            .expect("cyclic barter with credit 1");
+        assert_eq!(r.completion_time(), Some(cooperative_lower_bound(n, k)));
+        ttable.push_row([
+            n.to_string(),
+            k.to_string(),
+            "cyclic s=1".to_string(),
+            r.completion_time().unwrap().to_string(),
+            cooperative_lower_bound(n, k).to_string(),
+            "optimal".to_string(),
+        ]);
+        // Strict ≤3-cycle (triangular) reading: twin-pair settlements are
+        // 4-cycles, so long files need growing slack — report the outcome.
+        let cfg = SimConfig::new(n, k).with_mechanism(Mechanism::TriangularBarter { credit: 3 });
+        let tri = Engine::new(cfg, &overlay).run(
+            &mut GeneralBinomialPipeline::new(n),
+            &mut StdRng::seed_from_u64(0),
+        );
+        ttable.push_row([
+            n.to_string(),
+            k.to_string(),
+            "triangular s=3".to_string(),
+            tri.as_ref()
+                .ok()
+                .and_then(|r| r.completion_time())
+                .map_or("—".to_string(), |t| t.to_string()),
+            cooperative_lower_bound(n, k).to_string(),
+            if tri.is_ok() {
+                "optimal"
+            } else {
+                "violates ≤3-cycle reading"
+            }
+            .to_string(),
+        ]);
+    }
+    emit("table_triangular", &ttable);
+    println!(
+        "cyclic barter with credit 1 achieves provably optimal deterministic distribution (§3.3);\n\
+         the strict ≤3-cycle reading fails on twin-pair populations — see EXPERIMENTS.md"
+    );
+
+    // Price of barter headline.
+    println!("\n--- the price of barter (cooperative vs strict barter, measured) ---");
+    let (pn, pk) = scaled((65usize, 64usize), (1025, 1000));
+    let coop = run_binomial_pipeline(pn, pk).expect("binomial pipeline");
+    let barter = run_riffle_pipeline(pn, pk, true).expect("riffle");
+    println!(
+        "n = {pn}, k = {pk}: cooperative optimal {} ticks, strict barter {} ticks — ratio {:.2} (bound ratio {:.2})",
+        coop.completion_time().unwrap(),
+        barter.completion_time().unwrap(),
+        f64::from(barter.completion_time().unwrap()) / f64::from(coop.completion_time().unwrap()),
+        price_of_barter(pn, pk),
+    );
+}

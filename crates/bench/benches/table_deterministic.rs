@@ -1,0 +1,130 @@
+//! **T-det** (§2.2–§2.3): every deterministic schedule's measured
+//! completion time against its closed form, including Theorem 1
+//! optimality of the Binomial Pipeline for arbitrary `n` and the
+//! `m×`-server variant.
+
+use pob_analysis::Table;
+use pob_bench::{banner, emit, scaled};
+use pob_core::bounds::{
+    binomial_pipeline_time, binomial_tree_time, cooperative_lower_bound, multicast_tree_time,
+    pipeline_time,
+};
+use pob_core::run::{run_binomial_pipeline, run_pipeline};
+use pob_core::schedules::{BinomialTree, MultiServerPipeline, MulticastTree};
+use pob_overlay::{d_ary_tree, CompleteOverlay};
+use pob_sim::{Engine, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "T-det",
+        "deterministic schedules vs closed forms (§2.2–§2.3)",
+    );
+    let shapes: Vec<(usize, usize)> = if pob_bench::full_scale() {
+        vec![
+            (16, 64),
+            (100, 500),
+            (1024, 1000),
+            (1000, 1000),
+            (4096, 2000),
+            (3000, 1500),
+        ]
+    } else {
+        vec![(16, 64), (100, 100), (256, 200), (333, 100)]
+    };
+
+    let mut table = Table::new([
+        "n",
+        "k",
+        "lower bound",
+        "pipeline",
+        "multicast d=3",
+        "binomial tree",
+        "binomial pipeline",
+    ]);
+    let mut optimal_everywhere = true;
+    for &(n, k) in &shapes {
+        let lb = cooperative_lower_bound(n, k);
+        let pipe = run_pipeline(n, k).expect("pipeline admissible");
+        assert_eq!(
+            pipe.completion_time(),
+            Some(pipeline_time(n, k)),
+            "pipeline closed form"
+        );
+
+        let overlay = d_ary_tree(n, 3);
+        let tree = Engine::new(SimConfig::new(n, k), &overlay)
+            .run(&mut MulticastTree::new(3), &mut StdRng::seed_from_u64(0))
+            .expect("multicast admissible");
+        assert_eq!(
+            tree.completion_time(),
+            Some(multicast_tree_time(n, k, 3)),
+            "multicast closed form"
+        );
+
+        let complete = CompleteOverlay::new(n);
+        let bt = Engine::new(SimConfig::new(n, k), &complete)
+            .run(&mut BinomialTree::new(), &mut StdRng::seed_from_u64(0))
+            .expect("binomial tree admissible");
+        assert_eq!(
+            bt.completion_time(),
+            Some(binomial_tree_time(n, k)),
+            "binomial tree closed form"
+        );
+
+        let bp = run_binomial_pipeline(n, k).expect("binomial pipeline admissible");
+        assert_eq!(
+            bp.completion_time(),
+            Some(binomial_pipeline_time(n, k)),
+            "binomial pipeline meets Theorem 1"
+        );
+        optimal_everywhere &= bp.completion_time() == Some(lb);
+
+        table.push_row([
+            n.to_string(),
+            k.to_string(),
+            lb.to_string(),
+            pipe.completion_time().unwrap().to_string(),
+            tree.completion_time().unwrap().to_string(),
+            bt.completion_time().unwrap().to_string(),
+            bp.completion_time().unwrap().to_string(),
+        ]);
+    }
+    emit("table_deterministic", &table);
+    println!(
+        "binomial pipeline == Theorem 1 lower bound on every row: {}",
+        if optimal_everywhere {
+            "YES (paper: optimal for all n)"
+        } else {
+            "NO — regression!"
+        }
+    );
+
+    // §2.3.4: m× server bandwidth via virtual servers.
+    println!();
+    println!("--- §2.3.4: m-fold server bandwidth (clients split into m groups) ---");
+    let (n, k) = scaled((65, 128), (1025, 1000));
+    let mut mtable = Table::new(["m", "T measured", "T predicted (slowest group)"]);
+    for m in [1usize, 2, 4, 8] {
+        let mut schedule = MultiServerPipeline::new(n, m);
+        let overlay = CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k).with_server_upload_capacity(m as u32);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut schedule, &mut StdRng::seed_from_u64(0))
+            .expect("multi-server admissible");
+        let predicted = schedule.predicted_completion(k);
+        assert_eq!(
+            report.completion_time(),
+            Some(predicted),
+            "m-server prediction"
+        );
+        mtable.push_row([
+            m.to_string(),
+            report.completion_time().unwrap().to_string(),
+            predicted.to_string(),
+        ]);
+    }
+    emit("table_multiserver", &mtable);
+    println!("all closed-form assertions passed");
+}

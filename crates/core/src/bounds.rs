@@ -1,0 +1,359 @@
+//! Closed-form completion times and lower bounds from the paper.
+//!
+//! All times are in ticks (one block upload per tick), for a population of
+//! `n` nodes (server included) and a file of `k` blocks. These formulas are
+//! what the deterministic-schedule tests check against, so they double as
+//! executable statements of the paper's theorems.
+
+/// `⌈log₂ n⌉`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::bounds::ceil_log2;
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(5), 3);
+/// assert_eq!(ceil_log2(8), 3);
+/// assert_eq!(ceil_log2(9), 4);
+/// ```
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0, "log of zero");
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// **Theorem 1** — cooperative lower bound: distributing `k` blocks to
+/// `n − 1` clients takes at least `k − 1 + ⌈log₂ n⌉` ticks.
+///
+/// *Proof sketch (paper §2.2.4):* after the first `k − 1` ticks some block
+/// has left the server at most zero times… more precisely, at least one
+/// block is still exclusive to the server, and the population holding any
+/// block can at most double per tick, costing a further `⌈log₂ n⌉` ticks.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn cooperative_lower_bound(n: usize, k: usize) -> u32 {
+    assert!(n >= 2 && k >= 1, "need n ≥ 2 and k ≥ 1");
+    (k as u32 - 1) + ceil_log2(n)
+}
+
+/// §2.2.1 — the Pipeline (chain) completes in exactly `k + n − 2` ticks:
+/// `k` ticks to emit every block plus `n − 2` for the last block to trickle
+/// to the last client.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn pipeline_time(n: usize, k: usize) -> u32 {
+    assert!(n >= 2 && k >= 1, "need n ≥ 2 and k ≥ 1");
+    (k + n - 2) as u32
+}
+
+/// §2.2.2 — completion time of the `d`-ary multicast tree schedule.
+///
+/// Each node relays each block to its (up to `d`) children one upload at a
+/// time, so a node whose path from the root has child-indices
+/// `c₁, …, c_ℓ ∈ {1..d}` receives block `j` (zero-based) at tick
+/// `j·d + Σcᵢ`. The completion time is `(k − 1)·d + max σ`, where the
+/// maximum of `σ = Σcᵢ` runs over all nodes in array layout (node `i`'s
+/// parent is `(i − 1)/d`). For a perfect tree this equals the paper's
+/// `d·(k + ⌈log_d n⌉ − 1)`-flavoured expression.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `k == 0`, or `d == 0`.
+pub fn multicast_tree_time(n: usize, k: usize, d: usize) -> u32 {
+    assert!(n >= 2 && k >= 1 && d >= 1, "need n ≥ 2, k ≥ 1, d ≥ 1");
+    let max_sigma = (1..n).map(|i| tree_path_sum(i, d)).max().unwrap_or(0);
+    ((k - 1) * d + max_sigma) as u32
+}
+
+/// `σ(i) = Σ` of child indices along the root path of node `i` in array
+/// layout: the tick offset at which node `i` receives block 0.
+pub(crate) fn tree_path_sum(i: usize, d: usize) -> usize {
+    let mut sigma = 0;
+    let mut node = i;
+    while node > 0 {
+        let parent = (node - 1) / d;
+        sigma += node - d * parent; // child index in 1..=d
+        node = parent;
+    }
+    sigma
+}
+
+/// §2.2.3 — the block-by-block binomial tree completes in
+/// `k · ⌈log₂ n⌉` ticks (each block is flooded by doubling before the next
+/// starts).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn binomial_tree_time(n: usize, k: usize) -> u32 {
+    assert!(n >= 2 && k >= 1, "need n ≥ 2 and k ≥ 1");
+    k as u32 * ceil_log2(n)
+}
+
+/// §2.3 — the Binomial Pipeline achieves the Theorem 1 bound exactly:
+/// `k − 1 + ⌈log₂ n⌉` ticks, for every `n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn binomial_pipeline_time(n: usize, k: usize) -> u32 {
+    cooperative_lower_bound(n, k)
+}
+
+/// §2.3.4 — lower bound with an `m×`-upload-bandwidth server, assuming
+/// `D = B`: the server needs `⌈k/m⌉` ticks to emit every block once and
+/// the last-emitted block still needs `⌈log₂ n⌉` doublings; independently,
+/// every client downloads at most one block per tick, so `T ≥ k`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `k == 0`, or `m == 0`.
+pub fn m_server_lower_bound(n: usize, k: usize, m: usize) -> u32 {
+    assert!(n >= 2 && k >= 1 && m >= 1, "need n ≥ 2, k ≥ 1, m ≥ 1");
+    ((k.div_ceil(m) as u32 - 1) + ceil_log2(n)).max(k as u32)
+}
+
+/// **Theorem 2**, `D = B` case — strict barter forces
+/// `T ≥ n + k − 2`.
+///
+/// *Proof (paper §3.1.2):* a client's first block must come from the
+/// server (it has nothing to barter), and the server emits one block per
+/// tick, so some client only starts at tick `n − 1`; with `D = B` it then
+/// needs `k − 1` further ticks.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn strict_barter_lower_bound_d1(n: usize, k: usize) -> u32 {
+    assert!(n >= 2 && k >= 1, "need n ≥ 2 and k ≥ 1");
+    (n + k - 2) as u32
+}
+
+/// **Theorem 2**, `D ≥ 2B` case — strict barter still forces
+/// `T ≥ max(n − 1, k, ⌈k(n−1)/n + (n−1)/2 − 1/2⌉)`.
+///
+/// *Proof:* (a) the last client's first block leaves the server no earlier
+/// than tick `n − 1`. (b) the server must emit each of the `k` blocks at
+/// least once. (c) counting upload capacity: client `i` (ordered by first
+/// block) can upload during at most `T − i` ticks, the server during `T`,
+/// and `(n − 1)k` deliveries are needed, so
+/// `T + Σᵢ₌₁ⁿ⁻¹ (T − i) ≥ (n−1)k`, i.e. `nT ≥ (n−1)k + n(n−1)/2`, giving
+/// `T ≥ k(n−1)/n + (n−1)/2`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn strict_barter_lower_bound_d2(n: usize, k: usize) -> u32 {
+    assert!(n >= 2 && k >= 1, "need n ≥ 2 and k ≥ 1");
+    let n_f = n as f64;
+    let k_f = k as f64;
+    let capacity = (k_f * (n_f - 1.0) / n_f + (n_f - 1.0) / 2.0).ceil() as u32;
+    capacity.max((n - 1) as u32).max(k as u32)
+}
+
+/// **Theorem 3** — the Riffle Pipeline completes under strict barter
+/// within `k + n − 2` ticks when `k` is a multiple of `n − 1` and
+/// `D ≥ 2B`; without download overlap (`D = B`) it needs an extra
+/// `k/(n−1) − 1` ticks. (Arbitrary `k` adds a small remainder-phase
+/// overhead; the schedule itself reports its exact length.)
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `k == 0`, or `k` is not a multiple of `n − 1`.
+pub fn riffle_pipeline_time(n: usize, k: usize, overlap: bool) -> u32 {
+    assert!(n >= 2 && k >= 1, "need n ≥ 2 and k ≥ 1");
+    let clients = n - 1;
+    assert!(
+        k.is_multiple_of(clients),
+        "closed form requires k to be a multiple of n − 1; query the schedule for other k"
+    );
+    let m = k / clients;
+    if clients == 1 {
+        return k as u32;
+    }
+    if m == 0 {
+        unreachable!("k >= 1 and divisible by clients implies m >= 1");
+    }
+    let delta = if overlap { clients } else { clients + 1 };
+    ((m - 1) * delta + 2 * clients - 1) as u32
+}
+
+/// §3.2.2 — credit-limited barter has the *same* lower bound as the
+/// cooperative case (`k − 1 + ⌈log₂ n⌉`): the free first block removes the
+/// strict-barter start-up penalty.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn credit_limited_lower_bound(n: usize, k: usize) -> u32 {
+    cooperative_lower_bound(n, k)
+}
+
+/// The *price of barter*: ratio of the strict-barter lower bound (`D = B`)
+/// to the cooperative lower bound. Grows like `n / log n` for `k ≪ n` and
+/// approaches 1 for `k ≫ n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn price_of_barter(n: usize, k: usize) -> f64 {
+    f64::from(strict_barter_lower_bound_d1(n, k)) / f64::from(cooperative_lower_bound(n, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(1023), 10);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn theorem_1_examples() {
+        // Figure 1's setting: n = 8 nodes, k = 1 block → 3 ticks.
+        assert_eq!(cooperative_lower_bound(8, 1), 3);
+        assert_eq!(cooperative_lower_bound(1024, 1000), 999 + 10);
+        assert_eq!(cooperative_lower_bound(2, 5), 5);
+    }
+
+    #[test]
+    fn pipeline_formula() {
+        assert_eq!(pipeline_time(2, 10), 10);
+        assert_eq!(pipeline_time(5, 1), 4);
+        assert_eq!(pipeline_time(100, 1000), 1098);
+    }
+
+    #[test]
+    fn multicast_degenerates_to_pipeline_at_d1() {
+        for n in [2, 3, 7, 20] {
+            for k in [1, 5, 11] {
+                assert_eq!(
+                    multicast_tree_time(n, k, 1),
+                    pipeline_time(n, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_perfect_binary_tree() {
+        // n = 7, d = 2, depth 2: max σ over nodes: rightmost leaf has
+        // σ = 2 + 2 = 4; T = (k−1)·2 + 4.
+        assert_eq!(multicast_tree_time(7, 1, 2), 4);
+        assert_eq!(multicast_tree_time(7, 10, 2), 18 + 4);
+    }
+
+    #[test]
+    fn tree_path_sums() {
+        // Binary tree array layout: node 1 is child 1 of root, node 2 is
+        // child 2; node 6 = child 2 of node 2.
+        assert_eq!(tree_path_sum(1, 2), 1);
+        assert_eq!(tree_path_sum(2, 2), 2);
+        assert_eq!(tree_path_sum(6, 2), 4);
+        assert_eq!(tree_path_sum(0, 2), 0);
+    }
+
+    #[test]
+    fn binomial_tree_formula() {
+        assert_eq!(binomial_tree_time(8, 1), 3);
+        assert_eq!(binomial_tree_time(8, 10), 30);
+        assert_eq!(binomial_tree_time(1000, 4), 40);
+    }
+
+    #[test]
+    fn binomial_pipeline_matches_lower_bound() {
+        for (n, k) in [(8, 1), (8, 16), (1024, 1000), (9, 7)] {
+            assert_eq!(binomial_pipeline_time(n, k), cooperative_lower_bound(n, k));
+        }
+    }
+
+    #[test]
+    fn m_server_bound() {
+        assert_eq!(
+            m_server_lower_bound(1024, 1000, 1),
+            cooperative_lower_bound(1024, 1000)
+        );
+        // For m = 4 the emission term is 259 but the per-client download
+        // term k = 1000 dominates under D = B.
+        assert_eq!(m_server_lower_bound(1024, 1000, 4), 1000);
+        assert_eq!(m_server_lower_bound(1024, 8, 4), 2 - 1 + 10);
+    }
+
+    #[test]
+    fn strict_barter_bounds() {
+        assert_eq!(strict_barter_lower_bound_d1(1001, 1000), 1999);
+        // D ≥ 2B: capacity argument ⇒ ~k + n/2.
+        let b = strict_barter_lower_bound_d2(1001, 1000);
+        assert!(b >= 1000 + 450, "bound {b} too weak");
+        assert!(b <= 1999, "D ≥ 2B bound cannot exceed the D = B bound");
+        // Degenerate cases fall back to the max terms.
+        assert_eq!(strict_barter_lower_bound_d2(11, 1), 10);
+    }
+
+    #[test]
+    fn strict_barter_dominates_cooperative() {
+        for (n, k) in [(4, 4), (100, 10), (10, 100), (1000, 1000)] {
+            assert!(strict_barter_lower_bound_d1(n, k) >= cooperative_lower_bound(n, k));
+            assert!(strict_barter_lower_bound_d2(n, k) >= cooperative_lower_bound(n, k) / 2);
+        }
+    }
+
+    #[test]
+    fn riffle_closed_forms() {
+        // k = n − 1: a single cycle of 2(n−1) − 1 ticks either way.
+        assert_eq!(riffle_pipeline_time(5, 4, true), 7);
+        assert_eq!(riffle_pipeline_time(5, 4, false), 7);
+        // Multiple cycles: overlap saves m − 1 ticks.
+        assert_eq!(riffle_pipeline_time(5, 12, true), 2 * 4 + 7);
+        assert_eq!(riffle_pipeline_time(5, 12, false), 2 * 5 + 7);
+        // Single client: pure server push.
+        assert_eq!(riffle_pipeline_time(2, 7, true), 7);
+    }
+
+    #[test]
+    fn riffle_near_strict_barter_bound() {
+        // Theorem 3: with overlap, k + n − 2 — exactly the D = B lower
+        // bound, comfortably above the D ≥ 2B one.
+        let (n, k) = (101, 1000);
+        assert_eq!(riffle_pipeline_time(n, k, true), (k + n - 2) as u32);
+        assert!(riffle_pipeline_time(n, k, true) >= strict_barter_lower_bound_d2(n, k));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of n − 1")]
+    fn riffle_closed_form_rejects_remainders() {
+        let _ = riffle_pipeline_time(5, 6, true);
+    }
+
+    #[test]
+    fn price_of_barter_shape() {
+        // Few blocks, many clients: barter is expensive.
+        assert!(price_of_barter(1024, 1) > 50.0);
+        // Many blocks: the price fades toward 1.
+        assert!(price_of_barter(16, 10_000) < 1.01);
+    }
+
+    #[test]
+    fn credit_limited_bound_equals_cooperative() {
+        assert_eq!(
+            credit_limited_lower_bound(1024, 512),
+            cooperative_lower_bound(1024, 512)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Algorithms from *"On Cooperative Content Distribution and the Price of
+//! Barter"* (Ganesan & Seshadri, ICDCS 2005).
+//!
+//! A server holds a file of `k` blocks; `n − 1` clients want it; every
+//! node uploads at most one block per tick. This crate implements every
+//! distribution algorithm the paper analyzes, on top of the `pob-sim`
+//! engine and `pob-overlay` topologies:
+//!
+//! # Deterministic schedules ([`schedules`])
+//!
+//! * [`schedules::Pipeline`] — the §2.2.1 chain, `k + n − 2` ticks.
+//! * [`schedules::MulticastTree`] — the §2.2.2 `d`-ary tree.
+//! * [`schedules::BinomialTree`] — §2.2.3 doubling, block by block.
+//! * [`schedules::HypercubeSchedule`] — the **Binomial Pipeline**
+//!   (§2.3.1–2), optimal `k − 1 + log₂ n` on the hypercube.
+//! * [`schedules::GeneralBinomialPipeline`] — §2.3.3, optimal for *every*
+//!   `n` via paired hypercube vertices.
+//! * [`schedules::MultiServerPipeline`] — §2.3.4, `m` virtual servers.
+//! * [`schedules::RifflePipeline`] — §3.1.3, near-optimal under **strict
+//!   barter** (`≈ k + n − 2` ticks).
+//!
+//! # Runners ([`run`])
+//!
+//! One-call helpers (`run_binomial_pipeline`, `run_riffle_pipeline`,
+//! `run_swarm`, `run_rewiring_swarm`, …) that pick the right overlay and
+//! engine configuration for each algorithm.
+//!
+//! # Randomized strategies ([`strategies`])
+//!
+//! * [`strategies::SwarmStrategy`] — the §2.4.2 randomized algorithm;
+//!   under a credit-limited engine it is exactly the §3.2.3 variant.
+//! * [`strategies::BlockSelection`] — Random vs Rarest-First.
+//! * [`strategies::TriangularSwarm`] — randomized cycle-based barter
+//!   (§3.3's future-work direction).
+//! * [`strategies::BitTorrentLike`], [`strategies::SplitStream`],
+//!   [`strategies::AsyncHypercube`], [`strategies::AsyncSwarm`] —
+//!   extension baselines for the §4 comparison and §2.3.4 asynchrony.
+//!
+//! # Bounds ([`bounds`])
+//!
+//! Executable closed forms for Theorems 1–3 and every §2.2 completion
+//! time; the schedule tests assert exact equality against them.
+//!
+//! # Example
+//!
+//! ```
+//! use pob_core::bounds::{cooperative_lower_bound, strict_barter_lower_bound_d1};
+//! use pob_core::run::{run_binomial_pipeline, run_riffle_pipeline};
+//!
+//! let (n, k) = (33, 64);
+//! // Cooperative: the Binomial Pipeline meets Theorem 1 exactly.
+//! let coop = run_binomial_pipeline(n, k)?;
+//! assert_eq!(coop.completion_time(), Some(cooperative_lower_bound(n, k)));
+//!
+//! // Strict barter: the Riffle Pipeline pays the price of barter.
+//! let barter = run_riffle_pipeline(n, k, true)?;
+//! assert_eq!(barter.completion_time(), Some(strict_barter_lower_bound_d1(n, k)));
+//! # Ok::<(), pob_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod run;
+pub mod schedules;
+pub mod strategies;

@@ -1,0 +1,372 @@
+//! One-call runners for the paper's algorithms.
+//!
+//! These helpers pick the canonical overlay and engine configuration for
+//! each algorithm so examples, benches and integration tests don't repeat
+//! the setup boilerplate. For full control, assemble a
+//! [`pob_sim::Engine`] directly.
+
+use crate::schedules::{GeneralBinomialPipeline, HypercubeSchedule, Pipeline, RifflePipeline};
+use crate::strategies::{BlockSelection, CollisionModel, SwarmStrategy};
+use pob_overlay::{path, Hypercube};
+use pob_sim::{
+    CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, SimError, Topology,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the Binomial Pipeline (§2.3) on its natural overlay: the
+/// hypercube when `n` is a power of two, the paired generalization on a
+/// complete overlay otherwise. Completes in `k − 1 + ⌈log₂ n⌉` ticks.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] (impossible for a correct build — the schedule
+/// is admissible by construction; kept in the signature so callers see
+/// model violations instead of panics).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::run::run_binomial_pipeline;
+/// use pob_core::bounds::binomial_pipeline_time;
+///
+/// let report = run_binomial_pipeline(24, 40)?;
+/// assert_eq!(report.completion_time(), Some(binomial_pipeline_time(24, 40)));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+pub fn run_binomial_pipeline(n: usize, k: usize) -> Result<RunReport, SimError> {
+    let mut rng = StdRng::seed_from_u64(0);
+    if n.is_power_of_two() && n >= 2 {
+        let h = n.trailing_zeros();
+        let overlay = Hypercube::new(h);
+        Engine::new(SimConfig::new(n, k), &overlay).run(&mut HypercubeSchedule::new(h), &mut rng)
+    } else {
+        let overlay = CompleteOverlay::new(n);
+        Engine::new(SimConfig::new(n, k), &overlay)
+            .run(&mut GeneralBinomialPipeline::new(n), &mut rng)
+    }
+}
+
+/// Runs the §2.2.1 Pipeline on a path overlay.
+///
+/// # Errors
+///
+/// Propagates [`SimError`]; see [`run_binomial_pipeline`].
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn run_pipeline(n: usize, k: usize) -> Result<RunReport, SimError> {
+    let overlay = path(n);
+    Engine::new(SimConfig::new(n, k), &overlay)
+        .run(&mut Pipeline::new(), &mut StdRng::seed_from_u64(0))
+}
+
+/// Runs the §3.1.3 Riffle Pipeline under an enforced
+/// [`Mechanism::StrictBarter`], with download capacity `2B` when
+/// `overlap` is set (the paper's `D ≥ 2B` assumption) and `B` otherwise.
+///
+/// # Errors
+///
+/// Propagates [`SimError`]; a mechanism violation here would mean the
+/// schedule broke strict barter.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::run::run_riffle_pipeline;
+///
+/// let report = run_riffle_pipeline(9, 24, true)?;
+/// assert_eq!(report.completion_time(), Some(24 + 9 - 2)); // k + n − 2
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+pub fn run_riffle_pipeline(n: usize, k: usize, overlap: bool) -> Result<RunReport, SimError> {
+    let overlay = CompleteOverlay::new(n);
+    let dl = if overlap {
+        DownloadCapacity::Finite(2)
+    } else {
+        DownloadCapacity::Finite(1)
+    };
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(Mechanism::StrictBarter)
+        .with_download_capacity(dl);
+    Engine::new(cfg, &overlay).run(
+        &mut RifflePipeline::new(n, k, overlap),
+        &mut StdRng::seed_from_u64(0),
+    )
+}
+
+/// Runs the randomized swarm (§2.4 / §3.2.3) on an arbitrary overlay and
+/// mechanism with unlimited download capacity (the paper's default for
+/// these experiments), returning the seeded, reproducible result.
+///
+/// `max_ticks` caps diverging runs (pass `None` for the engine default);
+/// censored runs report `completion = None`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`]; randomized strategies only propose admissible
+/// transfers, so an error indicates an engine/mechanism misconfiguration.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::run::run_swarm;
+/// use pob_core::strategies::BlockSelection;
+/// use pob_sim::{CompleteOverlay, Mechanism};
+///
+/// let overlay = CompleteOverlay::new(64);
+/// let report = run_swarm(&overlay, 32, Mechanism::Cooperative, BlockSelection::Random, None, 7)?;
+/// assert!(report.completed());
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+pub fn run_swarm(
+    topology: &dyn Topology,
+    k: usize,
+    mechanism: Mechanism,
+    policy: BlockSelection,
+    max_ticks: Option<u32>,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    let opts = SwarmOptions {
+        mechanism,
+        policy,
+        max_ticks,
+        ..SwarmOptions::default()
+    };
+    run_swarm_with(topology, k, &opts, seed)
+}
+
+/// Full configuration for [`run_swarm_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwarmOptions {
+    /// The barter mechanism to enforce (default cooperative).
+    pub mechanism: Mechanism,
+    /// The block-selection policy (default Random).
+    pub policy: BlockSelection,
+    /// How concurrent uploads to one target are handled (default
+    /// [`CollisionModel::Resolved`]).
+    pub collisions: CollisionModel,
+    /// Per-tick download capacity (default unlimited, the paper's
+    /// randomized-experiment setting).
+    pub download: DownloadCapacity,
+    /// Tick cap (`None` = the engine default).
+    pub max_ticks: Option<u32>,
+}
+
+impl Default for SwarmOptions {
+    fn default() -> Self {
+        SwarmOptions {
+            mechanism: Mechanism::Cooperative,
+            policy: BlockSelection::Random,
+            collisions: CollisionModel::Resolved,
+            download: DownloadCapacity::Unlimited,
+            max_ticks: None,
+        }
+    }
+}
+
+/// Runs the randomized swarm with full control over the mechanism,
+/// policy, collision model, and bandwidth model.
+///
+/// # Errors
+///
+/// Propagates [`SimError`]; see [`run_swarm`].
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::run::{run_swarm_with, SwarmOptions};
+/// use pob_sim::{CompleteOverlay, DownloadCapacity};
+///
+/// let overlay = CompleteOverlay::new(32);
+/// let opts = SwarmOptions {
+///     download: DownloadCapacity::Finite(1),
+///     ..SwarmOptions::default()
+/// };
+/// let report = run_swarm_with(&overlay, 16, &opts, 3)?;
+/// assert!(report.completed());
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+pub fn run_swarm_with(
+    topology: &dyn Topology,
+    k: usize,
+    opts: &SwarmOptions,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    let n = topology.node_count();
+    let mut cfg = SimConfig::new(n, k)
+        .with_mechanism(opts.mechanism)
+        .with_download_capacity(opts.download);
+    if let Some(cap) = opts.max_ticks {
+        cfg = cfg.with_max_ticks(cap);
+    }
+    Engine::new(cfg, topology).run(
+        &mut SwarmStrategy::with_collision_model(opts.policy, opts.collisions),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// Runs the randomized swarm on a *periodically rewired* sparse overlay —
+/// §3.2.4's closing experiment: "nodes are constrained in a low-degree
+/// overlay network, but allowed to change their neighbors periodically.
+/// Initial results from this approach appear promising."
+///
+/// Every `rewire_every` ticks the population adopts a fresh random
+/// `degree`-regular graph (drawn from a seeded pool) while inventories and
+/// credit balances persist. With `rewire_every = None` the overlay is
+/// static, giving the Figure 6/7 baseline.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine; the randomized strategy only
+/// proposes admissible transfers.
+///
+/// # Panics
+///
+/// Panics if no `degree`-regular graph on `n` nodes exists.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::run::{run_rewiring_swarm, SwarmOptions};
+/// use pob_sim::Mechanism;
+///
+/// let opts = SwarmOptions {
+///     mechanism: Mechanism::CreditLimited { credit: 1 },
+///     max_ticks: Some(4000),
+///     ..SwarmOptions::default()
+/// };
+/// // Degree 8 deadlocks statically at this scale; rewiring every 20
+/// // ticks keeps fresh trade partners arriving.
+/// let rewired = run_rewiring_swarm(64, 64, 8, Some(20), &opts, 5)?;
+/// assert!(rewired.completed());
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+pub fn run_rewiring_swarm(
+    n: usize,
+    k: usize,
+    degree: usize,
+    rewire_every: Option<u32>,
+    opts: &SwarmOptions,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    use pob_overlay::random_regular;
+
+    // A seeded pool of graphs to cycle through; bounded so all graphs can
+    // outlive the engine borrow.
+    const POOL: usize = 24;
+    let mut graph_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let pool_len = if rewire_every.is_some() { POOL } else { 1 };
+    let graphs: Vec<pob_overlay::AdjacencyOverlay> = (0..pool_len)
+        .map(|_| random_regular(n, degree, &mut graph_rng).expect("regular graph exists"))
+        .collect();
+
+    let mut cfg = SimConfig::new(n, k)
+        .with_mechanism(opts.mechanism)
+        .with_download_capacity(opts.download);
+    if let Some(cap) = opts.max_ticks {
+        cfg = cfg.with_max_ticks(cap);
+    }
+    let mut engine = Engine::new(cfg, &graphs[0]);
+    let mut strategy = SwarmStrategy::with_collision_model(opts.policy, opts.collisions);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_graph = 1usize;
+    loop {
+        if !engine.step(&mut strategy, &mut rng)? {
+            break;
+        }
+        if let Some(period) = rewire_every {
+            if engine.current_tick().get().is_multiple_of(period) {
+                engine.set_topology(&graphs[next_graph % graphs.len()]);
+                strategy.notify_topology_changed();
+                next_graph += 1;
+            }
+        }
+    }
+    Ok(engine.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{binomial_pipeline_time, pipeline_time};
+
+    #[test]
+    fn binomial_runner_covers_both_populations() {
+        assert_eq!(
+            run_binomial_pipeline(16, 10).unwrap().completion_time(),
+            Some(binomial_pipeline_time(16, 10))
+        );
+        assert_eq!(
+            run_binomial_pipeline(19, 10).unwrap().completion_time(),
+            Some(binomial_pipeline_time(19, 10))
+        );
+    }
+
+    #[test]
+    fn pipeline_runner() {
+        assert_eq!(
+            run_pipeline(7, 9).unwrap().completion_time(),
+            Some(pipeline_time(7, 9))
+        );
+    }
+
+    #[test]
+    fn riffle_runner_enforces_strict_barter() {
+        let report = run_riffle_pipeline(5, 8, true).unwrap();
+        assert!(report.completed());
+        assert_eq!(report.mechanism, Mechanism::StrictBarter);
+    }
+
+    #[test]
+    fn rewiring_rescues_subthreshold_degrees() {
+        // Static degree 8 at n = k = 64 under s = 1 deadlocks; periodic
+        // rewiring completes.
+        let opts = SwarmOptions {
+            mechanism: Mechanism::CreditLimited { credit: 1 },
+            max_ticks: Some(3000),
+            ..SwarmOptions::default()
+        };
+        let static_run = run_rewiring_swarm(64, 64, 8, None, &opts, 5).unwrap();
+        let rewired = run_rewiring_swarm(64, 64, 8, Some(20), &opts, 5).unwrap();
+        assert!(rewired.completed(), "rewired run must complete");
+        assert!(
+            !static_run.completed()
+                || static_run.completion_time().unwrap() > 2 * rewired.completion_time().unwrap(),
+            "static sub-threshold overlay should be far worse"
+        );
+    }
+
+    #[test]
+    fn rewiring_with_none_matches_static_overlay_semantics() {
+        let opts = SwarmOptions::default();
+        let r = run_rewiring_swarm(32, 16, 6, None, &opts, 2).unwrap();
+        assert!(r.completed());
+        assert_eq!(r.total_uploads, 31 * 16);
+    }
+
+    #[test]
+    fn swarm_runner_honors_cap() {
+        let overlay = CompleteOverlay::new(16);
+        let report = run_swarm(
+            &overlay,
+            8,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            Some(2),
+            0,
+        )
+        .unwrap();
+        assert!(!report.completed());
+        assert_eq!(report.ticks_run, 2);
+    }
+}

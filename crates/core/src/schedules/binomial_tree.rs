@@ -1,0 +1,145 @@
+//! §2.2.3 — the block-by-block binomial tree.
+
+use super::must_propose;
+use crate::bounds::ceil_log2;
+use pob_sim::{BlockId, NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+
+/// Doubling broadcast, one block at a time.
+///
+/// Each block is flooded through a binomial tree (Figure 1): in each of
+/// `⌈log₂ n⌉` phases every node holding the block sends it to one node
+/// that lacks it, doubling the holder population; the next block starts
+/// only after the previous finishes. This is optimal for `k = 1` but pays
+/// the full `⌈log₂ n⌉` per block —
+/// [`binomial_tree_time`](crate::bounds::binomial_tree_time) ticks total —
+/// which is what the Binomial *Pipeline* fixes.
+///
+/// Runs on the complete overlay (holders pick arbitrary partners).
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::schedules::BinomialTree;
+/// use pob_core::bounds::binomial_tree_time;
+/// use pob_sim::{CompleteOverlay, Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let overlay = CompleteOverlay::new(8);
+/// let report = Engine::new(SimConfig::new(8, 4), &overlay)
+///     .run(&mut BinomialTree::new(), &mut StdRng::seed_from_u64(0))?;
+/// assert_eq!(report.completion_time(), Some(binomial_tree_time(8, 4)));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinomialTree(());
+
+impl BinomialTree {
+    /// Creates the schedule.
+    pub fn new() -> Self {
+        BinomialTree(())
+    }
+}
+
+impl Strategy for BinomialTree {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut StdRng) -> Result<(), SimError> {
+        let n = p.node_count();
+        let k = p.block_count();
+        let h = ceil_log2(n) as usize;
+        let t = p.tick().get() as usize;
+        let block = (t - 1) / h;
+        if block >= k {
+            return Ok(());
+        }
+        let phase = (t - 1) % h; // 0-based phase within this block's flood
+        let holders = 1usize << phase;
+        for i in 0..holders {
+            let target = i + holders;
+            if target >= n {
+                break;
+            }
+            must_propose(
+                p,
+                NodeId::from_index(i),
+                NodeId::from_index(target),
+                BlockId::from_index(block),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "binomial-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{binomial_tree_time, cooperative_lower_bound};
+    use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, RunReport, SimConfig};
+    use rand::SeedableRng;
+
+    fn run(n: usize, k: usize) -> RunReport {
+        let overlay = CompleteOverlay::new(n);
+        Engine::new(SimConfig::new(n, k), &overlay)
+            .run(&mut BinomialTree::new(), &mut StdRng::seed_from_u64(0))
+            .expect("binomial tree schedule must be admissible")
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        for (n, k) in [(2, 1), (8, 1), (8, 5), (7, 3), (9, 3), (100, 2)] {
+            let report = run(n, k);
+            assert_eq!(
+                report.completion_time(),
+                Some(binomial_tree_time(n, k)),
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_block_is_optimal() {
+        // The paper: the binomial tree is optimal for k = 1.
+        for n in [2, 3, 4, 8, 17, 64] {
+            let report = run(n, 1);
+            assert_eq!(
+                report.completion_time(),
+                Some(cooperative_lower_bound(n, 1)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_block_is_log_factor_worse() {
+        let report = run(64, 10);
+        let lb = cooperative_lower_bound(64, 10);
+        assert!(
+            report.completion_time().unwrap() > 3 * lb,
+            "k·log n ≫ k + log n here"
+        );
+    }
+
+    #[test]
+    fn works_with_unit_download() {
+        let overlay = CompleteOverlay::new(10);
+        let cfg = SimConfig::new(10, 3).with_download_capacity(DownloadCapacity::Finite(1));
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut BinomialTree::new(), &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(report.completion_time(), Some(binomial_tree_time(10, 3)));
+    }
+
+    #[test]
+    fn figure_1_pattern() {
+        // n = 8, k = 1: transfers double each tick — 1, 2, 4.
+        let overlay = CompleteOverlay::new(8);
+        let cfg = SimConfig::new(8, 1).with_tick_stats(true);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut BinomialTree::new(), &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(report.uploads_per_tick.unwrap(), vec![1, 2, 4]);
+    }
+}

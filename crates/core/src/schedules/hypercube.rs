@@ -1,0 +1,329 @@
+//! §2.3.1–2.3.2 — the Binomial Pipeline on the hypercube (`n = 2^h`).
+
+use super::must_propose;
+use pob_sim::{BlockId, NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+
+/// Which block a node transmits to its dimension partner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransmitRule {
+    /// The paper's rule: "the highest-index block that it has" — skipped
+    /// when the partner already holds that block.
+    #[default]
+    HighestOwned,
+    /// A mild strengthening: the highest-index block the partner *lacks*.
+    /// Identical in the common case, but salvages a transfer when the
+    /// partner already has the sender's top block. Used by ablations.
+    HighestNovel,
+}
+
+/// The Binomial Pipeline, executed as hypercube communication.
+///
+/// For `n = 2^h` nodes with `h`-bit IDs (server = all-zero ID), during
+/// tick `t` every node uses its dimension-`(t−1 mod h)` link (most
+/// significant bit first):
+///
+/// * the server transmits block `b_min(t,k)`;
+/// * every other node transmits per its [`TransmitRule`] (nothing if the
+///   partner would gain nothing).
+///
+/// This interleaves the opening (binomial-tree seeding), middlegame
+/// (group rotation) and endgame (server re-sends `b_k`) of §2.3.1 into
+/// three lines of rules, and completes in the optimal
+/// `k − 1 + log₂ n` ticks
+/// ([`binomial_pipeline_time`](crate::bounds::binomial_pipeline_time)).
+///
+/// For `n = 2^h` the schedule also satisfies **credit-limited barter with
+/// `s = 1`** (§3.2.2): the opening hands each client exactly one free
+/// block and every middlegame client-client transfer is part of a
+/// symmetric exchange.
+///
+/// Runs on [`pob_overlay::Hypercube`] (or any overlay containing it).
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::schedules::HypercubeSchedule;
+/// use pob_core::bounds::binomial_pipeline_time;
+/// use pob_overlay::Hypercube;
+/// use pob_sim::{Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let overlay = Hypercube::new(4); // 16 nodes
+/// let report = Engine::new(SimConfig::new(16, 100), &overlay)
+///     .run(&mut HypercubeSchedule::new(4), &mut StdRng::seed_from_u64(0))?;
+/// assert_eq!(report.completion_time(), Some(binomial_pipeline_time(16, 100)));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HypercubeSchedule {
+    h: u32,
+    rule: TransmitRule,
+}
+
+impl HypercubeSchedule {
+    /// Creates the schedule for the `h`-dimensional hypercube (`2^h`
+    /// nodes) with the paper's transmit rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `h > 30`.
+    pub fn new(h: u32) -> Self {
+        Self::with_rule(h, TransmitRule::HighestOwned)
+    }
+
+    /// Creates the schedule with an explicit transmit rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `h > 30`.
+    pub fn with_rule(h: u32, rule: TransmitRule) -> Self {
+        assert!(h >= 1, "hypercube needs at least one dimension");
+        assert!(h <= 30, "hypercube dimension too large");
+        HypercubeSchedule { h, rule }
+    }
+
+    /// The hypercube dimension `h = log₂ n`.
+    pub fn dimensions(&self) -> u32 {
+        self.h
+    }
+
+    /// The transmit rule in use.
+    pub fn rule(&self) -> TransmitRule {
+        self.rule
+    }
+}
+
+impl Strategy for HypercubeSchedule {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut StdRng) -> Result<(), SimError> {
+        let n = 1usize << self.h;
+        debug_assert_eq!(p.node_count(), n, "population must be 2^h");
+        let k = p.block_count();
+        let t = p.tick().get();
+        let dim = (t - 1) % self.h;
+        let mask = 1u32 << (self.h - 1 - dim);
+        for v in 0..n as u32 {
+            let from = NodeId::new(v);
+            let to = NodeId::new(v ^ mask);
+            let block = if from.is_server() {
+                // b_t while fresh blocks remain, then b_k forever.
+                Some(BlockId::from_index((t as usize).min(k) - 1))
+            } else {
+                match self.rule {
+                    TransmitRule::HighestOwned => p.state().inventory(from).highest(),
+                    TransmitRule::HighestNovel => p
+                        .state()
+                        .inventory(from)
+                        .highest_not_in(p.state().inventory(to)),
+                }
+            };
+            let Some(block) = block else { continue };
+            if p.state().holds(to, block) {
+                continue; // partner gains nothing this tick
+            }
+            must_propose(p, from, to, block)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "binomial-pipeline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{binomial_pipeline_time, cooperative_lower_bound};
+    use pob_overlay::Hypercube;
+    use pob_sim::{
+        CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Tick,
+    };
+    use rand::SeedableRng;
+
+    fn run_with(h: u32, k: usize, cfg: SimConfig) -> Result<RunReport, SimError> {
+        let overlay = Hypercube::new(h);
+        let _ = k;
+        Engine::new(cfg, &overlay).run(
+            &mut HypercubeSchedule::new(h),
+            &mut StdRng::seed_from_u64(0),
+        )
+    }
+
+    fn run(h: u32, k: usize) -> RunReport {
+        let n = 1usize << h;
+        run_with(h, k, SimConfig::new(n, k)).expect("hypercube schedule must be admissible")
+    }
+
+    #[test]
+    fn optimal_for_many_shapes() {
+        for (h, k) in [
+            (1, 1),
+            (1, 9),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+            (3, 1),
+            (3, 2),
+            (3, 7),
+            (3, 64),
+            (4, 5),
+            (5, 33),
+            (6, 100),
+            (7, 3),
+        ] {
+            let n = 1usize << h;
+            let report = run(h, k);
+            assert_eq!(
+                report.completion_time(),
+                Some(binomial_pipeline_time(n, k)),
+                "h={h} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn meets_theorem_1_exactly() {
+        let report = run(4, 20);
+        assert_eq!(
+            report.completion_time(),
+            Some(cooperative_lower_bound(16, 20))
+        );
+    }
+
+    #[test]
+    fn all_clients_finish_simultaneously_when_k_at_least_h() {
+        // §2.3.4 "Individual Completion Times": for k ≥ h all nodes finish
+        // at exactly the same tick.
+        for (h, k) in [(3, 3), (3, 10), (4, 4), (4, 17), (5, 6)] {
+            let report = run(h, k);
+            let t_final = report.completion.unwrap();
+            for i in 1..report.nodes {
+                assert_eq!(
+                    report.node_completions[i],
+                    Some(t_final),
+                    "h={h} k={k} node {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_upload_utilization_in_middlegame() {
+        // Between opening and endgame every node transmits every tick:
+        // uploads per tick should hit n once the system warms up.
+        let overlay = Hypercube::new(4);
+        let cfg = SimConfig::new(16, 64).with_tick_stats(true);
+        let report = Engine::new(cfg, &overlay)
+            .run(
+                &mut HypercubeSchedule::new(4),
+                &mut StdRng::seed_from_u64(0),
+            )
+            .unwrap();
+        let per_tick = report.uploads_per_tick.unwrap();
+        // After the opening (h = 4 ticks), nearly everyone uploads. The
+        // only idle links point at the server.
+        let mid = &per_tick[4..60];
+        assert!(
+            mid.iter().all(|&c| c >= 15),
+            "middlegame utilization dipped: {mid:?}"
+        );
+    }
+
+    #[test]
+    fn satisfies_credit_limited_barter_with_s2() {
+        // §3.2.2: for n = 2^h the hypercube algorithm obeys credit-limited
+        // barter — the end-of-tick balances never exceed 1, but "since
+        // credit for uploads is only granted at the end of the upload" the
+        // mid-tick one-sided flow on a pair that received its free opening
+        // block can reach 2, so the enforced limit is s = 2 (the paper
+        // makes the same observation).
+        for (h, k) in [(2, 4), (3, 5), (4, 16), (5, 40)] {
+            let n = 1usize << h;
+            let cfg = SimConfig::new(n, k).with_mechanism(Mechanism::CreditLimited { credit: 2 });
+            let report = run_with(h, k, cfg).unwrap_or_else(|e| {
+                panic!("h={h} k={k}: hypercube schedule violated s=2 credit: {e}")
+            });
+            assert_eq!(report.completion_time(), Some(binomial_pipeline_time(n, k)));
+        }
+    }
+
+    #[test]
+    fn strict_end_of_upload_granting_needs_more_than_s1() {
+        // With s = 1 under end-of-upload granting, the first symmetric
+        // exchange on a pair that carried an opening free block is
+        // rejected (net would transiently hit 2).
+        let cfg = SimConfig::new(4, 4).with_mechanism(Mechanism::CreditLimited { credit: 1 });
+        let err = run_with(2, 4, cfg).unwrap_err();
+        assert!(matches!(err, SimError::BadSchedule { .. }));
+    }
+
+    #[test]
+    fn satisfies_triangular_barter() {
+        // §3.3: the schedule also obeys triangular barter with small slack.
+        let n = 16;
+        let cfg = SimConfig::new(n, 10).with_mechanism(Mechanism::TriangularBarter { credit: 1 });
+        let report = run_with(4, 10, cfg).expect("triangular barter satisfied");
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn unit_download_capacity_suffices() {
+        let cfg = SimConfig::new(16, 12).with_download_capacity(DownloadCapacity::Finite(1));
+        let report = run_with(4, 12, cfg).unwrap();
+        assert_eq!(
+            report.completion_time(),
+            Some(binomial_pipeline_time(16, 12))
+        );
+    }
+
+    #[test]
+    fn works_on_complete_overlay() {
+        // The hypercube links are a subgraph of the complete graph.
+        let overlay = CompleteOverlay::new(8);
+        let report = Engine::new(SimConfig::new(8, 6), &overlay)
+            .run(
+                &mut HypercubeSchedule::new(3),
+                &mut StdRng::seed_from_u64(0),
+            )
+            .unwrap();
+        assert_eq!(report.completion_time(), Some(binomial_pipeline_time(8, 6)));
+    }
+
+    #[test]
+    fn opening_reproduces_figure_1_groups() {
+        // After h = 3 ticks with k ≥ 3: groups G1 (4 nodes with b1),
+        // G2 (2 nodes with b2), G3 (1 node with b3).
+        let overlay = Hypercube::new(3);
+        let cfg = SimConfig::new(8, 8).with_max_ticks(3);
+        let report = Engine::new(cfg, &overlay)
+            .run(
+                &mut HypercubeSchedule::new(3),
+                &mut StdRng::seed_from_u64(0),
+            )
+            .unwrap();
+        assert!(!report.completed(), "capped after the opening");
+        assert_eq!(report.total_uploads, 1 + 2 + 4);
+    }
+
+    #[test]
+    fn highest_novel_rule_is_also_optimal() {
+        let overlay = Hypercube::new(4);
+        let mut schedule = HypercubeSchedule::with_rule(4, TransmitRule::HighestNovel);
+        let report = Engine::new(SimConfig::new(16, 30), &overlay)
+            .run(&mut schedule, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(
+            report.completion_time(),
+            Some(binomial_pipeline_time(16, 30))
+        );
+        assert_eq!(schedule.rule(), TransmitRule::HighestNovel);
+    }
+
+    #[test]
+    fn n2_degenerates_to_server_stream() {
+        let report = run(1, 5);
+        assert_eq!(report.completion_time(), Some(5));
+        assert_eq!(report.node_completions[1], Some(Tick::new(5)));
+    }
+}

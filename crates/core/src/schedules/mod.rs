@@ -1,0 +1,176 @@
+//! Deterministic data-transfer schedules from the paper.
+//!
+//! Each schedule implements [`pob_sim::Strategy`] and submits its planned
+//! transfers through the engine's [`TickPlanner`], so the bandwidth model
+//! and barter mechanisms are enforced on every run — an inadmissible
+//! planned transfer surfaces as [`SimError::BadSchedule`].
+//!
+//! | Schedule | Paper | Completion time |
+//! |---|---|---|
+//! | [`Pipeline`] | §2.2.1 | `k + n − 2` |
+//! | [`MulticastTree`] | §2.2.2 | `(k−1)d + max σ` |
+//! | [`BinomialTree`] | §2.2.3 | `k⌈log₂ n⌉` |
+//! | [`HypercubeSchedule`] | §2.3.1–2 | `k − 1 + log₂ n` (n = 2^h) |
+//! | [`GeneralBinomialPipeline`] | §2.3.3 | `k − 1 + ⌈log₂ n⌉` (any n) |
+//! | [`MultiServerPipeline`] | §2.3.4 | ≈ `⌈k/m⌉ + log₂(n/m)` |
+//! | [`RifflePipeline`] | §3.1.3 | ≈ `k + n − 2` under strict barter |
+
+mod binomial_tree;
+mod general;
+mod hypercube;
+mod multicast;
+mod multiserver;
+mod pipeline;
+mod riffle;
+
+pub use binomial_tree::BinomialTree;
+pub use general::GeneralBinomialPipeline;
+pub use hypercube::{HypercubeSchedule, TransmitRule};
+pub use multicast::MulticastTree;
+pub use multiserver::MultiServerPipeline;
+pub use pipeline::Pipeline;
+pub use riffle::RifflePipeline;
+
+use pob_sim::{BlockId, NodeId, SimError, TickPlanner, Transfer};
+
+/// Proposes a transfer that the schedule believes must be admissible,
+/// converting a rejection into [`SimError::BadSchedule`].
+pub(crate) fn must_propose(
+    p: &mut TickPlanner<'_>,
+    from: NodeId,
+    to: NodeId,
+    block: BlockId,
+) -> Result<(), SimError> {
+    p.propose(from, to, block)
+        .map_err(|reason| SimError::BadSchedule {
+            transfer: Transfer::new(from, to, block),
+            reason,
+            tick: p.tick(),
+        })
+}
+
+/// A strategy that replays a precomputed per-tick transfer list.
+///
+/// Used by schedules whose transfers are cheaper to enumerate up front
+/// (notably the [`RifflePipeline`]); also handy in tests.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::schedules::FixedSchedule;
+/// use pob_sim::{BlockId, CompleteOverlay, Engine, NodeId, SimConfig, Transfer};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // Tick 1: server → C1; tick 2: server → C2 (in parallel: C1 → … nothing).
+/// let ticks = vec![
+///     vec![Transfer::new(NodeId::SERVER, NodeId::new(1), BlockId::new(0))],
+///     vec![Transfer::new(NodeId::SERVER, NodeId::new(2), BlockId::new(0))],
+/// ];
+/// let mut schedule = FixedSchedule::new("manual", ticks);
+/// let overlay = CompleteOverlay::new(3);
+/// let report = Engine::new(SimConfig::new(3, 1), &overlay)
+///     .run(&mut schedule, &mut StdRng::seed_from_u64(0))?;
+/// assert_eq!(report.completion_time(), Some(2));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    name: String,
+    ticks: Vec<Vec<Transfer>>,
+}
+
+impl FixedSchedule {
+    /// Wraps a per-tick transfer list (`ticks[0]` runs at tick 1).
+    pub fn new(name: impl Into<String>, ticks: Vec<Vec<Transfer>>) -> Self {
+        FixedSchedule {
+            name: name.into(),
+            ticks,
+        }
+    }
+
+    /// Number of ticks in the schedule.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Total number of scheduled transfers.
+    pub fn transfer_count(&self) -> usize {
+        self.ticks.iter().map(Vec::len).sum()
+    }
+
+    /// The transfers planned for a given 1-based tick.
+    pub fn tick_transfers(&self, tick: u32) -> &[Transfer] {
+        self.ticks
+            .get(tick as usize - 1)
+            .map_or(&[][..], Vec::as_slice)
+    }
+}
+
+impl pob_sim::Strategy for FixedSchedule {
+    fn on_tick(
+        &mut self,
+        p: &mut TickPlanner<'_>,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> Result<(), SimError> {
+        let idx = p.tick().get() as usize - 1;
+        if let Some(transfers) = self.ticks.get(idx) {
+            for t in transfers {
+                must_propose(p, t.from, t.to, t.block)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pob_sim::{CompleteOverlay, Engine, SimConfig, Strategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_schedule_accessors() {
+        let ticks = vec![
+            vec![Transfer::new(
+                NodeId::SERVER,
+                NodeId::new(1),
+                BlockId::new(0),
+            )],
+            vec![],
+        ];
+        let s = FixedSchedule::new("x", ticks);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.transfer_count(), 1);
+        assert_eq!(s.tick_transfers(1).len(), 1);
+        assert_eq!(s.tick_transfers(2).len(), 0);
+        assert_eq!(s.tick_transfers(99).len(), 0, "past the end is empty");
+        assert_eq!(s.name(), "x");
+    }
+
+    #[test]
+    fn fixed_schedule_bad_transfer_surfaces_as_bad_schedule() {
+        // C1 does not hold block 0 at tick 1.
+        let ticks = vec![vec![Transfer::new(
+            NodeId::new(1),
+            NodeId::new(2),
+            BlockId::new(0),
+        )]];
+        let mut s = FixedSchedule::new("bad", ticks);
+        let overlay = CompleteOverlay::new(3);
+        let err = Engine::new(SimConfig::new(3, 1), &overlay)
+            .run(&mut s, &mut StdRng::seed_from_u64(0))
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadSchedule { .. }));
+    }
+}

@@ -1,0 +1,160 @@
+//! §2.2.2 — the `d`-ary multicast tree schedule.
+
+use super::must_propose;
+use crate::bounds::tree_path_sum;
+use pob_sim::{BlockId, NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+
+/// Multicast down a complete `d`-ary tree rooted at the server.
+///
+/// Each node relays every block to its (up to `d`) children one upload at
+/// a time, fully pipelined: node `i`, whose root path has child-index sum
+/// `σ(i)`, receives block `j` at tick `j·d + σ(i)`. Completion takes
+/// [`multicast_tree_time`](crate::bounds::multicast_tree_time) ticks —
+/// the `d·(k + log_d n)`-shaped trade-off the paper discusses: larger `d`
+/// shortens the tree but serializes more uploads per block.
+///
+/// Runs on [`pob_overlay::d_ary_tree`] (array layout) or any overlay
+/// containing those edges.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::schedules::MulticastTree;
+/// use pob_core::bounds::multicast_tree_time;
+/// use pob_overlay::d_ary_tree;
+/// use pob_sim::{Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let overlay = d_ary_tree(13, 3);
+/// let report = Engine::new(SimConfig::new(13, 8), &overlay)
+///     .run(&mut MulticastTree::new(3), &mut StdRng::seed_from_u64(0))?;
+/// assert_eq!(report.completion_time(), Some(multicast_tree_time(13, 8, 3)));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MulticastTree {
+    d: usize,
+}
+
+impl MulticastTree {
+    /// Creates the schedule for arity `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "arity must be positive");
+        MulticastTree { d }
+    }
+
+    /// The tree arity.
+    pub fn arity(&self) -> usize {
+        self.d
+    }
+}
+
+impl Strategy for MulticastTree {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut StdRng) -> Result<(), SimError> {
+        let t = p.tick().get() as usize;
+        let n = p.node_count();
+        let k = p.block_count();
+        for child in 1..n {
+            let sigma = tree_path_sum(child, self.d);
+            if t < sigma || !(t - sigma).is_multiple_of(self.d) {
+                continue;
+            }
+            let block = (t - sigma) / self.d;
+            if block >= k {
+                continue;
+            }
+            let parent = (child - 1) / self.d;
+            must_propose(
+                p,
+                NodeId::from_index(parent),
+                NodeId::from_index(child),
+                BlockId::from_index(block),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "multicast-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{multicast_tree_time, pipeline_time};
+    use pob_overlay::d_ary_tree;
+    use pob_sim::{DownloadCapacity, Engine, RunReport, SimConfig};
+    use rand::SeedableRng;
+
+    fn run(n: usize, k: usize, d: usize) -> RunReport {
+        let overlay = d_ary_tree(n, d);
+        Engine::new(SimConfig::new(n, k), &overlay)
+            .run(&mut MulticastTree::new(d), &mut StdRng::seed_from_u64(0))
+            .expect("multicast schedule must be admissible")
+    }
+
+    #[test]
+    fn matches_closed_form_across_shapes() {
+        for (n, k, d) in [
+            (2, 3, 2),
+            (7, 1, 2),
+            (7, 9, 2),
+            (13, 5, 3),
+            (40, 8, 3),
+            (31, 16, 2),
+            (6, 4, 5),
+        ] {
+            let report = run(n, k, d);
+            assert_eq!(
+                report.completion_time(),
+                Some(multicast_tree_time(n, k, d)),
+                "n={n} k={k} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn d1_equals_pipeline() {
+        let report = run(9, 6, 1);
+        assert_eq!(report.completion_time(), Some(pipeline_time(9, 6)));
+    }
+
+    #[test]
+    fn transfer_budget_is_exact() {
+        let report = run(13, 5, 3);
+        assert_eq!(report.total_uploads, 12 * 5);
+    }
+
+    #[test]
+    fn unit_download_capacity_suffices() {
+        // Each node receives at most one block per tick (blocks arrive every
+        // d ≥ 1 ticks from its single parent).
+        let overlay = d_ary_tree(10, 2);
+        let cfg = SimConfig::new(10, 7).with_download_capacity(DownloadCapacity::Finite(1));
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut MulticastTree::new(2), &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(
+            report.completion_time(),
+            Some(multicast_tree_time(10, 7, 2))
+        );
+    }
+
+    #[test]
+    fn larger_arity_trades_depth_for_serialization() {
+        // For k = 1 larger d hurts less than it helps (shallower tree);
+        // for large k small d wins. Mirrors the paper's d·(k + log_d n).
+        let shallow = multicast_tree_time(121, 1, 10);
+        let deep = multicast_tree_time(121, 1, 2);
+        assert!(shallow > 0 && deep > 0);
+        let shallow_many = multicast_tree_time(121, 100, 10);
+        let deep_many = multicast_tree_time(121, 100, 2);
+        assert!(deep_many < shallow_many, "small arity wins for long files");
+    }
+}

@@ -1,0 +1,190 @@
+//! §2.3.4 — higher server bandwidths via virtual servers.
+
+use super::GeneralBinomialPipeline;
+use crate::bounds::binomial_pipeline_time;
+use pob_sim::{NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+
+/// The `m×`-bandwidth-server strategy: split the clients into `m` equal
+/// groups, split the server into `m` virtual servers (one upload per group
+/// per tick), and run an independent Binomial Pipeline inside each group.
+///
+/// The paper states this natural strategy is optimal when the server's
+/// upload bandwidth is `m·B`. The engine must be configured with
+/// `server_upload_capacity = m`
+/// ([`SimConfig::with_server_upload_capacity`](pob_sim::SimConfig::with_server_upload_capacity)).
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::schedules::MultiServerPipeline;
+/// use pob_sim::{CompleteOverlay, Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let (n, k, m) = (17, 32, 2);
+/// let mut schedule = MultiServerPipeline::new(n, m);
+/// let overlay = CompleteOverlay::new(n);
+/// let cfg = SimConfig::new(n, k).with_server_upload_capacity(m as u32);
+/// let report = Engine::new(cfg, &overlay).run(&mut schedule, &mut StdRng::seed_from_u64(0))?;
+/// assert_eq!(report.completion_time(), Some(schedule.predicted_completion(k)));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiServerPipeline {
+    groups: Vec<GeneralBinomialPipeline>,
+    group_sizes: Vec<usize>,
+}
+
+impl MultiServerPipeline {
+    /// Splits clients `1 .. n` into `m` contiguous groups (sizes differing
+    /// by at most one) and builds one pipeline per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `m == 0`, or `m > n − 1` (more virtual servers
+    /// than clients).
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n >= 2, "need a server and at least one client");
+        assert!(m >= 1, "need at least one virtual server");
+        let clients = n - 1;
+        assert!(m <= clients, "more virtual servers than clients");
+        let base = clients / m;
+        let extra = clients % m;
+        let mut groups = Vec::with_capacity(m);
+        let mut group_sizes = Vec::with_capacity(m);
+        let mut next = 1usize;
+        for g in 0..m {
+            let size = base + usize::from(g < extra);
+            let mut nodes = Vec::with_capacity(size + 1);
+            nodes.push(NodeId::SERVER);
+            nodes.extend((next..next + size).map(NodeId::from_index));
+            next += size;
+            groups.push(GeneralBinomialPipeline::with_nodes(nodes));
+            group_sizes.push(size);
+        }
+        MultiServerPipeline {
+            groups,
+            group_sizes,
+        }
+    }
+
+    /// Number of virtual servers `m`.
+    pub fn virtual_servers(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Client-group sizes.
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// Predicted completion time: the slowest group's Binomial Pipeline,
+    /// `k − 1 + ⌈log₂(size + 1)⌉` over its `size + 1`-node population.
+    pub fn predicted_completion(&self, k: usize) -> u32 {
+        self.group_sizes
+            .iter()
+            .map(|&size| binomial_pipeline_time(size + 1, k))
+            .max()
+            .expect("at least one group")
+    }
+}
+
+impl Strategy for MultiServerPipeline {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        for group in &mut self.groups {
+            group.on_tick(p, rng)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "multi-server-pipeline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{cooperative_lower_bound, m_server_lower_bound};
+    use pob_sim::{CompleteOverlay, Engine, RunReport, SimConfig};
+    use rand::SeedableRng;
+
+    fn run(n: usize, k: usize, m: usize) -> (MultiServerPipeline, RunReport) {
+        let mut schedule = MultiServerPipeline::new(n, m);
+        let overlay = CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k).with_server_upload_capacity(m as u32);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut schedule, &mut StdRng::seed_from_u64(0))
+            .expect("multi-server schedule must be admissible");
+        (schedule, report)
+    }
+
+    #[test]
+    fn m1_equals_plain_binomial_pipeline() {
+        let (_, report) = run(17, 12, 1);
+        assert_eq!(
+            report.completion_time(),
+            Some(cooperative_lower_bound(17, 12))
+        );
+    }
+
+    #[test]
+    fn matches_prediction_across_shapes() {
+        for (n, k, m) in [
+            (9, 6, 2),
+            (17, 32, 2),
+            (17, 32, 4),
+            (33, 10, 4),
+            (21, 8, 5),
+            (13, 40, 3),
+        ] {
+            let (schedule, report) = run(n, k, m);
+            assert_eq!(
+                report.completion_time(),
+                Some(schedule.predicted_completion(k)),
+                "n={n} k={k} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_m_speeds_up_long_files() {
+        let (_, r1) = run(33, 64, 1);
+        let (_, r4) = run(33, 64, 4);
+        assert!(
+            r4.completion_time().unwrap() < r1.completion_time().unwrap(),
+            "4× server should beat 1× on a long file"
+        );
+    }
+
+    #[test]
+    fn group_sizes_balanced() {
+        let s = MultiServerPipeline::new(12, 5); // 11 clients into 5 groups
+        assert_eq!(s.group_sizes(), &[3, 2, 2, 2, 2]);
+        assert_eq!(s.virtual_servers(), 5);
+    }
+
+    #[test]
+    fn respects_server_capacity() {
+        // With capacity m the server makes ≤ m uploads per tick; the
+        // engine would reject more, so completing proves compliance.
+        let (_, report) = run(25, 16, 3);
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn near_m_server_lower_bound_for_long_files() {
+        // The grouped schedule is within ~log n of the m-server bound.
+        let (_, report) = run(65, 256, 4);
+        let lb = m_server_lower_bound(65, 256, 4);
+        let t = report.completion_time().unwrap();
+        assert!(t >= lb);
+        assert!(t <= lb + 8, "t={t} lb={lb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more virtual servers than clients")]
+    fn too_many_virtual_servers_rejected() {
+        let _ = MultiServerPipeline::new(3, 5);
+    }
+}

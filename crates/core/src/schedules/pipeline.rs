@@ -1,0 +1,142 @@
+//! §2.2.1 — the Pipeline (chain) schedule.
+
+use super::must_propose;
+use pob_sim::{BlockId, NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+
+/// The simple pipeline: the server streams blocks to client 1, which
+/// relays them to client 2, and so on down the chain.
+///
+/// At tick `t`, node `i` forwards block `t − i − 1` (zero-based) to node
+/// `i + 1` whenever that index is a valid block. Completion takes exactly
+/// `k + n − 2` ticks ([`pipeline_time`](crate::bounds::pipeline_time)).
+///
+/// Runs on any overlay containing the path `0 — 1 — … — (n−1)`
+/// (e.g. [`pob_overlay::path`] or the complete graph).
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::schedules::Pipeline;
+/// use pob_core::bounds::pipeline_time;
+/// use pob_overlay::path;
+/// use pob_sim::{Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let overlay = path(6);
+/// let report = Engine::new(SimConfig::new(6, 10), &overlay)
+///     .run(&mut Pipeline::new(), &mut StdRng::seed_from_u64(0))?;
+/// assert_eq!(report.completion_time(), Some(pipeline_time(6, 10)));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pipeline(());
+
+impl Pipeline {
+    /// Creates the pipeline schedule.
+    pub fn new() -> Self {
+        Pipeline(())
+    }
+}
+
+impl Strategy for Pipeline {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut StdRng) -> Result<(), SimError> {
+        let t = p.tick().get() as usize;
+        let n = p.node_count();
+        let k = p.block_count();
+        // Node i forwards the block it received at tick t − 1 to node i + 1.
+        for sender in 0..n.saturating_sub(1) {
+            if t <= sender {
+                break; // nothing has reached this depth yet
+            }
+            let block = t - sender - 1;
+            if block >= k {
+                continue; // this sender has already forwarded everything
+            }
+            must_propose(
+                p,
+                NodeId::from_index(sender),
+                NodeId::from_index(sender + 1),
+                BlockId::from_index(block),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "pipeline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::pipeline_time;
+    use pob_overlay::path;
+    use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, SimConfig};
+    use rand::SeedableRng;
+
+    fn run(n: usize, k: usize) -> pob_sim::RunReport {
+        let overlay = path(n);
+        Engine::new(SimConfig::new(n, k), &overlay)
+            .run(&mut Pipeline::new(), &mut StdRng::seed_from_u64(0))
+            .expect("pipeline schedule must be admissible")
+    }
+
+    #[test]
+    fn matches_closed_form_across_sizes() {
+        for (n, k) in [(2, 1), (2, 7), (5, 1), (5, 4), (10, 32), (33, 10)] {
+            let report = run(n, k);
+            assert_eq!(
+                report.completion_time(),
+                Some(pipeline_time(n, k)),
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_transfer_is_used_exactly_once() {
+        let report = run(7, 11);
+        assert_eq!(
+            report.total_uploads,
+            6 * 11,
+            "each client gets each block once"
+        );
+        assert_eq!(
+            report.server_uploads, 11,
+            "the server sends each block once"
+        );
+    }
+
+    #[test]
+    fn works_with_unit_download_capacity() {
+        // The pipeline delivers one block per node per tick: D = B suffices.
+        let overlay = path(4);
+        let cfg = SimConfig::new(4, 6).with_download_capacity(DownloadCapacity::Finite(1));
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut Pipeline::new(), &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(report.completion_time(), Some(pipeline_time(4, 6)));
+    }
+
+    #[test]
+    fn runs_on_complete_overlay_too() {
+        let overlay = CompleteOverlay::new(5);
+        let report = Engine::new(SimConfig::new(5, 3), &overlay)
+            .run(&mut Pipeline::new(), &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(report.completion_time(), Some(pipeline_time(5, 3)));
+    }
+
+    #[test]
+    fn intermediate_clients_finish_in_order() {
+        let report = run(5, 4);
+        let finishes: Vec<u32> = (1..5)
+            .map(|i| report.node_completions[i].unwrap().get())
+            .collect();
+        assert!(finishes.windows(2).all(|w| w[0] < w[1]));
+        // Client i completes at tick k + i − 1.
+        assert_eq!(finishes, vec![4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,376 @@
+//! §3.1.3 — the Riffle Pipeline: near-optimal distribution under strict
+//! barter.
+
+use super::FixedSchedule;
+use pob_sim::{BlockId, NodeId, SimError, Strategy, TickPlanner, Transfer};
+use rand::rngs::StdRng;
+
+/// The Riffle Pipeline schedule.
+///
+/// Under strict barter a client may receive a block from another client
+/// only by simultaneously handing one back, and first blocks must come
+/// from the server. The Riffle Pipeline organizes this as rounds of
+/// *meetings*: in a cycle over clients `C₁ … C_L` with blocks `B₁ … B_L`,
+///
+/// * the server hands `Bᵢ` to `Cᵢ` at (relative) tick `i`;
+/// * clients `Cᵢ` and `Cⱼ` (`i < j`) meet at tick `i + j` and swap their
+///   server-assigned blocks `Bᵢ ↔ Bⱼ`.
+///
+/// Every client talks to the others in the staggered sequence the paper
+/// describes, each trailing its predecessor by one tick, and a cycle
+/// completes in `2L − 1` ticks. For `k = m·(n−1)` blocks, cycles are
+/// pipelined every `n − 1` ticks when `D ≥ 2B` (`overlap = true`; a client
+/// may receive a barter block and its next server block in the same tick)
+/// or every `n` ticks when `D = B`. The remainder `k mod (n−1)` is handled
+/// by splitting clients into groups of `r` and recursing, exactly as in
+/// the paper.
+///
+/// Total time for `k = m(n−1)`: `k + n − 2` with overlap — matching the
+/// Theorem 2 lower bound for `D = B` — and `k + k/(n−1) + n − 3` without.
+/// Every client-to-client transfer is one half of a simultaneous swap, so
+/// the schedule satisfies [`Mechanism::StrictBarter`](pob_sim::Mechanism)
+/// *and* credit-limited barter with `s = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::schedules::RifflePipeline;
+/// use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, Mechanism, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let (n, k) = (5, 12);
+/// let mut schedule = RifflePipeline::new(n, k, true);
+/// let overlay = CompleteOverlay::new(n);
+/// let cfg = SimConfig::new(n, k)
+///     .with_mechanism(Mechanism::StrictBarter)
+///     .with_download_capacity(DownloadCapacity::Finite(2));
+/// let report = Engine::new(cfg, &overlay).run(&mut schedule, &mut StdRng::seed_from_u64(0))?;
+/// assert_eq!(report.completion_time(), Some(schedule.schedule_length()));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RifflePipeline {
+    inner: FixedSchedule,
+    overlap: bool,
+}
+
+impl RifflePipeline {
+    /// Builds the full transfer schedule for `n` nodes and `k` blocks.
+    ///
+    /// With `overlap = true` consecutive cycles overlap by one server
+    /// tick, which requires download capacity `D ≥ 2B`; with `false` the
+    /// schedule works at `D = B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `k == 0`.
+    pub fn new(n: usize, k: usize, overlap: bool) -> Self {
+        assert!(n >= 2, "need a server and at least one client");
+        assert!(k >= 1, "file must have at least one block");
+        let mut builder = Builder {
+            ticks: Vec::new(),
+            overlap,
+        };
+        let clients: Vec<u32> = (1..n as u32).collect();
+        let blocks: Vec<u32> = (0..k as u32).collect();
+        builder.emit(&clients, &blocks, 0);
+        RifflePipeline {
+            inner: FixedSchedule::new("riffle-pipeline", builder.ticks),
+            overlap,
+        }
+    }
+
+    /// The exact number of ticks the schedule takes.
+    pub fn schedule_length(&self) -> u32 {
+        self.inner.len() as u32
+    }
+
+    /// Whether the schedule overlaps cycles (requires `D ≥ 2B`).
+    pub fn overlaps(&self) -> bool {
+        self.overlap
+    }
+
+    /// Total number of scheduled transfers (always `(n−1)·k`).
+    pub fn transfer_count(&self) -> usize {
+        self.inner.transfer_count()
+    }
+
+    /// The transfers planned for a 1-based tick (useful for tracing).
+    pub fn tick_transfers(&self, tick: u32) -> &[Transfer] {
+        self.inner.tick_transfers(tick)
+    }
+}
+
+impl Strategy for RifflePipeline {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        self.inner.on_tick(p, rng)
+    }
+
+    fn name(&self) -> &str {
+        "riffle-pipeline"
+    }
+}
+
+struct Builder {
+    ticks: Vec<Vec<Transfer>>,
+    overlap: bool,
+}
+
+impl Builder {
+    fn push(&mut self, tick: usize, from: u32, to: u32, block: u32) {
+        if self.ticks.len() < tick {
+            self.ticks.resize_with(tick, Vec::new);
+        }
+        self.ticks[tick - 1].push(Transfer::new(
+            NodeId::new(from),
+            NodeId::new(to),
+            BlockId::new(block),
+        ));
+    }
+
+    /// One riffle cycle: `|clocks| == |blocks|` clients receive one block
+    /// each from the server and swap pairwise.
+    fn cycle(&mut self, clients: &[u32], blocks: &[u32], start: usize) {
+        let l = clients.len();
+        debug_assert_eq!(l, blocks.len(), "cycle needs one block per client");
+        for i in 1..=l {
+            self.push(
+                start + i,
+                NodeId::SERVER.raw(),
+                clients[i - 1],
+                blocks[i - 1],
+            );
+        }
+        for a in 1..=l {
+            for b in (a + 1)..=l {
+                // C_a and C_b swap their server-assigned blocks at tick a+b.
+                self.push(start + a + b, clients[a - 1], clients[b - 1], blocks[a - 1]);
+                self.push(start + a + b, clients[b - 1], clients[a - 1], blocks[b - 1]);
+            }
+        }
+    }
+
+    /// Distributes `blocks` to every client in `clients`, starting after
+    /// tick `start`; recursion follows the paper's remainder construction.
+    fn emit(&mut self, clients: &[u32], blocks: &[u32], start: usize) {
+        let l = clients.len();
+        let k = blocks.len();
+        debug_assert!(l >= 1 && k >= 1);
+        if l == 1 {
+            // A single client: the server streams the blocks directly.
+            for (j, &b) in blocks.iter().enumerate() {
+                self.push(start + j + 1, NodeId::SERVER.raw(), clients[0], b);
+            }
+            return;
+        }
+        let m = k / l;
+        let r = k % l;
+        let delta = if self.overlap { l } else { l + 1 };
+        for g in 0..m {
+            self.cycle(clients, &blocks[g * l..(g + 1) * l], start + g * delta);
+        }
+        if r == 0 {
+            return;
+        }
+        // Remainder: r blocks left for all clients. Split the clients into
+        // groups of r; each full group runs a base cycle on the leftover
+        // blocks (the server serves groups back to back); a final short
+        // group recurses.
+        let s0 = start + m * delta;
+        let tail = &blocks[k - r..];
+        let full_groups = l / r;
+        for q in 0..full_groups {
+            self.cycle(&clients[q * r..(q + 1) * r], tail, s0 + q * r);
+        }
+        let leftover = l % r;
+        if leftover > 0 {
+            self.emit(&clients[full_groups * r..], tail, s0 + full_groups * r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{riffle_pipeline_time, strict_barter_lower_bound_d1};
+    use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig};
+    use rand::SeedableRng;
+
+    fn run(n: usize, k: usize, overlap: bool) -> (RifflePipeline, RunReport) {
+        let mut schedule = RifflePipeline::new(n, k, overlap);
+        let overlay = CompleteOverlay::new(n);
+        let dl = if overlap {
+            DownloadCapacity::Finite(2)
+        } else {
+            DownloadCapacity::Finite(1)
+        };
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::StrictBarter)
+            .with_download_capacity(dl);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut schedule, &mut StdRng::seed_from_u64(0))
+            .expect("riffle schedule must satisfy strict barter");
+        (schedule, report)
+    }
+
+    #[test]
+    fn single_cycle_matches_paper_walkthrough() {
+        // k = n − 1 = 4: one cycle, completion 2·4 − 1 = 7.
+        let (schedule, report) = run(5, 4, true);
+        assert_eq!(report.completion_time(), Some(7));
+        assert_eq!(schedule.schedule_length(), 7);
+        assert_eq!(report.total_uploads, 4 * 4);
+    }
+
+    #[test]
+    fn multiples_match_closed_form_with_overlap() {
+        for (n, k) in [(3, 2), (3, 8), (5, 12), (9, 40), (17, 64), (5, 4)] {
+            let (schedule, report) = run(n, k, true);
+            assert_eq!(
+                report.completion_time(),
+                Some(riffle_pipeline_time(n, k, true)),
+                "n={n} k={k}"
+            );
+            assert_eq!(schedule.schedule_length(), riffle_pipeline_time(n, k, true));
+        }
+    }
+
+    #[test]
+    fn multiples_match_closed_form_without_overlap() {
+        for (n, k) in [(3, 8), (5, 12), (9, 40)] {
+            let (_, report) = run(n, k, false);
+            assert_eq!(
+                report.completion_time(),
+                Some(riffle_pipeline_time(n, k, false)),
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_meets_theorem_2_lower_bound_exactly() {
+        // k multiple of n−1, D ≥ 2B: T = k + n − 2, which equals the
+        // D = B strict-barter lower bound — the "fairly tight" claim.
+        for (n, k) in [(5, 12), (11, 50), (21, 100)] {
+            let (_, report) = run(n, k, true);
+            assert_eq!(
+                report.completion_time(),
+                Some(strict_barter_lower_bound_d1(n, k)),
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn remainder_blocks_are_delivered() {
+        for (n, k) in [
+            (5, 5),
+            (5, 6),
+            (5, 7),
+            (5, 13),
+            (7, 9),
+            (9, 11),
+            (6, 3),
+            (11, 4),
+        ] {
+            let (schedule, report) = run(n, k, true);
+            assert!(report.completed(), "n={n} k={k} must complete");
+            assert_eq!(report.total_uploads as usize, (n - 1) * k, "n={n} k={k}");
+            // Completion stays close to the lower bound: within n extra ticks.
+            let t = report.completion_time().unwrap();
+            let lb = strict_barter_lower_bound_d1(n, k);
+            assert!(
+                t <= lb + n as u32,
+                "n={n} k={k}: t={t} too far above lb={lb}"
+            );
+            assert_eq!(schedule.schedule_length(), t);
+        }
+    }
+
+    #[test]
+    fn single_block_serializes_through_server() {
+        // k = 1: barter is impossible, the server serves everyone: T = n−1.
+        let (_, report) = run(6, 1, true);
+        assert_eq!(report.completion_time(), Some(5));
+        assert_eq!(report.server_uploads, 5);
+    }
+
+    #[test]
+    fn single_client_stream() {
+        let (_, report) = run(2, 9, true);
+        assert_eq!(report.completion_time(), Some(9));
+    }
+
+    #[test]
+    fn satisfies_credit_limited_barter_s1() {
+        // §3.2.2: the Riffle Pipeline satisfies the credit limit s = 1.
+        let mut schedule = RifflePipeline::new(7, 18, true);
+        let overlay = CompleteOverlay::new(7);
+        let cfg = SimConfig::new(7, 18)
+            .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+            .with_download_capacity(DownloadCapacity::Finite(2));
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut schedule, &mut StdRng::seed_from_u64(0))
+            .expect("riffle must satisfy s = 1");
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn no_overlap_mode_works_at_unit_download() {
+        // The non-overlapped variant never asks a node to download twice
+        // in a tick; runs under D = B (checked by `run` passing Finite(1)).
+        let (_, report) = run(6, 15, false);
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn overlap_saves_ticks_on_long_files() {
+        let (_, fast) = run(6, 50, true);
+        let (_, slow) = run(6, 50, false);
+        assert!(fast.completion_time().unwrap() < slow.completion_time().unwrap());
+    }
+
+    #[test]
+    fn transfer_accounting() {
+        let schedule = RifflePipeline::new(5, 8, true);
+        assert_eq!(schedule.transfer_count(), 4 * 8);
+        assert!(schedule.overlaps());
+        assert!(!schedule.tick_transfers(1).is_empty());
+        assert!(schedule.tick_transfers(schedule.schedule_length()).len() >= 2);
+    }
+
+    #[test]
+    fn paper_trace_for_first_client() {
+        // §3.1.3's walkthrough: C1 gets b1 at tick 1, idles at tick 2,
+        // barters with C2 at tick 3 (b1 ↔ b2), with C3 at tick 4, …
+        let schedule = RifflePipeline::new(5, 4, true);
+        let t1 = schedule.tick_transfers(1);
+        assert_eq!(t1.len(), 1);
+        assert_eq!(
+            t1[0],
+            Transfer::new(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+        );
+        let t3 = schedule.tick_transfers(3);
+        assert!(t3.contains(&Transfer::new(
+            NodeId::new(1),
+            NodeId::new(2),
+            BlockId::new(0)
+        )));
+        assert!(t3.contains(&Transfer::new(
+            NodeId::new(2),
+            NodeId::new(1),
+            BlockId::new(1)
+        )));
+        let t4 = schedule.tick_transfers(4);
+        assert!(t4.contains(&Transfer::new(
+            NodeId::new(1),
+            NodeId::new(3),
+            BlockId::new(0)
+        )));
+        assert!(t4.contains(&Transfer::new(
+            NodeId::new(3),
+            NodeId::new(1),
+            BlockId::new(2)
+        )));
+    }
+}

@@ -1,0 +1,335 @@
+//! §2.3.4 "Dealing with asynchrony" — hypercube round-robin at each
+//! node's own pace (extension experiment).
+
+use pob_sim::asynch::{AsyncStrategy, AsyncUpload};
+use pob_sim::{BlockId, NodeId, SimState, Topology};
+use rand::rngs::StdRng;
+
+/// The Binomial Pipeline's hypercube rules, run asynchronously.
+///
+/// Each node walks its hypercube dimensions round-robin *at its own pace*
+/// (the paper's suggestion for slightly heterogeneous bandwidths): when a
+/// node finishes an upload it moves to its next dimension and sends the
+/// highest-index block its partner lacks; if no dimension has anything to
+/// offer, the node idles until a new block arrives. The server streams
+/// blocks in index order until all have been emitted once, then behaves
+/// like any other node.
+///
+/// Use with [`pob_sim::asynch::run_async`] on a
+/// [`pob_overlay::Hypercube`]. With zero jitter this closely tracks the
+/// synchronous optimum `k − 1 + h`; the `ext_async_jitter` bench measures
+/// the degradation as jitter grows.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::strategies::AsyncHypercube;
+/// use pob_overlay::Hypercube;
+/// use pob_sim::asynch::{run_async, AsyncConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let overlay = Hypercube::new(4);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let report = run_async(
+///     AsyncConfig::new(16, 32, 0.1),
+///     &overlay,
+///     &mut AsyncHypercube::new(4),
+///     &mut rng,
+/// );
+/// assert!(report.completed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsyncHypercube {
+    h: u32,
+    next_dim: Vec<u32>,
+    server_next_block: u32,
+}
+
+impl AsyncHypercube {
+    /// Creates the strategy for the `h`-dimensional hypercube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `h > 30`.
+    pub fn new(h: u32) -> Self {
+        assert!(h >= 1, "hypercube needs at least one dimension");
+        assert!(h <= 30, "hypercube dimension too large");
+        AsyncHypercube {
+            h,
+            next_dim: vec![0; 1 << h],
+            server_next_block: 0,
+        }
+    }
+
+    fn mask(&self, dim: u32) -> u32 {
+        1 << (self.h - 1 - dim)
+    }
+}
+
+impl AsyncStrategy for AsyncHypercube {
+    fn next_upload(
+        &mut self,
+        node: NodeId,
+        state: &SimState,
+        _topology: &dyn Topology,
+        _rng: &mut StdRng,
+    ) -> Option<AsyncUpload> {
+        let k = state.block_count() as u32;
+        // The server first streams every block once, round-robin over its
+        // links, mirroring the synchronous "transmit b_t" rule.
+        if node.is_server() && self.server_next_block < k {
+            let start = self.next_dim[node.index()];
+            for step in 0..self.h {
+                let dim = (start + step) % self.h;
+                let partner = NodeId::new(node.raw() ^ self.mask(dim));
+                let block = BlockId::new(self.server_next_block);
+                if !state.holds(partner, block) {
+                    self.next_dim[node.index()] = (dim + 1) % self.h;
+                    self.server_next_block += 1;
+                    return Some(AsyncUpload { to: partner, block });
+                }
+            }
+            // All partners already hold the next block: fall through to
+            // the generic rule.
+        }
+        let start = self.next_dim[node.index()];
+        for step in 0..self.h {
+            let dim = (start + step) % self.h;
+            let partner = NodeId::new(node.raw() ^ self.mask(dim));
+            if let Some(block) = state
+                .inventory(node)
+                .highest_not_in(state.inventory(partner))
+            {
+                self.next_dim[node.index()] = (dim + 1) % self.h;
+                return Some(AsyncUpload { to: partner, block });
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &str {
+        "async-hypercube"
+    }
+}
+
+/// The randomized swarm, run asynchronously.
+///
+/// §2.3.4 closes with: "This approach is closely related to the
+/// randomized algorithms that we discuss next." Here is that relation
+/// made concrete: whenever a node finishes an upload it immediately picks
+/// a fresh uniformly random interested neighbor and sends a random wanted
+/// block — no ticks, no handshake.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::strategies::AsyncSwarm;
+/// use pob_overlay::CompleteOverlay;
+/// use pob_sim::asynch::{run_async, AsyncConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let overlay = CompleteOverlay::new(32);
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let report = run_async(AsyncConfig::new(32, 16, 0.2), &overlay, &mut AsyncSwarm::new(), &mut rng);
+/// assert!(report.completed());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncSwarm(());
+
+impl AsyncSwarm {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        AsyncSwarm(())
+    }
+}
+
+/// Random peers examined before giving up for this wake-up.
+const SWARM_TRIES: usize = 32;
+
+impl AsyncStrategy for AsyncSwarm {
+    fn next_upload(
+        &mut self,
+        node: NodeId,
+        state: &SimState,
+        topology: &dyn Topology,
+        rng: &mut StdRng,
+    ) -> Option<AsyncUpload> {
+        use pob_sim::NeighborSet;
+        use rand::Rng;
+        let inv = state.inventory(node);
+        if inv.is_empty() {
+            return None;
+        }
+        let pick_block = |v: NodeId, rng: &mut StdRng| {
+            let empty = pob_sim::BlockSet::empty(state.block_count());
+            inv.random_not_in_either(state.inventory(v), &empty, rng)
+        };
+        // Rejection sampling first; then a full scan before parking, so a
+        // node only parks when *nobody* currently wants its content (a
+        // condition that can only be undone by the node receiving a new
+        // block — which re-wakes it).
+        match topology.neighbors(node) {
+            NeighborSet::All => {
+                let n = state.node_count();
+                for _ in 0..SWARM_TRIES {
+                    let v = NodeId::new(rng.gen_range(0..n as u32));
+                    if v != node && !state.is_complete(v) {
+                        if let Some(block) = pick_block(v, rng) {
+                            return Some(AsyncUpload { to: v, block });
+                        }
+                    }
+                }
+                let start = rng.gen_range(0..n);
+                for off in 0..n {
+                    let v = NodeId::from_index((start + off) % n);
+                    if v != node && !state.is_complete(v) {
+                        if let Some(block) = pick_block(v, rng) {
+                            return Some(AsyncUpload { to: v, block });
+                        }
+                    }
+                }
+                None
+            }
+            NeighborSet::List(list) => {
+                if list.is_empty() {
+                    return None;
+                }
+                let start = rng.gen_range(0..list.len());
+                for off in 0..list.len() {
+                    let v = list[(start + off) % list.len()];
+                    if let Some(block) = pick_block(v, rng) {
+                        return Some(AsyncUpload { to: v, block });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "async-swarm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::binomial_pipeline_time;
+    use pob_overlay::Hypercube;
+    use pob_sim::asynch::{run_async, AsyncConfig};
+    use rand::SeedableRng;
+
+    fn run(h: u32, k: usize, jitter: f64, seed: u64) -> pob_sim::asynch::AsyncReport {
+        let overlay = Hypercube::new(h);
+        let mut rng = StdRng::seed_from_u64(seed);
+        run_async(
+            AsyncConfig::new(1 << h, k, jitter),
+            &overlay,
+            &mut AsyncHypercube::new(h),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn completes_without_jitter() {
+        let report = run(4, 32, 0.0, 0);
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn zero_jitter_close_to_synchronous_optimum() {
+        for (h, k) in [(3, 16), (4, 32), (5, 20)] {
+            let report = run(h, k, 0.0, 1);
+            let t = report.completion.unwrap();
+            let opt = f64::from(binomial_pipeline_time(1 << h, k));
+            assert!(
+                t <= 1.6 * opt + f64::from(h),
+                "h={h} k={k}: async time {t:.1} vs optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn moderate_jitter_degrades_gracefully() {
+        let base = run(4, 64, 0.0, 2).completion.unwrap();
+        let jittered = run(4, 64, 0.2, 2).completion.unwrap();
+        // Some slowdown is expected, collapse is not.
+        assert!(
+            jittered < 2.5 * base,
+            "jittered {jittered:.1} vs base {base:.1}"
+        );
+    }
+
+    #[test]
+    fn completes_under_heavy_jitter() {
+        let report = run(4, 32, 0.5, 3);
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn async_swarm_completes_on_complete_overlay() {
+        use pob_sim::CompleteOverlay;
+        let overlay = CompleteOverlay::new(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = run_async(
+            AsyncConfig::new(64, 64, 0.2),
+            &overlay,
+            &mut AsyncSwarm::new(),
+            &mut rng,
+        );
+        assert!(report.completed());
+        let t = report.completion.unwrap();
+        let opt = f64::from(binomial_pipeline_time(64, 64));
+        assert!(t < 2.5 * opt, "async swarm time {t:.1} vs optimum {opt}");
+    }
+
+    #[test]
+    fn async_swarm_completes_on_sparse_overlay() {
+        let mut graph_rng = StdRng::seed_from_u64(3);
+        let overlay = pob_overlay::random_regular(64, 6, &mut graph_rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let report = run_async(
+            AsyncConfig::new(64, 32, 0.1),
+            &overlay,
+            &mut AsyncSwarm::new(),
+            &mut rng,
+        );
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn async_swarm_versus_async_hypercube() {
+        // The structured round-robin wastes fewer duplicates than the
+        // blind swarm on the same workload.
+        let h = 5u32;
+        let n = 1usize << h;
+        let cube = Hypercube::new(h);
+        let mut rng = StdRng::seed_from_u64(4);
+        let structured = run_async(
+            AsyncConfig::new(n, 64, 0.1),
+            &cube,
+            &mut AsyncHypercube::new(h),
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let blind = run_async(
+            AsyncConfig::new(n, 64, 0.1),
+            &cube,
+            &mut AsyncSwarm::new(),
+            &mut rng,
+        );
+        assert!(structured.completed() && blind.completed());
+        assert!(structured.waste_ratio() <= blind.waste_ratio() + 0.25);
+    }
+
+    #[test]
+    fn waste_stays_bounded() {
+        let report = run(5, 64, 0.3, 4);
+        assert!(report.completed());
+        assert!(
+            report.waste_ratio() < 0.5,
+            "waste ratio {:.2} too high",
+            report.waste_ratio()
+        );
+    }
+}

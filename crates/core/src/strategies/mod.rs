@@ -1,0 +1,33 @@
+//! Randomized content-distribution strategies.
+//!
+//! * [`SwarmStrategy`] — the paper's randomized algorithm (§2.4.2), which
+//!   under [`Mechanism::CreditLimited`](pob_sim::Mechanism) becomes the
+//!   §3.2.3 credit-limited variant (the credit check is part of target
+//!   admissibility).
+//! * [`BlockSelection`] — the Random / Rarest-First block policies.
+//! * [`BitTorrentLike`] — a stylized tit-for-tat baseline for the §4
+//!   comparison (extension).
+//! * [`SplitStream`] — a striped multi-tree baseline for the §4
+//!   SplitStream comparison (extension).
+//! * [`TriangularSwarm`] — randomized cycle-based barter, the §3.3
+//!   future-work direction (extension).
+//! * [`StrategicSwarm`] — clients with private tit-for-tat limits, for
+//!   the §5 strategic-behavior questions (extension).
+//! * [`AsyncHypercube`] — the §2.3.4 asynchrony experiment: hypercube
+//!   round-robin at each node's own pace (extension).
+
+mod asynchronous;
+mod bittorrent;
+mod policy;
+mod randomized;
+mod selfish;
+mod splitstream;
+mod triangular;
+
+pub use asynchronous::{AsyncHypercube, AsyncSwarm};
+pub use bittorrent::BitTorrentLike;
+pub use policy::BlockSelection;
+pub use randomized::{CollisionModel, SwarmStrategy};
+pub use selfish::StrategicSwarm;
+pub use splitstream::SplitStream;
+pub use triangular::TriangularSwarm;

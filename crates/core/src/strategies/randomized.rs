@@ -1,0 +1,660 @@
+//! §2.4.2 / §3.2.3 — the randomized swarm algorithm.
+
+use super::BlockSelection;
+use pob_sim::{NeighborSet, NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The paper's randomized algorithm.
+///
+/// Every tick, each node `u` (in a fresh random order):
+///
+/// 1. picks a uniformly random *admissible* target — a neighbor that still
+///    wants a block `u` holds, has download capacity left this tick, and
+///    (under credit-limited barter) is within the credit limit;
+/// 2. uploads one block chosen by the [`BlockSelection`] policy, with the
+///    duplicate-suppressing handshake (no block is promised to the same
+///    node twice in a tick).
+///
+/// The same strategy covers both the cooperative §2.4 experiments and the
+/// credit-limited §3.2 experiments — the mechanism lives in the engine
+/// configuration, and credit feasibility is simply part of admissibility.
+///
+/// Uniform sampling is implemented by scanning a randomly permuted
+/// candidate order and taking the first admissible node (exactly uniform
+/// over admissible candidates). On the virtual complete overlay the
+/// candidate pool is the set of still-incomplete nodes, with bounded
+/// rejection sampling before falling back to a full scan, keeping
+/// `n = 10⁴` populations fast.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::strategies::{BlockSelection, SwarmStrategy};
+/// use pob_core::bounds::cooperative_lower_bound;
+/// use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let (n, k) = (32, 16);
+/// let overlay = CompleteOverlay::new(n);
+/// let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+/// let report = Engine::new(cfg, &overlay)
+///     .run(&mut SwarmStrategy::new(BlockSelection::Random), &mut StdRng::seed_from_u64(7))?;
+/// assert!(report.completed());
+/// // Near-optimal: a small constant factor above k − 1 + log₂ n.
+/// assert!(report.completion_time().unwrap() < 3 * cooperative_lower_bound(n, k));
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwarmStrategy {
+    policy: BlockSelection,
+    collisions: CollisionModel,
+    // Scratch buffers reused across ticks.
+    order: Vec<u32>,
+    pool: Vec<u32>,
+    scan: Vec<u32>,
+    interested: Vec<u32>,
+    // Segment tree of (inventory ∪ pending) intersections over the pool
+    // (complete overlays only): when rejection sampling fails, the tree
+    // enumerates the exact set of nodes still wanting something the
+    // uploader holds in O(|I| · log n) instead of scanning the whole
+    // pool. Leaves are updated incrementally as transfers are promised,
+    // so fully-promised nodes prune away; the root doubles as the
+    // "useless uploader" filter.
+    index: InterestIndex,
+    // Node id → leaf position in the index (u32::MAX when absent).
+    leaf_pos: Vec<u32>,
+    // Stuck cache: a node is *stuck* when no target passes the persistent
+    // admission checks (inventory-level interest and ledger credit).
+    // Stuck-ness can only end when the node receives a block (its
+    // offerings grow, or a repayment restores credit) — both deliveries —
+    // so the flag is cleared when the node's inventory size changes.
+    // Deadlocked credit-limited runs then cost O(n) per tick instead of
+    // O(n·degree) or O(n·|interested|).
+    stuck: Vec<bool>,
+    last_inventory_len: Vec<usize>,
+}
+
+/// How concurrent uploads targeting the same node are handled.
+///
+/// The paper's protocol sketch says a handshake lets an uploader "verify
+/// that [the target] has sufficient download capacity (and resolve
+/// collisions), and avoid selecting it otherwise". How much in-tick
+/// information that handshake conveys changes the sparse-overlay results
+/// noticeably, so both readings are implemented:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollisionModel {
+    /// Uploaders decide sequentially with full in-tick knowledge: capacity
+    /// already claimed this tick and pending blocks are avoided up front
+    /// (a maximal-matching-flavored handshake). Default.
+    #[default]
+    Resolved,
+    /// All uploaders pick targets simultaneously from start-of-tick state;
+    /// a target accepts only up to its download capacity and surplus
+    /// uploaders idle for the tick. This conservative reading reproduces
+    /// the paper's stronger Figure 5/6 degree sensitivity.
+    Simultaneous,
+}
+
+/// Rejection-sampling attempts before falling back to a full random scan.
+const REJECTION_TRIES: usize = 24;
+
+impl SwarmStrategy {
+    /// Creates the strategy with the given block-selection policy and the
+    /// default [`CollisionModel::Resolved`].
+    pub fn new(policy: BlockSelection) -> Self {
+        Self::with_collision_model(policy, CollisionModel::Resolved)
+    }
+
+    /// Creates the strategy with an explicit collision model.
+    pub fn with_collision_model(policy: BlockSelection, collisions: CollisionModel) -> Self {
+        SwarmStrategy {
+            policy,
+            collisions,
+            order: Vec::new(),
+            pool: Vec::new(),
+            scan: Vec::new(),
+            interested: Vec::new(),
+            index: InterestIndex::default(),
+            leaf_pos: Vec::new(),
+            stuck: Vec::new(),
+            last_inventory_len: Vec::new(),
+        }
+    }
+
+    /// Clears cached per-node state. Call after replacing the overlay
+    /// mid-run (the stuck cache is only valid for a fixed topology).
+    pub fn notify_topology_changed(&mut self) {
+        self.stuck.clear();
+        self.last_inventory_len.clear();
+    }
+
+    /// The block-selection policy in use.
+    pub fn policy(&self) -> BlockSelection {
+        self.policy
+    }
+
+    /// The collision model in use.
+    pub fn collision_model(&self) -> CollisionModel {
+        self.collisions
+    }
+
+    /// Admissibility used at target-selection time: the `Resolved` model
+    /// sees in-tick capacity and pending state; the `Simultaneous` model
+    /// only sees start-of-tick inventories and credit.
+    fn selects(&self, p: &TickPlanner<'_>, u: NodeId, v: NodeId) -> bool {
+        match self.collisions {
+            CollisionModel::Resolved => p.is_admissible_target(u, v),
+            CollisionModel::Simultaneous => {
+                u != v
+                    && p.credit_allows(u, v)
+                    && p.state()
+                        .inventory(u)
+                        .has_any_not_in(p.state().inventory(v))
+            }
+        }
+    }
+
+    /// Uniformly random admissible target for `u` from the incomplete-node
+    /// pool (complete overlay fast path).
+    fn pick_from_pool(
+        &mut self,
+        p: &TickPlanner<'_>,
+        u: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        // Fast path: rejection sampling over the pool.
+        for _ in 0..REJECTION_TRIES {
+            let cand = NodeId::new(self.pool[rng.gen_range(0..self.pool.len())]);
+            if cand != u && self.selects(p, u, cand) {
+                return Some(cand);
+            }
+        }
+        // Slow path (the admissible set is small): enumerate the wanting
+        // set exactly via the intersection tree, filter by the remaining
+        // admission rules, and pick uniformly.
+        self.interested.clear();
+        self.index
+            .collect_interested(p.state().inventory(u), &self.pool, &mut self.interested);
+        let mut interested = std::mem::take(&mut self.interested);
+        let mut persistent_candidate = false;
+        interested.retain(|&v| {
+            let cand = NodeId::new(v);
+            if cand == u {
+                return false;
+            }
+            // The tree already encodes (pending-aware) interest; credit is
+            // the persistent part of the remaining checks.
+            persistent_candidate |= p.credit_allows(u, cand);
+            self.selects(p, u, cand)
+        });
+        self.interested = interested;
+        if self.interested.is_empty() {
+            if !persistent_candidate {
+                self.stuck[u.index()] = true;
+            }
+            None
+        } else {
+            let pick = self.interested[rng.gen_range(0..self.interested.len())];
+            Some(NodeId::new(pick))
+        }
+    }
+
+    /// Uniformly random admissible target among explicit neighbors.
+    fn pick_from_list(
+        &mut self,
+        p: &TickPlanner<'_>,
+        u: NodeId,
+        neighbors: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        self.scan.clear();
+        self.scan.extend(neighbors.iter().map(|n| n.raw()));
+        let len = self.scan.len();
+        let mut persistent_candidate = false;
+        for i in 0..len {
+            let j = rng.gen_range(i..len);
+            self.scan.swap(i, j);
+            let cand = NodeId::new(self.scan[i]);
+            if self.selects(p, u, cand) {
+                return Some(cand);
+            }
+            persistent_candidate |=
+                cand != u && p.credit_allows(u, cand) && p.is_interested(u, cand);
+        }
+        if !persistent_candidate {
+            self.stuck[u.index()] = true;
+        }
+        None
+    }
+}
+
+impl Strategy for SwarmStrategy {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        let n = p.node_count();
+        // Fresh random uploader order each tick.
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        for i in 0..n {
+            let j = rng.gen_range(i..n);
+            self.order.swap(i, j);
+        }
+        // Refresh the stuck cache: a delivery (inventory growth) is the
+        // only event that can unstick a node.
+        self.stuck.resize(n, false);
+        self.last_inventory_len.resize(n, usize::MAX);
+        for i in 0..n {
+            let len = p.state().inventory(NodeId::from_index(i)).len();
+            if len != self.last_inventory_len[i] {
+                self.stuck[i] = false;
+                self.last_inventory_len[i] = len;
+            }
+        }
+        let complete_overlay = p.topology().is_complete();
+        if complete_overlay {
+            self.pool.clear();
+            self.pool
+                .extend((0..n as u32).filter(|&v| !p.state().is_complete(NodeId::new(v))));
+            self.index.rebuild(&self.pool, p.state());
+            self.leaf_pos.clear();
+            self.leaf_pos.resize(n, u32::MAX);
+            for (i, &v) in self.pool.iter().enumerate() {
+                self.leaf_pos[v as usize] = i as u32;
+            }
+        }
+        for idx in 0..n {
+            let u = NodeId::new(self.order[idx]);
+            if self.stuck[u.index()] || p.upload_left(u) == 0 || p.state().inventory(u).is_empty() {
+                continue;
+            }
+            if complete_overlay && !self.index.anyone_interested(p.state().inventory(u)) {
+                continue; // nobody incomplete lacks anything u holds
+            }
+            let target = if complete_overlay {
+                self.pick_from_pool(p, u, rng)
+            } else {
+                match p.topology().neighbors(u) {
+                    NeighborSet::All => self.pick_from_pool(p, u, rng),
+                    NeighborSet::List(list) => {
+                        // Borrow dance: copy out of the planner-borrowed list.
+                        let owned: Vec<NodeId> = list.to_vec();
+                        self.pick_from_list(p, u, &owned, rng)
+                    }
+                }
+            };
+            let Some(v) = target else { continue };
+            match self.collisions {
+                CollisionModel::Resolved => {
+                    if let Some(block) = self.policy.pick(p, u, v, rng) {
+                        // Admissibility was just checked; a rejection here
+                        // would be a planner/strategy invariant violation
+                        // worth surfacing.
+                        p.propose(u, v, block)
+                            .map_err(|reason| SimError::BadSchedule {
+                                transfer: pob_sim::Transfer::new(u, v, block),
+                                reason,
+                                tick: p.tick(),
+                            })?;
+                        if complete_overlay {
+                            let pos = self.leaf_pos[v.index()];
+                            if pos != u32::MAX {
+                                self.index.add_pending(pos as usize, block);
+                            }
+                        }
+                    }
+                }
+                CollisionModel::Simultaneous => {
+                    // The target was chosen blind to this tick's other
+                    // uploads: the engine-side capacity and duplicate
+                    // checks act as the collision resolution, and a
+                    // rejected proposal simply idles this uploader.
+                    if let Some(block) = self.policy.pick(p, u, v, rng) {
+                        let _ = p.propose(u, v, block);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        match self.policy {
+            BlockSelection::Random => "randomized-swarm(random)",
+            BlockSelection::RarestFirst => "randomized-swarm(rarest-first)",
+        }
+    }
+}
+
+/// Segment tree of pool `inventory ∪ pending` intersections.
+///
+/// Node `i`'s set is the intersection of `held ∪ promised` blocks of the
+/// pool members under it, so a subtree contains a still-wanting node for
+/// uploader inventory `inv` iff `inv ⊄ node` — every member's set
+/// contains the intersection, and if `inv` is not inside it some member
+/// must miss (and not be promised) one of `inv`'s blocks. Traversal
+/// therefore only descends into productive subtrees, enumerating the
+/// wanting set in `O(|I| · log n)` set operations. [`add_pending`]
+/// updates one leaf and its root path after each promised transfer.
+///
+/// [`add_pending`]: InterestIndex::add_pending
+#[derive(Debug, Clone, Default)]
+struct InterestIndex {
+    /// `2 * size` intersection sets (index 0 unused); leaves start at
+    /// `size`, padded with full sets (the intersection identity).
+    nodes: Vec<pob_sim::BlockSet>,
+    size: usize,
+    pool_len: usize,
+}
+
+impl InterestIndex {
+    fn rebuild(&mut self, pool: &[u32], state: &pob_sim::SimState) {
+        let k = state.block_count();
+        self.pool_len = pool.len();
+        if pool.is_empty() {
+            self.size = 0;
+            return;
+        }
+        let size = pool.len().next_power_of_two();
+        if self.size != size || self.nodes.first().map(pob_sim::BlockSet::universe) != Some(k) {
+            self.nodes = vec![pob_sim::BlockSet::empty(k); 2 * size];
+            self.size = size;
+        }
+        for i in 0..size {
+            if let Some(&v) = pool.get(i) {
+                self.nodes[size + i].copy_from(state.inventory(NodeId::new(v)));
+            } else {
+                self.nodes[size + i].fill();
+            }
+        }
+        for i in (1..size).rev() {
+            let (head, tail) = self.nodes.split_at_mut(2 * i);
+            head[i].copy_from(&tail[0]);
+            head[i].intersect_with(&tail[1]);
+        }
+    }
+
+    /// Whether any pool member lacks a block of `inv` (root test).
+    fn anyone_interested(&self, inv: &pob_sim::BlockSet) -> bool {
+        self.size > 0 && inv.has_any_not_in(&self.nodes[1])
+    }
+
+    /// Pushes the pool members still wanting a block of `inv` onto `out`.
+    fn collect_interested(&self, inv: &pob_sim::BlockSet, pool: &[u32], out: &mut Vec<u32>) {
+        if self.size == 0 {
+            return;
+        }
+        let mut stack = vec![1usize];
+        while let Some(i) = stack.pop() {
+            if !inv.has_any_not_in(&self.nodes[i]) {
+                continue; // every member under i already holds all of inv
+            }
+            if i >= self.size {
+                let leaf = i - self.size;
+                if leaf < pool.len() {
+                    out.push(pool[leaf]);
+                }
+                continue;
+            }
+            stack.push(2 * i);
+            stack.push(2 * i + 1);
+        }
+    }
+
+    /// Records that `block` was promised to the pool member at `leaf`,
+    /// updating the leaf and its ancestors.
+    fn add_pending(&mut self, leaf: usize, block: pob_sim::BlockId) {
+        debug_assert!(leaf < self.pool_len);
+        let mut i = self.size + leaf;
+        self.nodes[i].insert(block);
+        i /= 2;
+        while i >= 1 {
+            let (head, tail) = self.nodes.split_at_mut(2 * i);
+            head[i].copy_from(&tail[0]);
+            head[i].intersect_with(&tail[1]);
+            if i == 1 {
+                break;
+            }
+            i /= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::cooperative_lower_bound;
+    use pob_overlay::{random_regular, Hypercube};
+    use pob_sim::{
+        CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Topology,
+    };
+    use rand::SeedableRng;
+
+    fn run_complete(n: usize, k: usize, policy: BlockSelection, seed: u64) -> RunReport {
+        let overlay = CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+        Engine::new(cfg, &overlay)
+            .run(
+                &mut SwarmStrategy::new(policy),
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .expect("randomized strategy never plans inadmissible transfers")
+    }
+
+    #[test]
+    fn completes_on_complete_graph() {
+        let report = run_complete(64, 32, BlockSelection::Random, 1);
+        assert!(report.completed());
+        assert_eq!(report.total_uploads, 63 * 32);
+    }
+
+    #[test]
+    fn near_optimal_on_complete_graph() {
+        // The paper's headline: ≤ a few percent above optimal for large k.
+        let (n, k) = (128, 256);
+        let report = run_complete(n, k, BlockSelection::Random, 2);
+        let t = report.completion_time().unwrap();
+        let lb = cooperative_lower_bound(n, k);
+        assert!(t >= lb);
+        assert!(
+            f64::from(t) < 1.35 * f64::from(lb),
+            "t = {t} vs lower bound {lb}: worse than 35%"
+        );
+    }
+
+    #[test]
+    fn rarest_first_also_near_optimal() {
+        let (n, k) = (128, 128);
+        let report = run_complete(n, k, BlockSelection::RarestFirst, 3);
+        let t = report.completion_time().unwrap();
+        let lb = cooperative_lower_bound(n, k);
+        assert!(f64::from(t) < 1.35 * f64::from(lb), "t = {t} vs {lb}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_complete(32, 16, BlockSelection::Random, 9);
+        let b = run_complete(32, 16, BlockSelection::Random, 9);
+        assert_eq!(a.completion_time(), b.completion_time());
+        assert_eq!(a.total_uploads, b.total_uploads);
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let times: std::collections::HashSet<_> = (0..8)
+            .map(|s| run_complete(32, 40, BlockSelection::Random, s).completion_time())
+            .collect();
+        assert!(times.len() > 1, "completion time should vary across seeds");
+    }
+
+    #[test]
+    fn runs_on_sparse_random_regular_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let overlay = random_regular(64, 6, &mut rng).unwrap();
+        let cfg = SimConfig::new(64, 16).with_download_capacity(DownloadCapacity::Unlimited);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut SwarmStrategy::new(BlockSelection::Random), &mut rng)
+            .unwrap();
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn runs_on_hypercube_overlay() {
+        let overlay = Hypercube::new(5);
+        let cfg = SimConfig::new(32, 24).with_download_capacity(DownloadCapacity::Unlimited);
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut SwarmStrategy::new(BlockSelection::Random), &mut rng)
+            .unwrap();
+        assert!(report.completed());
+        // Hypercube degree is log n yet performance stays near-optimal
+        // (Figure 5's observation) — sanity-check the ballpark.
+        let lb = cooperative_lower_bound(32, 24);
+        assert!(report.completion_time().unwrap() < 3 * lb);
+    }
+
+    #[test]
+    fn unit_download_capacity_still_completes() {
+        let overlay = CompleteOverlay::new(32);
+        let cfg = SimConfig::new(32, 8).with_download_capacity(DownloadCapacity::Finite(1));
+        let mut rng = StdRng::seed_from_u64(8);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut SwarmStrategy::new(BlockSelection::Random), &mut rng)
+            .unwrap();
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn credit_limited_on_dense_graph_is_near_cooperative() {
+        // §3.2.4: with degree above the threshold, credit-limited matches
+        // the cooperative randomized algorithm. The complete graph is the
+        // densest case.
+        let n = 64;
+        let k = 64;
+        let overlay = CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+            .with_download_capacity(DownloadCapacity::Unlimited);
+        let mut rng = StdRng::seed_from_u64(11);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut SwarmStrategy::new(BlockSelection::Random), &mut rng)
+            .unwrap();
+        assert!(report.completed());
+        let coop = run_complete(n, k, BlockSelection::Random, 11);
+        let ratio = f64::from(report.completion_time().unwrap())
+            / f64::from(coop.completion_time().unwrap());
+        assert!(
+            ratio < 1.5,
+            "credit-limited on complete graph {ratio:.2}× cooperative"
+        );
+    }
+
+    #[test]
+    fn credit_limited_on_sparse_graph_is_slow_or_stuck() {
+        // §3.2.4 Figure 6: far below the degree threshold the algorithm
+        // performs very poorly. Use a tiny degree and a tick cap.
+        let n = 64;
+        let k = 64;
+        let mut rng = StdRng::seed_from_u64(13);
+        let overlay = random_regular(n, 3, &mut rng).unwrap();
+        assert_eq!(overlay.degree(NodeId::new(0)), 3);
+        let coop_time = {
+            let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+            Engine::new(cfg, &overlay)
+                .run(
+                    &mut SwarmStrategy::new(BlockSelection::Random),
+                    &mut StdRng::seed_from_u64(14),
+                )
+                .unwrap()
+                .completion_time()
+                .unwrap()
+        };
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+            .with_download_capacity(DownloadCapacity::Unlimited)
+            .with_max_ticks(coop_time * 4);
+        let report = Engine::new(cfg, &overlay)
+            .run(
+                &mut SwarmStrategy::new(BlockSelection::Random),
+                &mut StdRng::seed_from_u64(14),
+            )
+            .unwrap();
+        assert!(
+            !report.completed() || report.completion_time().unwrap() > 2 * coop_time,
+            "credit-limited at degree 3 should be ≫ cooperative ({coop_time} ticks)"
+        );
+    }
+
+    #[test]
+    fn interest_index_matches_brute_force() {
+        use pob_sim::{BlockId, BlockSet, SimState, Tick};
+        use rand::Rng;
+        // Random inventories over a random pool; the tree's wanting-set
+        // enumeration must equal the brute-force answer, before and after
+        // incremental pending updates.
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..25 {
+            let n = rng.gen_range(3..40);
+            let k = rng.gen_range(1..70);
+            let mut state = SimState::new(n, k);
+            for node in 1..n {
+                for b in 0..k {
+                    if rng.gen_bool(0.4) {
+                        state.deliver(
+                            NodeId::from_index(node),
+                            BlockId::from_index(b),
+                            Tick::new(1),
+                        );
+                    }
+                }
+            }
+            let pool: Vec<u32> = (0..n as u32)
+                .filter(|&v| !state.is_complete(NodeId::new(v)))
+                .collect();
+            let mut index = InterestIndex::default();
+            index.rebuild(&pool, &state);
+            // Incremental pendings on a few random pool members.
+            let mut pending: Vec<BlockSet> = vec![BlockSet::empty(k); n];
+            if !pool.is_empty() {
+                for _ in 0..rng.gen_range(0..8) {
+                    let leaf = rng.gen_range(0..pool.len());
+                    let v = pool[leaf] as usize;
+                    let b = BlockId::from_index(rng.gen_range(0..k));
+                    if !state.holds(NodeId::new(pool[leaf]), b) && !pending[v].contains(b) {
+                        pending[v].insert(b);
+                        index.add_pending(leaf, b);
+                    }
+                }
+            }
+            for probe in 0..n {
+                let u = NodeId::from_index(probe);
+                let inv = state.inventory(u);
+                let mut got = Vec::new();
+                index.collect_interested(inv, &pool, &mut got);
+                got.sort_unstable();
+                let mut want: Vec<u32> = pool
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        inv.has_any_not_in_either(
+                            state.inventory(NodeId::new(v)),
+                            &pending[v as usize],
+                        )
+                    })
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "trial {trial}, probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_accessor() {
+        assert_eq!(
+            SwarmStrategy::new(BlockSelection::RarestFirst).policy(),
+            BlockSelection::RarestFirst
+        );
+    }
+}

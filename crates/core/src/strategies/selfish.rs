@@ -1,0 +1,269 @@
+//! Strategic (selfish) clients inside a swarm — §5's open question,
+//! explored empirically.
+//!
+//! The paper closes with: "it would be interesting to design mechanisms
+//! that provably ensure that rational selfish behavior of clients leads
+//! to optimal content distribution." A prerequisite is knowing what
+//! selfish behavior *buys* under each mechanism. This strategy runs the
+//! standard randomized swarm but lets a subset of clients behave
+//! strategically: a strategic client keeps a private per-peer ledger and
+//! refuses to upload to any peer whose personal net balance has reached
+//! its private tit-for-tat limit — self-imposed credit-limited barter,
+//! regardless of what the *engine's* mechanism requires.
+//!
+//! Questions this answers (see `ext_strategic` and the unit tests):
+//!
+//! * under the cooperative regime, does hoarding help the hoarder?
+//!   (No — and it barely hurts them either: selfishness is *free*, which
+//!   is exactly the paper's motivation for barter mechanisms.)
+//! * does a strategic minority slow the generous majority?
+
+use super::BlockSelection;
+use pob_sim::{NeighborSet, NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A swarm in which marked clients impose private tit-for-tat limits.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::strategies::{BlockSelection, StrategicSwarm};
+/// use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let n = 32;
+/// // Clients 1..8 upload only tit-for-tat (private limit 1).
+/// let strategic = (1..8).map(pob_sim::NodeId::new).collect();
+/// let mut swarm = StrategicSwarm::new(BlockSelection::Random, strategic, 1);
+/// let overlay = CompleteOverlay::new(n);
+/// let cfg = SimConfig::new(n, 16).with_download_capacity(DownloadCapacity::Unlimited);
+/// let report = Engine::new(cfg, &overlay)
+///     .run(&mut swarm, &mut StdRng::seed_from_u64(0))?;
+/// assert!(report.completed());
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrategicSwarm {
+    policy: BlockSelection,
+    strategic: Vec<NodeId>,
+    is_strategic: Vec<bool>,
+    personal_limit: u32,
+    /// Private ledgers of the strategic clients: net blocks sent per peer.
+    ledgers: HashMap<(u32, u32), i64>,
+    order: Vec<u32>,
+    scan: Vec<u32>,
+}
+
+impl StrategicSwarm {
+    /// Creates the swarm with the given strategic clients and their
+    /// private per-peer tit-for-tat limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server (node 0) is marked strategic.
+    pub fn new(policy: BlockSelection, strategic: Vec<NodeId>, personal_limit: u32) -> Self {
+        assert!(
+            strategic.iter().all(|n| !n.is_server()),
+            "the server cannot be strategic"
+        );
+        StrategicSwarm {
+            policy,
+            strategic,
+            is_strategic: Vec::new(),
+            personal_limit,
+            ledgers: HashMap::new(),
+            order: Vec::new(),
+            scan: Vec::new(),
+        }
+    }
+
+    /// The strategic clients.
+    pub fn strategic_clients(&self) -> &[NodeId] {
+        &self.strategic
+    }
+
+    fn personal_net(&self, from: NodeId, to: NodeId) -> i64 {
+        self.ledgers
+            .get(&(from.raw(), to.raw()))
+            .copied()
+            .unwrap_or(0)
+            - self
+                .ledgers
+                .get(&(to.raw(), from.raw()))
+                .copied()
+                .unwrap_or(0)
+    }
+
+    /// Whether `from` (if strategic) is privately willing to serve `to`.
+    fn willing(&self, from: NodeId, to: NodeId) -> bool {
+        !self.is_strategic[from.index()]
+            || self.personal_net(from, to) < i64::from(self.personal_limit)
+    }
+
+    fn pick_target(&mut self, p: &TickPlanner<'_>, u: NodeId, rng: &mut StdRng) -> Option<NodeId> {
+        self.scan.clear();
+        match p.topology().neighbors(u) {
+            NeighborSet::All => {
+                let n = p.node_count() as u32;
+                // Bounded rejection sampling, then a full scan (same
+                // uniformity construction as the plain swarm).
+                for _ in 0..24 {
+                    let v = NodeId::new(rng.gen_range(0..n));
+                    if v != u && p.is_admissible_target(u, v) && self.willing(u, v) {
+                        return Some(v);
+                    }
+                }
+                self.scan.extend(0..n);
+            }
+            NeighborSet::List(list) => self.scan.extend(list.iter().map(|v| v.raw())),
+        }
+        let len = self.scan.len();
+        for i in 0..len {
+            let j = rng.gen_range(i..len);
+            self.scan.swap(i, j);
+            let v = NodeId::new(self.scan[i]);
+            if v != u && p.is_admissible_target(u, v) && self.willing(u, v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+impl Strategy for StrategicSwarm {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        let n = p.node_count();
+        if self.is_strategic.len() != n {
+            self.is_strategic = vec![false; n];
+            for s in &self.strategic {
+                self.is_strategic[s.index()] = true;
+            }
+        }
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        for i in 0..n {
+            let j = rng.gen_range(i..n);
+            self.order.swap(i, j);
+        }
+        for idx in 0..n {
+            let u = NodeId::new(self.order[idx]);
+            if p.upload_left(u) == 0 || p.state().inventory(u).is_empty() {
+                continue;
+            }
+            let Some(v) = self.pick_target(p, u, rng) else {
+                continue;
+            };
+            if let Some(block) = self.policy.pick(p, u, v, rng) {
+                let _ = p.propose(u, v, block);
+            }
+        }
+        // Update the private ledgers from this tick's committed transfers.
+        for tr in p.proposed() {
+            if !tr.touches_server() {
+                *self
+                    .ledgers
+                    .entry((tr.from.raw(), tr.to.raw()))
+                    .or_insert(0) += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "strategic-swarm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, RunReport, SimConfig, Tick};
+    use rand::SeedableRng;
+
+    const N: usize = 64;
+    const K: usize = 64;
+
+    fn run(strategic: Vec<NodeId>, limit: u32, seed: u64) -> RunReport {
+        let overlay = CompleteOverlay::new(N);
+        let cfg = SimConfig::new(N, K).with_download_capacity(DownloadCapacity::Unlimited);
+        Engine::new(cfg, &overlay)
+            .run(
+                &mut StrategicSwarm::new(BlockSelection::Random, strategic, limit),
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .expect("admissible")
+    }
+
+    fn mean_finish<I: Iterator<Item = usize>>(r: &RunReport, nodes: I) -> f64 {
+        let v: Vec<f64> = nodes
+            .map(|c| f64::from(r.node_completions[c].map(Tick::get).unwrap_or(r.ticks_run)))
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn all_generous_baseline_completes() {
+        let r = run(Vec::new(), 1, 1);
+        assert!(r.completed());
+        assert_eq!(r.total_uploads, ((N - 1) * K) as u64);
+    }
+
+    #[test]
+    fn selfishness_is_free_under_cooperation() {
+        // §3's motivation, measured: strategic hoarders finish essentially
+        // as fast as generous clients — nothing disciplines them.
+        let strategic: Vec<NodeId> = (1..=N / 4).map(NodeId::from_index).collect();
+        let r = run(strategic, 1, 2);
+        assert!(r.completed());
+        let selfish_mean = mean_finish(&r, 1..=N / 4);
+        let generous_mean = mean_finish(&r, N / 4 + 1..N);
+        assert!(
+            selfish_mean < 1.25 * generous_mean,
+            "hoarding should cost the hoarder almost nothing cooperatively \
+             ({selfish_mean:.0} vs {generous_mean:.0})"
+        );
+    }
+
+    #[test]
+    fn a_strategic_minority_barely_slows_the_swarm() {
+        let baseline = run(Vec::new(), 1, 3).completion_time().unwrap();
+        let strategic: Vec<NodeId> = (1..=N / 4).map(NodeId::from_index).collect();
+        let mixed = run(strategic, 1, 3).completion_time().unwrap();
+        assert!(
+            f64::from(mixed) < 1.5 * f64::from(baseline),
+            "a quarter of tit-for-tat clients should not collapse throughput \
+             ({mixed} vs {baseline})"
+        );
+    }
+
+    #[test]
+    fn an_all_strategic_swarm_still_completes() {
+        // Everyone tit-for-tat with limit 1 ≈ a self-organized credit
+        // economy on the complete graph: it works (the Figure 6
+        // above-threshold regime), just a bit slower.
+        let strategic: Vec<NodeId> = (1..N).map(NodeId::from_index).collect();
+        let r = run(strategic, 1, 4);
+        assert!(r.completed());
+    }
+
+    #[test]
+    fn private_ledgers_actually_bind() {
+        // With limit 0 a strategic client never uploads first; it can only
+        // reciprocate... which it also cannot (net would go positive), so
+        // it uploads nothing at all — a free rider in effect.
+        let strategic = vec![NodeId::new(1)];
+        let r = run(strategic, 0, 5);
+        assert!(r.completed(), "the rest of the swarm routes around it");
+        // And the free-rider-in-effect still completes (cooperation pays
+        // its way), underscoring the need for an enforced mechanism.
+        assert!(r.node_completions[1].is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "server cannot be strategic")]
+    fn server_cannot_be_strategic() {
+        let _ = StrategicSwarm::new(BlockSelection::Random, vec![NodeId::SERVER], 1);
+    }
+}

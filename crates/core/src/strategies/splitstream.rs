@@ -1,0 +1,279 @@
+//! A SplitStream-like striped multi-tree baseline (§4 related work).
+//!
+//! SplitStream (Castro et al., SOSP 2003) splits the file into `m`
+//! stripes and multicasts each stripe down its own tree, arranged so each
+//! node is interior in (about) one tree — spreading the forwarding load.
+//! The paper's related-work section credits it with completion time
+//! roughly `k + Î·log n` for `Î` trees and argues the simpler randomized
+//! swarm makes such engineered structures unnecessary in the static
+//! cooperative setting. This module provides a stylized synchronous
+//! SplitStream so that comparison can be run.
+//!
+//! Construction: stripe `i` is the blocks `≡ i (mod m)`. Its tree orders
+//! the clients by a rotation of `i·(n−1)/m` and lays an `m`-ary heap over
+//! them, with the server feeding the tree head. Interior nodes receive
+//! stripe-`i` blocks once every `m` ticks and forward them to their `m`
+//! children — exactly their upload budget. Each node forwards one queued
+//! obligation per tick, FIFO.
+//!
+//! The interior sets of the `m` trees are disjoint exactly when `m`
+//! divides the client count (as in SplitStream's own analysis); otherwise
+//! the rotation wraps and a node near a block boundary carries interior
+//! duty in two trees, which shows up as a proportional completion-time
+//! hotspot. `interior_overlap()` reports it.
+
+use pob_sim::{BlockId, NodeId, SimError, Strategy, TickPlanner, Transfer};
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// The stylized SplitStream strategy (see module docs).
+///
+/// Run on the complete overlay (trees are application-level here) with
+/// unlimited download capacity: a node can be a leaf of several trees and
+/// receive one block from each in the same tick.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::strategies::SplitStream;
+/// use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, SimConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let (n, k) = (30, 32);
+/// let overlay = CompleteOverlay::new(n);
+/// let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+/// let report = Engine::new(cfg, &overlay)
+///     .run(&mut SplitStream::new(n, k, 4), &mut StdRng::seed_from_u64(0))?;
+/// assert!(report.completed());
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitStream {
+    stripes: usize,
+    blocks: usize,
+    /// `children[tree][node] = children of node in that stripe tree`.
+    children: Vec<Vec<Vec<NodeId>>>,
+    /// Per-node FIFO of (receiver, block) forwarding obligations.
+    queues: Vec<VecDeque<(NodeId, BlockId)>>,
+    /// Last tick's committed transfers, to be turned into obligations.
+    last_tick: Vec<Transfer>,
+    primed: bool,
+}
+
+impl SplitStream {
+    /// Builds the striped trees for `n` nodes, `k` blocks and `m` stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `k == 0`, or `m == 0`.
+    pub fn new(n: usize, k: usize, m: usize) -> Self {
+        assert!(n >= 2, "need a server and at least one client");
+        assert!(k >= 1, "file must have at least one block");
+        assert!(m >= 1, "need at least one stripe");
+        let clients = n - 1;
+        let mut children = Vec::with_capacity(m);
+        for tree in 0..m {
+            // Client order for this tree: rotation spreads interior roles.
+            let offset = tree * clients / m;
+            let order: Vec<NodeId> = (0..clients)
+                .map(|p| NodeId::from_index(1 + (p + offset) % clients))
+                .collect();
+            let mut tree_children = vec![Vec::new(); n];
+            // Server feeds the tree head.
+            tree_children[NodeId::SERVER.index()].push(order[0]);
+            // m-ary heap over the ordered clients.
+            for (p, &node) in order.iter().enumerate() {
+                for c in 1..=m {
+                    let child_pos = p * m + c;
+                    if child_pos < clients {
+                        tree_children[node.index()].push(order[child_pos]);
+                    }
+                }
+            }
+            children.push(tree_children);
+        }
+        SplitStream {
+            stripes: m,
+            blocks: k,
+            children,
+            queues: vec![VecDeque::new(); n],
+            last_tick: Vec::new(),
+            primed: false,
+        }
+    }
+
+    /// Number of stripes / trees.
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
+    /// Number of clients that are interior (have children) in more than
+    /// one tree — zero exactly when the rotation partitions cleanly
+    /// (`m` divides the client count); each overlapping client is a
+    /// forwarding hotspot.
+    pub fn interior_overlap(&self) -> usize {
+        let n = self.queues.len();
+        (1..n)
+            .filter(|&i| {
+                (0..self.stripes)
+                    .filter(|&t| !self.children[t][i].is_empty())
+                    .count()
+                    > 1
+            })
+            .count()
+    }
+
+    /// The children of `node` in the given stripe tree.
+    pub fn tree_children(&self, tree: usize, node: NodeId) -> &[NodeId] {
+        &self.children[tree][node.index()]
+    }
+
+    fn enqueue_obligations(&mut self, owner: NodeId, block: BlockId) {
+        let tree = block.index() % self.stripes;
+        // Index juggling to appease the borrow checker.
+        let kids: Vec<NodeId> = self.children[tree][owner.index()].clone();
+        for child in kids {
+            self.queues[owner.index()].push_back((child, block));
+        }
+    }
+}
+
+impl Strategy for SplitStream {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut StdRng) -> Result<(), SimError> {
+        if !self.primed {
+            // The server owes every block to the head of its stripe tree,
+            // in block order (round-robin over stripes by construction).
+            for j in 0..self.blocks {
+                self.enqueue_obligations(NodeId::SERVER, BlockId::from_index(j));
+            }
+            self.primed = true;
+        }
+        // Turn last tick's deliveries into forwarding obligations.
+        let received = std::mem::take(&mut self.last_tick);
+        for t in received {
+            self.enqueue_obligations(t.to, t.block);
+        }
+        // Each node forwards one obligation per tick.
+        for i in 0..p.node_count() {
+            let node = NodeId::from_index(i);
+            if p.upload_left(node) == 0 {
+                continue;
+            }
+            if let Some((to, block)) = self.queues[i].pop_front() {
+                p.propose(node, to, block)
+                    .map_err(|reason| SimError::BadSchedule {
+                        transfer: Transfer::new(node, to, block),
+                        reason,
+                        tick: p.tick(),
+                    })?;
+            }
+        }
+        self.last_tick = p.proposed().to_vec();
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "splitstream-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{ceil_log2, cooperative_lower_bound};
+    use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, RunReport, SimConfig};
+    use rand::SeedableRng;
+
+    fn run(n: usize, k: usize, m: usize) -> RunReport {
+        let overlay = CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+        Engine::new(cfg, &overlay)
+            .run(
+                &mut SplitStream::new(n, k, m),
+                &mut StdRng::seed_from_u64(0),
+            )
+            .expect("splitstream schedule admissible")
+    }
+
+    #[test]
+    fn completes_and_conserves() {
+        for (n, k, m) in [
+            (2, 4, 1),
+            (10, 12, 3),
+            (30, 32, 4),
+            (65, 64, 4),
+            (33, 48, 6),
+        ] {
+            let r = run(n, k, m);
+            assert!(r.completed(), "n={n} k={k} m={m}");
+            assert_eq!(r.total_uploads, ((n - 1) * k) as u64, "n={n} k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn single_stripe_is_a_plain_multicast_chain_tree() {
+        // m = 1: one 1-ary tree = the pipeline.
+        let r = run(6, 10, 1);
+        assert_eq!(r.completion_time(), Some((10 + 6 - 2) as u32));
+    }
+
+    #[test]
+    fn near_k_plus_m_log_n() {
+        // The related-work formula: ≈ k + m·log_m-ish(n) for m trees —
+        // with m dividing the client count so interior sets partition.
+        let (n, k, m) = (129usize, 256usize, 4usize);
+        let r = run(n, k, m);
+        let t = r.completion_time().unwrap();
+        let bound = k as u32 + (m as u32) * 2 * ceil_log2(n);
+        assert!(t <= bound, "t = {t} exceeds k + 2m log n = {bound}");
+        assert!(t >= cooperative_lower_bound(n, k));
+    }
+
+    #[test]
+    fn interior_load_is_spread() {
+        // With m | clients, interior sets partition: every client is
+        // interior in at most one tree.
+        let s = SplitStream::new(41, 16, 4);
+        let interior_count = |node: NodeId| {
+            (0..4)
+                .filter(|&t| !s.tree_children(t, node).is_empty())
+                .count()
+        };
+        let max_interior = (1..41)
+            .map(|i| interior_count(NodeId::from_index(i)))
+            .max()
+            .unwrap();
+        assert_eq!(
+            max_interior, 1,
+            "interior sets must partition when m | clients"
+        );
+        assert_eq!(s.stripes(), 4);
+        assert_eq!(s.interior_overlap(), 0);
+    }
+
+    #[test]
+    fn interior_overlap_reported_for_awkward_populations() {
+        // 127 clients, 4 trees: the rotation must wrap somewhere.
+        let s = SplitStream::new(128, 16, 4);
+        assert!(s.interior_overlap() >= 1);
+    }
+
+    #[test]
+    fn worse_than_binomial_pipeline_but_far_better_than_single_tree() {
+        let (n, k) = (64usize, 128usize);
+        let split = run(n, k, 4).completion_time().unwrap();
+        let optimal = cooperative_lower_bound(n, k);
+        let single_tree = crate::bounds::multicast_tree_time(n, k, 4);
+        assert!(split >= optimal);
+        assert!(
+            split < single_tree,
+            "striping must beat a single multicast tree ({split} vs {single_tree})"
+        );
+    }
+
+    #[test]
+    fn server_only_sends_each_block_once() {
+        let r = run(20, 30, 3);
+        assert_eq!(r.server_uploads, 30);
+    }
+}

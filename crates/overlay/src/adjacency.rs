@@ -1,0 +1,359 @@
+//! A concrete overlay backed by sorted adjacency lists.
+
+use pob_sim::{NeighborSet, NodeId, Topology};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// An invalid edge list was supplied to [`AdjacencyOverlay::from_edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildOverlayError {
+    /// An edge references a node outside `0 .. n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The population size.
+        nodes: usize,
+    },
+    /// An edge connects a node to itself.
+    SelfLoop {
+        /// The offending node index.
+        node: u32,
+    },
+    /// The same undirected edge appears twice.
+    DuplicateEdge {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+}
+
+impl fmt::Display for BuildOverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildOverlayError::NodeOutOfRange { node, nodes } => {
+                write!(
+                    f,
+                    "edge references node {node} but the overlay has {nodes} nodes"
+                )
+            }
+            BuildOverlayError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            BuildOverlayError::DuplicateEdge { a, b } => {
+                write!(f, "duplicate edge between nodes {a} and {b}")
+            }
+        }
+    }
+}
+
+impl Error for BuildOverlayError {}
+
+/// An explicit undirected overlay network with sorted adjacency lists.
+///
+/// Adjacency tests are `O(log degree)` via binary search. All concrete
+/// graph constructors in this crate produce an `AdjacencyOverlay`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::AdjacencyOverlay;
+/// use pob_sim::{NodeId, Topology};
+///
+/// // A path 0 — 1 — 2.
+/// let g = AdjacencyOverlay::from_edges(3, [(0, 1), (1, 2)])?;
+/// assert!(g.are_neighbors(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.are_neighbors(NodeId::new(0), NodeId::new(2)));
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.is_connected());
+/// # Ok::<(), pob_overlay::BuildOverlayError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyOverlay {
+    // CSR layout: neighbors of node i are adj[offsets[i]..offsets[i+1]].
+    offsets: Vec<u32>,
+    adj: Vec<NodeId>,
+    edges: usize,
+}
+
+impl AdjacencyOverlay {
+    /// Builds an overlay on `nodes` nodes from an undirected edge list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range endpoints, self-loops and duplicate edges.
+    pub fn from_edges<I>(nodes: usize, edges: I) -> Result<Self, BuildOverlayError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); nodes];
+        let mut count = 0usize;
+        for (a, b) in edges {
+            if a as usize >= nodes {
+                return Err(BuildOverlayError::NodeOutOfRange { node: a, nodes });
+            }
+            if b as usize >= nodes {
+                return Err(BuildOverlayError::NodeOutOfRange { node: b, nodes });
+            }
+            if a == b {
+                return Err(BuildOverlayError::SelfLoop { node: a });
+            }
+            lists[a as usize].push(NodeId::new(b));
+            lists[b as usize].push(NodeId::new(a));
+            count += 1;
+        }
+        for (i, list) in lists.iter_mut().enumerate() {
+            list.sort_unstable();
+            if let Some(w) = list.windows(2).find(|w| w[0] == w[1]) {
+                return Err(BuildOverlayError::DuplicateEdge {
+                    a: i as u32,
+                    b: w[0].raw(),
+                });
+            }
+        }
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        let mut adj = Vec::with_capacity(count * 2);
+        offsets.push(0);
+        for list in &lists {
+            adj.extend_from_slice(list);
+            offsets.push(adj.len() as u32);
+        }
+        Ok(AdjacencyOverlay {
+            offsets,
+            adj,
+            edges: count,
+        })
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The neighbor list of `u`, sorted.
+    pub fn neighbor_slice(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Whether the overlay is connected (every node reachable from node 0).
+    ///
+    /// An overlay with a single node is trivially connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([NodeId::SERVER]);
+        seen[0] = true;
+        let mut visited = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbor_slice(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    visited += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Breadth-first distances from `source` (`u32::MAX` for unreachable
+    /// nodes).
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<u32> {
+        let n = self.node_count();
+        let mut dist = vec![u32::MAX; n];
+        dist[source.index()] = 0;
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            for &v in self.neighbor_slice(u) {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The exact graph diameter (longest shortest path), or `None` if the
+    /// overlay is disconnected. `O(n · m)` — fine up to a few thousand
+    /// nodes.
+    ///
+    /// The paper conjectures Figure 5's degree threshold relates to "the
+    /// mixing properties of G"; diameter is the bluntest such property.
+    pub fn diameter(&self) -> Option<u32> {
+        let n = self.node_count();
+        let mut best = 0;
+        for i in 0..n {
+            let dist = self.bfs_distances(NodeId::from_index(i));
+            let far = dist.iter().copied().max()?;
+            if far == u32::MAX {
+                return None;
+            }
+            best = best.max(far);
+        }
+        Some(best)
+    }
+
+    /// Mean shortest-path distance over sampled source nodes (all pairs if
+    /// `samples ≥ n`). Returns `None` on a disconnected overlay.
+    pub fn mean_distance(&self, samples: usize) -> Option<f64> {
+        let n = self.node_count();
+        if n < 2 {
+            return Some(0.0);
+        }
+        let step = (n / samples.max(1)).max(1);
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for i in (0..n).step_by(step) {
+            let dist = self.bfs_distances(NodeId::from_index(i));
+            for (j, &d) in dist.iter().enumerate() {
+                if d == u32::MAX {
+                    return None;
+                }
+                if j != i {
+                    total += u64::from(d);
+                    count += 1;
+                }
+            }
+        }
+        Some(total as f64 / count as f64)
+    }
+
+    /// `(min, max, mean)` degree over all nodes.
+    pub fn degree_stats(&self) -> (usize, usize, f64) {
+        let n = self.node_count();
+        if n == 0 {
+            return (0, 0, 0.0);
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            let d = self.degree(NodeId::from_index(i));
+            min = min.min(d);
+            max = max.max(d);
+            total += d;
+        }
+        (min, max, total as f64 / n as f64)
+    }
+}
+
+impl Topology for AdjacencyOverlay {
+    fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn neighbors(&self, u: NodeId) -> NeighborSet<'_> {
+        NeighborSet::List(self.neighbor_slice(u))
+    }
+
+    fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        u != v
+            && u.index() < self.node_count()
+            && v.index() < self.node_count()
+            && self.neighbor_slice(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_path() {
+        let g = AdjacencyOverlay::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.are_neighbors(NodeId::new(1), NodeId::new(2)));
+        assert!(!g.are_neighbors(NodeId::new(0), NodeId::new(3)));
+        assert!(!g.are_neighbors(NodeId::new(2), NodeId::new(2)));
+        assert_eq!(
+            g.neighbor_slice(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
+        assert!(!g.is_complete());
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let g = AdjacencyOverlay::from_edges(5, [(3, 1), (3, 0), (3, 4), (3, 2)]).unwrap();
+        let nb: Vec<u32> = g
+            .neighbor_slice(NodeId::new(3))
+            .iter()
+            .map(|n| n.raw())
+            .collect();
+        assert_eq!(nb, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = AdjacencyOverlay::from_edges(3, [(0, 3)]).unwrap_err();
+        assert_eq!(err, BuildOverlayError::NodeOutOfRange { node: 3, nodes: 3 });
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = AdjacencyOverlay::from_edges(3, [(1, 1)]).unwrap_err();
+        assert_eq!(err, BuildOverlayError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let err = AdjacencyOverlay::from_edges(3, [(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, BuildOverlayError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn connectivity() {
+        let connected = AdjacencyOverlay::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(connected.is_connected());
+        let split = AdjacencyOverlay::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!split.is_connected());
+        let singleton = AdjacencyOverlay::from_edges(1, []).unwrap();
+        assert!(singleton.is_connected());
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = AdjacencyOverlay::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.bfs_distances(NodeId::new(0)), vec![0, 1, 2, 3]);
+        assert_eq!(g.bfs_distances(NodeId::new(2)), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        let path = AdjacencyOverlay::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(path.diameter(), Some(4));
+        let star = AdjacencyOverlay::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(star.diameter(), Some(2));
+        let split = AdjacencyOverlay::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(split.diameter(), None);
+        assert_eq!(split.mean_distance(4), None);
+    }
+
+    #[test]
+    fn mean_distance_on_a_triangle() {
+        let g = AdjacencyOverlay::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.mean_distance(3), Some(1.0));
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = AdjacencyOverlay::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let (min, max, mean) = g.degree_stats();
+        assert_eq!((min, max), (1, 3));
+        assert!((mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = BuildOverlayError::DuplicateEdge { a: 1, b: 2 };
+        assert!(err.to_string().contains("duplicate edge"));
+    }
+}

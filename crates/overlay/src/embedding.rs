@@ -1,0 +1,435 @@
+//! Network-aware hypercube embedding (§2.3.4, "Optimizing for Physical
+//! Network").
+//!
+//! The Binomial Pipeline fixes *which overlay links exist* (a hypercube)
+//! but not *which physical node sits on which vertex*. When pairwise link
+//! costs differ — nodes spread across datacenters, say — the paper points
+//! to embedding techniques (its reference \[12\], Apocrypha) that pick
+//! "the best hypercube that may be constructed with the given set of
+//! nodes". This module implements that: a pairwise [`LinkCosts`] matrix,
+//! the embedding cost objective (total cost over hypercube edges), and a
+//! randomized local-search optimizer over vertex assignments with
+//! incremental cost evaluation.
+
+use crate::AdjacencyOverlay;
+use pob_sim::NodeId;
+use rand::Rng;
+
+/// Symmetric pairwise link costs between physical nodes (e.g. latencies).
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::LinkCosts;
+///
+/// let mut costs = LinkCosts::uniform(4, 1.0);
+/// costs.set(0, 3, 10.0);
+/// assert_eq!(costs.get(3, 0), 10.0);
+/// assert_eq!(costs.get(1, 2), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkCosts {
+    n: usize,
+    costs: Vec<f64>,
+}
+
+impl LinkCosts {
+    /// All pairs cost `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize, c: f64) -> Self {
+        assert!(n >= 1, "need at least one node");
+        LinkCosts {
+            n,
+            costs: vec![c; n * n],
+        }
+    }
+
+    /// Builds the matrix from a function of node index pairs (symmetrized
+    /// by averaging `f(a, b)` and `f(b, a)`; the diagonal is zero).
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = Self::uniform(n, 0.0);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let c = 0.5 * (f(a, b) + f(b, a));
+                m.set(a, b, c);
+            }
+        }
+        m
+    }
+
+    /// Euclidean distances between 2-D points (one per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn euclidean(points: &[(f64, f64)]) -> Self {
+        Self::from_fn(points.len(), |a, b| {
+            let (ax, ay) = points[a];
+            let (bx, by) = points[b];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        })
+    }
+
+    /// A two-datacenter topology: nodes `0 .. n/2` in one cluster,
+    /// the rest in the other; `intra` cost inside a cluster, `inter`
+    /// between clusters.
+    pub fn two_clusters(n: usize, intra: f64, inter: f64) -> Self {
+        let half = n / 2;
+        Self::from_fn(n, |a, b| {
+            if (a < half) == (b < half) {
+                intra
+            } else {
+                inter
+            }
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (never true: `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The cost between nodes `a` and `b` (zero for `a == b`).
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.costs[a * self.n + b]
+        }
+    }
+
+    /// Sets the symmetric cost between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `a == b`.
+    pub fn set(&mut self, a: usize, b: usize, c: f64) {
+        assert!(a < self.n && b < self.n, "node index out of range");
+        assert_ne!(a, b, "diagonal cost is fixed at zero");
+        self.costs[a * self.n + b] = c;
+        self.costs[b * self.n + a] = c;
+    }
+}
+
+/// An assignment of `2^h` physical nodes to hypercube vertices.
+///
+/// `assignment[vertex] = node`. The distinguished server (node 0) is kept
+/// on the all-zero vertex (hypercube automorphisms make this free), so the
+/// embedded overlay can host the Binomial Pipeline directly.
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::{HypercubeEmbedding, LinkCosts};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // Two 4-node clusters with expensive cross-cluster links.
+/// let costs = LinkCosts::two_clusters(8, 1.0, 100.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let best = HypercubeEmbedding::optimize(&costs, 3, 4_000, &mut rng);
+/// let naive = HypercubeEmbedding::identity(3);
+/// // The optimum uses exactly 4 cross-cluster edges (one matching
+/// // dimension), the minimum possible: 8 intra + 4 inter.
+/// assert!(best.cost(&costs) <= naive.cost(&costs));
+/// assert_eq!(best.cost(&costs), 8.0 * 1.0 + 4.0 * 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypercubeEmbedding {
+    h: u32,
+    assignment: Vec<u32>,
+}
+
+impl HypercubeEmbedding {
+    /// The identity embedding: node `v` on vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `h > 20`.
+    pub fn identity(h: u32) -> Self {
+        assert!(h >= 1, "hypercube needs at least one dimension");
+        assert!(h <= 20, "embedding dimension too large");
+        HypercubeEmbedding {
+            h,
+            assignment: (0..1u32 << h).collect(),
+        }
+    }
+
+    /// The hypercube dimension.
+    pub fn dimensions(&self) -> u32 {
+        self.h
+    }
+
+    /// The node placed on `vertex`.
+    pub fn node_at(&self, vertex: usize) -> NodeId {
+        NodeId::new(self.assignment[vertex])
+    }
+
+    /// The vertex hosting `node`.
+    pub fn vertex_of(&self, node: NodeId) -> usize {
+        self.assignment
+            .iter()
+            .position(|&x| x == node.raw())
+            .expect("node is in the embedding")
+    }
+
+    /// Total cost over hypercube edges: `Σ cost(node(u), node(v))` for all
+    /// `u, v` differing in one bit.
+    pub fn cost(&self, costs: &LinkCosts) -> f64 {
+        let verts = 1usize << self.h;
+        let mut total = 0.0;
+        for v in 0..verts {
+            for dim in 0..self.h {
+                let w = v ^ (1usize << dim);
+                if w > v {
+                    total += costs.get(self.assignment[v] as usize, self.assignment[w] as usize);
+                }
+            }
+        }
+        total
+    }
+
+    /// Cost change if the occupants of `a` and `b` were swapped
+    /// (computed in `O(h)`).
+    fn swap_delta(&self, costs: &LinkCosts, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let na = self.assignment[a] as usize;
+        let nb = self.assignment[b] as usize;
+        let mut delta = 0.0;
+        for dim in 0..self.h {
+            let mask = 1usize << dim;
+            let an = a ^ mask; // a's neighbor along dim
+            let bn = b ^ mask;
+            if an == b {
+                continue; // the a—b edge itself keeps the same endpoints
+            }
+            let a_nb = self.assignment[an] as usize;
+            delta += costs.get(nb, a_nb) - costs.get(na, a_nb);
+            let b_nb = self.assignment[bn] as usize;
+            delta += costs.get(na, b_nb) - costs.get(nb, b_nb);
+        }
+        delta
+    }
+
+    /// Optimizes the embedding by randomized local search: `iterations`
+    /// proposed vertex swaps, each accepted iff it does not increase the
+    /// total cost (plateau moves allowed to escape ties). Afterwards the
+    /// assignment is normalized by a hypercube automorphism so the server
+    /// (node 0) sits on vertex 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != 2^h`, `h == 0`, or `h > 20`.
+    pub fn optimize<R: Rng + ?Sized>(
+        costs: &LinkCosts,
+        h: u32,
+        iterations: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut emb = Self::identity(h);
+        let verts = 1usize << h;
+        assert_eq!(costs.len(), verts, "cost matrix size must equal 2^h");
+        // Random restart-free greedy with plateau moves: good enough for
+        // the latency structures the paper has in mind, and deterministic
+        // given the seed.
+        for _ in 0..iterations {
+            let a = rng.gen_range(0..verts);
+            let b = rng.gen_range(0..verts);
+            if a == b {
+                continue;
+            }
+            if emb.swap_delta(costs, a, b) <= 0.0 {
+                emb.assignment.swap(a, b);
+            }
+        }
+        emb.normalize_server();
+        emb
+    }
+
+    /// Applies the XOR automorphism that brings node 0 to vertex 0
+    /// (cost-preserving: XOR relabelings are hypercube automorphisms).
+    fn normalize_server(&mut self) {
+        let s = self.vertex_of(NodeId::SERVER);
+        if s == 0 {
+            return;
+        }
+        let verts = self.assignment.len();
+        let mut rotated = vec![0u32; verts];
+        for (v, slot) in rotated.iter_mut().enumerate() {
+            *slot = self.assignment[v ^ s];
+        }
+        self.assignment = rotated;
+    }
+
+    /// The embedded overlay: hypercube edges relabeled through the
+    /// assignment, as an explicit adjacency overlay over the *nodes*.
+    pub fn overlay(&self) -> AdjacencyOverlay {
+        let verts = 1usize << self.h;
+        let mut edges = Vec::with_capacity(verts * self.h as usize / 2);
+        for v in 0..verts {
+            for dim in 0..self.h {
+                let w = v ^ (1usize << dim);
+                if w > v {
+                    edges.push((self.assignment[v], self.assignment[w]));
+                }
+            }
+        }
+        AdjacencyOverlay::from_edges(verts, edges).expect("relabeled hypercube is simple")
+    }
+
+    /// Node list in vertex order (`nodes[0]` is the server) — the input
+    /// `pob-core`'s generalized pipeline expects for custom node layouts.
+    pub fn schedule_nodes(&self) -> Vec<NodeId> {
+        self.assignment.iter().map(|&v| NodeId::new(v)).collect()
+    }
+
+    /// Mean cost per hypercube edge under this embedding.
+    pub fn mean_edge_cost(&self, costs: &LinkCosts) -> f64 {
+        let edges = (1usize << self.h) * self.h as usize / 2;
+        self.cost(costs) / edges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pob_sim::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_costs_make_all_embeddings_equal() {
+        let costs = LinkCosts::uniform(8, 2.0);
+        let id = HypercubeEmbedding::identity(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let opt = HypercubeEmbedding::optimize(&costs, 3, 500, &mut rng);
+        assert_eq!(id.cost(&costs), 24.0); // 12 edges × 2.0
+        assert_eq!(opt.cost(&costs), 24.0);
+    }
+
+    #[test]
+    fn swap_delta_matches_full_recomputation() {
+        let costs = LinkCosts::from_fn(16, |a, b| ((a * 7 + b * 13) % 23) as f64);
+        let mut emb = HypercubeEmbedding::identity(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = rng.gen_range(0..16);
+            let b = rng.gen_range(0..16);
+            let before = emb.cost(&costs);
+            let delta = emb.swap_delta(&costs, a, b);
+            emb.assignment.swap(a, b);
+            let after = emb.cost(&costs);
+            assert!(
+                (after - before - delta).abs() < 1e-9,
+                "delta mismatch for swap ({a},{b}): {} vs {}",
+                delta,
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn two_cluster_optimum_found() {
+        // 2^3 nodes in two clusters: the optimal embedding is a cube face
+        // per cluster, with exactly 4 cross edges.
+        let costs = LinkCosts::two_clusters(8, 1.0, 50.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let emb = HypercubeEmbedding::optimize(&costs, 3, 5_000, &mut rng);
+        assert_eq!(emb.cost(&costs), 8.0 + 4.0 * 50.0);
+    }
+
+    #[test]
+    fn optimizer_never_worse_than_identity() {
+        let points: Vec<(f64, f64)> = (0..16)
+            .map(|i| (((i * 37) % 101) as f64, ((i * 61) % 97) as f64))
+            .collect();
+        let costs = LinkCosts::euclidean(&points);
+        let id_cost = HypercubeEmbedding::identity(4).cost(&costs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let opt = HypercubeEmbedding::optimize(&costs, 4, 20_000, &mut rng);
+        assert!(opt.cost(&costs) <= id_cost);
+        assert!(opt.cost(&costs) < 0.9 * id_cost, "should find real savings");
+    }
+
+    #[test]
+    fn server_is_normalized_to_vertex_zero() {
+        let costs = LinkCosts::two_clusters(8, 1.0, 9.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = HypercubeEmbedding::optimize(&costs, 3, 2_000, &mut rng);
+        assert_eq!(emb.node_at(0), NodeId::SERVER);
+        assert_eq!(emb.vertex_of(NodeId::SERVER), 0);
+    }
+
+    #[test]
+    fn normalization_preserves_cost() {
+        let costs = LinkCosts::from_fn(8, |a, b| (a + 2 * b) as f64);
+        let mut emb = HypercubeEmbedding::identity(3);
+        emb.assignment.swap(0, 5); // move the server away
+        let before = emb.cost(&costs);
+        emb.normalize_server();
+        assert_eq!(emb.node_at(0), NodeId::SERVER);
+        assert!((emb.cost(&costs) - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlay_is_a_relabeled_hypercube() {
+        let costs = LinkCosts::two_clusters(8, 1.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let emb = HypercubeEmbedding::optimize(&costs, 3, 1_000, &mut rng);
+        let g = emb.overlay();
+        assert_eq!(g.node_count(), 8);
+        assert!(g.is_connected());
+        for i in 0..8 {
+            assert_eq!(g.degree(NodeId::from_index(i)), 3);
+        }
+        // Edges correspond to hypercube vertex pairs through the assignment.
+        for v in 0..8usize {
+            for dim in 0..3 {
+                let w = v ^ (1 << dim);
+                assert!(g.are_neighbors(emb.node_at(v), emb.node_at(w)));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_nodes_lead_with_server() {
+        let emb = HypercubeEmbedding::identity(2);
+        assert_eq!(emb.schedule_nodes()[0], NodeId::SERVER);
+        assert_eq!(emb.schedule_nodes().len(), 4);
+        assert!((emb.mean_edge_cost(&LinkCosts::uniform(4, 3.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_matrix_accessors() {
+        let mut m = LinkCosts::uniform(3, 0.0);
+        m.set(0, 2, 4.5);
+        assert_eq!(m.get(2, 0), 4.5);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal cost")]
+    fn diagonal_set_rejected() {
+        LinkCosts::uniform(3, 0.0).set(1, 1, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost matrix size")]
+    fn mismatched_matrix_rejected() {
+        let costs = LinkCosts::uniform(6, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = HypercubeEmbedding::optimize(&costs, 3, 10, &mut rng);
+    }
+}

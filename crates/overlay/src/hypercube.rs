@@ -1,0 +1,269 @@
+//! Hypercube and hypercube-like overlays.
+//!
+//! The Binomial Pipeline (§2.3.2) runs on a hypercube of `2^h` nodes: IDs
+//! are `h`-bit strings, the server is the all-zero ID, and two nodes are
+//! linked iff their IDs differ in exactly one bit. For populations that are
+//! not powers of two, §2.3.3 assigns one or two nodes per hypercube vertex;
+//! [`paired_hypercube`] builds the corresponding overlay (twins are linked
+//! to each other and to everyone on neighboring vertices).
+
+use crate::AdjacencyOverlay;
+use pob_sim::{NeighborSet, NodeId, Topology};
+
+/// The hypercube overlay on `2^h` nodes.
+///
+/// Adjacency is computed arithmetically (IDs differing in one bit), so the
+/// structure is `O(1)` in memory; neighbor lists are materialized lazily
+/// per node at construction.
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::Hypercube;
+/// use pob_sim::{NodeId, Topology};
+///
+/// let g = Hypercube::new(3); // 8 nodes
+/// assert_eq!(g.node_count(), 8);
+/// assert_eq!(g.dimensions(), 3);
+/// assert!(g.are_neighbors(NodeId::new(0b000), NodeId::new(0b100)));
+/// assert!(!g.are_neighbors(NodeId::new(0b000), NodeId::new(0b110)));
+/// assert_eq!(g.degree(NodeId::new(5)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypercube {
+    h: u32,
+    // Materialized neighbor lists (h entries each) for NeighborSet::List.
+    adj: Vec<NodeId>,
+}
+
+impl Hypercube {
+    /// Creates the `h`-dimensional hypercube (`2^h` nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `h > 30`.
+    pub fn new(h: u32) -> Self {
+        assert!(h >= 1, "hypercube needs at least one dimension");
+        assert!(h <= 30, "hypercube dimension too large");
+        let n = 1usize << h;
+        let mut adj = Vec::with_capacity(n * h as usize);
+        for v in 0..n as u32 {
+            for dim in 0..h {
+                adj.push(NodeId::new(v ^ Hypercube::dimension_mask(h, dim)));
+            }
+        }
+        Hypercube { h, adj }
+    }
+
+    /// Number of dimensions `h = log₂ n`.
+    pub fn dimensions(&self) -> u32 {
+        self.h
+    }
+
+    /// The bit toggled by dimension `dim`.
+    ///
+    /// Following the paper, the *dimension-i* link of a node goes to the
+    /// node whose ID differs in the `(i + 1)`-st **most** significant of
+    /// the `h` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= h`.
+    pub fn dimension_mask(h: u32, dim: u32) -> u32 {
+        assert!(dim < h, "dimension {dim} out of range for h = {h}");
+        1 << (h - 1 - dim)
+    }
+
+    /// The node reached from `u` along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= h`.
+    pub fn along(&self, u: NodeId, dim: u32) -> NodeId {
+        NodeId::new(u.raw() ^ Self::dimension_mask(self.h, dim))
+    }
+}
+
+impl Topology for Hypercube {
+    fn node_count(&self) -> usize {
+        1 << self.h
+    }
+
+    fn neighbors(&self, u: NodeId) -> NeighborSet<'_> {
+        let h = self.h as usize;
+        NeighborSet::List(&self.adj[u.index() * h..(u.index() + 1) * h])
+    }
+
+    fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        u != v
+            && u.index() < self.node_count()
+            && v.index() < self.node_count()
+            && (u.raw() ^ v.raw()).count_ones() == 1
+    }
+}
+
+/// Builds the §2.3.3 hypercube-like overlay for an arbitrary population.
+///
+/// For `n` nodes, vertices of an `h`-dimensional hypercube (with
+/// `h = ⌈log₂ n⌉ − 1`, so `2^h < n ≤ 2^(h+1)` for non-powers of two) host
+/// the nodes with the exact layout of
+/// `pob_core`'s `GeneralBinomialPipeline`: the server (node 0) alone on
+/// the all-zero vertex, vertex `v ≥ 1` hosting node `v` plus node
+/// `v + 2^h − 1` when that exists. Twins at the same vertex are linked,
+/// and every node links to all nodes on hypercube-adjacent vertices,
+/// giving out-degree `≤ 2h + 1` — the low-degree "hypercube-like
+/// structure" used in Figure 5, and a sufficient overlay for the
+/// generalized Binomial Pipeline.
+///
+/// For `n` an exact power of two this degenerates to the plain hypercube.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::paired_hypercube;
+/// use pob_sim::{NodeId, Topology};
+///
+/// let g = paired_hypercube(6); // h = 2: vertex 1 hosts nodes 1 and 4
+/// assert_eq!(g.node_count(), 6);
+/// assert!(g.are_neighbors(NodeId::new(1), NodeId::new(4)), "twins are linked");
+/// assert!(g.is_connected());
+/// ```
+pub fn paired_hypercube(n: usize) -> AdjacencyOverlay {
+    assert!(n >= 2, "need at least two nodes");
+    let h = if n.is_power_of_two() {
+        n.trailing_zeros()
+    } else {
+        // ⌈log₂ n⌉ − 1, i.e. the largest h with 2^h < n.
+        usize::BITS - 1 - (n - 1).leading_zeros()
+    };
+    let verts = 1usize << h;
+    let power = n.is_power_of_two();
+    let occupants = move |v: usize| -> [Option<u32>; 2] {
+        let a = (v < n).then_some(v as u32);
+        let b = (!power && v != 0 && v + verts - 1 < n).then_some((v + verts - 1) as u32);
+        [a, b]
+    };
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for v in 0..verts {
+        let [a, b] = occupants(v);
+        if let (Some(a), Some(b)) = (a, b) {
+            edges.push((a, b));
+        }
+        for dim in 0..h {
+            let w = v ^ (1 << dim);
+            if w < v {
+                continue; // each vertex pair once
+            }
+            for x in occupants(v).into_iter().flatten() {
+                for y in occupants(w).into_iter().flatten() {
+                    edges.push((x, y));
+                }
+            }
+        }
+    }
+    AdjacencyOverlay::from_edges(n, edges).expect("paired hypercube construction is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_adjacency() {
+        let g = Hypercube::new(4);
+        assert_eq!(g.node_count(), 16);
+        for u in 0..16u32 {
+            let nb = match g.neighbors(NodeId::new(u)) {
+                NeighborSet::List(l) => l,
+                NeighborSet::All => panic!("hypercube is not complete"),
+            };
+            assert_eq!(nb.len(), 4);
+            for &v in nb {
+                assert_eq!((u ^ v.raw()).count_ones(), 1);
+                assert!(g.are_neighbors(NodeId::new(u), v));
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mask_is_msb_first() {
+        // Dimension 0 toggles the most significant of the h bits.
+        assert_eq!(Hypercube::dimension_mask(3, 0), 0b100);
+        assert_eq!(Hypercube::dimension_mask(3, 1), 0b010);
+        assert_eq!(Hypercube::dimension_mask(3, 2), 0b001);
+    }
+
+    #[test]
+    fn along_walks_one_dimension() {
+        let g = Hypercube::new(3);
+        assert_eq!(g.along(NodeId::new(0b000), 0), NodeId::new(0b100));
+        assert_eq!(g.along(NodeId::new(0b101), 2), NodeId::new(0b100));
+    }
+
+    #[test]
+    fn hypercube_is_not_complete() {
+        let g = Hypercube::new(2);
+        assert!(!g.is_complete());
+        assert!(!g.are_neighbors(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dimensional_rejected() {
+        let _ = Hypercube::new(0);
+    }
+
+    #[test]
+    fn paired_hypercube_power_of_two_is_plain_hypercube() {
+        let g = paired_hypercube(8);
+        let cube = Hypercube::new(3);
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                assert_eq!(
+                    g.are_neighbors(NodeId::new(u), NodeId::new(v)),
+                    cube.are_neighbors(NodeId::new(u), NodeId::new(v)),
+                    "({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paired_hypercube_arbitrary_n() {
+        for n in [2, 3, 5, 6, 7, 9, 12, 100, 1000] {
+            let g = paired_hypercube(n);
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_connected(), "n = {n} must be connected");
+            let (_, max, mean) = g.degree_stats();
+            let h = if n.is_power_of_two() {
+                n.trailing_zeros()
+            } else {
+                usize::BITS - 1 - (n - 1).leading_zeros()
+            } as usize;
+            assert!(
+                max <= 2 * h + 1,
+                "n = {n}: max degree {max} > 2h+1 = {}",
+                2 * h + 1
+            );
+            assert!(
+                mean >= h as f64,
+                "n = {n}: mean degree {mean} below h = {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn paired_hypercube_degree_near_log_n() {
+        // The Figure 5 comparison point: for n = 4000 the overlay degree is
+        // Θ(log n) — between h = 11 and 2h + 1 = 23.
+        let g = paired_hypercube(4000);
+        let (min, max, mean) = g.degree_stats();
+        assert!(min >= 11, "min degree {min}");
+        assert!(max <= 23, "max degree {max}");
+        assert!((11.0..=23.0).contains(&mean));
+    }
+}

@@ -1,0 +1,53 @@
+//! Overlay-network topologies for the *Price of Barter* reproduction.
+//!
+//! The paper evaluates its algorithms on several overlay families:
+//!
+//! * the **complete graph** (re-exported [`CompleteOverlay`] from
+//!   `pob-sim`, represented virtually),
+//! * **random regular graphs** of varying degree ([`random_regular`]) —
+//!   the Figure 5/6/7 sweeps,
+//! * the **hypercube** ([`Hypercube`]) hosting the Binomial Pipeline and
+//!   its *hypercube-like* generalization to arbitrary populations
+//!   ([`paired_hypercube`]),
+//! * structured baselines: [`path`] (the §2.2.1 pipeline), [`ring`], and
+//!   [`d_ary_tree`] (the §2.2.2 multicast tree).
+//!
+//! All concrete graphs implement [`pob_sim::Topology`] and can be handed
+//! directly to the simulation engine.
+//!
+//! # Example
+//!
+//! ```
+//! use pob_overlay::{random_regular, Hypercube};
+//! use pob_sim::{NodeId, Topology};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let sparse = random_regular(64, 4, &mut rng)?;
+//! assert!(sparse.is_connected());
+//!
+//! let cube = Hypercube::new(6);
+//! assert_eq!(cube.node_count(), 64);
+//! assert_eq!(cube.degree(NodeId::new(0)), 6);
+//! # Ok::<(), pob_overlay::RandomRegularError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adjacency;
+mod embedding;
+mod hypercube;
+mod random_regular;
+mod structured;
+
+pub use adjacency::{AdjacencyOverlay, BuildOverlayError};
+pub use embedding::{HypercubeEmbedding, LinkCosts};
+pub use hypercube::{paired_hypercube, Hypercube};
+pub use random_regular::{random_regular, RandomRegularError};
+pub use structured::{d_ary_tree, path, ring, tree_depth};
+
+// Re-export the virtual complete overlay so downstream code only needs one
+// crate for topologies.
+pub use pob_sim::CompleteOverlay;

@@ -1,0 +1,258 @@
+//! Random `d`-regular graph sampling.
+//!
+//! The paper's Figure 5–7 sweeps run the randomized algorithms on "random
+//! regular graphs (in which each edge is equally likely)". We sample them
+//! with the standard *configuration (pairing) model*: give each node `d`
+//! stubs, shuffle, pair consecutive stubs — then repair the self-loops and
+//! multi-edges that the pairing produces with random double-edge swaps, and
+//! finally reject disconnected samples. For the degrees used in the paper
+//! (3–140) this is the standard practical sampler.
+
+use crate::AdjacencyOverlay;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Sampling a random regular graph failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomRegularError {
+    /// `n · d` must be even and `0 < d < n`.
+    InvalidParameters {
+        /// Number of nodes requested.
+        nodes: usize,
+        /// Degree requested.
+        degree: usize,
+    },
+    /// No connected simple graph was found within the attempt budget
+    /// (practically unreachable for `d ≥ 3`).
+    AttemptsExhausted,
+}
+
+impl fmt::Display for RandomRegularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RandomRegularError::InvalidParameters { nodes, degree } => write!(
+                f,
+                "no {degree}-regular graph on {nodes} nodes (need 0 < d < n and n·d even)"
+            ),
+            RandomRegularError::AttemptsExhausted => {
+                f.write_str("failed to sample a connected simple regular graph")
+            }
+        }
+    }
+}
+
+impl Error for RandomRegularError {}
+
+/// Samples a connected random `d`-regular simple graph on `n` nodes.
+///
+/// # Errors
+///
+/// Returns [`RandomRegularError::InvalidParameters`] unless `0 < d < n` and
+/// `n · d` is even, and [`RandomRegularError::AttemptsExhausted`] if no
+/// connected sample is found (vanishingly unlikely for `d ≥ 2`).
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::random_regular;
+/// use pob_sim::{NodeId, Topology};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let g = random_regular(100, 4, &mut rng)?;
+/// assert_eq!(g.node_count(), 100);
+/// assert!((0..100).all(|i| g.degree(NodeId::from_index(i)) == 4));
+/// assert!(g.is_connected());
+/// # Ok::<(), pob_overlay::RandomRegularError>(())
+/// ```
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<AdjacencyOverlay, RandomRegularError> {
+    if d == 0 || d >= n || !(n * d).is_multiple_of(2) {
+        return Err(RandomRegularError::InvalidParameters {
+            nodes: n,
+            degree: d,
+        });
+    }
+    if d == n - 1 {
+        // The complete graph is the unique (n−1)-regular simple graph; the
+        // swap repair cannot converge there, so build it directly.
+        let edges = (0..n as u32).flat_map(|a| (a + 1..n as u32).map(move |b| (a, b)));
+        return Ok(
+            AdjacencyOverlay::from_edges(n, edges).expect("complete graph edge list is simple")
+        );
+    }
+    const SAMPLE_ATTEMPTS: usize = 100;
+    for _ in 0..SAMPLE_ATTEMPTS {
+        if let Some(edges) = pair_and_repair(n, d, rng) {
+            let overlay = AdjacencyOverlay::from_edges(n, edges)
+                .expect("repaired pairing produced an invalid edge list");
+            if overlay.is_connected() {
+                return Ok(overlay);
+            }
+        }
+    }
+    Err(RandomRegularError::AttemptsExhausted)
+}
+
+/// One configuration-model draw followed by double-edge-swap repair.
+/// Returns `None` if repair stalls (caller resamples).
+fn pair_and_repair<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(u32, u32)>> {
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
+    stubs.shuffle(rng);
+    let mut edges: Vec<(u32, u32)> = stubs
+        .chunks_exact(2)
+        .map(|c| {
+            if c[0] <= c[1] {
+                (c[0], c[1])
+            } else {
+                (c[1], c[0])
+            }
+        })
+        .collect();
+
+    // `seen` holds each edge value claimed by exactly one *good* edge
+    // position; self-loops and later duplicate copies are marked bad.
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+    let mut is_bad = vec![false; edges.len()];
+    let mut bad: Vec<usize> = Vec::new();
+    for (i, &e) in edges.iter().enumerate() {
+        if e.0 == e.1 || !seen.insert(e) {
+            is_bad[i] = true;
+            bad.push(i);
+        }
+    }
+
+    // Each repair step rewires a bad edge (u,v) against a uniformly random
+    // good edge (x,y): replace them with (u,x) and (v,y) when that keeps
+    // the graph simple. This preserves all degrees.
+    let budget = 200 * edges.len() + 1000;
+    let mut steps = 0usize;
+    while let Some(&i) = bad.last() {
+        steps += 1;
+        if steps > budget {
+            return None;
+        }
+        let (u, v) = edges[i];
+        let j = rng.gen_range(0..edges.len());
+        if j == i || is_bad[j] {
+            continue;
+        }
+        let (mut x, mut y) = edges[j];
+        if rng.gen::<bool>() {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let e1 = ordered(u, x);
+        let e2 = ordered(v, y);
+        if u == x || v == y || e1 == e2 || seen.contains(&e1) || seen.contains(&e2) {
+            continue;
+        }
+        // Commit the swap. The bad edge's old value stays in `seen` when it
+        // was a duplicate — the first (good) copy still claims it.
+        seen.remove(&edges[j]);
+        seen.insert(e1);
+        seen.insert(e2);
+        edges[i] = e1;
+        edges[j] = e2;
+        is_bad[i] = false;
+        bad.pop();
+    }
+    Some(edges)
+}
+
+#[inline]
+fn ordered(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pob_sim::{NodeId, Topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_regular(g: &AdjacencyOverlay, n: usize, d: usize) {
+        assert_eq!(g.node_count(), n);
+        for i in 0..n {
+            assert_eq!(g.degree(NodeId::from_index(i)), d, "node {i} degree");
+        }
+        assert_eq!(g.edge_count(), n * d / 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn small_degrees() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [2, 3, 4, 5] {
+            let g = random_regular(50, d, &mut rng).unwrap();
+            assert_regular(&g, 50, d);
+        }
+    }
+
+    #[test]
+    fn high_degree_where_collisions_are_common() {
+        // d = 80 on n = 200: the raw pairing has many duplicates; the swap
+        // repair must still produce a simple regular graph.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_regular(200, 80, &mut rng).unwrap();
+        assert_regular(&g, 200, 80);
+    }
+
+    #[test]
+    fn odd_total_degree_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = random_regular(5, 3, &mut rng).unwrap_err();
+        assert!(matches!(err, RandomRegularError::InvalidParameters { .. }));
+    }
+
+    #[test]
+    fn degree_bounds_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_regular(5, 0, &mut rng).is_err());
+        assert!(random_regular(5, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn n_minus_one_regular_is_complete() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_regular(8, 7, &mut rng).unwrap();
+        assert_regular(&g, 8, 7);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                assert_eq!(
+                    g.are_neighbors(NodeId::new(i), NodeId::new(j)),
+                    i != j,
+                    "complete graph adjacency ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = random_regular(60, 4, &mut StdRng::seed_from_u64(10)).unwrap();
+        let g2 = random_regular(60, 4, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_ne!(g1, g2, "distinct seeds should give distinct graphs");
+        let g3 = random_regular(60, 4, &mut StdRng::seed_from_u64(10)).unwrap();
+        assert_eq!(g1, g3, "same seed reproduces the same graph");
+    }
+
+    #[test]
+    fn two_regular_is_a_union_of_cycles_and_we_keep_connected_samples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_regular(30, 2, &mut rng).unwrap();
+        assert_regular(&g, 30, 2); // connected 2-regular = Hamiltonian cycle
+    }
+}

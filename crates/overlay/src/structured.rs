@@ -1,0 +1,155 @@
+//! Deterministic structured overlays: trees, paths and rings.
+//!
+//! These back the simple algorithms of §2.2 — the pipeline runs on a
+//! [`path`], the multicast schedule on a [`d_ary_tree`] — and serve as
+//! degenerate baselines in overlay ablations.
+
+use crate::AdjacencyOverlay;
+
+/// The path overlay `0 — 1 — … — (n−1)`, used by the §2.2.1 pipeline.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::path;
+/// use pob_sim::{NodeId, Topology};
+///
+/// let g = path(4);
+/// assert!(g.are_neighbors(NodeId::new(1), NodeId::new(2)));
+/// assert!(!g.are_neighbors(NodeId::new(0), NodeId::new(2)));
+/// assert_eq!(g.degree(NodeId::new(0)), 1);
+/// ```
+pub fn path(n: usize) -> AdjacencyOverlay {
+    assert!(n >= 2, "a path needs at least two nodes");
+    AdjacencyOverlay::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))
+        .expect("path edges are simple")
+}
+
+/// The ring overlay `0 — 1 — … — (n−1) — 0`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> AdjacencyOverlay {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    AdjacencyOverlay::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+        .expect("ring edges are simple")
+}
+
+/// The complete `d`-ary tree overlay rooted at the server (§2.2.2).
+///
+/// Node `i`'s children are `d·i + 1 … d·i + d` (those below `n`), the usual
+/// array layout, so the root is node 0 and leaves sit at the end.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `d == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pob_overlay::{d_ary_tree, tree_depth};
+/// use pob_sim::{NodeId, Topology};
+///
+/// let g = d_ary_tree(7, 2); // perfect binary tree of depth 2
+/// assert!(g.are_neighbors(NodeId::new(0), NodeId::new(2)));
+/// assert!(g.are_neighbors(NodeId::new(1), NodeId::new(4)));
+/// assert_eq!(tree_depth(7, 2), 2);
+/// ```
+pub fn d_ary_tree(n: usize, d: usize) -> AdjacencyOverlay {
+    assert!(n >= 2, "a tree needs at least two nodes");
+    assert!(d >= 1, "arity must be positive");
+    let edges = (1..n as u32).map(|child| {
+        let parent = (child - 1) / d as u32;
+        (parent, child)
+    });
+    AdjacencyOverlay::from_edges(n, edges).expect("tree edges are simple")
+}
+
+/// Depth of the `n`-node complete `d`-ary tree (root at depth 0).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `d == 0`.
+pub fn tree_depth(n: usize, d: usize) -> u32 {
+    assert!(n >= 1 && d >= 1, "need n ≥ 1 and d ≥ 1");
+    let mut depth = 0u32;
+    let mut last = n - 1; // deepest node index
+    while last > 0 {
+        last = (last - 1) / d;
+        depth += 1;
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pob_sim::{NodeId, Topology};
+
+    #[test]
+    fn path_endpoints_have_degree_one() {
+        let g = path(5);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(4)), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_is_two_regular() {
+        let g = ring(6);
+        for i in 0..6 {
+            assert_eq!(g.degree(NodeId::from_index(i)), 2);
+        }
+        assert!(g.are_neighbors(NodeId::new(5), NodeId::new(0)));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = d_ary_tree(7, 2);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 3); // parent + two children
+        assert_eq!(g.degree(NodeId::new(6)), 1); // leaf
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ternary_tree_structure() {
+        let g = d_ary_tree(13, 3);
+        assert_eq!(g.degree(NodeId::new(0)), 3);
+        assert!(g.are_neighbors(NodeId::new(1), NodeId::new(4)));
+        assert!(g.are_neighbors(NodeId::new(1), NodeId::new(6)));
+        assert!(!g.are_neighbors(NodeId::new(1), NodeId::new(7)));
+    }
+
+    #[test]
+    fn tree_depths() {
+        assert_eq!(tree_depth(1, 2), 0);
+        assert_eq!(tree_depth(2, 2), 1);
+        assert_eq!(tree_depth(3, 2), 1);
+        assert_eq!(tree_depth(4, 2), 2);
+        assert_eq!(tree_depth(7, 2), 2);
+        assert_eq!(tree_depth(8, 2), 3);
+        assert_eq!(tree_depth(13, 3), 2);
+        assert_eq!(tree_depth(14, 3), 3);
+    }
+
+    #[test]
+    fn incomplete_last_level() {
+        let g = d_ary_tree(6, 2); // nodes 0..5; node 2 has one child (5)
+        assert_eq!(g.degree(NodeId::new(2)), 2);
+        assert!(g.are_neighbors(NodeId::new(2), NodeId::new(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_path_rejected() {
+        let _ = path(1);
+    }
+}

@@ -1,0 +1,112 @@
+//! The paper's bandwidth model.
+//!
+//! All nodes share an upload bandwidth `B` and a download bandwidth
+//! `D ≥ B`; bottlenecks sit at tail links. With one tick defined as the
+//! time to upload one block, a node can upload [`u32`] blocks per tick
+//! (usually 1; `m` for the `m×`-bandwidth server variant of §2.3.4) and can
+//! download [`DownloadCapacity`] blocks per tick.
+
+use std::fmt;
+
+/// Per-tick download capacity of a node, in blocks.
+///
+/// The paper mostly works with `D = B` (one block per tick, `Finite(1)`),
+/// `D = 2B` (`Finite(2)`, needed by the overlapped Riffle Pipeline) and
+/// `D = ∞` (`Unlimited`, used in the randomized-algorithm intuition).
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::DownloadCapacity;
+///
+/// assert!(DownloadCapacity::Unlimited.allows(1_000_000));
+/// assert!(DownloadCapacity::Finite(2).allows(1));
+/// assert!(!DownloadCapacity::Finite(2).allows(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(rename_all = "kebab-case"))]
+pub enum DownloadCapacity {
+    /// At most this many blocks per tick (`D / B` in the paper's units).
+    Finite(u32),
+    /// No download constraint (`D = ∞`).
+    Unlimited,
+}
+
+impl DownloadCapacity {
+    /// Whether a node that has already accepted `used` blocks this tick may
+    /// accept one more.
+    #[inline]
+    pub fn allows(self, used: u32) -> bool {
+        match self {
+            DownloadCapacity::Finite(cap) => used < cap,
+            DownloadCapacity::Unlimited => true,
+        }
+    }
+
+    /// The capacity as an optional finite count.
+    #[inline]
+    pub fn as_finite(self) -> Option<u32> {
+        match self {
+            DownloadCapacity::Finite(cap) => Some(cap),
+            DownloadCapacity::Unlimited => None,
+        }
+    }
+}
+
+impl Default for DownloadCapacity {
+    /// Defaults to `Finite(1)`, the paper's base model `D = B`.
+    fn default() -> Self {
+        DownloadCapacity::Finite(1)
+    }
+}
+
+impl fmt::Display for DownloadCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DownloadCapacity::Finite(cap) => write!(f, "{cap}B"),
+            DownloadCapacity::Unlimited => write!(f, "∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_allows_up_to_cap() {
+        let d = DownloadCapacity::Finite(2);
+        assert!(d.allows(0));
+        assert!(d.allows(1));
+        assert!(!d.allows(2));
+        assert!(!d.allows(100));
+    }
+
+    #[test]
+    fn unlimited_always_allows() {
+        assert!(DownloadCapacity::Unlimited.allows(u32::MAX - 1));
+    }
+
+    #[test]
+    fn zero_capacity_never_allows() {
+        assert!(!DownloadCapacity::Finite(0).allows(0));
+    }
+
+    #[test]
+    fn default_is_one_block_per_tick() {
+        assert_eq!(DownloadCapacity::default(), DownloadCapacity::Finite(1));
+    }
+
+    #[test]
+    fn as_finite() {
+        assert_eq!(DownloadCapacity::Finite(3).as_finite(), Some(3));
+        assert_eq!(DownloadCapacity::Unlimited.as_finite(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DownloadCapacity::Finite(2).to_string(), "2B");
+        assert_eq!(DownloadCapacity::Unlimited.to_string(), "∞");
+    }
+}

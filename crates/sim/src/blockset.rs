@@ -1,0 +1,688 @@
+//! A fixed-universe bitset over block identifiers.
+//!
+//! Every node's inventory is a subset of the `k` file blocks, and the hot
+//! paths of the simulator (interest checks, block selection) are set
+//! operations, so a packed `u64` bitset is the core data structure.
+
+use crate::BlockId;
+use rand::Rng;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of blocks drawn from a fixed universe `0 .. k`.
+///
+/// All operations are on whole 64-bit words, so interest checks between two
+/// inventories cost `O(k / 64)` with early exit.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::{BlockId, BlockSet};
+///
+/// let mut set = BlockSet::empty(100);
+/// set.insert(BlockId::new(3));
+/// set.insert(BlockId::new(64));
+/// assert!(set.contains(BlockId::new(3)));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![BlockId::new(3), BlockId::new(64)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BlockSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl BlockSet {
+    /// Creates an empty set over the universe `0 .. universe`.
+    pub fn empty(universe: usize) -> Self {
+        BlockSet {
+            words: vec![0; universe.div_ceil(WORD_BITS)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Creates a full set containing every block in `0 .. universe`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pob_sim::BlockSet;
+    /// let s = BlockSet::full(70);
+    /// assert_eq!(s.len(), 70);
+    /// assert!(s.is_full());
+    /// ```
+    pub fn full(universe: usize) -> Self {
+        let mut words = vec![u64::MAX; universe.div_ceil(WORD_BITS)];
+        Self::mask_tail(&mut words, universe);
+        BlockSet {
+            words,
+            universe,
+            len: universe,
+        }
+    }
+
+    fn mask_tail(words: &mut [u64], universe: usize) {
+        let rem = universe % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// The size of the universe this set draws from.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of blocks in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the set contains every block in the universe.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.universe
+    }
+
+    /// Whether `block` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is outside the universe.
+    #[inline]
+    pub fn contains(&self, block: BlockId) -> bool {
+        let i = block.index();
+        assert!(
+            i < self.universe,
+            "block {block} outside universe {}",
+            self.universe
+        );
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Inserts `block`, returning `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, block: BlockId) -> bool {
+        let i = block.index();
+        assert!(
+            i < self.universe,
+            "block {block} outside universe {}",
+            self.universe
+        );
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `block`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is outside the universe.
+    #[inline]
+    pub fn remove(&mut self, block: BlockId) -> bool {
+        let i = block.index();
+        assert!(
+            i < self.universe,
+            "block {block} outside universe {}",
+            self.universe
+        );
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Removes every block from the set (keeping the universe).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Whether `self` has at least one block not in `other`.
+    ///
+    /// This is the paper's *interest* test: node `v` is interested in node
+    /// `u`'s content iff `u.has_any_not_in(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[inline]
+    pub fn has_any_not_in(&self, other: &BlockSet) -> bool {
+        self.check_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & !b != 0)
+    }
+
+    /// Whether `self` has at least one block in neither `b` nor `c`.
+    ///
+    /// Used for interest tests that also exclude blocks already *pending*
+    /// delivery in the current tick (the paper's duplicate-suppressing
+    /// handshake).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[inline]
+    pub fn has_any_not_in_either(&self, b: &BlockSet, c: &BlockSet) -> bool {
+        self.check_universe(b);
+        self.check_universe(c);
+        self.words
+            .iter()
+            .zip(b.words.iter().zip(&c.words))
+            .any(|(a, (b, c))| a & !(b | c) != 0)
+    }
+
+    /// Whether `self` is a subset of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: &BlockSet) -> bool {
+        self.check_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of blocks in `self` but not in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_len(&self, other: &BlockSet) -> usize {
+        self.check_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Overwrites `self` with the contents of `other` without
+    /// reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn copy_from(&mut self, other: &BlockSet) {
+        self.check_universe(other);
+        self.words.copy_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Makes the set full (every block present) without reallocating.
+    pub fn fill(&mut self) {
+        self.words.fill(u64::MAX);
+        Self::mask_tail(&mut self.words, self.universe);
+        self.len = self.universe;
+    }
+
+    /// Keeps only the blocks also present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &BlockSet) {
+        self.check_universe(other);
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Inserts every block of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &BlockSet) {
+        self.check_universe(other);
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// The highest-index block in `self` that is **not** in `other`, if any.
+    ///
+    /// This is the Binomial Pipeline's transmit rule: send "the highest-index
+    /// block that it has" (restricted here to blocks novel to the receiver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn highest_not_in(&self, other: &BlockSet) -> Option<BlockId> {
+        self.check_universe(other);
+        for (w, (a, b)) in self.words.iter().zip(&other.words).enumerate().rev() {
+            let diff = a & !b;
+            if diff != 0 {
+                let bit = 63 - diff.leading_zeros() as usize;
+                return Some(BlockId::from_index(w * WORD_BITS + bit));
+            }
+        }
+        None
+    }
+
+    /// The highest-index block in the set, if non-empty.
+    pub fn highest(&self) -> Option<BlockId> {
+        for (w, a) in self.words.iter().enumerate().rev() {
+            if *a != 0 {
+                let bit = 63 - a.leading_zeros() as usize;
+                return Some(BlockId::from_index(w * WORD_BITS + bit));
+            }
+        }
+        None
+    }
+
+    /// The lowest-index block in the set, if non-empty.
+    pub fn lowest(&self) -> Option<BlockId> {
+        for (w, a) in self.words.iter().enumerate() {
+            if *a != 0 {
+                let bit = a.trailing_zeros() as usize;
+                return Some(BlockId::from_index(w * WORD_BITS + bit));
+            }
+        }
+        None
+    }
+
+    /// Iterates the members in increasing index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterates, in increasing order, the blocks of `self` that are in
+    /// neither `b` nor `c`.
+    ///
+    /// Used to enumerate candidate blocks for a transfer: blocks the sender
+    /// has that the receiver neither holds nor is about to receive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn iter_not_in_either<'a>(
+        &'a self,
+        b: &'a BlockSet,
+        c: &'a BlockSet,
+    ) -> DifferenceIter<'a> {
+        self.check_universe(b);
+        self.check_universe(c);
+        let first = match self.words.first() {
+            Some(&w) => w & !(b.words[0] | c.words[0]),
+            None => 0,
+        };
+        DifferenceIter {
+            a: &self.words,
+            b: &b.words,
+            c: &c.words,
+            word_idx: 0,
+            current: first,
+        }
+    }
+
+    /// Picks a uniformly random member of `self \ (b ∪ c)`, if any.
+    ///
+    /// Implements the *Random* block-selection policy. Runs one counting
+    /// pass plus one locating pass over the word array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn random_not_in_either<R: Rng + ?Sized>(
+        &self,
+        b: &BlockSet,
+        c: &BlockSet,
+        rng: &mut R,
+    ) -> Option<BlockId> {
+        self.check_universe(b);
+        self.check_universe(c);
+        let mut total = 0usize;
+        for ((a, b), c) in self.words.iter().zip(&b.words).zip(&c.words) {
+            total += (a & !(b | c)).count_ones() as usize;
+        }
+        if total == 0 {
+            return None;
+        }
+        let mut target = rng.gen_range(0..total);
+        for (w, ((a, b), c)) in self.words.iter().zip(&b.words).zip(&c.words).enumerate() {
+            let mut diff = a & !(b | c);
+            let count = diff.count_ones() as usize;
+            if target < count {
+                for _ in 0..target {
+                    diff &= diff - 1; // clear lowest set bit
+                }
+                let bit = diff.trailing_zeros() as usize;
+                return Some(BlockId::from_index(w * WORD_BITS + bit));
+            }
+            target -= count;
+        }
+        unreachable!("counted bits disappeared");
+    }
+
+    #[inline]
+    fn check_universe(&self, other: &BlockSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "block-set universes differ ({} vs {})",
+            self.universe, other.universe
+        );
+    }
+}
+
+impl fmt::Debug for BlockSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<BlockId> for BlockSet {
+    /// Collects blocks into a set whose universe is one past the largest
+    /// collected index (or empty universe for an empty iterator). Prefer
+    /// [`BlockSet::empty`] + [`BlockSet::insert`] when the universe is known.
+    fn from_iter<I: IntoIterator<Item = BlockId>>(iter: I) -> Self {
+        let blocks: Vec<BlockId> = iter.into_iter().collect();
+        let universe = blocks.iter().map(|b| b.index() + 1).max().unwrap_or(0);
+        let mut set = BlockSet::empty(universe);
+        for b in blocks {
+            set.insert(b);
+        }
+        set
+    }
+}
+
+impl Extend<BlockId> for BlockSet {
+    fn extend<I: IntoIterator<Item = BlockId>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockSet {
+    type Item = BlockId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`BlockSet`], in increasing order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(BlockId::from_index(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Iterator over `a \ (b ∪ c)` produced by [`BlockSet::iter_not_in_either`].
+#[derive(Debug, Clone)]
+pub struct DifferenceIter<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    c: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for DifferenceIter<'_> {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(BlockId::from_index(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.a.len() {
+                return None;
+            }
+            self.current = self.a[self.word_idx] & !(self.b[self.word_idx] | self.c[self.word_idx]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn set(universe: usize, blocks: &[u32]) -> BlockSet {
+        let mut s = BlockSet::empty(universe);
+        for &b in blocks {
+            s.insert(BlockId::new(b));
+        }
+        s
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = BlockSet::empty(100);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = BlockSet::full(100);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 100);
+        assert!((0..100).all(|i| f.contains(BlockId::new(i))));
+    }
+
+    #[test]
+    fn full_masks_tail_bits() {
+        // Universe not a multiple of 64: tail bits must not leak into len.
+        for universe in [1, 63, 64, 65, 127, 130] {
+            let f = BlockSet::full(universe);
+            assert_eq!(f.len(), universe);
+            assert_eq!(f.iter().count(), universe);
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BlockSet::empty(70);
+        assert!(s.insert(BlockId::new(65)));
+        assert!(!s.insert(BlockId::new(65)), "double insert reports false");
+        assert!(s.contains(BlockId::new(65)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(BlockId::new(65)));
+        assert!(!s.remove(BlockId::new(65)), "double remove reports false");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interest_check() {
+        let a = set(128, &[1, 70]);
+        let b = set(128, &[1]);
+        assert!(a.has_any_not_in(&b));
+        assert!(!b.has_any_not_in(&a));
+        assert!(!a.has_any_not_in(&a));
+    }
+
+    #[test]
+    fn interest_check_with_pending() {
+        let a = set(128, &[1, 70]);
+        let b = set(128, &[1]);
+        let pending = set(128, &[70]);
+        assert!(!a.has_any_not_in_either(&b, &pending));
+        let pending2 = set(128, &[99]);
+        assert!(a.has_any_not_in_either(&b, &pending2));
+    }
+
+    #[test]
+    fn subset_and_difference() {
+        let a = set(64, &[1, 2, 3]);
+        let b = set(64, &[1, 2, 3, 4]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(b.difference_len(&a), 1);
+        assert_eq!(a.difference_len(&b), 0);
+    }
+
+    #[test]
+    fn copy_from_and_fill() {
+        let src = set(130, &[0, 129]);
+        let mut dst = BlockSet::empty(130);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.fill();
+        assert!(dst.is_full());
+        assert_eq!(dst.len(), 130);
+    }
+
+    #[test]
+    fn intersect_recomputes_len() {
+        let mut a = set(130, &[0, 64, 129]);
+        let b = set(130, &[64, 100, 129]);
+        a.intersect_with(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(BlockId::new(64)));
+        assert!(a.contains(BlockId::new(129)));
+        assert!(!a.contains(BlockId::new(0)));
+    }
+
+    #[test]
+    fn union_recomputes_len() {
+        let mut a = set(130, &[0, 64, 129]);
+        let b = set(130, &[64, 100]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(BlockId::new(100)));
+    }
+
+    #[test]
+    fn highest_and_lowest() {
+        let a = set(200, &[3, 64, 150]);
+        assert_eq!(a.highest(), Some(BlockId::new(150)));
+        assert_eq!(a.lowest(), Some(BlockId::new(3)));
+        assert_eq!(BlockSet::empty(10).highest(), None);
+        assert_eq!(BlockSet::empty(10).lowest(), None);
+    }
+
+    #[test]
+    fn highest_not_in() {
+        let a = set(200, &[3, 64, 150]);
+        let b = set(200, &[150]);
+        assert_eq!(a.highest_not_in(&b), Some(BlockId::new(64)));
+        let all = BlockSet::full(200);
+        assert_eq!(a.highest_not_in(&all), None);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let a = set(300, &[299, 0, 65, 5]);
+        let v: Vec<u32> = a.iter().map(|b| b.raw()).collect();
+        assert_eq!(v, vec![0, 5, 65, 299]);
+    }
+
+    #[test]
+    fn difference_iteration() {
+        let a = set(128, &[0, 5, 64, 100]);
+        let b = set(128, &[5]);
+        let c = set(128, &[100]);
+        let v: Vec<u32> = a.iter_not_in_either(&b, &c).map(|x| x.raw()).collect();
+        assert_eq!(v, vec![0, 64]);
+    }
+
+    #[test]
+    fn random_selection_is_over_difference() {
+        let a = set(128, &[0, 5, 64, 100]);
+        let b = set(128, &[5]);
+        let c = set(128, &[100]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let got = a.random_not_in_either(&b, &c, &mut rng).unwrap();
+            assert!(got == BlockId::new(0) || got == BlockId::new(64));
+            seen.insert(got);
+        }
+        assert_eq!(seen.len(), 2, "both candidates eventually selected");
+    }
+
+    #[test]
+    fn random_selection_empty_difference() {
+        let a = set(64, &[1]);
+        let b = set(64, &[1]);
+        let c = BlockSet::empty(64);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(a.random_not_in_either(&b, &c, &mut rng), None);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: BlockSet = [BlockId::new(2), BlockId::new(9)].into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert_eq!(s.len(), 2);
+        let mut t = BlockSet::empty(20);
+        t.extend([BlockId::new(1), BlockId::new(19)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "universes differ")]
+    fn mismatched_universe_panics() {
+        let a = BlockSet::empty(10);
+        let b = BlockSet::empty(11);
+        let _ = a.has_any_not_in(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        let mut a = BlockSet::empty(10);
+        a.insert(BlockId::new(10));
+    }
+}

@@ -1,0 +1,822 @@
+//! The synchronous tick engine.
+//!
+//! Each tick the engine hands a fresh [`TickPlanner`] to the strategy,
+//! validates the resulting transfer set against the active mechanism, and
+//! commits: blocks are delivered simultaneously at the end of the tick, so
+//! a block received in tick `t` can first be re-uploaded in tick `t + 1`
+//! (the paper's store-and-forward rule).
+
+use crate::planner::TickBuffers;
+use crate::{
+    CreditLedger, DownloadCapacity, Mechanism, NodeId, RunReport, SimError, SimState, Tick,
+    TickPlanner, Topology,
+};
+use rand::rngs::StdRng;
+
+/// Static configuration of a simulation run.
+///
+/// Construct with [`SimConfig::new`] and chain `with_*` methods.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::{DownloadCapacity, Mechanism, SimConfig};
+///
+/// let cfg = SimConfig::new(1024, 512)
+///     .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+///     .with_download_capacity(DownloadCapacity::Unlimited)
+///     .with_max_ticks(50_000);
+/// assert_eq!(cfg.nodes, 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of nodes, including the server.
+    pub nodes: usize,
+    /// Number of file blocks `k`.
+    pub blocks: usize,
+    /// The barter mechanism to enforce.
+    pub mechanism: Mechanism,
+    /// Per-node download capacity per tick.
+    pub download_capacity: DownloadCapacity,
+    /// Server upload capacity per tick (`m` in the §2.3.4 variant).
+    pub server_upload_capacity: u32,
+    /// Client upload capacity per tick (1 in the paper's model).
+    pub client_upload_capacity: u32,
+    /// Hard cap on simulated ticks; runs that reach it report
+    /// `completion = None`.
+    pub max_ticks: u32,
+    /// Record the number of transfers in each tick (costs one `Vec` push
+    /// per tick).
+    pub record_tick_stats: bool,
+}
+
+impl SimConfig {
+    /// Default tick cap: generous enough for every algorithm in the paper
+    /// that converges, small enough to cut off diverging runs.
+    pub fn default_max_ticks(nodes: usize, blocks: usize) -> u32 {
+        let base = 40u64 * (nodes as u64 + blocks as u64) + 64;
+        u32::try_from(base.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+    }
+
+    /// Creates a configuration with the paper's base model: cooperative,
+    /// `D = B`, unit upload capacities, and a generous tick cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `blocks == 0`.
+    pub fn new(nodes: usize, blocks: usize) -> Self {
+        assert!(nodes >= 2, "need a server and at least one client");
+        assert!(blocks >= 1, "file must have at least one block");
+        SimConfig {
+            nodes,
+            blocks,
+            mechanism: Mechanism::Cooperative,
+            download_capacity: DownloadCapacity::Finite(1),
+            server_upload_capacity: 1,
+            client_upload_capacity: 1,
+            max_ticks: Self::default_max_ticks(nodes, blocks),
+            record_tick_stats: false,
+        }
+    }
+
+    /// Sets the barter mechanism.
+    pub fn with_mechanism(mut self, mechanism: Mechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the per-tick download capacity.
+    pub fn with_download_capacity(mut self, capacity: DownloadCapacity) -> Self {
+        self.download_capacity = capacity;
+        self
+    }
+
+    /// Sets the server's upload capacity (the `m×`-bandwidth server).
+    pub fn with_server_upload_capacity(mut self, capacity: u32) -> Self {
+        self.server_upload_capacity = capacity;
+        self
+    }
+
+    /// Sets the clients' upload capacity.
+    pub fn with_client_upload_capacity(mut self, capacity: u32) -> Self {
+        self.client_upload_capacity = capacity;
+        self
+    }
+
+    /// Sets the tick cap.
+    pub fn with_max_ticks(mut self, max_ticks: u32) -> Self {
+        self.max_ticks = max_ticks;
+        self
+    }
+
+    /// Enables per-tick transfer counts in the report.
+    pub fn with_tick_stats(mut self, record: bool) -> Self {
+        self.record_tick_stats = record;
+        self
+    }
+}
+
+/// A content-distribution algorithm driving the engine.
+///
+/// Implementations receive one callback per tick and submit transfers via
+/// [`TickPlanner::propose`]. Deterministic schedules should surface any
+/// rejection as [`SimError::BadSchedule`]; randomized strategies treat
+/// rejections as "pick someone else".
+pub trait Strategy {
+    /// Plans the transfers of one tick.
+    ///
+    /// # Errors
+    ///
+    /// Deterministic schedules return [`SimError::BadSchedule`] when one of
+    /// their planned transfers is rejected — that always indicates a bug in
+    /// the schedule or a model mismatch.
+    fn on_tick(&mut self, planner: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError>;
+
+    /// A short display name for reports.
+    fn name(&self) -> &str {
+        "strategy"
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &mut S {
+    fn on_tick(&mut self, planner: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        (**self).on_tick(planner, rng)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The synchronous simulation engine.
+///
+/// Owns the run state; borrow the overlay. One engine executes one run.
+///
+/// # Examples
+///
+/// See [`RunReport`] for a complete end-to-end example.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    config: SimConfig,
+    topology: &'a dyn Topology,
+    state: SimState,
+    ledger: CreditLedger,
+    upload_caps: Vec<u32>,
+    download_caps: Vec<DownloadCapacity>,
+    bufs: TickBuffers,
+    tick: Tick,
+    total_uploads: u64,
+    server_uploads: u64,
+    per_tick: Option<Vec<u32>>,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for the given configuration and overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay's node count differs from `config.nodes`.
+    pub fn new(config: SimConfig, topology: &'a dyn Topology) -> Self {
+        assert_eq!(
+            topology.node_count(),
+            config.nodes,
+            "overlay has {} nodes but config says {}",
+            topology.node_count(),
+            config.nodes
+        );
+        let mut upload_caps = vec![config.client_upload_capacity; config.nodes];
+        upload_caps[NodeId::SERVER.index()] = config.server_upload_capacity;
+        Engine {
+            config,
+            topology,
+            state: SimState::new(config.nodes, config.blocks),
+            ledger: CreditLedger::new(),
+            upload_caps,
+            download_caps: vec![config.download_capacity; config.nodes],
+            bufs: TickBuffers::new(config.nodes, config.blocks),
+            tick: Tick::ZERO,
+            total_uploads: 0,
+            server_uploads: 0,
+            per_tick: config.record_tick_stats.then(Vec::new),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Read access to the evolving state (useful mid-run in tests).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// The last simulated tick (`Tick::ZERO` before the first step).
+    pub fn current_tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// Read access to the pairwise credit ledger.
+    pub fn ledger(&self) -> &CreditLedger {
+        &self.ledger
+    }
+
+    /// The transfers committed by the most recent [`step`](Self::step).
+    pub fn last_transfers(&self) -> &[crate::Transfer] {
+        &self.bufs.transfers
+    }
+
+    /// Replaces the overlay network mid-run.
+    ///
+    /// Used by experiments where nodes periodically change their neighbors
+    /// (§3.2.4's "allowed to change their neighbors periodically"); the
+    /// inventories, ledger, and tick counter are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new overlay's node count differs.
+    pub fn set_topology(&mut self, topology: &'a dyn Topology) {
+        assert_eq!(
+            topology.node_count(),
+            self.config.nodes,
+            "replacement overlay has {} nodes but config says {}",
+            topology.node_count(),
+            self.config.nodes
+        );
+        self.topology = topology;
+    }
+
+    /// Overrides individual upload capacities (e.g. heterogeneous client
+    /// bandwidths). Lengths must match the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps.len() != nodes`.
+    pub fn set_upload_capacities(&mut self, caps: Vec<u32>) {
+        assert_eq!(
+            caps.len(),
+            self.config.nodes,
+            "capacity vector length mismatch"
+        );
+        self.upload_caps = caps;
+    }
+
+    /// Overrides individual download capacities (heterogeneous client
+    /// links). Lengths must match the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps.len() != nodes`.
+    pub fn set_download_capacities(&mut self, caps: Vec<DownloadCapacity>) {
+        assert_eq!(
+            caps.len(),
+            self.config.nodes,
+            "capacity vector length mismatch"
+        );
+        self.download_caps = caps;
+    }
+
+    /// Seeds a client with blocks it already holds before the run starts —
+    /// a node resuming an interrupted download, or a secondary seed.
+    /// Blocks the client already holds are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first [`step`](Self::step), or for the
+    /// server (which is always fully seeded).
+    pub fn preseed<I: IntoIterator<Item = crate::BlockId>>(&mut self, client: NodeId, blocks: I) {
+        assert_eq!(
+            self.tick,
+            Tick::ZERO,
+            "preseed must happen before the run starts"
+        );
+        assert!(!client.is_server(), "the server is always fully seeded");
+        for b in blocks {
+            if !self.state.holds(client, b) {
+                self.state.deliver(client, b, Tick::ZERO);
+            }
+        }
+    }
+
+    /// Simulates one tick: plans, validates, and commits.
+    ///
+    /// Returns `true` while the run should continue (not complete, cap not
+    /// reached). Does nothing and returns `false` once all clients are
+    /// complete or the tick cap was hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::BadSchedule`] from deterministic schedules
+    /// and reports [`SimError::Mechanism`] if the committed tick violates
+    /// the configured barter mechanism.
+    pub fn step<S: Strategy + ?Sized>(
+        &mut self,
+        strategy: &mut S,
+        rng: &mut StdRng,
+    ) -> Result<bool, SimError> {
+        if self.state.all_complete() || self.tick.get() >= self.config.max_ticks {
+            return Ok(false);
+        }
+        self.tick = self.tick.next();
+        let tick = self.tick;
+        self.bufs.reset();
+        {
+            let mut planner = TickPlanner::new(
+                &self.state,
+                self.topology,
+                self.config.mechanism,
+                &self.ledger,
+                &self.download_caps,
+                &self.upload_caps,
+                tick,
+                &mut self.bufs,
+            );
+            strategy.on_tick(&mut planner, rng)?;
+        }
+        // Commit phase: validate the whole tick, settle the credit ledger,
+        // then deliver.
+        self.config
+            .mechanism
+            .settle_tick(&self.bufs.transfers, &mut self.ledger, tick)?;
+        let count = self.bufs.transfers.len() as u32;
+        for t in &self.bufs.transfers {
+            self.state.deliver(t.to, t.block, tick);
+            self.total_uploads += 1;
+            if t.from.is_server() {
+                self.server_uploads += 1;
+            }
+        }
+        if let Some(v) = self.per_tick.as_mut() {
+            v.push(count);
+        }
+        Ok(!self.state.all_complete() && self.tick.get() < self.config.max_ticks)
+    }
+
+    /// Produces the report for the run so far (typically called once the
+    /// stepping loop ends).
+    pub fn report(&self) -> RunReport {
+        let completion = self.state.all_complete().then_some(self.tick);
+        RunReport {
+            nodes: self.config.nodes,
+            blocks: self.config.blocks,
+            mechanism: self.config.mechanism,
+            completion,
+            ticks_run: self.tick.get(),
+            node_completions: self.state.completion_ticks().to_vec(),
+            total_uploads: self.total_uploads,
+            server_uploads: self.server_uploads,
+            uploads_per_tick: self.per_tick.clone(),
+        }
+    }
+
+    /// Runs the strategy to completion (or the tick cap), consuming the
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::BadSchedule`] from deterministic schedules
+    /// and reports [`SimError::Mechanism`] if a committed tick violates the
+    /// configured barter mechanism.
+    pub fn run<S: Strategy + ?Sized>(
+        mut self,
+        strategy: &mut S,
+        rng: &mut StdRng,
+    ) -> Result<RunReport, SimError> {
+        while self.step(strategy, rng)? {}
+        Ok(self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockId, CompleteOverlay, RejectTransferError, Transfer};
+    use rand::SeedableRng;
+
+    /// Server pushes blocks round-robin to clients, lowest missing first.
+    struct NaiveServerPush;
+
+    impl Strategy for NaiveServerPush {
+        fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut StdRng) -> Result<(), SimError> {
+            for c in 1..p.node_count() {
+                let v = NodeId::from_index(c);
+                if p.upload_left(NodeId::SERVER) == 0 {
+                    break;
+                }
+                if !p.can_download(v) {
+                    continue;
+                }
+                let inv = p.state().inventory(NodeId::SERVER);
+                if let Some(b) = inv.highest_not_in(p.state().inventory(v)) {
+                    p.propose(NodeId::SERVER, v, b)
+                        .map_err(|reason| SimError::BadSchedule {
+                            transfer: Transfer::new(NodeId::SERVER, v, b),
+                            reason,
+                            tick: p.tick(),
+                        })?;
+                }
+            }
+            Ok(())
+        }
+
+        fn name(&self) -> &str {
+            "naive-server-push"
+        }
+    }
+
+    #[test]
+    fn server_only_distribution_takes_k_times_clients() {
+        // One upload per tick from the server: (n−1)·k ticks.
+        let overlay = CompleteOverlay::new(4);
+        let engine = Engine::new(SimConfig::new(4, 5), &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = engine.run(&mut NaiveServerPush, &mut rng).unwrap();
+        assert_eq!(report.completion_time(), Some(15));
+        assert_eq!(report.total_uploads, 15);
+        assert_eq!(report.server_uploads, 15);
+    }
+
+    #[test]
+    fn m_fold_server_speeds_up_naive_push() {
+        let overlay = CompleteOverlay::new(4);
+        let cfg = SimConfig::new(4, 5).with_server_upload_capacity(3);
+        let engine = Engine::new(cfg, &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = engine.run(&mut NaiveServerPush, &mut rng).unwrap();
+        assert_eq!(report.completion_time(), Some(5));
+    }
+
+    #[test]
+    fn tick_cap_yields_censored_report() {
+        struct DoNothing;
+        impl Strategy for DoNothing {
+            fn on_tick(
+                &mut self,
+                _p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                Ok(())
+            }
+        }
+        let overlay = CompleteOverlay::new(3);
+        let cfg = SimConfig::new(3, 2).with_max_ticks(10);
+        let engine = Engine::new(cfg, &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = engine.run(&mut DoNothing, &mut rng).unwrap();
+        assert!(!report.completed());
+        assert_eq!(report.ticks_run, 10);
+        assert_eq!(report.censored_completion_time(), 10);
+    }
+
+    #[test]
+    fn strict_barter_violation_is_reported() {
+        struct OneWayClientTransfer;
+        impl Strategy for OneWayClientTransfer {
+            fn on_tick(
+                &mut self,
+                p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                let t = p.tick().get();
+                if t == 1 {
+                    p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+                        .unwrap();
+                } else if t == 2 {
+                    // Unpaired client-to-client transfer: violates strict barter.
+                    p.propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+                        .unwrap();
+                }
+                Ok(())
+            }
+        }
+        let overlay = CompleteOverlay::new(3);
+        let cfg = SimConfig::new(3, 2).with_mechanism(Mechanism::StrictBarter);
+        let engine = Engine::new(cfg, &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = engine.run(&mut OneWayClientTransfer, &mut rng).unwrap_err();
+        assert!(matches!(err, SimError::Mechanism(_)));
+    }
+
+    #[test]
+    fn per_tick_stats_recorded_when_requested() {
+        let overlay = CompleteOverlay::new(3);
+        let cfg = SimConfig::new(3, 2).with_tick_stats(true);
+        let engine = Engine::new(cfg, &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = engine.run(&mut NaiveServerPush, &mut rng).unwrap();
+        let per_tick = report.uploads_per_tick.as_ref().unwrap();
+        assert_eq!(per_tick.len() as u32, report.ticks_run);
+        assert_eq!(
+            per_tick.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            report.total_uploads
+        );
+    }
+
+    #[test]
+    fn credit_ledger_tracks_across_ticks() {
+        struct PingPong;
+        impl Strategy for PingPong {
+            fn on_tick(
+                &mut self,
+                p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                match p.tick().get() {
+                    1 => {
+                        p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+                            .unwrap();
+                    }
+                    2 => {
+                        // C1 gives its block to C2: net(C1→C2) = 1, at limit.
+                        p.propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+                            .unwrap();
+                        p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(1))
+                            .unwrap();
+                    }
+                    3 => {
+                        // C1 is now at the credit limit with C2: must be rejected.
+                        let err = p
+                            .propose(NodeId::new(1), NodeId::new(2), BlockId::new(1))
+                            .unwrap_err();
+                        assert_eq!(err, RejectTransferError::CreditExceeded);
+                        // C2 can still repay.
+                        p.propose(NodeId::SERVER, NodeId::new(2), BlockId::new(1))
+                            .unwrap();
+                    }
+                    _ => {
+                        // Let the engine finish naturally.
+                        for c in 1..p.node_count() {
+                            let v = NodeId::from_index(c);
+                            if p.upload_left(NodeId::SERVER) == 0 || !p.can_download(v) {
+                                continue;
+                            }
+                            let inv = p.state().inventory(NodeId::SERVER);
+                            if let Some(b) = inv.highest_not_in(p.state().inventory(v)) {
+                                let _ = p.propose(NodeId::SERVER, v, b);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+        let overlay = CompleteOverlay::new(3);
+        let cfg = SimConfig::new(3, 2).with_mechanism(Mechanism::CreditLimited { credit: 1 });
+        let engine = Engine::new(cfg, &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = engine.run(&mut PingPong, &mut rng).unwrap();
+        assert!(report.completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlay has")]
+    fn mismatched_overlay_panics() {
+        let overlay = CompleteOverlay::new(5);
+        let _ = Engine::new(SimConfig::new(4, 1), &overlay);
+    }
+
+    #[test]
+    fn stepping_api_matches_run() {
+        let overlay = CompleteOverlay::new(4);
+        let consumed = Engine::new(SimConfig::new(4, 5), &overlay)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let mut engine = Engine::new(SimConfig::new(4, 5), &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut steps = 0;
+        while engine.step(&mut NaiveServerPush, &mut rng).unwrap() {
+            steps += 1;
+        }
+        let stepped = engine.report();
+        assert_eq!(stepped, consumed);
+        assert_eq!(steps + 1, stepped.ticks_run);
+        // Further steps are no-ops.
+        assert!(!engine.step(&mut NaiveServerPush, &mut rng).unwrap());
+        assert_eq!(engine.report(), stepped);
+    }
+
+    #[test]
+    fn last_transfers_reflect_most_recent_step() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 2), &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        engine.step(&mut NaiveServerPush, &mut rng).unwrap();
+        assert_eq!(engine.last_transfers().len(), 1);
+        assert_eq!(engine.current_tick(), Tick::new(1));
+        assert_eq!(engine.ledger().imbalanced_pairs(), 0);
+    }
+
+    #[test]
+    fn topology_can_be_swapped_mid_run() {
+        use crate::NeighborSet;
+        // Start on an overlay where the server reaches only C1, then swap
+        // to the complete graph so C2 becomes reachable.
+        #[derive(Debug)]
+        struct ServerToC1Only;
+        impl crate::Topology for ServerToC1Only {
+            fn node_count(&self) -> usize {
+                3
+            }
+            fn neighbors(&self, u: NodeId) -> NeighborSet<'_> {
+                const S_N: [NodeId; 1] = [NodeId::new(1)];
+                const C1_N: [NodeId; 1] = [NodeId::new(0)];
+                match u.index() {
+                    0 => NeighborSet::List(&S_N),
+                    1 => NeighborSet::List(&C1_N),
+                    _ => NeighborSet::List(&[]),
+                }
+            }
+            fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+                u != v && u.index() + v.index() == 1
+            }
+        }
+        let sparse = ServerToC1Only;
+        let complete = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 1), &sparse);
+        let mut rng = StdRng::seed_from_u64(0);
+
+        struct PushToAll;
+        impl Strategy for PushToAll {
+            fn on_tick(
+                &mut self,
+                p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                for c in 1..p.node_count() {
+                    let v = NodeId::from_index(c);
+                    if p.upload_left(NodeId::SERVER) > 0
+                        && p.can_download(v)
+                        && p.is_interested(NodeId::SERVER, v)
+                    {
+                        let _ = p.propose(NodeId::SERVER, v, BlockId::new(0));
+                    }
+                }
+                Ok(())
+            }
+        }
+        engine.step(&mut PushToAll, &mut rng).unwrap();
+        assert!(engine.state().holds(NodeId::new(1), BlockId::new(0)));
+        assert!(!engine.state().holds(NodeId::new(2), BlockId::new(0)));
+        engine.set_topology(&complete);
+        engine.step(&mut PushToAll, &mut rng).unwrap();
+        assert!(engine.state().holds(NodeId::new(2), BlockId::new(0)));
+        assert!(engine.report().completed());
+    }
+
+    #[test]
+    fn heterogeneous_upload_capacities() {
+        // Give C1 capacity 3: after seeding, it fans out three at once.
+        let overlay = CompleteOverlay::new(5);
+        let mut engine = Engine::new(SimConfig::new(5, 1), &overlay);
+        engine.set_upload_capacities(vec![1, 3, 1, 1, 1]);
+        struct FanOut;
+        impl Strategy for FanOut {
+            fn on_tick(
+                &mut self,
+                p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                if p.tick().get() == 1 {
+                    p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+                        .unwrap();
+                } else {
+                    for c in [2u32, 3, 4] {
+                        p.propose(NodeId::new(1), NodeId::new(c), BlockId::new(0))
+                            .unwrap();
+                    }
+                }
+                Ok(())
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        engine.step(&mut FanOut, &mut rng).unwrap();
+        engine.step(&mut FanOut, &mut rng).unwrap();
+        assert!(engine.report().completed());
+        assert_eq!(engine.report().ticks_run, 2);
+    }
+
+    #[test]
+    fn preseeded_clients_start_ahead() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 4), &overlay);
+        engine.preseed(NodeId::new(1), (0..3).map(BlockId::new));
+        assert_eq!(engine.state().inventory(NodeId::new(1)).len(), 3);
+        assert_eq!(engine.state().frequency(BlockId::new(0)), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        while engine.step(&mut NaiveServerPush, &mut rng).unwrap() {}
+        let report = engine.report();
+        assert!(report.completed());
+        // Only the 5 missing deliveries happened: 1 for C1, 4 for C2.
+        assert_eq!(report.total_uploads, 5);
+    }
+
+    #[test]
+    fn preseeding_a_full_client_completes_it_immediately() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 2), &overlay);
+        engine.preseed(NodeId::new(1), [BlockId::new(0), BlockId::new(1)]);
+        assert_eq!(
+            engine.state().completion_tick(NodeId::new(1)),
+            Some(Tick::ZERO)
+        );
+        assert_eq!(engine.state().incomplete_count(), 1);
+    }
+
+    #[test]
+    fn preseed_ignores_duplicates() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 2), &overlay);
+        engine.preseed(NodeId::new(1), [BlockId::new(0)]);
+        engine.preseed(NodeId::new(1), [BlockId::new(0)]); // no panic
+        assert_eq!(engine.state().inventory(NodeId::new(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the run starts")]
+    fn preseed_after_start_rejected() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 2), &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        engine.step(&mut NaiveServerPush, &mut rng).unwrap();
+        engine.preseed(NodeId::new(1), [BlockId::new(0)]);
+    }
+
+    #[test]
+    fn heterogeneous_download_capacities() {
+        // C1 can gulp two blocks per tick; C2 only one.
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 2), &overlay);
+        engine.set_download_capacities(vec![
+            DownloadCapacity::Finite(1),
+            DownloadCapacity::Finite(2),
+            DownloadCapacity::Finite(1),
+        ]);
+        struct TwoToC1;
+        impl Strategy for TwoToC1 {
+            fn on_tick(
+                &mut self,
+                p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                if p.tick().get() == 1 {
+                    // Per-node capacities: after one delivery C1 (cap 2)
+                    // still has room while C2 (cap 1) would not.
+                    assert!(p.can_download(NodeId::new(1)));
+                    p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+                        .unwrap();
+                    assert!(p.can_download(NodeId::new(1)), "C1 still has room");
+                    assert!(p.can_download(NodeId::new(2)));
+                } else {
+                    for c in [1u32, 2] {
+                        let v = NodeId::new(c);
+                        if p.upload_left(NodeId::SERVER) == 0 || !p.can_download(v) {
+                            continue;
+                        }
+                        let inv = p.state().inventory(NodeId::SERVER);
+                        if let Some(b) = inv.highest_not_in(p.state().inventory(v)) {
+                            let _ = p.propose(NodeId::SERVER, v, b);
+                        }
+                    }
+                    // C1 relays if it can.
+                    let v = NodeId::new(2);
+                    if p.upload_left(NodeId::new(1)) > 0 && p.can_download(v) {
+                        let inv = p.state().inventory(NodeId::new(1));
+                        if let Some(b) = inv.highest_not_in(p.state().inventory(v)) {
+                            if !p.pending(v).contains(b) {
+                                let _ = p.propose(NodeId::new(1), v, b);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        while engine.step(&mut TwoToC1, &mut rng).unwrap() {}
+        assert!(engine.report().completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity vector length mismatch")]
+    fn wrong_download_vector_rejected() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 1), &overlay);
+        engine.set_download_capacities(vec![DownloadCapacity::Finite(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity vector length mismatch")]
+    fn wrong_capacity_vector_rejected() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 1), &overlay);
+        engine.set_upload_capacities(vec![1, 1]);
+    }
+
+    #[test]
+    fn default_max_ticks_scales() {
+        assert!(SimConfig::default_max_ticks(1000, 1000) >= 80_000);
+        assert_eq!(
+            SimConfig::new(4, 2).max_ticks,
+            SimConfig::default_max_ticks(4, 2)
+        );
+    }
+}

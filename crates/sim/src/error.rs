@@ -1,0 +1,223 @@
+//! Error types for transfer admission and run execution.
+
+use crate::{NodeId, Tick, Transfer};
+use std::error::Error;
+use std::fmt;
+
+/// Why a proposed transfer was rejected by the tick planner.
+///
+/// Randomized strategies treat most of these as "try someone else";
+/// deterministic schedules treat any rejection as a bug in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectTransferError {
+    /// Sender and receiver are the same node.
+    SelfTransfer,
+    /// The sender does not hold the block (as of the start of the tick).
+    SenderMissingBlock,
+    /// The receiver already holds the block.
+    ReceiverHasBlock,
+    /// Another sender is already delivering this block to this receiver
+    /// during this tick (duplicate suppressed by the handshake).
+    BlockAlreadyPending,
+    /// The sender has exhausted its upload capacity for this tick.
+    NoUploadCapacity,
+    /// The receiver has exhausted its download capacity for this tick.
+    NoDownloadCapacity,
+    /// Sender and receiver are not adjacent in the overlay network.
+    NotNeighbors,
+    /// The transfer would push the pairwise credit past the mechanism's
+    /// credit limit.
+    CreditExceeded,
+    /// A node index is outside the simulated population.
+    UnknownNode,
+}
+
+impl fmt::Display for RejectTransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            RejectTransferError::SelfTransfer => "sender and receiver are the same node",
+            RejectTransferError::SenderMissingBlock => "sender does not hold the block",
+            RejectTransferError::ReceiverHasBlock => "receiver already holds the block",
+            RejectTransferError::BlockAlreadyPending => {
+                "block already pending delivery to receiver this tick"
+            }
+            RejectTransferError::NoUploadCapacity => "sender upload capacity exhausted",
+            RejectTransferError::NoDownloadCapacity => "receiver download capacity exhausted",
+            RejectTransferError::NotNeighbors => "nodes are not overlay neighbors",
+            RejectTransferError::CreditExceeded => "pairwise credit limit would be exceeded",
+            RejectTransferError::UnknownNode => "node index outside the population",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for RejectTransferError {}
+
+/// A committed tick violated the active barter mechanism.
+///
+/// Raised by the end-of-tick validator, which re-checks constraints that
+/// cannot be verified per-transfer (simultaneous pairing for strict barter,
+/// cycle cover for triangular barter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MechanismViolation {
+    /// A client-to-client transfer had no simultaneous reverse transfer
+    /// under strict barter.
+    UnpairedTransfer {
+        /// The offending transfer.
+        transfer: Transfer,
+        /// The tick in which it happened.
+        tick: Tick,
+    },
+    /// A transfer was not covered by a 2- or 3-cycle and exceeded the credit
+    /// slack under triangular (or cyclic) barter.
+    UncoveredTransfer {
+        /// The offending transfer.
+        transfer: Transfer,
+        /// The tick in which it happened.
+        tick: Tick,
+    },
+    /// The net pairwise flow exceeded the credit limit.
+    CreditOverrun {
+        /// The uploading node.
+        from: NodeId,
+        /// The downloading node.
+        to: NodeId,
+        /// Net blocks moved `from → to` after the tick.
+        net: i64,
+        /// The mechanism's credit limit.
+        limit: u32,
+        /// The tick in which it happened.
+        tick: Tick,
+    },
+}
+
+impl fmt::Display for MechanismViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismViolation::UnpairedTransfer { transfer, tick } => {
+                write!(
+                    f,
+                    "strict barter violated at tick {tick}: {transfer} has no reverse transfer"
+                )
+            }
+            MechanismViolation::UncoveredTransfer { transfer, tick } => {
+                write!(f, "triangular barter violated at tick {tick}: {transfer} is on no short cycle and out of credit")
+            }
+            MechanismViolation::CreditOverrun {
+                from,
+                to,
+                net,
+                limit,
+                tick,
+            } => {
+                write!(f, "credit limit violated at tick {tick}: net({from} -> {to}) = {net} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for MechanismViolation {}
+
+/// A simulation run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A deterministic schedule proposed an inadmissible transfer; this is
+    /// always a bug in the schedule (or a mismatch with the configured
+    /// bandwidth model).
+    BadSchedule {
+        /// The rejected transfer.
+        transfer: Transfer,
+        /// Why it was rejected.
+        reason: RejectTransferError,
+        /// The tick in which it was proposed.
+        tick: Tick,
+    },
+    /// The committed transfers of some tick violated the barter mechanism.
+    Mechanism(MechanismViolation),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadSchedule {
+                transfer,
+                reason,
+                tick,
+            } => {
+                write!(
+                    f,
+                    "schedule proposed inadmissible transfer {transfer} at tick {tick}: {reason}"
+                )
+            }
+            SimError::Mechanism(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::BadSchedule { reason, .. } => Some(reason),
+            SimError::Mechanism(v) => Some(v),
+        }
+    }
+}
+
+impl From<MechanismViolation> for SimError {
+    fn from(v: MechanismViolation) -> Self {
+        SimError::Mechanism(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockId;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let t = Transfer::new(NodeId::new(1), NodeId::new(2), BlockId::new(0));
+        let e = SimError::BadSchedule {
+            transfer: t,
+            reason: RejectTransferError::NotNeighbors,
+            tick: Tick::new(3),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("C1"));
+        assert!(msg.contains("tick 3"));
+        assert!(msg.contains("not overlay neighbors"));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        let v = MechanismViolation::UnpairedTransfer {
+            transfer: Transfer::new(NodeId::new(1), NodeId::new(2), BlockId::new(0)),
+            tick: Tick::new(1),
+        };
+        let e: SimError = v.clone().into();
+        assert!(Error::source(&e).is_some());
+        assert_eq!(e, SimError::Mechanism(v));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+        assert_send_sync::<RejectTransferError>();
+        assert_send_sync::<MechanismViolation>();
+    }
+
+    #[test]
+    fn credit_overrun_message() {
+        let v = MechanismViolation::CreditOverrun {
+            from: NodeId::new(4),
+            to: NodeId::new(5),
+            net: 3,
+            limit: 1,
+            tick: Tick::new(9),
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("net(C4 -> C5) = 3"));
+        assert!(msg.contains("limit 1"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Newtype identifiers used throughout the simulator.
+//!
+//! The paper's model has three elementary quantities: *nodes* (the server
+//! plus `n − 1` clients), *blocks* (the `k` equal-sized pieces of the file)
+//! and *ticks* (the time to upload one block at bandwidth `B`). Each gets a
+//! newtype so the type system keeps them apart ([C-NEWTYPE]).
+
+use std::fmt;
+
+/// Identifier of a node participating in a distribution run.
+///
+/// Nodes are numbered densely from `0` to `n − 1`. By convention the server
+/// is [`NodeId::SERVER`] (node `0`), matching the paper's hypercube
+/// embedding where the server receives the all-zero ID.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::NodeId;
+///
+/// let client = NodeId::new(3);
+/// assert_eq!(client.index(), 3);
+/// assert!(!client.is_server());
+/// assert!(NodeId::SERVER.is_server());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The distinguished server node (node `0`).
+    pub const SERVER: NodeId = NodeId(0);
+
+    /// Creates a node identifier from a dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Creates a node identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// The dense index of this node, suitable for indexing `Vec`s.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value of this node.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this node is the distinguished server.
+    #[inline]
+    pub const fn is_server(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_server() {
+            write!(f, "S")
+        } else {
+            write!(f, "C{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+/// Identifier of a file block.
+///
+/// The file consists of blocks `0 .. k` (the paper writes `b_1 .. b_k`; we
+/// use zero-based indices).
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::BlockId;
+///
+/// let first = BlockId::new(0);
+/// assert_eq!(first.index(), 0);
+/// assert_eq!(format!("{first}"), "b1"); // displayed one-based like the paper
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block identifier from a zero-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        BlockId(index)
+    }
+
+    /// Creates a block identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        BlockId(u32::try_from(index).expect("block index exceeds u32::MAX"))
+    }
+
+    /// The zero-based index of this block.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value of this block.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One-based in output so traces line up with the paper's b_1..b_k.
+        write!(f, "b{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for BlockId {
+    fn from(v: u32) -> Self {
+        BlockId(v)
+    }
+}
+
+impl From<BlockId> for u32 {
+    fn from(v: BlockId) -> Self {
+        v.0
+    }
+}
+
+/// A point in simulated time, counted in ticks.
+///
+/// One tick is the time a node needs to upload one block (`b / B` in the
+/// paper's notation). The first tick of a run is tick `1`; `Tick::ZERO`
+/// denotes "before the run started".
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::Tick;
+///
+/// let t = Tick::new(4);
+/// assert_eq!(t.get(), 4);
+/// assert_eq!(t.next().get(), 5);
+/// assert!(Tick::ZERO < t);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct Tick(u32);
+
+impl Tick {
+    /// The instant before the simulation starts.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Creates a tick from a raw counter value.
+    #[inline]
+    pub const fn new(t: u32) -> Self {
+        Tick(t)
+    }
+
+    /// The raw counter value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The tick after this one.
+    #[inline]
+    pub const fn next(self) -> Tick {
+        Tick(self.0 + 1)
+    }
+
+    /// Saturating difference in ticks (`self − earlier`).
+    #[inline]
+    pub const fn since(self, earlier: Tick) -> u32 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Tick {
+    fn from(v: u32) -> Self {
+        Tick(v)
+    }
+}
+
+impl From<Tick> for u32 {
+    fn from(v: Tick) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.raw(), 7);
+        assert_eq!(NodeId::from_index(7), n);
+        assert_eq!(u32::from(n), 7);
+        assert_eq!(NodeId::from(7u32), n);
+    }
+
+    #[test]
+    fn server_is_node_zero() {
+        assert!(NodeId::SERVER.is_server());
+        assert_eq!(NodeId::SERVER.index(), 0);
+        assert!(!NodeId::new(1).is_server());
+    }
+
+    #[test]
+    fn node_debug_formatting() {
+        assert_eq!(format!("{:?}", NodeId::SERVER), "S");
+        assert_eq!(format!("{:?}", NodeId::new(12)), "C12");
+        assert_eq!(format!("{}", NodeId::new(12)), "C12");
+    }
+
+    #[test]
+    fn block_id_one_based_display() {
+        assert_eq!(format!("{:?}", BlockId::new(0)), "b1");
+        assert_eq!(format!("{}", BlockId::new(9)), "b10");
+    }
+
+    #[test]
+    fn block_id_roundtrip() {
+        let b = BlockId::new(3);
+        assert_eq!(b.index(), 3);
+        assert_eq!(BlockId::from_index(3), b);
+        assert_eq!(u32::from(b), 3);
+        assert_eq!(BlockId::from(3u32), b);
+    }
+
+    #[test]
+    fn tick_arithmetic() {
+        let t = Tick::new(10);
+        assert_eq!(t.next(), Tick::new(11));
+        assert_eq!(t.since(Tick::new(4)), 6);
+        assert_eq!(Tick::new(4).since(t), 0, "since saturates");
+        assert!(Tick::ZERO < t);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(BlockId::new(0) < BlockId::new(5));
+        assert!(Tick::new(3) < Tick::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+}

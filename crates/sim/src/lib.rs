@@ -1,0 +1,96 @@
+//! Simulation substrate for *"On Cooperative Content Distribution and the
+//! Price of Barter"* (Ganesan & Seshadri, ICDCS 2005).
+//!
+//! This crate implements the paper's §2.1 model — a server and `n − 1`
+//! clients with unit upload bandwidth, tail-link bottlenecks, and time
+//! discretized into *ticks* (one block upload per tick) — as a synchronous
+//! simulation engine, plus the §3 barter mechanisms as enforced
+//! constraints.
+//!
+//! # Architecture
+//!
+//! * [`SimState`] tracks every node's [`BlockSet`] inventory and per-block
+//!   frequencies.
+//! * [`TickPlanner`] admits or rejects individual transfers (bandwidth,
+//!   adjacency, novelty, credit); *every* algorithm goes through it.
+//! * [`Mechanism`] validates whole ticks (strict-barter pairing,
+//!   triangular cycles, credit overruns) at commit time.
+//! * [`Engine`] drives a [`Strategy`] tick by tick and produces a
+//!   [`RunReport`].
+//! * [`Topology`] abstracts the overlay network; concrete graphs live in
+//!   the `pob-overlay` crate. The complete graph is virtual
+//!   ([`CompleteOverlay`]) so `n = 10⁴` populations stay cheap.
+//! * [`asynch`] is an event-driven variant with per-node clock jitter,
+//!   used for the §2.3.4 asynchrony extension.
+//!
+//! # Example
+//!
+//! A minimal strategy that lets only the server upload:
+//!
+//! ```
+//! use pob_sim::{
+//!     BlockId, CompleteOverlay, Engine, NodeId, SimConfig, SimError, Strategy, TickPlanner,
+//! };
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! struct ServerPush;
+//!
+//! impl Strategy for ServerPush {
+//!     fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut StdRng) -> Result<(), SimError> {
+//!         for c in 1..p.node_count() {
+//!             let v = NodeId::from_index(c);
+//!             if p.upload_left(NodeId::SERVER) == 0 {
+//!                 break;
+//!             }
+//!             if !p.can_download(v) {
+//!                 continue;
+//!             }
+//!             let server_inv = p.state().inventory(NodeId::SERVER);
+//!             if let Some(b) = server_inv.highest_not_in(p.state().inventory(v)) {
+//!                 let _ = p.propose(NodeId::SERVER, v, b);
+//!             }
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let overlay = CompleteOverlay::new(3);
+//! let engine = Engine::new(SimConfig::new(3, 4), &overlay);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let report = engine.run(&mut ServerPush, &mut rng)?;
+//! // One server upload per tick, (n−1)·k = 8 transfers needed.
+//! assert_eq!(report.completion_time(), Some(8));
+//! # Ok::<(), SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bandwidth;
+mod blockset;
+mod engine;
+mod error;
+mod ids;
+mod mechanism;
+mod metrics;
+mod planner;
+mod state;
+mod topology;
+mod transfer;
+
+pub mod asynch;
+pub mod trace;
+
+pub use bandwidth::DownloadCapacity;
+pub use blockset::{BlockSet, DifferenceIter, Iter};
+pub use engine::{Engine, SimConfig, Strategy};
+pub use error::{MechanismViolation, RejectTransferError, SimError};
+pub use ids::{BlockId, NodeId, Tick};
+pub use mechanism::{CreditLedger, Mechanism};
+pub use metrics::RunReport;
+pub use planner::TickPlanner;
+pub use state::SimState;
+pub use topology::{CompleteOverlay, NeighborSet, Topology};
+pub use transfer::Transfer;

@@ -1,0 +1,566 @@
+//! Barter mechanisms and the pairwise credit ledger.
+//!
+//! Section 3 of the paper constrains *which* transfers may happen. Each
+//! variant of [`Mechanism`] is enforced in two places:
+//!
+//! * **admission time** — when a transfer is proposed to the tick planner,
+//!   credit limits are checked against the ledger plus any in-tick deltas;
+//! * **commit time** — at the end of the tick, simultaneity constraints
+//!   (strict pairing, triangular cycles) are validated over the whole tick's
+//!   transfer set.
+//!
+//! The server is exempt everywhere: it uploads without compensation and
+//! never downloads.
+
+use crate::{MechanismViolation, NodeId, Tick, Transfer};
+use std::collections::HashMap;
+
+/// The incentive mechanism governing client-to-client transfers.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::Mechanism;
+///
+/// let m = Mechanism::CreditLimited { credit: 1 };
+/// assert!(m.uses_ledger());
+/// assert_eq!(m.credit(), Some(1));
+/// assert_eq!(Mechanism::Cooperative.credit(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(rename_all = "kebab-case"))]
+pub enum Mechanism {
+    /// §2: clients upload freely at full capacity.
+    Cooperative,
+    /// §3.1: a client uploads to another client only if it simultaneously
+    /// receives a block in return (the server is exempt).
+    StrictBarter,
+    /// §3.2: client `u` uploads to client `v` only while the net flow
+    /// `sent(u→v) − sent(v→u)` stays at most `credit`.
+    CreditLimited {
+        /// The per-pair credit limit `s`.
+        credit: u32,
+    },
+    /// §3.3: a transfer is admissible if it sits on a simultaneous 2-cycle
+    /// or 3-cycle of transfers, or fits within the pairwise credit slack.
+    TriangularBarter {
+        /// The per-pair credit slack `s`.
+        credit: u32,
+    },
+    /// §3.3's generalization to cycles of any length ("nearly a cash
+    /// economy"); built here as an extension for ablations.
+    CyclicBarter {
+        /// The per-pair credit slack `s`.
+        credit: u32,
+    },
+}
+
+impl Mechanism {
+    /// Whether this mechanism needs the pairwise credit ledger.
+    pub fn uses_ledger(self) -> bool {
+        !matches!(self, Mechanism::Cooperative)
+    }
+
+    /// The pairwise credit limit enforced at admission time, if any.
+    ///
+    /// Strict barter admits all proposals (pairing is checked at commit
+    /// time), so it reports no admission-time credit.
+    pub fn credit(self) -> Option<u32> {
+        match self {
+            Mechanism::Cooperative | Mechanism::StrictBarter => None,
+            Mechanism::CreditLimited { credit }
+            | Mechanism::TriangularBarter { credit }
+            | Mechanism::CyclicBarter { credit } => Some(credit),
+        }
+    }
+
+    /// Whether commit-time validation inspects the tick's transfer graph.
+    pub fn validates_cycles(self) -> bool {
+        matches!(
+            self,
+            Mechanism::StrictBarter
+                | Mechanism::TriangularBarter { .. }
+                | Mechanism::CyclicBarter { .. }
+        )
+    }
+
+    /// A short human-readable name for reports.
+    pub fn label(self) -> String {
+        match self {
+            Mechanism::Cooperative => "cooperative".to_owned(),
+            Mechanism::StrictBarter => "strict-barter".to_owned(),
+            Mechanism::CreditLimited { credit } => format!("credit-limited(s={credit})"),
+            Mechanism::TriangularBarter { credit } => format!("triangular(s={credit})"),
+            Mechanism::CyclicBarter { credit } => format!("cyclic(s={credit})"),
+        }
+    }
+
+    /// Validates one committed tick's transfers against this mechanism.
+    ///
+    /// `ledger` must hold the balances as of the *start* of the tick; use
+    /// [`Mechanism::settle_tick`] to validate *and* update the ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MechanismViolation`] found, if any.
+    pub fn validate_tick(
+        self,
+        transfers: &[Transfer],
+        ledger: &CreditLedger,
+        tick: Tick,
+    ) -> Result<(), MechanismViolation> {
+        match self {
+            Mechanism::Cooperative => Ok(()),
+            Mechanism::CreditLimited { credit } => validate_credit(transfers, ledger, credit, tick),
+            Mechanism::StrictBarter => validate_pairing(transfers, tick),
+            Mechanism::TriangularBarter { credit } => {
+                validate_cycles(transfers, ledger, credit, tick, Some(3)).map(|_| ())
+            }
+            Mechanism::CyclicBarter { credit } => {
+                validate_cycles(transfers, ledger, credit, tick, None).map(|_| ())
+            }
+        }
+    }
+
+    /// Validates one tick and settles it into the ledger.
+    ///
+    /// Under credit-limited barter every client-to-client transfer moves
+    /// the pairwise balance. Under triangular/cyclic barter, transfers
+    /// covered by a simultaneous cycle are *settled instantly* and leave
+    /// no balance; only uncovered transfers consume credit. Strict barter
+    /// leaves no balances at all (every transfer is half of a swap).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MechanismViolation`] found; the ledger is left
+    /// unchanged on error.
+    pub fn settle_tick(
+        self,
+        transfers: &[Transfer],
+        ledger: &mut CreditLedger,
+        tick: Tick,
+    ) -> Result<(), MechanismViolation> {
+        match self {
+            Mechanism::Cooperative | Mechanism::StrictBarter => {
+                self.validate_tick(transfers, ledger, tick)
+            }
+            Mechanism::CreditLimited { credit } => {
+                validate_credit(transfers, ledger, credit, tick)?;
+                for t in transfers {
+                    ledger.record(t.from, t.to);
+                }
+                Ok(())
+            }
+            Mechanism::TriangularBarter { credit } => {
+                let uncovered = validate_cycles(transfers, ledger, credit, tick, Some(3))?;
+                for t in uncovered {
+                    ledger.record(t.from, t.to);
+                }
+                Ok(())
+            }
+            Mechanism::CyclicBarter { credit } => {
+                let uncovered = validate_cycles(transfers, ledger, credit, tick, None)?;
+                for t in uncovered {
+                    ledger.record(t.from, t.to);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Default for Mechanism {
+    /// Defaults to the unconstrained cooperative model of §2.
+    fn default() -> Self {
+        Mechanism::Cooperative
+    }
+}
+
+/// Net in-tick flow deltas, keyed by canonical (low, high) node pair.
+type DeltaMap = HashMap<(u32, u32), i64>;
+
+fn canonical(u: NodeId, v: NodeId) -> ((u32, u32), i64) {
+    // Returns the canonical key plus the sign of flow u→v under that key.
+    if u.raw() <= v.raw() {
+        ((u.raw(), v.raw()), 1)
+    } else {
+        ((v.raw(), u.raw()), -1)
+    }
+}
+
+fn validate_credit(
+    transfers: &[Transfer],
+    ledger: &CreditLedger,
+    credit: u32,
+    tick: Tick,
+) -> Result<(), MechanismViolation> {
+    // Credit is granted only at the *end* of an upload, so a reverse
+    // transfer in the same tick cannot offset a forward one: each direction
+    // is checked one-sidedly against the start-of-tick balance.
+    let mut sent: HashMap<(u32, u32), i64> = HashMap::new();
+    for t in transfers {
+        if t.touches_server() {
+            continue;
+        }
+        *sent.entry((t.from.raw(), t.to.raw())).or_insert(0) += 1;
+    }
+    for (&(a, b), &count) in &sent {
+        let u = NodeId::new(a);
+        let v = NodeId::new(b);
+        let net_after = ledger.net(u, v) + count;
+        if net_after > i64::from(credit) {
+            return Err(MechanismViolation::CreditOverrun {
+                from: u,
+                to: v,
+                net: net_after,
+                limit: credit,
+                tick,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate_pairing(transfers: &[Transfer], tick: Tick) -> Result<(), MechanismViolation> {
+    // Strict barter: every client-to-client transfer u→v must be matched by
+    // a simultaneous v→u transfer.
+    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+    for t in transfers {
+        if t.touches_server() {
+            continue;
+        }
+        *counts.entry((t.from.raw(), t.to.raw())).or_insert(0) += 1;
+    }
+    for t in transfers {
+        if t.touches_server() {
+            continue;
+        }
+        let fwd = counts
+            .get(&(t.from.raw(), t.to.raw()))
+            .copied()
+            .unwrap_or(0);
+        let rev = counts
+            .get(&(t.to.raw(), t.from.raw()))
+            .copied()
+            .unwrap_or(0);
+        if rev < fwd {
+            return Err(MechanismViolation::UnpairedTransfer { transfer: *t, tick });
+        }
+    }
+    Ok(())
+}
+
+fn validate_cycles(
+    transfers: &[Transfer],
+    ledger: &CreditLedger,
+    credit: u32,
+    tick: Tick,
+    max_cycle: Option<usize>,
+) -> Result<Vec<Transfer>, MechanismViolation> {
+    // Triangular/cyclic barter: a transfer is covered if it lies on a
+    // directed cycle (of length ≤ max_cycle for triangular) in the tick's
+    // client-to-client transfer graph. Uncovered transfers fall back to the
+    // pairwise credit slack.
+    //
+    // With unit client upload capacity the transfer graph has out-degree at
+    // most one per client, so cycles are vertex-disjoint and a transfer lies
+    // on at most one cycle: simple successor-following suffices. With larger
+    // capacities we conservatively follow the first outgoing edge per node.
+    let mut succ: HashMap<u32, u32> = HashMap::new();
+    for t in transfers {
+        if t.touches_server() {
+            continue;
+        }
+        succ.entry(t.from.raw()).or_insert(t.to.raw());
+    }
+    let mut uncovered: Vec<&Transfer> = Vec::new();
+    'outer: for t in transfers {
+        if t.touches_server() {
+            continue;
+        }
+        // Walk successors from the receiver; if we loop back to the sender
+        // within the allowed cycle length, the transfer is covered.
+        let limit = max_cycle.unwrap_or(succ.len() + 1);
+        let mut cur = t.to.raw();
+        for _ in 1..limit {
+            match succ.get(&cur) {
+                Some(&next) if next == t.from.raw() => continue 'outer,
+                Some(&next) => cur = next,
+                None => break,
+            }
+        }
+        uncovered.push(t);
+    }
+    // Uncovered transfers consume pairwise credit (one-sided: credit is
+    // granted only at the end of an upload).
+    let mut sent: DeltaMap = HashMap::new();
+    for t in &uncovered {
+        *sent.entry((t.from.raw(), t.to.raw())).or_insert(0) += 1;
+    }
+    for t in &uncovered {
+        let count = sent.get(&(t.from.raw(), t.to.raw())).copied().unwrap_or(0);
+        let net_after = ledger.net(t.from, t.to) + count;
+        if net_after > i64::from(credit) {
+            return Err(MechanismViolation::UncoveredTransfer {
+                transfer: **t,
+                tick,
+            });
+        }
+    }
+    Ok(uncovered.into_iter().copied().collect())
+}
+
+/// Pairwise net-flow ledger between clients.
+///
+/// `net(u, v)` is the number of blocks `u` has sent `v` minus the number `v`
+/// has sent `u`, over the whole run. Server flows are not tracked (the
+/// server is exempt from barter).
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::{CreditLedger, NodeId};
+///
+/// let mut ledger = CreditLedger::new();
+/// let (u, v) = (NodeId::new(1), NodeId::new(2));
+/// ledger.record(u, v);
+/// assert_eq!(ledger.net(u, v), 1);
+/// assert_eq!(ledger.net(v, u), -1);
+/// ledger.record(v, u);
+/// assert_eq!(ledger.net(u, v), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CreditLedger {
+    balances: HashMap<(u32, u32), i64>,
+}
+
+impl CreditLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CreditLedger::default()
+    }
+
+    /// Net blocks sent `from → to` minus blocks sent `to → from`.
+    pub fn net(&self, from: NodeId, to: NodeId) -> i64 {
+        let (key, sign) = canonical(from, to);
+        self.balances.get(&key).copied().unwrap_or(0) * sign
+    }
+
+    /// Records one block sent `from → to`. Server flows are ignored.
+    pub fn record(&mut self, from: NodeId, to: NodeId) {
+        if from.is_server() || to.is_server() {
+            return;
+        }
+        let (key, sign) = canonical(from, to);
+        let entry = self.balances.entry(key).or_insert(0);
+        *entry += sign;
+        if *entry == 0 {
+            self.balances.remove(&key);
+        }
+    }
+
+    /// Number of client pairs with a non-zero balance.
+    pub fn imbalanced_pairs(&self) -> usize {
+        self.balances.len()
+    }
+
+    /// The largest absolute pairwise balance in the ledger.
+    pub fn max_abs_net(&self) -> i64 {
+        self.balances.values().map(|b| b.abs()).max().unwrap_or(0)
+    }
+
+    /// Removes all recorded balances.
+    pub fn clear(&mut self) {
+        self.balances.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockId;
+
+    fn t(from: u32, to: u32, block: u32) -> Transfer {
+        Transfer::new(NodeId::new(from), NodeId::new(to), BlockId::new(block))
+    }
+
+    #[test]
+    fn ledger_nets_are_antisymmetric() {
+        let mut l = CreditLedger::new();
+        l.record(NodeId::new(3), NodeId::new(7));
+        l.record(NodeId::new(3), NodeId::new(7));
+        assert_eq!(l.net(NodeId::new(3), NodeId::new(7)), 2);
+        assert_eq!(l.net(NodeId::new(7), NodeId::new(3)), -2);
+        assert_eq!(l.max_abs_net(), 2);
+        assert_eq!(l.imbalanced_pairs(), 1);
+    }
+
+    #[test]
+    fn ledger_ignores_server() {
+        let mut l = CreditLedger::new();
+        l.record(NodeId::SERVER, NodeId::new(1));
+        l.record(NodeId::new(1), NodeId::SERVER);
+        assert_eq!(l.net(NodeId::SERVER, NodeId::new(1)), 0);
+        assert_eq!(l.imbalanced_pairs(), 0);
+    }
+
+    #[test]
+    fn ledger_prunes_zero_balances() {
+        let mut l = CreditLedger::new();
+        l.record(NodeId::new(1), NodeId::new(2));
+        l.record(NodeId::new(2), NodeId::new(1));
+        assert_eq!(l.imbalanced_pairs(), 0);
+        assert_eq!(l.max_abs_net(), 0);
+    }
+
+    #[test]
+    fn cooperative_validates_anything() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0), t(3, 4, 1)];
+        assert!(Mechanism::Cooperative
+            .validate_tick(&ts, &l, Tick::new(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn strict_barter_accepts_paired_exchange() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0), t(2, 1, 1)];
+        assert!(Mechanism::StrictBarter
+            .validate_tick(&ts, &l, Tick::new(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn strict_barter_accepts_server_push() {
+        let l = CreditLedger::new();
+        let ts = [t(0, 1, 0)];
+        assert!(Mechanism::StrictBarter
+            .validate_tick(&ts, &l, Tick::new(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn strict_barter_rejects_unpaired_transfer() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0)];
+        let err = Mechanism::StrictBarter
+            .validate_tick(&ts, &l, Tick::new(4))
+            .unwrap_err();
+        assert!(matches!(err, MechanismViolation::UnpairedTransfer { .. }));
+    }
+
+    #[test]
+    fn credit_limited_allows_within_limit() {
+        let l = CreditLedger::new();
+        let m = Mechanism::CreditLimited { credit: 1 };
+        assert!(m.validate_tick(&[t(1, 2, 0)], &l, Tick::new(1)).is_ok());
+    }
+
+    #[test]
+    fn credit_limited_rejects_overrun() {
+        let mut l = CreditLedger::new();
+        l.record(NodeId::new(1), NodeId::new(2)); // net already 1
+        let m = Mechanism::CreditLimited { credit: 1 };
+        let err = m
+            .validate_tick(&[t(1, 2, 5)], &l, Tick::new(2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MechanismViolation::CreditOverrun {
+                net: 2,
+                limit: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn credit_limited_simultaneous_transfers_do_not_offset() {
+        // Pair already at the limit: a simultaneous exchange may NOT go
+        // through, because credit is granted only at the end of an upload —
+        // the reverse transfer cannot offset the forward one mid-tick.
+        let mut l = CreditLedger::new();
+        l.record(NodeId::new(1), NodeId::new(2)); // net 1, limit 1
+        let m = Mechanism::CreditLimited { credit: 1 };
+        let err = m
+            .validate_tick(&[t(1, 2, 5), t(2, 1, 6)], &l, Tick::new(2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MechanismViolation::CreditOverrun {
+                net: 2,
+                limit: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn credit_limited_balanced_exchange_is_fine() {
+        // Balanced pair exchanging simultaneously stays within s = 1.
+        let l = CreditLedger::new();
+        let m = Mechanism::CreditLimited { credit: 1 };
+        assert!(m
+            .validate_tick(&[t(1, 2, 5), t(2, 1, 6)], &l, Tick::new(2))
+            .is_ok());
+    }
+
+    #[test]
+    fn triangular_accepts_three_cycle() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0), t(2, 3, 1), t(3, 1, 2)];
+        let m = Mechanism::TriangularBarter { credit: 0 };
+        assert!(m.validate_tick(&ts, &l, Tick::new(1)).is_ok());
+    }
+
+    #[test]
+    fn triangular_accepts_two_cycle() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0), t(2, 1, 1)];
+        let m = Mechanism::TriangularBarter { credit: 0 };
+        assert!(m.validate_tick(&ts, &l, Tick::new(1)).is_ok());
+    }
+
+    #[test]
+    fn triangular_rejects_four_cycle_without_credit() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0), t(2, 3, 1), t(3, 4, 2), t(4, 1, 3)];
+        let m = Mechanism::TriangularBarter { credit: 0 };
+        let err = m.validate_tick(&ts, &l, Tick::new(1)).unwrap_err();
+        assert!(matches!(err, MechanismViolation::UncoveredTransfer { .. }));
+    }
+
+    #[test]
+    fn cyclic_accepts_four_cycle() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0), t(2, 3, 1), t(3, 4, 2), t(4, 1, 3)];
+        let m = Mechanism::CyclicBarter { credit: 0 };
+        assert!(m.validate_tick(&ts, &l, Tick::new(1)).is_ok());
+    }
+
+    #[test]
+    fn triangular_uncovered_transfer_uses_credit() {
+        let l = CreditLedger::new();
+        let ts = [t(1, 2, 0)];
+        let m = Mechanism::TriangularBarter { credit: 1 };
+        assert!(m.validate_tick(&ts, &l, Tick::new(1)).is_ok());
+        let m0 = Mechanism::TriangularBarter { credit: 0 };
+        assert!(m0.validate_tick(&ts, &l, Tick::new(1)).is_err());
+    }
+
+    #[test]
+    fn mechanism_metadata() {
+        assert!(!Mechanism::Cooperative.uses_ledger());
+        assert!(Mechanism::StrictBarter.uses_ledger());
+        assert!(Mechanism::StrictBarter.validates_cycles());
+        assert!(!Mechanism::CreditLimited { credit: 2 }.validates_cycles());
+        assert_eq!(Mechanism::CreditLimited { credit: 2 }.credit(), Some(2));
+        assert_eq!(Mechanism::default(), Mechanism::Cooperative);
+        assert_eq!(
+            Mechanism::CreditLimited { credit: 3 }.label(),
+            "credit-limited(s=3)"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Results of a simulation run.
+
+use crate::{Mechanism, NodeId, Tick};
+
+/// Everything measured during one distribution run.
+///
+/// Produced by [`Engine::run`](crate::Engine::run). Fields are public
+/// passive data; convenience accessors compute the statistics the paper
+/// reports (overall completion time, average finish time, upload
+/// utilization).
+///
+/// # Examples
+///
+/// ```
+/// # use pob_sim::{CompleteOverlay, Engine, SimConfig, Strategy, TickPlanner, SimError};
+/// # use rand::SeedableRng;
+/// # struct ServerOnly;
+/// # impl Strategy for ServerOnly {
+/// #     fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut rand::rngs::StdRng) -> Result<(), SimError> {
+/// #         use pob_sim::{BlockId, NodeId};
+/// #         for c in 1..p.node_count() {
+/// #             let v = NodeId::from_index(c);
+/// #             if let Some(b) = p.state().inventory(NodeId::SERVER).highest_not_in(p.state().inventory(v)) {
+/// #                 if p.upload_left(NodeId::SERVER) > 0 && p.can_download(v) { let _ = p.propose(NodeId::SERVER, v, b); }
+/// #             }
+/// #         }
+/// #         Ok(())
+/// #     }
+/// # }
+/// let overlay = CompleteOverlay::new(2);
+/// let engine = Engine::new(SimConfig::new(2, 3), &overlay);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let report = engine.run(&mut ServerOnly, &mut rng)?;
+/// assert_eq!(report.completion_time(), Some(3)); // k blocks to one client
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunReport {
+    /// Number of nodes (server included).
+    pub nodes: usize,
+    /// Number of file blocks.
+    pub blocks: usize,
+    /// The mechanism the run executed under.
+    pub mechanism: Mechanism,
+    /// Tick at which the last client completed, or `None` if the run hit
+    /// the tick cap first.
+    pub completion: Option<Tick>,
+    /// Number of ticks actually simulated.
+    pub ticks_run: u32,
+    /// Per-node completion ticks (`Tick::ZERO` for the server; `None` for
+    /// clients that never finished).
+    pub node_completions: Vec<Option<Tick>>,
+    /// Total committed block transfers.
+    pub total_uploads: u64,
+    /// Committed transfers uploaded by the server.
+    pub server_uploads: u64,
+    /// Committed transfers per tick (only if tick stats were requested).
+    pub uploads_per_tick: Option<Vec<u32>>,
+}
+
+impl RunReport {
+    /// Whether every client finished.
+    pub fn completed(&self) -> bool {
+        self.completion.is_some()
+    }
+
+    /// Completion time in ticks (the paper's `T`), if the run finished.
+    pub fn completion_time(&self) -> Option<u32> {
+        self.completion.map(Tick::get)
+    }
+
+    /// Completion time in ticks, with runs that hit the cap reported as the
+    /// cap itself (a *censored* observation, used in the Fig 6/7 sweeps).
+    pub fn censored_completion_time(&self) -> u32 {
+        self.completion.map_or(self.ticks_run, Tick::get)
+    }
+
+    /// Mean completion tick over clients that finished, if any did.
+    pub fn mean_client_completion(&self) -> Option<f64> {
+        let finished: Vec<u32> = self
+            .node_completions
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != NodeId::SERVER.index())
+            .filter_map(|(_, t)| t.map(Tick::get))
+            .collect();
+        if finished.is_empty() {
+            None
+        } else {
+            Some(finished.iter().map(|&t| f64::from(t)).sum::<f64>() / finished.len() as f64)
+        }
+    }
+
+    /// Fraction of the total upload capacity `n × ticks_run` actually used.
+    ///
+    /// Assumes unit upload capacity per node; with an `m×` server this can
+    /// exceed the per-node view slightly.
+    pub fn utilization(&self) -> f64 {
+        if self.ticks_run == 0 {
+            return 0.0;
+        }
+        self.total_uploads as f64 / (self.nodes as f64 * f64::from(self.ticks_run))
+    }
+
+    /// The minimum number of transfers any algorithm needs:
+    /// `(n − 1) · k` (every client must receive every block).
+    pub fn minimum_required_uploads(&self) -> u64 {
+        (self.nodes as u64 - 1) * self.blocks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            nodes: 3,
+            blocks: 2,
+            mechanism: Mechanism::Cooperative,
+            completion: Some(Tick::new(4)),
+            ticks_run: 4,
+            node_completions: vec![Some(Tick::ZERO), Some(Tick::new(3)), Some(Tick::new(4))],
+            total_uploads: 4,
+            server_uploads: 2,
+            uploads_per_tick: Some(vec![1, 1, 1, 1]),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report();
+        assert!(r.completed());
+        assert_eq!(r.completion_time(), Some(4));
+        assert_eq!(r.censored_completion_time(), 4);
+        assert_eq!(r.mean_client_completion(), Some(3.5));
+        assert_eq!(r.minimum_required_uploads(), 4);
+        assert!((r.utilization() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censored_run_reports_cap() {
+        let mut r = report();
+        r.completion = None;
+        r.ticks_run = 100;
+        assert!(!r.completed());
+        assert_eq!(r.completion_time(), None);
+        assert_eq!(r.censored_completion_time(), 100);
+    }
+
+    #[test]
+    fn mean_completion_excludes_server_and_unfinished() {
+        let mut r = report();
+        r.node_completions = vec![Some(Tick::ZERO), Some(Tick::new(10)), None];
+        assert_eq!(r.mean_client_completion(), Some(10.0));
+        r.node_completions = vec![Some(Tick::ZERO), None, None];
+        assert_eq!(r.mean_client_completion(), None);
+    }
+}

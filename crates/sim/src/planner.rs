@@ -1,0 +1,598 @@
+//! Per-tick transfer planning with full constraint enforcement.
+//!
+//! Every algorithm — deterministic schedule or randomized strategy —
+//! submits its transfers through [`TickPlanner::propose`], which enforces
+//! the bandwidth model (§2.1), overlay adjacency, block novelty, the
+//! duplicate-suppressing handshake, and admission-time credit limits. A
+//! schedule therefore cannot silently violate the model: the optimality
+//! tests double as model-compliance proofs.
+
+use crate::{
+    BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NodeId, RejectTransferError,
+    SimState, Tick, Topology, Transfer,
+};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Reusable per-tick scratch buffers, owned by the engine.
+#[derive(Debug, Clone)]
+pub(crate) struct TickBuffers {
+    pub(crate) used_up: Vec<u32>,
+    pub(crate) used_down: Vec<u32>,
+    pub(crate) pending: Vec<BlockSet>,
+    pub(crate) dirty: Vec<NodeId>,
+    pub(crate) sent_in_tick: HashMap<(u32, u32), i64>,
+    pub(crate) transfers: Vec<Transfer>,
+}
+
+impl TickBuffers {
+    pub(crate) fn new(nodes: usize, blocks: usize) -> Self {
+        TickBuffers {
+            used_up: vec![0; nodes],
+            used_down: vec![0; nodes],
+            pending: vec![BlockSet::empty(blocks); nodes],
+            dirty: Vec::new(),
+            sent_in_tick: HashMap::new(),
+            transfers: Vec::new(),
+        }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.used_up.fill(0);
+        self.used_down.fill(0);
+        for node in self.dirty.drain(..) {
+            self.pending[node.index()].clear();
+        }
+        self.sent_in_tick.clear();
+        self.transfers.clear();
+    }
+}
+
+/// Planner for the transfers of a single tick.
+///
+/// Handed to [`Strategy::on_tick`](crate::Strategy::on_tick) once per tick.
+/// Offers read access to the simulation state and overlay, helper queries
+/// used by randomized strategies, and [`propose`](TickPlanner::propose) to
+/// submit transfers.
+#[derive(Debug)]
+pub struct TickPlanner<'a> {
+    state: &'a SimState,
+    topology: &'a dyn Topology,
+    mechanism: Mechanism,
+    ledger: &'a CreditLedger,
+    download_caps: &'a [DownloadCapacity],
+    upload_caps: &'a [u32],
+    tick: Tick,
+    bufs: &'a mut TickBuffers,
+}
+
+impl<'a> TickPlanner<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        state: &'a SimState,
+        topology: &'a dyn Topology,
+        mechanism: Mechanism,
+        ledger: &'a CreditLedger,
+        download_caps: &'a [DownloadCapacity],
+        upload_caps: &'a [u32],
+        tick: Tick,
+        bufs: &'a mut TickBuffers,
+    ) -> Self {
+        TickPlanner {
+            state,
+            topology,
+            mechanism,
+            ledger,
+            download_caps,
+            upload_caps,
+            tick,
+            bufs,
+        }
+    }
+
+    /// The current tick (first tick of a run is `1`).
+    #[inline]
+    pub fn tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// The shared simulation state (inventories, frequencies).
+    #[inline]
+    pub fn state(&self) -> &SimState {
+        self.state
+    }
+
+    /// The overlay network the run executes on.
+    #[inline]
+    pub fn topology(&self) -> &dyn Topology {
+        self.topology
+    }
+
+    /// The active barter mechanism.
+    #[inline]
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// Number of nodes, including the server.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.state.node_count()
+    }
+
+    /// Number of file blocks.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.state.block_count()
+    }
+
+    /// Remaining upload capacity of `u` this tick.
+    #[inline]
+    pub fn upload_left(&self, u: NodeId) -> u32 {
+        self.upload_caps[u.index()].saturating_sub(self.bufs.used_up[u.index()])
+    }
+
+    /// Whether `v` can accept one more block this tick.
+    #[inline]
+    pub fn can_download(&self, v: NodeId) -> bool {
+        self.download_caps[v.index()].allows(self.bufs.used_down[v.index()])
+    }
+
+    /// Blocks already promised to `v` earlier in this tick.
+    #[inline]
+    pub fn pending(&self, v: NodeId) -> &BlockSet {
+        &self.bufs.pending[v.index()]
+    }
+
+    /// Net pairwise credit from `from` to `to`, including transfers already
+    /// proposed this tick (credit is granted only at the end of an upload,
+    /// so in-tick reverse transfers do not offset).
+    pub fn effective_net(&self, from: NodeId, to: NodeId) -> i64 {
+        let in_tick = self
+            .bufs
+            .sent_in_tick
+            .get(&(from.raw(), to.raw()))
+            .copied()
+            .unwrap_or(0);
+        self.ledger.net(from, to) + in_tick
+    }
+
+    /// Whether the mechanism's admission-time credit rule lets `from` send
+    /// one more block to `to`.
+    ///
+    /// Cooperative, strict-barter and triangular mechanisms admit freely
+    /// here (their constraints are validated at commit time); only
+    /// [`Mechanism::CreditLimited`] rejects at admission time.
+    pub fn credit_allows(&self, from: NodeId, to: NodeId) -> bool {
+        match self.mechanism {
+            Mechanism::CreditLimited { credit } => {
+                from.is_server()
+                    || to.is_server()
+                    || self.effective_net(from, to) < i64::from(credit)
+            }
+            _ => true,
+        }
+    }
+
+    /// Whether `to` wants at least one block that `from` holds, excluding
+    /// blocks already pending delivery to `to` this tick.
+    ///
+    /// This is the paper's *interest* test with the duplicate-suppressing
+    /// handshake applied.
+    #[inline]
+    pub fn is_interested(&self, from: NodeId, to: NodeId) -> bool {
+        let to_inv = self.state.inventory(to);
+        let pending = &self.bufs.pending[to.index()];
+        // O(1) pre-filter: a node whose pending deliveries already cover
+        // everything it lacks wants nothing more this tick.
+        if to_inv.len() + pending.len() >= self.state.block_count() {
+            // (Pending and held blocks are disjoint by construction.)
+            return false;
+        }
+        self.state
+            .inventory(from)
+            .has_any_not_in_either(to_inv, pending)
+    }
+
+    /// Whether `to` is a valid upload target for `from` under all
+    /// admission-time rules: distinct, downloadable, within credit, and
+    /// interested. (Adjacency is *not* checked here — strategies iterate
+    /// neighbor lists, and [`propose`](Self::propose) re-checks.)
+    pub fn is_admissible_target(&self, from: NodeId, to: NodeId) -> bool {
+        from != to
+            && self.can_download(to)
+            && self.credit_allows(from, to)
+            && self.is_interested(from, to)
+    }
+
+    /// Uniformly random block that `from` holds and `to` neither holds nor
+    /// has pending — the *Random* block-selection policy.
+    pub fn select_random_block<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut R,
+    ) -> Option<BlockId> {
+        self.state.inventory(from).random_not_in_either(
+            self.state.inventory(to),
+            &self.bufs.pending[to.index()],
+            rng,
+        )
+    }
+
+    /// Globally rarest block that `from` holds and `to` neither holds nor
+    /// has pending, ties broken uniformly at random — the *Rarest-First*
+    /// block-selection policy (with the paper's "perfect statistics").
+    pub fn select_rarest_block<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut R,
+    ) -> Option<BlockId> {
+        let freq = self.state.frequencies();
+        let mut best: Option<BlockId> = None;
+        let mut best_freq = u32::MAX;
+        let mut ties = 0u32;
+        for b in self
+            .state
+            .inventory(from)
+            .iter_not_in_either(self.state.inventory(to), &self.bufs.pending[to.index()])
+        {
+            let f = freq[b.index()];
+            if f < best_freq {
+                best = Some(b);
+                best_freq = f;
+                ties = 1;
+            } else if f == best_freq {
+                ties += 1;
+                // Reservoir sampling over ties keeps the choice uniform.
+                if rng.gen_range(0..ties) == 0 {
+                    best = Some(b);
+                }
+            }
+        }
+        best
+    }
+
+    /// Proposes the transfer of `block` from `from` to `to` in this tick.
+    ///
+    /// On success the transfer is queued for commit at the end of the tick
+    /// and the relevant capacities are debited.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RejectTransferError`] describing the first violated
+    /// constraint: bad endpoints, exhausted upload/download capacity,
+    /// non-adjacent endpoints, sender missing the block, receiver already
+    /// holding it, the block already pending, or the credit limit.
+    pub fn propose(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        block: BlockId,
+    ) -> Result<(), RejectTransferError> {
+        let n = self.state.node_count();
+        if from.index() >= n || to.index() >= n {
+            return Err(RejectTransferError::UnknownNode);
+        }
+        if from == to {
+            return Err(RejectTransferError::SelfTransfer);
+        }
+        if self.upload_left(from) == 0 {
+            return Err(RejectTransferError::NoUploadCapacity);
+        }
+        if !self.can_download(to) {
+            return Err(RejectTransferError::NoDownloadCapacity);
+        }
+        if !self.topology.are_neighbors(from, to) {
+            return Err(RejectTransferError::NotNeighbors);
+        }
+        if !self.state.holds(from, block) {
+            return Err(RejectTransferError::SenderMissingBlock);
+        }
+        if self.state.holds(to, block) {
+            return Err(RejectTransferError::ReceiverHasBlock);
+        }
+        if self.bufs.pending[to.index()].contains(block) {
+            return Err(RejectTransferError::BlockAlreadyPending);
+        }
+        if !self.credit_allows(from, to) {
+            return Err(RejectTransferError::CreditExceeded);
+        }
+
+        self.bufs.used_up[from.index()] += 1;
+        self.bufs.used_down[to.index()] += 1;
+        if self.bufs.pending[to.index()].is_empty() {
+            self.bufs.dirty.push(to);
+        }
+        self.bufs.pending[to.index()].insert(block);
+        if self.mechanism.uses_ledger() && !from.is_server() && !to.is_server() {
+            *self
+                .bufs
+                .sent_in_tick
+                .entry((from.raw(), to.raw()))
+                .or_insert(0) += 1;
+        }
+        self.bufs.transfers.push(Transfer::new(from, to, block));
+        Ok(())
+    }
+
+    /// The transfers proposed so far this tick, in proposal order.
+    #[inline]
+    pub fn proposed(&self) -> &[Transfer] {
+        &self.bufs.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompleteOverlay;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        state: SimState,
+        topology: CompleteOverlay,
+        ledger: CreditLedger,
+        caps: Vec<u32>,
+        dl_caps: Vec<DownloadCapacity>,
+        bufs: TickBuffers,
+    }
+
+    impl Fixture {
+        fn new(nodes: usize, blocks: usize) -> Self {
+            Fixture {
+                state: SimState::new(nodes, blocks),
+                topology: CompleteOverlay::new(nodes),
+                ledger: CreditLedger::new(),
+                caps: vec![1; nodes],
+                dl_caps: vec![DownloadCapacity::Finite(1); nodes],
+                bufs: TickBuffers::new(nodes, blocks),
+            }
+        }
+
+        fn planner(&mut self, mechanism: Mechanism, dl: DownloadCapacity) -> TickPlanner<'_> {
+            self.dl_caps = vec![dl; self.state.node_count()];
+            TickPlanner::new(
+                &self.state,
+                &self.topology,
+                mechanism,
+                &self.ledger,
+                &self.dl_caps,
+                &self.caps,
+                Tick::new(1),
+                &mut self.bufs,
+            )
+        }
+    }
+
+    #[test]
+    fn propose_accepts_valid_transfer() {
+        let mut fx = Fixture::new(3, 4);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+            .unwrap();
+        assert_eq!(p.proposed().len(), 1);
+        assert_eq!(p.upload_left(NodeId::SERVER), 0);
+        assert!(!p.can_download(NodeId::new(1)));
+        assert!(p.pending(NodeId::new(1)).contains(BlockId::new(0)));
+    }
+
+    #[test]
+    fn propose_rejects_self_transfer() {
+        let mut fx = Fixture::new(3, 4);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        let err = p
+            .propose(NodeId::new(1), NodeId::new(1), BlockId::new(0))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::SelfTransfer);
+    }
+
+    #[test]
+    fn propose_rejects_unknown_node() {
+        let mut fx = Fixture::new(3, 4);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        let err = p
+            .propose(NodeId::new(9), NodeId::new(1), BlockId::new(0))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::UnknownNode);
+    }
+
+    #[test]
+    fn propose_rejects_missing_block() {
+        let mut fx = Fixture::new(3, 4);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        let err = p
+            .propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::SenderMissingBlock);
+    }
+
+    #[test]
+    fn propose_rejects_duplicate_to_holder() {
+        let mut fx = Fixture::new(3, 4);
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        let err = p
+            .propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::ReceiverHasBlock);
+    }
+
+    #[test]
+    fn propose_enforces_upload_capacity() {
+        let mut fx = Fixture::new(4, 4);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+            .unwrap();
+        let err = p
+            .propose(NodeId::SERVER, NodeId::new(2), BlockId::new(1))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::NoUploadCapacity);
+    }
+
+    #[test]
+    fn propose_enforces_download_capacity() {
+        let mut fx = Fixture::new(4, 4);
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(1), Tick::new(1));
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        p.propose(NodeId::SERVER, NodeId::new(2), BlockId::new(0))
+            .unwrap();
+        let err = p
+            .propose(NodeId::new(1), NodeId::new(2), BlockId::new(1))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::NoDownloadCapacity);
+    }
+
+    #[test]
+    fn propose_suppresses_duplicate_pending_block() {
+        let mut fx = Fixture::new(4, 4);
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
+        p.propose(NodeId::SERVER, NodeId::new(2), BlockId::new(0))
+            .unwrap();
+        let err = p
+            .propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::BlockAlreadyPending);
+    }
+
+    #[test]
+    fn credit_limited_admission() {
+        let mut fx = Fixture::new(4, 4);
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(1), Tick::new(1));
+        fx.ledger.record(NodeId::new(1), NodeId::new(2)); // at limit s=1
+        let mut p = fx.planner(
+            Mechanism::CreditLimited { credit: 1 },
+            DownloadCapacity::Finite(2),
+        );
+        let err = p
+            .propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::CreditExceeded);
+        // Server is exempt.
+        p.propose(NodeId::SERVER, NodeId::new(2), BlockId::new(0))
+            .unwrap();
+    }
+
+    #[test]
+    fn credit_admission_counts_in_tick_sends() {
+        let mut fx = Fixture::new(4, 4);
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(1), Tick::new(1));
+        fx.caps[1] = 2; // allow two uploads so credit is the binding limit
+        let mut p = fx.planner(
+            Mechanism::CreditLimited { credit: 1 },
+            DownloadCapacity::Finite(2),
+        );
+        p.propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+            .unwrap();
+        let err = p
+            .propose(NodeId::new(1), NodeId::new(2), BlockId::new(1))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::CreditExceeded);
+    }
+
+    #[test]
+    fn interest_respects_pending() {
+        let mut fx = Fixture::new(4, 1);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
+        assert!(p.is_interested(NodeId::SERVER, NodeId::new(1)));
+        p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+            .unwrap();
+        assert!(
+            !p.is_interested(NodeId::SERVER, NodeId::new(1)),
+            "pending block no longer interesting"
+        );
+    }
+
+    #[test]
+    fn admissible_target_conjunction() {
+        let mut fx = Fixture::new(4, 2);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        assert!(p.is_admissible_target(NodeId::SERVER, NodeId::new(1)));
+        assert!(
+            !p.is_admissible_target(NodeId::new(1), NodeId::new(2)),
+            "no content"
+        );
+        assert!(!p.is_admissible_target(NodeId::SERVER, NodeId::SERVER));
+        p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+            .unwrap();
+        // Download capacity of C1 is now exhausted.
+        assert!(!p.is_admissible_target(NodeId::SERVER, NodeId::new(1)));
+    }
+
+    #[test]
+    fn random_block_selection_excludes_pending_and_held() {
+        let mut fx = Fixture::new(3, 3);
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
+        p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(1))
+            .unwrap();
+        for _ in 0..50 {
+            let b = p
+                .select_random_block(NodeId::SERVER, NodeId::new(1), &mut rng)
+                .unwrap();
+            assert_eq!(b, BlockId::new(2), "only b3 is held-free and pending-free");
+        }
+    }
+
+    #[test]
+    fn rarest_block_selection_prefers_low_frequency() {
+        let mut fx = Fixture::new(5, 3);
+        // Make block 0 common, block 2 rare.
+        for c in [1, 2, 3] {
+            fx.state
+                .deliver(NodeId::new(c), BlockId::new(0), Tick::new(1));
+        }
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(1), Tick::new(1));
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
+        let b = p
+            .select_rarest_block(NodeId::SERVER, NodeId::new(4), &mut rng)
+            .unwrap();
+        assert_eq!(b, BlockId::new(2), "block 2 has the lowest frequency");
+    }
+
+    #[test]
+    fn rarest_tie_break_is_random() {
+        let mut fx = Fixture::new(3, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(
+                p.select_rarest_block(NodeId::SERVER, NodeId::new(1), &mut rng)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(seen.len(), 2, "both equally-rare blocks get chosen");
+    }
+
+    #[test]
+    fn buffers_reset_between_ticks() {
+        let mut fx = Fixture::new(3, 2);
+        {
+            let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+            p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+                .unwrap();
+        }
+        fx.bufs.reset();
+        assert!(fx.bufs.transfers.is_empty());
+        assert_eq!(fx.bufs.used_up[0], 0);
+        assert!(fx.bufs.pending[1].is_empty());
+        assert!(fx.bufs.dirty.is_empty());
+    }
+}

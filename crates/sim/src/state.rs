@@ -1,0 +1,205 @@
+//! Global simulation state: who holds which blocks.
+
+use crate::{BlockId, BlockSet, NodeId, Tick};
+
+/// The inventory of every node plus derived statistics.
+///
+/// The server (node `0`) starts with the full file; clients start empty.
+/// Block frequencies (how many nodes hold each block) are maintained
+/// incrementally for the Rarest-First selection policy.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::{BlockId, NodeId, SimState};
+///
+/// let mut state = SimState::new(4, 10);
+/// assert!(state.holds(NodeId::SERVER, BlockId::new(9)));
+/// assert!(!state.holds(NodeId::new(1), BlockId::new(0)));
+/// assert_eq!(state.frequency(BlockId::new(0)), 1); // only the server
+///
+/// state.deliver(NodeId::new(1), BlockId::new(0), pob_sim::Tick::new(1));
+/// assert_eq!(state.frequency(BlockId::new(0)), 2);
+/// assert!(!state.all_complete());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimState {
+    k: usize,
+    blocks: Vec<BlockSet>,
+    freq: Vec<u32>,
+    completion: Vec<Option<Tick>>,
+    incomplete: usize,
+}
+
+impl SimState {
+    /// Creates the initial state: `nodes` nodes, the server seeded with all
+    /// `blocks` blocks, clients empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `blocks == 0`.
+    pub fn new(nodes: usize, blocks: usize) -> Self {
+        assert!(nodes >= 2, "need a server and at least one client");
+        assert!(blocks >= 1, "file must have at least one block");
+        let mut sets = Vec::with_capacity(nodes);
+        sets.push(BlockSet::full(blocks));
+        for _ in 1..nodes {
+            sets.push(BlockSet::empty(blocks));
+        }
+        let mut completion = vec![None; nodes];
+        completion[0] = Some(Tick::ZERO);
+        SimState {
+            k: blocks,
+            blocks: sets,
+            freq: vec![1; blocks],
+            completion,
+            incomplete: nodes - 1,
+        }
+    }
+
+    /// Number of nodes, including the server.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of file blocks `k`.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.k
+    }
+
+    /// The block inventory of `u`.
+    #[inline]
+    pub fn inventory(&self, u: NodeId) -> &BlockSet {
+        &self.blocks[u.index()]
+    }
+
+    /// Whether `u` holds `block`.
+    #[inline]
+    pub fn holds(&self, u: NodeId, block: BlockId) -> bool {
+        self.blocks[u.index()].contains(block)
+    }
+
+    /// Whether `u` holds the entire file.
+    #[inline]
+    pub fn is_complete(&self, u: NodeId) -> bool {
+        self.blocks[u.index()].is_full()
+    }
+
+    /// Number of nodes that hold `block` (including the server).
+    #[inline]
+    pub fn frequency(&self, block: BlockId) -> u32 {
+        self.freq[block.index()]
+    }
+
+    /// The full per-block frequency table.
+    #[inline]
+    pub fn frequencies(&self) -> &[u32] {
+        &self.freq
+    }
+
+    /// Number of nodes still missing at least one block.
+    #[inline]
+    pub fn incomplete_count(&self) -> usize {
+        self.incomplete
+    }
+
+    /// Whether every node holds the complete file.
+    #[inline]
+    pub fn all_complete(&self) -> bool {
+        self.incomplete == 0
+    }
+
+    /// The tick at which `u` finished downloading, if it has.
+    ///
+    /// The server reports `Tick::ZERO`.
+    #[inline]
+    pub fn completion_tick(&self, u: NodeId) -> Option<Tick> {
+        self.completion[u.index()]
+    }
+
+    /// All nodes' completion ticks, indexed by node.
+    #[inline]
+    pub fn completion_ticks(&self) -> &[Option<Tick>] {
+        &self.completion
+    }
+
+    /// Delivers `block` to `u` at tick `now`, updating frequencies and
+    /// completion tracking. Returns `true` if `u` just became complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` already holds `block` (the engine must reject
+    /// duplicate deliveries before committing them).
+    pub fn deliver(&mut self, u: NodeId, block: BlockId, now: Tick) -> bool {
+        let fresh = self.blocks[u.index()].insert(block);
+        assert!(fresh, "duplicate delivery of {block} to {u}");
+        self.freq[block.index()] += 1;
+        if self.blocks[u.index()].is_full() {
+            self.completion[u.index()] = Some(now);
+            self.incomplete -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state() {
+        let s = SimState::new(5, 8);
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.block_count(), 8);
+        assert!(s.is_complete(NodeId::SERVER));
+        assert_eq!(s.completion_tick(NodeId::SERVER), Some(Tick::ZERO));
+        assert_eq!(s.incomplete_count(), 4);
+        assert!(!s.all_complete());
+        for b in 0..8 {
+            assert_eq!(s.frequency(BlockId::new(b)), 1);
+        }
+    }
+
+    #[test]
+    fn deliver_updates_frequency_and_completion() {
+        let mut s = SimState::new(2, 2);
+        let c = NodeId::new(1);
+        assert!(!s.deliver(c, BlockId::new(0), Tick::new(1)));
+        assert_eq!(s.frequency(BlockId::new(0)), 2);
+        assert_eq!(s.completion_tick(c), None);
+        assert!(s.deliver(c, BlockId::new(1), Tick::new(2)));
+        assert_eq!(s.completion_tick(c), Some(Tick::new(2)));
+        assert!(s.all_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate delivery")]
+    fn duplicate_delivery_panics() {
+        let mut s = SimState::new(2, 2);
+        s.deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        s.deliver(NodeId::new(1), BlockId::new(0), Tick::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn single_node_population_rejected() {
+        let _ = SimState::new(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_file_rejected() {
+        let _ = SimState::new(2, 0);
+    }
+
+    #[test]
+    fn frequencies_slice_matches() {
+        let mut s = SimState::new(3, 3);
+        s.deliver(NodeId::new(1), BlockId::new(2), Tick::new(1));
+        assert_eq!(s.frequencies(), &[1, 1, 2]);
+    }
+}

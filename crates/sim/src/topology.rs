@@ -1,0 +1,190 @@
+//! The overlay-network abstraction the engine runs on.
+//!
+//! Concrete graphs (complete, random regular, hypercube, trees…) live in
+//! the `pob-overlay` crate; the simulator only needs neighbor enumeration
+//! and an adjacency test. The complete graph is represented *virtually*
+//! (every pair adjacent, no stored adjacency lists) so that sweeps up to
+//! `n = 10⁴` nodes stay cheap — callers dispatch on [`NeighborSet::All`].
+
+use crate::NodeId;
+
+/// The neighbors of one node in an overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborSet<'a> {
+    /// Every other node is a neighbor (complete overlay).
+    All,
+    /// An explicit adjacency list (never contains the node itself).
+    List(&'a [NodeId]),
+}
+
+impl NeighborSet<'_> {
+    /// Number of neighbors, given the total population `n`.
+    pub fn len(&self, n: usize) -> usize {
+        match self {
+            NeighborSet::All => n.saturating_sub(1),
+            NeighborSet::List(l) => l.len(),
+        }
+    }
+
+    /// Whether the set is empty, given the total population `n`.
+    pub fn is_empty(&self, n: usize) -> bool {
+        self.len(n) == 0
+    }
+}
+
+/// An overlay network over nodes `0 .. node_count()`.
+///
+/// Implementations must be symmetric (undirected): `v ∈ neighbors(u)` iff
+/// `u ∈ neighbors(v)`. The trait is object-safe; the engine stores a
+/// `&dyn Topology`.
+///
+/// # Examples
+///
+/// Implementing a tiny fixed topology:
+///
+/// ```
+/// use pob_sim::{NeighborSet, NodeId, Topology};
+///
+/// #[derive(Debug)]
+/// struct Triangle([Vec<NodeId>; 3]);
+///
+/// impl Topology for Triangle {
+///     fn node_count(&self) -> usize { 3 }
+///     fn neighbors(&self, u: NodeId) -> NeighborSet<'_> {
+///         NeighborSet::List(&self.0[u.index()])
+///     }
+///     fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+///         u != v // complete on 3 nodes
+///     }
+/// }
+/// ```
+pub trait Topology: std::fmt::Debug {
+    /// Total number of nodes, including the server.
+    fn node_count(&self) -> usize;
+
+    /// The neighbor set of `u`.
+    fn neighbors(&self, u: NodeId) -> NeighborSet<'_>;
+
+    /// Whether `u` and `v` are adjacent. Must return `false` for `u == v`.
+    fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// Whether this overlay is the complete graph (all pairs adjacent).
+    ///
+    /// The default inspects `neighbors(0)`; override for a cheaper answer.
+    fn is_complete(&self) -> bool {
+        matches!(self.neighbors(NodeId::SERVER), NeighborSet::All)
+    }
+
+    /// Degree of `u`.
+    fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len(self.node_count())
+    }
+}
+
+impl<T: Topology + ?Sized> Topology for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn neighbors(&self, u: NodeId) -> NeighborSet<'_> {
+        (**self).neighbors(u)
+    }
+    fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        (**self).are_neighbors(u, v)
+    }
+    fn is_complete(&self) -> bool {
+        (**self).is_complete()
+    }
+    fn degree(&self, u: NodeId) -> usize {
+        (**self).degree(u)
+    }
+}
+
+/// The virtual complete overlay on `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::{CompleteOverlay, NodeId, Topology};
+///
+/// let g = CompleteOverlay::new(100);
+/// assert!(g.is_complete());
+/// assert_eq!(g.degree(NodeId::new(5)), 99);
+/// assert!(g.are_neighbors(NodeId::new(1), NodeId::new(2)));
+/// assert!(!g.are_neighbors(NodeId::new(1), NodeId::new(1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteOverlay {
+    n: usize,
+}
+
+impl CompleteOverlay {
+    /// Creates the complete overlay on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CompleteOverlay { n }
+    }
+}
+
+impl Topology for CompleteOverlay {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn neighbors(&self, _u: NodeId) -> NeighborSet<'_> {
+        NeighborSet::All
+    }
+
+    fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && u.index() < self.n && v.index() < self.n
+    }
+
+    fn is_complete(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_overlay_basics() {
+        let g = CompleteOverlay::new(10);
+        assert_eq!(g.node_count(), 10);
+        assert!(g.is_complete());
+        assert_eq!(g.degree(NodeId::new(0)), 9);
+        assert!(g.are_neighbors(NodeId::new(0), NodeId::new(9)));
+        assert!(!g.are_neighbors(NodeId::new(3), NodeId::new(3)));
+        assert!(
+            !g.are_neighbors(NodeId::new(3), NodeId::new(10)),
+            "out of range"
+        );
+    }
+
+    #[test]
+    fn neighbor_set_len() {
+        assert_eq!(NeighborSet::All.len(10), 9);
+        assert!(NeighborSet::All.is_empty(1));
+        let list = [NodeId::new(1), NodeId::new(2)];
+        assert_eq!(NeighborSet::List(&list).len(10), 2);
+        assert!(!NeighborSet::List(&list).is_empty(10));
+        assert!(NeighborSet::List(&[]).is_empty(10));
+    }
+
+    #[test]
+    fn trait_object_safety() {
+        let g = CompleteOverlay::new(4);
+        let dynamic: &dyn Topology = &g;
+        assert_eq!(dynamic.node_count(), 4);
+        assert!(dynamic.is_complete());
+    }
+
+    #[test]
+    fn blanket_ref_impl() {
+        fn takes_topology<T: Topology>(t: T) -> usize {
+            t.node_count()
+        }
+        let g = CompleteOverlay::new(7);
+        assert_eq!(takes_topology(g), 7);
+        assert_eq!(takes_topology(g), 7);
+    }
+}

@@ -1,0 +1,310 @@
+//! Run tracing: record every tick's transfers and derive diagnostics.
+//!
+//! Wrap any [`Strategy`] in a [`Recorder`] to capture the full transfer
+//! schedule of a run, then inspect it with [`RunTrace`]: per-tick
+//! utilization, per-block spread curves, per-node activity, and a compact
+//! ASCII timeline. Used by the examples and by tests that assert on
+//! *how* an algorithm moves data, not just when it finishes.
+
+use crate::{NodeId, SimError, Strategy, TickPlanner, Transfer};
+use rand::rngs::StdRng;
+use std::fmt::Write as _;
+
+/// A strategy wrapper that records every committed tick's transfers.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::trace::Recorder;
+/// use pob_sim::{
+///     BlockId, CompleteOverlay, Engine, NodeId, SimConfig, SimError, Strategy, TickPlanner,
+/// };
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// struct PushToC1;
+/// impl Strategy for PushToC1 {
+///     fn on_tick(&mut self, p: &mut TickPlanner<'_>, _r: &mut StdRng) -> Result<(), SimError> {
+///         let b = BlockId::new(p.tick().get() - 1);
+///         let _ = p.propose(NodeId::SERVER, NodeId::new(1), b);
+///         Ok(())
+///     }
+/// }
+///
+/// let overlay = CompleteOverlay::new(2);
+/// let mut traced = Recorder::new(PushToC1);
+/// let report = Engine::new(SimConfig::new(2, 3), &overlay)
+///     .run(&mut traced, &mut StdRng::seed_from_u64(0))?;
+/// let trace = traced.into_trace();
+/// assert_eq!(trace.ticks() as u32, report.ticks_run);
+/// assert_eq!(trace.total_transfers(), 3);
+/// # Ok::<(), SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recorder<S> {
+    inner: S,
+    ticks: Vec<Vec<Transfer>>,
+}
+
+impl<S: Strategy> Recorder<S> {
+    /// Wraps a strategy.
+    pub fn new(inner: S) -> Self {
+        Recorder {
+            inner,
+            ticks: Vec::new(),
+        }
+    }
+
+    /// The wrapped strategy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the recorder, returning the captured trace.
+    pub fn into_trace(self) -> RunTrace {
+        RunTrace { ticks: self.ticks }
+    }
+
+    /// The trace captured so far.
+    pub fn trace(&self) -> RunTrace {
+        RunTrace {
+            ticks: self.ticks.clone(),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for Recorder<S> {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        self.inner.on_tick(p, rng)?;
+        self.ticks.push(p.proposed().to_vec());
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// The complete transfer schedule of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunTrace {
+    ticks: Vec<Vec<Transfer>>,
+}
+
+impl RunTrace {
+    /// Builds a trace directly from per-tick transfer lists.
+    pub fn from_ticks(ticks: Vec<Vec<Transfer>>) -> Self {
+        RunTrace { ticks }
+    }
+
+    /// Number of recorded ticks.
+    pub fn ticks(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// The transfers of a 1-based tick (empty slice past the end).
+    pub fn tick(&self, tick: u32) -> &[Transfer] {
+        self.ticks
+            .get(tick as usize - 1)
+            .map_or(&[][..], Vec::as_slice)
+    }
+
+    /// Total transfers recorded.
+    pub fn total_transfers(&self) -> usize {
+        self.ticks.iter().map(Vec::len).sum()
+    }
+
+    /// Transfers per tick.
+    pub fn per_tick_counts(&self) -> Vec<usize> {
+        self.ticks.iter().map(Vec::len).collect()
+    }
+
+    /// Number of blocks uploaded by each node over the run.
+    pub fn uploads_by_node(&self, nodes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; nodes];
+        for t in self.ticks.iter().flatten() {
+            counts[t.from.index()] += 1;
+        }
+        counts
+    }
+
+    /// Number of blocks received by each node over the run.
+    pub fn downloads_by_node(&self, nodes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; nodes];
+        for t in self.ticks.iter().flatten() {
+            counts[t.to.index()] += 1;
+        }
+        counts
+    }
+
+    /// How many *distinct peers* each node uploaded to — the effective
+    /// out-degree the algorithm actually used (the §2.3.2 degree-bound
+    /// claims are checked against this).
+    pub fn distinct_upload_peers(&self, nodes: usize) -> Vec<usize> {
+        let mut peers = vec![std::collections::BTreeSet::new(); nodes];
+        for t in self.ticks.iter().flatten() {
+            peers[t.from.index()].insert(t.to);
+        }
+        peers.into_iter().map(|s| s.len()).collect()
+    }
+
+    /// The spread curve of one block: number of *deliveries* of `block`
+    /// completed by the end of each tick (cumulative).
+    pub fn spread_curve(&self, block: crate::BlockId) -> Vec<usize> {
+        let mut curve = Vec::with_capacity(self.ticks.len());
+        let mut have = 0usize;
+        for tick in &self.ticks {
+            have += tick.iter().filter(|t| t.block == block).count();
+            curve.push(have);
+        }
+        curve
+    }
+
+    /// A one-line utilization sparkline: each character is one tick,
+    /// scaled `0..=max` transfers into eight levels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pob_sim::trace::RunTrace;
+    /// use pob_sim::{BlockId, NodeId, Transfer};
+    ///
+    /// let t = |n| vec![Transfer::new(NodeId::SERVER, NodeId::new(1), BlockId::new(0)); n];
+    /// let trace = RunTrace::from_ticks(vec![t(1), t(4), t(8), t(2)]);
+    /// let line = trace.utilization_sparkline();
+    /// assert_eq!(line.chars().count(), 4);
+    /// ```
+    pub fn utilization_sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.ticks.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        self.ticks
+            .iter()
+            .map(|t| {
+                let idx = (t.len() * (LEVELS.len() - 1) + max / 2) / max;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// A multi-line summary of the run: tick count, transfers,
+    /// utilization sparkline, and the busiest/idlest nodes.
+    pub fn summary(&self, nodes: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "ticks: {}", self.ticks());
+        let _ = writeln!(out, "transfers: {}", self.total_transfers());
+        let _ = writeln!(out, "utilization: {}", self.utilization_sparkline());
+        let ups = self.uploads_by_node(nodes);
+        if let (Some(&max), Some(&min)) = (ups.iter().max(), ups.iter().min()) {
+            let busiest = ups.iter().position(|&u| u == max).unwrap_or(0);
+            let idlest = ups.iter().position(|&u| u == min).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "uploads/node: max {} ({}), min {} ({})",
+                max,
+                NodeId::from_index(busiest),
+                min,
+                NodeId::from_index(idlest),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockId, CompleteOverlay, Engine, SimConfig};
+    use rand::SeedableRng;
+
+    struct ServerPush;
+    impl Strategy for ServerPush {
+        fn on_tick(&mut self, p: &mut TickPlanner<'_>, _r: &mut StdRng) -> Result<(), SimError> {
+            for c in 1..p.node_count() {
+                let v = NodeId::from_index(c);
+                if p.upload_left(NodeId::SERVER) == 0 {
+                    break;
+                }
+                if !p.can_download(v) {
+                    continue;
+                }
+                let inv = p.state().inventory(NodeId::SERVER);
+                if let Some(b) = inv.highest_not_in(p.state().inventory(v)) {
+                    let _ = p.propose(NodeId::SERVER, v, b);
+                }
+            }
+            Ok(())
+        }
+        fn name(&self) -> &str {
+            "server-push"
+        }
+    }
+
+    fn traced_run(n: usize, k: usize) -> (RunTrace, crate::RunReport) {
+        let overlay = CompleteOverlay::new(n);
+        let mut rec = Recorder::new(ServerPush);
+        let report = Engine::new(SimConfig::new(n, k), &overlay)
+            .run(&mut rec, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        (rec.into_trace(), report)
+    }
+
+    #[test]
+    fn trace_matches_report() {
+        let (trace, report) = traced_run(4, 3);
+        assert_eq!(trace.ticks() as u32, report.ticks_run);
+        assert_eq!(trace.total_transfers() as u64, report.total_uploads);
+        assert_eq!(
+            trace.per_tick_counts().iter().sum::<usize>(),
+            trace.total_transfers()
+        );
+    }
+
+    #[test]
+    fn per_node_accounting() {
+        let (trace, _) = traced_run(4, 3);
+        let ups = trace.uploads_by_node(4);
+        assert_eq!(ups[0], 9, "server uploads everything in this strategy");
+        assert_eq!(ups[1..].iter().sum::<usize>(), 0);
+        let downs = trace.downloads_by_node(4);
+        assert_eq!(downs[0], 0);
+        assert!(downs[1..].iter().all(|&d| d == 3));
+        assert_eq!(trace.distinct_upload_peers(4)[0], 3);
+    }
+
+    #[test]
+    fn spread_curves_are_monotone_and_complete() {
+        let (trace, _) = traced_run(5, 2);
+        for b in 0..2u32 {
+            let curve = trace.spread_curve(BlockId::new(b));
+            assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(*curve.last().unwrap(), 4, "all 4 clients got block {b}");
+        }
+    }
+
+    #[test]
+    fn sparkline_and_summary_render() {
+        let (trace, _) = traced_run(4, 3);
+        let line = trace.utilization_sparkline();
+        assert_eq!(line.chars().count(), trace.ticks());
+        let summary = trace.summary(4);
+        assert!(summary.contains("ticks: "));
+        assert!(summary.contains("transfers: 9"));
+        assert!(summary.contains("uploads/node"));
+    }
+
+    #[test]
+    fn tick_accessor_bounds() {
+        let (trace, _) = traced_run(3, 1);
+        assert!(!trace.tick(1).is_empty());
+        assert!(trace.tick(999).is_empty());
+    }
+
+    #[test]
+    fn recorder_exposes_inner_and_partial_trace() {
+        let rec = Recorder::new(ServerPush);
+        assert_eq!(rec.inner().name(), "server-push");
+        assert_eq!(rec.trace().ticks(), 0);
+        let empty = RunTrace::default();
+        assert_eq!(empty.total_transfers(), 0);
+        assert_eq!(empty.utilization_sparkline(), "");
+    }
+}

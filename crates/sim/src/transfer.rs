@@ -1,0 +1,88 @@
+//! A single block transfer within one tick.
+
+use crate::{BlockId, NodeId};
+use std::fmt;
+
+/// One block moving from one node to another within a single tick.
+///
+/// A transfer is admissible only if the sender held the block *before* the
+/// tick began (a node cannot forward a block it has not fully received) and
+/// the receiver does not hold it; the engine enforces both.
+///
+/// This is a passive record, so its fields are public.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::{BlockId, NodeId, Transfer};
+///
+/// let t = Transfer::new(NodeId::SERVER, NodeId::new(1), BlockId::new(0));
+/// assert_eq!(t.from, NodeId::SERVER);
+/// assert_eq!(format!("{t}"), "S -[b1]-> C1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Transfer {
+    /// The uploading node.
+    pub from: NodeId,
+    /// The downloading node.
+    pub to: NodeId,
+    /// The block being moved.
+    pub block: BlockId,
+}
+
+impl Transfer {
+    /// Creates a transfer record.
+    #[inline]
+    pub const fn new(from: NodeId, to: NodeId, block: BlockId) -> Self {
+        Transfer { from, to, block }
+    }
+
+    /// Whether this transfer involves the server on either end.
+    #[inline]
+    pub const fn touches_server(&self) -> bool {
+        self.from.is_server() || self.to.is_server()
+    }
+
+    /// The same movement with endpoints swapped (used in barter pairing).
+    #[inline]
+    pub const fn reversed_endpoints(&self) -> (NodeId, NodeId) {
+        (self.to, self.from)
+    }
+}
+
+impl fmt::Debug for Transfer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -[{}]-> {}", self.from, self.block, self.to)
+    }
+}
+
+impl fmt::Display for Transfer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touches_server() {
+        assert!(Transfer::new(NodeId::SERVER, NodeId::new(1), BlockId::new(0)).touches_server());
+        assert!(Transfer::new(NodeId::new(1), NodeId::SERVER, BlockId::new(0)).touches_server());
+        assert!(!Transfer::new(NodeId::new(1), NodeId::new(2), BlockId::new(0)).touches_server());
+    }
+
+    #[test]
+    fn reversed_endpoints() {
+        let t = Transfer::new(NodeId::new(1), NodeId::new(2), BlockId::new(5));
+        assert_eq!(t.reversed_endpoints(), (NodeId::new(2), NodeId::new(1)));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Transfer::new(NodeId::new(3), NodeId::new(4), BlockId::new(1));
+        assert_eq!(t.to_string(), "C3 -[b2]-> C4");
+    }
+}

@@ -1,0 +1,100 @@
+//! Scenario: a swarm of selfish peers under credit-limited barter.
+//!
+//! Nobody uploads for free: a peer extends at most `s` blocks of credit
+//! to each neighbor (§3.2). This example shows the two practical levers
+//! the paper identifies — the overlay degree and the block-selection
+//! policy — including the failure mode where a too-sparse overlay
+//! deadlocks the swarm.
+//!
+//! Run with: `cargo run --release --example barter_swarm`
+
+use pob_analysis::Table;
+use pob_core::bounds::cooperative_lower_bound;
+use pob_core::run::run_swarm;
+use pob_core::strategies::BlockSelection;
+use pob_overlay::random_regular;
+use pob_sim::{Mechanism, SimError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 256;
+const K: usize = 256;
+
+fn main() -> Result<(), SimError> {
+    let cap = 10 * (N + K) as u32;
+    println!(
+        "Credit-limited swarm: n = {N} peers, k = {K} blocks, credit s = 1 per pair\n\
+         (runs capped at {cap} ticks; 'stuck' = the swarm deadlocked on credit)\n"
+    );
+
+    let mut table = Table::new(["overlay degree", "random policy", "rarest-first policy"]);
+    for d in [8usize, 16, 32, 64, 128] {
+        let mut cells = Vec::new();
+        for policy in [BlockSelection::Random, BlockSelection::RarestFirst] {
+            let mut graph_rng = StdRng::seed_from_u64(d as u64);
+            let overlay = random_regular(N, d, &mut graph_rng).expect("regular graph");
+            let report = run_swarm(
+                &overlay,
+                K,
+                Mechanism::CreditLimited { credit: 1 },
+                policy,
+                Some(cap),
+                1,
+            )?;
+            cells.push(match report.completion_time() {
+                Some(t) => format!("{t} ticks"),
+                None => format!(
+                    "stuck ({}/{} clients done)",
+                    report
+                        .node_completions
+                        .iter()
+                        .skip(1)
+                        .filter(|c| c.is_some())
+                        .count(),
+                    N - 1
+                ),
+            });
+        }
+        table.push_row([format!("d = {d}"), cells[0].clone(), cells[1].clone()]);
+    }
+    println!("{}", table.to_ascii());
+    println!(
+        "cooperative lower bound: {} ticks — above its degree threshold the barter swarm\n\
+         is just as fast, below it the economy seizes up (the paper's Figures 6 and 7).\n",
+        cooperative_lower_bound(N, K)
+    );
+
+    // The paper's remedy comparison: more credit vs more neighbors.
+    println!("Remedies at a too-sparse degree (d = 8):");
+    let mut rtable = Table::new(["remedy", "outcome"]);
+    for (label, d, s) in [
+        ("status quo (d=8, s=1)", 8usize, 1u32),
+        ("double the credit (s=2)", 8, 2),
+        ("octuple the credit (s=8)", 8, 8),
+        ("raise degree to d=32 (s=1)", 32, 1),
+    ] {
+        let mut graph_rng = StdRng::seed_from_u64(999);
+        let overlay = random_regular(N, d, &mut graph_rng).expect("regular graph");
+        let report = run_swarm(
+            &overlay,
+            K,
+            Mechanism::CreditLimited { credit: s },
+            BlockSelection::RarestFirst,
+            Some(cap),
+            1,
+        )?;
+        rtable.push_row([
+            label.to_string(),
+            report
+                .completion_time()
+                .map_or("still stuck".to_string(), |t| format!("{t} ticks")),
+        ]);
+    }
+    println!("{}", rtable.to_ascii());
+    println!(
+        "doubling the credit changes nothing, and even when a big credit raise unsticks the\n\
+         swarm it needs s·d ≈ the whole file in flight per node — \"increasing the credit\n\
+         limit ... is nowhere near as powerful as increasing the graph degree itself\" (§3.2.4)"
+    );
+    Ok(())
+}

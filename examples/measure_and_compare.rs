@@ -1,0 +1,115 @@
+//! Scenario: measuring like the paper does.
+//!
+//! Uses the analysis toolkit the figures are built on — multi-seed runs,
+//! confidence intervals, Welch significance tests, histograms — to answer
+//! a §2.4.4 question: does Rarest-First actually beat Random block
+//! selection cooperatively? (The paper reports "no significant
+//! differences"; our sharper measurement finds a consistent, modest edge
+//! for Rarest-First — a refinement recorded in EXPERIMENTS.md.) Then it
+//! uses run traces to *show* why the binomial pipeline is optimal while
+//! the swarm wobbles.
+//!
+//! Run with: `cargo run --release --example measure_and_compare`
+
+use pob_analysis::{median, run_seeds, welch_t, Histogram, Summary};
+use pob_core::bounds::cooperative_lower_bound;
+use pob_core::run::{run_swarm, run_swarm_with, SwarmOptions};
+use pob_core::schedules::HypercubeSchedule;
+use pob_core::strategies::BlockSelection;
+use pob_overlay::Hypercube;
+use pob_sim::trace::Recorder;
+use pob_sim::{CompleteOverlay, Engine, Mechanism, SimConfig, SimError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 128;
+const K: usize = 128;
+const RUNS: usize = 24;
+
+fn main() -> Result<(), SimError> {
+    println!(
+        "Random vs Rarest-First block selection, cooperative swarm\n\
+         (n = {N}, k = {K}, {RUNS} seeded runs each; optimum {} ticks)\n",
+        cooperative_lower_bound(N, K)
+    );
+
+    let threads = pob_analysis::default_threads();
+    let overlay = CompleteOverlay::new(N);
+    let measure = |policy: BlockSelection| {
+        run_seeds(RUNS, 1, threads, move |seed| {
+            let overlay = CompleteOverlay::new(N);
+            f64::from(
+                run_swarm(&overlay, K, Mechanism::Cooperative, policy, None, seed)
+                    .expect("swarm")
+                    .completion_time()
+                    .expect("completes"),
+            )
+        })
+    };
+    let random = measure(BlockSelection::Random);
+    let rarest = measure(BlockSelection::RarestFirst);
+
+    for (name, xs) in [("random      ", &random), ("rarest-first", &rarest)] {
+        let s = Summary::from_samples(xs);
+        println!("  {name}: {s}   median {:.0}", median(xs));
+    }
+    let verdict = welch_t(&random, &rarest);
+    println!(
+        "  Welch t = {:.2} (df ≈ {:.0}) → {}\n",
+        verdict.t,
+        verdict.df,
+        if verdict.significant {
+            "rarest-first is significantly faster here — a sharper result than \
+             §2.4.4's \"no significant differences\" (see EXPERIMENTS.md)"
+        } else {
+            "no significant difference — §2.4.4's cooperative finding"
+        }
+    );
+
+    println!("completion-time distribution (random policy):");
+    print!("{}", Histogram::new(&random, 5).render(30));
+
+    // Under credit-limited barter the picture flips (the Figure 7 effect):
+    println!("\nsame comparison under credit-limited barter (s = 1, complete graph):");
+    for policy in [BlockSelection::Random, BlockSelection::RarestFirst] {
+        let opts = SwarmOptions {
+            mechanism: Mechanism::CreditLimited { credit: 1 },
+            policy,
+            ..SwarmOptions::default()
+        };
+        let t = run_swarm_with(&overlay, K, &opts, 1)?
+            .completion_time()
+            .expect("completes on the dense overlay");
+        println!("  {policy:>12}: {t} ticks");
+    }
+    println!(
+        "  (on sparse overlays the gap becomes 20x — see `cargo bench --bench fig7_credit_rarest`)"
+    );
+
+    // Trace comparison: utilization of optimal vs randomized.
+    println!("\nupload utilization over time (one run, n = k = 64):");
+    let h = 6u32;
+    let cube = Hypercube::new(h);
+    let mut optimal = Recorder::new(HypercubeSchedule::new(h));
+    Engine::new(SimConfig::new(64, 64), &cube).run(&mut optimal, &mut StdRng::seed_from_u64(0))?;
+    println!(
+        "  binomial pipeline: {}",
+        optimal.into_trace().utilization_sparkline()
+    );
+
+    let mut swarm = Recorder::new(pob_core::strategies::SwarmStrategy::new(
+        BlockSelection::Random,
+    ));
+    let cfg = SimConfig::new(64, 64).with_download_capacity(pob_sim::DownloadCapacity::Unlimited);
+    let overlay64 = CompleteOverlay::new(64);
+    Engine::new(cfg, &overlay64).run(&mut swarm, &mut StdRng::seed_from_u64(0))?;
+    println!(
+        "  randomized swarm : {}",
+        swarm.into_trace().utilization_sparkline()
+    );
+    println!(
+        "\nthe pipeline's middlegame saturates every upload slot (the flat top);\n\
+         the swarm hovers just below — the few-percent gap of Figures 3–4."
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! The headline result: what does barter cost?
+//!
+//! Compares the optimal cooperative schedule (Binomial Pipeline) with the
+//! optimal-so-far strict-barter schedule (Riffle Pipeline) across
+//! population and file sizes, measuring the *price of barter* — and shows
+//! how credit-limited barter makes the price vanish.
+//!
+//! Run with: `cargo run --release --example price_of_barter`
+
+use pob_analysis::Table;
+use pob_core::bounds::{cooperative_lower_bound, strict_barter_lower_bound_d1};
+use pob_core::run::{run_binomial_pipeline, run_riffle_pipeline, run_swarm};
+use pob_core::strategies::BlockSelection;
+use pob_sim::{CompleteOverlay, Mechanism, SimError};
+
+fn main() -> Result<(), SimError> {
+    println!("The price of barter: strict barter vs cooperative, measured\n");
+
+    let mut table = Table::new([
+        "n",
+        "k",
+        "cooperative T",
+        "strict barter T",
+        "price (ratio)",
+        "regime",
+    ]);
+    for &(n, k) in &[
+        (257usize, 16usize), // short file, many clients: barter is brutal
+        (257, 256),
+        (257, 2048), // long file: the price fades
+        (65, 256),
+        (1025, 512),
+    ] {
+        let coop = run_binomial_pipeline(n, k)?
+            .completion_time()
+            .expect("binomial pipeline completes");
+        let barter = run_riffle_pipeline(n, k, true)?
+            .completion_time()
+            .expect("riffle pipeline completes");
+        let ratio = f64::from(barter) / f64::from(coop);
+        table.push_row([
+            n.to_string(),
+            k.to_string(),
+            coop.to_string(),
+            barter.to_string(),
+            format!("{ratio:.2}x"),
+            if ratio > 2.0 {
+                "barter dominates cost"
+            } else if ratio > 1.1 {
+                "noticeable"
+            } else {
+                "negligible"
+            }
+            .to_string(),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+    println!(
+        "strict barter pays a start-up tax of ~n ticks (every first block must come from\n\
+         the server), so the price ≈ (k + n) / (k + log n): huge for k ≪ n, ~1 for k ≫ n.\n"
+    );
+
+    // Why the tax exists, in one trace: k = 1.
+    let (n, k) = (9usize, 1usize);
+    let coop = run_binomial_pipeline(n, k)?.completion_time().unwrap();
+    let barter = run_riffle_pipeline(n, k, true)?.completion_time().unwrap();
+    println!(
+        "extreme case k = 1, n = {n}: cooperative {coop} ticks (doubling tree) vs barter\n\
+         {barter} ticks (nobody has anything to trade — the server serves everyone serially;\n\
+         lower bound n − 1 = {}).\n",
+        strict_barter_lower_bound_d1(n, k) // = n + k - 2 = n - 1 for k = 1
+    );
+
+    // Credit-limited barter: incentives almost for free.
+    println!("Escaping the price with credit-limited barter (s = 1, dense overlay):");
+    let (n, k) = (512usize, 512usize);
+    let overlay = CompleteOverlay::new(n);
+    let coop = run_swarm(
+        &overlay,
+        k,
+        Mechanism::Cooperative,
+        BlockSelection::Random,
+        None,
+        3,
+    )?;
+    let credit = run_swarm(
+        &overlay,
+        k,
+        Mechanism::CreditLimited { credit: 1 },
+        BlockSelection::Random,
+        None,
+        3,
+    )?;
+    println!(
+        "  n = {n}, k = {k}: cooperative swarm {} ticks, credit-limited swarm {} ticks\n\
+         (lower bound {}): one free block per pair is enough to restart the economy —\n\
+         robust incentives at (almost) no efficiency cost (§3.2).",
+        coop.completion_time().expect("completes"),
+        credit.completion_time().expect("completes"),
+        cooperative_lower_bound(n, k),
+    );
+    Ok(())
+}

@@ -1,0 +1,533 @@
+//! `pob` — command-line driver for the Price-of-Barter simulator.
+//!
+//! ```text
+//! pob bounds --n 1024 --k 512
+//! pob run --algorithm binomial --n 1024 --k 512
+//! pob run --algorithm swarm --n 256 --k 256 --mechanism credit:1 --degree 40 --policy rarest
+//! pob trace --algorithm binomial --n 8 --k 3
+//! pob sweep --algorithm swarm --n 256 --k 256 --degrees 8,16,32,64 --seeds 5
+//! ```
+//!
+//! Run `pob help` for the full option list. All runs are deterministic
+//! given `--seed`.
+
+use pob_analysis::{Summary, Table};
+use pob_core::bounds;
+use pob_core::run::{run_swarm_with, SwarmOptions};
+use pob_core::schedules::{
+    BinomialTree, GeneralBinomialPipeline, HypercubeSchedule, MulticastTree, Pipeline,
+    RifflePipeline,
+};
+use pob_core::strategies::{
+    BitTorrentLike, BlockSelection, SplitStream, SwarmStrategy, TriangularSwarm,
+};
+use pob_overlay::{d_ary_tree, path, random_regular, CompleteOverlay, Hypercube};
+use pob_sim::trace::Recorder;
+use pob_sim::{DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Strategy, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+pob — simulator for 'On Cooperative Content Distribution and the Price of Barter'
+
+USAGE:
+    pob <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run      simulate one distribution run and print the report
+    trace    like run, but print every tick's transfers (keep n and k small)
+    bounds   print the closed-form completion times and lower bounds
+    sweep    run an overlay-degree sweep and print a table
+    compare  run two algorithms over several seeds and Welch-test the gap
+    help     show this message
+
+OPTIONS (run / trace / sweep):
+    --algorithm <A>   binomial | pipeline | multicast | binomial-tree | riffle
+                      | swarm | bittorrent | splitstream | triangular   [binomial]
+    --n <N>           number of nodes incl. the server                  [64]
+    --k <K>           number of file blocks                             [64]
+    --mechanism <M>   cooperative | strict | credit:<s> | triangular:<s>
+                      | cyclic:<s>                                      [algorithm default]
+    --overlay <O>     complete | hypercube | regular | tree | path      [algorithm default]
+    --degree <D>      degree for --overlay regular                      [20]
+    --arity <D>       arity for multicast / splitstream stripes         [3]
+    --policy <P>      random | rarest (randomized strategies)           [random]
+    --download <C>    1 | 2 | unlimited                                 [algorithm default]
+    --seed <S>        RNG seed                                          [0]
+    --max-ticks <T>   tick cap (censored if exceeded)                   [auto]
+    --seeds <R>       (sweep) runs per point                            [5]
+    --degrees <LIST>  (sweep) comma-separated degree list               [8,16,32,64]
+";
+
+#[derive(Debug, Clone)]
+struct Options {
+    algorithm: String,
+    n: usize,
+    k: usize,
+    mechanism: Option<Mechanism>,
+    overlay: Option<String>,
+    degree: usize,
+    arity: usize,
+    policy: BlockSelection,
+    download: Option<DownloadCapacity>,
+    seed: u64,
+    max_ticks: Option<u32>,
+    seeds: usize,
+    degrees: Vec<usize>,
+    versus: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            algorithm: "binomial".to_owned(),
+            n: 64,
+            k: 64,
+            mechanism: None,
+            overlay: None,
+            degree: 20,
+            arity: 3,
+            policy: BlockSelection::Random,
+            download: None,
+            seed: 0,
+            max_ticks: None,
+            seeds: 5,
+            degrees: vec![8, 16, 32, 64],
+            versus: "swarm".to_owned(),
+        }
+    }
+}
+
+fn parse_mechanism(v: &str) -> Result<Mechanism, String> {
+    let (name, arg) = v.split_once(':').unwrap_or((v, ""));
+    let credit = || -> Result<u32, String> {
+        arg.parse()
+            .map_err(|_| format!("mechanism '{name}' needs a numeric credit, e.g. {name}:1"))
+    };
+    match name {
+        "cooperative" => Ok(Mechanism::Cooperative),
+        "strict" => Ok(Mechanism::StrictBarter),
+        "credit" => Ok(Mechanism::CreditLimited { credit: credit()? }),
+        "triangular" => Ok(Mechanism::TriangularBarter { credit: credit()? }),
+        "cyclic" => Ok(Mechanism::CyclicBarter { credit: credit()? }),
+        other => Err(format!("unknown mechanism '{other}'")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--algorithm" => opts.algorithm = value()?.clone(),
+            "--n" => {
+                opts.n = value()?
+                    .parse()
+                    .map_err(|_| "--n must be a number".to_owned())?
+            }
+            "--k" => {
+                opts.k = value()?
+                    .parse()
+                    .map_err(|_| "--k must be a number".to_owned())?
+            }
+            "--mechanism" => opts.mechanism = Some(parse_mechanism(value()?)?),
+            "--overlay" => opts.overlay = Some(value()?.clone()),
+            "--degree" => {
+                opts.degree = value()?
+                    .parse()
+                    .map_err(|_| "--degree must be a number".to_owned())?
+            }
+            "--arity" => {
+                opts.arity = value()?
+                    .parse()
+                    .map_err(|_| "--arity must be a number".to_owned())?
+            }
+            "--policy" => {
+                opts.policy = match value()?.as_str() {
+                    "random" => BlockSelection::Random,
+                    "rarest" => BlockSelection::RarestFirst,
+                    other => return Err(format!("unknown policy '{other}'")),
+                }
+            }
+            "--download" => {
+                opts.download = Some(match value()?.as_str() {
+                    "unlimited" => DownloadCapacity::Unlimited,
+                    num => DownloadCapacity::Finite(
+                        num.parse()
+                            .map_err(|_| "--download takes a number or 'unlimited'".to_owned())?,
+                    ),
+                })
+            }
+            "--seed" => {
+                opts.seed = value()?
+                    .parse()
+                    .map_err(|_| "--seed must be a number".to_owned())?
+            }
+            "--max-ticks" => {
+                opts.max_ticks = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--max-ticks must be a number".to_owned())?,
+                )
+            }
+            "--seeds" => {
+                opts.seeds = value()?
+                    .parse()
+                    .map_err(|_| "--seeds must be a number".to_owned())?
+            }
+            "--versus" => opts.versus = value()?.clone(),
+            "--degrees" => {
+                opts.degrees = value()?
+                    .split(',')
+                    .map(|d| d.parse().map_err(|_| format!("bad degree '{d}'")))
+                    .collect::<Result<_, _>>()?
+            }
+            other => return Err(format!("unknown option '{other}' (see `pob help`)")),
+        }
+    }
+    if opts.n < 2 {
+        return Err("--n must be at least 2".to_owned());
+    }
+    if opts.k < 1 {
+        return Err("--k must be at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+/// Builds the overlay the options ask for (or the algorithm's natural one).
+fn build_overlay(opts: &Options) -> Result<Box<dyn Topology>, String> {
+    let kind = opts.overlay.clone().unwrap_or_else(|| {
+        match opts.algorithm.as_str() {
+            "binomial" if opts.n.is_power_of_two() => "hypercube",
+            "pipeline" => "path",
+            "multicast" => "tree",
+            _ => "complete",
+        }
+        .to_owned()
+    });
+    Ok(match kind.as_str() {
+        "complete" => Box::new(CompleteOverlay::new(opts.n)),
+        "hypercube" => {
+            if !opts.n.is_power_of_two() {
+                return Err("--overlay hypercube needs n = 2^h".to_owned());
+            }
+            Box::new(Hypercube::new(opts.n.trailing_zeros()))
+        }
+        "regular" => {
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xdead_beef);
+            Box::new(
+                random_regular(opts.n, opts.degree, &mut rng)
+                    .map_err(|e| format!("cannot build regular overlay: {e}"))?,
+            )
+        }
+        "tree" => Box::new(d_ary_tree(opts.n, opts.arity)),
+        "path" => Box::new(path(opts.n)),
+        other => return Err(format!("unknown overlay '{other}'")),
+    })
+}
+
+/// The algorithm's natural defaults: (mechanism, download capacity).
+fn defaults_for(algorithm: &str) -> (Mechanism, DownloadCapacity) {
+    match algorithm {
+        "riffle" => (Mechanism::StrictBarter, DownloadCapacity::Finite(2)),
+        "triangular" => (
+            Mechanism::TriangularBarter { credit: 2 },
+            DownloadCapacity::Unlimited,
+        ),
+        "swarm" | "bittorrent" | "splitstream" => {
+            (Mechanism::Cooperative, DownloadCapacity::Unlimited)
+        }
+        _ => (Mechanism::Cooperative, DownloadCapacity::Finite(1)),
+    }
+}
+
+fn build_strategy(opts: &Options) -> Result<Box<dyn Strategy>, String> {
+    Ok(match opts.algorithm.as_str() {
+        "binomial" => {
+            if opts.n.is_power_of_two() {
+                Box::new(HypercubeSchedule::new(opts.n.trailing_zeros()))
+            } else {
+                Box::new(GeneralBinomialPipeline::new(opts.n))
+            }
+        }
+        "pipeline" => Box::new(Pipeline::new()),
+        "multicast" => Box::new(MulticastTree::new(opts.arity)),
+        "binomial-tree" => Box::new(BinomialTree::new()),
+        "riffle" => Box::new(RifflePipeline::new(opts.n, opts.k, true)),
+        "swarm" => Box::new(SwarmStrategy::new(opts.policy)),
+        "bittorrent" => Box::new(BitTorrentLike::new()),
+        "splitstream" => Box::new(SplitStream::new(opts.n, opts.k, opts.arity)),
+        "triangular" => Box::new(TriangularSwarm::new(opts.policy)),
+        other => return Err(format!("unknown algorithm '{other}' (see `pob help`)")),
+    })
+}
+
+fn build_config(opts: &Options) -> SimConfig {
+    let (default_mech, default_dl) = defaults_for(&opts.algorithm);
+    let mut cfg = SimConfig::new(opts.n, opts.k)
+        .with_mechanism(opts.mechanism.unwrap_or(default_mech))
+        .with_download_capacity(opts.download.unwrap_or(default_dl));
+    if let Some(cap) = opts.max_ticks {
+        cfg = cfg.with_max_ticks(cap);
+    }
+    cfg
+}
+
+fn print_report(opts: &Options, report: &RunReport) {
+    let lb = bounds::cooperative_lower_bound(opts.n, opts.k);
+    println!("algorithm    : {}", opts.algorithm);
+    println!(
+        "population   : n = {} (server + {} clients), k = {}",
+        opts.n,
+        opts.n - 1,
+        opts.k
+    );
+    println!("mechanism    : {}", report.mechanism.label());
+    match report.completion_time() {
+        Some(t) => {
+            println!("completed in : {t} ticks");
+            println!(
+                "lower bound  : {lb} ticks  ({:.3}x)",
+                f64::from(t) / f64::from(lb)
+            );
+        }
+        None => println!(
+            "did NOT complete within {} ticks (censored)",
+            report.ticks_run
+        ),
+    }
+    println!(
+        "transfers    : {} ({} by the server)",
+        report.total_uploads, report.server_uploads
+    );
+    println!("utilization  : {:.1}%", 100.0 * report.utilization());
+    if let Some(mean) = report.mean_client_completion() {
+        println!("mean finish  : {mean:.1} ticks");
+    }
+}
+
+fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
+    let overlay = build_overlay(opts)?;
+    let mut strategy = build_strategy(opts)?;
+    let cfg = build_config(opts);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let report = if trace {
+        let mut rec = Recorder::new(strategy.as_mut());
+        let report = Engine::new(cfg, overlay.as_ref())
+            .run(&mut rec, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let t = rec.into_trace();
+        for tick in 1..=report.ticks_run {
+            let transfers = t.tick(tick);
+            let line: Vec<String> = transfers.iter().map(ToString::to_string).collect();
+            println!(
+                "tick {tick:>4}: {}",
+                if line.is_empty() {
+                    "(idle)".to_owned()
+                } else {
+                    line.join(",  ")
+                }
+            );
+        }
+        println!("{}", t.summary(opts.n));
+        report
+    } else {
+        Engine::new(cfg, overlay.as_ref())
+            .run(strategy.as_mut(), &mut rng)
+            .map_err(|e| e.to_string())?
+    };
+    print_report(opts, &report);
+    Ok(())
+}
+
+fn cmd_bounds(opts: &Options) -> Result<(), String> {
+    let (n, k) = (opts.n, opts.k);
+    let mut table = Table::new(["quantity", "ticks", "source"]);
+    table.push_row([
+        "cooperative lower bound".to_owned(),
+        bounds::cooperative_lower_bound(n, k).to_string(),
+        "Theorem 1".to_owned(),
+    ]);
+    table.push_row([
+        "binomial pipeline".to_owned(),
+        bounds::binomial_pipeline_time(n, k).to_string(),
+        "§2.3 (optimal)".to_owned(),
+    ]);
+    table.push_row([
+        "pipeline (chain)".to_owned(),
+        bounds::pipeline_time(n, k).to_string(),
+        "§2.2.1".to_owned(),
+    ]);
+    table.push_row([
+        format!("multicast tree (d={})", opts.arity),
+        bounds::multicast_tree_time(n, k, opts.arity).to_string(),
+        "§2.2.2".to_owned(),
+    ]);
+    table.push_row([
+        "binomial tree".to_owned(),
+        bounds::binomial_tree_time(n, k).to_string(),
+        "§2.2.3".to_owned(),
+    ]);
+    table.push_row([
+        "strict barter LB (D=B)".to_owned(),
+        bounds::strict_barter_lower_bound_d1(n, k).to_string(),
+        "Theorem 2".to_owned(),
+    ]);
+    table.push_row([
+        "strict barter LB (D>=2B)".to_owned(),
+        bounds::strict_barter_lower_bound_d2(n, k).to_string(),
+        "Theorem 2".to_owned(),
+    ]);
+    if k % (n - 1) == 0 {
+        table.push_row([
+            "riffle pipeline (overlap)".to_owned(),
+            bounds::riffle_pipeline_time(n, k, true).to_string(),
+            "Theorem 3".to_owned(),
+        ]);
+    }
+    table.push_row([
+        "price of barter".to_owned(),
+        format!("{:.2}x", bounds::price_of_barter(n, k)),
+        "strict / coop".to_owned(),
+    ]);
+    println!("{}", table.to_ascii());
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    println!(
+        "sweep: {} on random regular overlays, n = {}, k = {}, {} seeds/point\n",
+        opts.algorithm, opts.n, opts.k, opts.seeds
+    );
+    let (default_mech, default_dl) = defaults_for(&opts.algorithm);
+    let mechanism = opts.mechanism.unwrap_or(default_mech);
+    let mut table = Table::new(["degree", "T mean ± 95% CI", "censored"]);
+    for &d in &opts.degrees {
+        let mut times = Vec::new();
+        let mut censored = 0usize;
+        for s in 0..opts.seeds as u64 {
+            let seed = opts.seed + s;
+            let mut graph_rng = StdRng::seed_from_u64(seed ^ 0xdead_beef ^ d as u64);
+            let overlay = random_regular(opts.n, d, &mut graph_rng)
+                .map_err(|e| format!("degree {d}: {e}"))?;
+            let swarm_opts = SwarmOptions {
+                mechanism,
+                policy: opts.policy,
+                download: opts.download.unwrap_or(default_dl),
+                max_ticks: opts.max_ticks.or(Some(12 * (opts.n + opts.k) as u32)),
+                ..SwarmOptions::default()
+            };
+            let report =
+                run_swarm_with(&overlay, opts.k, &swarm_opts, seed).map_err(|e| e.to_string())?;
+            censored += usize::from(!report.completed());
+            times.push(f64::from(report.censored_completion_time()));
+        }
+        let s = Summary::from_samples(&times);
+        table.push_row([
+            d.to_string(),
+            format!("{:.1} ± {:.1}", s.mean, s.ci95),
+            format!("{censored}/{}", opts.seeds),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+    Ok(())
+}
+
+fn timed_completion(opts: &Options, algorithm: &str, seed: u64) -> Result<f64, String> {
+    let mut o = opts.clone();
+    o.algorithm = algorithm.to_owned();
+    o.seed = seed;
+    let overlay = build_overlay(&o)?;
+    let mut strategy = build_strategy(&o)?;
+    let cfg = build_config(&o);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = Engine::new(cfg, overlay.as_ref())
+        .run(strategy.as_mut(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    report.completion_time().map(f64::from).ok_or_else(|| {
+        format!(
+            "{algorithm} did not complete within {} ticks",
+            report.ticks_run
+        )
+    })
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let (a, b) = (opts.algorithm.as_str(), opts.versus.as_str());
+    println!(
+        "comparing '{a}' vs '{b}' on n = {}, k = {} over {} seeds\n",
+        opts.n, opts.k, opts.seeds
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in 0..opts.seeds as u64 {
+        xs.push(timed_completion(opts, a, opts.seed + s)?);
+        ys.push(timed_completion(opts, b, opts.seed + s)?);
+    }
+    let sa = Summary::from_samples(&xs);
+    let sb = Summary::from_samples(&ys);
+    let mut table = Table::new(["algorithm", "T mean ± 95% CI", "min", "max"]);
+    for (name, s) in [(a, &sa), (b, &sb)] {
+        table.push_row([
+            name.to_owned(),
+            format!("{:.1} ± {:.1}", s.mean, s.ci95),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.max),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+    if opts.seeds >= 2 {
+        let w = pob_analysis::welch_t(&xs, &ys);
+        println!(
+            "Welch t = {:.2} (df ≈ {:.0}): {}",
+            w.t,
+            w.df,
+            match (w.significant, w.t > 0.0) {
+                (false, _) => "no significant difference at 5%".to_owned(),
+                (true, true) => format!("'{b}' is significantly faster"),
+                (true, false) => format!("'{a}' is significantly faster"),
+            }
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_options(rest).and_then(|opts| match command.as_str() {
+        "run" => cmd_run(&opts, false),
+        "trace" => cmd_run(&opts, true),
+        "bounds" => cmd_bounds(&opts),
+        "compare" => cmd_compare(&opts),
+        "sweep" => {
+            if opts.algorithm == "binomial" {
+                // The sweep is for randomized strategies; default to swarm.
+                let mut o = opts.clone();
+                o.algorithm = "swarm".to_owned();
+                cmd_sweep(&o)
+            } else {
+                cmd_sweep(&opts)
+            }
+        }
+        other => Err(format!("unknown command '{other}' (see `pob help`)")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

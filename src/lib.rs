@@ -1,0 +1,17 @@
+//! Umbrella crate for the *Price of Barter* reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use price_of_barter::…`. See the individual
+//! crates for the real documentation:
+//!
+//! * [`sim`] — the synchronous/asynchronous simulation substrate;
+//! * [`overlay`] — overlay-network topologies;
+//! * [`core`] — the paper's algorithms and bounds;
+//! * [`analysis`] — statistics and the experiment harness.
+
+#![forbid(unsafe_code)]
+
+pub use pob_analysis as analysis;
+pub use pob_core as core;
+pub use pob_overlay as overlay;
+pub use pob_sim as sim;

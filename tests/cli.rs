@@ -1,0 +1,184 @@
+//! End-to-end tests of the `pob` command-line interface.
+
+use std::process::{Command, Output};
+
+fn pob(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pob"))
+        .args(args)
+        .output()
+        .expect("pob binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pob(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE:"));
+    assert!(stdout(&out).contains("bounds"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = pob(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE:"));
+}
+
+#[test]
+fn bounds_command_prints_theorems() {
+    let out = pob(&["bounds", "--n", "1024", "--k", "512"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("cooperative lower bound"));
+    assert!(text.contains("521"), "k - 1 + log2(n) = 521");
+    assert!(text.contains("Theorem 2"));
+}
+
+#[test]
+fn run_binomial_is_optimal() {
+    let out = pob(&["run", "--algorithm", "binomial", "--n", "64", "--k", "32"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("completed in : 37 ticks"), "{text}");
+    assert!(text.contains("(1.000x)"));
+}
+
+#[test]
+fn run_riffle_under_strict_barter() {
+    let out = pob(&["run", "--algorithm", "riffle", "--n", "9", "--k", "16"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("strict-barter"));
+    assert!(
+        text.contains("completed in : 23 ticks"),
+        "k + n - 2 = 23: {text}"
+    );
+}
+
+#[test]
+fn run_swarm_with_credit_mechanism() {
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "64",
+        "--k",
+        "32",
+        "--mechanism",
+        "credit:1",
+        "--policy",
+        "rarest",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("credit-limited(s=1)"));
+}
+
+#[test]
+fn trace_prints_every_tick() {
+    let out = pob(&["trace", "--algorithm", "binomial", "--n", "8", "--k", "1"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("tick    1: S -[b1]->"));
+    assert!(text.contains("tick    3:"));
+    assert!(text.contains("utilization:"));
+}
+
+#[test]
+fn sweep_prints_degree_table() {
+    let out = pob(&[
+        "sweep",
+        "--n",
+        "32",
+        "--k",
+        "16",
+        "--degrees",
+        "4,8",
+        "--seeds",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("degree"));
+    assert!(
+        text.lines()
+            .filter(|l| l.starts_with('4') || l.starts_with('8'))
+            .count()
+            >= 2
+    );
+}
+
+#[test]
+fn unknown_algorithm_is_a_clean_error() {
+    let out = pob(&["run", "--algorithm", "warp-drive"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+}
+
+#[test]
+fn bad_mechanism_is_a_clean_error() {
+    let out = pob(&["run", "--mechanism", "credit"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("numeric credit"));
+}
+
+#[test]
+fn hypercube_overlay_requires_power_of_two() {
+    let out = pob(&["run", "--n", "10", "--overlay", "hypercube"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("2^h"));
+}
+
+#[test]
+fn compare_runs_welch_test() {
+    let out = pob(&[
+        "compare",
+        "--algorithm",
+        "swarm",
+        "--versus",
+        "binomial",
+        "--n",
+        "32",
+        "--k",
+        "32",
+        "--seeds",
+        "3",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Welch t ="), "{text}");
+    assert!(text.contains("binomial"));
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = stdout(&pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "32",
+        "--k",
+        "16",
+        "--seed",
+        "3",
+    ]));
+    let b = stdout(&pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "32",
+        "--k",
+        "16",
+        "--seed",
+        "3",
+    ]));
+    assert_eq!(a, b);
+}

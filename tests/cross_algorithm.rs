@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: every algorithm, on its natural
+//! overlay, under its natural mechanism — checked for conservation
+//! (exactly `(n−1)·k` deliveries), completion, and mechanism compliance.
+
+use price_of_barter::core::bounds::{binomial_pipeline_time, cooperative_lower_bound};
+use price_of_barter::core::run::{
+    run_binomial_pipeline, run_pipeline, run_riffle_pipeline, run_swarm,
+};
+use price_of_barter::core::schedules::{
+    BinomialTree, GeneralBinomialPipeline, HypercubeSchedule, MultiServerPipeline, MulticastTree,
+    Pipeline, RifflePipeline,
+};
+use price_of_barter::core::strategies::{BitTorrentLike, BlockSelection, SwarmStrategy};
+use price_of_barter::overlay::{d_ary_tree, paired_hypercube, path, random_regular, Hypercube};
+use price_of_barter::sim::{
+    CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Strategy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_conserved(report: &RunReport) {
+    assert!(report.completed(), "run must complete");
+    assert_eq!(
+        report.total_uploads,
+        report.minimum_required_uploads(),
+        "every delivery must be novel: exactly (n-1)*k transfers"
+    );
+}
+
+#[test]
+fn every_deterministic_schedule_conserves_transfers() {
+    let (n, k) = (24usize, 18usize);
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let overlay = path(n);
+    let r = Engine::new(SimConfig::new(n, k), &overlay)
+        .run(&mut Pipeline::new(), &mut rng)
+        .unwrap();
+    assert_conserved(&r);
+
+    let overlay = d_ary_tree(n, 3);
+    let r = Engine::new(SimConfig::new(n, k), &overlay)
+        .run(&mut MulticastTree::new(3), &mut rng)
+        .unwrap();
+    assert_conserved(&r);
+
+    let overlay = CompleteOverlay::new(n);
+    let r = Engine::new(SimConfig::new(n, k), &overlay)
+        .run(&mut BinomialTree::new(), &mut rng)
+        .unwrap();
+    assert_conserved(&r);
+
+    let r = Engine::new(SimConfig::new(n, k), &overlay)
+        .run(&mut GeneralBinomialPipeline::new(n), &mut rng)
+        .unwrap();
+    assert_conserved(&r);
+
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(Mechanism::StrictBarter)
+        .with_download_capacity(DownloadCapacity::Finite(2));
+    let r = Engine::new(cfg, &overlay)
+        .run(&mut RifflePipeline::new(n, k, true), &mut rng)
+        .unwrap();
+    assert_conserved(&r);
+}
+
+#[test]
+fn every_randomized_strategy_conserves_transfers() {
+    let (n, k) = (48usize, 32usize);
+    let overlay = CompleteOverlay::new(n);
+    for policy in [BlockSelection::Random, BlockSelection::RarestFirst] {
+        let r = run_swarm(&overlay, k, Mechanism::Cooperative, policy, None, 5).unwrap();
+        assert_conserved(&r);
+    }
+    let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+    let r = Engine::new(cfg, &overlay)
+        .run(&mut BitTorrentLike::new(), &mut StdRng::seed_from_u64(5))
+        .unwrap();
+    assert_conserved(&r);
+}
+
+#[test]
+fn binomial_pipeline_is_optimal_on_hypercube_and_paired_overlays() {
+    // The schedule's communication pattern fits inside the paired
+    // hypercube overlay it claims to need — not just the complete graph.
+    let (h, k) = (4u32, 12usize);
+    let n = 1usize << h;
+    let overlay = Hypercube::new(h);
+    let r = Engine::new(SimConfig::new(n, k), &overlay)
+        .run(
+            &mut HypercubeSchedule::new(h),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap();
+    assert_eq!(r.completion_time(), Some(binomial_pipeline_time(n, k)));
+
+    let n = 13usize;
+    let overlay = paired_hypercube(n);
+    let r = Engine::new(SimConfig::new(n, k), &overlay)
+        .run(
+            &mut GeneralBinomialPipeline::new(n),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap();
+    assert_eq!(r.completion_time(), Some(binomial_pipeline_time(n, k)));
+}
+
+#[test]
+fn swarm_runs_on_every_overlay_family() {
+    let k = 16usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let overlays: Vec<Box<dyn price_of_barter::sim::Topology>> = vec![
+        Box::new(CompleteOverlay::new(32)),
+        Box::new(Hypercube::new(5)),
+        Box::new(paired_hypercube(32)),
+        Box::new(random_regular(32, 5, &mut rng).unwrap()),
+        Box::new(path(32)),
+        Box::new(d_ary_tree(32, 3)),
+    ];
+    for overlay in &overlays {
+        let r = run_swarm(
+            overlay.as_ref(),
+            k,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            2,
+        )
+        .unwrap();
+        assert_conserved(&r);
+    }
+}
+
+#[test]
+fn runners_agree_with_direct_engine_use() {
+    let (n, k) = (20usize, 10usize);
+    let direct = {
+        let overlay = CompleteOverlay::new(n);
+        Engine::new(SimConfig::new(n, k), &overlay)
+            .run(
+                &mut GeneralBinomialPipeline::new(n),
+                &mut StdRng::seed_from_u64(0),
+            )
+            .unwrap()
+    };
+    let via_runner = run_binomial_pipeline(n, k).unwrap();
+    assert_eq!(direct.completion_time(), via_runner.completion_time());
+    assert_eq!(direct.total_uploads, via_runner.total_uploads);
+
+    assert_eq!(
+        run_pipeline(n, k).unwrap().completion_time(),
+        Some((n + k - 2) as u32)
+    );
+}
+
+#[test]
+fn mechanisms_are_enforced_not_assumed() {
+    // Running a non-barter schedule under strict barter must error.
+    let (n, k) = (8usize, 4usize);
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k).with_mechanism(Mechanism::StrictBarter);
+    let err = Engine::new(cfg, &overlay)
+        .run(&mut BinomialTree::new(), &mut StdRng::seed_from_u64(0))
+        .unwrap_err();
+    assert!(matches!(err, price_of_barter::sim::SimError::Mechanism(_)));
+
+    // And the riffle pipeline must pass under the same mechanism.
+    let r = run_riffle_pipeline(n, k, true).unwrap();
+    assert!(r.completed());
+}
+
+#[test]
+fn multi_server_shares_one_physical_server() {
+    let (n, k, m) = (25usize, 12usize, 3usize);
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k).with_server_upload_capacity(m as u32);
+    let r = Engine::new(cfg, &overlay)
+        .run(
+            &mut MultiServerPipeline::new(n, m),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap();
+    assert_conserved(&r);
+    // Server sends each block once per group plus a few endgame re-sends
+    // of the last block (the hypercube rule streams b_k while finishing).
+    assert!(r.server_uploads >= (m * k) as u64);
+    assert!(
+        r.server_uploads <= (m * (k + 8)) as u64,
+        "server uploads {} too high for m={m}, k={k}",
+        r.server_uploads
+    );
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // The root crate re-exports all four workspace crates.
+    let lb = price_of_barter::core::bounds::cooperative_lower_bound(16, 4);
+    assert_eq!(lb, 7);
+    let s = price_of_barter::analysis::Summary::from_samples(&[1.0, 2.0]);
+    assert_eq!(s.n, 2);
+    assert_eq!(cooperative_lower_bound(16, 4), 7);
+}
+
+#[test]
+fn strategy_trait_objects_compose() {
+    // &mut dyn Strategy works through the engine (object safety).
+    let overlay = CompleteOverlay::new(8);
+    let mut swarm = SwarmStrategy::new(BlockSelection::Random);
+    let strategy: &mut dyn Strategy = &mut swarm;
+    let cfg = SimConfig::new(8, 4).with_download_capacity(DownloadCapacity::Unlimited);
+    let r = Engine::new(cfg, &overlay)
+        .run(strategy, &mut StdRng::seed_from_u64(0))
+        .unwrap();
+    assert!(r.completed());
+}

@@ -1,0 +1,155 @@
+//! Reproducibility guarantees: every run is a pure function of its seed.
+//!
+//! The experiment harness and EXPERIMENTS.md rely on this: identical
+//! seeds ⇒ identical transfers, reports, and derived statistics, across
+//! strategies, mechanisms, overlays, and the async engine.
+
+use pob_core::run::{run_rewiring_swarm, run_swarm, SwarmOptions};
+use pob_core::strategies::{AsyncSwarm, BlockSelection, TriangularSwarm};
+use pob_overlay::{random_regular, CompleteOverlay, Hypercube};
+use pob_sim::asynch::{run_async, AsyncConfig};
+use pob_sim::trace::Recorder;
+use pob_sim::{DownloadCapacity, Engine, Mechanism, SimConfig, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn swarm_runs_are_bit_identical_per_seed() {
+    let overlay = CompleteOverlay::new(48);
+    for seed in [0u64, 7, 1234] {
+        let a = run_swarm(
+            &overlay,
+            24,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            seed,
+        )
+        .unwrap();
+        let b = run_swarm(
+            &overlay,
+            24,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            seed,
+        )
+        .unwrap();
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn full_transfer_traces_are_identical_per_seed() {
+    let overlay = CompleteOverlay::new(32);
+    let trace_of = |seed: u64| {
+        let cfg = SimConfig::new(32, 16).with_download_capacity(DownloadCapacity::Unlimited);
+        let mut rec = Recorder::new(pob_core::strategies::SwarmStrategy::new(
+            BlockSelection::RarestFirst,
+        ));
+        Engine::new(cfg, &overlay)
+            .run(&mut rec, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        rec.into_trace()
+    };
+    assert_eq!(trace_of(5), trace_of(5));
+    assert_ne!(
+        trace_of(5),
+        trace_of(6),
+        "distinct seeds take distinct paths"
+    );
+}
+
+#[test]
+fn graph_sampling_is_deterministic() {
+    let g1 = random_regular(80, 6, &mut StdRng::seed_from_u64(9)).unwrap();
+    let g2 = random_regular(80, 6, &mut StdRng::seed_from_u64(9)).unwrap();
+    assert_eq!(g1, g2);
+}
+
+#[test]
+fn mechanism_runs_are_deterministic() {
+    let overlay = CompleteOverlay::new(40);
+    let run = |seed| {
+        let cfg = SimConfig::new(40, 40)
+            .with_mechanism(Mechanism::TriangularBarter { credit: 2 })
+            .with_download_capacity(DownloadCapacity::Unlimited);
+        Engine::new(cfg, &overlay)
+            .run(
+                &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap()
+    };
+    assert_eq!(run(3), run(3));
+}
+
+#[test]
+fn rewiring_runs_are_deterministic() {
+    let opts = SwarmOptions {
+        mechanism: Mechanism::CreditLimited { credit: 1 },
+        max_ticks: Some(2000),
+        ..SwarmOptions::default()
+    };
+    let a = run_rewiring_swarm(48, 48, 8, Some(15), &opts, 11).unwrap();
+    let b = run_rewiring_swarm(48, 48, 8, Some(15), &opts, 11).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn async_runs_are_deterministic() {
+    let overlay = Hypercube::new(5);
+    let run = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        run_async(
+            AsyncConfig::new(32, 24, 0.25),
+            &overlay,
+            &mut AsyncSwarm::new(),
+            &mut rng,
+        )
+    };
+    assert_eq!(run(2), run(2));
+}
+
+#[test]
+fn parallel_fan_out_matches_serial_execution() {
+    // run_seeds results depend only on the seed, not the thread count.
+    let overlay = CompleteOverlay::new(32);
+    let experiment = |seed: u64| {
+        run_swarm(
+            &overlay,
+            16,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            seed,
+        )
+        .unwrap()
+        .completion_time()
+        .unwrap()
+    };
+    let serial = pob_analysis::run_seeds(12, 100, 1, experiment);
+    let parallel = pob_analysis::run_seeds(12, 100, 8, experiment);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn engine_state_is_independent_of_overlay_identity() {
+    // Two structurally identical overlays give identical runs (no hidden
+    // pointer-based behavior).
+    let g1 = random_regular(40, 6, &mut StdRng::seed_from_u64(4)).unwrap();
+    let g2 = g1.clone();
+    assert_eq!(g1.node_count(), g2.node_count());
+    let run = |g: &dyn Topology| {
+        run_swarm(
+            g,
+            20,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            9,
+        )
+        .unwrap()
+    };
+    assert_eq!(run(&g1), run(&g2));
+}

@@ -1,0 +1,177 @@
+//! The paper's incentive claims, tested directly: what happens to clients
+//! that refuse to upload ("free riders", upload capacity 0)?
+//!
+//! §3 motivates barter with: "a client attempting to limit the rate at
+//! which it uploads data will experience a corresponding decay in its
+//! download rate" (§3.1.1) and credit-limited barter as "a robust way to
+//! incentivize nodes to upload data" (§3.2.1). Under the cooperative
+//! model, free riding is free — the mechanisms are what make it costly.
+
+use pob_core::strategies::{BlockSelection, SwarmStrategy};
+use pob_sim::{
+    CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, SimError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the swarm with clients `1..=free_riders` refusing to upload.
+fn try_run_with_free_riders(
+    n: usize,
+    k: usize,
+    free_riders: usize,
+    mechanism: Mechanism,
+    cap: u32,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(mechanism)
+        .with_download_capacity(DownloadCapacity::Unlimited)
+        .with_max_ticks(cap);
+    let mut engine = Engine::new(cfg, &overlay);
+    let mut caps = vec![1u32; n];
+    for c in caps.iter_mut().skip(1).take(free_riders) {
+        *c = 0;
+    }
+    engine.set_upload_capacities(caps);
+    let mut strategy = SwarmStrategy::new(BlockSelection::Random);
+    let mut rng = StdRng::seed_from_u64(seed);
+    while engine.step(&mut strategy, &mut rng)? {}
+    Ok(engine.report())
+}
+
+fn run_with_free_riders(
+    n: usize,
+    k: usize,
+    free_riders: usize,
+    mechanism: Mechanism,
+    cap: u32,
+    seed: u64,
+) -> RunReport {
+    try_run_with_free_riders(n, k, free_riders, mechanism, cap, seed).expect("admissible")
+}
+
+const N: usize = 96;
+const K: usize = 96;
+const CAP: u32 = 40 * (N + K) as u32;
+
+fn client_finish(report: &RunReport, client: usize) -> Option<u32> {
+    report.node_completions[client].map(pob_sim::Tick::get)
+}
+
+#[test]
+fn cooperative_free_riders_ride_for_free() {
+    // Under the cooperative model a free rider completes anyway — there
+    // is no incentive to upload, which is the paper's §3 motivation.
+    let report = run_with_free_riders(N, K, N / 5, Mechanism::Cooperative, CAP, 1);
+    assert!(report.completed(), "everyone finishes cooperatively");
+    let rider = client_finish(&report, 1).expect("free rider finished");
+    let worker = client_finish(&report, N - 1).expect("worker finished");
+    // The rider is not substantially punished.
+    assert!(
+        f64::from(rider) < 1.5 * f64::from(worker.max(1)),
+        "rider at {rider} vs worker at {worker}"
+    );
+}
+
+#[test]
+fn the_credit_loophole_when_k_is_small() {
+    // §3.2.1's own caveat: "since a node has a credit limit of s with
+    // every other node, it could obtain s·(n−1) blocks from each of them
+    // without ever uploading data. If k is less than that, the node may
+    // be able to get away without uploading anything at all!" With
+    // k ≤ s · (number of contributors), free riders finish essentially
+    // alongside everyone else.
+    let free = N / 5;
+    let k = N / 2; // well inside the credit pool of N − 1 − free peers
+    let report = run_with_free_riders(N, k, free, Mechanism::CreditLimited { credit: 1 }, CAP, 1);
+    assert!(
+        report.completed(),
+        "k ≤ s·pool: the loophole lets everyone finish"
+    );
+    let last_rider = (1..=free)
+        .filter_map(|c| client_finish(&report, c))
+        .max()
+        .unwrap();
+    let t = report.completion_time().unwrap();
+    assert!(
+        last_rider <= t,
+        "riders are inside the normal completion window"
+    );
+}
+
+#[test]
+fn free_riders_pay_dearly_when_k_exceeds_the_credit_pool() {
+    // Once k ≫ s·(n−1), a free rider exhausts its credit with every peer
+    // and queues at the server for the remainder — the "corresponding
+    // decay in download rate" the mechanism is designed to inflict.
+    let k = 3 * N;
+    let cap = 40 * (N + k) as u32;
+    let free = N / 5;
+    let report = run_with_free_riders(N, k, free, Mechanism::CreditLimited { credit: 1 }, cap, 1);
+    let rider_mean = {
+        let finishes: Vec<f64> = (1..=free)
+            .map(|c| client_finish(&report, c).map_or(f64::from(cap), f64::from))
+            .collect();
+        finishes.iter().sum::<f64>() / finishes.len() as f64
+    };
+    let contributor_mean = {
+        let finishes: Vec<f64> = (free + 1..N)
+            .filter_map(|c| client_finish(&report, c).map(f64::from))
+            .collect();
+        assert_eq!(finishes.len(), N - 1 - free, "all contributors finish");
+        finishes.iter().sum::<f64>() / finishes.len() as f64
+    };
+    assert!(
+        rider_mean > 2.0 * contributor_mean,
+        "free riders should finish far later ({rider_mean:.0} vs {contributor_mean:.0})"
+    );
+}
+
+#[test]
+fn credit_limited_contributors_are_barely_affected() {
+    // The contributors' completion should not collapse because a fifth of
+    // the swarm free-rides — the economy simply routes around them.
+    let baseline = run_with_free_riders(N, K, 0, Mechanism::CreditLimited { credit: 1 }, CAP, 2);
+    let with_riders =
+        run_with_free_riders(N, K, N / 5, Mechanism::CreditLimited { credit: 1 }, CAP, 2);
+    let t_base = baseline.completion_time().expect("baseline completes");
+    let contributor_finish: u32 = (N / 5 + 1..N)
+        .filter_map(|c| client_finish(&with_riders, c))
+        .max()
+        .expect("contributors finish");
+    assert!(
+        f64::from(contributor_finish) < 1.6 * f64::from(t_base),
+        "contributors at {contributor_finish} vs clean baseline {t_base}"
+    );
+}
+
+#[test]
+fn strict_barter_rejects_one_way_generosity_outright() {
+    // The cooperative swarm's one-way uploads are illegal under strict
+    // barter: the engine's commit-time pairing validation catches the
+    // first unreciprocated client-to-client transfer. (This is why §3.1
+    // needs a purpose-built schedule — the Riffle Pipeline.)
+    let err = try_run_with_free_riders(N, K, 0, Mechanism::StrictBarter, CAP, 3).unwrap_err();
+    assert!(matches!(err, SimError::Mechanism(_)));
+}
+
+#[test]
+fn riders_finish_last_even_inside_the_loophole() {
+    // Even when the loophole lets riders finish (k ≤ s(n−1)), they are
+    // served on sufferance: contributors never wait for them.
+    let free = N / 5;
+    let report = run_with_free_riders(N, K, free, Mechanism::CreditLimited { credit: 1 }, CAP, 4);
+    let last_contributor = (free + 1..N)
+        .filter_map(|c| client_finish(&report, c))
+        .max()
+        .expect("contributors finish");
+    let last_rider = (1..=free)
+        .filter_map(|c| client_finish(&report, c))
+        .max()
+        .expect("riders finish via the loophole");
+    assert!(
+        last_rider >= last_contributor,
+        "riders ({last_rider}) should trail contributors ({last_contributor})"
+    );
+}

@@ -1,0 +1,225 @@
+//! Integration tests pinning the paper's headline claims at test-friendly
+//! scale (the benches re-verify them at paper scale).
+
+use pob_core::bounds::{
+    binomial_pipeline_time, cooperative_lower_bound, price_of_barter, strict_barter_lower_bound_d1,
+};
+use pob_core::run::{run_binomial_pipeline, run_riffle_pipeline, run_swarm};
+use pob_core::strategies::BlockSelection;
+use pob_overlay::random_regular;
+use pob_sim::{CompleteOverlay, Mechanism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn theorem_1_is_met_with_equality_for_awkward_populations() {
+    // Populations straddling powers of two are where generalizations break.
+    for n in [3, 5, 9, 15, 17, 31, 33, 63, 65, 127, 129] {
+        let k = 10;
+        let r = run_binomial_pipeline(n, k).unwrap();
+        assert_eq!(
+            r.completion_time(),
+            Some(cooperative_lower_bound(n, k)),
+            "n = {n}"
+        );
+    }
+}
+
+#[test]
+fn theorem_3_riffle_matches_the_d1_lower_bound_for_multiples() {
+    // For k a multiple of n − 1 with D ≥ 2B, the riffle hits k + n − 2
+    // exactly: the strict-barter D = B bound, so Theorem 2 is tight there.
+    for (n, k) in [(5, 20), (9, 48), (17, 80), (33, 96)] {
+        let r = run_riffle_pipeline(n, k, true).unwrap();
+        assert_eq!(
+            r.completion_time(),
+            Some(strict_barter_lower_bound_d1(n, k)),
+            "n = {n}, k = {k}"
+        );
+    }
+}
+
+#[test]
+fn the_price_of_barter_decays_with_file_length() {
+    let n = 65;
+    let mut last = f64::INFINITY;
+    for k in [8usize, 64, 512] {
+        let coop = run_binomial_pipeline(n, k)
+            .unwrap()
+            .completion_time()
+            .unwrap();
+        let barter = run_riffle_pipeline(n, k, true)
+            .unwrap()
+            .completion_time()
+            .unwrap();
+        let ratio = f64::from(barter) / f64::from(coop);
+        assert!(
+            ratio < last,
+            "price must fall as k grows (k = {k}: {ratio})"
+        );
+        assert!(ratio >= 1.0);
+        last = ratio;
+    }
+    assert!(last < 1.15, "for k ≫ n the price is nearly gone");
+    // The closed-form price agrees in trend.
+    assert!(price_of_barter(n, 8) > price_of_barter(n, 512));
+}
+
+#[test]
+fn randomized_swarm_within_a_few_percent_for_long_files() {
+    // §2.4.4's headline at reduced scale: large k, modest n.
+    let (n, k) = (64, 512);
+    let overlay = CompleteOverlay::new(n);
+    let r = run_swarm(
+        &overlay,
+        k,
+        Mechanism::Cooperative,
+        BlockSelection::Random,
+        None,
+        11,
+    )
+    .unwrap();
+    let t = f64::from(r.completion_time().unwrap());
+    let opt = f64::from(cooperative_lower_bound(n, k));
+    assert!(
+        t < 1.10 * opt,
+        "long-file swarm should be within ~10% of optimal (got {:.3})",
+        t / opt
+    );
+}
+
+#[test]
+fn credit_limit_one_suffices_on_a_dense_overlay() {
+    // §3.2.2/3.2.4: with enough neighbors, s = 1 costs almost nothing.
+    let (n, k) = (128, 128);
+    let overlay = CompleteOverlay::new(n);
+    let coop = run_swarm(
+        &overlay,
+        k,
+        Mechanism::Cooperative,
+        BlockSelection::Random,
+        None,
+        3,
+    )
+    .unwrap()
+    .completion_time()
+    .unwrap();
+    let credit = run_swarm(
+        &overlay,
+        k,
+        Mechanism::CreditLimited { credit: 1 },
+        BlockSelection::Random,
+        None,
+        3,
+    )
+    .unwrap()
+    .completion_time()
+    .unwrap();
+    let ratio = f64::from(credit) / f64::from(coop);
+    assert!(
+        ratio < 1.2,
+        "credit-limited on dense overlay ≈ cooperative (got {ratio:.3})"
+    );
+}
+
+#[test]
+fn rarest_first_unsticks_sparse_credit_limited_swarms() {
+    // §3.2.4 Figure 7 at small scale: a degree where Random deadlocks but
+    // Rarest-First finishes.
+    let (n, k, d) = (128usize, 128usize, 16usize);
+    let cap = 20 * (n + k) as u32;
+    let mut graph_rng = StdRng::seed_from_u64(4);
+    let overlay = random_regular(n, d, &mut graph_rng).unwrap();
+    let random = run_swarm(
+        &overlay,
+        k,
+        Mechanism::CreditLimited { credit: 1 },
+        BlockSelection::Random,
+        Some(cap),
+        9,
+    )
+    .unwrap();
+    let rarest = run_swarm(
+        &overlay,
+        k,
+        Mechanism::CreditLimited { credit: 1 },
+        BlockSelection::RarestFirst,
+        Some(cap),
+        9,
+    )
+    .unwrap();
+    assert!(rarest.completed(), "rarest-first must finish at degree {d}");
+    assert!(
+        !random.completed()
+            || random.completion_time().unwrap() > 2 * rarest.completion_time().unwrap(),
+        "random policy should be far worse at this degree"
+    );
+}
+
+#[test]
+fn all_clients_finish_together_in_the_binomial_pipeline() {
+    // §2.3.4 "Individual Completion Times": for n = 2^h and k ≥ h every
+    // client finishes at exactly the same tick; the paired generalization
+    // spreads completions over at most two ticks (the hypercube rounds
+    // plus the twin mop-up).
+    for n in [8usize, 16, 64] {
+        let k = 16;
+        let r = run_binomial_pipeline(n, k).unwrap();
+        let t = r.completion.unwrap();
+        for i in 1..n {
+            assert_eq!(r.node_completions[i], Some(t), "n = {n}, node {i}");
+        }
+    }
+    for n in [24usize, 37, 51] {
+        let k = 16;
+        let r = run_binomial_pipeline(n, k).unwrap();
+        let t = r.completion.unwrap();
+        for i in 1..n {
+            let ti = r.node_completions[i].unwrap();
+            assert!(
+                ti == t || ti.get() + 1 == t.get(),
+                "n = {n}, node {i}: finished at {ti:?}, overall {t:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_block_randomized_is_near_the_doubling_bound() {
+    // §2.2.4 footnote: for k = 1, every maximal mapping of uploaders to
+    // downloaders is optimal. The randomized swarm's matching is maximal
+    // up to collisions, so its k = 1 completion should sit within a
+    // couple of ticks of ⌈log₂ n⌉.
+    for n in [16usize, 64, 256] {
+        let overlay = CompleteOverlay::new(n);
+        let mut worst = 0u32;
+        for seed in 0..5 {
+            let t = run_swarm(
+                &overlay,
+                1,
+                Mechanism::Cooperative,
+                BlockSelection::Random,
+                None,
+                seed,
+            )
+            .unwrap()
+            .completion_time()
+            .unwrap();
+            worst = worst.max(t);
+        }
+        let opt = cooperative_lower_bound(n, 1);
+        assert!(
+            worst <= opt + 3,
+            "n = {n}: k = 1 swarm took {worst} vs doubling bound {opt}"
+        );
+    }
+}
+
+#[test]
+fn binomial_pipeline_time_is_exactly_theorem_1_for_a_grid() {
+    for n in 2..40usize {
+        for k in 1..12usize {
+            assert_eq!(binomial_pipeline_time(n, k), cooperative_lower_bound(n, k));
+        }
+    }
+}

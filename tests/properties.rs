@@ -1,0 +1,342 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use pob_core::bounds::{binomial_pipeline_time, strict_barter_lower_bound_d1};
+use pob_core::run::{run_binomial_pipeline, run_riffle_pipeline};
+use pob_core::schedules::RifflePipeline;
+use pob_overlay::random_regular;
+use pob_sim::{BlockId, BlockSet, CreditLedger, Mechanism, NodeId, Tick, Topology, Transfer};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+proptest! {
+    /// BlockSet agrees with a BTreeSet reference model under a random
+    /// operation sequence.
+    #[test]
+    fn blockset_matches_reference_model(
+        universe in 1usize..200,
+        ops in vec((0u32..200, prop::bool::ANY), 0..120),
+    ) {
+        let mut set = BlockSet::empty(universe);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for (raw, insert) in ops {
+            let b = raw as usize % universe;
+            let block = BlockId::from_index(b);
+            if insert {
+                prop_assert_eq!(set.insert(block), model.insert(b as u32));
+            } else {
+                prop_assert_eq!(set.remove(block), model.remove(&(b as u32)));
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        let collected: Vec<u32> = set.iter().map(|b| b.raw()).collect();
+        let expected: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+        prop_assert_eq!(set.highest().map(|b| b.raw()), model.iter().next_back().copied());
+        prop_assert_eq!(set.lowest().map(|b| b.raw()), model.iter().next().copied());
+    }
+
+    /// Set algebra on BlockSet matches the model.
+    #[test]
+    fn blockset_algebra_matches_model(
+        universe in 1usize..150,
+        a in vec(0u32..150, 0..80),
+        b in vec(0u32..150, 0..80),
+    ) {
+        let mut sa = BlockSet::empty(universe);
+        let mut ma = BTreeSet::new();
+        for x in a { let x = x as usize % universe; sa.insert(BlockId::from_index(x)); ma.insert(x); }
+        let mut sb = BlockSet::empty(universe);
+        let mut mb = BTreeSet::new();
+        for x in b { let x = x as usize % universe; sb.insert(BlockId::from_index(x)); mb.insert(x); }
+
+        prop_assert_eq!(sa.has_any_not_in(&sb), ma.difference(&mb).next().is_some());
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.difference_len(&sb), ma.difference(&mb).count());
+        prop_assert_eq!(
+            sa.highest_not_in(&sb).map(|x| x.index()),
+            ma.difference(&mb).max().copied()
+        );
+
+        let mut su = sa.clone();
+        su.union_with(&sb);
+        prop_assert_eq!(su.len(), ma.union(&mb).count());
+        let mut si = sa.clone();
+        si.intersect_with(&sb);
+        prop_assert_eq!(si.len(), ma.intersection(&mb).count());
+    }
+
+    /// The Binomial Pipeline is optimal for *every* population and file
+    /// size (Theorem 1 met with equality).
+    #[test]
+    fn binomial_pipeline_always_optimal(n in 2usize..80, k in 1usize..40) {
+        let report = run_binomial_pipeline(n, k).expect("admissible");
+        prop_assert_eq!(report.completion_time(), Some(binomial_pipeline_time(n, k)));
+        prop_assert_eq!(report.total_uploads, ((n - 1) * k) as u64);
+    }
+
+    /// The Riffle Pipeline completes under enforced strict barter for
+    /// arbitrary (n, k) — including remainder and recursive cases — and
+    /// stays within the additive band of Theorem 3.
+    #[test]
+    fn riffle_pipeline_completes_for_arbitrary_shapes(n in 2usize..40, k in 1usize..60) {
+        let report = run_riffle_pipeline(n, k, true).expect("strict barter satisfied");
+        prop_assert!(report.completed());
+        prop_assert_eq!(report.total_uploads, ((n - 1) * k) as u64);
+        let t = report.completion_time().expect("completes");
+        prop_assert!(
+            t <= strict_barter_lower_bound_d1(n, k) + n as u32,
+            "t = {} too far above k + n - 2 = {}", t, strict_barter_lower_bound_d1(n, k)
+        );
+        // The schedule predicts its own length exactly.
+        prop_assert_eq!(RifflePipeline::new(n, k, true).schedule_length(), t);
+    }
+
+    /// Random regular graphs are simple, regular, connected and
+    /// symmetric.
+    #[test]
+    fn random_regular_graphs_are_valid(seed in 0u64..500, n in 4usize..60, d_raw in 2usize..12) {
+        let d = d_raw.min(n - 1);
+        let d = if (n * d) % 2 == 1 { d - 1 } else { d };
+        prop_assume!(d >= 2);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let g = random_regular(n, d, &mut rng).expect("samplable");
+        prop_assert!(g.is_connected());
+        for i in 0..n {
+            let u = NodeId::from_index(i);
+            prop_assert_eq!(g.degree(u), d);
+            // Symmetry: every listed neighbor lists us back.
+            if let pob_sim::NeighborSet::List(list) = g.neighbors(u) {
+                for &v in list {
+                    prop_assert!(g.are_neighbors(v, u));
+                    prop_assert!(v != u);
+                }
+            }
+        }
+    }
+
+    /// The strict-barter validator agrees with a brute-force pairing
+    /// check on random transfer sets.
+    #[test]
+    fn strict_barter_validator_matches_brute_force(
+        edges in vec((0u32..8, 0u32..8, 0u32..4), 0..12),
+    ) {
+        let transfers: Vec<Transfer> = edges
+            .into_iter()
+            .filter(|(a, b, _)| a != b)
+            .map(|(a, b, blk)| Transfer::new(NodeId::new(a), NodeId::new(b), BlockId::new(blk)))
+            .collect();
+        let ledger = CreditLedger::new();
+        let validator = Mechanism::StrictBarter
+            .validate_tick(&transfers, &ledger, Tick::new(1))
+            .is_ok();
+        // Brute force: count per direction, require rev >= fwd per pair.
+        let mut counts: HashMap<(u32, u32), i32> = HashMap::new();
+        for t in &transfers {
+            if !t.touches_server() {
+                *counts.entry((t.from.raw(), t.to.raw())).or_insert(0) += 1;
+            }
+        }
+        let brute = counts.iter().all(|(&(a, b), &c)| {
+            counts.get(&(b, a)).copied().unwrap_or(0) >= c
+        });
+        prop_assert_eq!(validator, brute);
+    }
+
+    /// The cyclic-barter validator agrees with brute force: since client
+    /// upload capacity is 1, the tick's client-transfer graph is a
+    /// functional graph, and a transfer is settled iff following
+    /// successors from its receiver returns to its sender.
+    #[test]
+    fn cyclic_validator_matches_functional_graph_walk(
+        targets in vec(0u32..9, 9),
+        active in vec(prop::bool::ANY, 9),
+    ) {
+        // Build at most one outgoing client transfer per node 1..=9.
+        let transfers: Vec<Transfer> = (1u32..=9)
+            .filter(|&u| active[(u - 1) as usize])
+            .map(|u| {
+                let mut v = targets[(u - 1) as usize] + 1; // 1..=9
+                if v == u {
+                    v = if v == 9 { 1 } else { v + 1 };
+                }
+                Transfer::new(NodeId::new(u), NodeId::new(v), BlockId::new(u))
+            })
+            .collect();
+        let ledger = CreditLedger::new();
+        let ok = Mechanism::CyclicBarter { credit: 0 }
+            .validate_tick(&transfers, &ledger, Tick::new(1))
+            .is_ok();
+        // Brute force: successor map; covered iff the walk from `to`
+        // reaches `from` within n steps.
+        let succ: HashMap<u32, u32> =
+            transfers.iter().map(|t| (t.from.raw(), t.to.raw())).collect();
+        let brute = transfers.iter().all(|t| {
+            let mut cur = t.to.raw();
+            for _ in 0..transfers.len() {
+                if cur == t.from.raw() {
+                    return true;
+                }
+                match succ.get(&cur) {
+                    Some(&nx) => cur = nx,
+                    None => return false,
+                }
+            }
+            cur == t.from.raw()
+        });
+        prop_assert_eq!(ok, brute);
+    }
+
+    /// The credit-limited validator never passes a tick whose one-sided
+    /// flow exceeds the limit, and always passes balanced exchanges.
+    #[test]
+    fn credit_validator_is_one_sided(
+        pairs in vec((1u32..6, 1u32..6), 1..8),
+        credit in 0u32..4,
+    ) {
+        let transfers: Vec<Transfer> = pairs
+            .iter()
+            .filter(|(a, b)| a != b)
+            .enumerate()
+            .map(|(i, &(a, b))| Transfer::new(NodeId::new(a), NodeId::new(b), BlockId::new(i as u32)))
+            .collect();
+        let ledger = CreditLedger::new();
+        let ok = Mechanism::CreditLimited { credit }
+            .validate_tick(&transfers, &ledger, Tick::new(1))
+            .is_ok();
+        let mut sent: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in &transfers {
+            *sent.entry((t.from.raw(), t.to.raw())).or_insert(0) += 1;
+        }
+        let brute = sent.values().all(|&c| c <= credit);
+        prop_assert_eq!(ok, brute);
+    }
+
+    /// Summary statistics are scale- and shift-equivariant.
+    #[test]
+    fn summary_equivariance(
+        xs in vec(-1000.0f64..1000.0, 2..40),
+        shift in -100.0f64..100.0,
+        scale in 0.1f64..10.0,
+    ) {
+        use pob_analysis::Summary;
+        let base = Summary::from_samples(&xs);
+        let moved: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let m = Summary::from_samples(&moved);
+        prop_assert!((m.mean - (base.mean * scale + shift)).abs() < 1e-6 * (1.0 + base.mean.abs() * scale));
+        prop_assert!((m.stddev - base.stddev * scale).abs() < 1e-6 * (1.0 + base.stddev * scale));
+        prop_assert!((m.ci95 - base.ci95 * scale).abs() < 1e-6 * (1.0 + base.ci95 * scale));
+    }
+}
+
+proptest! {
+    /// The embedding optimizer never increases cost, its incremental swap
+    /// delta matches full recomputation, and the server stays on vertex 0.
+    #[test]
+    fn embedding_optimizer_invariants(seed in 0u64..200, h in 2u32..5) {
+        use pob_overlay::{HypercubeEmbedding, LinkCosts};
+        let n = 1usize << h;
+        let costs = LinkCosts::from_fn(n, |a, b| ((a * 31 + b * 17 + seed as usize) % 41) as f64);
+        let identity_cost = HypercubeEmbedding::identity(h).cost(&costs);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let opt = HypercubeEmbedding::optimize(&costs, h, 500, &mut rng);
+        prop_assert!(opt.cost(&costs) <= identity_cost + 1e-9);
+        prop_assert_eq!(opt.node_at(0), NodeId::SERVER);
+        // The assignment is a permutation.
+        let mut seen = vec![false; n];
+        for v in 0..n {
+            let node = opt.node_at(v).index();
+            prop_assert!(!seen[node]);
+            seen[node] = true;
+        }
+    }
+
+    /// SplitStream conserves transfers and completes for any stripe count
+    /// dividing the client population.
+    #[test]
+    fn splitstream_completes_when_stripes_divide(clients_per in 1usize..6, m in 1usize..5, k_mul in 1usize..4) {
+        use pob_core::strategies::SplitStream;
+        use pob_sim::{DownloadCapacity, Engine, SimConfig};
+        let clients = clients_per * m;
+        let n = clients + 1;
+        let k = k_mul * m; // blocks divisible by stripes keeps rates exact
+        let overlay = pob_sim::CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut SplitStream::new(n, k, m), &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0))
+            .expect("admissible");
+        prop_assert!(report.completed());
+        prop_assert_eq!(report.total_uploads, (clients * k) as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The triangular swarm completes under its enforced mechanism on the
+    /// complete overlay for arbitrary shapes.
+    #[test]
+    fn triangular_swarm_completes(seed in 0u64..50, n in 4usize..32, k in 1usize..16) {
+        use pob_core::strategies::{BlockSelection, TriangularSwarm};
+        use pob_sim::{DownloadCapacity, Engine, SimConfig};
+        let overlay = pob_sim::CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::TriangularBarter { credit: 2 })
+            .with_download_capacity(DownloadCapacity::Unlimited);
+        let report = Engine::new(cfg, &overlay)
+            .run(
+                &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            )
+            .expect("triangular mechanism satisfied");
+        prop_assert!(report.completed());
+        prop_assert_eq!(report.total_uploads, ((n - 1) * k) as u64);
+    }
+
+    /// Traces agree with reports: transfer totals, per-node download
+    /// counts, and spread-curve endpoints.
+    #[test]
+    fn traces_are_consistent_with_reports(seed in 0u64..50, n in 3usize..24, k in 1usize..12) {
+        use pob_core::strategies::{BlockSelection, SwarmStrategy};
+        use pob_sim::trace::Recorder;
+        use pob_sim::{DownloadCapacity, Engine, SimConfig};
+        let overlay = pob_sim::CompleteOverlay::new(n);
+        let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+        let mut rec = Recorder::new(SwarmStrategy::new(BlockSelection::Random));
+        let report = Engine::new(cfg, &overlay)
+            .run(&mut rec, &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
+            .expect("admissible");
+        let trace = rec.into_trace();
+        prop_assert_eq!(trace.total_transfers() as u64, report.total_uploads);
+        prop_assert_eq!(trace.ticks() as u32, report.ticks_run);
+        let downs = trace.downloads_by_node(n);
+        prop_assert_eq!(downs[0], 0, "server downloads nothing");
+        for d in &downs[1..] {
+            prop_assert_eq!(*d, k, "every client downloads k blocks");
+        }
+        for b in 0..k {
+            let curve = trace.spread_curve(BlockId::from_index(b));
+            prop_assert_eq!(*curve.last().unwrap(), n - 1);
+        }
+    }
+
+    /// The randomized swarm completes with exactly (n−1)·k deliveries and
+    /// at least the lower-bound number of ticks, on any connected degree.
+    #[test]
+    fn swarm_invariants(seed in 0u64..100, n in 4usize..40, k in 1usize..24) {
+        use pob_core::run::run_swarm;
+        use pob_core::strategies::BlockSelection;
+        let overlay = pob_sim::CompleteOverlay::new(n);
+        let report = run_swarm(&overlay, k, Mechanism::Cooperative, BlockSelection::Random, None, seed)
+            .expect("swarm");
+        prop_assert!(report.completed());
+        prop_assert_eq!(report.total_uploads, ((n - 1) * k) as u64);
+        prop_assert!(report.completion_time().unwrap() >= pob_core::bounds::cooperative_lower_bound(n, k));
+        // Every node completion tick is ≤ the overall completion.
+        let t_max = report.completion.unwrap();
+        for c in &report.node_completions {
+            prop_assert!(c.expect("all complete") <= t_max);
+        }
+    }
+}

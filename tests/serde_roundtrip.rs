@@ -1,0 +1,61 @@
+//! Round-trip tests for the optional `serde` support (enabled by this
+//! umbrella crate; downstream users opt in with the `serde` feature).
+
+use pob_core::run::run_binomial_pipeline;
+use pob_sim::{BlockId, DownloadCapacity, Mechanism, NodeId, RunReport, Tick, Transfer};
+
+#[test]
+fn ids_serialize_transparently() {
+    assert_eq!(serde_json::to_string(&NodeId::new(7)).unwrap(), "7");
+    assert_eq!(serde_json::to_string(&BlockId::new(3)).unwrap(), "3");
+    assert_eq!(serde_json::to_string(&Tick::new(12)).unwrap(), "12");
+    let n: NodeId = serde_json::from_str("7").unwrap();
+    assert_eq!(n, NodeId::new(7));
+}
+
+#[test]
+fn transfer_roundtrip() {
+    let t = Transfer::new(NodeId::SERVER, NodeId::new(4), BlockId::new(9));
+    let json = serde_json::to_string(&t).unwrap();
+    assert_eq!(json, r#"{"from":0,"to":4,"block":9}"#);
+    let back: Transfer = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, t);
+}
+
+#[test]
+fn mechanism_kebab_case_encoding() {
+    assert_eq!(
+        serde_json::to_string(&Mechanism::Cooperative).unwrap(),
+        r#""cooperative""#
+    );
+    let json = serde_json::to_string(&Mechanism::CreditLimited { credit: 2 }).unwrap();
+    assert!(json.contains("credit-limited"), "{json}");
+    let back: Mechanism = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, Mechanism::CreditLimited { credit: 2 });
+}
+
+#[test]
+fn download_capacity_roundtrip() {
+    for d in [DownloadCapacity::Finite(2), DownloadCapacity::Unlimited] {
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DownloadCapacity = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}
+
+#[test]
+fn full_run_report_roundtrip() {
+    let report = run_binomial_pipeline(24, 16).unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(back.completion_time(), report.completion_time());
+}
+
+#[test]
+fn summary_roundtrip() {
+    let s = pob_analysis::Summary::from_samples(&[1.0, 2.0, 3.0]);
+    let json = serde_json::to_string(&s).unwrap();
+    let back: pob_analysis::Summary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+}

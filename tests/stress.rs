@@ -1,0 +1,86 @@
+//! Opt-in stress tests at (or beyond) the paper's largest scales.
+//!
+//! Run with `cargo test --release --test stress -- --ignored`.
+//! These guard the engine's scalability (the interest index, the virtual
+//! complete overlay, the stuck cache) and memory behavior; the regular
+//! suite stays fast without them.
+
+use pob_core::bounds::{binomial_pipeline_time, strict_barter_lower_bound_d1};
+use pob_core::run::{run_binomial_pipeline, run_riffle_pipeline, run_swarm};
+use pob_core::strategies::BlockSelection;
+use pob_sim::{CompleteOverlay, Mechanism};
+
+#[test]
+#[ignore = "large: ~30 s in release"]
+fn figure3_largest_point_n_10000() {
+    let overlay = CompleteOverlay::new(10_000);
+    let report = run_swarm(
+        &overlay,
+        1000,
+        Mechanism::Cooperative,
+        BlockSelection::Random,
+        None,
+        1,
+    )
+    .unwrap();
+    assert!(report.completed());
+    let t = report.completion_time().unwrap();
+    assert!(
+        (1013..=1300).contains(&t),
+        "n = 10⁴, k = 1000 should land near the paper's ≈1090 (got {t})"
+    );
+}
+
+#[test]
+#[ignore = "large: ~10 s in release"]
+fn binomial_pipeline_at_2_to_the_13() {
+    let (n, k) = (8192, 2048);
+    let report = run_binomial_pipeline(n, k).unwrap();
+    assert_eq!(report.completion_time(), Some(binomial_pipeline_time(n, k)));
+    assert_eq!(report.total_uploads, ((n - 1) * k) as u64);
+}
+
+#[test]
+#[ignore = "large: ~20 s in release"]
+fn general_pipeline_at_awkward_5000() {
+    let (n, k) = (5000, 1000);
+    let report = run_binomial_pipeline(n, k).unwrap();
+    assert_eq!(report.completion_time(), Some(binomial_pipeline_time(n, k)));
+}
+
+#[test]
+#[ignore = "large: ~15 s in release"]
+fn riffle_pipeline_at_paper_scale() {
+    let (n, k) = (1001, 3000);
+    let report = run_riffle_pipeline(n, k, true).unwrap();
+    assert_eq!(
+        report.completion_time(),
+        Some(strict_barter_lower_bound_d1(n, k))
+    );
+}
+
+#[test]
+#[ignore = "large: ~60 s in release"]
+fn deadlocked_credit_run_is_cheap_to_censor() {
+    // A fully deadlocked credit economy at paper scale must be cheap to
+    // simulate to its cap (the stuck cache's job).
+    use pob_overlay::random_regular;
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut graph_rng = StdRng::seed_from_u64(0);
+    let overlay = random_regular(1000, 20, &mut graph_rng).unwrap();
+    let start = std::time::Instant::now();
+    let report = run_swarm(
+        &overlay,
+        1000,
+        Mechanism::CreditLimited { credit: 1 },
+        BlockSelection::Random,
+        Some(24_000),
+        1,
+    )
+    .unwrap();
+    assert!(!report.completed(), "degree 20 deadlocks at n = k = 1000");
+    assert!(
+        start.elapsed().as_secs() < 60,
+        "censoring a deadlocked run should be cheap"
+    );
+}

@@ -1,0 +1,220 @@
+//! Trace-level checks of the paper's *structural* claims — not just when
+//! algorithms finish, but which links they use and how hard.
+
+use pob_core::bounds::ceil_log2;
+use pob_core::schedules::{GeneralBinomialPipeline, HypercubeSchedule, RifflePipeline};
+use pob_core::strategies::{BlockSelection, SwarmStrategy};
+use pob_overlay::Hypercube;
+use pob_sim::trace::Recorder;
+use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, Mechanism, SimConfig, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn traced<S: Strategy>(
+    cfg: SimConfig,
+    topology: &dyn pob_sim::Topology,
+    strategy: S,
+) -> (pob_sim::trace::RunTrace, pob_sim::RunReport) {
+    let mut rec = Recorder::new(strategy);
+    let report = Engine::new(cfg, topology)
+        .run(&mut rec, &mut StdRng::seed_from_u64(0))
+        .expect("admissible");
+    (rec.into_trace(), report)
+}
+
+#[test]
+fn hypercube_schedule_uses_out_degree_log_n() {
+    // §2.3.2: "no optimal algorithm can operate on an overlay network with
+    // degree less than log n … the Binomial Pipeline can be executed on an
+    // overlay network with degree exactly log n."
+    let (h, k) = (4u32, 12usize);
+    let n = 1usize << h;
+    let overlay = Hypercube::new(h);
+    let (trace, report) = traced(SimConfig::new(n, k), &overlay, HypercubeSchedule::new(h));
+    assert!(report.completed());
+    for (i, &peers) in trace.distinct_upload_peers(n).iter().enumerate() {
+        assert!(
+            peers <= h as usize,
+            "node {i} uploaded to {peers} distinct peers (> h = {h})"
+        );
+    }
+}
+
+#[test]
+fn general_pipeline_out_degree_is_bounded_by_2h_plus_1() {
+    // §2.3.3: the *logical* out-degree is ⌈log₂ n⌉ (h dimension links +
+    // the twin link); physically each dimension link can reach either
+    // twin of the partner vertex, so distinct physical upload peers are
+    // bounded by 2h + 1 (and the paper notes in-degree up to 2⌈log₂ n⌉).
+    for n in [11usize, 21, 37] {
+        let k = 10;
+        let h = (ceil_log2(n) - 1) as usize;
+        let overlay = CompleteOverlay::new(n);
+        let (trace, report) = traced(
+            SimConfig::new(n, k),
+            &overlay,
+            GeneralBinomialPipeline::new(n),
+        );
+        assert!(report.completed());
+        let bound = 2 * h + 1;
+        for (i, &peers) in trace.distinct_upload_peers(n).iter().enumerate() {
+            assert!(
+                peers <= bound,
+                "n = {n}: node {i} used {peers} distinct peers (> {bound})"
+            );
+        }
+    }
+}
+
+#[test]
+fn riffle_pipeline_requires_talking_to_everyone() {
+    // Implicit in §3.1.3: client C_i meets every other client once per
+    // cycle — the Riffle Pipeline inherently needs a high-degree overlay
+    // (one reason §3.2 moves to randomized algorithms on sparse graphs).
+    let (n, k) = (9usize, 8usize);
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(Mechanism::StrictBarter)
+        .with_download_capacity(DownloadCapacity::Finite(2));
+    let (trace, report) = traced(cfg, &overlay, RifflePipeline::new(n, k, true));
+    assert!(report.completed());
+    let peers = trace.distinct_upload_peers(n);
+    // Every client bartered with every other client.
+    for (i, &p) in peers.iter().enumerate().skip(1) {
+        assert_eq!(p, n - 2, "client {i} should meet all other clients");
+    }
+}
+
+#[test]
+fn binomial_pipeline_middlegame_runs_at_full_utilization() {
+    // §2.3.1: "the objective is to ensure that every node transmits data
+    // during every tick, so that the entire system upload capacity is
+    // utilized."
+    let (h, k) = (5u32, 64usize);
+    let n = 1usize << h;
+    let overlay = Hypercube::new(h);
+    let (trace, report) = traced(SimConfig::new(n, k), &overlay, HypercubeSchedule::new(h));
+    let counts = trace.per_tick_counts();
+    let middlegame = &counts[h as usize..(report.ticks_run as usize - h as usize)];
+    for (t, &c) in middlegame.iter().enumerate() {
+        assert!(
+            c >= n - 1,
+            "tick {}: only {c} of {n} nodes uploaded",
+            t + h as usize + 1
+        );
+    }
+}
+
+#[test]
+fn opening_doubles_holders_every_tick() {
+    // Figure 1: during the opening, the number of nodes holding data
+    // doubles each tick (1, 2, 4, 8, … transfers).
+    let (h, k) = (4u32, 20usize);
+    let n = 1usize << h;
+    let overlay = Hypercube::new(h);
+    let (trace, _) = traced(SimConfig::new(n, k), &overlay, HypercubeSchedule::new(h));
+    let counts = trace.per_tick_counts();
+    for (t, &count) in counts.iter().enumerate().take(h as usize) {
+        assert_eq!(count, 1 << t, "opening tick {} transfer count", t + 1);
+    }
+}
+
+#[test]
+fn block_spread_curves_double_then_saturate() {
+    // Theorem 1's proof mechanism: the population holding any block can at
+    // most double per tick.
+    let (h, k) = (4u32, 8usize);
+    let n = 1usize << h;
+    let overlay = Hypercube::new(h);
+    let (trace, _) = traced(SimConfig::new(n, k), &overlay, HypercubeSchedule::new(h));
+    for b in 0..k as u32 {
+        let curve = trace.spread_curve(pob_sim::BlockId::new(b));
+        let mut have = 1usize; // the server
+        for (t, &cum) in curve.iter().enumerate() {
+            let now = 1 + cum;
+            assert!(
+                now <= have * 2,
+                "block {b} more than doubled at tick {} ({} -> {})",
+                t + 1,
+                have,
+                now
+            );
+            have = now;
+        }
+        assert_eq!(*curve.last().unwrap(), n - 1);
+    }
+}
+
+#[test]
+fn middlegame_invariants_hold_every_tick() {
+    // §2.3.1's three invariants, checked by replaying the transfer trace:
+    // at the end of middlegame tick t (h ≤ t ≤ k):
+    //   (I1) clients partition into groups G_1..G_h of sizes
+    //        2^(h-1), …, 2, 1 by their highest-index block;
+    //   (I2) group G_j's highest block is b_(t-h+j) (1-based);
+    //   (I3) every client holds all blocks b_1..b_(t-h) and none beyond b_t.
+    use pob_sim::BlockSet;
+    let (h, k) = (4u32, 24usize);
+    let n = 1usize << h;
+    let overlay = Hypercube::new(h);
+    let (trace, report) = traced(SimConfig::new(n, k), &overlay, HypercubeSchedule::new(h));
+    assert!(report.completed());
+
+    let mut inv: Vec<BlockSet> = (0..n).map(|_| BlockSet::empty(k)).collect();
+    inv[0] = BlockSet::full(k);
+    for t in 1..=report.ticks_run as usize {
+        for tr in trace.tick(t as u32) {
+            assert!(inv[tr.from.index()].contains(tr.block), "store-and-forward");
+            assert!(inv[tr.to.index()].insert(tr.block), "novelty");
+        }
+        let t1 = t; // 1-based tick, matching the paper's notation
+        if t1 < h as usize || t1 > k {
+            continue; // opening or endgame
+        }
+        // (I3)
+        let common = t1 - h as usize; // all clients have b_1..b_common
+        for (c, held) in inv.iter().enumerate().skip(1) {
+            for b in 0..common {
+                assert!(
+                    held.contains(pob_sim::BlockId::from_index(b)),
+                    "tick {t1}: client {c} missing universal block {b}"
+                );
+            }
+            let hi = held.highest().expect("every client has data").index();
+            assert!(hi < t1, "tick {t1}: client {c} holds future block {hi}");
+        }
+        // (I1) + (I2): group sizes by highest block.
+        let mut sizes = vec![0usize; k];
+        for c in 1..n {
+            sizes[inv[c].highest().unwrap().index()] += 1;
+        }
+        for j in 1..=h as usize {
+            let block = common + j - 1; // zero-based index of b_(t-h+j)
+            let expect = 1usize << (h as usize - j);
+            assert_eq!(
+                sizes[block],
+                expect,
+                "tick {t1}: group for block {} has wrong size",
+                block + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn swarm_upload_load_is_roughly_balanced() {
+    // No node should carry a wildly disproportionate share of uploads in
+    // the randomized swarm (fairness follows from uniform target choice).
+    let (n, k) = (64usize, 64usize);
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+    let (trace, report) = traced(cfg, &overlay, SwarmStrategy::new(BlockSelection::Random));
+    assert!(report.completed());
+    let ups = trace.uploads_by_node(n);
+    let mean = ups.iter().sum::<usize>() as f64 / n as f64;
+    let max = *ups.iter().max().unwrap() as f64;
+    assert!(
+        max < 2.5 * mean,
+        "most-loaded node carried {max} uploads vs mean {mean:.1}"
+    );
+}
