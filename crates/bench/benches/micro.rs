@@ -4,11 +4,15 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use pob_core::schedules::{HypercubeSchedule, RifflePipeline};
-use pob_core::strategies::{BlockSelection, SwarmStrategy, TriangularSwarm};
+use pob_core::strategies::{BlockSelection, InterestIndex, SwarmStrategy, TriangularSwarm};
 use pob_overlay::{random_regular, Hypercube, HypercubeEmbedding, LinkCosts};
-use pob_sim::{BlockId, BlockSet, CompleteOverlay, DownloadCapacity, Engine, SimConfig};
+use pob_sim::fastmap::PairCounter;
+use pob_sim::{
+    BlockId, BlockSet, CompleteOverlay, DownloadCapacity, Engine, NodeId, SimConfig, SimState,
+    Tick, Transfer,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn blockset_ops(c: &mut Criterion) {
@@ -47,6 +51,111 @@ fn blockset_ops(c: &mut Criterion) {
                 black_box(&BlockSet::empty(k)),
                 &mut rng,
             )
+        })
+    });
+    let mut pending = BlockSet::empty(k);
+    for i in (0..k).step_by(5) {
+        pending.insert(BlockId::from_index(i));
+    }
+    group.bench_function("iter_not_in_either_k2048", |bench| {
+        bench.iter(|| {
+            black_box(&a)
+                .iter_not_in_either(black_box(&b), black_box(&pending))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn interest_index(c: &mut Criterion) {
+    // Full rebuild vs the incremental delivery fold — the swarm hot-path
+    // trade the engine relies on (one rebuild per run, deltas per tick).
+    let (n, k) = (1024, 512);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut state = SimState::new(n, k);
+    for v in 1..n {
+        for b in 0..k {
+            if rng.gen_bool(0.5) {
+                state.deliver(NodeId::from_index(v), BlockId::from_index(b), Tick::new(1));
+            }
+        }
+    }
+    let mut index = InterestIndex::default();
+    index.rebuild(&state);
+    // A tick-sized batch of deliveries (one per uploader would be n; a
+    // mid-epidemic tick delivers far fewer novel blocks per receiver).
+    let batch: Vec<Transfer> = (0..64u32)
+        .map(|i| {
+            Transfer::new(
+                NodeId::SERVER,
+                NodeId::from_index(1 + (i as usize * 13) % (n - 1)),
+                BlockId::from_index((i as usize * 37) % k),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("interest_index");
+    group.bench_function("rebuild_n1024_k512", |bench| {
+        bench.iter(|| index.rebuild(black_box(&state)))
+    });
+    group.bench_function("apply_64_deliveries_n1024_k512", |bench| {
+        bench.iter_batched_ref(
+            || index.clone(),
+            |ix| ix.apply_deliveries(black_box(&batch)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("collect_interested_n1024_k512", |bench| {
+        let inv = state.inventory(NodeId::from_index(1)).clone();
+        let mut out = Vec::new();
+        bench.iter(|| {
+            out.clear();
+            index.collect_interested(black_box(&inv), &mut out);
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+fn pair_counters(c: &mut Criterion) {
+    // The planner's per-tick `sent_in_tick` pattern: many add/get cycles
+    // on (from, to) pairs, cleared between ticks. PairCounter (packed key
+    // + deterministic fast hasher, capacity-preserving clear) vs the std
+    // SipHash map it replaced.
+    let pairs: Vec<(NodeId, NodeId)> = (0..4096u64)
+        .map(|i| {
+            let a = (i.wrapping_mul(2_654_435_761) >> 7) % 512;
+            let b = (i.wrapping_mul(40_503) >> 3) % 512;
+            (NodeId::new(a as u32), NodeId::new((b as u32 + 1) % 512))
+        })
+        .collect();
+    let mut group = c.benchmark_group("pair_counter");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    let mut counter = PairCounter::new();
+    group.bench_function("fx_add_get_clear_4096", |bench| {
+        bench.iter(|| {
+            counter.clear();
+            for &(u, v) in &pairs {
+                counter.add(u, v, 1);
+            }
+            let mut total = 0i64;
+            for &(u, v) in &pairs {
+                total += counter.get(u, v);
+            }
+            total
+        })
+    });
+    let mut std_map: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+    group.bench_function("std_add_get_clear_4096", |bench| {
+        bench.iter(|| {
+            std_map.clear();
+            for &(u, v) in &pairs {
+                *std_map.entry((u.raw(), v.raw())).or_insert(0) += 1;
+            }
+            let mut total = 0i64;
+            for &(u, v) in &pairs {
+                total += std_map.get(&(u.raw(), v.raw())).copied().unwrap_or(0);
+            }
+            total
         })
     });
     group.finish();
@@ -141,6 +250,8 @@ fn barter_engines(c: &mut Criterion) {
 criterion_group!(
     benches,
     blockset_ops,
+    interest_index,
+    pair_counters,
     engine_runs,
     construction,
     barter_engines

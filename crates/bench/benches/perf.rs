@@ -1,0 +1,312 @@
+//! Wall-clock performance harness for the figure benches.
+//!
+//! Times one representative point of each figure sweep and emits a JSON
+//! trajectory (`BENCH_PR1.json` by default) so perf changes are visible
+//! across PRs. Not a criterion bench: each point is a full simulation
+//! run, timed with the engine's own [`PerfCounters`] plus a monotonic
+//! outer clock, and run `POB_SEEDS` times (default 3, minimum of the
+//! measured walls is reported to suppress scheduler noise).
+//!
+//! * default: quick scale (seconds);
+//! * `POB_FULL=1`: the paper-scale points (`n = 10⁴`, `k = 1000`);
+//! * `POB_BENCH_OUT=path`: where to write the JSON (default
+//!   `<repo>/BENCH_PR1.json`);
+//! * `POB_BENCH_BASELINE=path`: compare against a previous JSON and exit
+//!   non-zero if any figure point regressed more than 2× in wall time.
+//!
+//! [`PerfCounters`]: pob_sim::PerfCounters
+
+use pob_core::strategies::{BlockSelection, SwarmStrategy};
+use pob_overlay::random_regular;
+use pob_sim::{
+    CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Topology,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct PointResult {
+    id: String,
+    params: Vec<(&'static str, String)>,
+    wall_ms: f64,
+    ticks: u32,
+    ticks_per_sec: f64,
+    proposals: u64,
+    rejections: u64,
+    completion: Option<u32>,
+}
+
+fn time_point(
+    id: &str,
+    params: Vec<(&'static str, String)>,
+    runs: usize,
+    mut run: impl FnMut(u64) -> RunReport,
+) -> PointResult {
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for seed in 0..runs as u64 {
+        let started = Instant::now();
+        let r = run(seed);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            report = Some(r);
+        }
+    }
+    let report = report.expect("at least one run");
+    let p = report.perf;
+    println!(
+        "{id:<14} wall = {best_ms:9.1} ms   ticks = {:>6}   ticks/s = {:>9.0}   proposals = {}",
+        p.ticks,
+        p.ticks_per_sec(),
+        p.proposals
+    );
+    PointResult {
+        id: id.to_owned(),
+        params,
+        wall_ms: best_ms,
+        ticks: p.ticks,
+        ticks_per_sec: p.ticks_per_sec(),
+        proposals: p.proposals,
+        rejections: p.rejections,
+        completion: report.completion_time(),
+    }
+}
+
+fn swarm_point(
+    n: usize,
+    k: usize,
+    degree: Option<usize>,
+    mechanism: Mechanism,
+    policy: BlockSelection,
+    cap: Option<u32>,
+    seed: u64,
+) -> RunReport {
+    let mut cfg = SimConfig::new(n, k)
+        .with_mechanism(mechanism)
+        .with_download_capacity(DownloadCapacity::Unlimited);
+    if let Some(cap) = cap {
+        cfg = cfg.with_max_ticks(cap);
+    }
+    let run = |overlay: &dyn Topology| {
+        Engine::new(cfg, overlay)
+            .run(
+                &mut SwarmStrategy::new(policy),
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .expect("swarm stays admissible")
+    };
+    match degree {
+        None => run(&CompleteOverlay::new(n)),
+        Some(d) => {
+            let overlay =
+                random_regular(n, d, &mut StdRng::seed_from_u64(seed + 1)).expect("regular graph");
+            run(&overlay)
+        }
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s.chars().all(|c| c != '"' && c != '\\' && c >= ' '));
+    s
+}
+
+fn to_json(mode: &str, results: &[PointResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"pob-bench-perf/1\",\n");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(out, "    {{\"id\": \"{}\", ", json_escape_free(&r.id));
+        out.push_str("\"params\": {");
+        for (j, (key, value)) in r.params.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{key}\": {value}");
+        }
+        let _ = write!(
+            out,
+            "}}, \"wall_ms\": {:.3}, \"ticks\": {}, \"ticks_per_sec\": {:.1}, \
+             \"proposals\": {}, \"rejections\": {}, \"completion\": {}}}",
+            r.wall_ms,
+            r.ticks,
+            r.ticks_per_sec,
+            r.proposals,
+            r.rejections,
+            r.completion
+                .map_or_else(|| "null".to_owned(), |t| t.to_string()),
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `(id, wall_ms)` pairs out of a previous JSON emission. A
+/// deliberately narrow scanner for exactly the format `to_json` writes —
+/// good enough for the 2× regression gate without a JSON dependency.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\": \"") else {
+            continue;
+        };
+        let rest = &line[id_at + 7..];
+        let Some(id_end) = rest.find('"') else {
+            continue;
+        };
+        let id = &rest[..id_end];
+        let Some(wall_at) = line.find("\"wall_ms\": ") else {
+            continue;
+        };
+        let tail = &line[wall_at + 11..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(ms) = num.parse::<f64>() {
+            out.push((id.to_owned(), ms));
+        }
+    }
+    out
+}
+
+fn main() {
+    pob_bench::banner("perf", "wall-clock trajectory of the figure benches");
+    let runs = pob_bench::seeds(3);
+    let full = pob_bench::full_scale();
+    let mut results = Vec::new();
+
+    // fig3: T vs n at fixed k (paper: n up to 10⁴, k = 1000). This is the
+    // point the incremental hot path is judged on.
+    let (n, k) = pob_bench::scaled((1_000, 100), (10_000, 1_000));
+    results.push(time_point(
+        "fig3",
+        vec![("n", n.to_string()), ("k", k.to_string())],
+        runs,
+        |seed| {
+            swarm_point(
+                n,
+                k,
+                None,
+                Mechanism::Cooperative,
+                BlockSelection::Random,
+                None,
+                seed,
+            )
+        },
+    ));
+
+    // fig4: T vs k at fixed n (paper: k up to 2000, n = 100).
+    let (n, k) = pob_bench::scaled((100, 500), (100, 2_000));
+    results.push(time_point(
+        "fig4",
+        vec![("n", n.to_string()), ("k", k.to_string())],
+        runs,
+        |seed| {
+            swarm_point(
+                n,
+                k,
+                None,
+                Mechanism::Cooperative,
+                BlockSelection::Random,
+                None,
+                seed,
+            )
+        },
+    ));
+
+    // fig5: cooperative swarm on a random regular overlay (degree sweep's
+    // mid point).
+    let (n, k, d) = pob_bench::scaled((500, 100, 16), (1_000, 1_000, 16));
+    results.push(time_point(
+        "fig5",
+        vec![
+            ("n", n.to_string()),
+            ("k", k.to_string()),
+            ("degree", d.to_string()),
+        ],
+        runs,
+        |seed| {
+            swarm_point(
+                n,
+                k,
+                Some(d),
+                Mechanism::Cooperative,
+                BlockSelection::Random,
+                None,
+                seed,
+            )
+        },
+    ));
+
+    // fig6 / fig7: credit-limited barter at a degree above the threshold,
+    // Random and Rarest-First policies (capped — sparse credit runs can
+    // stall, which is itself part of the figure).
+    let (n, k, d) = pob_bench::scaled((500, 100, 32), (1_000, 1_000, 32));
+    let cap = Some(20 * (n + k) as u32);
+    for (id, policy) in [
+        ("fig6", BlockSelection::Random),
+        ("fig7", BlockSelection::RarestFirst),
+    ] {
+        results.push(time_point(
+            id,
+            vec![
+                ("n", n.to_string()),
+                ("k", k.to_string()),
+                ("degree", d.to_string()),
+                ("credit", "3".to_owned()),
+            ],
+            runs,
+            |seed| {
+                swarm_point(
+                    n,
+                    k,
+                    Some(d),
+                    Mechanism::CreditLimited { credit: 3 },
+                    policy,
+                    cap,
+                    seed,
+                )
+            },
+        ));
+    }
+
+    let out_path = std::env::var("POB_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json").to_owned()
+    });
+    let json = to_json(if full { "full" } else { "quick" }, &results);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("[json written to {out_path}]");
+
+    // Regression gate: ≤ 2× wall-time of the baseline, per figure point.
+    if let Ok(baseline_path) = std::env::var("POB_BENCH_BASELINE") {
+        let text = std::fs::read_to_string(&baseline_path).expect("read baseline json");
+        let baseline = parse_baseline(&text);
+        let mut failed = false;
+        for r in &results {
+            let Some((_, base_ms)) = baseline.iter().find(|(id, _)| *id == r.id) else {
+                println!("[baseline has no entry for {}; skipping]", r.id);
+                continue;
+            };
+            let ratio = r.wall_ms / base_ms;
+            println!(
+                "{:<14} {:8.1} ms vs baseline {:8.1} ms  ({ratio:.2}×)",
+                r.id, r.wall_ms, base_ms
+            );
+            if ratio > 2.0 {
+                println!(
+                    "REGRESSION: {} is {ratio:.2}× the baseline (limit 2×)",
+                    r.id
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("[within 2× of baseline {baseline_path}]");
+    }
+}

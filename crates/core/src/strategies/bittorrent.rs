@@ -17,10 +17,10 @@
 //! performance in a static homogeneous swarm: uploads are restricted to a
 //! small, slowly-adapting peer set instead of anyone who needs data.
 
+use pob_sim::fastmap::FxHashMap;
 use pob_sim::{NeighborSet, NodeId, SimError, Strategy, TickPlanner, Transfer};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// A simplified BitTorrent-like strategy (see module docs).
 ///
@@ -45,8 +45,14 @@ pub struct BitTorrentLike {
     optimistic_every: u32,
     unchoked: Vec<Vec<u32>>,
     optimistic: Vec<Option<u32>>,
-    received: Vec<HashMap<u32, u32>>,
+    // Blocks received per neighbor in the current rechoke window. Keyed
+    // with the deterministic fast hasher: iteration order is never
+    // observed (lookups only), so the hasher swap cannot change results.
+    received: Vec<FxHashMap<u32, u32>>,
+    // Scratch buffers reused across ticks.
     order: Vec<u32>,
+    scan: Vec<u32>,
+    candidates: Vec<u32>,
 }
 
 impl BitTorrentLike {
@@ -76,6 +82,8 @@ impl BitTorrentLike {
             optimistic: Vec::new(),
             received: Vec::new(),
             order: Vec::new(),
+            scan: Vec::new(),
+            candidates: Vec::new(),
         }
     }
 
@@ -88,53 +96,54 @@ impl BitTorrentLike {
         if self.unchoked.len() != n {
             self.unchoked = vec![Vec::new(); n];
             self.optimistic = vec![None; n];
-            self.received = vec![HashMap::new(); n];
+            self.received = vec![FxHashMap::default(); n];
         }
     }
 
-    fn neighbor_ids(p: &TickPlanner<'_>, u: NodeId) -> Vec<u32> {
+    fn fill_neighbor_ids(p: &TickPlanner<'_>, u: NodeId, out: &mut Vec<u32>) {
+        out.clear();
         match p.topology().neighbors(u) {
-            NeighborSet::All => (0..p.node_count() as u32)
-                .filter(|&v| v != u.raw())
-                .collect(),
-            NeighborSet::List(l) => l.iter().map(|n| n.raw()).collect(),
+            NeighborSet::All => out.extend((0..p.node_count() as u32).filter(|&v| v != u.raw())),
+            NeighborSet::List(l) => out.extend(l.iter().map(|n| n.raw())),
         }
     }
 
     fn rechoke(&mut self, p: &TickPlanner<'_>, rng: &mut StdRng) {
         let n = p.node_count();
+        let mut scan = std::mem::take(&mut self.scan);
         for u in 0..n {
             let me = NodeId::from_index(u);
-            let mut candidates = Self::neighbor_ids(p, me);
+            Self::fill_neighbor_ids(p, me, &mut scan);
             // Shuffle first so ties in the received-count ranking break
-            // randomly, then rank by reciprocation.
-            for i in 0..candidates.len() {
-                let j = rng.gen_range(i..candidates.len());
-                candidates.swap(i, j);
+            // randomly, then rank by reciprocation (stable sort).
+            for i in 0..scan.len() {
+                let j = rng.gen_range(i..scan.len());
+                scan.swap(i, j);
             }
             let received = &self.received[u];
-            candidates.sort_by_key(|v| std::cmp::Reverse(received.get(v).copied().unwrap_or(0)));
-            candidates.truncate(self.slots);
-            self.unchoked[u] = candidates;
+            scan.sort_by_key(|v| std::cmp::Reverse(received.get(v).copied().unwrap_or(0)));
+            scan.truncate(self.slots);
+            self.unchoked[u].clear();
+            self.unchoked[u].extend_from_slice(&scan);
             self.received[u].clear();
         }
+        self.scan = scan;
     }
 
     fn rotate_optimistic(&mut self, p: &TickPlanner<'_>, rng: &mut StdRng) {
         let n = p.node_count();
+        let mut scan = std::mem::take(&mut self.scan);
         for u in 0..n {
             let me = NodeId::from_index(u);
-            let neighbors = Self::neighbor_ids(p, me);
-            let fresh: Vec<u32> = neighbors
-                .into_iter()
-                .filter(|v| !self.unchoked[u].contains(v))
-                .collect();
-            self.optimistic[u] = if fresh.is_empty() {
+            Self::fill_neighbor_ids(p, me, &mut scan);
+            scan.retain(|v| !self.unchoked[u].contains(v));
+            self.optimistic[u] = if scan.is_empty() {
                 None
             } else {
-                Some(fresh[rng.gen_range(0..fresh.len())])
+                Some(scan[rng.gen_range(0..scan.len())])
             };
         }
+        self.scan = scan;
     }
 }
 
@@ -168,17 +177,21 @@ impl Strategy for BitTorrentLike {
                 continue;
             }
             // Candidate receivers: unchoked ∪ optimistic, admissible only.
-            let mut candidates: Vec<u32> = self.unchoked[u.index()].clone();
+            // Collected into a reusable scratch buffer (no per-uploader
+            // allocation on the hot path).
+            self.candidates.clear();
+            self.candidates.extend_from_slice(&self.unchoked[u.index()]);
             if let Some(opt) = self.optimistic[u.index()] {
-                if !candidates.contains(&opt) {
-                    candidates.push(opt);
+                if !self.candidates.contains(&opt) {
+                    self.candidates.push(opt);
                 }
             }
-            candidates.retain(|&v| p.is_admissible_target(u, NodeId::new(v)));
-            if candidates.is_empty() {
+            self.candidates
+                .retain(|&v| p.is_admissible_target(u, NodeId::new(v)));
+            if self.candidates.is_empty() {
                 continue;
             }
-            let v = NodeId::new(candidates[rng.gen_range(0..candidates.len())]);
+            let v = NodeId::new(self.candidates[rng.gen_range(0..self.candidates.len())]);
             if let Some(block) = p.select_rarest_block(u, v, rng) {
                 p.propose(u, v, block)
                     .map_err(|reason| SimError::BadSchedule {

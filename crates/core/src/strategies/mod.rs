@@ -27,7 +27,7 @@ mod triangular;
 pub use asynchronous::{AsyncHypercube, AsyncSwarm};
 pub use bittorrent::BitTorrentLike;
 pub use policy::BlockSelection;
-pub use randomized::{CollisionModel, SwarmStrategy};
+pub use randomized::{CollisionModel, InterestIndex, SwarmStrategy};
 pub use selfish::StrategicSwarm;
 pub use splitstream::SplitStream;
 pub use triangular::TriangularSwarm;

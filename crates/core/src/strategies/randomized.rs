@@ -1,7 +1,24 @@
 //! §2.4.2 / §3.2.3 — the randomized swarm algorithm.
+//!
+//! The target-selection caches here are maintained *incrementally*: the
+//! candidate pool, the interest index, and the stuck cache are persisted
+//! across ticks and updated from the previous tick's committed deliveries
+//! (via [`TickPlanner::last_committed`]), so steady-state per-tick
+//! maintenance costs `O(deliveries)` bookkeeping instead of the
+//! `O(n · k / 64)` full rescans an earlier version performed. The update
+//! rules are chosen so results are *bit-identical* to full per-tick
+//! reconstruction — same seed, same trace (see `tests/golden_seed.rs`).
+//!
+//! On *fast ticks* (complete overlay, `Resolved` collisions, cooperative
+//! mechanism, unlimited download capacity) interest is the only admission
+//! rule and the index leaf is exactly `inventory ∪ pending`, so target
+//! checks, block selection, and proposal validation all collapse to leaf
+//! probes of the index — again bit-identical, just cheaper.
 
 use super::BlockSelection;
-use pob_sim::{NeighborSet, NodeId, SimError, Strategy, TickPlanner};
+use pob_sim::{
+    BlockId, BlockSet, Mechanism, NeighborSet, NodeId, SimError, SimState, Strategy, TickPlanner,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -27,6 +44,12 @@ use rand::Rng;
 /// rejection sampling before falling back to a full scan, keeping
 /// `n = 10⁴` populations fast.
 ///
+/// A strategy instance carries caches synchronized to one engine's tick
+/// sequence. Reusing an instance for a new run is fine (the caches detect
+/// the tick discontinuity and rebuild); interleaving one instance between
+/// two live engines is not. After swapping the overlay mid-run call
+/// [`notify_topology_changed`](Self::notify_topology_changed).
+///
 /// # Examples
 ///
 /// ```
@@ -51,28 +74,36 @@ pub struct SwarmStrategy {
     collisions: CollisionModel,
     // Scratch buffers reused across ticks.
     order: Vec<u32>,
-    pool: Vec<u32>,
     scan: Vec<u32>,
     interested: Vec<u32>,
-    // Segment tree of (inventory ∪ pending) intersections over the pool
-    // (complete overlays only): when rejection sampling fails, the tree
-    // enumerates the exact set of nodes still wanting something the
-    // uploader holds in O(|I| · log n) instead of scanning the whole
-    // pool. Leaves are updated incrementally as transfers are promised,
-    // so fully-promised nodes prune away; the root doubles as the
-    // "useless uploader" filter.
+    // Incomplete-node candidate pool (complete overlays only), ascending
+    // node ids, persisted across ticks and compacted only on ticks where
+    // a receiver completed.
+    pool: Vec<u32>,
+    // Interest index over all clients (complete overlays only), persisted
+    // across ticks; see `InterestIndex` for the incremental update rules.
     index: InterestIndex,
-    // Node id → leaf position in the index (u32::MAX when absent).
-    leaf_pos: Vec<u32>,
     // Stuck cache: a node is *stuck* when no target passes the persistent
     // admission checks (inventory-level interest and ledger credit).
     // Stuck-ness can only end when the node receives a block (its
     // offerings grow, or a repayment restores credit) — both deliveries —
-    // so the flag is cleared when the node's inventory size changes.
-    // Deadlocked credit-limited runs then cost O(n) per tick instead of
-    // O(n·degree) or O(n·|interested|).
+    // so the flag is cleared from the delivery delta instead of by
+    // rescanning inventories. Deadlocked credit-limited runs then cost
+    // O(1) per tick instead of O(n·degree) or O(n·|interested|).
     stuck: Vec<bool>,
-    last_inventory_len: Vec<usize>,
+    // Tick through which pool/index/stuck are synchronized; `None` forces
+    // a rebuild (fresh strategy, or after `notify_topology_changed`).
+    synced_through: Option<u32>,
+    // Whether pool/index were built (i.e. last tick ran on the complete
+    // overlay fast path).
+    indexed: bool,
+    // Whether the current tick qualifies for the *fast tick* shortcuts:
+    // complete overlay + Resolved collisions + cooperative mechanism +
+    // unlimited download capacity. Then interest is the only admission
+    // rule and the index leaf is exactly `inventory ∪ pending`, so target
+    // checks, block selection, and proposal validation collapse to leaf
+    // probes — bit-identical to the general path, just cheaper.
+    fast_tick: bool,
 }
 
 /// How concurrent uploads targeting the same node are handled.
@@ -112,21 +143,24 @@ impl SwarmStrategy {
             policy,
             collisions,
             order: Vec::new(),
-            pool: Vec::new(),
             scan: Vec::new(),
             interested: Vec::new(),
+            pool: Vec::new(),
             index: InterestIndex::default(),
-            leaf_pos: Vec::new(),
             stuck: Vec::new(),
-            last_inventory_len: Vec::new(),
+            synced_through: None,
+            indexed: false,
+            fast_tick: false,
         }
     }
 
-    /// Clears cached per-node state. Call after replacing the overlay
-    /// mid-run (the stuck cache is only valid for a fixed topology).
+    /// Invalidates the incremental caches. Call after replacing the
+    /// overlay mid-run (the stuck cache is only valid for a fixed
+    /// topology, and pool/index are rebuilt on the next tick).
     pub fn notify_topology_changed(&mut self) {
+        self.synced_through = None;
+        self.indexed = false;
         self.stuck.clear();
-        self.last_inventory_len.clear();
     }
 
     /// The block-selection policy in use.
@@ -137,6 +171,13 @@ impl SwarmStrategy {
     /// The collision model in use.
     pub fn collision_model(&self) -> CollisionModel {
         self.collisions
+    }
+
+    /// How many times the interest index was rebuilt from scratch. In
+    /// steady state this stays at one per run (plus one per topology
+    /// change) — the per-tick path is purely incremental.
+    pub fn index_rebuilds(&self) -> u64 {
+        self.index.rebuild_count()
     }
 
     /// Admissibility used at target-selection time: the `Resolved` model
@@ -166,10 +207,18 @@ impl SwarmStrategy {
         if self.pool.is_empty() {
             return None;
         }
-        // Fast path: rejection sampling over the pool.
+        let inv = p.state().inventory(u);
+        // Fast path: rejection sampling over the pool. On a fast tick the
+        // admissibility check is a single leaf probe of the index.
         for _ in 0..REJECTION_TRIES {
             let cand = NodeId::new(self.pool[rng.gen_range(0..self.pool.len())]);
-            if cand != u && self.selects(p, u, cand) {
+            let admissible = cand != u
+                && if self.fast_tick {
+                    self.index.still_wants(cand, inv)
+                } else {
+                    self.selects(p, u, cand)
+                };
+            if admissible {
                 return Some(cand);
             }
         }
@@ -177,8 +226,20 @@ impl SwarmStrategy {
         // set exactly via the intersection tree, filter by the remaining
         // admission rules, and pick uniformly.
         self.interested.clear();
-        self.index
-            .collect_interested(p.state().inventory(u), &self.pool, &mut self.interested);
+        self.index.collect_interested(inv, &mut self.interested);
+        if self.fast_tick {
+            // Interest is the only admission rule in play, and the tree
+            // never reports `u` itself (its own leaf covers `inv`), so
+            // the collected set is already exactly the admissible set.
+            debug_assert!(!self.interested.contains(&u.raw()));
+            return if self.interested.is_empty() {
+                self.stuck[u.index()] = true;
+                None
+            } else {
+                let pick = self.interested[rng.gen_range(0..self.interested.len())];
+                Some(NodeId::new(pick))
+            };
+        }
         let mut interested = std::mem::take(&mut self.interested);
         let mut persistent_candidate = false;
         interested.retain(|&v| {
@@ -230,6 +291,57 @@ impl SwarmStrategy {
         }
         None
     }
+
+    /// Brings pool, index, and stuck cache up to date for tick `t`.
+    ///
+    /// On the incremental path this consumes only the previous tick's
+    /// delivery delta; a tick discontinuity (fresh strategy, engine
+    /// restart, topology change) falls back to a full rebuild. Either path
+    /// produces exactly the state a full per-tick reconstruction would.
+    fn sync_caches(&mut self, p: &TickPlanner<'_>, complete_overlay: bool) {
+        let n = p.node_count();
+        let t = p.tick().get();
+        let synced = t >= 1 && self.synced_through == Some(t - 1) && self.stuck.len() == n;
+        if synced {
+            // A delivery is the only event that can unstick a node: its
+            // offerings grow, or (for credit stuck-ness) the incoming
+            // transfer itself was the repayment.
+            for tr in p.last_committed() {
+                self.stuck[tr.to.index()] = false;
+            }
+        } else {
+            self.stuck.clear();
+            self.stuck.resize(n, false);
+        }
+        if complete_overlay {
+            if synced && self.indexed {
+                // Pool: compact (order-preserving, so picks stay
+                // bit-identical) only when some receiver completed.
+                if p.last_committed()
+                    .iter()
+                    .any(|tr| p.state().is_complete(tr.to))
+                {
+                    let state = p.state();
+                    self.pool.retain(|&v| !state.is_complete(NodeId::new(v)));
+                }
+                // Index: under `Resolved` every promise was recorded via
+                // `add_pending` and every promise commits, so the leaves
+                // already equal current inventories — nothing to do. Under
+                // `Simultaneous` no pendings were recorded, so fold the
+                // delivery delta in now.
+                if self.collisions == CollisionModel::Simultaneous {
+                    self.index.apply_deliveries(p.last_committed());
+                }
+            } else {
+                self.pool.clear();
+                self.pool
+                    .extend((0..n as u32).filter(|&v| !p.state().is_complete(NodeId::new(v))));
+                self.index.rebuild(p.state());
+            }
+        }
+        self.indexed = complete_overlay;
+        self.synced_through = Some(t);
+    }
 }
 
 impl Strategy for SwarmStrategy {
@@ -242,29 +354,12 @@ impl Strategy for SwarmStrategy {
             let j = rng.gen_range(i..n);
             self.order.swap(i, j);
         }
-        // Refresh the stuck cache: a delivery (inventory growth) is the
-        // only event that can unstick a node.
-        self.stuck.resize(n, false);
-        self.last_inventory_len.resize(n, usize::MAX);
-        for i in 0..n {
-            let len = p.state().inventory(NodeId::from_index(i)).len();
-            if len != self.last_inventory_len[i] {
-                self.stuck[i] = false;
-                self.last_inventory_len[i] = len;
-            }
-        }
         let complete_overlay = p.topology().is_complete();
-        if complete_overlay {
-            self.pool.clear();
-            self.pool
-                .extend((0..n as u32).filter(|&v| !p.state().is_complete(NodeId::new(v))));
-            self.index.rebuild(&self.pool, p.state());
-            self.leaf_pos.clear();
-            self.leaf_pos.resize(n, u32::MAX);
-            for (i, &v) in self.pool.iter().enumerate() {
-                self.leaf_pos[v as usize] = i as u32;
-            }
-        }
+        self.sync_caches(p, complete_overlay);
+        self.fast_tick = complete_overlay
+            && self.collisions == CollisionModel::Resolved
+            && matches!(p.mechanism(), Mechanism::Cooperative)
+            && p.downloads_unlimited();
         for idx in 0..n {
             let u = NodeId::new(self.order[idx]);
             if self.stuck[u.index()] || p.upload_left(u) == 0 || p.state().inventory(u).is_empty() {
@@ -278,31 +373,35 @@ impl Strategy for SwarmStrategy {
             } else {
                 match p.topology().neighbors(u) {
                     NeighborSet::All => self.pick_from_pool(p, u, rng),
-                    NeighborSet::List(list) => {
-                        // Borrow dance: copy out of the planner-borrowed list.
-                        let owned: Vec<NodeId> = list.to_vec();
-                        self.pick_from_list(p, u, &owned, rng)
-                    }
+                    NeighborSet::List(list) => self.pick_from_list(p, u, list, rng),
                 }
             };
             let Some(v) = target else { continue };
             match self.collisions {
                 CollisionModel::Resolved => {
-                    if let Some(block) = self.policy.pick(p, u, v, rng) {
-                        // Admissibility was just checked; a rejection here
-                        // would be a planner/strategy invariant violation
-                        // worth surfacing.
-                        p.propose(u, v, block)
-                            .map_err(|reason| SimError::BadSchedule {
-                                transfer: pob_sim::Transfer::new(u, v, block),
-                                reason,
-                                tick: p.tick(),
-                            })?;
+                    let block = if self.fast_tick && matches!(self.policy, BlockSelection::Random) {
+                        // Same draw as `select_random_block`, one two-set
+                        // pass against the leaf instead of three sets.
+                        self.index.pick_wanted(v, p.state().inventory(u), rng)
+                    } else {
+                        self.policy.pick(p, u, v, rng)
+                    };
+                    if let Some(block) = block {
+                        if self.fast_tick {
+                            p.propose_admitted(u, v, block);
+                        } else {
+                            // Admissibility was just checked; a rejection
+                            // here would be a planner/strategy invariant
+                            // violation worth surfacing.
+                            p.propose(u, v, block)
+                                .map_err(|reason| SimError::BadSchedule {
+                                    transfer: pob_sim::Transfer::new(u, v, block),
+                                    reason,
+                                    tick: p.tick(),
+                                })?;
+                        }
                         if complete_overlay {
-                            let pos = self.leaf_pos[v.index()];
-                            if pos != u32::MAX {
-                                self.index.add_pending(pos as usize, block);
-                            }
+                            self.index.add_pending(v, block);
                         }
                     }
                 }
@@ -328,43 +427,61 @@ impl Strategy for SwarmStrategy {
     }
 }
 
-/// Segment tree of pool `inventory ∪ pending` intersections.
+/// Segment tree of per-client `inventory ∪ pending` intersections.
 ///
-/// Node `i`'s set is the intersection of `held ∪ promised` blocks of the
-/// pool members under it, so a subtree contains a still-wanting node for
-/// uploader inventory `inv` iff `inv ⊄ node` — every member's set
-/// contains the intersection, and if `inv` is not inside it some member
-/// must miss (and not be promised) one of `inv`'s blocks. Traversal
-/// therefore only descends into productive subtrees, enumerating the
-/// wanting set in `O(|I| · log n)` set operations. [`add_pending`]
-/// updates one leaf and its root path after each promised transfer.
+/// One leaf per *client* at a stable slot (node `v` ↔ slot `v − 1`),
+/// padded to a power of two with full sets — the intersection identity.
+/// Internal node `i`'s set is the intersection of the leaf sets under it,
+/// so a subtree contains a still-wanting node for uploader inventory
+/// `inv` iff `inv ⊄ node`: every member's set contains the intersection,
+/// and if `inv` is not inside it some member must miss (and not be
+/// promised) one of `inv`'s blocks. Traversal therefore only descends
+/// into productive subtrees, enumerating the wanting set in
+/// `O(|I| · log n)` set operations.
+///
+/// Stable slots make the tree *persistent*: a client that completes gets
+/// a full leaf set, which prunes itself out of every query without any
+/// restructuring, so the tree never needs a per-tick rebuild. Promises
+/// are folded in as they happen via [`add_pending`]; committed deliveries
+/// from a tick without promise tracking are folded in as a batch via
+/// [`apply_deliveries`]. [`rebuild`] is only needed at the start of a run
+/// and after a topology change — [`rebuild_count`] makes that auditable.
 ///
 /// [`add_pending`]: InterestIndex::add_pending
+/// [`apply_deliveries`]: InterestIndex::apply_deliveries
+/// [`rebuild`]: InterestIndex::rebuild
+/// [`rebuild_count`]: InterestIndex::rebuild_count
 #[derive(Debug, Clone, Default)]
-struct InterestIndex {
+pub struct InterestIndex {
     /// `2 * size` intersection sets (index 0 unused); leaves start at
     /// `size`, padded with full sets (the intersection identity).
-    nodes: Vec<pob_sim::BlockSet>,
+    nodes: Vec<BlockSet>,
     size: usize,
-    pool_len: usize,
+    clients: usize,
+    rebuilds: u64,
 }
 
 impl InterestIndex {
-    fn rebuild(&mut self, pool: &[u32], state: &pob_sim::SimState) {
+    /// Rebuilds the tree from scratch: one leaf per client holding its
+    /// current inventory (clients that are already complete naturally get
+    /// full sets and prune themselves from every query).
+    pub fn rebuild(&mut self, state: &SimState) {
         let k = state.block_count();
-        self.pool_len = pool.len();
-        if pool.is_empty() {
+        let clients = state.node_count() - 1;
+        self.clients = clients;
+        self.rebuilds += 1;
+        if clients == 0 {
             self.size = 0;
             return;
         }
-        let size = pool.len().next_power_of_two();
-        if self.size != size || self.nodes.first().map(pob_sim::BlockSet::universe) != Some(k) {
-            self.nodes = vec![pob_sim::BlockSet::empty(k); 2 * size];
+        let size = clients.next_power_of_two();
+        if self.size != size || self.nodes.first().map(BlockSet::universe) != Some(k) {
+            self.nodes = vec![BlockSet::empty(k); 2 * size];
             self.size = size;
         }
         for i in 0..size {
-            if let Some(&v) = pool.get(i) {
-                self.nodes[size + i].copy_from(state.inventory(NodeId::new(v)));
+            if i < clients {
+                self.nodes[size + i].copy_from(state.inventory(NodeId::from_index(i + 1)));
             } else {
                 self.nodes[size + i].fill();
             }
@@ -376,25 +493,75 @@ impl InterestIndex {
         }
     }
 
-    /// Whether any pool member lacks a block of `inv` (root test).
-    fn anyone_interested(&self, inv: &pob_sim::BlockSet) -> bool {
+    /// How many times [`rebuild`](Self::rebuild) ran on this index.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Whether any client lacks a block of `inv` (root test).
+    pub fn anyone_interested(&self, inv: &BlockSet) -> bool {
         self.size > 0 && inv.has_any_not_in(&self.nodes[1])
     }
 
-    /// Pushes the pool members still wanting a block of `inv` onto `out`.
-    fn collect_interested(&self, inv: &pob_sim::BlockSet, pool: &[u32], out: &mut Vec<u32>) {
+    /// Leaf probe: whether client `v` still wants a block of `inv`, i.e.
+    /// `inv ⊄ inventory(v) ∪ pending(v)`.
+    ///
+    /// Only meaningful while the tree is synchronized (the complete-
+    /// overlay path, with in-tick promises folded in via
+    /// [`add_pending`](Self::add_pending)).
+    #[inline]
+    pub fn still_wants(&self, v: NodeId, inv: &BlockSet) -> bool {
+        inv.has_any_not_in(&self.nodes[self.size + (v.index() - 1)])
+    }
+
+    /// Uniformly random block of `inv` that client `v` neither holds nor
+    /// has pending, drawn from the RNG exactly like
+    /// [`TickPlanner::select_random_block`] — the leaf already equals
+    /// `inventory ∪ pending`, so a single two-set pass suffices.
+    #[inline]
+    pub fn pick_wanted<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        inv: &BlockSet,
+        rng: &mut R,
+    ) -> Option<BlockId> {
+        inv.random_not_in(&self.nodes[self.size + (v.index() - 1)], rng)
+    }
+
+    /// Pushes the node ids of clients still wanting a block of `inv` onto
+    /// `out`, in descending node-id order.
+    pub fn collect_interested(&self, inv: &BlockSet, out: &mut Vec<u32>) {
         if self.size == 0 {
             return;
         }
+        // Node sets grow toward the leaves (intersections over fewer
+        // members), so every node's difference mask `inv \ node` is
+        // contained in the root's: the root's nonzero difference words
+        // bound the word scan at every node, and the cached
+        // cardinalities resolve the common extremes in O(1).
+        let inv_words = inv.words();
+        let root = self.nodes[1].words();
+        let hot: Vec<usize> = (0..inv_words.len())
+            .filter(|&w| inv_words[w] & !root[w] != 0)
+            .collect();
         let mut stack = vec![1usize];
         while let Some(i) = stack.pop() {
-            if !inv.has_any_not_in(&self.nodes[i]) {
+            let node = &self.nodes[i];
+            let wants = if inv.len() > node.len() {
+                true // pigeonhole: some block of `inv` is outside `node`
+            } else if node.is_full() {
+                false
+            } else {
+                let nw = node.words();
+                hot.iter().any(|&w| inv_words[w] & !nw[w] != 0)
+            };
+            if !wants {
                 continue; // every member under i already holds all of inv
             }
             if i >= self.size {
-                let leaf = i - self.size;
-                if leaf < pool.len() {
-                    out.push(pool[leaf]);
+                let slot = i - self.size;
+                if slot < self.clients {
+                    out.push(slot as u32 + 1);
                 }
                 continue;
             }
@@ -403,21 +570,40 @@ impl InterestIndex {
         }
     }
 
-    /// Records that `block` was promised to the pool member at `leaf`,
-    /// updating the leaf and its ancestors.
-    fn add_pending(&mut self, leaf: usize, block: pob_sim::BlockId) {
-        debug_assert!(leaf < self.pool_len);
-        let mut i = self.size + leaf;
-        self.nodes[i].insert(block);
-        i /= 2;
-        while i >= 1 {
-            let (head, tail) = self.nodes.split_at_mut(2 * i);
-            head[i].copy_from(&tail[0]);
-            head[i].intersect_with(&tail[1]);
-            if i == 1 {
+    /// Records that `block` was promised to client `v`, updating the leaf
+    /// and its ancestors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `v` is the server or out of range.
+    pub fn add_pending(&mut self, v: NodeId, block: BlockId) {
+        debug_assert!(!v.is_server() && v.index() - 1 < self.clients);
+        let mut i = self.size + (v.index() - 1);
+        // Adding one block to a leaf can only add that same block to
+        // ancestors: an intersection gains `block` iff the sibling
+        // already has it (and nothing else changes). Propagation is a
+        // single-bit walk, not a chain of full recomputes.
+        while self.nodes[i].insert(block) {
+            if i == 1 || !self.nodes[i ^ 1].contains(block) {
                 break;
             }
             i /= 2;
+        }
+    }
+
+    /// Folds a batch of committed deliveries into the tree, one
+    /// single-bit [`add_pending`](Self::add_pending) walk per delivery
+    /// (`O(d · log n)` single-bit updates, exact).
+    ///
+    /// Use when promises were *not* recorded via
+    /// [`add_pending`](Self::add_pending) during the tick (the
+    /// [`CollisionModel::Simultaneous`] path).
+    pub fn apply_deliveries(&mut self, deliveries: &[pob_sim::Transfer]) {
+        if self.size == 0 {
+            return;
+        }
+        for tr in deliveries {
+            self.add_pending(tr.to, tr.block);
         }
     }
 }
@@ -487,6 +673,68 @@ mod tests {
             .map(|s| run_complete(32, 40, BlockSelection::Random, s).completion_time())
             .collect();
         assert!(times.len() > 1, "completion time should vary across seeds");
+    }
+
+    #[test]
+    fn index_rebuilt_once_per_run_not_per_tick() {
+        // The acceptance check for the incremental hot path: in steady
+        // state the interest index must NOT be rebuilt every tick.
+        for collisions in [CollisionModel::Resolved, CollisionModel::Simultaneous] {
+            let overlay = CompleteOverlay::new(64);
+            let cfg = SimConfig::new(64, 32).with_download_capacity(DownloadCapacity::Unlimited);
+            let mut engine = Engine::new(cfg, &overlay);
+            let mut strategy =
+                SwarmStrategy::with_collision_model(BlockSelection::Random, collisions);
+            let mut rng = StdRng::seed_from_u64(1);
+            while engine.step(&mut strategy, &mut rng).unwrap() {}
+            let report = engine.report();
+            assert!(report.completed());
+            assert!(report.ticks_run > 10);
+            assert_eq!(
+                strategy.index_rebuilds(),
+                1,
+                "{collisions:?}: expected exactly one rebuild over {} ticks",
+                report.ticks_run
+            );
+        }
+    }
+
+    #[test]
+    fn reused_strategy_detects_new_run_and_rebuilds() {
+        let overlay = CompleteOverlay::new(32);
+        let mut strategy = SwarmStrategy::new(BlockSelection::Random);
+        let cfg = SimConfig::new(32, 16).with_download_capacity(DownloadCapacity::Unlimited);
+        let r1 = Engine::new(cfg, &overlay)
+            .run(&mut strategy, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        // Same strategy instance, fresh engine and rng: must match a
+        // fresh strategy bit for bit.
+        let r2 = Engine::new(cfg, &overlay)
+            .run(&mut strategy, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(r1, r2, "stale caches leaked across runs");
+        assert_eq!(strategy.index_rebuilds(), 2);
+    }
+
+    #[test]
+    fn fast_tick_path_matches_general_path() {
+        // An effectively-infinite *finite* download capacity disables the
+        // fast-tick shortcuts (`downloads_unlimited` is false) without
+        // changing any admission outcome, so the general path must
+        // produce the exact same run.
+        let overlay = CompleteOverlay::new(48);
+        let run = |cap| {
+            let cfg = SimConfig::new(48, 32).with_download_capacity(cap);
+            Engine::new(cfg, &overlay)
+                .run(
+                    &mut SwarmStrategy::new(BlockSelection::Random),
+                    &mut StdRng::seed_from_u64(1234),
+                )
+                .unwrap()
+        };
+        let fast = run(DownloadCapacity::Unlimited);
+        let general = run(DownloadCapacity::Finite(u32::MAX));
+        assert_eq!(fast, general, "fast-tick shortcuts changed the trace");
     }
 
     #[test]
@@ -589,11 +837,11 @@ mod tests {
 
     #[test]
     fn interest_index_matches_brute_force() {
-        use pob_sim::{BlockId, BlockSet, SimState, Tick};
+        use pob_sim::{BlockId, SimState, Tick};
         use rand::Rng;
-        // Random inventories over a random pool; the tree's wanting-set
-        // enumeration must equal the brute-force answer, before and after
-        // incremental pending updates.
+        // Random inventories; the tree's wanting-set enumeration must
+        // equal the brute-force answer, before and after incremental
+        // pending updates. Complete clients must prune themselves.
         let mut rng = StdRng::seed_from_u64(99);
         for trial in 0..25 {
             let n = rng.gen_range(3..40);
@@ -610,21 +858,20 @@ mod tests {
                     }
                 }
             }
-            let pool: Vec<u32> = (0..n as u32)
+            let mut index = InterestIndex::default();
+            index.rebuild(&state);
+            // Incremental pendings on a few random incomplete clients.
+            let mut pending: Vec<BlockSet> = vec![BlockSet::empty(k); n];
+            let incomplete: Vec<u32> = (1..n as u32)
                 .filter(|&v| !state.is_complete(NodeId::new(v)))
                 .collect();
-            let mut index = InterestIndex::default();
-            index.rebuild(&pool, &state);
-            // Incremental pendings on a few random pool members.
-            let mut pending: Vec<BlockSet> = vec![BlockSet::empty(k); n];
-            if !pool.is_empty() {
+            if !incomplete.is_empty() {
                 for _ in 0..rng.gen_range(0..8) {
-                    let leaf = rng.gen_range(0..pool.len());
-                    let v = pool[leaf] as usize;
+                    let v = incomplete[rng.gen_range(0..incomplete.len())];
                     let b = BlockId::from_index(rng.gen_range(0..k));
-                    if !state.holds(NodeId::new(pool[leaf]), b) && !pending[v].contains(b) {
-                        pending[v].insert(b);
-                        index.add_pending(leaf, b);
+                    if !state.holds(NodeId::new(v), b) && !pending[v as usize].contains(b) {
+                        pending[v as usize].insert(b);
+                        index.add_pending(NodeId::new(v), b);
                     }
                 }
             }
@@ -632,11 +879,9 @@ mod tests {
                 let u = NodeId::from_index(probe);
                 let inv = state.inventory(u);
                 let mut got = Vec::new();
-                index.collect_interested(inv, &pool, &mut got);
+                index.collect_interested(inv, &mut got);
                 got.sort_unstable();
-                let mut want: Vec<u32> = pool
-                    .iter()
-                    .copied()
+                let mut want: Vec<u32> = (1..n as u32)
                     .filter(|&v| {
                         inv.has_any_not_in_either(
                             state.inventory(NodeId::new(v)),
@@ -646,6 +891,57 @@ mod tests {
                     .collect();
                 want.sort_unstable();
                 assert_eq!(got, want, "trial {trial}, probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_deliveries_matches_rebuild() {
+        use pob_sim::{BlockId, SimState, Tick, Transfer};
+        use rand::Rng;
+        // Folding a delivery batch into a live tree must leave it exactly
+        // as a rebuild from the post-delivery state would.
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..25 {
+            let n = rng.gen_range(3..40);
+            let k = rng.gen_range(1..50);
+            let mut state = SimState::new(n, k);
+            for node in 1..n {
+                for b in 0..k {
+                    if rng.gen_bool(0.3) {
+                        state.deliver(
+                            NodeId::from_index(node),
+                            BlockId::from_index(b),
+                            Tick::new(1),
+                        );
+                    }
+                }
+            }
+            let mut incremental = InterestIndex::default();
+            incremental.rebuild(&state);
+            // A random batch of novel deliveries (may complete receivers).
+            let mut batch = Vec::new();
+            for _ in 0..rng.gen_range(0..2 * n) {
+                let v = NodeId::from_index(rng.gen_range(1..n));
+                let b = BlockId::from_index(rng.gen_range(0..k));
+                if !state.holds(v, b) {
+                    state.deliver(v, b, Tick::new(2));
+                    batch.push(Transfer::new(NodeId::SERVER, v, b));
+                }
+            }
+            incremental.apply_deliveries(&batch);
+            let mut rebuilt = InterestIndex::default();
+            rebuilt.rebuild(&state);
+            for probe in 0..n {
+                let inv = state.inventory(NodeId::from_index(probe));
+                assert_eq!(
+                    incremental.anyone_interested(inv),
+                    rebuilt.anyone_interested(inv)
+                );
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                incremental.collect_interested(inv, &mut a);
+                rebuilt.collect_interested(inv, &mut b);
+                assert_eq!(a, b, "trial {trial}, probe {probe}");
             }
         }
     }

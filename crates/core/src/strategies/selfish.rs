@@ -19,10 +19,10 @@
 //! * does a strategic minority slow the generous majority?
 
 use super::BlockSelection;
+use pob_sim::fastmap::PairCounter;
 use pob_sim::{NeighborSet, NodeId, SimError, Strategy, TickPlanner};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// A swarm in which marked clients impose private tit-for-tat limits.
 ///
@@ -50,8 +50,10 @@ pub struct StrategicSwarm {
     strategic: Vec<NodeId>,
     is_strategic: Vec<bool>,
     personal_limit: u32,
-    /// Private ledgers of the strategic clients: net blocks sent per peer.
-    ledgers: HashMap<(u32, u32), i64>,
+    /// Private ledgers of the strategic clients: net blocks sent per
+    /// peer. A [`PairCounter`] (deterministic fast hasher) — lookups
+    /// only, iteration order never observed.
+    ledgers: PairCounter,
     order: Vec<u32>,
     scan: Vec<u32>,
 }
@@ -73,7 +75,7 @@ impl StrategicSwarm {
             strategic,
             is_strategic: Vec::new(),
             personal_limit,
-            ledgers: HashMap::new(),
+            ledgers: PairCounter::new(),
             order: Vec::new(),
             scan: Vec::new(),
         }
@@ -85,15 +87,7 @@ impl StrategicSwarm {
     }
 
     fn personal_net(&self, from: NodeId, to: NodeId) -> i64 {
-        self.ledgers
-            .get(&(from.raw(), to.raw()))
-            .copied()
-            .unwrap_or(0)
-            - self
-                .ledgers
-                .get(&(to.raw(), from.raw()))
-                .copied()
-                .unwrap_or(0)
+        self.ledgers.get(from, to) - self.ledgers.get(to, from)
     }
 
     /// Whether `from` (if strategic) is privately willing to serve `to`.
@@ -162,10 +156,7 @@ impl Strategy for StrategicSwarm {
         // Update the private ledgers from this tick's committed transfers.
         for tr in p.proposed() {
             if !tr.touches_server() {
-                *self
-                    .ledgers
-                    .entry((tr.from.raw(), tr.to.raw()))
-                    .or_insert(0) += 1;
+                self.ledgers.add(tr.from, tr.to, 1);
             }
         }
         Ok(())

@@ -23,7 +23,7 @@
 //! [`Mechanism::TriangularBarter`](pob_sim::Mechanism).
 
 use super::BlockSelection;
-use pob_sim::{NeighborSet, NodeId, SimError, Strategy, TickPlanner};
+use pob_sim::{BlockId, NeighborSet, NodeId, SimError, Strategy, TickPlanner};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -49,9 +49,12 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct TriangularSwarm {
     policy: BlockSelection,
+    // Scratch buffers reused across ticks (no per-node allocations on the
+    // hot path); `scan_inner` serves the nested triangle search.
     order: Vec<u32>,
     matched: Vec<bool>,
     scan: Vec<u32>,
+    scan_inner: Vec<u32>,
 }
 
 /// Neighbors examined per node when hunting for swap partners.
@@ -65,6 +68,7 @@ impl TriangularSwarm {
             order: Vec::new(),
             matched: Vec::new(),
             scan: Vec::new(),
+            scan_inner: Vec::new(),
         }
     }
 
@@ -80,31 +84,29 @@ impl TriangularSwarm {
     }
 
     /// Collects up to `PARTNER_TRIES` neighbor candidates of `u` in a
-    /// random order.
-    fn candidates(&mut self, p: &TickPlanner<'_>, u: NodeId, rng: &mut StdRng) -> Vec<u32> {
-        self.scan.clear();
+    /// random order into the caller's scratch buffer.
+    fn fill_candidates(p: &TickPlanner<'_>, u: NodeId, rng: &mut StdRng, out: &mut Vec<u32>) {
+        out.clear();
         match p.topology().neighbors(u) {
             NeighborSet::All => {
                 let n = p.node_count() as u32;
                 for _ in 0..PARTNER_TRIES {
                     let v = rng.gen_range(0..n);
                     if v != u.raw() {
-                        self.scan.push(v);
+                        out.push(v);
                     }
                 }
             }
             NeighborSet::List(list) => {
-                self.scan.extend(list.iter().map(|v| v.raw()));
-                let len = self.scan.len();
+                out.extend(list.iter().map(|v| v.raw()));
+                let len = out.len();
                 for i in 0..len {
                     let j = rng.gen_range(i..len);
-                    self.scan.swap(i, j);
+                    out.swap(i, j);
                 }
-                self.scan
-                    .truncate(PARTNER_TRIES.max(len.min(PARTNER_TRIES)));
+                out.truncate(PARTNER_TRIES.max(len.min(PARTNER_TRIES)));
             }
         }
-        self.scan.clone()
     }
 
     /// Executes a swap cycle `chain[0] → chain[1] → … → chain[0]`,
@@ -112,17 +114,19 @@ impl TriangularSwarm {
     /// rejection (the mechanism's credit slack absorbs the partial cycle).
     fn execute_cycle(&mut self, p: &mut TickPlanner<'_>, chain: &[NodeId], rng: &mut StdRng) {
         // Pre-select every hop's block before proposing any, so failures
-        // are rare.
-        let mut picks = Vec::with_capacity(chain.len());
+        // are rare. Cycles have at most 3 hops, so a fixed array avoids
+        // allocating on every swap.
+        debug_assert!(chain.len() <= 3);
+        let mut picks: [Option<(NodeId, NodeId, BlockId)>; 3] = [None; 3];
         for i in 0..chain.len() {
             let from = chain[i];
             let to = chain[(i + 1) % chain.len()];
             match self.policy.pick(p, from, to, rng) {
-                Some(b) => picks.push((from, to, b)),
+                Some(b) => picks[i] = Some((from, to, b)),
                 None => return,
             }
         }
-        for (from, to, block) in picks {
+        for &(from, to, block) in picks.iter().flatten() {
             let _ = p.propose(from, to, block);
         }
         for node in chain {
@@ -143,9 +147,14 @@ impl Strategy for TriangularSwarm {
             self.order.swap(i, j);
         }
 
+        // Scratch buffers live on `self` across ticks; take them locally
+        // so the borrow checker lets `&mut self` methods run in between.
+        let mut candidates = std::mem::take(&mut self.scan);
+        let mut v_candidates = std::mem::take(&mut self.scan_inner);
+
         // The server uploads unilaterally to a random interested neighbor.
         if p.upload_left(NodeId::SERVER) > 0 {
-            let candidates = self.candidates(p, NodeId::SERVER, rng);
+            Self::fill_candidates(p, NodeId::SERVER, rng, &mut candidates);
             if let Some(&v) = candidates
                 .iter()
                 .find(|&&v| Self::offers(p, NodeId::SERVER, NodeId::new(v)))
@@ -162,7 +171,7 @@ impl Strategy for TriangularSwarm {
             if u.is_server() || self.matched[u.index()] || p.state().inventory(u).is_empty() {
                 continue;
             }
-            let candidates = self.candidates(p, u, rng);
+            Self::fill_candidates(p, u, rng, &mut candidates);
             // Phase 1: pairwise swap with mutual novelty.
             let pair = candidates.iter().copied().find(|&v| {
                 let v = NodeId::new(v);
@@ -182,7 +191,7 @@ impl Strategy for TriangularSwarm {
                 if v.is_server() || self.matched[v.index()] || !Self::offers(p, u, v) {
                     continue;
                 }
-                let v_candidates = self.candidates(p, v, rng);
+                Self::fill_candidates(p, v, rng, &mut v_candidates);
                 for &w in &v_candidates {
                     let w = NodeId::new(w);
                     if w == u
@@ -205,7 +214,7 @@ impl Strategy for TriangularSwarm {
             // Phase 3: one-sided transfer within the credit slack.
             if let Some(slack) = p.mechanism().credit() {
                 // Re-collect candidates so the pick stays uniform-ish.
-                let candidates = self.candidates(p, u, rng);
+                Self::fill_candidates(p, u, rng, &mut candidates);
                 if let Some(&v) = candidates.iter().find(|&&v| {
                     let v = NodeId::new(v);
                     !v.is_server()
@@ -220,6 +229,8 @@ impl Strategy for TriangularSwarm {
                 }
             }
         }
+        self.scan = candidates;
+        self.scan_inner = v_candidates;
         Ok(())
     }
 

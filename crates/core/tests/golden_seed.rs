@@ -1,0 +1,133 @@
+//! Golden-seed regression test: the randomized swarm must be *bit-stable*.
+//!
+//! Performance work on the swarm hot path is only allowed if it keeps
+//! results bit-identical — same seed, same per-tick transfer trace. This
+//! test pins a matrix of scenarios (both block policies × complete and
+//! random-regular overlays × cooperative and credit-limited mechanisms)
+//! to exact completion times, transfer counts, and a hash of the full
+//! per-tick transfer trace.
+//!
+//! The golden file is self-blessing: if `tests/golden/golden_seed.tsv`
+//! is missing the test writes it and passes; if present, any mismatch
+//! fails. To re-bless after an *intentional* behavior change, delete the
+//! file and rerun (and say so in the PR).
+
+use pob_core::strategies::{BlockSelection, SwarmStrategy};
+use pob_overlay::random_regular;
+use pob_sim::{CompleteOverlay, DownloadCapacity, Engine, Mechanism, SimConfig, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/golden_seed.tsv");
+
+/// FNV-1a over the full transfer trace, self-contained so this exact file
+/// also compiles against older revisions when cross-checking a refactor.
+struct TraceHash(u64);
+
+impl TraceHash {
+    fn new() -> Self {
+        TraceHash(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn fingerprint(
+    label: &str,
+    policy: BlockSelection,
+    overlay: &dyn Topology,
+    mechanism: Mechanism,
+    seed: u64,
+) -> String {
+    let n = overlay.node_count();
+    let k = 32;
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(mechanism)
+        .with_download_capacity(DownloadCapacity::Unlimited)
+        .with_max_ticks(10_000);
+    let mut engine = Engine::new(cfg, overlay);
+    let mut strategy = SwarmStrategy::new(policy);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hash = TraceHash::new();
+    while engine
+        .step(&mut strategy, &mut rng)
+        .expect("swarm stays admissible")
+    {
+        for tr in engine.last_transfers() {
+            hash.word(u64::from(tr.from.raw()));
+            hash.word(u64::from(tr.to.raw()));
+            hash.word(u64::from(tr.block.raw()));
+        }
+        // Tick separator so per-tick grouping is part of the trace.
+        hash.word(u64::MAX);
+    }
+    let report = engine.report();
+    format!(
+        "{label}\tcompletion={:?}\tticks={}\tuploads={}\tserver={}\ttrace={:016x}",
+        report.completion_time(),
+        report.ticks_run,
+        report.total_uploads,
+        report.server_uploads,
+        hash.0
+    )
+}
+
+fn all_fingerprints() -> Vec<String> {
+    let mut lines = Vec::new();
+    let n = 48;
+    for (pname, policy) in [
+        ("random", BlockSelection::Random),
+        ("rarest", BlockSelection::RarestFirst),
+    ] {
+        for (mname, mechanism) in [
+            ("coop", Mechanism::Cooperative),
+            ("credit2", Mechanism::CreditLimited { credit: 2 }),
+        ] {
+            let complete = CompleteOverlay::new(n);
+            lines.push(fingerprint(
+                &format!("complete/{pname}/{mname}"),
+                policy,
+                &complete,
+                mechanism,
+                0xC0FFEE,
+            ));
+            let sparse = random_regular(n, 8, &mut StdRng::seed_from_u64(42)).unwrap();
+            lines.push(fingerprint(
+                &format!("regular8/{pname}/{mname}"),
+                policy,
+                &sparse,
+                mechanism,
+                0xC0FFEE,
+            ));
+        }
+    }
+    lines
+}
+
+#[test]
+fn golden_seed_trace_is_bit_stable() {
+    let got = all_fingerprints().join("\n") + "\n";
+    match std::fs::read_to_string(GOLDEN) {
+        Ok(want) => assert_eq!(
+            got, want,
+            "swarm trace diverged from the golden file — a hot-path change \
+             broke bit-identity (delete {GOLDEN} only for intentional changes)"
+        ),
+        Err(_) => {
+            std::fs::create_dir_all(std::path::Path::new(GOLDEN).parent().unwrap()).unwrap();
+            std::fs::write(GOLDEN, &got).unwrap();
+            eprintln!("blessed new golden file at {GOLDEN}");
+        }
+    }
+}
+
+#[test]
+fn golden_runs_are_reproducible_in_process() {
+    // Independent of the golden file: two evaluations in one process must
+    // agree exactly (catches cross-run state leaking out of strategies).
+    assert_eq!(all_fingerprints(), all_fingerprints());
+}

@@ -97,6 +97,17 @@ impl BlockSet {
         self.len == self.universe
     }
 
+    /// Read-only view of the packed words: block `i` sits at bit
+    /// `i % 64` of word `i / 64`, and unused tail bits are always zero.
+    ///
+    /// For callers that need word-granular scans the member methods
+    /// cannot express (e.g. restricting an interest check to a
+    /// precomputed set of difference words).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Whether `block` is a member.
     ///
     /// # Panics
@@ -172,6 +183,16 @@ impl BlockSet {
     #[inline]
     pub fn has_any_not_in(&self, other: &BlockSet) -> bool {
         self.check_universe(other);
+        // O(1) resolutions from the cached cardinalities: more members
+        // than `other` can cover (pigeonhole), or `other` covers the
+        // whole universe. Both are common at the extremes of a swarm run
+        // (sparse early inventories, full endgame inventories).
+        if self.len > other.len {
+            return true;
+        }
+        if other.len == other.universe {
+            return false;
+        }
         self.words
             .iter()
             .zip(&other.words)
@@ -351,6 +372,44 @@ impl BlockSet {
             word_idx: 0,
             current: first,
         }
+    }
+
+    /// Picks a uniformly random member of `self \ other`, if any.
+    ///
+    /// Two-set variant of [`random_not_in_either`] for callers that keep
+    /// held-and-pending blocks in one set; draws from the RNG exactly as
+    /// the three-set variant would for `other = b ∪ c` (one `gen_range`
+    /// over the difference size), so the two are interchangeable without
+    /// perturbing a seeded stream.
+    ///
+    /// [`random_not_in_either`]: BlockSet::random_not_in_either
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn random_not_in<R: Rng + ?Sized>(&self, other: &BlockSet, rng: &mut R) -> Option<BlockId> {
+        self.check_universe(other);
+        let mut total = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            total += (a & !b).count_ones() as usize;
+        }
+        if total == 0 {
+            return None;
+        }
+        let mut target = rng.gen_range(0..total);
+        for (w, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut diff = a & !b;
+            let count = diff.count_ones() as usize;
+            if target < count {
+                for _ in 0..target {
+                    diff &= diff - 1; // clear lowest set bit
+                }
+                let bit = diff.trailing_zeros() as usize;
+                return Some(BlockId::from_index(w * WORD_BITS + bit));
+            }
+            target -= count;
+        }
+        unreachable!("counted bits disappeared");
     }
 
     /// Picks a uniformly random member of `self \ (b ∪ c)`, if any.
@@ -650,6 +709,42 @@ mod tests {
             seen.insert(got);
         }
         assert_eq!(seen.len(), 2, "both candidates eventually selected");
+    }
+
+    #[test]
+    fn interest_fast_branches_agree_with_scan() {
+        // Pigeonhole (|a| > |b|), full-other, and the general word-scan
+        // must all agree with the brute-force definition.
+        let a = set(130, &[0, 64, 129]);
+        let small = set(130, &[0]);
+        assert!(a.has_any_not_in(&small), "pigeonhole branch");
+        let full = BlockSet::full(130);
+        assert!(!a.has_any_not_in(&full), "full-other branch");
+        let same_size = set(130, &[0, 64, 100]);
+        assert!(a.has_any_not_in(&same_size), "word scan at equal sizes");
+        let cover = set(130, &[0, 1, 64, 129]);
+        assert!(!a.has_any_not_in(&cover), "covered at larger size");
+    }
+
+    #[test]
+    fn random_not_in_matches_three_set_stream() {
+        // The 2-set variant must consume the RNG identically to the 3-set
+        // variant with the union precomputed: same seed, same picks.
+        let a = set(192, &[0, 5, 64, 100, 140, 191]);
+        let b = set(192, &[5, 140]);
+        let c = set(192, &[100]);
+        let mut union = b.clone();
+        union.union_with(&c);
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        for _ in 0..64 {
+            assert_eq!(
+                a.random_not_in(&union, &mut r1),
+                a.random_not_in_either(&b, &c, &mut r2)
+            );
+        }
+        let full = BlockSet::full(192);
+        assert_eq!(a.random_not_in(&full, &mut r1), None);
     }
 
     #[test]

@@ -163,10 +163,15 @@ pub struct Engine<'a> {
     upload_caps: Vec<u32>,
     download_caps: Vec<DownloadCapacity>,
     bufs: TickBuffers,
+    // Transfers committed by the *previous* step, handed to the planner so
+    // strategies can consume the per-tick delta. Swapped with the tick
+    // buffer each step — no allocation.
+    prev_transfers: Vec<crate::Transfer>,
     tick: Tick,
     total_uploads: u64,
     server_uploads: u64,
     per_tick: Option<Vec<u32>>,
+    wall_nanos: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -193,10 +198,12 @@ impl<'a> Engine<'a> {
             upload_caps,
             download_caps: vec![config.download_capacity; config.nodes],
             bufs: TickBuffers::new(config.nodes, config.blocks),
+            prev_transfers: Vec::new(),
             tick: Tick::ZERO,
             total_uploads: 0,
             server_uploads: 0,
             per_tick: config.record_tick_stats.then(Vec::new),
+            wall_nanos: 0,
         }
     }
 
@@ -222,6 +229,16 @@ impl<'a> Engine<'a> {
 
     /// The transfers committed by the most recent [`step`](Self::step).
     pub fn last_transfers(&self) -> &[crate::Transfer] {
+        &self.bufs.transfers
+    }
+
+    /// The deliveries committed by the most recent [`step`](Self::step) —
+    /// the exact state delta of that tick (each transfer delivered one new
+    /// block to its receiver). Cheap: a borrow of the engine's buffer, no
+    /// copy. Alias of [`last_transfers`](Self::last_transfers) under the
+    /// delta-consumer's name; strategies get the same delta *during* a
+    /// tick via [`TickPlanner::last_committed`].
+    pub fn last_deliveries(&self) -> &[crate::Transfer] {
         &self.bufs.transfers
     }
 
@@ -316,8 +333,12 @@ impl<'a> Engine<'a> {
         if self.state.all_complete() || self.tick.get() >= self.config.max_ticks {
             return Ok(false);
         }
+        let started = std::time::Instant::now();
         self.tick = self.tick.next();
         let tick = self.tick;
+        // Keep the last committed tick as the planner-visible delta; the
+        // swapped-in old delta buffer is cleared by `reset` and refilled.
+        std::mem::swap(&mut self.prev_transfers, &mut self.bufs.transfers);
         self.bufs.reset();
         {
             let mut planner = TickPlanner::new(
@@ -328,6 +349,7 @@ impl<'a> Engine<'a> {
                 &self.download_caps,
                 &self.upload_caps,
                 tick,
+                &self.prev_transfers,
                 &mut self.bufs,
             );
             strategy.on_tick(&mut planner, rng)?;
@@ -348,6 +370,7 @@ impl<'a> Engine<'a> {
         if let Some(v) = self.per_tick.as_mut() {
             v.push(count);
         }
+        self.wall_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         Ok(!self.state.all_complete() && self.tick.get() < self.config.max_ticks)
     }
 
@@ -365,6 +388,12 @@ impl<'a> Engine<'a> {
             total_uploads: self.total_uploads,
             server_uploads: self.server_uploads,
             uploads_per_tick: self.per_tick.clone(),
+            perf: crate::PerfCounters {
+                ticks: self.tick.get(),
+                proposals: self.bufs.stats.proposals,
+                rejections: self.bufs.stats.rejections,
+                wall_nanos: self.wall_nanos,
+            },
         }
     }
 
@@ -603,6 +632,54 @@ mod tests {
         assert_eq!(engine.last_transfers().len(), 1);
         assert_eq!(engine.current_tick(), Tick::new(1));
         assert_eq!(engine.ledger().imbalanced_pairs(), 0);
+    }
+
+    #[test]
+    fn planner_sees_previous_ticks_deliveries() {
+        struct CheckDelta {
+            expected_prev: usize,
+        }
+        impl Strategy for CheckDelta {
+            fn on_tick(&mut self, p: &mut TickPlanner<'_>, r: &mut StdRng) -> Result<(), SimError> {
+                assert_eq!(
+                    p.last_committed().len(),
+                    self.expected_prev,
+                    "tick {}: wrong delta",
+                    p.tick().get()
+                );
+                if p.tick().get() == 1 {
+                    assert!(p.last_committed().is_empty());
+                }
+                NaiveServerPush.on_tick(p, r)?;
+                self.expected_prev = p.proposed().len();
+                Ok(())
+            }
+        }
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 2), &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut strategy = CheckDelta { expected_prev: 0 };
+        while engine.step(&mut strategy, &mut rng).unwrap() {}
+        assert_eq!(
+            engine.last_deliveries(),
+            engine.last_transfers(),
+            "delta alias must match the committed transfers"
+        );
+        assert!(!engine.last_deliveries().is_empty());
+    }
+
+    #[test]
+    fn perf_counters_track_proposals_and_time() {
+        let overlay = CompleteOverlay::new(4);
+        let engine = Engine::new(SimConfig::new(4, 5), &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = engine.run(&mut NaiveServerPush, &mut rng).unwrap();
+        assert_eq!(report.perf.ticks, report.ticks_run);
+        // NaiveServerPush proposes only admissible transfers.
+        assert_eq!(report.perf.proposals, report.total_uploads);
+        assert_eq!(report.perf.rejections, 0);
+        assert!(report.perf.wall_nanos > 0, "steps must accumulate time");
+        assert!(report.perf.ticks_per_sec() > 0.0);
     }
 
     #[test]

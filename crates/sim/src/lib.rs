@@ -72,6 +72,7 @@ mod bandwidth;
 mod blockset;
 mod engine;
 mod error;
+pub mod fastmap;
 mod ids;
 mod mechanism;
 mod metrics;
@@ -89,7 +90,7 @@ pub use engine::{Engine, SimConfig, Strategy};
 pub use error::{MechanismViolation, RejectTransferError, SimError};
 pub use ids::{BlockId, NodeId, Tick};
 pub use mechanism::{CreditLedger, Mechanism};
-pub use metrics::RunReport;
+pub use metrics::{PerfCounters, RunReport};
 pub use planner::TickPlanner;
 pub use state::SimState;
 pub use topology::{CompleteOverlay, NeighborSet, Topology};

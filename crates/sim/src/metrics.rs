@@ -2,6 +2,44 @@
 
 use crate::{Mechanism, NodeId, Tick};
 
+/// Wall-clock and throughput counters for one run.
+///
+/// Collected by the engine with negligible overhead (two monotonic clock
+/// reads per tick plus integer increments). Deliberately **excluded from
+/// [`RunReport`] equality**: two runs of the same seed produce equal
+/// reports even though their wall times differ, so determinism tests can
+/// keep comparing whole reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PerfCounters {
+    /// Ticks simulated (same as `ticks_run`, repeated here so the perf
+    /// block is self-contained when serialized).
+    pub ticks: u32,
+    /// Total [`TickPlanner::propose`](crate::TickPlanner::propose) calls,
+    /// accepted or not.
+    pub proposals: u64,
+    /// Rejected `propose` calls (accepted = `proposals − rejections`).
+    pub rejections: u64,
+    /// Wall-clock nanoseconds spent inside `Engine::step`.
+    pub wall_nanos: u64,
+}
+
+impl PerfCounters {
+    /// Wall-clock seconds spent stepping.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
+    }
+
+    /// Simulated ticks per wall-clock second (0 if no time was measured).
+    pub fn ticks_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            f64::from(self.ticks) / self.wall_seconds()
+        }
+    }
+}
+
 /// Everything measured during one distribution run.
 ///
 /// Produced by [`Engine::run`](crate::Engine::run). Fields are public
@@ -34,7 +72,7 @@ use crate::{Mechanism, NodeId, Tick};
 /// assert_eq!(report.completion_time(), Some(3)); // k blocks to one client
 /// # Ok::<(), pob_sim::SimError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunReport {
     /// Number of nodes (server included).
@@ -57,6 +95,26 @@ pub struct RunReport {
     pub server_uploads: u64,
     /// Committed transfers per tick (only if tick stats were requested).
     pub uploads_per_tick: Option<Vec<u32>>,
+    /// Throughput counters (wall time, proposal counts). Not part of
+    /// report equality — see [`PerfCounters`].
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub perf: PerfCounters,
+}
+
+/// Equality over the *simulation outcome* only: `perf` is ignored because
+/// wall time varies run to run even for identical seeds.
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.blocks == other.blocks
+            && self.mechanism == other.mechanism
+            && self.completion == other.completion
+            && self.ticks_run == other.ticks_run
+            && self.node_completions == other.node_completions
+            && self.total_uploads == other.total_uploads
+            && self.server_uploads == other.server_uploads
+            && self.uploads_per_tick == other.uploads_per_tick
+    }
 }
 
 impl RunReport {
@@ -125,6 +183,7 @@ mod tests {
             total_uploads: 4,
             server_uploads: 2,
             uploads_per_tick: Some(vec![1, 1, 1, 1]),
+            perf: PerfCounters::default(),
         }
     }
 
@@ -147,6 +206,35 @@ mod tests {
         assert!(!r.completed());
         assert_eq!(r.completion_time(), None);
         assert_eq!(r.censored_completion_time(), 100);
+    }
+
+    #[test]
+    fn equality_ignores_perf_counters() {
+        let a = report();
+        let mut b = report();
+        b.perf = PerfCounters {
+            ticks: 4,
+            proposals: 10,
+            rejections: 6,
+            wall_nanos: 123_456,
+        };
+        assert_eq!(a, b, "perf must not affect report equality");
+        let mut c = report();
+        c.total_uploads += 1;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perf_counter_rates() {
+        let p = PerfCounters {
+            ticks: 2000,
+            proposals: 10,
+            rejections: 3,
+            wall_nanos: 500_000_000,
+        };
+        assert!((p.wall_seconds() - 0.5).abs() < 1e-12);
+        assert!((p.ticks_per_sec() - 4000.0).abs() < 1e-9);
+        assert_eq!(PerfCounters::default().ticks_per_sec(), 0.0);
     }
 
     #[test]

@@ -7,22 +7,33 @@
 //! schedule therefore cannot silently violate the model: the optimality
 //! tests double as model-compliance proofs.
 
+use crate::fastmap::PairCounter;
 use crate::{
     BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NodeId, RejectTransferError,
     SimState, Tick, Topology, Transfer,
 };
 use rand::Rng;
-use std::collections::HashMap;
+
+/// Run-cumulative proposal counters, fed into the report's
+/// [`PerfCounters`](crate::PerfCounters). Lives next to the tick scratch
+/// because [`TickPlanner::propose`] only sees the buffers, but unlike the
+/// scratch it is *not* cleared by [`TickBuffers::reset`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProposeStats {
+    pub(crate) proposals: u64,
+    pub(crate) rejections: u64,
+}
 
 /// Reusable per-tick scratch buffers, owned by the engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct TickBuffers {
     pub(crate) used_up: Vec<u32>,
     pub(crate) used_down: Vec<u32>,
     pub(crate) pending: Vec<BlockSet>,
     pub(crate) dirty: Vec<NodeId>,
-    pub(crate) sent_in_tick: HashMap<(u32, u32), i64>,
+    pub(crate) sent_in_tick: PairCounter,
     pub(crate) transfers: Vec<Transfer>,
+    pub(crate) stats: ProposeStats,
 }
 
 impl TickBuffers {
@@ -32,11 +43,15 @@ impl TickBuffers {
             used_down: vec![0; nodes],
             pending: vec![BlockSet::empty(blocks); nodes],
             dirty: Vec::new(),
-            sent_in_tick: HashMap::new(),
+            sent_in_tick: PairCounter::new(),
             transfers: Vec::new(),
+            stats: ProposeStats::default(),
         }
     }
 
+    /// Clears the per-tick scratch without releasing any allocation (the
+    /// pending sets are cleared via the dirty list, the pair counter keeps
+    /// its table). `stats` is run-cumulative and survives.
     pub(crate) fn reset(&mut self) {
         self.used_up.fill(0);
         self.used_down.fill(0);
@@ -63,6 +78,7 @@ pub struct TickPlanner<'a> {
     download_caps: &'a [DownloadCapacity],
     upload_caps: &'a [u32],
     tick: Tick,
+    prev_transfers: &'a [Transfer],
     bufs: &'a mut TickBuffers,
 }
 
@@ -76,6 +92,7 @@ impl<'a> TickPlanner<'a> {
         download_caps: &'a [DownloadCapacity],
         upload_caps: &'a [u32],
         tick: Tick,
+        prev_transfers: &'a [Transfer],
         bufs: &'a mut TickBuffers,
     ) -> Self {
         TickPlanner {
@@ -86,6 +103,7 @@ impl<'a> TickPlanner<'a> {
             download_caps,
             upload_caps,
             tick,
+            prev_transfers,
             bufs,
         }
     }
@@ -97,15 +115,33 @@ impl<'a> TickPlanner<'a> {
     }
 
     /// The shared simulation state (inventories, frequencies).
+    ///
+    /// The returned borrow lives as long as the planner's inner lifetime
+    /// `'a`, not just this call — callers can hold inventories across
+    /// later `&mut self` uses of the planner.
     #[inline]
-    pub fn state(&self) -> &SimState {
+    pub fn state(&self) -> &'a SimState {
         self.state
     }
 
     /// The overlay network the run executes on.
+    ///
+    /// Like [`state`](Self::state), the borrow has the planner's inner
+    /// lifetime `'a`, so neighbor lists obtained from it stay usable while
+    /// proposing transfers.
     #[inline]
-    pub fn topology(&self) -> &dyn Topology {
+    pub fn topology(&self) -> &'a dyn Topology {
         self.topology
+    }
+
+    /// The transfers committed in the *previous* tick, in commit order
+    /// (empty on the first tick and after an engine restart).
+    ///
+    /// This is the per-tick state delta: strategies can update incremental
+    /// caches from it instead of re-scanning all inventories every tick.
+    #[inline]
+    pub fn last_committed(&self) -> &'a [Transfer] {
+        self.prev_transfers
     }
 
     /// The active barter mechanism.
@@ -138,6 +174,16 @@ impl<'a> TickPlanner<'a> {
         self.download_caps[v.index()].allows(self.bufs.used_down[v.index()])
     }
 
+    /// Whether every node's download capacity is unlimited — i.e.
+    /// [`can_download`](Self::can_download) is trivially `true` all tick.
+    /// Lets strategies drop the per-candidate capacity check from their
+    /// hot loops.
+    pub fn downloads_unlimited(&self) -> bool {
+        self.download_caps
+            .iter()
+            .all(|c| matches!(c, DownloadCapacity::Unlimited))
+    }
+
     /// Blocks already promised to `v` earlier in this tick.
     #[inline]
     pub fn pending(&self, v: NodeId) -> &BlockSet {
@@ -148,13 +194,7 @@ impl<'a> TickPlanner<'a> {
     /// proposed this tick (credit is granted only at the end of an upload,
     /// so in-tick reverse transfers do not offset).
     pub fn effective_net(&self, from: NodeId, to: NodeId) -> i64 {
-        let in_tick = self
-            .bufs
-            .sent_in_tick
-            .get(&(from.raw(), to.raw()))
-            .copied()
-            .unwrap_or(0);
-        self.ledger.net(from, to) + in_tick
+        self.ledger.net(from, to) + self.bufs.sent_in_tick.get(from, to)
     }
 
     /// Whether the mechanism's admission-time credit rule lets `from` send
@@ -271,6 +311,47 @@ impl<'a> TickPlanner<'a> {
         to: NodeId,
         block: BlockId,
     ) -> Result<(), RejectTransferError> {
+        self.bufs.stats.proposals += 1;
+        if let Err(reason) = self.admit(from, to, block) {
+            self.bufs.stats.rejections += 1;
+            return Err(reason);
+        }
+        self.record(from, to, block);
+        Ok(())
+    }
+
+    /// [`propose`](Self::propose) for transfers the caller has already
+    /// verified admissible (e.g. a strategy that just ran the equivalent
+    /// of [`is_admissible_target`](Self::is_admissible_target) plus block
+    /// novelty), skipping the redundant re-validation on the hot path.
+    /// Debug builds still run the full check.
+    pub fn propose_admitted(&mut self, from: NodeId, to: NodeId, block: BlockId) {
+        self.bufs.stats.proposals += 1;
+        debug_assert!(
+            self.admit(from, to, block).is_ok(),
+            "propose_admitted given inadmissible transfer {from}→{to} of {block}: {:?}",
+            self.admit(from, to, block)
+        );
+        self.record(from, to, block);
+    }
+
+    /// Commits an admitted transfer into the tick buffers.
+    fn record(&mut self, from: NodeId, to: NodeId, block: BlockId) {
+        self.bufs.used_up[from.index()] += 1;
+        self.bufs.used_down[to.index()] += 1;
+        if self.bufs.pending[to.index()].is_empty() {
+            self.bufs.dirty.push(to);
+        }
+        self.bufs.pending[to.index()].insert(block);
+        if self.mechanism.uses_ledger() && !from.is_server() && !to.is_server() {
+            self.bufs.sent_in_tick.add(from, to, 1);
+        }
+        self.bufs.transfers.push(Transfer::new(from, to, block));
+    }
+
+    /// All admission-time checks of [`propose`](Self::propose), in order,
+    /// without side effects.
+    fn admit(&self, from: NodeId, to: NodeId, block: BlockId) -> Result<(), RejectTransferError> {
         let n = self.state.node_count();
         if from.index() >= n || to.index() >= n {
             return Err(RejectTransferError::UnknownNode);
@@ -299,21 +380,6 @@ impl<'a> TickPlanner<'a> {
         if !self.credit_allows(from, to) {
             return Err(RejectTransferError::CreditExceeded);
         }
-
-        self.bufs.used_up[from.index()] += 1;
-        self.bufs.used_down[to.index()] += 1;
-        if self.bufs.pending[to.index()].is_empty() {
-            self.bufs.dirty.push(to);
-        }
-        self.bufs.pending[to.index()].insert(block);
-        if self.mechanism.uses_ledger() && !from.is_server() && !to.is_server() {
-            *self
-                .bufs
-                .sent_in_tick
-                .entry((from.raw(), to.raw()))
-                .or_insert(0) += 1;
-        }
-        self.bufs.transfers.push(Transfer::new(from, to, block));
         Ok(())
     }
 
@@ -362,6 +428,7 @@ mod tests {
                 &self.dl_caps,
                 &self.caps,
                 Tick::new(1),
+                &[],
                 &mut self.bufs,
             )
         }
@@ -579,6 +646,34 @@ mod tests {
             );
         }
         assert_eq!(seen.len(), 2, "both equally-rare blocks get chosen");
+    }
+
+    #[test]
+    fn propose_admitted_records_like_propose() {
+        let mut fx = Fixture::new(3, 4);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Unlimited);
+        assert!(p.downloads_unlimited());
+        p.propose_admitted(NodeId::SERVER, NodeId::new(1), BlockId::new(0));
+        assert_eq!(p.proposed().len(), 1);
+        assert_eq!(p.upload_left(NodeId::SERVER), 0);
+        assert!(p.pending(NodeId::new(1)).contains(BlockId::new(0)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inadmissible")]
+    fn propose_admitted_catches_bad_transfer_in_debug() {
+        let mut fx = Fixture::new(3, 4);
+        let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Unlimited);
+        // Sender does not hold block 0 — admissibility is violated.
+        p.propose_admitted(NodeId::new(1), NodeId::new(2), BlockId::new(0));
+    }
+
+    #[test]
+    fn downloads_unlimited_is_false_for_finite_caps() {
+        let mut fx = Fixture::new(3, 4);
+        let p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
+        assert!(!p.downloads_unlimited());
     }
 
     #[test]
