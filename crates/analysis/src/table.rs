@@ -66,6 +66,11 @@ impl Table {
         self.rows.len()
     }
 
+    /// Number of columns (the header width every row must match).
+    pub fn width(&self) -> usize {
+        self.headers.len()
+    }
+
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

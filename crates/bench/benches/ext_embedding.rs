@@ -26,9 +26,9 @@ fn schedule_cost(h: u32, k: usize, emb: &HypercubeEmbedding, costs: &LinkCosts) 
     // Relabel the schedule through the embedding: vertex v ↔ physical node.
     let mut schedule =
         pob_core::schedules::GeneralBinomialPipeline::with_nodes(emb.schedule_nodes());
-    let mut rec = Recorder::new(&mut schedule);
-    let report = Engine::new(SimConfig::new(n, k), &overlay)
-        .run(&mut rec, &mut StdRng::seed_from_u64(0))
+    let mut rec = Recorder::new();
+    let report = Engine::with_sink(SimConfig::new(n, k), &overlay, &mut rec)
+        .run(&mut schedule, &mut StdRng::seed_from_u64(0))
         .expect("embedded binomial pipeline admissible");
     let trace = rec.into_trace();
     let total: f64 = (1..=report.ticks_run)

@@ -19,7 +19,8 @@
 use pob_core::strategies::{BlockSelection, SwarmStrategy};
 use pob_overlay::random_regular;
 use pob_sim::{
-    CompleteOverlay, DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Topology,
+    CompleteOverlay, DownloadCapacity, Engine, Mechanism, RejectTransferError, RunReport,
+    SimConfig, Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +35,7 @@ struct PointResult {
     ticks_per_sec: f64,
     proposals: u64,
     rejections: u64,
+    rejections_by_reason: [u64; RejectTransferError::COUNT],
     completion: Option<u32>,
 }
 
@@ -70,6 +72,7 @@ fn time_point(
         ticks_per_sec: p.ticks_per_sec(),
         proposals: p.proposals,
         rejections: p.rejections,
+        rejections_by_reason: p.rejections_by_reason,
         completion: report.completion_time(),
     }
 }
@@ -129,12 +132,26 @@ fn to_json(mode: &str, results: &[PointResult]) -> String {
         let _ = write!(
             out,
             "}}, \"wall_ms\": {:.3}, \"ticks\": {}, \"ticks_per_sec\": {:.1}, \
-             \"proposals\": {}, \"rejections\": {}, \"completion\": {}}}",
-            r.wall_ms,
-            r.ticks,
-            r.ticks_per_sec,
-            r.proposals,
-            r.rejections,
+             \"proposals\": {}, \"rejections\": {}, ",
+            r.wall_ms, r.ticks, r.ticks_per_sec, r.proposals, r.rejections,
+        );
+        // Per-reason map keeps only nonzero causes so the line stays short.
+        out.push_str("\"rejections_by_reason\": {");
+        let mut first = true;
+        for reason in RejectTransferError::ALL {
+            let count = r.rejections_by_reason[reason.index()];
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{}\": {count}", reason.label());
+        }
+        let _ = write!(
+            out,
+            "}}, \"completion\": {}}}",
             r.completion
                 .map_or_else(|| "null".to_owned(), |t| t.to_string()),
         );
@@ -283,7 +300,16 @@ fn main() {
 
     // Regression gate: ≤ 2× wall-time of the baseline, per figure point.
     if let Ok(baseline_path) = std::env::var("POB_BENCH_BASELINE") {
-        let text = std::fs::read_to_string(&baseline_path).expect("read baseline json");
+        // Relative paths are tried against the bench's own cwd first, then
+        // the repo root (cargo runs benches from the package directory).
+        let text = std::fs::read_to_string(&baseline_path)
+            .or_else(|_| {
+                std::fs::read_to_string(format!(
+                    "{}/../../{baseline_path}",
+                    env!("CARGO_MANIFEST_DIR")
+                ))
+            })
+            .expect("read baseline json");
         let baseline = parse_baseline(&text);
         let mut failed = false;
         for r in &results {

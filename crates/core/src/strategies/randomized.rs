@@ -425,6 +425,13 @@ impl Strategy for SwarmStrategy {
             BlockSelection::RarestFirst => "randomized-swarm(rarest-first)",
         }
     }
+
+    fn span_label(&self) -> String {
+        match self.collisions {
+            CollisionModel::Resolved => self.name().to_owned(),
+            CollisionModel::Simultaneous => format!("{}+simultaneous", self.name()),
+        }
+    }
 }
 
 /// Segment tree of per-client `inventory ∪ pending` intersections.
@@ -951,6 +958,23 @@ mod tests {
         assert_eq!(
             SwarmStrategy::new(BlockSelection::RarestFirst).policy(),
             BlockSelection::RarestFirst
+        );
+    }
+
+    #[test]
+    fn span_label_reflects_collision_model() {
+        use pob_sim::Strategy as _;
+        assert_eq!(
+            SwarmStrategy::new(BlockSelection::Random).span_label(),
+            "randomized-swarm(random)"
+        );
+        assert_eq!(
+            SwarmStrategy::with_collision_model(
+                BlockSelection::RarestFirst,
+                CollisionModel::Simultaneous
+            )
+            .span_label(),
+            "randomized-swarm(rarest-first)+simultaneous"
         );
     }
 }

@@ -237,6 +237,13 @@ impl Strategy for TriangularSwarm {
     fn name(&self) -> &str {
         "triangular-swarm"
     }
+
+    fn span_label(&self) -> String {
+        match self.policy {
+            BlockSelection::Random => "triangular-swarm(random)".to_owned(),
+            BlockSelection::RarestFirst => "triangular-swarm(rarest-first)".to_owned(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +350,15 @@ mod tests {
         assert_eq!(
             TriangularSwarm::new(BlockSelection::Random).policy(),
             BlockSelection::Random
+        );
+    }
+
+    #[test]
+    fn span_label_carries_policy() {
+        use pob_sim::Strategy as _;
+        assert_eq!(
+            TriangularSwarm::new(BlockSelection::RarestFirst).span_label(),
+            "triangular-swarm(rarest-first)"
         );
     }
 

@@ -6,6 +6,7 @@
 //! a block received in tick `t` can first be re-uploaded in tick `t + 1`
 //! (the paper's store-and-forward rule).
 
+use crate::events::{CreditGauges, Event, EventSink, NoopSink, TickMetrics};
 use crate::planner::TickBuffers;
 use crate::{
     CreditLedger, DownloadCapacity, Mechanism, NodeId, RunReport, SimError, SimState, Tick,
@@ -136,6 +137,14 @@ pub trait Strategy {
     fn name(&self) -> &str {
         "strategy"
     }
+
+    /// The label used for the run's event stream and (with the `tracing`
+    /// feature) its spans: the display name plus any configuration worth
+    /// distinguishing runs by. Defaults to [`name`](Self::name); override
+    /// when the strategy has parameters that `name` omits.
+    fn span_label(&self) -> String {
+        self.name().to_owned()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &mut S {
@@ -145,17 +154,93 @@ impl<S: Strategy + ?Sized> Strategy for &mut S {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn span_label(&self) -> String {
+        (**self).span_label()
+    }
+}
+
+/// Incrementally maintained per-tick gauge state. Only allocated (and only
+/// updated) while an enabled [`EventSink`] is attached, so the default
+/// [`NoopSink`] engine never touches it.
+#[derive(Debug, Clone)]
+struct GaugeTracker {
+    /// `hist[f]` = number of blocks held by exactly `f` nodes.
+    hist: Vec<u32>,
+    /// Frequency of the rarest block. Frequencies only grow, so this is a
+    /// monotone pointer advanced amortized-O(1) per tick.
+    min_freq: u32,
+    /// Clients holding the complete file (cumulative).
+    completed_clients: u32,
+    /// The server's upload capacity (utilization denominator).
+    server_cap: u32,
+    /// Sum of all client upload capacities (utilization denominator).
+    client_cap_sum: u64,
+}
+
+impl GaugeTracker {
+    fn new(state: &SimState, upload_caps: &[u32]) -> Self {
+        let mut hist = vec![0u32; state.node_count() + 1];
+        let mut min_freq = u32::MAX;
+        for &f in state.frequencies() {
+            hist[f as usize] += 1;
+            min_freq = min_freq.min(f);
+        }
+        let mut tracker = GaugeTracker {
+            hist,
+            min_freq,
+            completed_clients: (state.node_count() - 1 - state.incomplete_count()) as u32,
+            server_cap: 0,
+            client_cap_sum: 0,
+        };
+        tracker.refresh_capacities(upload_caps);
+        tracker
+    }
+
+    fn refresh_capacities(&mut self, upload_caps: &[u32]) {
+        self.server_cap = upload_caps[NodeId::SERVER.index()];
+        self.client_cap_sum = upload_caps[1..].iter().map(|&c| u64::from(c)).sum();
+    }
+
+    /// Moves one block from frequency `old_freq` to `old_freq + 1`.
+    fn on_delivery(&mut self, old_freq: u32) {
+        self.hist[old_freq as usize] -= 1;
+        self.hist[old_freq as usize + 1] += 1;
+    }
+
+    /// Re-establishes `min_freq` after a tick's deliveries.
+    fn advance_min(&mut self) {
+        while (self.min_freq as usize) < self.hist.len() && self.hist[self.min_freq as usize] == 0 {
+            self.min_freq += 1;
+        }
+    }
+
+    /// The non-empty `(frequency, block count)` buckets in ascending order.
+    fn sparse_hist(&self) -> Vec<(u32, u32)> {
+        self.hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(f, &c)| (f as u32, c))
+            .collect()
+    }
 }
 
 /// The synchronous simulation engine.
 ///
 /// Owns the run state; borrow the overlay. One engine executes one run.
 ///
+/// The engine is monomorphized over its [`EventSink`]: the default
+/// [`NoopSink`] reports [`enabled() == false`](EventSink::enabled), which
+/// compiles the whole observability layer out of the hot path. Attach a
+/// real sink with [`Engine::with_sink`] to receive the typed event stream
+/// (see [`events`](crate::events)).
+///
 /// # Examples
 ///
-/// See [`RunReport`] for a complete end-to-end example.
+/// See [`RunReport`] for a complete end-to-end example and
+/// [`events`](crate::events) for an observed run.
 #[derive(Debug)]
-pub struct Engine<'a> {
+pub struct Engine<'a, E: EventSink = NoopSink> {
     config: SimConfig,
     topology: &'a dyn Topology,
     state: SimState,
@@ -172,15 +257,38 @@ pub struct Engine<'a> {
     server_uploads: u64,
     per_tick: Option<Vec<u32>>,
     wall_nanos: u64,
+    sink: E,
+    // Lazily initialized on the first observed step; stays `None` for
+    // disabled sinks.
+    gauges: Option<GaugeTracker>,
+    run_started: bool,
+    run_ended: bool,
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine for the given configuration and overlay.
+    /// Creates an engine for the given configuration and overlay, with
+    /// observability disabled ([`NoopSink`]).
     ///
     /// # Panics
     ///
     /// Panics if the overlay's node count differs from `config.nodes`.
     pub fn new(config: SimConfig, topology: &'a dyn Topology) -> Self {
+        Engine::with_sink(config, topology, NoopSink)
+    }
+}
+
+impl<'a, E: EventSink> Engine<'a, E> {
+    /// Creates an engine that emits its run into `sink`.
+    ///
+    /// Pass `&mut sink` to keep access to the sink after
+    /// [`run`](Self::run) consumes the engine (every `&mut S` is itself a
+    /// sink); pass by value and recover it later with
+    /// [`into_sink`](Self::into_sink) when stepping manually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay's node count differs from `config.nodes`.
+    pub fn with_sink(config: SimConfig, topology: &'a dyn Topology, sink: E) -> Self {
         assert_eq!(
             topology.node_count(),
             config.nodes,
@@ -204,7 +312,17 @@ impl<'a> Engine<'a> {
             server_uploads: 0,
             per_tick: config.record_tick_stats.then(Vec::new),
             wall_nanos: 0,
+            sink,
+            gauges: None,
+            run_started: false,
+            run_ended: false,
         }
+    }
+
+    /// Consumes the engine and returns its sink (e.g. to flush a
+    /// [`JsonlSink`](crate::events::JsonlSink) after manual stepping).
+    pub fn into_sink(self) -> E {
+        self.sink
     }
 
     /// The engine's configuration.
@@ -275,6 +393,9 @@ impl<'a> Engine<'a> {
             "capacity vector length mismatch"
         );
         self.upload_caps = caps;
+        if let Some(g) = self.gauges.as_mut() {
+            g.refresh_capacities(&self.upload_caps);
+        }
     }
 
     /// Overrides individual download capacities (heterogeneous client
@@ -331,16 +452,43 @@ impl<'a> Engine<'a> {
         rng: &mut StdRng,
     ) -> Result<bool, SimError> {
         if self.state.all_complete() || self.tick.get() >= self.config.max_ticks {
+            self.finish_events();
             return Ok(false);
+        }
+        // With the default `NoopSink` this is a compile-time `false` and
+        // every `if observing` block below vanishes.
+        let observing = self.sink.enabled();
+        if observing && !self.run_started {
+            self.run_started = true;
+            self.sink.on_event(&Event::RunStart {
+                nodes: self.config.nodes,
+                blocks: self.config.blocks,
+                mechanism: self.config.mechanism,
+                strategy: strategy.span_label(),
+                server_upload_capacity: self.config.server_upload_capacity,
+                client_upload_capacity: self.config.client_upload_capacity,
+                max_ticks: self.config.max_ticks,
+            });
+            self.gauges = Some(GaugeTracker::new(&self.state, &self.upload_caps));
         }
         let started = std::time::Instant::now();
         self.tick = self.tick.next();
         let tick = self.tick;
+        if observing {
+            self.sink.on_event(&Event::TickStart { tick });
+        }
         // Keep the last committed tick as the planner-visible delta; the
         // swapped-in old delta buffer is cleared by `reset` and refilled.
         std::mem::swap(&mut self.prev_transfers, &mut self.bufs.transfers);
         self.bufs.reset();
+        let rejections_before = self.bufs.stats.rejections;
+        let plan_started = observing.then(std::time::Instant::now);
         {
+            let sink: Option<&mut (dyn EventSink + '_)> = if observing {
+                Some(&mut self.sink)
+            } else {
+                None
+            };
             let mut planner = TickPlanner::new(
                 &self.state,
                 self.topology,
@@ -351,9 +499,13 @@ impl<'a> Engine<'a> {
                 tick,
                 &self.prev_transfers,
                 &mut self.bufs,
+                sink,
             );
             strategy.on_tick(&mut planner, rng)?;
         }
+        let plan_nanos = plan_started.map_or(0, |t| {
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        });
         // Commit phase: validate the whole tick, settle the credit ledger,
         // then deliver.
         self.config
@@ -361,17 +513,92 @@ impl<'a> Engine<'a> {
             .settle_tick(&self.bufs.transfers, &mut self.ledger, tick)?;
         let count = self.bufs.transfers.len() as u32;
         for t in &self.bufs.transfers {
-            self.state.deliver(t.to, t.block, tick);
+            if observing {
+                if let Some(g) = self.gauges.as_mut() {
+                    g.on_delivery(self.state.frequency(t.block));
+                }
+                self.sink.on_event(&Event::Delivery { tick, transfer: *t });
+            }
+            let newly_complete = self.state.deliver(t.to, t.block, tick);
             self.total_uploads += 1;
             if t.from.is_server() {
                 self.server_uploads += 1;
+            }
+            if observing && newly_complete {
+                if let Some(g) = self.gauges.as_mut() {
+                    g.completed_clients += 1;
+                }
+                self.sink
+                    .on_event(&Event::NodeComplete { tick, node: t.to });
             }
         }
         if let Some(v) = self.per_tick.as_mut() {
             v.push(count);
         }
+        if observing {
+            self.emit_tick_end(tick, count, rejections_before, plan_nanos);
+        }
         self.wall_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        Ok(!self.state.all_complete() && self.tick.get() < self.config.max_ticks)
+        let more = !self.state.all_complete() && self.tick.get() < self.config.max_ticks;
+        if !more {
+            self.finish_events();
+        }
+        Ok(more)
+    }
+
+    /// Assembles and emits the [`Event::TickEnd`] gauges for one tick.
+    fn emit_tick_end(
+        &mut self,
+        tick: Tick,
+        transfers: u32,
+        rejections_before: u64,
+        plan_nanos: u64,
+    ) {
+        let Some(g) = self.gauges.as_mut() else {
+            return;
+        };
+        g.advance_min();
+        let server_transfers = self
+            .bufs
+            .transfers
+            .iter()
+            .filter(|t| t.from.is_server())
+            .count() as u32;
+        let credit = self.config.mechanism.uses_ledger().then(|| CreditGauges {
+            imbalanced_pairs: self.ledger.imbalanced_pairs() as u64,
+            total_abs_credit: self.ledger.total_abs_net(),
+            max_abs_credit: self.ledger.max_abs_net().unsigned_abs(),
+        });
+        let metrics = TickMetrics {
+            tick,
+            transfers,
+            server_transfers,
+            rejections: u32::try_from(self.bufs.stats.rejections - rejections_before)
+                .unwrap_or(u32::MAX),
+            completed_clients: g.completed_clients,
+            min_rarity: g.min_freq,
+            rarity_hist: g.sparse_hist(),
+            server_utilization: f64::from(server_transfers) / f64::from(g.server_cap.max(1)),
+            client_utilization: f64::from(transfers - server_transfers)
+                / (g.client_cap_sum.max(1) as f64),
+            plan_nanos,
+            credit,
+        };
+        self.sink.on_event(&Event::TickEnd { metrics });
+    }
+
+    /// Emits [`Event::RunEnd`] exactly once, when an observed run stops
+    /// (completion or tick cap; not on a [`SimError`] abort).
+    fn finish_events(&mut self) {
+        if self.run_started && !self.run_ended && self.sink.enabled() {
+            self.run_ended = true;
+            self.sink.on_event(&Event::RunEnd {
+                ticks: self.tick.get(),
+                completed: self.state.all_complete(),
+                total_uploads: self.total_uploads,
+                server_uploads: self.server_uploads,
+            });
+        }
     }
 
     /// Produces the report for the run so far (typically called once the
@@ -392,6 +619,7 @@ impl<'a> Engine<'a> {
                 ticks: self.tick.get(),
                 proposals: self.bufs.stats.proposals,
                 rejections: self.bufs.stats.rejections,
+                rejections_by_reason: self.bufs.stats.rejections_by_reason,
                 wall_nanos: self.wall_nanos,
             },
         }
@@ -886,6 +1114,177 @@ mod tests {
         let overlay = CompleteOverlay::new(3);
         let mut engine = Engine::new(SimConfig::new(3, 1), &overlay);
         engine.set_upload_capacities(vec![1, 1]);
+    }
+
+    /// Buffers every event, for assertions.
+    #[derive(Default)]
+    struct VecSink(Vec<Event>);
+    impl crate::events::EventSink for VecSink {
+        fn on_event(&mut self, e: &Event) {
+            self.0.push(e.clone());
+        }
+    }
+
+    #[test]
+    fn observed_run_emits_consistent_event_stream() {
+        use crate::events::Event;
+        let overlay = CompleteOverlay::new(4);
+        let mut sink = VecSink::default();
+        let report = Engine::with_sink(SimConfig::new(4, 5), &overlay, &mut sink)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let events = &sink.0;
+        assert!(matches!(events.first(), Some(Event::RunStart { .. })));
+        assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+        let deliveries = events
+            .iter()
+            .filter(|e| matches!(e, Event::Delivery { .. }))
+            .count() as u64;
+        assert_eq!(deliveries, report.total_uploads);
+        let completions = events
+            .iter()
+            .filter(|e| matches!(e, Event::NodeComplete { .. }))
+            .count();
+        assert_eq!(completions, 3, "every client completes exactly once");
+        let tick_ends: Vec<&TickMetrics> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::TickEnd { metrics } => Some(metrics),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tick_ends.len() as u32, report.ticks_run);
+        let last = tick_ends.last().unwrap();
+        assert_eq!(last.completed_clients, 3);
+        assert_eq!(
+            last.min_rarity, 4,
+            "at completion every block is held by all 4 nodes"
+        );
+        assert_eq!(last.rarity_hist, vec![(4, 5)]);
+        assert!(
+            last.credit.is_none(),
+            "cooperative runs have no credit gauges"
+        );
+        // One server upload per tick against unit capacity.
+        assert!(tick_ends
+            .iter()
+            .all(|m| (m.server_utilization - 1.0).abs() < 1e-12));
+        let tick_transfer_sum: u64 = tick_ends.iter().map(|m| u64::from(m.transfers)).sum();
+        assert_eq!(tick_transfer_sum, report.total_uploads);
+        match events.last().unwrap() {
+            Event::RunEnd {
+                ticks,
+                completed,
+                total_uploads,
+                server_uploads,
+            } => {
+                assert_eq!(*ticks, report.ticks_run);
+                assert!(*completed);
+                assert_eq!(*total_uploads, report.total_uploads);
+                assert_eq!(*server_uploads, report.server_uploads);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let overlay = CompleteOverlay::new(4);
+        let plain = Engine::new(SimConfig::new(4, 5), &overlay)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let mut sink = VecSink::default();
+        let observed = Engine::with_sink(SimConfig::new(4, 5), &overlay, &mut sink)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(plain, observed, "observation must not perturb the run");
+        assert_eq!(
+            plain.perf.rejections_by_reason,
+            observed.perf.rejections_by_reason
+        );
+    }
+
+    #[test]
+    fn run_end_emitted_once_under_repeated_stepping() {
+        use crate::events::Event;
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::with_sink(SimConfig::new(3, 2), &overlay, VecSink::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        while engine.step(&mut NaiveServerPush, &mut rng).unwrap() {}
+        assert!(!engine.step(&mut NaiveServerPush, &mut rng).unwrap());
+        assert!(!engine.step(&mut NaiveServerPush, &mut rng).unwrap());
+        let events = engine.into_sink().0;
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::RunEnd { .. }))
+            .count();
+        assert_eq!(ends, 1);
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::RunStart { .. }))
+            .count();
+        assert_eq!(starts, 1);
+    }
+
+    #[test]
+    fn credit_gauges_reported_for_barter_runs() {
+        use crate::events::Event;
+        let overlay = CompleteOverlay::new(4);
+        let cfg = SimConfig::new(4, 3).with_mechanism(Mechanism::CreditLimited { credit: 1 });
+        let mut sink = VecSink::default();
+        // NaiveServerPush never trades client-to-client, so balances stay
+        // zero — but the gauges must still be present (Some) every tick.
+        Engine::with_sink(cfg, &overlay, &mut sink)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let gauges: Vec<_> = sink
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                Event::TickEnd { metrics } => Some(metrics.credit),
+                _ => None,
+            })
+            .collect();
+        assert!(!gauges.is_empty());
+        assert!(gauges.iter().all(|c| c.is_some()));
+    }
+
+    #[test]
+    fn per_reason_counters_surface_in_report() {
+        struct OverPush;
+        impl Strategy for OverPush {
+            fn on_tick(
+                &mut self,
+                p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                // Two proposals per tick against server capacity 1: the
+                // second always dies with NoUploadCapacity.
+                for c in [1u32, 2] {
+                    let v = NodeId::new(c);
+                    if !p.can_download(v) {
+                        continue;
+                    }
+                    let inv = p.state().inventory(NodeId::SERVER);
+                    if let Some(b) = inv.highest_not_in(p.state().inventory(v)) {
+                        let _ = p.propose(NodeId::SERVER, v, b);
+                    }
+                }
+                Ok(())
+            }
+        }
+        let overlay = CompleteOverlay::new(3);
+        let report = Engine::new(SimConfig::new(3, 2), &overlay)
+            .run(&mut OverPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let by_reason = report.perf.rejections_by_reason;
+        assert_eq!(by_reason.iter().sum::<u64>(), report.perf.rejections);
+        assert!(report.perf.rejections > 0);
+        assert_eq!(
+            by_reason[RejectTransferError::NoUploadCapacity.index()],
+            report.perf.rejections,
+            "all rejections here are capacity rejections"
+        );
     }
 
     #[test]

@@ -32,6 +32,60 @@ pub enum RejectTransferError {
     UnknownNode,
 }
 
+impl RejectTransferError {
+    /// Number of distinct rejection reasons (the length of [`ALL`]).
+    ///
+    /// [`ALL`]: Self::ALL
+    pub const COUNT: usize = 9;
+
+    /// Every rejection reason, in declaration order. The position of a
+    /// reason in this array equals [`index`](Self::index), so per-reason
+    /// counters (e.g. [`PerfCounters::rejections_by_reason`]) can be
+    /// zipped against it.
+    ///
+    /// [`PerfCounters::rejections_by_reason`]: crate::PerfCounters::rejections_by_reason
+    pub const ALL: [RejectTransferError; Self::COUNT] = [
+        RejectTransferError::SelfTransfer,
+        RejectTransferError::SenderMissingBlock,
+        RejectTransferError::ReceiverHasBlock,
+        RejectTransferError::BlockAlreadyPending,
+        RejectTransferError::NoUploadCapacity,
+        RejectTransferError::NoDownloadCapacity,
+        RejectTransferError::NotNeighbors,
+        RejectTransferError::CreditExceeded,
+        RejectTransferError::UnknownNode,
+    ];
+
+    /// A dense index in `0..COUNT`, stable across a process (declaration
+    /// order). Used by per-reason counters.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// A short kebab-case identifier, stable across releases — this is the
+    /// spelling used in the `pob-events/1` NDJSON schema and in
+    /// `BENCH_*.json` rejection breakdowns.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RejectTransferError::SelfTransfer => "self-transfer",
+            RejectTransferError::SenderMissingBlock => "sender-missing-block",
+            RejectTransferError::ReceiverHasBlock => "receiver-has-block",
+            RejectTransferError::BlockAlreadyPending => "block-already-pending",
+            RejectTransferError::NoUploadCapacity => "no-upload-capacity",
+            RejectTransferError::NoDownloadCapacity => "no-download-capacity",
+            RejectTransferError::NotNeighbors => "not-neighbors",
+            RejectTransferError::CreditExceeded => "credit-exceeded",
+            RejectTransferError::UnknownNode => "unknown-node",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back into the reason.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|r| r.label() == label)
+    }
+}
+
 impl fmt::Display for RejectTransferError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let msg = match self {
@@ -205,6 +259,23 @@ mod tests {
         assert_send_sync::<SimError>();
         assert_send_sync::<RejectTransferError>();
         assert_send_sync::<MechanismViolation>();
+    }
+
+    #[test]
+    fn reason_indices_are_dense_and_labels_roundtrip() {
+        for (i, r) in RejectTransferError::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i, "ALL must be in index order");
+            assert_eq!(RejectTransferError::from_label(r.label()), Some(r));
+            assert!(
+                r.label()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "labels are kebab-case: {}",
+                r.label()
+            );
+        }
+        assert_eq!(RejectTransferError::ALL.len(), RejectTransferError::COUNT);
+        assert_eq!(RejectTransferError::from_label("warp-failure"), None);
     }
 
     #[test]

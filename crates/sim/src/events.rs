@@ -1,0 +1,1240 @@
+//! Engine-level observability: a typed event stream plus per-tick gauges.
+//!
+//! The paper's evaluation (§4–§6) reasons about *why* runs finish when
+//! they do — how block rarity flattens under Rarest-First, how upload
+//! utilization evolves, where credit limits stall a swarm. End-of-run
+//! aggregates cannot answer those questions, so the engine emits a typed
+//! event stream into an [`EventSink`] as it runs:
+//!
+//! * [`Event::RunStart`] / [`Event::RunEnd`] bracket the run,
+//! * [`Event::TickStart`] / [`Event::TickEnd`] bracket each tick, the
+//!   latter carrying the [`TickMetrics`] gauges,
+//! * [`Event::Delivery`], [`Event::NodeComplete`] and
+//!   [`Event::ProposalRejected`] record the per-transfer state changes
+//!   (the rejection events carry the full
+//!   [`RejectTransferError`] taxonomy).
+//!
+//! # Cost model
+//!
+//! The default sink is [`NoopSink`], whose [`EventSink::enabled`] returns
+//! `false`. The engine is monomorphized over the sink type, so with the
+//! default every emission site — including the gauge bookkeeping — is
+//! statically dead and the PR 1 hot path is unchanged (guarded by the
+//! golden-seed test and the perf bench gate). Observability is only paid
+//! for when a real sink is attached via
+//! [`Engine::with_sink`](crate::Engine::with_sink).
+//!
+//! # The `pob-events/1` NDJSON schema
+//!
+//! [`JsonlSink`] streams events as newline-delimited JSON, one object per
+//! line, each carrying an `"event"` discriminator. The first line is the
+//! `run-start` record and additionally carries
+//! `"schema":"pob-events/1"`. The stream is self-contained: a consumer
+//! can re-derive the completion time, per-reason rejection totals, and
+//! the final rarity histogram from it (see [`EventLog`]), which is how
+//! `pob inspect` works.
+//!
+//! Serialization is hand-rolled (the `sim` crate stays dependency-free);
+//! with the `serde` feature the event types additionally derive
+//! `Serialize`/`Deserialize` for embedding in larger reports.
+//!
+//! ## Schema versioning rules
+//!
+//! The schema name is [`SCHEMA`] (`pob-events/1`). Bump the suffix when a
+//! change would mis-parse an existing consumer:
+//!
+//! * **No bump needed:** adding a *new* event type, or adding fields to
+//!   an existing record — consumers must ignore unknown lines and keys.
+//! * **Bump required:** renaming/removing a field or event, changing a
+//!   field's type or units (e.g. `plan_nanos` → micros), or changing the
+//!   meaning of an existing gauge.
+//! * A writer must emit exactly one schema declaration, on the first
+//!   line; [`EventLog::parse`] rejects streams whose declared major
+//!   version it does not understand.
+//!
+//! # Example
+//!
+//! ```
+//! use pob_sim::events::{Event, EventSink};
+//! use pob_sim::{CompleteOverlay, Engine, SimConfig};
+//!
+//! /// Counts deliveries as they are committed.
+//! #[derive(Default)]
+//! struct CountSink(u64);
+//! impl EventSink for CountSink {
+//!     fn on_event(&mut self, event: &Event) {
+//!         if matches!(event, Event::Delivery { .. }) {
+//!             self.0 += 1;
+//!         }
+//!     }
+//! }
+//!
+//! # use pob_sim::{NodeId, SimError, Strategy, TickPlanner};
+//! # struct ServerPush;
+//! # impl Strategy for ServerPush {
+//! #     fn on_tick(&mut self, p: &mut TickPlanner<'_>, _rng: &mut rand::rngs::StdRng) -> Result<(), SimError> {
+//! #         for c in 1..p.node_count() {
+//! #             let v = NodeId::from_index(c);
+//! #             if p.upload_left(NodeId::SERVER) == 0 { break; }
+//! #             if !p.can_download(v) { continue; }
+//! #             let inv = p.state().inventory(NodeId::SERVER);
+//! #             if let Some(b) = inv.highest_not_in(p.state().inventory(v)) {
+//! #                 let _ = p.propose(NodeId::SERVER, v, b);
+//! #             }
+//! #         }
+//! #         Ok(())
+//! #     }
+//! # }
+//! let overlay = CompleteOverlay::new(3);
+//! let mut sink = CountSink::default();
+//! let report = Engine::with_sink(SimConfig::new(3, 2), &overlay, &mut sink)
+//!     .run(&mut ServerPush, &mut rand::SeedableRng::seed_from_u64(0))?;
+//! assert_eq!(sink.0, report.total_uploads);
+//! # Ok::<(), pob_sim::SimError>(())
+//! ```
+
+use crate::{BlockId, Mechanism, NodeId, RejectTransferError, Tick, Transfer};
+use json::FieldAccess as _;
+use std::fmt::Write as _;
+use std::io;
+
+/// The NDJSON schema identifier emitted by [`JsonlSink`] and required by
+/// [`EventLog::parse`]. See the module docs for versioning rules.
+pub const SCHEMA: &str = "pob-events/1";
+
+/// A consumer of engine events.
+///
+/// Implementations should be cheap: the engine calls
+/// [`on_event`](Self::on_event) synchronously from the simulation loop.
+/// Return `false` from [`enabled`](Self::enabled) to tell the engine to
+/// skip event construction *and* gauge bookkeeping entirely — with a
+/// monomorphized sink (the default [`NoopSink`]) the compiler removes
+/// the instrumentation altogether.
+pub trait EventSink {
+    /// Whether the engine should emit events at all. Checked once per
+    /// step; constant-`false` implementations compile the instrumentation
+    /// out.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event)
+    }
+}
+
+/// The default sink: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// Fan-out sink: forwards every event to both inner sinks.
+///
+/// Used by `pob trace --events <path>` to capture an NDJSON stream and a
+/// [`Recorder`](crate::trace::Recorder) trace in one run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+    fn on_event(&mut self, event: &Event) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+/// Outstanding-credit gauges for barter mechanisms, sampled at the end of
+/// a tick (after settlement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CreditGauges {
+    /// Client pairs with a non-zero pairwise balance.
+    pub imbalanced_pairs: u64,
+    /// Sum of absolute pairwise balances (total outstanding credit).
+    pub total_abs_credit: u64,
+    /// Largest absolute pairwise balance.
+    pub max_abs_credit: u64,
+}
+
+/// Per-tick gauges, computed incrementally while a sink is attached.
+///
+/// `rarity` here is the paper's block *frequency*: the number of nodes
+/// (server included) holding a block. `min_rarity` is the frequency of
+/// the rarest block — the quantity Rarest-First is designed to lift, and
+/// the one whose flattening explains Figure 7.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TickMetrics {
+    /// The tick these gauges describe.
+    pub tick: Tick,
+    /// Transfers committed this tick.
+    pub transfers: u32,
+    /// Transfers uploaded by the server this tick.
+    pub server_transfers: u32,
+    /// Proposals rejected during this tick's planning.
+    pub rejections: u32,
+    /// Clients holding the complete file at the end of this tick
+    /// (cumulative).
+    pub completed_clients: u32,
+    /// Frequency of the rarest block at the end of this tick.
+    pub min_rarity: u32,
+    /// Sparse block-rarity histogram: `(frequency, block count)` pairs in
+    /// ascending frequency order, omitting empty buckets.
+    pub rarity_hist: Vec<(u32, u32)>,
+    /// Fraction of the server's upload capacity used this tick.
+    pub server_utilization: f64,
+    /// Fraction of the total client upload capacity used this tick. The
+    /// denominator counts *all* clients (the paper's utilization notion);
+    /// early ticks are low simply because most clients hold nothing yet.
+    pub client_utilization: f64,
+    /// Wall-clock nanoseconds spent inside the strategy's `on_tick` for
+    /// this tick (only measured while a sink is attached).
+    pub plan_nanos: u64,
+    /// Credit-ledger gauges; `None` under the cooperative mechanism.
+    pub credit: Option<CreditGauges>,
+}
+
+/// One engine event. Owned (no borrows) so sinks can buffer or ship them
+/// across threads, and so parsed streams compare equal to emitted ones.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Event {
+    /// Emitted once, before the first planned tick.
+    RunStart {
+        /// Number of nodes, including the server.
+        nodes: usize,
+        /// Number of file blocks `k`.
+        blocks: usize,
+        /// The barter mechanism enforced by the run.
+        mechanism: Mechanism,
+        /// The driving strategy's display name.
+        strategy: String,
+        /// Server upload capacity per tick.
+        server_upload_capacity: u32,
+        /// Client upload capacity per tick.
+        client_upload_capacity: u32,
+        /// The configured tick cap.
+        max_ticks: u32,
+    },
+    /// A new tick is about to be planned.
+    TickStart {
+        /// The 1-based tick.
+        tick: Tick,
+    },
+    /// The planner rejected a proposed transfer.
+    ProposalRejected {
+        /// The tick in which the proposal was made.
+        tick: Tick,
+        /// The rejected transfer.
+        transfer: Transfer,
+        /// The first violated constraint.
+        reason: RejectTransferError,
+    },
+    /// A block was committed and delivered at the end of a tick.
+    Delivery {
+        /// The tick that delivered the block.
+        tick: Tick,
+        /// The committed transfer.
+        transfer: Transfer,
+    },
+    /// A client received its last missing block.
+    NodeComplete {
+        /// The tick of completion.
+        tick: Tick,
+        /// The newly complete client.
+        node: NodeId,
+    },
+    /// A tick was committed; carries the per-tick gauges.
+    TickEnd {
+        /// The gauges of the finished tick.
+        metrics: TickMetrics,
+    },
+    /// The run ended (completion or tick cap). Not emitted when the run
+    /// aborts with a [`SimError`](crate::SimError).
+    RunEnd {
+        /// Ticks simulated.
+        ticks: u32,
+        /// Whether every client completed.
+        completed: bool,
+        /// Total committed transfers.
+        total_uploads: u64,
+        /// Transfers uploaded by the server.
+        server_uploads: u64,
+    },
+}
+
+impl Event {
+    /// The `"event"` discriminator used in the NDJSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run-start",
+            Event::TickStart { .. } => "tick-start",
+            Event::ProposalRejected { .. } => "proposal-rejected",
+            Event::Delivery { .. } => "delivery",
+            Event::NodeComplete { .. } => "node-complete",
+            Event::TickEnd { .. } => "tick-end",
+            Event::RunEnd { .. } => "run-end",
+        }
+    }
+
+    /// Encodes the event as one `pob-events/1` NDJSON line (no trailing
+    /// newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"event\":\"");
+        s.push_str(self.kind());
+        s.push('"');
+        match self {
+            Event::RunStart {
+                nodes,
+                blocks,
+                mechanism,
+                strategy,
+                server_upload_capacity,
+                client_upload_capacity,
+                max_ticks,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"schema\":\"{SCHEMA}\",\"nodes\":{nodes},\"blocks\":{blocks},\
+                     \"mechanism\":\"{}\",\"strategy\":\"{}\",\
+                     \"server_upload_capacity\":{server_upload_capacity},\
+                     \"client_upload_capacity\":{client_upload_capacity},\
+                     \"max_ticks\":{max_ticks}",
+                    mechanism.label(),
+                    json_escape(strategy),
+                );
+            }
+            Event::TickStart { tick } => {
+                let _ = write!(s, ",\"tick\":{}", tick.get());
+            }
+            Event::ProposalRejected {
+                tick,
+                transfer,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"tick\":{},\"from\":{},\"to\":{},\"block\":{},\"reason\":\"{}\"",
+                    tick.get(),
+                    transfer.from.raw(),
+                    transfer.to.raw(),
+                    transfer.block.raw(),
+                    reason.label(),
+                );
+            }
+            Event::Delivery { tick, transfer } => {
+                let _ = write!(
+                    s,
+                    ",\"tick\":{},\"from\":{},\"to\":{},\"block\":{}",
+                    tick.get(),
+                    transfer.from.raw(),
+                    transfer.to.raw(),
+                    transfer.block.raw(),
+                );
+            }
+            Event::NodeComplete { tick, node } => {
+                let _ = write!(s, ",\"tick\":{},\"node\":{}", tick.get(), node.raw());
+            }
+            Event::TickEnd { metrics: m } => {
+                let _ = write!(
+                    s,
+                    ",\"tick\":{},\"transfers\":{},\"server_transfers\":{},\
+                     \"rejections\":{},\"completed_clients\":{},\"min_rarity\":{}",
+                    m.tick.get(),
+                    m.transfers,
+                    m.server_transfers,
+                    m.rejections,
+                    m.completed_clients,
+                    m.min_rarity,
+                );
+                s.push_str(",\"rarity_hist\":[");
+                for (i, (f, c)) in m.rarity_hist.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "[{f},{c}]");
+                }
+                // `{:?}` prints f64 with a round-trippable decimal form
+                // that is also valid JSON (always contains `.` or `e`).
+                let _ = write!(
+                    s,
+                    "],\"server_utilization\":{:?},\"client_utilization\":{:?},\"plan_nanos\":{}",
+                    m.server_utilization, m.client_utilization, m.plan_nanos,
+                );
+                match &m.credit {
+                    None => s.push_str(",\"credit\":null"),
+                    Some(c) => {
+                        let _ = write!(
+                            s,
+                            ",\"credit\":{{\"imbalanced_pairs\":{},\"total_abs_credit\":{},\
+                             \"max_abs_credit\":{}}}",
+                            c.imbalanced_pairs, c.total_abs_credit, c.max_abs_credit,
+                        );
+                    }
+                }
+            }
+            Event::RunEnd {
+                ticks,
+                completed,
+                total_uploads,
+                server_uploads,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ticks\":{ticks},\"completed\":{completed},\
+                     \"total_uploads\":{total_uploads},\"server_uploads\":{server_uploads}",
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one NDJSON line produced by [`to_json_line`]
+    /// (field order is irrelevant; unknown keys are ignored).
+    ///
+    /// [`to_json_line`]: Self::to_json_line
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax or schema
+    /// problem.
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        let v = json::parse(line)?;
+        let obj = v.as_object().ok_or("event line must be a JSON object")?;
+        let kind = obj.str("event")?;
+        let tick = |o: &json::Object| -> Result<Tick, String> { Ok(Tick::new(o.u32("tick")?)) };
+        let transfer = |o: &json::Object| -> Result<Transfer, String> {
+            Ok(Transfer::new(
+                NodeId::new(o.u32("from")?),
+                NodeId::new(o.u32("to")?),
+                BlockId::new(o.u32("block")?),
+            ))
+        };
+        match kind {
+            "run-start" => {
+                let schema = obj.str("schema")?;
+                if schema != SCHEMA {
+                    return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+                }
+                let label = obj.str("mechanism")?;
+                Ok(Event::RunStart {
+                    nodes: obj.u32("nodes")? as usize,
+                    blocks: obj.u32("blocks")? as usize,
+                    mechanism: Mechanism::parse_label(label)
+                        .ok_or_else(|| format!("unknown mechanism label '{label}'"))?,
+                    strategy: obj.str("strategy")?.to_owned(),
+                    server_upload_capacity: obj.u32("server_upload_capacity")?,
+                    client_upload_capacity: obj.u32("client_upload_capacity")?,
+                    max_ticks: obj.u32("max_ticks")?,
+                })
+            }
+            "tick-start" => Ok(Event::TickStart { tick: tick(obj)? }),
+            "proposal-rejected" => {
+                let label = obj.str("reason")?;
+                Ok(Event::ProposalRejected {
+                    tick: tick(obj)?,
+                    transfer: transfer(obj)?,
+                    reason: RejectTransferError::from_label(label)
+                        .ok_or_else(|| format!("unknown rejection reason '{label}'"))?,
+                })
+            }
+            "delivery" => Ok(Event::Delivery {
+                tick: tick(obj)?,
+                transfer: transfer(obj)?,
+            }),
+            "node-complete" => Ok(Event::NodeComplete {
+                tick: tick(obj)?,
+                node: NodeId::new(obj.u32("node")?),
+            }),
+            "tick-end" => {
+                let hist = obj.field("rarity_hist")?;
+                let hist = hist
+                    .as_array()
+                    .ok_or("rarity_hist must be an array")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_array().ok_or("rarity_hist entries are pairs")?;
+                        match pair {
+                            [f, c] => Ok((
+                                f.as_u64().ok_or("bad frequency")? as u32,
+                                c.as_u64().ok_or("bad count")? as u32,
+                            )),
+                            _ => Err("rarity_hist entries are pairs".to_owned()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let credit = match obj.field("credit")? {
+                    json::Value::Null => None,
+                    v => {
+                        let c = v.as_object().ok_or("credit must be an object or null")?;
+                        Some(CreditGauges {
+                            imbalanced_pairs: c.u64("imbalanced_pairs")?,
+                            total_abs_credit: c.u64("total_abs_credit")?,
+                            max_abs_credit: c.u64("max_abs_credit")?,
+                        })
+                    }
+                };
+                Ok(Event::TickEnd {
+                    metrics: TickMetrics {
+                        tick: tick(obj)?,
+                        transfers: obj.u32("transfers")?,
+                        server_transfers: obj.u32("server_transfers")?,
+                        rejections: obj.u32("rejections")?,
+                        completed_clients: obj.u32("completed_clients")?,
+                        min_rarity: obj.u32("min_rarity")?,
+                        rarity_hist: hist,
+                        server_utilization: obj.f64("server_utilization")?,
+                        client_utilization: obj.f64("client_utilization")?,
+                        plan_nanos: obj.u64("plan_nanos")?,
+                        credit,
+                    },
+                })
+            }
+            "run-end" => Ok(Event::RunEnd {
+                ticks: obj.u32("ticks")?,
+                completed: obj.bool("completed")?,
+                total_uploads: obj.u64("total_uploads")?,
+                server_uploads: obj.u64("server_uploads")?,
+            }),
+            other => Err(format!("unknown event kind '{other}'")),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Streams events as `pob-events/1` NDJSON into any writer.
+///
+/// Each event becomes one line; errors from the underlying writer are
+/// deferred (the simulation is never interrupted by a full disk) and
+/// surfaced by [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wraps a writer. Wrap files in a `BufWriter` — the sink writes one
+    /// small line per event.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, error: None }
+    }
+
+    /// Flushes and returns the writer, surfacing any deferred I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit while writing or flushing.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: io::Write> EventSink for JsonlSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json_line();
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// A fully parsed event stream with the derivations `pob inspect` and the
+/// schema tests need.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventLog {
+    /// The events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Parses a complete NDJSON stream (blank lines ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and description of the first bad
+    /// line, or a schema mismatch from the `run-start` record.
+    pub fn parse(stream: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (i, line) in stream.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = Event::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            events.push(event);
+        }
+        Ok(EventLog { events })
+    }
+
+    /// The `run-start` record, if present.
+    pub fn run_start(&self) -> Option<&Event> {
+        self.events
+            .iter()
+            .find(|e| matches!(e, Event::RunStart { .. }))
+    }
+
+    /// The tick at which the last client completed, derived from the
+    /// `run-end` record (`None` for capped or truncated streams).
+    pub fn completion_time(&self) -> Option<u32> {
+        self.events.iter().rev().find_map(|e| match e {
+            Event::RunEnd {
+                ticks,
+                completed: true,
+                ..
+            } => Some(*ticks),
+            _ => None,
+        })
+    }
+
+    /// Per-reason rejection totals, indexed like
+    /// [`RejectTransferError::ALL`].
+    pub fn rejection_totals(&self) -> [u64; RejectTransferError::COUNT] {
+        let mut totals = [0u64; RejectTransferError::COUNT];
+        for e in &self.events {
+            if let Event::ProposalRejected { reason, .. } = e {
+                totals[reason.index()] += 1;
+            }
+        }
+        totals
+    }
+
+    /// Total committed deliveries in the stream.
+    pub fn total_deliveries(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Delivery { .. }))
+            .count() as u64
+    }
+
+    /// The gauges of every tick, in order.
+    pub fn tick_metrics(&self) -> impl Iterator<Item = &TickMetrics> {
+        self.events.iter().filter_map(|e| match e {
+            Event::TickEnd { metrics } => Some(metrics),
+            _ => None,
+        })
+    }
+
+    /// The final tick's rarity histogram (empty if no tick completed).
+    pub fn final_rarity_hist(&self) -> &[(u32, u32)] {
+        self.tick_metrics()
+            .last()
+            .map_or(&[], |m| m.rarity_hist.as_slice())
+    }
+}
+
+/// Minimal JSON reader for the `pob-events/1` encoding.
+///
+/// Private on purpose: it exists so the `sim` crate can read its own
+/// streams back without a serde_json dependency, not as a general JSON
+/// library. Handles objects, arrays, strings (with escapes), numbers,
+/// booleans and null — everything the schema emits.
+mod json {
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(HashMap<String, Value>),
+    }
+
+    pub type Object = HashMap<String, Value>;
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&Object> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+    }
+
+    /// Typed field access with uniform error messages.
+    pub trait FieldAccess {
+        fn field(&self, key: &str) -> Result<&Value, String>;
+        fn str(&self, key: &str) -> Result<&str, String>;
+        fn u32(&self, key: &str) -> Result<u32, String>;
+        fn u64(&self, key: &str) -> Result<u64, String>;
+        fn f64(&self, key: &str) -> Result<f64, String>;
+        fn bool(&self, key: &str) -> Result<bool, String>;
+    }
+
+    impl FieldAccess for Object {
+        fn field(&self, key: &str) -> Result<&Value, String> {
+            self.get(key)
+                .ok_or_else(|| format!("missing field '{key}'"))
+        }
+        fn str(&self, key: &str) -> Result<&str, String> {
+            match self.field(key)? {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("field '{key}' must be a string")),
+            }
+        }
+        fn u64(&self, key: &str) -> Result<u64, String> {
+            self.field(key)?
+                .as_u64()
+                .ok_or_else(|| format!("field '{key}' must be a non-negative integer"))
+        }
+        fn u32(&self, key: &str) -> Result<u32, String> {
+            u32::try_from(self.u64(key)?).map_err(|_| format!("field '{key}' overflows u32"))
+        }
+        fn f64(&self, key: &str) -> Result<f64, String> {
+            match self.field(key)? {
+                Value::Num(n) => Ok(*n),
+                _ => Err(format!("field '{key}' must be a number")),
+            }
+        }
+        fn bool(&self, key: &str) -> Result<bool, String> {
+            match self.field(key)? {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(format!("field '{key}' must be a boolean")),
+            }
+        }
+    }
+
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            text: input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        text: &'a str,
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at offset {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at offset {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at offset {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_owned()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or("bad \\u escape")?;
+                                out.push(char::from_u32(hex).ok_or("bad \\u codepoint")?);
+                                self.pos += 4;
+                            }
+                            _ => return Err("bad escape".to_owned()),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar. `pos` only ever lands on
+                        // char boundaries, so the slice below cannot panic.
+                        let c = self.text[self.pos..]
+                            .chars()
+                            .next()
+                            .ok_or("truncated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut map = HashMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(feature = "tracing")]
+pub use spans::SpanSink;
+
+/// Span-style diagnostics (`tracing` feature).
+///
+/// The container this repo builds in pins its dependency set, so instead
+/// of pulling in the `tracing` crate this feature ships a dependency-free
+/// sink that renders each tick — and the strategy's `on_tick` within it —
+/// as `tracing`-formatted span lines with the [`TickMetrics`] gauges as
+/// fields. The output format matches `tracing_subscriber`'s compact
+/// close-event layout, so the same lines can later be produced by real
+/// `tracing` spans without consumers changing.
+#[cfg(feature = "tracing")]
+mod spans {
+    use super::{Event, EventSink};
+    use std::io;
+
+    /// Renders tick and `on_tick` spans as human-readable lines.
+    ///
+    /// ```text
+    /// tick{tick=3 transfers=2 min_rarity=1 ...}: close busy_ns=8123
+    /// tick{tick=3}:on_tick{strategy="randomized-swarm(random)"}: close busy_ns=7541
+    /// ```
+    #[derive(Debug)]
+    pub struct SpanSink<W: io::Write> {
+        out: W,
+        strategy: String,
+        tick_started: Option<std::time::Instant>,
+    }
+
+    impl<W: io::Write> SpanSink<W> {
+        /// Wraps a writer (use a `BufWriter` for files).
+        pub fn new(out: W) -> Self {
+            SpanSink {
+                out,
+                strategy: String::new(),
+                tick_started: None,
+            }
+        }
+
+        /// Flushes and returns the writer.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the flush error.
+        pub fn finish(mut self) -> io::Result<W> {
+            self.out.flush()?;
+            Ok(self.out)
+        }
+    }
+
+    impl<W: io::Write> EventSink for SpanSink<W> {
+        fn on_event(&mut self, event: &Event) {
+            let _ = match event {
+                Event::RunStart {
+                    strategy,
+                    nodes,
+                    blocks,
+                    mechanism,
+                    ..
+                } => {
+                    self.strategy = strategy.clone();
+                    writeln!(
+                        self.out,
+                        "run{{strategy={strategy:?} nodes={nodes} blocks={blocks} \
+                         mechanism={:?}}}: open",
+                        mechanism.label()
+                    )
+                }
+                Event::TickStart { .. } => {
+                    self.tick_started = Some(std::time::Instant::now());
+                    Ok(())
+                }
+                Event::TickEnd { metrics: m } => {
+                    let busy = self
+                        .tick_started
+                        .take()
+                        .map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    let t = m.tick.get();
+                    writeln!(
+                        self.out,
+                        "tick{{tick={t}}}:on_tick{{strategy={:?}}}: close busy_ns={}",
+                        self.strategy, m.plan_nanos
+                    )
+                    .and_then(|()| {
+                        writeln!(
+                            self.out,
+                            "tick{{tick={t} transfers={} server_transfers={} rejections={} \
+                             completed_clients={} min_rarity={} server_utilization={:?} \
+                             client_utilization={:?}}}: close busy_ns={busy}",
+                            m.transfers,
+                            m.server_transfers,
+                            m.rejections,
+                            m.completed_clients,
+                            m.min_rarity,
+                            m.server_utilization,
+                            m.client_utilization,
+                        )
+                    })
+                }
+                Event::RunEnd {
+                    ticks, completed, ..
+                } => writeln!(
+                    self.out,
+                    "run{{strategy={:?} ticks={ticks} completed={completed}}}: close",
+                    self.strategy
+                ),
+                _ => Ok(()),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> TickMetrics {
+        TickMetrics {
+            tick: Tick::new(3),
+            transfers: 4,
+            server_transfers: 1,
+            rejections: 2,
+            completed_clients: 1,
+            min_rarity: 2,
+            rarity_hist: vec![(2, 5), (4, 27)],
+            server_utilization: 1.0,
+            client_utilization: 0.375,
+            plan_nanos: 12_345,
+            credit: Some(CreditGauges {
+                imbalanced_pairs: 3,
+                total_abs_credit: 4,
+                max_abs_credit: 2,
+            }),
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                nodes: 8,
+                blocks: 32,
+                mechanism: Mechanism::CreditLimited { credit: 1 },
+                strategy: "randomized-swarm(random)".to_owned(),
+                server_upload_capacity: 1,
+                client_upload_capacity: 1,
+                max_ticks: 1664,
+            },
+            Event::TickStart { tick: Tick::new(1) },
+            Event::ProposalRejected {
+                tick: Tick::new(1),
+                transfer: Transfer::new(NodeId::new(1), NodeId::new(2), BlockId::new(0)),
+                reason: RejectTransferError::SenderMissingBlock,
+            },
+            Event::Delivery {
+                tick: Tick::new(1),
+                transfer: Transfer::new(NodeId::SERVER, NodeId::new(1), BlockId::new(7)),
+            },
+            Event::NodeComplete {
+                tick: Tick::new(1),
+                node: NodeId::new(1),
+            },
+            Event::TickEnd {
+                metrics: sample_metrics(),
+            },
+            Event::RunEnd {
+                ticks: 40,
+                completed: true,
+                total_uploads: 224,
+                server_uploads: 40,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_roundtrips_through_ndjson() {
+        for event in sample_events() {
+            let line = event.to_json_line();
+            let back = Event::from_json_line(&line).expect(&line);
+            assert_eq!(back, event, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn cooperative_tick_end_has_null_credit() {
+        let mut m = sample_metrics();
+        m.credit = None;
+        let event = Event::TickEnd { metrics: m };
+        let line = event.to_json_line();
+        assert!(line.contains("\"credit\":null"), "{line}");
+        assert_eq!(Event::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let line = sample_events()[0]
+            .to_json_line()
+            .replace(SCHEMA, "pob-events/999");
+        let err = Event::from_json_line(&line).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let line = r#"{"event":"tick-start","tick":5,"future_field":[1,{"x":true}]}"#;
+        assert_eq!(
+            Event::from_json_line(line).unwrap(),
+            Event::TickStart { tick: Tick::new(5) }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "[1,2]",
+            r#"{"event":"warp"}"#,
+            r#"{"event":"tick-start"}"#,
+            r#"{"event":"tick-start","tick":-3}"#,
+            r#"{"event":"tick-start","tick":1.5}"#,
+        ] {
+            assert!(Event::from_json_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_escaped() {
+        let event = Event::RunStart {
+            nodes: 2,
+            blocks: 1,
+            mechanism: Mechanism::Cooperative,
+            strategy: "weird\"name\\with\nescapes".to_owned(),
+            server_upload_capacity: 1,
+            client_upload_capacity: 1,
+            max_ticks: 10,
+        };
+        let line = event.to_json_line();
+        assert_eq!(Event::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_and_log_parses() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), sample_events().len());
+        assert!(text.starts_with("{\"event\":\"run-start\",\"schema\":\"pob-events/1\""));
+        let log = EventLog::parse(&text).unwrap();
+        assert_eq!(log.events, sample_events());
+        assert_eq!(log.completion_time(), Some(40));
+        assert_eq!(log.total_deliveries(), 1);
+        let totals = log.rejection_totals();
+        assert_eq!(totals[RejectTransferError::SenderMissingBlock.index()], 1);
+        assert_eq!(totals.iter().sum::<u64>(), 1);
+        assert_eq!(log.final_rarity_hist(), &[(2, 5), (4, 27)]);
+        assert!(log.run_start().is_some());
+    }
+
+    #[test]
+    fn event_log_parse_reports_line_numbers() {
+        let err = EventLog::parse("{\"event\":\"tick-start\",\"tick\":1}\n{oops\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn tee_sink_feeds_both() {
+        struct Count(u32);
+        impl EventSink for Count {
+            fn on_event(&mut self, _: &Event) {
+                self.0 += 1;
+            }
+        }
+        let mut tee = TeeSink(Count(0), Count(0));
+        tee.on_event(&Event::TickStart { tick: Tick::new(1) });
+        assert!(tee.enabled());
+        assert_eq!((tee.0 .0, tee.1 .0), (1, 1));
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        let mut fwd = NoopSink;
+        let fwd: &mut NoopSink = &mut fwd;
+        assert!(!fwd.enabled());
+        let mut tee = TeeSink(NoopSink, NoopSink);
+        assert!(!tee.enabled());
+        tee.on_event(&Event::TickStart { tick: Tick::new(1) });
+    }
+
+    #[cfg(feature = "tracing")]
+    #[test]
+    fn span_sink_renders_tick_and_on_tick_spans() {
+        let mut sink = SpanSink::new(Vec::new());
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert!(
+            text.contains("run{strategy=\"randomized-swarm(random)\""),
+            "{text}"
+        );
+        assert!(text.contains("tick{tick=3}:on_tick{"), "{text}");
+        assert!(text.contains("min_rarity=2"), "{text}");
+        assert!(text.contains("busy_ns=12345"), "{text}");
+    }
+}

@@ -22,6 +22,9 @@
 //!   ([`CompleteOverlay`]) so `n = 10⁴` populations stay cheap.
 //! * [`asynch`] is an event-driven variant with per-node clock jitter,
 //!   used for the §2.3.4 asynchrony extension.
+//! * [`events`] is the observability layer: an [`EventSink`] the engine
+//!   emits typed events and per-tick gauges into (NDJSON streaming via
+//!   [`JsonlSink`], zero-cost when disabled via the default [`NoopSink`]).
 //!
 //! # Example
 //!
@@ -82,12 +85,14 @@ mod topology;
 mod transfer;
 
 pub mod asynch;
+pub mod events;
 pub mod trace;
 
 pub use bandwidth::DownloadCapacity;
 pub use blockset::{BlockSet, DifferenceIter, Iter};
 pub use engine::{Engine, SimConfig, Strategy};
 pub use error::{MechanismViolation, RejectTransferError, SimError};
+pub use events::{Event, EventSink, JsonlSink, NoopSink, TickMetrics};
 pub use ids::{BlockId, NodeId, Tick};
 pub use mechanism::{CreditLedger, Mechanism};
 pub use metrics::{PerfCounters, RunReport};

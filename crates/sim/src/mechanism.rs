@@ -96,6 +96,26 @@ impl Mechanism {
         }
     }
 
+    /// Parses a [`label`](Self::label) back into the mechanism — the
+    /// inverse of `label` for every variant (`"credit-limited(s=2)"`,
+    /// `"strict-barter"`, …). Used when reading `pob-events/1` streams
+    /// back into typed events.
+    pub fn parse_label(label: &str) -> Option<Self> {
+        match label {
+            "cooperative" => return Some(Mechanism::Cooperative),
+            "strict-barter" => return Some(Mechanism::StrictBarter),
+            _ => {}
+        }
+        let (name, rest) = label.split_once("(s=")?;
+        let credit: u32 = rest.strip_suffix(')')?.parse().ok()?;
+        match name {
+            "credit-limited" => Some(Mechanism::CreditLimited { credit }),
+            "triangular" => Some(Mechanism::TriangularBarter { credit }),
+            "cyclic" => Some(Mechanism::CyclicBarter { credit }),
+            _ => None,
+        }
+    }
+
     /// Validates one committed tick's transfers against this mechanism.
     ///
     /// `ledger` must hold the balances as of the *start* of the tick; use
@@ -370,6 +390,14 @@ impl CreditLedger {
         self.balances.values().map(|b| b.abs()).max().unwrap_or(0)
     }
 
+    /// Sum of the absolute pairwise balances — the total outstanding
+    /// credit in the system, the quantity the §3.2 credit-limit analysis
+    /// bounds by `s` per pair. Fed into the per-tick
+    /// [`CreditGauges`](crate::events::CreditGauges).
+    pub fn total_abs_net(&self) -> u64 {
+        self.balances.values().map(|b| b.unsigned_abs()).sum()
+    }
+
     /// Removes all recorded balances.
     pub fn clear(&mut self) {
         self.balances.clear();
@@ -394,6 +422,32 @@ mod tests {
         assert_eq!(l.net(NodeId::new(7), NodeId::new(3)), -2);
         assert_eq!(l.max_abs_net(), 2);
         assert_eq!(l.imbalanced_pairs(), 1);
+    }
+
+    #[test]
+    fn ledger_total_abs_net_sums_pairs() {
+        let mut l = CreditLedger::new();
+        l.record(NodeId::new(1), NodeId::new(2));
+        l.record(NodeId::new(1), NodeId::new(2));
+        l.record(NodeId::new(4), NodeId::new(3));
+        assert_eq!(l.total_abs_net(), 3);
+        assert_eq!(CreditLedger::new().total_abs_net(), 0);
+    }
+
+    #[test]
+    fn mechanism_labels_roundtrip() {
+        for m in [
+            Mechanism::Cooperative,
+            Mechanism::StrictBarter,
+            Mechanism::CreditLimited { credit: 2 },
+            Mechanism::TriangularBarter { credit: 7 },
+            Mechanism::CyclicBarter { credit: 0 },
+        ] {
+            assert_eq!(Mechanism::parse_label(&m.label()), Some(m));
+        }
+        assert_eq!(Mechanism::parse_label("potlatch(s=1)"), None);
+        assert_eq!(Mechanism::parse_label("credit-limited(s=x)"), None);
+        assert_eq!(Mechanism::parse_label("credit-limited(s=1"), None);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Results of a simulation run.
 
-use crate::{Mechanism, NodeId, Tick};
+use crate::{Mechanism, NodeId, RejectTransferError, Tick};
 
 /// Wall-clock and throughput counters for one run.
 ///
@@ -20,23 +20,47 @@ pub struct PerfCounters {
     pub proposals: u64,
     /// Rejected `propose` calls (accepted = `proposals − rejections`).
     pub rejections: u64,
+    /// Rejections broken down by cause, indexed by
+    /// [`RejectTransferError::index`] (zip against
+    /// [`RejectTransferError::ALL`]). Sums to `rejections`. Defaults to
+    /// all-zero when deserializing reports written before this field
+    /// existed.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub rejections_by_reason: [u64; RejectTransferError::COUNT],
     /// Wall-clock nanoseconds spent inside `Engine::step`.
     pub wall_nanos: u64,
 }
 
 impl PerfCounters {
-    /// Wall-clock seconds spent stepping.
+    /// Wall-clock seconds spent stepping. `0.0` for a run that never
+    /// stepped (zero ticks).
     pub fn wall_seconds(&self) -> f64 {
         self.wall_nanos as f64 / 1e9
     }
 
-    /// Simulated ticks per wall-clock second (0 if no time was measured).
+    /// Simulated ticks per wall-clock second. Always finite: returns `0.0`
+    /// when no time was measured — in particular for zero-tick runs
+    /// (`max_ticks == 0`, or a population preseeded to completion), which
+    /// never enter `Engine::step`.
     pub fn ticks_per_sec(&self) -> f64 {
         if self.wall_nanos == 0 {
             0.0
         } else {
             f64::from(self.ticks) / self.wall_seconds()
         }
+    }
+
+    /// The number of rejections attributed to `reason`.
+    pub fn rejections_for(&self, reason: RejectTransferError) -> u64 {
+        self.rejections_by_reason[reason.index()]
+    }
+
+    /// `(reason, count)` pairs for every rejection cause, in
+    /// [`RejectTransferError::ALL`] order (zero counts included).
+    pub fn rejection_breakdown(&self) -> impl Iterator<Item = (RejectTransferError, u64)> + '_ {
+        RejectTransferError::ALL
+            .into_iter()
+            .map(|r| (r, self.rejections_by_reason[r.index()]))
     }
 }
 
@@ -217,6 +241,7 @@ mod tests {
             proposals: 10,
             rejections: 6,
             wall_nanos: 123_456,
+            ..PerfCounters::default()
         };
         assert_eq!(a, b, "perf must not affect report equality");
         let mut c = report();
@@ -231,10 +256,45 @@ mod tests {
             proposals: 10,
             rejections: 3,
             wall_nanos: 500_000_000,
+            ..PerfCounters::default()
         };
         assert!((p.wall_seconds() - 0.5).abs() < 1e-12);
         assert!((p.ticks_per_sec() - 4000.0).abs() < 1e-9);
         assert_eq!(PerfCounters::default().ticks_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn zero_tick_runs_have_finite_rates() {
+        // A run that never steps (e.g. max_ticks == 0) measures no time and
+        // no ticks; both rates must come back as exact finite zeros rather
+        // than NaN or infinity.
+        let p = PerfCounters::default();
+        assert_eq!(p.wall_seconds(), 0.0);
+        assert_eq!(p.ticks_per_sec(), 0.0);
+        assert!(p.ticks_per_sec().is_finite());
+        // Zero ticks but nonzero wall time (all time spent outside steps
+        // that committed nothing) still divides cleanly.
+        let q = PerfCounters {
+            wall_nanos: 1_000,
+            ..PerfCounters::default()
+        };
+        assert_eq!(q.ticks_per_sec(), 0.0);
+        assert!(q.wall_seconds() > 0.0);
+    }
+
+    #[test]
+    fn rejection_breakdown_accessors() {
+        let mut p = PerfCounters {
+            rejections: 5,
+            ..PerfCounters::default()
+        };
+        p.rejections_by_reason[RejectTransferError::CreditExceeded.index()] = 3;
+        p.rejections_by_reason[RejectTransferError::SelfTransfer.index()] = 2;
+        assert_eq!(p.rejections_for(RejectTransferError::CreditExceeded), 3);
+        assert_eq!(p.rejections_for(RejectTransferError::NotNeighbors), 0);
+        let total: u64 = p.rejection_breakdown().map(|(_, c)| c).sum();
+        assert_eq!(total, p.rejections);
+        assert_eq!(p.rejection_breakdown().count(), RejectTransferError::COUNT);
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! schedule therefore cannot silently violate the model: the optimality
 //! tests double as model-compliance proofs.
 
+use crate::events::{Event, EventSink};
 use crate::fastmap::PairCounter;
 use crate::{
     BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NodeId, RejectTransferError,
     SimState, Tick, Topology, Transfer,
 };
 use rand::Rng;
+use std::fmt;
 
 /// Run-cumulative proposal counters, fed into the report's
 /// [`PerfCounters`](crate::PerfCounters). Lives next to the tick scratch
@@ -22,6 +24,9 @@ use rand::Rng;
 pub(crate) struct ProposeStats {
     pub(crate) proposals: u64,
     pub(crate) rejections: u64,
+    /// Rejections broken down by cause, indexed by
+    /// [`RejectTransferError::index`].
+    pub(crate) rejections_by_reason: [u64; RejectTransferError::COUNT],
 }
 
 /// Reusable per-tick scratch buffers, owned by the engine.
@@ -69,7 +74,6 @@ impl TickBuffers {
 /// Offers read access to the simulation state and overlay, helper queries
 /// used by randomized strategies, and [`propose`](TickPlanner::propose) to
 /// submit transfers.
-#[derive(Debug)]
 pub struct TickPlanner<'a> {
     state: &'a SimState,
     topology: &'a dyn Topology,
@@ -80,6 +84,20 @@ pub struct TickPlanner<'a> {
     tick: Tick,
     prev_transfers: &'a [Transfer],
     bufs: &'a mut TickBuffers,
+    // `None` unless the engine runs with an enabled sink, so the disabled
+    // case costs one perfectly-predicted branch per rejection.
+    sink: Option<&'a mut (dyn EventSink + 'a)>,
+}
+
+impl fmt::Debug for TickPlanner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TickPlanner")
+            .field("tick", &self.tick)
+            .field("mechanism", &self.mechanism)
+            .field("proposed", &self.bufs.transfers.len())
+            .field("observed", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> TickPlanner<'a> {
@@ -94,6 +112,7 @@ impl<'a> TickPlanner<'a> {
         tick: Tick,
         prev_transfers: &'a [Transfer],
         bufs: &'a mut TickBuffers,
+        sink: Option<&'a mut (dyn EventSink + 'a)>,
     ) -> Self {
         TickPlanner {
             state,
@@ -105,6 +124,7 @@ impl<'a> TickPlanner<'a> {
             tick,
             prev_transfers,
             bufs,
+            sink,
         }
     }
 
@@ -314,6 +334,14 @@ impl<'a> TickPlanner<'a> {
         self.bufs.stats.proposals += 1;
         if let Err(reason) = self.admit(from, to, block) {
             self.bufs.stats.rejections += 1;
+            self.bufs.stats.rejections_by_reason[reason.index()] += 1;
+            if let Some(sink) = self.sink.as_mut() {
+                sink.on_event(&Event::ProposalRejected {
+                    tick: self.tick,
+                    transfer: Transfer::new(from, to, block),
+                    reason,
+                });
+            }
             return Err(reason);
         }
         self.record(from, to, block);
@@ -430,6 +458,7 @@ mod tests {
                 Tick::new(1),
                 &[],
                 &mut self.bufs,
+                None,
             )
         }
     }
@@ -674,6 +703,56 @@ mod tests {
         let mut fx = Fixture::new(3, 4);
         let p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(1));
         assert!(!p.downloads_unlimited());
+    }
+
+    #[test]
+    fn rejections_are_counted_per_reason_and_emitted() {
+        let mut fx = Fixture::new(3, 4);
+        let mut events = Vec::new();
+        let mut sink = |e: &Event| events.push(e.clone());
+        struct FnSink<'f>(&'f mut dyn FnMut(&Event));
+        impl EventSink for FnSink<'_> {
+            fn on_event(&mut self, e: &Event) {
+                (self.0)(e)
+            }
+        }
+        let mut fn_sink = FnSink(&mut sink);
+        {
+            let mut p = TickPlanner::new(
+                &fx.state,
+                &fx.topology,
+                Mechanism::Cooperative,
+                &fx.ledger,
+                &fx.dl_caps,
+                &fx.caps,
+                Tick::new(1),
+                &[],
+                &mut fx.bufs,
+                Some(&mut fn_sink),
+            );
+            let _ = p.propose(NodeId::new(1), NodeId::new(1), BlockId::new(0));
+            let _ = p.propose(NodeId::new(1), NodeId::new(2), BlockId::new(0));
+            let _ = p.propose(NodeId::new(2), NodeId::new(1), BlockId::new(1));
+        }
+        let by_reason = fx.bufs.stats.rejections_by_reason;
+        assert_eq!(by_reason[RejectTransferError::SelfTransfer.index()], 1);
+        assert_eq!(
+            by_reason[RejectTransferError::SenderMissingBlock.index()],
+            2
+        );
+        assert_eq!(
+            by_reason.iter().sum::<u64>(),
+            fx.bufs.stats.rejections,
+            "per-reason counts must sum to the total"
+        );
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0],
+            Event::ProposalRejected {
+                reason: RejectTransferError::SelfTransfer,
+                ..
+            }
+        ));
     }
 
     #[test]

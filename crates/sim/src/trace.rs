@@ -1,16 +1,22 @@
 //! Run tracing: record every tick's transfers and derive diagnostics.
 //!
-//! Wrap any [`Strategy`] in a [`Recorder`] to capture the full transfer
+//! Attach a [`Recorder`] to the engine (it is an
+//! [`EventSink`]) to capture the full transfer
 //! schedule of a run, then inspect it with [`RunTrace`]: per-tick
 //! utilization, per-block spread curves, per-node activity, and a compact
 //! ASCII timeline. Used by the examples and by tests that assert on
 //! *how* an algorithm moves data, not just when it finishes.
 
-use crate::{NodeId, SimError, Strategy, TickPlanner, Transfer};
-use rand::rngs::StdRng;
+use crate::events::{Event, EventSink};
+use crate::{NodeId, Transfer};
 use std::fmt::Write as _;
 
-/// A strategy wrapper that records every committed tick's transfers.
+/// An [`EventSink`] that records every committed tick's transfers.
+///
+/// Built on the engine's event stream (one capture mechanism for traces,
+/// NDJSON, and spans): deliveries accumulate into the current tick, which
+/// is sealed on [`Event::TickEnd`] — so the trace has one entry per
+/// simulated tick, empty ticks included, in commit order.
 ///
 /// # Examples
 ///
@@ -31,40 +37,35 @@ use std::fmt::Write as _;
 /// }
 ///
 /// let overlay = CompleteOverlay::new(2);
-/// let mut traced = Recorder::new(PushToC1);
-/// let report = Engine::new(SimConfig::new(2, 3), &overlay)
-///     .run(&mut traced, &mut StdRng::seed_from_u64(0))?;
-/// let trace = traced.into_trace();
+/// let mut recorder = Recorder::new();
+/// let report = Engine::with_sink(SimConfig::new(2, 3), &overlay, &mut recorder)
+///     .run(&mut PushToC1, &mut StdRng::seed_from_u64(0))?;
+/// let trace = recorder.into_trace();
 /// assert_eq!(trace.ticks() as u32, report.ticks_run);
 /// assert_eq!(trace.total_transfers(), 3);
 /// # Ok::<(), SimError>(())
 /// ```
-#[derive(Debug, Clone)]
-pub struct Recorder<S> {
-    inner: S,
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
     ticks: Vec<Vec<Transfer>>,
+    current: Vec<Transfer>,
 }
 
-impl<S: Strategy> Recorder<S> {
-    /// Wraps a strategy.
-    pub fn new(inner: S) -> Self {
-        Recorder {
-            inner,
-            ticks: Vec::new(),
-        }
-    }
-
-    /// The wrapped strategy.
-    pub fn inner(&self) -> &S {
-        &self.inner
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
     }
 
     /// Consumes the recorder, returning the captured trace.
+    ///
+    /// Transfers of a tick that was started but not yet committed (only
+    /// possible mid-`step`) are discarded: the trace holds committed ticks.
     pub fn into_trace(self) -> RunTrace {
         RunTrace { ticks: self.ticks }
     }
 
-    /// The trace captured so far.
+    /// The trace captured so far (committed ticks only).
     pub fn trace(&self) -> RunTrace {
         RunTrace {
             ticks: self.ticks.clone(),
@@ -72,15 +73,13 @@ impl<S: Strategy> Recorder<S> {
     }
 }
 
-impl<S: Strategy> Strategy for Recorder<S> {
-    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
-        self.inner.on_tick(p, rng)?;
-        self.ticks.push(p.proposed().to_vec());
-        Ok(())
-    }
-
-    fn name(&self) -> &str {
-        self.inner.name()
+impl EventSink for Recorder {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Delivery { transfer, .. } => self.current.push(*transfer),
+            Event::TickEnd { .. } => self.ticks.push(std::mem::take(&mut self.current)),
+            _ => {}
+        }
     }
 }
 
@@ -212,7 +211,8 @@ impl RunTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BlockId, CompleteOverlay, Engine, SimConfig};
+    use crate::{BlockId, CompleteOverlay, Engine, SimConfig, SimError, Strategy, TickPlanner};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     struct ServerPush;
@@ -240,9 +240,9 @@ mod tests {
 
     fn traced_run(n: usize, k: usize) -> (RunTrace, crate::RunReport) {
         let overlay = CompleteOverlay::new(n);
-        let mut rec = Recorder::new(ServerPush);
-        let report = Engine::new(SimConfig::new(n, k), &overlay)
-            .run(&mut rec, &mut StdRng::seed_from_u64(0))
+        let mut rec = Recorder::new();
+        let report = Engine::with_sink(SimConfig::new(n, k), &overlay, &mut rec)
+            .run(&mut ServerPush, &mut StdRng::seed_from_u64(0))
             .unwrap();
         (rec.into_trace(), report)
     }
@@ -299,12 +299,65 @@ mod tests {
     }
 
     #[test]
-    fn recorder_exposes_inner_and_partial_trace() {
-        let rec = Recorder::new(ServerPush);
-        assert_eq!(rec.inner().name(), "server-push");
+    fn recorder_exposes_partial_trace() {
+        let rec = Recorder::new();
         assert_eq!(rec.trace().ticks(), 0);
         let empty = RunTrace::default();
         assert_eq!(empty.total_transfers(), 0);
         assert_eq!(empty.utilization_sparkline(), "");
+    }
+
+    #[test]
+    fn stepping_records_same_trace_as_run() {
+        // Satellite: drive the recorder through the stepping API and check
+        // it captures exactly what a full `run` of the same seed does.
+        let overlay = CompleteOverlay::new(4);
+        let (full, _) = traced_run(4, 3);
+
+        let mut rec = Recorder::new();
+        let mut engine = Engine::with_sink(SimConfig::new(4, 3), &overlay, &mut rec);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut stepped_ticks: Vec<Vec<Transfer>> = Vec::new();
+        loop {
+            let more = engine.step(&mut ServerPush, &mut rng).unwrap();
+            if engine.current_tick().get() as usize > stepped_ticks.len() {
+                // `last_deliveries` is the tick's state delta; it must agree
+                // with what the sink recorded for the same tick.
+                stepped_ticks.push(engine.last_deliveries().to_vec());
+            }
+            if !more {
+                break;
+            }
+        }
+        let report = engine.report();
+        drop(engine);
+        let trace = rec.into_trace();
+        assert_eq!(trace, full, "stepping must record the same schedule");
+        assert_eq!(trace, RunTrace::from_ticks(stepped_ticks));
+        assert_eq!(trace.ticks() as u32, report.ticks_run);
+        assert_eq!(trace.total_transfers() as u64, report.total_uploads);
+    }
+
+    #[test]
+    fn recorder_includes_empty_ticks() {
+        struct IdleThenPush;
+        impl Strategy for IdleThenPush {
+            fn on_tick(&mut self, p: &mut TickPlanner<'_>, r: &mut StdRng) -> Result<(), SimError> {
+                if p.tick().get() > 2 {
+                    ServerPush.on_tick(p, r)?;
+                }
+                Ok(())
+            }
+        }
+        let overlay = CompleteOverlay::new(3);
+        let mut rec = Recorder::new();
+        let report = Engine::with_sink(SimConfig::new(3, 1), &overlay, &mut rec)
+            .run(&mut IdleThenPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let trace = rec.into_trace();
+        assert_eq!(trace.ticks() as u32, report.ticks_run);
+        assert!(trace.tick(1).is_empty());
+        assert!(trace.tick(2).is_empty());
+        assert!(!trace.tick(3).is_empty());
     }
 }

@@ -90,19 +90,23 @@ fn main() -> Result<(), SimError> {
     println!("\nupload utilization over time (one run, n = k = 64):");
     let h = 6u32;
     let cube = Hypercube::new(h);
-    let mut optimal = Recorder::new(HypercubeSchedule::new(h));
-    Engine::new(SimConfig::new(64, 64), &cube).run(&mut optimal, &mut StdRng::seed_from_u64(0))?;
+    let mut optimal = Recorder::new();
+    Engine::with_sink(SimConfig::new(64, 64), &cube, &mut optimal).run(
+        &mut HypercubeSchedule::new(h),
+        &mut StdRng::seed_from_u64(0),
+    )?;
     println!(
         "  binomial pipeline: {}",
         optimal.into_trace().utilization_sparkline()
     );
 
-    let mut swarm = Recorder::new(pob_core::strategies::SwarmStrategy::new(
-        BlockSelection::Random,
-    ));
+    let mut swarm = Recorder::new();
     let cfg = SimConfig::new(64, 64).with_download_capacity(pob_sim::DownloadCapacity::Unlimited);
     let overlay64 = CompleteOverlay::new(64);
-    Engine::new(cfg, &overlay64).run(&mut swarm, &mut StdRng::seed_from_u64(0))?;
+    Engine::with_sink(cfg, &overlay64, &mut swarm).run(
+        &mut pob_core::strategies::SwarmStrategy::new(BlockSelection::Random),
+        &mut StdRng::seed_from_u64(0),
+    )?;
     println!(
         "  randomized swarm : {}",
         swarm.into_trace().utilization_sparkline()

@@ -22,9 +22,9 @@ const K: usize = 96;
 fn mean_transfer_cost(emb: &HypercubeEmbedding, costs: &LinkCosts) -> Result<f64, SimError> {
     let overlay = emb.overlay();
     let mut schedule = GeneralBinomialPipeline::with_nodes(emb.schedule_nodes());
-    let mut rec = Recorder::new(&mut schedule);
-    let report = Engine::new(SimConfig::new(1 << H, K), &overlay)
-        .run(&mut rec, &mut StdRng::seed_from_u64(0))?;
+    let mut rec = Recorder::new();
+    let report = Engine::with_sink(SimConfig::new(1 << H, K), &overlay, &mut rec)
+        .run(&mut schedule, &mut StdRng::seed_from_u64(0))?;
     let trace = rec.into_trace();
     let total: f64 = (1..=report.ticks_run)
         .flat_map(|t| trace.tick(t))

@@ -22,8 +22,12 @@ use pob_core::strategies::{
     BitTorrentLike, BlockSelection, SplitStream, SwarmStrategy, TriangularSwarm,
 };
 use pob_overlay::{d_ary_tree, path, random_regular, CompleteOverlay, Hypercube};
+use pob_sim::events::{Event, EventLog, TeeSink};
 use pob_sim::trace::Recorder;
-use pob_sim::{DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Strategy, Topology};
+use pob_sim::{
+    DownloadCapacity, Engine, JsonlSink, Mechanism, RejectTransferError, RunReport, SimConfig,
+    Strategy, Topology,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -37,12 +41,18 @@ USAGE:
 COMMANDS:
     run      simulate one distribution run and print the report
     trace    like run, but print every tick's transfers (keep n and k small)
+    inspect  summarize an NDJSON event stream captured with `run --events`
     bounds   print the closed-form completion times and lower bounds
     sweep    run an overlay-degree sweep and print a table
     compare  run two algorithms over several seeds and Welch-test the gap
     help     show this message
 
+USAGE (inspect):
+    pob inspect <events.ndjson>   per-tick timeline, rarity/utilization
+                                  summaries, rejection-reason breakdown
+
 OPTIONS (run / trace / sweep):
+    --events <PATH>   (run/trace) stream pob-events/1 NDJSON to PATH
     --algorithm <A>   binomial | pipeline | multicast | binomial-tree | riffle
                       | swarm | bittorrent | splitstream | triangular   [binomial]
     --n <N>           number of nodes incl. the server                  [64]
@@ -76,6 +86,7 @@ struct Options {
     seeds: usize,
     degrees: Vec<usize>,
     versus: String,
+    events: Option<String>,
 }
 
 impl Default for Options {
@@ -95,6 +106,7 @@ impl Default for Options {
             seeds: 5,
             degrees: vec![8, 16, 32, 64],
             versus: "swarm".to_owned(),
+            events: None,
         }
     }
 }
@@ -180,6 +192,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--seeds must be a number".to_owned())?
             }
             "--versus" => opts.versus = value()?.clone(),
+            "--events" => opts.events = Some(value()?.clone()),
             "--degrees" => {
                 opts.degrees = value()?
                     .split(',')
@@ -315,11 +328,35 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
     let mut strategy = build_strategy(opts)?;
     let cfg = build_config(opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let report = if trace {
-        let mut rec = Recorder::new(strategy.as_mut());
-        let report = Engine::new(cfg, overlay.as_ref())
-            .run(&mut rec, &mut rng)
-            .map_err(|e| e.to_string())?;
+    let mut rec = Recorder::new();
+    let mut jsonl = opts
+        .events
+        .as_deref()
+        .map(|path| {
+            std::fs::File::create(path)
+                .map(|f| JsonlSink::new(std::io::BufWriter::new(f)))
+                .map_err(|e| format!("cannot create '{path}': {e}"))
+        })
+        .transpose()?;
+    let report = match (trace, jsonl.as_mut()) {
+        (false, None) => Engine::new(cfg, overlay.as_ref()).run(strategy.as_mut(), &mut rng),
+        (false, Some(sink)) => {
+            Engine::with_sink(cfg, overlay.as_ref(), sink).run(strategy.as_mut(), &mut rng)
+        }
+        (true, None) => {
+            Engine::with_sink(cfg, overlay.as_ref(), &mut rec).run(strategy.as_mut(), &mut rng)
+        }
+        (true, Some(sink)) => Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut rec, sink))
+            .run(strategy.as_mut(), &mut rng),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(sink) = jsonl {
+        let path = opts.events.as_deref().unwrap_or_default();
+        sink.finish()
+            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        eprintln!("events written to {path}");
+    }
+    if trace {
         let t = rec.into_trace();
         for tick in 1..=report.ticks_run {
             let transfers = t.tick(tick);
@@ -334,13 +371,144 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
             );
         }
         println!("{}", t.summary(opts.n));
-        report
-    } else {
-        Engine::new(cfg, overlay.as_ref())
-            .run(strategy.as_mut(), &mut rng)
-            .map_err(|e| e.to_string())?
-    };
+    }
     print_report(opts, &report);
+    Ok(())
+}
+
+/// Rows shown at each end of the timeline before eliding the middle.
+const INSPECT_TIMELINE_EDGE: u32 = 20;
+
+fn cmd_inspect(path: &str) -> Result<(), String> {
+    let stream = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let log = EventLog::parse(&stream).map_err(|e| format!("{path}: {e}"))?;
+    let Some(Event::RunStart {
+        nodes,
+        blocks,
+        mechanism,
+        strategy,
+        server_upload_capacity,
+        client_upload_capacity,
+        max_ticks,
+    }) = log.run_start()
+    else {
+        return Err(format!("{path}: stream has no run-start record"));
+    };
+
+    println!("stream       : {path} ({} events)", log.events.len());
+    println!("strategy     : {strategy}");
+    println!(
+        "population   : n = {nodes} (server + {} clients), k = {blocks}",
+        nodes - 1
+    );
+    println!("mechanism    : {}", mechanism.label());
+    println!(
+        "capacities   : server {server_upload_capacity}x, client {client_upload_capacity}x, \
+         cap {max_ticks} ticks"
+    );
+    match log.completion_time() {
+        Some(t) => println!("completed in : {t} ticks"),
+        None => println!("completed in : (run did not complete)"),
+    }
+    println!("deliveries   : {}", log.total_deliveries());
+
+    let ticks: Vec<_> = log.tick_metrics().collect();
+    if ticks.is_empty() {
+        println!("\n(no tick-end records: nothing to summarize)");
+        return Ok(());
+    }
+
+    // Per-tick timeline, middle elided for long runs.
+    let has_credit = ticks.iter().any(|m| m.credit.is_some());
+    let mut timeline = Table::new(if has_credit {
+        vec![
+            "tick", "xfers", "srv", "rej", "done", "rarity", "srv util", "cli util", "credit",
+        ]
+    } else {
+        vec![
+            "tick", "xfers", "srv", "rej", "done", "rarity", "srv util", "cli util",
+        ]
+    });
+    let total = ticks.len() as u32;
+    let mut elided = false;
+    for m in &ticks {
+        let t = m.tick.get();
+        if total > 3 * INSPECT_TIMELINE_EDGE
+            && t > INSPECT_TIMELINE_EDGE
+            && t + INSPECT_TIMELINE_EDGE <= total
+        {
+            if !elided {
+                elided = true;
+                let dots = format!("… {} ticks …", total - 2 * INSPECT_TIMELINE_EDGE);
+                let mut row = vec![dots];
+                row.resize(timeline.width(), "…".to_owned());
+                timeline.push_row(row);
+            }
+            continue;
+        }
+        let mut row = vec![
+            t.to_string(),
+            m.transfers.to_string(),
+            m.server_transfers.to_string(),
+            m.rejections.to_string(),
+            m.completed_clients.to_string(),
+            m.min_rarity.to_string(),
+            format!("{:.0}%", 100.0 * m.server_utilization),
+            format!("{:.0}%", 100.0 * m.client_utilization),
+        ];
+        if has_credit {
+            row.push(m.credit.map_or_else(
+                || "—".to_owned(),
+                |c| format!("{}±{}", c.imbalanced_pairs, c.max_abs_credit),
+            ));
+        }
+        timeline.push_row(row);
+    }
+    println!("\nper-tick timeline (credit column: imbalanced pairs ± max |balance|):");
+    println!("{}", timeline.to_ascii());
+
+    // Rarity + utilization summaries.
+    let first = ticks.first().expect("nonempty");
+    let last = ticks.last().expect("nonempty");
+    println!(
+        "rarity       : min rarity {} → {} over {} ticks",
+        first.min_rarity, last.min_rarity, total
+    );
+    let hist: Vec<String> = log
+        .final_rarity_hist()
+        .iter()
+        .map(|(f, c)| format!("{c} blocks × {f}"))
+        .collect();
+    println!("final hist   : {}", hist.join(", "));
+    let mean = |f: &dyn Fn(&pob_sim::TickMetrics) -> f64| {
+        ticks.iter().map(|m| f(m)).sum::<f64>() / ticks.len() as f64
+    };
+    println!(
+        "utilization  : server {:.1}% mean, clients {:.1}% mean",
+        100.0 * mean(&|m| m.server_utilization),
+        100.0 * mean(&|m| m.client_utilization),
+    );
+
+    // Rejection-reason breakdown.
+    let totals = log.rejection_totals();
+    let rejected: u64 = totals.iter().sum();
+    println!("\nrejection-reason breakdown ({rejected} total):");
+    let mut breakdown = Table::new(vec!["reason", "count", "share"]);
+    for reason in RejectTransferError::ALL {
+        let count = totals[reason.index()];
+        if count == 0 {
+            continue;
+        }
+        breakdown.push_row(vec![
+            reason.label().to_owned(),
+            count.to_string(),
+            format!("{:.1}%", 100.0 * count as f64 / rejected.max(1) as f64),
+        ]);
+    }
+    if rejected == 0 {
+        breakdown.push_row(vec!["(none)".to_owned(), "0".to_owned(), "—".to_owned()]);
+    }
+    println!("{}", breakdown.to_ascii());
     Ok(())
 }
 
@@ -505,6 +673,19 @@ fn main() -> ExitCode {
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         print!("{HELP}");
         return ExitCode::SUCCESS;
+    }
+    if command.as_str() == "inspect" {
+        let result = match rest {
+            [path] => cmd_inspect(path),
+            _ => Err("usage: pob inspect <events.ndjson>".to_owned()),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let result = parse_options(rest).and_then(|opts| match command.as_str() {
         "run" => cmd_run(&opts, false),

@@ -156,6 +156,114 @@ fn compare_runs_welch_test() {
     assert!(text.contains("binomial"));
 }
 
+/// `run --events` then `inspect` must round-trip: the stream the run
+/// writes is accepted by the inspector, and the inspector's rarity,
+/// utilization, and rejection-breakdown sections reflect the run.
+#[test]
+fn events_capture_and_inspect_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_events_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let events = dir.join("run.ndjson");
+    let events_path = events.to_str().expect("utf-8 temp path");
+
+    // Credit-limited swarm: puts credit gauges in the tick-end records
+    // (the breakdown table itself renders even when, as here, the
+    // strategy pre-validates and nothing is rejected).
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "16",
+        "--k",
+        "8",
+        "--mechanism",
+        "credit:2",
+        "--seed",
+        "3",
+        "--events",
+        events_path,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("events written"));
+
+    let stream = std::fs::read_to_string(&events).expect("events file exists");
+    let first = stream.lines().next().expect("nonempty stream");
+    assert!(first.contains("\"event\":\"run-start\""));
+    assert!(first.contains("\"schema\":\"pob-events/1\""));
+    assert!(stream
+        .lines()
+        .last()
+        .expect("last")
+        .contains("\"event\":\"run-end\""));
+
+    let out = pob(&["inspect", events_path]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("mechanism    : credit-limited(s=2)"),
+        "{text}"
+    );
+    assert!(text.contains("per-tick timeline"), "{text}");
+    assert!(text.contains("srv util"), "{text}");
+    assert!(text.contains("min rarity"), "{text}");
+    assert!(text.contains("rejection-reason breakdown"), "{text}");
+    // The run's own report and the stream must agree on completion.
+    let run_text = stdout(&pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "16",
+        "--k",
+        "8",
+        "--mechanism",
+        "credit:2",
+        "--seed",
+        "3",
+    ]));
+    if let Some(line) = run_text.lines().find(|l| l.starts_with("completed in")) {
+        assert!(
+            text.contains(line),
+            "inspect and run disagree:\n{text}\n{run_text}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inspect_rejects_garbage_input() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_garbage_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.ndjson");
+    std::fs::write(
+        &bad,
+        "{\"event\":\"run-start\",\"schema\":\"pob-events/999\"}\n",
+    )
+    .unwrap();
+    let out = pob(&["inspect", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 1"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inspect_requires_exactly_one_path() {
+    let out = pob(&["inspect"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pob inspect"));
+}
+
 #[test]
 fn deterministic_given_seed() {
     let a = stdout(&pob(&[

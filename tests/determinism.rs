@@ -44,11 +44,12 @@ fn full_transfer_traces_are_identical_per_seed() {
     let overlay = CompleteOverlay::new(32);
     let trace_of = |seed: u64| {
         let cfg = SimConfig::new(32, 16).with_download_capacity(DownloadCapacity::Unlimited);
-        let mut rec = Recorder::new(pob_core::strategies::SwarmStrategy::new(
-            BlockSelection::RarestFirst,
-        ));
-        Engine::new(cfg, &overlay)
-            .run(&mut rec, &mut StdRng::seed_from_u64(seed))
+        let mut rec = Recorder::new();
+        Engine::with_sink(cfg, &overlay, &mut rec)
+            .run(
+                &mut pob_core::strategies::SwarmStrategy::new(BlockSelection::RarestFirst),
+                &mut StdRng::seed_from_u64(seed),
+            )
             .unwrap();
         rec.into_trace()
     };

@@ -1,0 +1,128 @@
+//! End-to-end tests of the `pob-events/1` NDJSON schema.
+//!
+//! Two directions are pinned here:
+//!
+//! 1. A **live capture**: an observed engine run streamed through
+//!    [`JsonlSink`] must parse back into an [`EventLog`] whose derived
+//!    statistics (completion time, per-reason rejection totals, final
+//!    rarity histogram) re-derive the run's own [`RunReport`].
+//! 2. A **golden fixture**: a literal stream written against schema
+//!    `pob-events/1`. If an encoding change breaks this test, the change
+//!    is schema-breaking and needs a version bump (see the versioning
+//!    rules in `pob_sim::events`); adding new fields or event kinds must
+//!    *not* break it.
+
+use pob_core::schedules::HypercubeSchedule;
+use pob_overlay::Hypercube;
+use pob_sim::events::EventLog;
+use pob_sim::{Engine, Event, JsonlSink, RejectTransferError, RunReport, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Streams a deterministic hypercube run (n = 8, k = 4, no RNG decisions)
+/// through a `JsonlSink` and returns the raw NDJSON plus the report.
+fn captured_stream() -> (String, RunReport) {
+    let overlay = Hypercube::new(3);
+    let mut sink = JsonlSink::new(Vec::new());
+    let report = Engine::with_sink(SimConfig::new(8, 4), &overlay, &mut sink)
+        .run(
+            &mut HypercubeSchedule::new(3),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .expect("hypercube schedule is admissible");
+    let bytes = sink.finish().expect("Vec<u8> writes cannot fail");
+    (String::from_utf8(bytes).expect("NDJSON is UTF-8"), report)
+}
+
+#[test]
+fn live_capture_rederives_the_report() {
+    let (stream, report) = captured_stream();
+    let log = EventLog::parse(&stream).expect("self-emitted stream parses");
+
+    assert_eq!(log.completion_time(), report.completion_time());
+    assert_eq!(log.total_deliveries(), report.total_uploads);
+
+    let totals = log.rejection_totals();
+    assert_eq!(totals, report.perf.rejections_by_reason);
+    assert_eq!(totals.iter().sum::<u64>(), report.perf.rejections);
+
+    // A completed run ends with every one of the k = 4 blocks held by all
+    // n = 8 nodes: a single histogram bucket at frequency 8.
+    assert_eq!(log.final_rarity_hist(), &[(8, 4)]);
+    let last = log.tick_metrics().last().expect("at least one tick");
+    assert_eq!(last.min_rarity, 8);
+    assert_eq!(last.completed_clients, 7);
+}
+
+#[test]
+fn live_capture_lines_roundtrip_individually() {
+    let (stream, _) = captured_stream();
+    let mut kinds = Vec::new();
+    for line in stream.lines() {
+        let event = Event::from_json_line(line).expect("every emitted line decodes");
+        assert_eq!(
+            event.to_json_line(),
+            line,
+            "decode → encode must reproduce the emitted line"
+        );
+        kinds.push(event.kind());
+    }
+    assert_eq!(kinds.first(), Some(&"run-start"));
+    assert_eq!(kinds.last(), Some(&"run-end"));
+    assert!(stream.lines().next().unwrap().contains("\"pob-events/1\""));
+}
+
+/// A hand-written `pob-events/1` stream: one tick of a 3-node, 2-block
+/// cooperative run with one rejection, followed by a capped second tick.
+const GOLDEN: &str = r#"{"event":"run-start","schema":"pob-events/1","nodes":3,"blocks":2,"mechanism":"cooperative","strategy":"golden-fixture","server_upload_capacity":1,"client_upload_capacity":1,"max_ticks":2}
+{"event":"tick-start","tick":1}
+{"event":"proposal-rejected","tick":1,"from":1,"to":1,"block":0,"reason":"self-transfer"}
+{"event":"delivery","tick":1,"from":0,"to":1,"block":0}
+{"event":"tick-end","tick":1,"transfers":1,"server_transfers":1,"rejections":1,"completed_clients":0,"min_rarity":1,"rarity_hist":[[1,1],[2,1]],"server_utilization":1.0,"client_utilization":0.0,"plan_nanos":42,"credit":null}
+{"event":"tick-start","tick":2}
+{"event":"delivery","tick":2,"from":0,"to":2,"block":1}
+{"event":"proposal-rejected","tick":2,"from":1,"to":2,"block":0,"reason":"no-upload-capacity"}
+{"event":"proposal-rejected","tick":2,"from":1,"to":2,"block":1,"reason":"no-upload-capacity"}
+{"event":"tick-end","tick":2,"transfers":1,"server_transfers":1,"rejections":2,"completed_clients":0,"min_rarity":1,"rarity_hist":[[1,2],[2,1]],"server_utilization":1.0,"client_utilization":0.0,"plan_nanos":37,"credit":null}
+{"event":"run-end","ticks":2,"completed":false,"total_uploads":2,"server_uploads":2}
+"#;
+
+#[test]
+fn golden_fixture_parses_and_derives() {
+    let log = EventLog::parse(GOLDEN).expect("golden fixture stays parseable");
+    assert_eq!(log.events.len(), 11);
+
+    // Capped run: run-end says completed = false, so no completion time.
+    assert_eq!(log.completion_time(), None);
+    assert_eq!(log.total_deliveries(), 2);
+
+    let totals = log.rejection_totals();
+    assert_eq!(totals.iter().sum::<u64>(), 3);
+    assert_eq!(totals[RejectTransferError::SelfTransfer.index()], 1);
+    assert_eq!(totals[RejectTransferError::NoUploadCapacity.index()], 2);
+
+    assert_eq!(log.final_rarity_hist(), &[(1, 2), (2, 1)]);
+    let metrics: Vec<_> = log.tick_metrics().collect();
+    assert_eq!(metrics.len(), 2);
+    assert_eq!(metrics[0].plan_nanos, 42);
+    assert!(metrics[1].credit.is_none());
+
+    let Some(Event::RunStart {
+        nodes, strategy, ..
+    }) = log.run_start()
+    else {
+        panic!("fixture has a run-start record");
+    };
+    assert_eq!(*nodes, 3);
+    assert_eq!(strategy, "golden-fixture");
+}
+
+#[test]
+fn golden_fixture_roundtrips_line_by_line() {
+    for line in GOLDEN.lines() {
+        let event = Event::from_json_line(line).expect("fixture line decodes");
+        // The fixture is written in canonical field order, so each line
+        // must survive a decode → encode cycle byte for byte.
+        assert_eq!(event.to_json_line(), line);
+    }
+}

@@ -303,9 +303,12 @@ proptest! {
         use pob_sim::{DownloadCapacity, Engine, SimConfig};
         let overlay = pob_sim::CompleteOverlay::new(n);
         let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
-        let mut rec = Recorder::new(SwarmStrategy::new(BlockSelection::Random));
-        let report = Engine::new(cfg, &overlay)
-            .run(&mut rec, &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
+        let mut rec = Recorder::new();
+        let report = Engine::with_sink(cfg, &overlay, &mut rec)
+            .run(
+                &mut SwarmStrategy::new(BlockSelection::Random),
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            )
             .expect("admissible");
         let trace = rec.into_trace();
         prop_assert_eq!(trace.total_transfers() as u64, report.total_uploads);

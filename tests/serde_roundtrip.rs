@@ -52,6 +52,31 @@ fn full_run_report_roundtrip() {
     assert_eq!(back.completion_time(), report.completion_time());
 }
 
+/// `RunReport` equality deliberately ignores the `perf` block: wall time
+/// varies run to run even for identical seeds, so two serialized reports
+/// of the same run compare equal while their perf counters differ. The
+/// counters still round-trip through serde — they are excluded from
+/// `PartialEq`, not from the encoding.
+#[test]
+fn report_equality_ignores_perf_but_serde_preserves_it() {
+    let report = run_binomial_pipeline(24, 16).unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let mut back: RunReport = serde_json::from_str(&json).unwrap();
+    // The counters survived the round trip byte for byte...
+    assert_eq!(back.perf, report.perf);
+    // ...and reports stay equal even when the perf blocks diverge.
+    back.perf.wall_nanos = back.perf.wall_nanos.wrapping_add(1_000_000);
+    back.perf.rejections_by_reason[0] += 7;
+    assert_eq!(back, report, "perf must not affect report equality");
+    // Old reports without the per-reason field decode to all zeros.
+    let legacy = json.replace(r#""rejections_by_reason":"#, r#""ignored_legacy_key":"#);
+    let legacy: RunReport = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(
+        legacy.perf.rejections_by_reason,
+        [0; pob_sim::RejectTransferError::COUNT]
+    );
+}
+
 #[test]
 fn summary_roundtrip() {
     let s = pob_analysis::Summary::from_samples(&[1.0, 2.0, 3.0]);

@@ -13,11 +13,11 @@ use rand::SeedableRng;
 fn traced<S: Strategy>(
     cfg: SimConfig,
     topology: &dyn pob_sim::Topology,
-    strategy: S,
+    mut strategy: S,
 ) -> (pob_sim::trace::RunTrace, pob_sim::RunReport) {
-    let mut rec = Recorder::new(strategy);
-    let report = Engine::new(cfg, topology)
-        .run(&mut rec, &mut StdRng::seed_from_u64(0))
+    let mut rec = Recorder::new();
+    let report = Engine::with_sink(cfg, topology, &mut rec)
+        .run(&mut strategy, &mut StdRng::seed_from_u64(0))
         .expect("admissible");
     (rec.into_trace(), report)
 }
