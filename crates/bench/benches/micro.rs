@@ -116,6 +116,121 @@ fn interest_index(c: &mut Criterion) {
     group.finish();
 }
 
+fn rarity_index(c: &mut Criterion) {
+    use pob_core::strategies::RarityIndex;
+    // The Rarest-First hot path: one rebuild per run, an O(1) bucket move
+    // per delivery, and a two-pass select per proposal.
+    let (n, k) = (1024, 512);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut state = SimState::new(n, k);
+    for v in 1..n {
+        for b in 0..k {
+            if rng.gen_bool(0.5) {
+                state.deliver(NodeId::from_index(v), BlockId::from_index(b), Tick::new(1));
+            }
+        }
+    }
+    let mut index = RarityIndex::default();
+    index.rebuild(&state);
+    let batch: Vec<Transfer> = (0..64u32)
+        .map(|i| {
+            Transfer::new(
+                NodeId::SERVER,
+                NodeId::from_index(1 + (i as usize * 13) % (n - 1)),
+                BlockId::from_index((i as usize * 37) % k),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("rarity_index");
+    group.bench_function("rebuild_n1024_k512", |bench| {
+        bench.iter(|| index.rebuild(black_box(&state)))
+    });
+    group.bench_function("apply_64_deliveries_n1024_k512", |bench| {
+        bench.iter_batched_ref(
+            || index.clone(),
+            |ix| ix.apply_deliveries(black_box(&batch)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("select_n1024_k512", |bench| {
+        let from = state.inventory(NodeId::SERVER).clone();
+        let to = state.inventory(NodeId::from_index(1)).clone();
+        let pending = BlockSet::empty(k);
+        let mut rng = StdRng::seed_from_u64(11);
+        bench.iter(|| {
+            index.select(
+                black_box(&from),
+                black_box(&to),
+                black_box(&pending),
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn credit_index(c: &mut Criterion) {
+    use pob_sim::{CreditIndex, CreditLedger};
+    // The CreditLimited admission hot path: `credit_allows` is one
+    // `is_blocked` probe; each settled tick re-derives only the settled
+    // pairs; a full rebuild only ever happens on a pre-populated ledger.
+    let n = 512u32;
+    let credit = 2u32;
+    let mut ledger = CreditLedger::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..8 * n {
+        let u = NodeId::new(rng.gen_range(1..n));
+        let v = NodeId::new(rng.gen_range(1..n));
+        if u != v {
+            ledger.record(u, v);
+        }
+    }
+    let mut index = CreditIndex::default();
+    index.rebuild(&ledger, credit);
+    // A tick-sized settle batch over distinct client pairs.
+    let batch: Vec<Transfer> = (0..64u32)
+        .map(|i| {
+            Transfer::new(
+                NodeId::new(1 + i % (n - 1)),
+                NodeId::new(1 + (i * 7 + 3) % (n - 1)),
+                BlockId::from_index(0),
+            )
+        })
+        .filter(|t| t.from != t.to)
+        .collect();
+    let mut group = c.benchmark_group("credit_index");
+    group.bench_function("rebuild_n512_c2", |bench| {
+        bench.iter(|| index.rebuild(black_box(&ledger), black_box(credit)))
+    });
+    group.bench_function("settle_64_transfers_n512_c2", |bench| {
+        bench.iter_batched_ref(
+            || index.clone(),
+            |ix| ix.on_settle(black_box(&batch), black_box(&ledger), black_box(credit)),
+            BatchSize::SmallInput,
+        )
+    });
+    // Batch 256 probes per iteration so the per-probe cost is measurable
+    // above the harness overhead.
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("is_blocked_n512_c2", |bench| {
+        let probes: Vec<(NodeId, NodeId)> = (0..256u32)
+            .map(|i| {
+                (
+                    NodeId::new(1 + i % (n - 1)),
+                    NodeId::new(1 + (i * 11 + 5) % (n - 1)),
+                )
+            })
+            .collect();
+        bench.iter(|| {
+            probes
+                .iter()
+                .filter(|&&(u, v)| index.is_blocked(black_box(u), black_box(v)))
+                .count()
+        })
+    });
+    group.finish();
+}
+
 fn pair_counters(c: &mut Criterion) {
     // The planner's per-tick `sent_in_tick` pattern: many add/get cycles
     // on (from, to) pairs, cleared between ticks. PairCounter (packed key
@@ -251,6 +366,8 @@ criterion_group!(
     benches,
     blockset_ops,
     interest_index,
+    rarity_index,
+    credit_index,
     pair_counters,
     engine_runs,
     construction,

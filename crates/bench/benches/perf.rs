@@ -1,22 +1,27 @@
-//! Wall-clock performance harness for the figure benches.
+//! Wall-clock performance harness, one point per mechanism.
 //!
-//! Times one representative point of each figure sweep and emits a JSON
-//! trajectory (`BENCH_PR1.json` by default) so perf changes are visible
-//! across PRs. Not a criterion bench: each point is a full simulation
-//! run, timed with the engine's own [`PerfCounters`] plus a monotonic
-//! outer clock, and run `POB_SEEDS` times (default 3, minimum of the
-//! measured walls is reported to suppress scheduler noise).
+//! Times one representative point of each figure sweep — cooperative
+//! (fig3/4/5), credit-limited barter under both block policies (fig6/7),
+//! strict barter (the riffle pipeline) and triangular barter — and emits
+//! a JSON trajectory (`BENCH_PR3.json` by default) so perf changes are
+//! visible per mechanism across PRs. Not a criterion bench: each point is
+//! a full simulation run, timed with the engine's own [`PerfCounters`]
+//! plus a monotonic outer clock, and run `POB_SEEDS` times (default 3,
+//! minimum of the measured walls is reported to suppress scheduler
+//! noise).
 //!
 //! * default: quick scale (seconds);
 //! * `POB_FULL=1`: the paper-scale points (`n = 10⁴`, `k = 1000`);
 //! * `POB_BENCH_OUT=path`: where to write the JSON (default
-//!   `<repo>/BENCH_PR1.json`);
+//!   `<repo>/BENCH_PR3.json`);
 //! * `POB_BENCH_BASELINE=path`: compare against a previous JSON and exit
-//!   non-zero if any figure point regressed more than 2× in wall time.
+//!   non-zero if any point's tick throughput (`ticks_per_sec`) regressed
+//!   2× or more.
 //!
 //! [`PerfCounters`]: pob_sim::PerfCounters
 
-use pob_core::strategies::{BlockSelection, SwarmStrategy};
+use pob_core::run::run_riffle_pipeline;
+use pob_core::strategies::{BlockSelection, SwarmStrategy, TriangularSwarm};
 use pob_overlay::random_regular;
 use pob_sim::{
     CompleteOverlay, DownloadCapacity, Engine, Mechanism, RejectTransferError, RunReport,
@@ -37,6 +42,9 @@ struct PointResult {
     rejections: u64,
     rejections_by_reason: [u64; RejectTransferError::COUNT],
     completion: Option<u32>,
+    fast_ticks: u64,
+    rarity_rebuilds: u64,
+    credit_invalidations: u64,
 }
 
 fn time_point(
@@ -74,6 +82,9 @@ fn time_point(
         rejections: p.rejections,
         rejections_by_reason: p.rejections_by_reason,
         completion: report.completion_time(),
+        fast_ticks: p.fast_ticks,
+        rarity_rebuilds: p.rarity_rebuilds,
+        credit_invalidations: p.credit_invalidations,
     }
 }
 
@@ -151,7 +162,11 @@ fn to_json(mode: &str, results: &[PointResult]) -> String {
         }
         let _ = write!(
             out,
-            "}}, \"completion\": {}}}",
+            "}}, \"fast_ticks\": {}, \"rarity_rebuilds\": {}, \"credit_invalidations\": {}, \
+             \"completion\": {}}}",
+            r.fast_ticks,
+            r.rarity_rebuilds,
+            r.credit_invalidations,
             r.completion
                 .map_or_else(|| "null".to_owned(), |t| t.to_string()),
         );
@@ -161,7 +176,7 @@ fn to_json(mode: &str, results: &[PointResult]) -> String {
     out
 }
 
-/// Pulls `(id, wall_ms)` pairs out of a previous JSON emission. A
+/// Pulls `(id, ticks_per_sec)` pairs out of a previous JSON emission. A
 /// deliberately narrow scanner for exactly the format `to_json` writes —
 /// good enough for the 2× regression gate without a JSON dependency.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -175,16 +190,16 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
             continue;
         };
         let id = &rest[..id_end];
-        let Some(wall_at) = line.find("\"wall_ms\": ") else {
+        let Some(tps_at) = line.find("\"ticks_per_sec\": ") else {
             continue;
         };
-        let tail = &line[wall_at + 11..];
+        let tail = &line[tps_at + 17..];
         let num: String = tail
             .chars()
             .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
             .collect();
-        if let Ok(ms) = num.parse::<f64>() {
-            out.push((id.to_owned(), ms));
+        if let Ok(tps) = num.parse::<f64>() {
+            out.push((id.to_owned(), tps));
         }
     }
     out
@@ -291,14 +306,56 @@ fn main() {
         ));
     }
 
+    // strict-barter: the riffle pipeline (§3.1.3), the deterministic
+    // schedule that saturates strict barter. Seed-independent; repeated
+    // runs only suppress scheduler noise.
+    let (n, k) = pob_bench::scaled((64, 512), (128, 2_048));
+    results.push(time_point(
+        "riffle-strict",
+        vec![("n", n.to_string()), ("k", k.to_string())],
+        runs,
+        |_seed| run_riffle_pipeline(n, k, true).expect("riffle schedule is strict-barter-clean"),
+    ));
+
+    // triangular: three-way barter on the fig6 overlay family (§3.3).
+    let (n, k, d) = pob_bench::scaled((200, 64, 16), (500, 256, 16));
+    let cap = 20 * (n + k) as u32;
+    results.push(time_point(
+        "tri-rarest",
+        vec![
+            ("n", n.to_string()),
+            ("k", k.to_string()),
+            ("degree", d.to_string()),
+            ("credit", "2".to_owned()),
+        ],
+        runs,
+        |seed| {
+            let overlay =
+                random_regular(n, d, &mut StdRng::seed_from_u64(seed + 1)).expect("regular graph");
+            let cfg = SimConfig::new(n, k)
+                .with_mechanism(Mechanism::TriangularBarter { credit: 2 })
+                .with_download_capacity(DownloadCapacity::Unlimited)
+                .with_max_ticks(cap);
+            Engine::new(cfg, &overlay)
+                .run(
+                    &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .expect("triangular swarm stays admissible")
+        },
+    ));
+
     let out_path = std::env::var("POB_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json").to_owned()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").to_owned()
     });
     let json = to_json(if full { "full" } else { "quick" }, &results);
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("[json written to {out_path}]");
 
-    // Regression gate: ≤ 2× wall-time of the baseline, per figure point.
+    // Regression gate: every point must keep at least half the baseline's
+    // tick throughput. Throughput (not wall time) so points whose runs
+    // legitimately change length — a capped barter run stalling a few
+    // ticks earlier — don't trip the gate spuriously.
     if let Ok(baseline_path) = std::env::var("POB_BENCH_BASELINE") {
         // Relative paths are tried against the bench's own cwd first, then
         // the repo root (cargo runs benches from the package directory).
@@ -313,18 +370,18 @@ fn main() {
         let baseline = parse_baseline(&text);
         let mut failed = false;
         for r in &results {
-            let Some((_, base_ms)) = baseline.iter().find(|(id, _)| *id == r.id) else {
+            let Some((_, base_tps)) = baseline.iter().find(|(id, _)| *id == r.id) else {
                 println!("[baseline has no entry for {}; skipping]", r.id);
                 continue;
             };
-            let ratio = r.wall_ms / base_ms;
+            let ratio = r.ticks_per_sec / base_tps;
             println!(
-                "{:<14} {:8.1} ms vs baseline {:8.1} ms  ({ratio:.2}×)",
-                r.id, r.wall_ms, base_ms
+                "{:<14} {:9.0} ticks/s vs baseline {:9.0}  ({ratio:.2}×)",
+                r.id, r.ticks_per_sec, base_tps
             );
-            if ratio > 2.0 {
+            if ratio < 0.5 {
                 println!(
-                    "REGRESSION: {} is {ratio:.2}× the baseline (limit 2×)",
+                    "REGRESSION: {} runs at {ratio:.2}× the baseline throughput (limit 0.5×)",
                     r.id
                 );
                 failed = true;

@@ -20,6 +20,7 @@ mod asynchronous;
 mod bittorrent;
 mod policy;
 mod randomized;
+mod rarity;
 mod selfish;
 mod splitstream;
 mod triangular;
@@ -28,6 +29,7 @@ pub use asynchronous::{AsyncHypercube, AsyncSwarm};
 pub use bittorrent::BitTorrentLike;
 pub use policy::BlockSelection;
 pub use randomized::{CollisionModel, InterestIndex, SwarmStrategy};
+pub use rarity::RarityIndex;
 pub use selfish::StrategicSwarm;
 pub use splitstream::SplitStream;
 pub use triangular::TriangularSwarm;

@@ -10,12 +10,16 @@
 //! reconstruction — same seed, same trace (see `tests/golden_seed.rs`).
 //!
 //! On *fast ticks* (complete overlay, `Resolved` collisions, cooperative
-//! mechanism, unlimited download capacity) interest is the only admission
-//! rule and the index leaf is exactly `inventory ∪ pending`, so target
-//! checks, block selection, and proposal validation all collapse to leaf
-//! probes of the index — again bit-identical, just cheaper.
+//! or credit-limited mechanism, unlimited download capacity) interest and
+//! credit are the only admission rules; the index leaf is exactly
+//! `inventory ∪ pending` and credit is an O(1) probe of the engine's
+//! credit-feasibility index, so target checks, block selection, and
+//! proposal validation all collapse to index probes — again
+//! bit-identical, just cheaper. Sparse overlays get the same treatment
+//! per neighbor-list candidate: the interest leaf plus the credit probe
+//! replace the pairwise inventory scans.
 
-use super::BlockSelection;
+use super::{BlockSelection, RarityIndex};
 use pob_sim::{
     BlockId, BlockSet, Mechanism, NeighborSet, NodeId, SimError, SimState, Strategy, TickPlanner,
 };
@@ -80,9 +84,14 @@ pub struct SwarmStrategy {
     // node ids, persisted across ticks and compacted only on ticks where
     // a receiver completed.
     pool: Vec<u32>,
-    // Interest index over all clients (complete overlays only), persisted
-    // across ticks; see `InterestIndex` for the incremental update rules.
+    // Interest index over all clients, persisted across ticks and
+    // maintained on every overlay (leaf probes serve both the pool and
+    // the neighbor-list paths); see `InterestIndex` for the incremental
+    // update rules.
     index: InterestIndex,
+    // Rarity buckets for the Rarest-First policy, persisted across ticks
+    // and fed the per-tick delivery delta (unused under Random).
+    rarity: RarityIndex,
     // Stuck cache: a node is *stuck* when no target passes the persistent
     // admission checks (inventory-level interest and ledger credit).
     // Stuck-ness can only end when the node receives a block (its
@@ -94,15 +103,18 @@ pub struct SwarmStrategy {
     // Tick through which pool/index/stuck are synchronized; `None` forces
     // a rebuild (fresh strategy, or after `notify_topology_changed`).
     synced_through: Option<u32>,
-    // Whether pool/index were built (i.e. last tick ran on the complete
-    // overlay fast path).
+    // Whether the interest index was kept in step last tick.
     indexed: bool,
+    // Whether the candidate pool was built (i.e. last tick ran on the
+    // complete overlay).
+    pooled: bool,
     // Whether the current tick qualifies for the *fast tick* shortcuts:
-    // complete overlay + Resolved collisions + cooperative mechanism +
-    // unlimited download capacity. Then interest is the only admission
-    // rule and the index leaf is exactly `inventory ∪ pending`, so target
-    // checks, block selection, and proposal validation collapse to leaf
-    // probes — bit-identical to the general path, just cheaper.
+    // complete overlay + Resolved collisions + cooperative or
+    // credit-limited mechanism + unlimited download capacity. Then
+    // interest (a leaf probe) and credit (an O(1) probe of the engine's
+    // credit index) are the only admission rules, so target checks, block
+    // selection, and proposal validation collapse to index probes —
+    // bit-identical to the general path, just cheaper.
     fast_tick: bool,
 }
 
@@ -147,9 +159,11 @@ impl SwarmStrategy {
             interested: Vec::new(),
             pool: Vec::new(),
             index: InterestIndex::default(),
+            rarity: RarityIndex::default(),
             stuck: Vec::new(),
             synced_through: None,
             indexed: false,
+            pooled: false,
             fast_tick: false,
         }
     }
@@ -160,6 +174,7 @@ impl SwarmStrategy {
     pub fn notify_topology_changed(&mut self) {
         self.synced_through = None;
         self.indexed = false;
+        self.pooled = false;
         self.stuck.clear();
     }
 
@@ -178,6 +193,12 @@ impl SwarmStrategy {
     /// change) — the per-tick path is purely incremental.
     pub fn index_rebuilds(&self) -> u64 {
         self.index.rebuild_count()
+    }
+
+    /// How many times the rarity-bucket index was rebuilt from scratch
+    /// (Rarest-First only; stays zero under the Random policy).
+    pub fn rarity_rebuilds(&self) -> u64 {
+        self.rarity.rebuild_count()
     }
 
     /// Admissibility used at target-selection time: the `Resolved` model
@@ -209,12 +230,13 @@ impl SwarmStrategy {
         }
         let inv = p.state().inventory(u);
         // Fast path: rejection sampling over the pool. On a fast tick the
-        // admissibility check is a single leaf probe of the index.
+        // admissibility check is a leaf probe of the interest index plus
+        // (under credit-limited barter) an O(1) credit-index probe.
         for _ in 0..REJECTION_TRIES {
             let cand = NodeId::new(self.pool[rng.gen_range(0..self.pool.len())]);
             let admissible = cand != u
                 && if self.fast_tick {
-                    self.index.still_wants(cand, inv)
+                    self.index.still_wants(cand, inv) && p.credit_allows(u, cand)
                 } else {
                     self.selects(p, u, cand)
                 };
@@ -228,10 +250,16 @@ impl SwarmStrategy {
         self.interested.clear();
         self.index.collect_interested(inv, &mut self.interested);
         if self.fast_tick {
-            // Interest is the only admission rule in play, and the tree
-            // never reports `u` itself (its own leaf covers `inv`), so
-            // the collected set is already exactly the admissible set.
+            // Interest and credit are the only admission rules in play,
+            // and the tree never reports `u` itself (its own leaf covers
+            // `inv`), so the collected set filtered by credit is exactly
+            // the admissible set.
             debug_assert!(!self.interested.contains(&u.raw()));
+            if matches!(p.mechanism(), Mechanism::CreditLimited { .. }) {
+                let mut interested = std::mem::take(&mut self.interested);
+                interested.retain(|&v| p.credit_allows(u, NodeId::new(v)));
+                self.interested = interested;
+            }
             return if self.interested.is_empty() {
                 self.stuck[u.index()] = true;
                 None
@@ -265,6 +293,13 @@ impl SwarmStrategy {
     }
 
     /// Uniformly random admissible target among explicit neighbors.
+    ///
+    /// Candidates are probed against the interest-index leaf (exactly
+    /// `inventory ∪ pending` under `Resolved`) and the engine's credit
+    /// index instead of re-scanning inventories pairwise, so each probe is
+    /// two word-level set tests. The shuffled scan order and accept
+    /// decisions are identical to the pairwise formulation, keeping runs
+    /// on the same RNG stream.
     fn pick_from_list(
         &mut self,
         p: &TickPlanner<'_>,
@@ -276,15 +311,37 @@ impl SwarmStrategy {
         self.scan.extend(neighbors.iter().map(|n| n.raw()));
         let len = self.scan.len();
         let mut persistent_candidate = false;
-        for i in 0..len {
-            let j = rng.gen_range(i..len);
-            self.scan.swap(i, j);
-            let cand = NodeId::new(self.scan[i]);
-            if self.selects(p, u, cand) {
-                return Some(cand);
+        if self.collisions == CollisionModel::Resolved {
+            let inv = p.state().inventory(u);
+            for i in 0..len {
+                let j = rng.gen_range(i..len);
+                self.scan.swap(i, j);
+                let cand = NodeId::new(self.scan[i]);
+                // The server is complete by construction, hence never
+                // interested — and it has no leaf in the tree.
+                if cand == u || cand.is_server() {
+                    continue;
+                }
+                if self.index.still_wants(cand, inv) && p.credit_allows(u, cand) {
+                    if p.can_download(cand) {
+                        return Some(cand);
+                    }
+                    // Interested and within credit: only this tick's
+                    // download capacity blocks, so `u` is not stuck.
+                    persistent_candidate = true;
+                }
             }
-            persistent_candidate |=
-                cand != u && p.credit_allows(u, cand) && p.is_interested(u, cand);
+        } else {
+            for i in 0..len {
+                let j = rng.gen_range(i..len);
+                self.scan.swap(i, j);
+                let cand = NodeId::new(self.scan[i]);
+                if self.selects(p, u, cand) {
+                    return Some(cand);
+                }
+                persistent_candidate |=
+                    cand != u && p.credit_allows(u, cand) && p.is_interested(u, cand);
+            }
         }
         if !persistent_candidate {
             self.stuck[u.index()] = true;
@@ -313,8 +370,20 @@ impl SwarmStrategy {
             self.stuck.clear();
             self.stuck.resize(n, false);
         }
+        // Interest index, on every overlay: under `Resolved` every promise
+        // was recorded via `add_pending` and every promise commits, so the
+        // leaves already equal current inventories — nothing to do. Under
+        // `Simultaneous` no pendings were recorded, so fold the delivery
+        // delta in now.
+        if synced && self.indexed {
+            if self.collisions == CollisionModel::Simultaneous {
+                self.index.apply_deliveries(p.last_committed());
+            }
+        } else {
+            self.index.rebuild(p.state());
+        }
         if complete_overlay {
-            if synced && self.indexed {
+            if synced && self.pooled {
                 // Pool: compact (order-preserving, so picks stay
                 // bit-identical) only when some receiver completed.
                 if p.last_committed()
@@ -324,23 +393,45 @@ impl SwarmStrategy {
                     let state = p.state();
                     self.pool.retain(|&v| !state.is_complete(NodeId::new(v)));
                 }
-                // Index: under `Resolved` every promise was recorded via
-                // `add_pending` and every promise commits, so the leaves
-                // already equal current inventories — nothing to do. Under
-                // `Simultaneous` no pendings were recorded, so fold the
-                // delivery delta in now.
-                if self.collisions == CollisionModel::Simultaneous {
-                    self.index.apply_deliveries(p.last_committed());
-                }
             } else {
                 self.pool.clear();
                 self.pool
                     .extend((0..n as u32).filter(|&v| !p.state().is_complete(NodeId::new(v))));
-                self.index.rebuild(p.state());
             }
         }
-        self.indexed = complete_overlay;
+        // Rarity buckets (Rarest-First only): one O(1) bucket move per
+        // delivery on the incremental path, bit-identical to a rebuild.
+        if matches!(self.policy, BlockSelection::RarestFirst) {
+            if synced {
+                self.rarity.apply_deliveries(p.last_committed());
+            } else {
+                self.rarity.rebuild(p.state());
+            }
+        }
+        self.indexed = true;
+        self.pooled = complete_overlay;
         self.synced_through = Some(t);
+    }
+
+    /// Policy-directed block pick. Rarest-First goes through the
+    /// incremental rarity buckets (bit-identical to
+    /// [`TickPlanner::select_rarest_block`], cheaper per query).
+    fn pick_block(
+        &mut self,
+        p: &TickPlanner<'_>,
+        u: NodeId,
+        v: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<BlockId> {
+        match self.policy {
+            BlockSelection::Random => p.select_random_block(u, v, rng),
+            BlockSelection::RarestFirst => self.rarity.select(
+                p.state().inventory(u),
+                p.state().inventory(v),
+                p.pending(v),
+                rng,
+            ),
+        }
     }
 }
 
@@ -355,11 +446,19 @@ impl Strategy for SwarmStrategy {
             self.order.swap(i, j);
         }
         let complete_overlay = p.topology().is_complete();
+        let rarity_rebuilds = self.rarity.rebuild_count();
         self.sync_caches(p, complete_overlay);
+        p.note_rarity_rebuilds(self.rarity.rebuild_count() - rarity_rebuilds);
         self.fast_tick = complete_overlay
             && self.collisions == CollisionModel::Resolved
-            && matches!(p.mechanism(), Mechanism::Cooperative)
+            && matches!(
+                p.mechanism(),
+                Mechanism::Cooperative | Mechanism::CreditLimited { .. }
+            )
             && p.downloads_unlimited();
+        if self.fast_tick {
+            p.note_fast_tick();
+        }
         for idx in 0..n {
             let u = NodeId::new(self.order[idx]);
             if self.stuck[u.index()] || p.upload_left(u) == 0 || p.state().inventory(u).is_empty() {
@@ -384,25 +483,14 @@ impl Strategy for SwarmStrategy {
                         // pass against the leaf instead of three sets.
                         self.index.pick_wanted(v, p.state().inventory(u), rng)
                     } else {
-                        self.policy.pick(p, u, v, rng)
+                        self.pick_block(p, u, v, rng)
                     };
                     if let Some(block) = block {
-                        if self.fast_tick {
-                            p.propose_admitted(u, v, block);
-                        } else {
-                            // Admissibility was just checked; a rejection
-                            // here would be a planner/strategy invariant
-                            // violation worth surfacing.
-                            p.propose(u, v, block)
-                                .map_err(|reason| SimError::BadSchedule {
-                                    transfer: pob_sim::Transfer::new(u, v, block),
-                                    reason,
-                                    tick: p.tick(),
-                                })?;
-                        }
-                        if complete_overlay {
-                            self.index.add_pending(v, block);
-                        }
+                        // Every admission rule was just checked at target
+                        // selection and the block is novel by construction;
+                        // debug builds re-validate inside the planner.
+                        p.propose_admitted(u, v, block);
+                        self.index.add_pending(v, block);
                     }
                 }
                 CollisionModel::Simultaneous => {
@@ -410,7 +498,7 @@ impl Strategy for SwarmStrategy {
                     // uploads: the engine-side capacity and duplicate
                     // checks act as the collision resolution, and a
                     // rejected proposal simply idles this uploader.
-                    if let Some(block) = self.policy.pick(p, u, v, rng) {
+                    if let Some(block) = self.pick_block(p, u, v, rng) {
                         let _ = p.propose(u, v, block);
                     }
                 }

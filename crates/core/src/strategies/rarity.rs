@@ -1,0 +1,332 @@
+//! Incremental rarity-bucket index for the Rarest-First block policy.
+//!
+//! [`TickPlanner::select_rarest_block`] rescans every candidate block
+//! with a `freq[]` lookup per block. Under barter mechanisms (where
+//! most proposals also re-run admission checks) that scan dominates the
+//! slow-tick profile, the same way naive interest checks did before the
+//! `InterestIndex`. This module is the rarity-side counterpart: blocks
+//! are bucketed by their current global frequency, the buckets are
+//! updated in O(1) per committed delivery from
+//! [`TickPlanner::last_committed`], and a query finds the rarest class
+//! in one pass over the candidate difference, then resolves the tie
+//! word-by-word against that class's bucket instead of revisiting each
+//! candidate block individually.
+//!
+//! The selection is *bit-identical* to the planner's reference
+//! implementation, including RNG discipline: zero draws when the
+//! minimum-frequency candidate is unique, exactly one
+//! `gen_range(0..ties)` draw otherwise (see the planner's
+//! `rarest_selection_pins_rng_draw_counts` regression test). The golden
+//! seed fixtures pin this equivalence end-to-end.
+//!
+//! [`TickPlanner::select_rarest_block`]: pob_sim::TickPlanner::select_rarest_block
+//! [`TickPlanner::last_committed`]: pob_sim::TickPlanner::last_committed
+
+use pob_sim::{BlockId, BlockSet, SimState, Transfer};
+use rand::Rng;
+
+/// Blocks bucketed by global replica count, maintained incrementally.
+///
+/// Owned by a strategy and synchronized to one engine's tick sequence:
+/// [`rebuild`](Self::rebuild) at the start of a run (or after any tick
+/// discontinuity), then [`apply_deliveries`](Self::apply_deliveries)
+/// once per tick with the previous tick's committed transfers.
+///
+/// # Examples
+///
+/// ```
+/// use pob_core::strategies::RarityIndex;
+/// use pob_sim::{BlockSet, SimState};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let state = SimState::new(4, 8); // server holds all 8 blocks
+/// let mut index = RarityIndex::default();
+/// index.rebuild(&state);
+/// let none = BlockSet::empty(8);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // Server → client 1: all blocks tie at the minimum frequency.
+/// let b = index.select(
+///     state.inventory(pob_sim::NodeId::SERVER),
+///     state.inventory(pob_sim::NodeId::new(1)),
+///     &none,
+///     &mut rng,
+/// );
+/// assert!(b.is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RarityIndex {
+    /// `buckets[f]` = set of blocks whose current frequency is `f`.
+    buckets: Vec<BlockSet>,
+    /// Mirror of [`SimState::frequencies`] as of the last sync.
+    freq: Vec<u32>,
+    /// Scratch for the candidate difference `from ∖ (to ∪ pending)`.
+    diff: Vec<u64>,
+    rebuilds: u64,
+}
+
+impl RarityIndex {
+    /// Rebuilds buckets and the frequency mirror from scratch.
+    pub fn rebuild(&mut self, state: &SimState) {
+        let k = state.block_count();
+        self.rebuilds += 1;
+        self.freq.clear();
+        self.freq.extend_from_slice(state.frequencies());
+        let max_f = self.freq.iter().copied().max().unwrap_or(0) as usize;
+        // Reuse bucket allocations when the block universe is unchanged.
+        if self.buckets.first().map(BlockSet::universe) != Some(k) {
+            self.buckets.clear();
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        while self.buckets.len() <= max_f {
+            self.buckets.push(BlockSet::empty(k));
+        }
+        for (i, &f) in self.freq.iter().enumerate() {
+            self.buckets[f as usize].insert(BlockId::from_index(i));
+        }
+    }
+
+    /// How many times [`rebuild`](Self::rebuild) ran on this index. In
+    /// steady state this stays at one per run — the per-tick path is
+    /// purely incremental.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Folds one tick's committed deliveries in: each delivered block
+    /// moves up exactly one bucket (`O(1)` set updates per transfer).
+    pub fn apply_deliveries(&mut self, deliveries: &[Transfer]) {
+        for tr in deliveries {
+            let b = tr.block;
+            let f = self.freq[b.index()] as usize;
+            self.buckets[f].remove(b);
+            if self.buckets.len() <= f + 1 {
+                let k = self.buckets[f].universe();
+                self.buckets.push(BlockSet::empty(k));
+            }
+            self.buckets[f + 1].insert(b);
+            self.freq[b.index()] += 1;
+        }
+    }
+
+    /// Globally rarest block of `from ∖ (to ∪ pending)`, ties broken
+    /// uniformly at random — bit-identical (value *and* RNG draws) to
+    /// [`TickPlanner::select_rarest_block`].
+    ///
+    /// [`TickPlanner::select_rarest_block`]: pob_sim::TickPlanner::select_rarest_block
+    pub fn select<R: Rng + ?Sized>(
+        &mut self,
+        from: &BlockSet,
+        to: &BlockSet,
+        pending: &BlockSet,
+        rng: &mut R,
+    ) -> Option<BlockId> {
+        let fw = from.words();
+        let tw = to.words();
+        let pw = pending.words();
+        self.diff.clear();
+        let mut any = 0u64;
+        for w in 0..fw.len() {
+            let d = fw[w] & !(tw[w] | pw[w]);
+            any |= d;
+            self.diff.push(d);
+        }
+        if any == 0 {
+            return None;
+        }
+        // Pass 1: minimum frequency, tie count, and first candidate, one
+        // frequency lookup per candidate bit. (Scanning buckets upward
+        // from the global minimum instead is attractive but degenerate
+        // late in barter runs, where a sender's candidates can sit
+        // hundreds of buckets above the globally rarest block.)
+        let mut best = u32::MAX;
+        let mut first = None;
+        let mut ties = 0u32;
+        for w in 0..self.diff.len() {
+            let mut word = self.diff[w];
+            while word != 0 {
+                let bit = word.trailing_zeros();
+                word &= word - 1; // clear lowest set bit
+                let f = self.freq[w * 64 + bit as usize];
+                if f < best {
+                    best = f;
+                    first = Some((w, bit));
+                    ties = 1;
+                } else if f == best {
+                    ties += 1;
+                }
+            }
+        }
+        let (w0, b0) = first.expect("non-empty difference has a minimum");
+        if ties == 1 {
+            return Some(block_at(w0, b0));
+        }
+        // Pass 2: the minimum class is exactly `diff ∩ buckets[best]`, so
+        // the j-th tie resolves with word-level popcounts instead of
+        // another per-block frequency scan.
+        let j = rng.gen_range(0..ties);
+        let bw = self.buckets[best as usize].words();
+        let mut skipped = 0u32;
+        for (w, (&d, &b)) in self.diff.iter().zip(bw).enumerate().skip(w0) {
+            let hit = d & b;
+            let c = hit.count_ones();
+            if skipped + c > j {
+                let mut word = hit;
+                for _ in 0..(j - skipped) {
+                    word &= word - 1;
+                }
+                return Some(block_at(w, word.trailing_zeros()));
+            }
+            skipped += c;
+        }
+        unreachable!("draw {j} exceeded {ties} ties in bucket {best}")
+    }
+}
+
+#[inline]
+fn block_at(word: usize, bit: u32) -> BlockId {
+    BlockId::from_index(word * 64 + bit as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pob_sim::{NodeId, Tick};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The planner's reference semantics, restated: two passes, one draw
+    /// iff the minimum-frequency class has two or more candidates.
+    fn reference_select(
+        freq: &[u32],
+        from: &BlockSet,
+        to: &BlockSet,
+        pending: &BlockSet,
+        rng: &mut StdRng,
+    ) -> Option<BlockId> {
+        let candidates: Vec<BlockId> = from
+            .iter()
+            .filter(|&b| !to.contains(b) && !pending.contains(b))
+            .collect();
+        let best = candidates.iter().map(|b| freq[b.index()]).min()?;
+        let class: Vec<BlockId> = candidates
+            .into_iter()
+            .filter(|b| freq[b.index()] == best)
+            .collect();
+        if class.len() == 1 {
+            return Some(class[0]);
+        }
+        let j = rng.gen_range(0..class.len() as u32);
+        Some(class[j as usize])
+    }
+
+    fn random_state(rng: &mut StdRng, n: usize, k: usize, density: f64) -> SimState {
+        let mut state = SimState::new(n, k);
+        for node in 1..n {
+            for b in 0..k {
+                if rng.gen_bool(density) {
+                    state.deliver(
+                        NodeId::from_index(node),
+                        BlockId::from_index(b),
+                        Tick::new(1),
+                    );
+                }
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn select_matches_reference_and_rng_stream() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..40 {
+            let n = rng.gen_range(3..24);
+            let k = rng.gen_range(1..130);
+            let state = random_state(&mut rng, n, k, 0.35);
+            let mut index = RarityIndex::default();
+            index.rebuild(&state);
+            let mut pending = BlockSet::empty(k);
+            for b in 0..k {
+                if rng.gen_bool(0.1) {
+                    pending.insert(BlockId::from_index(b));
+                }
+            }
+            for from in 0..n {
+                for to in 1..n {
+                    let (fi, ti) = (
+                        state.inventory(NodeId::from_index(from)),
+                        state.inventory(NodeId::from_index(to)),
+                    );
+                    let mut r1 = StdRng::seed_from_u64(trial * 1000 + (from * n + to) as u64);
+                    let mut r2 = r1.clone();
+                    let got = index.select(fi, ti, &pending, &mut r1);
+                    let want = reference_select(state.frequencies(), fi, ti, &pending, &mut r2);
+                    assert_eq!(got, want, "trial {trial}, {from}→{to}");
+                    assert_eq!(r1, r2, "RNG streams diverged: trial {trial}, {from}→{to}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_deliveries_matches_rebuild() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..30 {
+            let n = rng.gen_range(3..20);
+            let k = rng.gen_range(1..100);
+            let mut state = random_state(&mut rng, n, k, 0.3);
+            let mut incremental = RarityIndex::default();
+            incremental.rebuild(&state);
+            for round in 0..4 {
+                let mut batch = Vec::new();
+                for _ in 0..rng.gen_range(0..2 * n) {
+                    let v = NodeId::from_index(rng.gen_range(1..n));
+                    let b = BlockId::from_index(rng.gen_range(0..k));
+                    if !state.holds(v, b) {
+                        state.deliver(v, b, Tick::new(round + 2));
+                        batch.push(Transfer::new(NodeId::SERVER, v, b));
+                    }
+                }
+                incremental.apply_deliveries(&batch);
+                let mut rebuilt = RarityIndex::default();
+                rebuilt.rebuild(&state);
+                // Compare behaviorally: same picks from identical RNGs.
+                let none = BlockSet::empty(k);
+                for probe in 1..n {
+                    let fi = state.inventory(NodeId::SERVER);
+                    let ti = state.inventory(NodeId::from_index(probe));
+                    let mut r1 = StdRng::seed_from_u64(trial * 100 + probe as u64);
+                    let mut r2 = r1.clone();
+                    assert_eq!(
+                        incremental.select(fi, ti, &none, &mut r1),
+                        rebuilt.select(fi, ti, &none, &mut r2),
+                        "trial {trial}, round {round}, probe {probe}"
+                    );
+                }
+                assert_eq!(incremental.rebuild_count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_set_returns_none_without_draws() {
+        let state = SimState::new(3, 4);
+        let mut index = RarityIndex::default();
+        index.rebuild(&state);
+        let none = BlockSet::empty(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let untouched = rng.clone();
+        // Client 1 holds nothing, so it offers nothing to client 2.
+        assert_eq!(
+            index.select(
+                state.inventory(NodeId::new(1)),
+                state.inventory(NodeId::new(2)),
+                &none,
+                &mut rng,
+            ),
+            None
+        );
+        assert_eq!(rng, untouched);
+    }
+}

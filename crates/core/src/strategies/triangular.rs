@@ -22,7 +22,7 @@
 //! slack by construction, so the run validates under
 //! [`Mechanism::TriangularBarter`](pob_sim::Mechanism).
 
-use super::BlockSelection;
+use super::{BlockSelection, RarityIndex};
 use pob_sim::{BlockId, NeighborSet, NodeId, SimError, Strategy, TickPlanner};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -55,6 +55,12 @@ pub struct TriangularSwarm {
     matched: Vec<bool>,
     scan: Vec<u32>,
     scan_inner: Vec<u32>,
+    // Rarity buckets for Rarest-First picks, synchronized to the engine's
+    // tick sequence from the per-tick delivery delta (unused under
+    // Random). `synced_through` detects engine restarts, like the
+    // randomized swarm's caches.
+    rarity: RarityIndex,
+    synced_through: Option<u32>,
 }
 
 /// Neighbors examined per node when hunting for swap partners.
@@ -69,7 +75,15 @@ impl TriangularSwarm {
             matched: Vec::new(),
             scan: Vec::new(),
             scan_inner: Vec::new(),
+            rarity: RarityIndex::default(),
+            synced_through: None,
         }
+    }
+
+    /// How many times the rarity-bucket index was rebuilt from scratch
+    /// (Rarest-First only; stays zero under the Random policy).
+    pub fn rarity_rebuilds(&self) -> u64 {
+        self.rarity.rebuild_count()
     }
 
     /// The block-selection policy in use.
@@ -121,7 +135,7 @@ impl TriangularSwarm {
         for i in 0..chain.len() {
             let from = chain[i];
             let to = chain[(i + 1) % chain.len()];
-            match self.policy.pick(p, from, to, rng) {
+            match self.pick_block(p, from, to, rng) {
                 Some(b) => picks[i] = Some((from, to, b)),
                 None => return,
             }
@@ -131,6 +145,27 @@ impl TriangularSwarm {
         }
         for node in chain {
             self.matched[node.index()] = true;
+        }
+    }
+
+    /// Policy-directed block pick. Rarest-First goes through the
+    /// incremental rarity buckets (bit-identical to
+    /// [`TickPlanner::select_rarest_block`], cheaper per query).
+    fn pick_block(
+        &mut self,
+        p: &TickPlanner<'_>,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<BlockId> {
+        match self.policy {
+            BlockSelection::Random => p.select_random_block(from, to, rng),
+            BlockSelection::RarestFirst => self.rarity.select(
+                p.state().inventory(from),
+                p.state().inventory(to),
+                p.pending(to),
+                rng,
+            ),
         }
     }
 }
@@ -146,6 +181,19 @@ impl Strategy for TriangularSwarm {
             let j = rng.gen_range(i..n);
             self.order.swap(i, j);
         }
+        // Rarity buckets (Rarest-First only): fold in the previous tick's
+        // deliveries, or rebuild after a tick discontinuity (fresh
+        // strategy or engine restart). Consumes no RNG.
+        if matches!(self.policy, BlockSelection::RarestFirst) {
+            let t = p.tick().get();
+            if t >= 1 && self.synced_through == Some(t - 1) {
+                self.rarity.apply_deliveries(p.last_committed());
+            } else {
+                self.rarity.rebuild(p.state());
+                p.note_rarity_rebuilds(1);
+            }
+            self.synced_through = Some(t);
+        }
 
         // Scratch buffers live on `self` across ticks; take them locally
         // so the borrow checker lets `&mut self` methods run in between.
@@ -160,7 +208,7 @@ impl Strategy for TriangularSwarm {
                 .find(|&&v| Self::offers(p, NodeId::SERVER, NodeId::new(v)))
             {
                 let v = NodeId::new(v);
-                if let Some(b) = self.policy.pick(p, NodeId::SERVER, v, rng) {
+                if let Some(b) = self.pick_block(p, NodeId::SERVER, v, rng) {
                     let _ = p.propose(NodeId::SERVER, v, b);
                 }
             }
@@ -222,7 +270,7 @@ impl Strategy for TriangularSwarm {
                         && p.effective_net(u, v) < i64::from(slack)
                 }) {
                     let v = NodeId::new(v);
-                    if let Some(b) = self.policy.pick(p, u, v, rng) {
+                    if let Some(b) = self.pick_block(p, u, v, rng) {
                         let _ = p.propose(u, v, b);
                         self.matched[u.index()] = true;
                     }

@@ -511,6 +511,11 @@ impl<'a, E: EventSink> Engine<'a, E> {
         self.config
             .mechanism
             .settle_tick(&self.bufs.transfers, &mut self.ledger, tick)?;
+        if let Mechanism::CreditLimited { credit } = self.config.mechanism {
+            self.bufs
+                .credit_index
+                .on_settle(&self.bufs.transfers, &self.ledger, credit);
+        }
         let count = self.bufs.transfers.len() as u32;
         for t in &self.bufs.transfers {
             if observing {
@@ -597,6 +602,11 @@ impl<'a, E: EventSink> Engine<'a, E> {
                 completed: self.state.all_complete(),
                 total_uploads: self.total_uploads,
                 server_uploads: self.server_uploads,
+                perf: Some(crate::events::PerfGauges {
+                    fast_ticks: self.bufs.stats.fast_ticks,
+                    rarity_rebuilds: self.bufs.stats.rarity_rebuilds,
+                    credit_invalidations: self.bufs.credit_index.invalidations,
+                }),
             });
         }
     }
@@ -621,6 +631,9 @@ impl<'a, E: EventSink> Engine<'a, E> {
                 rejections: self.bufs.stats.rejections,
                 rejections_by_reason: self.bufs.stats.rejections_by_reason,
                 wall_nanos: self.wall_nanos,
+                fast_ticks: self.bufs.stats.fast_ticks,
+                rarity_rebuilds: self.bufs.stats.rarity_rebuilds,
+                credit_invalidations: self.bufs.credit_index.invalidations,
             },
         }
     }
@@ -1177,11 +1190,16 @@ mod tests {
                 completed,
                 total_uploads,
                 server_uploads,
+                perf,
             } => {
                 assert_eq!(*ticks, report.ticks_run);
                 assert!(*completed);
                 assert_eq!(*total_uploads, report.total_uploads);
                 assert_eq!(*server_uploads, report.server_uploads);
+                let perf = perf.expect("live runs always emit perf gauges");
+                assert_eq!(perf.fast_ticks, report.perf.fast_ticks);
+                assert_eq!(perf.rarity_rebuilds, report.perf.rarity_rebuilds);
+                assert_eq!(perf.credit_invalidations, report.perf.credit_invalidations);
             }
             _ => unreachable!(),
         }

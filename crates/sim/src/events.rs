@@ -172,6 +172,23 @@ pub struct CreditGauges {
     pub max_abs_credit: u64,
 }
 
+/// Whole-run performance-counter gauges attached to `run-end`.
+///
+/// Added after `pob-events/1` shipped: encoders emit the fields whenever
+/// the gauges are present, and decoders treat their absence as `None`,
+/// so streams written before the counters existed still round-trip byte
+/// for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PerfGauges {
+    /// Ticks the strategy planned on its incremental fast path.
+    pub fast_ticks: u64,
+    /// Full rebuilds of the strategy's rarity-bucket index.
+    pub rarity_rebuilds: u64,
+    /// Persistent credit-feasibility flag flips applied at settle time.
+    pub credit_invalidations: u64,
+}
+
 /// Per-tick gauges, computed incrementally while a sink is attached.
 ///
 /// `rarity` here is the paper's block *frequency*: the number of nodes
@@ -276,6 +293,9 @@ pub enum Event {
         total_uploads: u64,
         /// Transfers uploaded by the server.
         server_uploads: u64,
+        /// Performance-counter gauges; `None` when decoding streams
+        /// written before these counters existed.
+        perf: Option<PerfGauges>,
     },
 }
 
@@ -395,12 +415,20 @@ impl Event {
                 completed,
                 total_uploads,
                 server_uploads,
+                perf,
             } => {
                 let _ = write!(
                     s,
                     ",\"ticks\":{ticks},\"completed\":{completed},\
                      \"total_uploads\":{total_uploads},\"server_uploads\":{server_uploads}",
                 );
+                if let Some(p) = perf {
+                    let _ = write!(
+                        s,
+                        ",\"fast_ticks\":{},\"rarity_rebuilds\":{},\"credit_invalidations\":{}",
+                        p.fast_ticks, p.rarity_rebuilds, p.credit_invalidations,
+                    );
+                }
             }
         }
         s.push('}');
@@ -508,12 +536,26 @@ impl Event {
                     },
                 })
             }
-            "run-end" => Ok(Event::RunEnd {
-                ticks: obj.u32("ticks")?,
-                completed: obj.bool("completed")?,
-                total_uploads: obj.u64("total_uploads")?,
-                server_uploads: obj.u64("server_uploads")?,
-            }),
+            "run-end" => {
+                // Counters postdate the v1 golden fixtures: absent means
+                // "written before they existed", not an error.
+                let perf = if obj.get("fast_ticks").is_some() {
+                    Some(PerfGauges {
+                        fast_ticks: obj.u64("fast_ticks")?,
+                        rarity_rebuilds: obj.u64("rarity_rebuilds")?,
+                        credit_invalidations: obj.u64("credit_invalidations")?,
+                    })
+                } else {
+                    None
+                };
+                Ok(Event::RunEnd {
+                    ticks: obj.u32("ticks")?,
+                    completed: obj.bool("completed")?,
+                    total_uploads: obj.u64("total_uploads")?,
+                    server_uploads: obj.u64("server_uploads")?,
+                    perf,
+                })
+            }
             other => Err(format!("unknown event kind '{other}'")),
         }
     }
@@ -625,6 +667,15 @@ impl EventLog {
                 completed: true,
                 ..
             } => Some(*ticks),
+            _ => None,
+        })
+    }
+
+    /// The run's perf-counter gauges from the `run-end` record; `None`
+    /// for truncated streams or ones written before the gauges existed.
+    pub fn run_perf(&self) -> Option<PerfGauges> {
+        self.events.iter().rev().find_map(|e| match e {
+            Event::RunEnd { perf, .. } => *perf,
             _ => None,
         })
     }
@@ -1098,6 +1149,19 @@ mod tests {
                 completed: true,
                 total_uploads: 224,
                 server_uploads: 40,
+                perf: Some(PerfGauges {
+                    fast_ticks: 39,
+                    rarity_rebuilds: 1,
+                    credit_invalidations: 7,
+                }),
+            },
+            // Pre-counter form: the gauges stay omitted on re-encode.
+            Event::RunEnd {
+                ticks: 40,
+                completed: true,
+                total_uploads: 224,
+                server_uploads: 40,
+                perf: None,
             },
         ]
     }

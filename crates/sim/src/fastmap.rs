@@ -62,7 +62,7 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 #[inline]
-fn pack(from: NodeId, to: NodeId) -> u64 {
+pub(crate) fn pack(from: NodeId, to: NodeId) -> u64 {
     (u64::from(from.raw()) << 32) | u64::from(to.raw())
 }
 

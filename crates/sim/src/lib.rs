@@ -92,11 +92,11 @@ pub use bandwidth::DownloadCapacity;
 pub use blockset::{BlockSet, DifferenceIter, Iter};
 pub use engine::{Engine, SimConfig, Strategy};
 pub use error::{MechanismViolation, RejectTransferError, SimError};
-pub use events::{Event, EventSink, JsonlSink, NoopSink, TickMetrics};
+pub use events::{Event, EventSink, JsonlSink, NoopSink, PerfGauges, TickMetrics};
 pub use ids::{BlockId, NodeId, Tick};
 pub use mechanism::{CreditLedger, Mechanism};
 pub use metrics::{PerfCounters, RunReport};
-pub use planner::TickPlanner;
+pub use planner::{CreditIndex, TickPlanner};
 pub use state::SimState;
 pub use topology::{CompleteOverlay, NeighborSet, Topology};
 pub use transfer::Transfer;

@@ -12,8 +12,8 @@
 //! The server is exempt everywhere: it uploads without compensation and
 //! never downloads.
 
+use crate::fastmap::FxHashMap;
 use crate::{MechanismViolation, NodeId, Tick, Transfer};
-use std::collections::HashMap;
 
 /// The incentive mechanism governing client-to-client transfers.
 ///
@@ -198,7 +198,10 @@ impl Default for Mechanism {
 }
 
 /// Net in-tick flow deltas, keyed by canonical (low, high) node pair.
-type DeltaMap = HashMap<(u32, u32), i64>;
+/// Deterministic Fx hashing: none of these maps exposes iteration order
+/// to the simulation outcome, only to which violation is reported first —
+/// and Fx iteration order is itself stable across runs and platforms.
+type DeltaMap = FxHashMap<(u32, u32), i64>;
 
 fn canonical(u: NodeId, v: NodeId) -> ((u32, u32), i64) {
     // Returns the canonical key plus the sign of flow u→v under that key.
@@ -218,7 +221,7 @@ fn validate_credit(
     // Credit is granted only at the *end* of an upload, so a reverse
     // transfer in the same tick cannot offset a forward one: each direction
     // is checked one-sidedly against the start-of-tick balance.
-    let mut sent: HashMap<(u32, u32), i64> = HashMap::new();
+    let mut sent: DeltaMap = DeltaMap::default();
     for t in transfers {
         if t.touches_server() {
             continue;
@@ -245,7 +248,7 @@ fn validate_credit(
 fn validate_pairing(transfers: &[Transfer], tick: Tick) -> Result<(), MechanismViolation> {
     // Strict barter: every client-to-client transfer u→v must be matched by
     // a simultaneous v→u transfer.
-    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut counts: FxHashMap<(u32, u32), u32> = FxHashMap::default();
     for t in transfers {
         if t.touches_server() {
             continue;
@@ -287,7 +290,7 @@ fn validate_cycles(
     // most one per client, so cycles are vertex-disjoint and a transfer lies
     // on at most one cycle: simple successor-following suffices. With larger
     // capacities we conservatively follow the first outgoing edge per node.
-    let mut succ: HashMap<u32, u32> = HashMap::new();
+    let mut succ: FxHashMap<u32, u32> = FxHashMap::default();
     for t in transfers {
         if t.touches_server() {
             continue;
@@ -314,7 +317,7 @@ fn validate_cycles(
     }
     // Uncovered transfers consume pairwise credit (one-sided: credit is
     // granted only at the end of an upload).
-    let mut sent: DeltaMap = HashMap::new();
+    let mut sent: DeltaMap = DeltaMap::default();
     for t in &uncovered {
         *sent.entry((t.from.raw(), t.to.raw())).or_insert(0) += 1;
     }
@@ -352,7 +355,9 @@ fn validate_cycles(
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CreditLedger {
-    balances: HashMap<(u32, u32), i64>,
+    // Fx-hashed: balance lookups sit on the credit-admission hot path,
+    // and the map never exposes iteration order to the simulation.
+    balances: FxHashMap<(u32, u32), i64>,
 }
 
 impl CreditLedger {
@@ -378,6 +383,14 @@ impl CreditLedger {
         if *entry == 0 {
             self.balances.remove(&key);
         }
+    }
+
+    /// Iterates the non-zero balances as `(low, high, net_low_to_high)`
+    /// with `low.raw() < high.raw()`, in unspecified order.
+    pub(crate) fn balances(&self) -> impl Iterator<Item = (NodeId, NodeId, i64)> + '_ {
+        self.balances
+            .iter()
+            .map(|(&(a, b), &v)| (NodeId::new(a), NodeId::new(b), v))
     }
 
     /// Number of client pairs with a non-zero balance.

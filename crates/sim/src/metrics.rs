@@ -29,6 +29,21 @@ pub struct PerfCounters {
     pub rejections_by_reason: [u64; RejectTransferError::COUNT],
     /// Wall-clock nanoseconds spent inside `Engine::step`.
     pub wall_nanos: u64,
+    /// Ticks the strategy planned on its incremental fast path (complete
+    /// overlay, index-backed candidate probes) instead of the general
+    /// scan. Defaults to zero when deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub fast_ticks: u64,
+    /// Full rebuilds of the strategy's rarity-bucket index. Steady state
+    /// is one per run; more indicates tick discontinuities forced
+    /// re-syncs. Defaults to zero when deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub rarity_rebuilds: u64,
+    /// Persistent credit-feasibility flag flips applied at settle time
+    /// (pairs crossing the credit bound in either direction). Defaults to
+    /// zero when deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub credit_invalidations: u64,
 }
 
 impl PerfCounters {

@@ -8,13 +8,129 @@
 //! tests double as model-compliance proofs.
 
 use crate::events::{Event, EventSink};
-use crate::fastmap::PairCounter;
+use crate::fastmap::{pack, FxHashMap, PairCounter};
 use crate::{
     BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NodeId, RejectTransferError,
     SimState, Tick, Topology, Transfer,
 };
 use rand::Rng;
 use std::fmt;
+
+/// Credit-feasibility index for [`Mechanism::CreditLimited`]: the sparse
+/// set of directed client pairs currently *at or over* the credit bound,
+/// so [`TickPlanner::credit_allows`] is a single hash probe instead of a
+/// ledger lookup plus an in-tick counter lookup per call.
+///
+/// Two independent blocking conditions are tracked per packed pair:
+///
+/// * `PERSISTENT` — the ledger net alone reaches the bound. Recomputed
+///   only for the pairs a tick actually settled (the engine calls
+///   [`on_settle`](Self::on_settle) right after the ledger updates).
+/// * `IN_TICK` — in-tick sends pushed the *effective* net to the bound
+///   mid-tick. Set at record time and dropped wholesale by
+///   [`reset_tick`](Self::reset_tick) (in-tick deltas never survive the
+///   tick).
+///
+/// Since a ledger net can only change at settle time and in-tick sends
+/// only grow the effective net, "no flag set" is equivalent to
+/// `effective_net < credit` at every probe point — asserted in debug
+/// builds on every [`TickPlanner::credit_allows`] call.
+///
+/// The degenerate bound `credit == 0` blocks almost every pair (any
+/// non-negative net reaches it), which would invert the sparsity
+/// assumption — the planner falls back to the direct computation there.
+#[derive(Debug, Clone, Default)]
+pub struct CreditIndex {
+    flags: FxHashMap<u64, u8>,
+    /// Pairs whose `IN_TICK` bit was set this tick, for O(touched) reset.
+    tick_touched: Vec<u64>,
+    /// Persistent-bit transitions (set or cleared) over the run.
+    pub(crate) invalidations: u64,
+}
+
+const PERSISTENT: u8 = 1;
+const IN_TICK: u8 = 2;
+
+impl CreditIndex {
+    /// Whether `from → to` is at or over the credit bound.
+    #[inline]
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.flags.get(&pack(from, to)).is_some_and(|&f| f != 0)
+    }
+
+    /// Records that the effective net of `from → to` reached `credit`
+    /// after an in-tick send.
+    fn block_for_tick(&mut self, from: NodeId, to: NodeId) {
+        let entry = self.flags.entry(pack(from, to)).or_insert(0);
+        if *entry & IN_TICK == 0 {
+            *entry |= IN_TICK;
+            self.tick_touched.push(pack(from, to));
+        }
+    }
+
+    /// Clears all `IN_TICK` bits (start of a new tick).
+    pub fn reset_tick(&mut self) {
+        for key in self.tick_touched.drain(..) {
+            if let Some(f) = self.flags.get_mut(&key) {
+                *f &= !IN_TICK;
+                if *f == 0 {
+                    self.flags.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the index from scratch against `ledger`. The engine never
+    /// needs this (it starts from an empty ledger and keeps the index in
+    /// step via [`on_settle`](Self::on_settle)); it exists for harnesses
+    /// that hand the planner a pre-populated ledger.
+    pub fn rebuild(&mut self, ledger: &CreditLedger, credit: u32) {
+        self.flags.clear();
+        self.tick_touched.clear();
+        if credit == 0 {
+            return;
+        }
+        let bound = i64::from(credit);
+        for (low, high, net) in ledger.balances() {
+            if net >= bound {
+                self.flags.insert(pack(low, high), PERSISTENT);
+            } else if -net >= bound {
+                self.flags.insert(pack(high, low), PERSISTENT);
+            }
+        }
+    }
+
+    /// Re-derives the `PERSISTENT` bit of both directions of every client
+    /// pair in `transfers` from the freshly settled ledger. Only those
+    /// pairs can have changed: the ledger moves exclusively at settle
+    /// time, exclusively for settled pairs.
+    pub fn on_settle(&mut self, transfers: &[Transfer], ledger: &CreditLedger, credit: u32) {
+        for t in transfers {
+            if t.touches_server() {
+                continue;
+            }
+            for (u, v) in [(t.from, t.to), (t.to, t.from)] {
+                let blocked = ledger.net(u, v) >= i64::from(credit);
+                let key = pack(u, v);
+                let old = self.flags.get(&key).copied().unwrap_or(0);
+                let new = if blocked {
+                    old | PERSISTENT
+                } else {
+                    old & !PERSISTENT
+                };
+                if new == old {
+                    continue;
+                }
+                self.invalidations += 1;
+                if new == 0 {
+                    self.flags.remove(&key);
+                } else {
+                    self.flags.insert(key, new);
+                }
+            }
+        }
+    }
+}
 
 /// Run-cumulative proposal counters, fed into the report's
 /// [`PerfCounters`](crate::PerfCounters). Lives next to the tick scratch
@@ -27,6 +143,10 @@ pub(crate) struct ProposeStats {
     /// Rejections broken down by cause, indexed by
     /// [`RejectTransferError::index`].
     pub(crate) rejections_by_reason: [u64; RejectTransferError::COUNT],
+    /// Ticks the strategy reported planning on its incremental fast path.
+    pub(crate) fast_ticks: u64,
+    /// Full rarity-index rebuilds the strategy reported.
+    pub(crate) rarity_rebuilds: u64,
 }
 
 /// Reusable per-tick scratch buffers, owned by the engine.
@@ -39,6 +159,7 @@ pub(crate) struct TickBuffers {
     pub(crate) sent_in_tick: PairCounter,
     pub(crate) transfers: Vec<Transfer>,
     pub(crate) stats: ProposeStats,
+    pub(crate) credit_index: CreditIndex,
 }
 
 impl TickBuffers {
@@ -51,6 +172,7 @@ impl TickBuffers {
             sent_in_tick: PairCounter::new(),
             transfers: Vec::new(),
             stats: ProposeStats::default(),
+            credit_index: CreditIndex::default(),
         }
     }
 
@@ -65,6 +187,7 @@ impl TickBuffers {
         }
         self.sent_in_tick.clear();
         self.transfers.clear();
+        self.credit_index.reset_tick();
     }
 }
 
@@ -226,9 +349,22 @@ impl<'a> TickPlanner<'a> {
     pub fn credit_allows(&self, from: NodeId, to: NodeId) -> bool {
         match self.mechanism {
             Mechanism::CreditLimited { credit } => {
-                from.is_server()
-                    || to.is_server()
-                    || self.effective_net(from, to) < i64::from(credit)
+                if from.is_server() || to.is_server() {
+                    return true;
+                }
+                if credit == 0 {
+                    // Degenerate bound: any non-negative net already blocks,
+                    // so "blocked" is the dense case and the sparse index
+                    // would have to hold ~every pair. Compute directly.
+                    return self.effective_net(from, to) < 0;
+                }
+                let allowed = !self.bufs.credit_index.is_blocked(from, to);
+                debug_assert_eq!(
+                    allowed,
+                    self.effective_net(from, to) < i64::from(credit),
+                    "credit index out of sync for {from}→{to}"
+                );
+                allowed
             }
             _ => true,
         }
@@ -283,6 +419,13 @@ impl<'a> TickPlanner<'a> {
     /// Globally rarest block that `from` holds and `to` neither holds nor
     /// has pending, ties broken uniformly at random — the *Rarest-First*
     /// block-selection policy (with the paper's "perfect statistics").
+    ///
+    /// RNG discipline: exactly **one** `gen_range` draw when two or more
+    /// candidates share the minimum frequency, **zero** draws when the
+    /// minimum is unique (or there is no candidate). The incremental
+    /// `RarityIndex` fast path (in `pob-core`) reproduces this
+    /// draw-for-draw, which is what keeps fast and slow ticks on the same
+    /// RNG stream.
     pub fn select_rarest_block<R: Rng + ?Sized>(
         &self,
         from: NodeId,
@@ -290,7 +433,9 @@ impl<'a> TickPlanner<'a> {
         rng: &mut R,
     ) -> Option<BlockId> {
         let freq = self.state.frequencies();
-        let mut best: Option<BlockId> = None;
+        // Pass 1: minimum frequency, tie count, and the first candidate in
+        // block order — no RNG consumed yet.
+        let mut first: Option<BlockId> = None;
         let mut best_freq = u32::MAX;
         let mut ties = 0u32;
         for b in self
@@ -300,18 +445,36 @@ impl<'a> TickPlanner<'a> {
         {
             let f = freq[b.index()];
             if f < best_freq {
-                best = Some(b);
+                first = Some(b);
                 best_freq = f;
                 ties = 1;
             } else if f == best_freq {
                 ties += 1;
-                // Reservoir sampling over ties keeps the choice uniform.
-                if rng.gen_range(0..ties) == 0 {
-                    best = Some(b);
-                }
             }
         }
-        best
+        if ties <= 1 {
+            return first;
+        }
+        // Pass 2: a single uniform draw selects the j-th minimum-frequency
+        // candidate in block order.
+        let j = rng.gen_range(0..ties);
+        if j == 0 {
+            return first;
+        }
+        let mut seen = 0u32;
+        for b in self
+            .state
+            .inventory(from)
+            .iter_not_in_either(self.state.inventory(to), &self.bufs.pending[to.index()])
+        {
+            if freq[b.index()] == best_freq {
+                if seen == j {
+                    return Some(b);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("tie count {ties} exceeded candidates at frequency {best_freq}")
     }
 
     /// Proposes the transfer of `block` from `from` to `to` in this tick.
@@ -373,6 +536,11 @@ impl<'a> TickPlanner<'a> {
         self.bufs.pending[to.index()].insert(block);
         if self.mechanism.uses_ledger() && !from.is_server() && !to.is_server() {
             self.bufs.sent_in_tick.add(from, to, 1);
+            if let Mechanism::CreditLimited { credit } = self.mechanism {
+                if credit >= 1 && self.effective_net(from, to) >= i64::from(credit) {
+                    self.bufs.credit_index.block_for_tick(from, to);
+                }
+            }
         }
         self.bufs.transfers.push(Transfer::new(from, to, block));
     }
@@ -416,6 +584,22 @@ impl<'a> TickPlanner<'a> {
     pub fn proposed(&self) -> &[Transfer] {
         &self.bufs.transfers
     }
+
+    /// Records that the strategy planned this tick on its incremental
+    /// fast path. Surfaced as
+    /// [`PerfCounters::fast_ticks`](crate::PerfCounters::fast_ticks).
+    #[inline]
+    pub fn note_fast_tick(&mut self) {
+        self.bufs.stats.fast_ticks += 1;
+    }
+
+    /// Records `n` full rebuilds of the strategy's rarity index (zero is
+    /// a no-op). Surfaced as
+    /// [`PerfCounters::rarity_rebuilds`](crate::PerfCounters::rarity_rebuilds).
+    #[inline]
+    pub fn note_rarity_rebuilds(&mut self, n: u64) {
+        self.bufs.stats.rarity_rebuilds += n;
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +632,11 @@ mod tests {
 
         fn planner(&mut self, mechanism: Mechanism, dl: DownloadCapacity) -> TickPlanner<'_> {
             self.dl_caps = vec![dl; self.state.node_count()];
+            if let Mechanism::CreditLimited { credit } = mechanism {
+                // Tests seed the ledger directly rather than settling ticks
+                // through the engine, so sync the credit index here.
+                self.bufs.credit_index.rebuild(&self.ledger, credit);
+            }
             TickPlanner::new(
                 &self.state,
                 &self.topology,
@@ -599,6 +788,101 @@ mod tests {
     }
 
     #[test]
+    fn credit_index_tracks_settles_and_tick_resets() {
+        let (u, v) = (NodeId::new(1), NodeId::new(2));
+        let mut ledger = CreditLedger::new();
+        let mut idx = CreditIndex::default();
+        let credit = 2u32;
+
+        // In-tick sends reach the bound mid-tick: blocked until reset.
+        idx.block_for_tick(u, v);
+        assert!(idx.is_blocked(u, v));
+        assert!(!idx.is_blocked(v, u));
+        idx.reset_tick();
+        assert!(!idx.is_blocked(u, v));
+        assert_eq!(idx.invalidations, 0, "tick bits are not invalidations");
+
+        // Settling u→v twice reaches the persistent bound.
+        let tick_transfers = [Transfer::new(u, v, BlockId::new(0))];
+        ledger.record(u, v);
+        idx.on_settle(&tick_transfers, &ledger, credit);
+        assert!(!idx.is_blocked(u, v), "net 1 < credit 2");
+        ledger.record(u, v);
+        idx.on_settle(&tick_transfers, &ledger, credit);
+        assert!(idx.is_blocked(u, v));
+        assert!(!idx.is_blocked(v, u));
+        assert_eq!(idx.invalidations, 1);
+
+        // A persistent block survives tick resets…
+        idx.reset_tick();
+        assert!(idx.is_blocked(u, v));
+
+        // …until a reverse settle clears it.
+        let reverse = [Transfer::new(v, u, BlockId::new(1))];
+        ledger.record(v, u);
+        idx.on_settle(&reverse, &ledger, credit);
+        assert!(!idx.is_blocked(u, v));
+        assert_eq!(idx.invalidations, 2);
+
+        // Server transfers never touch the index.
+        let server = [Transfer::new(NodeId::SERVER, v, BlockId::new(2))];
+        idx.on_settle(&server, &ledger, credit);
+        assert!(!idx.is_blocked(NodeId::SERVER, v));
+        assert_eq!(idx.invalidations, 2);
+    }
+
+    #[test]
+    fn credit_index_rebuild_matches_ledger() {
+        let (u, v, w) = (NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let mut ledger = CreditLedger::new();
+        for _ in 0..3 {
+            ledger.record(u, v); // net(u→v) = 3
+        }
+        ledger.record(w, v); // net(w→v) = 1
+        let mut idx = CreditIndex::default();
+        idx.rebuild(&ledger, 3);
+        assert!(idx.is_blocked(u, v));
+        assert!(!idx.is_blocked(v, u));
+        assert!(!idx.is_blocked(w, v), "net 1 < credit 3");
+        // Canonical storage must not lose the high→low direction.
+        for _ in 0..3 {
+            ledger.record(v, u); // net(u→v) back to 0
+        }
+        for _ in 0..4 {
+            ledger.record(v, w); // net(v→w) = -1 + 4 = 3
+        }
+        idx.rebuild(&ledger, 3);
+        assert!(!idx.is_blocked(u, v));
+        assert!(idx.is_blocked(v, w), "v(2)→w(3) stored as low→high");
+        for _ in 0..6 {
+            ledger.record(w, v);
+        }
+        idx.rebuild(&ledger, 3);
+        assert!(idx.is_blocked(w, v), "w(3)→v(2) stored as high→low");
+        assert!(!idx.is_blocked(v, w));
+    }
+
+    #[test]
+    fn credit_zero_blocks_all_client_pairs() {
+        // Degenerate bound: the sparse index is bypassed and admission
+        // falls back to the direct computation.
+        let mut fx = Fixture::new(3, 2);
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        let mut p = fx.planner(
+            Mechanism::CreditLimited { credit: 0 },
+            DownloadCapacity::Unlimited,
+        );
+        let err = p
+            .propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+            .unwrap_err();
+        assert_eq!(err, RejectTransferError::CreditExceeded);
+        // Server stays exempt even at credit 0.
+        p.propose(NodeId::SERVER, NodeId::new(2), BlockId::new(0))
+            .unwrap();
+    }
+
+    #[test]
     fn interest_respects_pending() {
         let mut fx = Fixture::new(4, 1);
         let mut p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
@@ -675,6 +959,43 @@ mod tests {
             );
         }
         assert_eq!(seen.len(), 2, "both equally-rare blocks get chosen");
+    }
+
+    #[test]
+    fn rarest_selection_pins_rng_draw_counts() {
+        // Unique minimum: zero draws. Frequencies 2, 1, 0 — block 2 wins
+        // outright and the RNG must not advance.
+        let mut fx = Fixture::new(5, 3);
+        for c in [1, 2] {
+            fx.state
+                .deliver(NodeId::new(c), BlockId::new(0), Tick::new(1));
+        }
+        fx.state
+            .deliver(NodeId::new(1), BlockId::new(1), Tick::new(1));
+        let p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
+        let mut rng = StdRng::seed_from_u64(17);
+        let untouched = rng.clone();
+        let b = p
+            .select_rarest_block(NodeId::SERVER, NodeId::new(4), &mut rng)
+            .unwrap();
+        assert_eq!(b, BlockId::new(2));
+        assert_eq!(rng, untouched, "unique minimum must not consume RNG");
+
+        // No candidate at all: zero draws.
+        let b = p.select_rarest_block(NodeId::new(3), NodeId::new(4), &mut rng);
+        assert!(b.is_none());
+        assert_eq!(rng, untouched, "empty candidate set must not consume RNG");
+
+        // Tied minimum: exactly one gen_range(0..ties) draw, regardless of
+        // how the ties are distributed over the scan prefix.
+        let mut fx = Fixture::new(3, 4);
+        let p = fx.planner(Mechanism::Cooperative, DownloadCapacity::Finite(2));
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut shadow = rng.clone();
+        p.select_rarest_block(NodeId::SERVER, NodeId::new(1), &mut rng)
+            .unwrap();
+        let _ = shadow.gen_range(0..4u32);
+        assert_eq!(rng, shadow, "4-way tie must consume exactly one draw");
     }
 
     #[test]

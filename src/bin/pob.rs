@@ -509,6 +509,14 @@ fn cmd_inspect(path: &str) -> Result<(), String> {
         breakdown.push_row(vec!["(none)".to_owned(), "0".to_owned(), "—".to_owned()]);
     }
     println!("{}", breakdown.to_ascii());
+
+    // Planner perf gauges (absent on streams predating the counters).
+    if let Some(perf) = log.run_perf() {
+        println!(
+            "perf gauges  : {} fast ticks, {} rarity rebuilds, {} credit invalidations",
+            perf.fast_ticks, perf.rarity_rebuilds, perf.credit_invalidations
+        );
+    }
     Ok(())
 }
 

@@ -5,13 +5,129 @@
 //! strategies, mechanisms, overlays, and the async engine.
 
 use pob_core::run::{run_rewiring_swarm, run_swarm, SwarmOptions};
-use pob_core::strategies::{AsyncSwarm, BlockSelection, TriangularSwarm};
+use pob_core::strategies::{AsyncSwarm, BlockSelection, SwarmStrategy, TriangularSwarm};
 use pob_overlay::{random_regular, CompleteOverlay, Hypercube};
 use pob_sim::asynch::{run_async, AsyncConfig};
 use pob_sim::trace::Recorder;
-use pob_sim::{DownloadCapacity, Engine, Mechanism, SimConfig, Topology};
+use pob_sim::{DownloadCapacity, Engine, Mechanism, SimConfig, Strategy, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Golden file pinning the *barter* hot paths (credit-limited fig6/fig7
+/// shapes plus a triangular run), mirroring the cooperative golden-seed
+/// TSV in `crates/core/tests/golden_seed.rs`. Self-blessing: delete the
+/// file and rerun to re-bless after an intentional behavior change (and
+/// say so in the PR).
+const BARTER_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/barter_seed.tsv");
+
+/// FNV-1a over the full transfer trace (same encoding as the cooperative
+/// golden-seed test, kept self-contained on purpose).
+struct TraceHash(u64);
+
+impl TraceHash {
+    fn new() -> Self {
+        TraceHash(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn barter_fingerprint(
+    label: &str,
+    overlay: &dyn Topology,
+    mechanism: Mechanism,
+    strategy: &mut dyn Strategy,
+    seed: u64,
+) -> String {
+    let n = overlay.node_count();
+    let k = 32;
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(mechanism)
+        .with_download_capacity(DownloadCapacity::Unlimited)
+        .with_max_ticks(20 * (n as u32 + k as u32));
+    let mut engine = Engine::new(cfg, overlay);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hash = TraceHash::new();
+    while engine
+        .step(strategy, &mut rng)
+        .expect("barter swarm stays admissible")
+    {
+        for tr in engine.last_transfers() {
+            hash.word(u64::from(tr.from.raw()));
+            hash.word(u64::from(tr.to.raw()));
+            hash.word(u64::from(tr.block.raw()));
+        }
+        hash.word(u64::MAX);
+    }
+    let report = engine.report();
+    format!(
+        "{label}\tcompletion={:?}\tticks={}\tuploads={}\tserver={}\ttrace={:016x}",
+        report.completion_time(),
+        report.ticks_run,
+        report.total_uploads,
+        report.server_uploads,
+        hash.0
+    )
+}
+
+/// Reduced-scale replicas of the perf-bench fig6/fig7 points (sparse
+/// random-regular overlay, credit-limited mechanism, random vs rarest
+/// block policy) plus one triangular-barter run, so the barter hot path
+/// is change-detected the same way PR 1 pinned the cooperative path.
+fn barter_fingerprints() -> Vec<String> {
+    let n = 96;
+    let sparse = random_regular(n, 16, &mut StdRng::seed_from_u64(43)).unwrap();
+    let credit = Mechanism::CreditLimited { credit: 3 };
+    vec![
+        barter_fingerprint(
+            "fig6/regular16/random/credit3",
+            &sparse,
+            credit,
+            &mut SwarmStrategy::new(BlockSelection::Random),
+            0xBA27E6,
+        ),
+        barter_fingerprint(
+            "fig7/regular16/rarest/credit3",
+            &sparse,
+            credit,
+            &mut SwarmStrategy::new(BlockSelection::RarestFirst),
+            0xBA27E6,
+        ),
+        barter_fingerprint(
+            "tri/regular16/rarest/credit2",
+            &sparse,
+            Mechanism::TriangularBarter { credit: 2 },
+            &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+            0xBA27E6,
+        ),
+    ]
+}
+
+#[test]
+fn barter_golden_seed_trace_is_bit_stable() {
+    let got = barter_fingerprints().join("\n") + "\n";
+    match std::fs::read_to_string(BARTER_GOLDEN) {
+        Ok(want) => assert_eq!(
+            got, want,
+            "barter trace diverged from the golden file — a hot-path change \
+             broke bit-identity (delete {BARTER_GOLDEN} only for intentional changes)"
+        ),
+        Err(_) => {
+            std::fs::create_dir_all(std::path::Path::new(BARTER_GOLDEN).parent().unwrap()).unwrap();
+            std::fs::write(BARTER_GOLDEN, &got).unwrap();
+            eprintln!("blessed new golden file at {BARTER_GOLDEN}");
+        }
+    }
+}
+
+#[test]
+fn barter_golden_runs_are_reproducible_in_process() {
+    assert_eq!(barter_fingerprints(), barter_fingerprints());
+}
 
 #[test]
 fn swarm_runs_are_bit_identical_per_seed() {
