@@ -254,7 +254,9 @@ impl SwarmStrategy {
             // and the tree never reports `u` itself (its own leaf covers
             // `inv`), so the collected set filtered by credit is exactly
             // the admissible set.
-            debug_assert!(!self.interested.contains(&u.raw()));
+            if cfg!(any(debug_assertions, feature = "paranoid-checks")) {
+                assert!(!self.interested.contains(&u.raw()));
+            }
             if matches!(p.mechanism(), Mechanism::CreditLimited { .. }) {
                 let mut interested = std::mem::take(&mut self.interested);
                 interested.retain(|&v| p.credit_allows(u, NodeId::new(v)));
@@ -670,9 +672,12 @@ impl InterestIndex {
     ///
     /// # Panics
     ///
-    /// Panics (debug builds) if `v` is the server or out of range.
+    /// Panics (debug builds and `paranoid-checks` builds) if `v` is the
+    /// server or out of range.
     pub fn add_pending(&mut self, v: NodeId, block: BlockId) {
-        debug_assert!(!v.is_server() && v.index() - 1 < self.clients);
+        if cfg!(any(debug_assertions, feature = "paranoid-checks")) {
+            assert!(!v.is_server() && v.index() - 1 < self.clients);
+        }
         let mut i = self.size + (v.index() - 1);
         // Adding one block to a leaf can only add that same block to
         // ancestors: an intersection gains `block` iff the sibling

@@ -1,0 +1,490 @@
+//! An [`EventSink`] that audits a run from its event stream.
+//!
+//! [`InvariantSink`] rebuilds the whole run state — inventories, block
+//! frequencies, the credit ledger, per-tick capacity use — from nothing
+//! but the typed events, and cross-checks every tick against the
+//! engine's own gauges. Any disagreement is recorded as a violation
+//! instead of panicking, so a single corrupted run reports all its
+//! problems at once (tests typically finish with
+//! [`assert_clean`](InvariantSink::assert_clean)).
+//!
+//! Checked invariants, per tick:
+//!
+//! * **block conservation** — every delivery carries a block the sender
+//!   holds to a receiver that lacks it (no duplication, no invention);
+//! * **store-and-forward discipline** — a client never forwards a block
+//!   in the tick it receives it (the server, seeded at tick 0, may
+//!   always send);
+//! * **per-node capacity** — uploads per node per tick stay within the
+//!   configured server/client upload capacities, downloads within the
+//!   download capacity;
+//! * **mechanism admissibility** — the tick's transfer set revalidates
+//!   under the configured mechanism (strict-barter pairing, triangular
+//!   cycle coverage, credit limits) against a shadow ledger;
+//! * **monotone completion** — the engine's cumulative completed-client
+//!   gauge equals the shadow count (which can only grow), and every
+//!   completion is announced exactly once;
+//! * **gauge honesty** — transfer counts, server-transfer counts,
+//!   min-rarity, the rarity histogram, and the credit gauges all match
+//!   naive recomputation, and the run-end totals match the sums of the
+//!   stream.
+//!
+//! The sink assumes the run starts from the standard initial state (a
+//! fully seeded server, empty clients, homogeneous capacities) — i.e. no
+//! `preseed` or per-node capacity overrides.
+
+use pob_sim::{
+    BlockSet, CreditLedger, DownloadCapacity, Event, EventSink, Mechanism, NodeId, SimConfig,
+    Tick, Transfer,
+};
+
+/// Cap on stored violation messages; further violations are counted but
+/// not stored.
+const MAX_STORED: usize = 64;
+
+/// Event-stream invariant checker (see module docs).
+///
+/// Construct it from the run's [`SimConfig`], attach it via
+/// [`Engine::with_sink`](pob_sim::Engine::with_sink) (or `TeeSink`), and
+/// inspect [`violations`](Self::violations) /
+/// [`is_clean`](Self::is_clean) after the run.
+#[derive(Debug, Clone)]
+pub struct InvariantSink {
+    nodes: usize,
+    blocks: usize,
+    mechanism: Mechanism,
+    download: DownloadCapacity,
+    server_upload: u32,
+    client_upload: u32,
+    // Shadow run state, rebuilt purely from events.
+    inventories: Vec<BlockSet>,
+    received_at: Vec<Vec<u32>>,
+    freq: Vec<u32>,
+    ledger: CreditLedger,
+    announced: Vec<bool>,
+    completed_clients: u32,
+    total_deliveries: u64,
+    server_deliveries: u64,
+    // Per-tick scratch.
+    current_tick: u32,
+    tick_transfers: Vec<Transfer>,
+    used_up: Vec<u32>,
+    used_down: Vec<u32>,
+    completions_announced_this_tick: u32,
+    completions_shadow_this_tick: u32,
+    // Results.
+    run_started: bool,
+    run_ended: bool,
+    ticks_checked: u64,
+    violations: Vec<String>,
+    suppressed: u64,
+}
+
+impl InvariantSink {
+    /// Creates a sink expecting a fresh run of `config` (fully seeded
+    /// server, empty clients).
+    pub fn new(config: &SimConfig) -> Self {
+        let n = config.nodes;
+        let k = config.blocks;
+        let mut inventories = vec![BlockSet::empty(k); n];
+        inventories[NodeId::SERVER.index()].fill();
+        let mut received_at = vec![vec![u32::MAX; k]; n];
+        for slot in &mut received_at[NodeId::SERVER.index()] {
+            *slot = 0;
+        }
+        InvariantSink {
+            nodes: n,
+            blocks: k,
+            mechanism: config.mechanism,
+            download: config.download_capacity,
+            server_upload: config.server_upload_capacity,
+            client_upload: config.client_upload_capacity,
+            inventories,
+            received_at,
+            freq: vec![1; k],
+            ledger: CreditLedger::new(),
+            announced: vec![false; n],
+            completed_clients: 0,
+            total_deliveries: 0,
+            server_deliveries: 0,
+            current_tick: 0,
+            tick_transfers: Vec::new(),
+            used_up: vec![0; n],
+            used_down: vec![0; n],
+            completions_announced_this_tick: 0,
+            completions_shadow_this_tick: 0,
+            run_started: false,
+            run_ended: false,
+            ticks_checked: 0,
+            violations: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// The violations recorded so far (at most a fixed cap; see
+    /// [`violation_count`](Self::violation_count) for the true total).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Total number of violations, including any beyond the storage cap.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64 + self.suppressed
+    }
+
+    /// Whether the stream observed so far satisfies every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// How many ticks were fully checked (one per `TickEnd`).
+    pub fn ticks_checked(&self) -> u64 {
+        self.ticks_checked
+    }
+
+    /// Panics with every recorded violation if the stream was not clean.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "invariant violations ({} total):\n{}",
+            self.violation_count(),
+            self.violations.join("\n")
+        );
+    }
+
+    fn violation(&mut self, msg: String) {
+        if self.violations.len() < MAX_STORED {
+            self.violations.push(msg);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    fn upload_cap(&self, node: NodeId) -> u32 {
+        if node.is_server() {
+            self.server_upload
+        } else {
+            self.client_upload
+        }
+    }
+
+    fn in_range(&self, node: NodeId) -> bool {
+        node.index() < self.nodes
+    }
+
+    fn on_run_start(
+        &mut self,
+        nodes: usize,
+        blocks: usize,
+        mechanism: Mechanism,
+        server_up: u32,
+        client_up: u32,
+    ) {
+        if self.run_started {
+            self.violation("duplicate run-start".into());
+        }
+        self.run_started = true;
+        if nodes != self.nodes
+            || blocks != self.blocks
+            || mechanism != self.mechanism
+            || server_up != self.server_upload
+            || client_up != self.client_upload
+        {
+            self.violation(format!(
+                "run-start announces n={nodes} k={blocks} {} caps {server_up}/{client_up}, \
+                 sink was configured for n={} k={} {} caps {}/{}",
+                mechanism.label(),
+                self.nodes,
+                self.blocks,
+                self.mechanism.label(),
+                self.server_upload,
+                self.client_upload,
+            ));
+        }
+    }
+
+    fn on_tick_start(&mut self, tick: Tick) {
+        let t = tick.get();
+        if t != self.current_tick + 1 {
+            self.violation(format!(
+                "tick {t} started after tick {} (ticks must be contiguous)",
+                self.current_tick
+            ));
+        }
+        self.current_tick = t;
+        self.tick_transfers.clear();
+        self.used_up.iter_mut().for_each(|c| *c = 0);
+        self.used_down.iter_mut().for_each(|c| *c = 0);
+        self.completions_announced_this_tick = 0;
+        self.completions_shadow_this_tick = 0;
+    }
+
+    fn on_delivery(&mut self, tick: Tick, tr: Transfer) {
+        let t = tick.get();
+        if t != self.current_tick {
+            self.violation(format!(
+                "delivery {tr} stamped tick {t} inside tick {}",
+                self.current_tick
+            ));
+        }
+        if !self.in_range(tr.from) || !self.in_range(tr.to) || tr.block.index() >= self.blocks {
+            self.violation(format!("delivery {tr} out of range at tick {t}"));
+            return;
+        }
+        if tr.from == tr.to {
+            self.violation(format!("self-delivery {tr} at tick {t}"));
+            return;
+        }
+        if tr.to.is_server() {
+            self.violation(format!("delivery {tr} targets the server at tick {t}"));
+            return;
+        }
+        if !self.inventories[tr.from.index()].contains(tr.block) {
+            self.violation(format!(
+                "conservation: sender does not hold the block in {tr} at tick {t}"
+            ));
+        } else if self.received_at[tr.from.index()][tr.block.index()] >= t {
+            self.violation(format!(
+                "store-and-forward: {tr} forwards a block received in tick {} at tick {t}",
+                self.received_at[tr.from.index()][tr.block.index()]
+            ));
+        }
+        if self.inventories[tr.to.index()].contains(tr.block) {
+            self.violation(format!(
+                "conservation: receiver already holds the block in {tr} at tick {t}"
+            ));
+        }
+        self.used_up[tr.from.index()] += 1;
+        if self.used_up[tr.from.index()] > self.upload_cap(tr.from) {
+            self.violation(format!(
+                "upload capacity: {} uploads from {} at tick {t} exceed cap {}",
+                self.used_up[tr.from.index()],
+                tr.from,
+                self.upload_cap(tr.from)
+            ));
+        }
+        self.used_down[tr.to.index()] += 1;
+        if let DownloadCapacity::Finite(d) = self.download {
+            if self.used_down[tr.to.index()] > d {
+                self.violation(format!(
+                    "download capacity: {} downloads to {} at tick {t} exceed cap {d}",
+                    self.used_down[tr.to.index()],
+                    tr.to
+                ));
+            }
+        }
+        // Apply to the shadow state.
+        if self.inventories[tr.to.index()].insert(tr.block) {
+            self.freq[tr.block.index()] += 1;
+            self.received_at[tr.to.index()][tr.block.index()] = t;
+            if self.inventories[tr.to.index()].is_full() {
+                self.completed_clients += 1;
+                self.completions_shadow_this_tick += 1;
+            }
+        }
+        self.total_deliveries += 1;
+        if tr.from.is_server() {
+            self.server_deliveries += 1;
+        }
+        self.tick_transfers.push(tr);
+    }
+
+    fn on_node_complete(&mut self, tick: Tick, node: NodeId) {
+        let t = tick.get();
+        if t != self.current_tick {
+            self.violation(format!(
+                "node-complete for {node} stamped tick {t} inside tick {}",
+                self.current_tick
+            ));
+        }
+        if !self.in_range(node) {
+            self.violation(format!("node-complete for out-of-range {node} at tick {t}"));
+            return;
+        }
+        if !self.inventories[node.index()].is_full() {
+            self.violation(format!(
+                "completion: {node} announced complete at tick {t} but lacks {} blocks",
+                self.blocks - self.inventories[node.index()].len()
+            ));
+        }
+        if self.announced[node.index()] {
+            self.violation(format!(
+                "completion: {node} announced complete twice (tick {t})"
+            ));
+        }
+        self.announced[node.index()] = true;
+        self.completions_announced_this_tick += 1;
+    }
+
+    fn on_tick_end(&mut self, metrics: &pob_sim::TickMetrics) {
+        let t = self.current_tick;
+        if metrics.tick.get() != t {
+            self.violation(format!(
+                "tick-end stamped tick {} inside tick {t}",
+                metrics.tick.get()
+            ));
+        }
+        if metrics.transfers as usize != self.tick_transfers.len() {
+            self.violation(format!(
+                "gauge: tick {t} reports {} transfers, stream delivered {}",
+                metrics.transfers,
+                self.tick_transfers.len()
+            ));
+        }
+        let server_transfers = self
+            .tick_transfers
+            .iter()
+            .filter(|tr| tr.from.is_server())
+            .count() as u32;
+        if metrics.server_transfers != server_transfers {
+            self.violation(format!(
+                "gauge: tick {t} reports {} server transfers, stream delivered {server_transfers}",
+                metrics.server_transfers
+            ));
+        }
+        // Mechanism admissibility: revalidate the committed tick against
+        // the shadow ledger (which this settles forward on success).
+        if let Err(v) = self
+            .mechanism
+            .settle_tick(&self.tick_transfers, &mut self.ledger, Tick::new(t))
+        {
+            self.violation(format!("mechanism: tick {t} fails revalidation: {v}"));
+        }
+        if metrics.completed_clients != self.completed_clients {
+            self.violation(format!(
+                "completion: tick {t} reports {} completed clients, shadow state has {}",
+                metrics.completed_clients, self.completed_clients
+            ));
+        }
+        if self.completions_announced_this_tick != self.completions_shadow_this_tick {
+            self.violation(format!(
+                "completion: tick {t} announced {} completions, deliveries produced {}",
+                self.completions_announced_this_tick, self.completions_shadow_this_tick
+            ));
+        }
+        let min_rarity = self.freq.iter().copied().min().unwrap_or(0);
+        if metrics.min_rarity != min_rarity {
+            self.violation(format!(
+                "gauge: tick {t} reports min rarity {}, naive recomputation gives {min_rarity}",
+                metrics.min_rarity
+            ));
+        }
+        let mut hist = vec![0u32; self.nodes + 1];
+        for &f in &self.freq {
+            hist[f as usize] += 1;
+        }
+        let sparse: Vec<(u32, u32)> = hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(f, &c)| (f as u32, c))
+            .collect();
+        if metrics.rarity_hist != sparse {
+            self.violation(format!(
+                "gauge: tick {t} rarity histogram {:?} differs from naive {:?}",
+                metrics.rarity_hist, sparse
+            ));
+        }
+        match (&metrics.credit, self.mechanism.uses_ledger()) {
+            (Some(c), true) => {
+                let imbalanced = self.ledger.imbalanced_pairs() as u64;
+                let total = self.ledger.total_abs_net();
+                let max = self.ledger.max_abs_net().unsigned_abs();
+                if c.imbalanced_pairs != imbalanced
+                    || c.total_abs_credit != total
+                    || c.max_abs_credit != max
+                {
+                    self.violation(format!(
+                        "gauge: tick {t} credit gauges ({}, {}, {}) differ from shadow ledger \
+                         ({imbalanced}, {total}, {max})",
+                        c.imbalanced_pairs, c.total_abs_credit, c.max_abs_credit
+                    ));
+                }
+            }
+            (None, false) => {}
+            (Some(_), false) => {
+                self.violation(format!(
+                    "gauge: tick {t} carries credit gauges under a ledgerless mechanism"
+                ));
+            }
+            (None, true) => {
+                self.violation(format!(
+                    "gauge: tick {t} is missing credit gauges under {}",
+                    self.mechanism.label()
+                ));
+            }
+        }
+        self.ticks_checked += 1;
+    }
+
+    fn on_run_end(&mut self, ticks: u32, completed: bool, total_uploads: u64, server_uploads: u64) {
+        if self.run_ended {
+            self.violation("duplicate run-end".into());
+        }
+        self.run_ended = true;
+        if ticks != self.current_tick {
+            self.violation(format!(
+                "run-end reports {ticks} ticks, stream observed {}",
+                self.current_tick
+            ));
+        }
+        let all_complete = self.completed_clients as usize == self.nodes - 1;
+        if completed != all_complete {
+            self.violation(format!(
+                "run-end reports completed={completed}, shadow state says {all_complete} \
+                 ({} of {} clients)",
+                self.completed_clients,
+                self.nodes - 1
+            ));
+        }
+        if total_uploads != self.total_deliveries {
+            self.violation(format!(
+                "run-end reports {total_uploads} total uploads, stream delivered {}",
+                self.total_deliveries
+            ));
+        }
+        if server_uploads != self.server_deliveries {
+            self.violation(format!(
+                "run-end reports {server_uploads} server uploads, stream delivered {}",
+                self.server_deliveries
+            ));
+        }
+    }
+}
+
+impl EventSink for InvariantSink {
+    fn on_event(&mut self, event: &Event) {
+        if !self.run_started && !matches!(event, Event::RunStart { .. }) {
+            self.violation(format!("event before run-start: {event:?}"));
+        }
+        match event {
+            Event::RunStart {
+                nodes,
+                blocks,
+                mechanism,
+                strategy: _,
+                server_upload_capacity,
+                client_upload_capacity,
+                max_ticks: _,
+            } => self.on_run_start(
+                *nodes,
+                *blocks,
+                *mechanism,
+                *server_upload_capacity,
+                *client_upload_capacity,
+            ),
+            Event::TickStart { tick } => self.on_tick_start(*tick),
+            Event::ProposalRejected { .. } => {}
+            Event::Delivery { tick, transfer } => self.on_delivery(*tick, *transfer),
+            Event::NodeComplete { tick, node } => self.on_node_complete(*tick, *node),
+            Event::TickEnd { metrics } => self.on_tick_end(metrics),
+            Event::RunEnd {
+                ticks,
+                completed,
+                total_uploads,
+                server_uploads,
+                perf: _,
+            } => self.on_run_end(*ticks, *completed, *total_uploads, *server_uploads),
+        }
+    }
+}

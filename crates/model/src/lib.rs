@@ -1,0 +1,39 @@
+//! Reference models and invariant checkers for the `pob-sim` engine.
+//!
+//! The optimized strategies in `pob-core` (PRs 1 and 3) plan ticks
+//! through incremental indexes — `InterestIndex`, `RarityIndex`, and the
+//! engine's `CreditIndex` — whose correctness claims are all of the form
+//! *"bit-identical to recomputing from scratch"*. This crate holds the
+//! from-scratch side of that claim:
+//!
+//! * [`ReferenceSwarm`] — a deliberately naive `O(n²·k)` re-implementation
+//!   of the randomized swarm's tick planning (cooperative and
+//!   credit-limited mechanisms, both collision models) that recomputes
+//!   interest, rarity, and credit admissibility with pairwise inventory
+//!   scans each time, sharing only the RNG discipline with the fast path.
+//! * [`ReferenceTriangular`] — the same treatment for the triangular-
+//!   barter swarm.
+//! * [`InvariantSink`] — an [`EventSink`](pob_sim::EventSink) that shadows
+//!   a run from its event stream and checks block conservation,
+//!   store-and-forward discipline, per-node upload/download capacity,
+//!   mechanism admissibility (strict-barter pairing, cycle coverage,
+//!   credit limits), and monotone completion, per tick.
+//!
+//! The differential harness (`tests/differential.rs` at the workspace
+//! root) runs fast engine vs. reference planner in lockstep over
+//! proptest-generated scenarios and asserts bit-identical delivery
+//! traces; `pob run --check-invariants` attaches the sink to any CLI run.
+//! Together they are the standing correctness gate for every future
+//! optimization pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod invariant;
+mod reference;
+mod triangular;
+
+pub use invariant::InvariantSink;
+pub use reference::ReferenceSwarm;
+pub use triangular::ReferenceTriangular;

@@ -1,0 +1,334 @@
+//! Naive reference implementation of the randomized swarm.
+//!
+//! [`ReferenceSwarm`] mirrors `pob_core::strategies::SwarmStrategy`
+//! decision for decision and RNG draw for RNG draw, but recomputes every
+//! admission predicate from scratch with pairwise inventory scans:
+//!
+//! * *interest* is a direct `inventory(u) \ (inventory(v) ∪ pending(v))`
+//!   test instead of an `InterestIndex` leaf probe;
+//! * *credit admissibility* is an `effective_net < credit` comparison
+//!   instead of a `CreditIndex` probe;
+//! * *rarity* goes through the planner's two-pass
+//!   [`select_rarest_block`](pob_sim::TickPlanner::select_rarest_block)
+//!   instead of the incremental `RarityIndex`;
+//! * the complete-overlay candidate pool is rebuilt from scratch each
+//!   tick instead of being compacted incrementally.
+//!
+//! The only state carried across ticks is the *stuck* cache, which is
+//! part of the algorithm itself (a stuck node consumes no RNG draws until
+//! a delivery unsticks it), not an accelerating index; its update rule is
+//! the same two-line delivery-delta rule the fast path uses.
+//!
+//! Because the fast path's fast-tick shortcuts are documented (and here
+//! verified) to be bit-identical to its general path, the reference needs
+//! no fast-tick concept at all: one code path covers every mechanism,
+//! overlay, and collision model.
+
+use pob_core::strategies::{BlockSelection, CollisionModel};
+use pob_sim::{
+    Mechanism, NeighborSet, NodeId, SimError, Strategy, TickPlanner, Transfer,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Rejection-sampling attempts before the full-scan fallback — must match
+/// the fast path's constant for RNG parity.
+const REJECTION_TRIES: usize = 24;
+
+/// Deliberately naive `O(n²·k)` reference for
+/// `pob_core::strategies::SwarmStrategy`.
+///
+/// Given the same seed, engine configuration, and overlay, a run driven
+/// by this strategy commits the exact same transfer on the exact same
+/// tick as a run driven by the optimized strategy — the differential
+/// harness asserts this over generated scenarios. Covers the
+/// cooperative and credit-limited mechanisms under both collision
+/// models, on complete and sparse overlays.
+#[derive(Debug, Clone)]
+pub struct ReferenceSwarm {
+    policy: BlockSelection,
+    collisions: CollisionModel,
+    // Stuck cache — semantic strategy state, not an index (see module
+    // docs). Same update rule as the fast path.
+    stuck: Vec<bool>,
+    synced_through: Option<u32>,
+}
+
+impl ReferenceSwarm {
+    /// Creates the reference with the given block-selection policy and
+    /// the default `Resolved` collision model.
+    pub fn new(policy: BlockSelection) -> Self {
+        Self::with_collision_model(policy, CollisionModel::Resolved)
+    }
+
+    /// Creates the reference with an explicit collision model.
+    pub fn with_collision_model(policy: BlockSelection, collisions: CollisionModel) -> Self {
+        ReferenceSwarm {
+            policy,
+            collisions,
+            stuck: Vec::new(),
+            synced_through: None,
+        }
+    }
+
+    /// Admission-time credit rule, recomputed from the ledger and the
+    /// in-tick sent counts (never the engine's credit index).
+    fn credit_allows(p: &TickPlanner<'_>, from: NodeId, to: NodeId) -> bool {
+        match p.mechanism() {
+            Mechanism::CreditLimited { credit } => {
+                if from.is_server() || to.is_server() {
+                    return true;
+                }
+                if credit == 0 {
+                    return p.effective_net(from, to) < 0;
+                }
+                p.effective_net(from, to) < i64::from(credit)
+            }
+            _ => true,
+        }
+    }
+
+    /// Pending-aware interest: `to` wants a block `from` holds that is
+    /// not already promised to it this tick.
+    fn wants(p: &TickPlanner<'_>, from: NodeId, to: NodeId) -> bool {
+        p.state()
+            .inventory(from)
+            .has_any_not_in_either(p.state().inventory(to), p.pending(to))
+    }
+
+    /// Inventory-only interest, blind to in-tick promises — what the
+    /// `Simultaneous` collision model sees.
+    fn inv_wants(p: &TickPlanner<'_>, from: NodeId, to: NodeId) -> bool {
+        p.state()
+            .inventory(from)
+            .has_any_not_in(p.state().inventory(to))
+    }
+
+    /// The interest notion the fast path's tree encodes for the current
+    /// collision model: pending-aware under `Resolved` (promises are
+    /// folded into the leaves as they happen), inventory-only under
+    /// `Simultaneous` (no promises are recorded).
+    fn tree_interest(&self, p: &TickPlanner<'_>, u: NodeId, v: NodeId) -> bool {
+        match self.collisions {
+            CollisionModel::Resolved => Self::wants(p, u, v),
+            CollisionModel::Simultaneous => Self::inv_wants(p, u, v),
+        }
+    }
+
+    /// Target admissibility at selection time, mirroring the fast path's
+    /// `selects`.
+    fn selects(&self, p: &TickPlanner<'_>, u: NodeId, v: NodeId) -> bool {
+        match self.collisions {
+            CollisionModel::Resolved => {
+                u != v
+                    && p.can_download(v)
+                    && Self::credit_allows(p, u, v)
+                    && Self::wants(p, u, v)
+            }
+            CollisionModel::Simultaneous => {
+                u != v && Self::credit_allows(p, u, v) && Self::inv_wants(p, u, v)
+            }
+        }
+    }
+
+    /// Whether any client still wants a block of `u`'s inventory — the
+    /// naive form of the fast path's interest-tree root test.
+    fn anyone_wants(&self, p: &TickPlanner<'_>, u: NodeId) -> bool {
+        (1..p.node_count()).any(|i| self.tree_interest(p, u, NodeId::from_index(i)))
+    }
+
+    /// Uniformly random admissible target from the incomplete-node pool
+    /// (complete overlays): bounded rejection sampling, then a full scan
+    /// over the wanting clients in descending node-id order (the order
+    /// the fast path's tree traversal produces).
+    fn pick_from_pool(
+        &mut self,
+        p: &TickPlanner<'_>,
+        u: NodeId,
+        pool: &[u32],
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        if pool.is_empty() {
+            return None;
+        }
+        for _ in 0..REJECTION_TRIES {
+            let cand = NodeId::new(pool[rng.gen_range(0..pool.len())]);
+            if cand != u && self.selects(p, u, cand) {
+                return Some(cand);
+            }
+        }
+        let mut interested: Vec<u32> = Vec::new();
+        for raw in (1..p.node_count() as u32).rev() {
+            if self.tree_interest(p, u, NodeId::new(raw)) {
+                interested.push(raw);
+            }
+        }
+        let mut persistent_candidate = false;
+        interested.retain(|&v| {
+            let cand = NodeId::new(v);
+            if cand == u {
+                return false;
+            }
+            persistent_candidate |= Self::credit_allows(p, u, cand);
+            self.selects(p, u, cand)
+        });
+        if interested.is_empty() {
+            if !persistent_candidate {
+                self.stuck[u.index()] = true;
+            }
+            None
+        } else {
+            let pick = interested[rng.gen_range(0..interested.len())];
+            Some(NodeId::new(pick))
+        }
+    }
+
+    /// Uniformly random admissible target among explicit neighbors: the
+    /// same partial Fisher–Yates scan as the fast path, with every
+    /// per-candidate predicate recomputed pairwise.
+    fn pick_from_list(
+        &mut self,
+        p: &TickPlanner<'_>,
+        u: NodeId,
+        neighbors: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let mut scan: Vec<u32> = neighbors.iter().map(|v| v.raw()).collect();
+        let len = scan.len();
+        let mut persistent_candidate = false;
+        if self.collisions == CollisionModel::Resolved {
+            for i in 0..len {
+                let j = rng.gen_range(i..len);
+                scan.swap(i, j);
+                let cand = NodeId::new(scan[i]);
+                if cand == u || cand.is_server() {
+                    continue;
+                }
+                if Self::wants(p, u, cand) && Self::credit_allows(p, u, cand) {
+                    if p.can_download(cand) {
+                        return Some(cand);
+                    }
+                    persistent_candidate = true;
+                }
+            }
+        } else {
+            for i in 0..len {
+                let j = rng.gen_range(i..len);
+                scan.swap(i, j);
+                let cand = NodeId::new(scan[i]);
+                if self.selects(p, u, cand) {
+                    return Some(cand);
+                }
+                persistent_candidate |=
+                    cand != u && Self::credit_allows(p, u, cand) && Self::wants(p, u, cand);
+            }
+        }
+        if !persistent_candidate {
+            self.stuck[u.index()] = true;
+        }
+        None
+    }
+
+    /// Stuck-cache maintenance: cleared from the previous tick's delivery
+    /// delta when tick-continuous, reset wholesale otherwise. Identical
+    /// to the fast path's rule; consumes no RNG.
+    fn sync_stuck(&mut self, p: &TickPlanner<'_>) {
+        let n = p.node_count();
+        let t = p.tick().get();
+        let synced = t >= 1 && self.synced_through == Some(t - 1) && self.stuck.len() == n;
+        if synced {
+            for tr in p.last_committed() {
+                self.stuck[tr.to.index()] = false;
+            }
+        } else {
+            self.stuck.clear();
+            self.stuck.resize(n, false);
+        }
+        self.synced_through = Some(t);
+    }
+}
+
+impl Strategy for ReferenceSwarm {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        let n = p.node_count();
+        // Fresh random uploader order each tick — the first n draws.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..n);
+            order.swap(i, j);
+        }
+        self.sync_stuck(p);
+        let complete_overlay = p.topology().is_complete();
+        // Candidate pool rebuilt from scratch: ascending incomplete node
+        // ids (the server is complete by construction, so never listed) —
+        // exactly the state the fast path's compacted pool holds.
+        let pool: Vec<u32> = if complete_overlay {
+            (0..n as u32)
+                .filter(|&v| !p.state().is_complete(NodeId::new(v)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for &raw in &order {
+            let u = NodeId::new(raw);
+            if self.stuck[u.index()] || p.upload_left(u) == 0 || p.state().inventory(u).is_empty()
+            {
+                continue;
+            }
+            if complete_overlay && !self.anyone_wants(p, u) {
+                continue; // nobody incomplete lacks anything u holds
+            }
+            let target = if complete_overlay {
+                self.pick_from_pool(p, u, &pool, rng)
+            } else {
+                match p.topology().neighbors(u) {
+                    NeighborSet::All => self.pick_from_pool(p, u, &pool, rng),
+                    NeighborSet::List(list) => self.pick_from_list(p, u, list, rng),
+                }
+            };
+            let Some(v) = target else { continue };
+            let block = match self.policy {
+                BlockSelection::Random => p.select_random_block(u, v, rng),
+                BlockSelection::RarestFirst => p.select_rarest_block(u, v, rng),
+            };
+            match self.collisions {
+                CollisionModel::Resolved => {
+                    if let Some(block) = block {
+                        // The fast path uses `propose_admitted` here; the
+                        // reference goes through the validating `propose`
+                        // and turns any rejection into a loud error — a
+                        // rejection at this point is itself a divergence.
+                        p.propose(u, v, block)
+                            .map_err(|reason| SimError::BadSchedule {
+                                transfer: Transfer::new(u, v, block),
+                                reason,
+                                tick: p.tick(),
+                            })?;
+                    }
+                }
+                CollisionModel::Simultaneous => {
+                    if let Some(block) = block {
+                        // Collisions surface as planner rejections and
+                        // idle this uploader — same as the fast path.
+                        let _ = p.propose(u, v, block);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        match self.policy {
+            BlockSelection::Random => "reference-swarm(random)",
+            BlockSelection::RarestFirst => "reference-swarm(rarest-first)",
+        }
+    }
+
+    fn span_label(&self) -> String {
+        match self.collisions {
+            CollisionModel::Resolved => self.name().to_owned(),
+            CollisionModel::Simultaneous => format!("{}+simultaneous", self.name()),
+        }
+    }
+}

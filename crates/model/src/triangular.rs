@@ -1,0 +1,222 @@
+//! Naive reference implementation of the triangular-barter swarm.
+//!
+//! [`ReferenceTriangular`] mirrors
+//! `pob_core::strategies::TriangularSwarm` phase for phase and RNG draw
+//! for RNG draw. The optimized strategy's only incremental structure is
+//! its rarity-bucket index (whose sync consumes no RNG); the reference
+//! replaces it with the planner's two-pass
+//! [`select_rarest_block`](pob_sim::TickPlanner::select_rarest_block)
+//! recomputation and rebuilds its scratch buffers from scratch each
+//! tick. Interest and credit-slack checks were already pairwise scans in
+//! the fast path; here they are recomputed verbatim.
+
+use pob_core::strategies::BlockSelection;
+use pob_sim::{BlockId, NeighborSet, NodeId, SimError, Strategy, TickPlanner};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Neighbors examined per node when hunting for swap partners — must
+/// match the fast path's constant for RNG parity.
+const PARTNER_TRIES: usize = 24;
+
+/// Deliberately naive reference for
+/// `pob_core::strategies::TriangularSwarm`.
+///
+/// Given the same seed, engine configuration, and overlay, a run driven
+/// by this strategy commits the exact same transfer on the exact same
+/// tick as a run driven by the optimized strategy; the differential
+/// harness asserts this over generated scenarios.
+#[derive(Debug, Clone)]
+pub struct ReferenceTriangular {
+    policy: BlockSelection,
+    matched: Vec<bool>,
+}
+
+impl ReferenceTriangular {
+    /// Creates the reference with the given block-selection policy.
+    pub fn new(policy: BlockSelection) -> Self {
+        ReferenceTriangular {
+            policy,
+            matched: Vec::new(),
+        }
+    }
+
+    /// Whether `from` holds a block that `to` still wants (pending-aware)
+    /// and `to` can download — recomputed with a direct three-set scan.
+    fn offers(p: &TickPlanner<'_>, from: NodeId, to: NodeId) -> bool {
+        from != to
+            && p.can_download(to)
+            && p.state()
+                .inventory(from)
+                .has_any_not_in_either(p.state().inventory(to), p.pending(to))
+    }
+
+    /// Collects up to `PARTNER_TRIES` neighbor candidates of `u` in a
+    /// random order — draw-for-draw identical to the fast path.
+    fn fill_candidates(p: &TickPlanner<'_>, u: NodeId, rng: &mut StdRng, out: &mut Vec<u32>) {
+        out.clear();
+        match p.topology().neighbors(u) {
+            NeighborSet::All => {
+                let n = p.node_count() as u32;
+                for _ in 0..PARTNER_TRIES {
+                    let v = rng.gen_range(0..n);
+                    if v != u.raw() {
+                        out.push(v);
+                    }
+                }
+            }
+            NeighborSet::List(list) => {
+                out.extend(list.iter().map(|v| v.raw()));
+                let len = out.len();
+                for i in 0..len {
+                    let j = rng.gen_range(i..len);
+                    out.swap(i, j);
+                }
+                out.truncate(PARTNER_TRIES);
+            }
+        }
+    }
+
+    /// Executes a swap cycle `chain[0] → chain[1] → … → chain[0]`,
+    /// marking all participants matched. Pre-selects every hop's block
+    /// before proposing any and gives up silently on a missing pick,
+    /// with the RNG already advanced by the earlier picks — exactly the
+    /// fast path's behavior.
+    fn execute_cycle(&mut self, p: &mut TickPlanner<'_>, chain: &[NodeId], rng: &mut StdRng) {
+        let mut picks: [Option<(NodeId, NodeId, BlockId)>; 3] = [None; 3];
+        for i in 0..chain.len() {
+            let from = chain[i];
+            let to = chain[(i + 1) % chain.len()];
+            match self.pick_block(p, from, to, rng) {
+                Some(b) => picks[i] = Some((from, to, b)),
+                None => return,
+            }
+        }
+        for &(from, to, block) in picks.iter().flatten() {
+            let _ = p.propose(from, to, block);
+        }
+        for node in chain {
+            self.matched[node.index()] = true;
+        }
+    }
+
+    /// Policy-directed block pick through the planner's naive selectors.
+    fn pick_block(
+        &mut self,
+        p: &TickPlanner<'_>,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<BlockId> {
+        match self.policy {
+            BlockSelection::Random => p.select_random_block(from, to, rng),
+            BlockSelection::RarestFirst => p.select_rarest_block(from, to, rng),
+        }
+    }
+}
+
+impl Strategy for ReferenceTriangular {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        let n = p.node_count();
+        self.matched.clear();
+        self.matched.resize(n, false);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..n);
+            order.swap(i, j);
+        }
+        // (The fast path syncs its rarity index here; that consumes no
+        // RNG, so the reference has nothing to mirror.)
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut v_candidates: Vec<u32> = Vec::new();
+
+        // The server uploads unilaterally to a random interested neighbor.
+        if p.upload_left(NodeId::SERVER) > 0 {
+            Self::fill_candidates(p, NodeId::SERVER, rng, &mut candidates);
+            if let Some(&v) = candidates
+                .iter()
+                .find(|&&v| Self::offers(p, NodeId::SERVER, NodeId::new(v)))
+            {
+                let v = NodeId::new(v);
+                if let Some(b) = self.pick_block(p, NodeId::SERVER, v, rng) {
+                    let _ = p.propose(NodeId::SERVER, v, b);
+                }
+            }
+        }
+
+        for &raw in &order {
+            let u = NodeId::new(raw);
+            if u.is_server() || self.matched[u.index()] || p.state().inventory(u).is_empty() {
+                continue;
+            }
+            Self::fill_candidates(p, u, rng, &mut candidates);
+            // Phase 1: pairwise swap with mutual novelty.
+            let pair = candidates.iter().copied().find(|&v| {
+                let v = NodeId::new(v);
+                !v.is_server()
+                    && !self.matched[v.index()]
+                    && Self::offers(p, u, v)
+                    && Self::offers(p, v, u)
+            });
+            if let Some(v) = pair {
+                self.execute_cycle(p, &[u, NodeId::new(v)], rng);
+                continue;
+            }
+            // Phase 2: close a triangle u → v → w → u.
+            let mut in_cycle = false;
+            'triangle: for &v in &candidates {
+                let v = NodeId::new(v);
+                if v.is_server() || self.matched[v.index()] || !Self::offers(p, u, v) {
+                    continue;
+                }
+                Self::fill_candidates(p, v, rng, &mut v_candidates);
+                for &w in &v_candidates {
+                    let w = NodeId::new(w);
+                    if w == u
+                        || w.is_server()
+                        || self.matched[w.index()]
+                        || !p.topology().are_neighbors(w, u)
+                    {
+                        continue;
+                    }
+                    if Self::offers(p, v, w) && Self::offers(p, w, u) {
+                        self.execute_cycle(p, &[u, v, w], rng);
+                        in_cycle = true;
+                        break 'triangle;
+                    }
+                }
+            }
+            if in_cycle {
+                continue;
+            }
+            // Phase 3: one-sided transfer within the credit slack.
+            if let Some(slack) = p.mechanism().credit() {
+                Self::fill_candidates(p, u, rng, &mut candidates);
+                if let Some(&v) = candidates.iter().find(|&&v| {
+                    let v = NodeId::new(v);
+                    !v.is_server()
+                        && Self::offers(p, u, v)
+                        && p.effective_net(u, v) < i64::from(slack)
+                }) {
+                    let v = NodeId::new(v);
+                    if let Some(b) = self.pick_block(p, u, v, rng) {
+                        let _ = p.propose(u, v, b);
+                        self.matched[u.index()] = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "reference-triangular"
+    }
+
+    fn span_label(&self) -> String {
+        match self.policy {
+            BlockSelection::Random => "reference-triangular(random)".to_owned(),
+            BlockSelection::RarestFirst => "reference-triangular(rarest-first)".to_owned(),
+        }
+    }
+}

@@ -215,6 +215,32 @@ pub fn run_async<S: AsyncStrategy + ?Sized>(
     strategy: &mut S,
     rng: &mut StdRng,
 ) -> AsyncReport {
+    let rates: Vec<f64> = (0..config.nodes)
+        .map(|_| 1.0 + config.jitter * (rng.gen::<f64>() * 2.0 - 1.0))
+        .collect();
+    run_async_with_rates(config, &rates, topology, strategy, rng)
+}
+
+/// [`run_async`] with explicit per-node upload rates instead of rates
+/// drawn from `config.jitter`.
+///
+/// `rates[i]` is node `i`'s upload rate in blocks per unit time; an
+/// upload started at `t` by node `i` arrives at `t + 1 / rates[i]`.
+/// Useful for tests that need to control heterogeneity exactly (e.g.
+/// monotonicity of completion time in a single node's rate).
+///
+/// # Panics
+///
+/// Panics if `rates.len() != config.nodes`, if any rate is not strictly
+/// positive and finite, or if the overlay's node count disagrees with
+/// the config.
+pub fn run_async_with_rates<S: AsyncStrategy + ?Sized>(
+    config: AsyncConfig,
+    rates: &[f64],
+    topology: &dyn Topology,
+    strategy: &mut S,
+    rng: &mut StdRng,
+) -> AsyncReport {
     assert_eq!(
         topology.node_count(),
         config.nodes,
@@ -222,10 +248,18 @@ pub fn run_async<S: AsyncStrategy + ?Sized>(
         topology.node_count(),
         config.nodes
     );
+    assert_eq!(
+        rates.len(),
+        config.nodes,
+        "got {} rates for {} nodes",
+        rates.len(),
+        config.nodes
+    );
+    assert!(
+        rates.iter().all(|r| r.is_finite() && *r > 0.0),
+        "upload rates must be finite and positive"
+    );
     let mut state = SimState::new(config.nodes, config.blocks);
-    let rates: Vec<f64> = (0..config.nodes)
-        .map(|_| 1.0 + config.jitter * (rng.gen::<f64>() * 2.0 - 1.0))
-        .collect();
     let mut busy = vec![false; config.nodes];
     let mut heap: BinaryHeap<Event> = BinaryHeap::new();
     let mut seq = 0u64;

@@ -359,11 +359,13 @@ impl<'a> TickPlanner<'a> {
                     return self.effective_net(from, to) < 0;
                 }
                 let allowed = !self.bufs.credit_index.is_blocked(from, to);
-                debug_assert_eq!(
-                    allowed,
-                    self.effective_net(from, to) < i64::from(credit),
-                    "credit index out of sync for {from}→{to}"
-                );
+                if cfg!(any(debug_assertions, feature = "paranoid-checks")) {
+                    assert_eq!(
+                        allowed,
+                        self.effective_net(from, to) < i64::from(credit),
+                        "credit index out of sync for {from}→{to}"
+                    );
+                }
                 allowed
             }
             _ => true,
@@ -515,14 +517,15 @@ impl<'a> TickPlanner<'a> {
     /// verified admissible (e.g. a strategy that just ran the equivalent
     /// of [`is_admissible_target`](Self::is_admissible_target) plus block
     /// novelty), skipping the redundant re-validation on the hot path.
-    /// Debug builds still run the full check.
+    /// Debug builds and the `paranoid-checks` feature still run the full
+    /// check.
     pub fn propose_admitted(&mut self, from: NodeId, to: NodeId, block: BlockId) {
         self.bufs.stats.proposals += 1;
-        debug_assert!(
-            self.admit(from, to, block).is_ok(),
-            "propose_admitted given inadmissible transfer {from}→{to} of {block}: {:?}",
-            self.admit(from, to, block)
-        );
+        if cfg!(any(debug_assertions, feature = "paranoid-checks")) {
+            if let Err(reason) = self.admit(from, to, block) {
+                panic!("propose_admitted given inadmissible transfer {from}→{to} of {block}: {reason:?}");
+            }
+        }
         self.record(from, to, block);
     }
 
@@ -1010,7 +1013,7 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
     #[should_panic(expected = "inadmissible")]
     fn propose_admitted_catches_bad_transfer_in_debug() {
         let mut fx = Fixture::new(3, 4);

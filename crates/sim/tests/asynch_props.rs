@@ -1,0 +1,184 @@
+//! Property tests for the asynchronous engine (`pob_sim::asynch`).
+//!
+//! Two laws, over generated populations, rates, and seeds:
+//!
+//! * **wasted-transfer accounting** — every processed event is either a
+//!   delivery or a wasted duplicate, and a completed run delivers exactly
+//!   `(n − 1) · k` novel blocks, so `events = wasted + (n − 1) · k`;
+//! * **rate monotonicity** — on a store-and-forward relay chain (a
+//!   tandem queue), raising any single node's upload rate never makes
+//!   the overall completion time worse.
+
+use pob_sim::asynch::{
+    run_async, run_async_with_rates, AsyncConfig, AsyncStrategy, AsyncUpload,
+};
+use pob_sim::{BlockId, CompleteOverlay, NodeId, SimState, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Blindly cycles through `(target, block)` slots without consulting the
+/// receiver's inventory: guaranteed to complete (the server's cycle
+/// eventually offers every block to every client) while generating
+/// wasted duplicate arrivals along the way.
+struct BlindRelay {
+    nodes: usize,
+    blocks: usize,
+    cursor: Vec<usize>,
+}
+
+impl BlindRelay {
+    fn new(nodes: usize, blocks: usize) -> Self {
+        BlindRelay {
+            nodes,
+            blocks,
+            cursor: vec![0; nodes],
+        }
+    }
+}
+
+impl AsyncStrategy for BlindRelay {
+    fn next_upload(
+        &mut self,
+        node: NodeId,
+        state: &SimState,
+        _topology: &dyn Topology,
+        _rng: &mut StdRng,
+    ) -> Option<AsyncUpload> {
+        if state.inventory(node).is_empty() {
+            return None;
+        }
+        let slots = (self.nodes - 1) * self.blocks;
+        let cursor = &mut self.cursor[node.index()];
+        for _ in 0..slots {
+            let slot = *cursor;
+            *cursor = (*cursor + 1) % slots;
+            let to = NodeId::from_index(1 + slot / self.blocks);
+            let block = BlockId::new((slot % self.blocks) as u32);
+            if to != node && state.holds(node, block) {
+                return Some(AsyncUpload { to, block });
+            }
+        }
+        None
+    }
+}
+
+/// Store-and-forward relay chain: node `i` sends its lowest block that
+/// node `i + 1` still lacks. A tandem queue — no duplicate arrivals, and
+/// completion time is monotone in every node's service rate.
+struct ChainRelay;
+
+impl AsyncStrategy for ChainRelay {
+    fn next_upload(
+        &mut self,
+        node: NodeId,
+        state: &SimState,
+        _topology: &dyn Topology,
+        _rng: &mut StdRng,
+    ) -> Option<AsyncUpload> {
+        let next = node.index() + 1;
+        if next >= state.node_count() {
+            return None;
+        }
+        let to = NodeId::from_index(next);
+        state
+            .inventory(node)
+            .iter()
+            .find(|&b| !state.holds(to, b))
+            .map(|block| AsyncUpload { to, block })
+    }
+}
+
+proptest! {
+    /// `events = wasted + deliveries`, and a completed run delivers every
+    /// client every block exactly once: `deliveries = (n − 1) · k`.
+    #[test]
+    fn wasted_accounting_sums_to_uploads_minus_deliveries(
+        n in 3usize..=10,
+        k in 1usize..=12,
+        jitter in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let overlay = CompleteOverlay::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = run_async(
+            AsyncConfig::new(n, k, jitter),
+            &overlay,
+            &mut BlindRelay::new(n, k),
+            &mut rng,
+        );
+        prop_assert!(report.completed(), "blind round-robin must complete");
+        prop_assert_eq!(
+            report.events,
+            report.wasted + ((n - 1) * k) as u64,
+            "every event is a delivery or a wasted duplicate"
+        );
+    }
+
+    /// Raising one node's upload rate never increases the chain's
+    /// completion time (tandem-queue monotonicity).
+    #[test]
+    fn completion_time_monotone_in_any_node_rate(
+        n in 3usize..=8,
+        k in 1usize..=10,
+        rates in proptest::collection::vec(0.5f64..2.0, 8),
+        bump_index in 0usize..8,
+        bump in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let overlay = CompleteOverlay::new(n);
+        let rates = &rates[..n];
+        let run = |rates: &[f64]| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_async_with_rates(
+                AsyncConfig::new(n, k, 0.0),
+                rates,
+                &overlay,
+                &mut ChainRelay,
+                &mut rng,
+            )
+        };
+        let base = run(rates);
+        prop_assert!(base.completed(), "relay chain must complete");
+        prop_assert_eq!(base.wasted, 0, "single-sender chain never wastes");
+
+        let mut faster = rates.to_vec();
+        faster[bump_index % n] += bump;
+        let bumped = run(&faster);
+        prop_assert!(bumped.completed());
+        prop_assert!(
+            bumped.completion.unwrap() <= base.completion.unwrap() + 1e-9,
+            "raising a rate from {:?} by {bump} at {} slowed completion: {} -> {}",
+            rates,
+            bump_index % n,
+            base.completion.unwrap(),
+            bumped.completion.unwrap()
+        );
+    }
+}
+
+/// Uniform-rate sanity anchor for the chain: store-and-forward pipelining
+/// finishes at exactly `(n + k − 2) / r`.
+#[test]
+fn chain_relay_matches_pipeline_closed_form() {
+    let (n, k, r) = (6usize, 9usize, 2.0f64);
+    let overlay = CompleteOverlay::new(n);
+    let rates = vec![r; n];
+    let mut rng = StdRng::seed_from_u64(0);
+    let report = run_async_with_rates(
+        AsyncConfig::new(n, k, 0.0),
+        &rates,
+        &overlay,
+        &mut ChainRelay,
+        &mut rng,
+    );
+    assert!(report.completed());
+    let expected = (n + k - 2) as f64 / r;
+    assert!(
+        (report.completion.unwrap() - expected).abs() < 1e-9,
+        "expected {expected}, got {}",
+        report.completion.unwrap()
+    );
+    assert_eq!(report.events, ((n - 1) * k) as u64);
+    assert_eq!(report.wasted, 0);
+}

@@ -22,7 +22,8 @@ use pob_core::strategies::{
     BitTorrentLike, BlockSelection, SplitStream, SwarmStrategy, TriangularSwarm,
 };
 use pob_overlay::{d_ary_tree, path, random_regular, CompleteOverlay, Hypercube};
-use pob_sim::events::{Event, EventLog, TeeSink};
+use pob_model::InvariantSink;
+use pob_sim::events::{Event, EventLog, EventSink, TeeSink};
 use pob_sim::trace::Recorder;
 use pob_sim::{
     DownloadCapacity, Engine, JsonlSink, Mechanism, RejectTransferError, RunReport, SimConfig,
@@ -53,6 +54,8 @@ USAGE (inspect):
 
 OPTIONS (run / trace / sweep):
     --events <PATH>   (run/trace) stream pob-events/1 NDJSON to PATH
+    --check-invariants  (run/trace) audit the run with the event-stream
+                      invariant checker; exits non-zero on any violation
     --algorithm <A>   binomial | pipeline | multicast | binomial-tree | riffle
                       | swarm | bittorrent | splitstream | triangular   [binomial]
     --n <N>           number of nodes incl. the server                  [64]
@@ -87,6 +90,7 @@ struct Options {
     degrees: Vec<usize>,
     versus: String,
     events: Option<String>,
+    check_invariants: bool,
 }
 
 impl Default for Options {
@@ -107,6 +111,7 @@ impl Default for Options {
             degrees: vec![8, 16, 32, 64],
             versus: "swarm".to_owned(),
             events: None,
+            check_invariants: false,
         }
     }
 }
@@ -193,6 +198,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--versus" => opts.versus = value()?.clone(),
             "--events" => opts.events = Some(value()?.clone()),
+            "--check-invariants" => opts.check_invariants = true,
             "--degrees" => {
                 opts.degrees = value()?
                     .split(',')
@@ -323,6 +329,22 @@ fn print_report(opts: &Options, report: &RunReport) {
     }
 }
 
+/// Adapter that makes an optional sink a sink: `None` reports itself
+/// disabled, so the engine skips gauge work exactly as with `NoopSink`.
+struct MaybeSink<S>(Option<S>);
+
+impl<S: EventSink> EventSink for MaybeSink<S> {
+    fn enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|sink| sink.enabled())
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if let Some(sink) = self.0.as_mut() {
+            sink.on_event(event);
+        }
+    }
+}
+
 fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
     let overlay = build_overlay(opts)?;
     let mut strategy = build_strategy(opts)?;
@@ -338,16 +360,24 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
                 .map_err(|e| format!("cannot create '{path}': {e}"))
         })
         .transpose()?;
+    let mut checker = MaybeSink(opts.check_invariants.then(|| InvariantSink::new(&cfg)));
     let report = match (trace, jsonl.as_mut()) {
-        (false, None) => Engine::new(cfg, overlay.as_ref()).run(strategy.as_mut(), &mut rng),
+        (false, None) => Engine::with_sink(cfg, overlay.as_ref(), &mut checker)
+            .run(strategy.as_mut(), &mut rng),
         (false, Some(sink)) => {
-            Engine::with_sink(cfg, overlay.as_ref(), sink).run(strategy.as_mut(), &mut rng)
+            Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut checker, sink))
+                .run(strategy.as_mut(), &mut rng)
         }
         (true, None) => {
-            Engine::with_sink(cfg, overlay.as_ref(), &mut rec).run(strategy.as_mut(), &mut rng)
+            Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut checker, &mut rec))
+                .run(strategy.as_mut(), &mut rng)
         }
-        (true, Some(sink)) => Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut rec, sink))
-            .run(strategy.as_mut(), &mut rng),
+        (true, Some(sink)) => Engine::with_sink(
+            cfg,
+            overlay.as_ref(),
+            TeeSink(&mut checker, TeeSink(&mut rec, sink)),
+        )
+        .run(strategy.as_mut(), &mut rng),
     }
     .map_err(|e| e.to_string())?;
     if let Some(sink) = jsonl {
@@ -355,6 +385,18 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
         sink.finish()
             .map_err(|e| format!("cannot write '{path}': {e}"))?;
         eprintln!("events written to {path}");
+    }
+    if let Some(checker) = &checker.0 {
+        if !checker.is_clean() {
+            for v in checker.violations() {
+                eprintln!("invariant violation: {v}");
+            }
+            return Err(format!(
+                "{} invariant violations over {} ticks",
+                checker.violation_count(),
+                checker.ticks_checked()
+            ));
+        }
     }
     if trace {
         let t = rec.into_trace();
@@ -373,6 +415,12 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
         println!("{}", t.summary(opts.n));
     }
     print_report(opts, &report);
+    if let Some(checker) = &checker.0 {
+        println!(
+            "invariants   : ok ({} ticks audited, 0 violations)",
+            checker.ticks_checked()
+        );
+    }
     Ok(())
 }
 

@@ -7,11 +7,13 @@
 //! * [`sim`] — the synchronous/asynchronous simulation substrate;
 //! * [`overlay`] — overlay-network topologies;
 //! * [`core`] — the paper's algorithms and bounds;
-//! * [`analysis`] — statistics and the experiment harness.
+//! * [`analysis`] — statistics and the experiment harness;
+//! * [`model`] — naive reference planners and the invariant checker.
 
 #![forbid(unsafe_code)]
 
 pub use pob_analysis as analysis;
 pub use pob_core as core;
+pub use pob_model as model;
 pub use pob_overlay as overlay;
 pub use pob_sim as sim;

@@ -257,6 +257,130 @@ fn inspect_rejects_garbage_input() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A stream cut off mid-record (a crashed producer) must be a clean
+/// diagnostic naming the offending line, not a panic.
+#[test]
+fn inspect_rejects_truncated_stream() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_truncated_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let events = dir.join("run.ndjson");
+    let events_path = events.to_str().expect("utf-8 temp path");
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "12",
+        "--k",
+        "6",
+        "--events",
+        events_path,
+    ]);
+    assert!(out.status.success());
+
+    // Chop the stream off in the middle of its final record.
+    let stream = std::fs::read_to_string(&events).expect("events file exists");
+    let trimmed = stream.trim_end();
+    let cut = trimmed.len() - trimmed.len().min(20);
+    std::fs::write(&events, &trimmed[..cut]).unwrap();
+
+    let out = pob(&["inspect", events_path]);
+    assert!(!out.status.success(), "truncated stream must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("line"), "diagnostic should name the line: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A syntactically valid stream that never announces a run is rejected
+/// with a specific diagnostic.
+#[test]
+fn inspect_rejects_stream_without_run_start() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_headless_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("headless.ndjson");
+    std::fs::write(&bad, "{\"event\":\"tick-start\",\"tick\":1}\n").unwrap();
+    let out = pob(&["inspect", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no run-start record"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every line of a freshly captured stream must decode and re-encode
+/// byte-identically — the `pob-events/1` encoding is canonical.
+#[test]
+fn events_stream_reencodes_byte_identical() {
+    use price_of_barter::sim::Event;
+
+    let dir = std::env::temp_dir().join(format!("pob_cli_reencode_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let events = dir.join("run.ndjson");
+    let events_path = events.to_str().expect("utf-8 temp path");
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "triangular",
+        "--n",
+        "12",
+        "--k",
+        "6",
+        "--events",
+        events_path,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stream = std::fs::read_to_string(&events).expect("events file exists");
+    assert!(!stream.is_empty());
+    for (i, line) in stream.lines().enumerate() {
+        let event = Event::from_json_line(line)
+            .unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        assert_eq!(
+            event.to_json_line(),
+            line,
+            "line {} does not round-trip byte-identically",
+            i + 1
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--check-invariants` audits a clean run silently (exit 0, summary
+/// line) across mechanisms, including the ledger-gauge path.
+#[test]
+fn check_invariants_flag_audits_clean_runs() {
+    for mechanism in ["cooperative", "credit:2"] {
+        let out = pob(&[
+            "run",
+            "--algorithm",
+            "swarm",
+            "--n",
+            "16",
+            "--k",
+            "8",
+            "--mechanism",
+            mechanism,
+            "--seed",
+            "3",
+            "--check-invariants",
+        ]);
+        assert!(
+            out.status.success(),
+            "{mechanism}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = stdout(&out);
+        assert!(
+            text.contains("invariants   : ok"),
+            "{mechanism} should print the audit summary: {text}"
+        );
+        assert!(text.contains("0 violations"), "{text}");
+    }
+}
+
 #[test]
 fn inspect_requires_exactly_one_path() {
     let out = pob(&["inspect"]);

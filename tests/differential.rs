@@ -1,0 +1,292 @@
+//! Differential oracle: fast engine vs. naive reference planner.
+//!
+//! Each test runs two engines in lockstep over proptest-generated
+//! scenarios — one driven by the optimized strategy from `pob-core`, one
+//! driven by the deliberately naive reference from `pob-model` — with
+//! identically seeded RNGs, and asserts a bit-identical delivery trace:
+//! the same transfers, in the same order, on the same tick, every tick.
+//! The reference engine additionally carries an `InvariantSink`, so every
+//! generated scenario is also audited for block conservation, capacity,
+//! mechanism admissibility, and monotone completion.
+//!
+//! Case count per test defaults to proptest's 256 and follows the
+//! `PROPTEST_CASES` environment variable (the nightly CI job raises it
+//! 10×). Four tests × 256 cases ≥ 1000 scenarios per run.
+
+use price_of_barter::core::schedules::RifflePipeline;
+use price_of_barter::core::strategies::{
+    BlockSelection, CollisionModel, SwarmStrategy, TriangularSwarm,
+};
+use price_of_barter::model::{InvariantSink, ReferenceSwarm, ReferenceTriangular};
+use price_of_barter::overlay::{random_regular, CompleteOverlay};
+use price_of_barter::sim::{DownloadCapacity, Engine, Mechanism, SimConfig, Strategy, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `fast` and `reference` against identically configured engines and
+/// identically seeded RNGs, asserting a bit-identical trace tick by tick.
+/// The reference engine carries an `InvariantSink`; the run must finish
+/// clean. Returns the number of ticks executed.
+fn assert_lockstep(
+    cfg: SimConfig,
+    topology: &dyn Topology,
+    fast: &mut dyn Strategy,
+    reference: &mut dyn Strategy,
+    seed: u64,
+) -> u32 {
+    let mut fast_engine = Engine::new(cfg, topology);
+    let mut ref_engine = Engine::with_sink(cfg, topology, InvariantSink::new(&cfg));
+    let mut fast_rng = StdRng::seed_from_u64(seed);
+    let mut ref_rng = StdRng::seed_from_u64(seed);
+
+    loop {
+        let fast_more = fast_engine
+            .step(fast, &mut fast_rng)
+            .expect("fast engine must not error");
+        let ref_more = ref_engine
+            .step(reference, &mut ref_rng)
+            .expect("reference engine must not error");
+        let tick = fast_engine.current_tick().get();
+        assert_eq!(
+            fast_more, ref_more,
+            "engines disagree on run continuation at tick {tick}"
+        );
+        assert_eq!(
+            fast_engine.last_transfers(),
+            ref_engine.last_transfers(),
+            "delivery traces diverge at tick {tick} (seed {seed})"
+        );
+        if !fast_more {
+            break;
+        }
+        assert!(
+            tick <= cfg.max_ticks,
+            "run exceeded max_ticks without bailing"
+        );
+    }
+
+    assert_eq!(
+        fast_engine.current_tick(),
+        ref_engine.current_tick(),
+        "tick counters diverge"
+    );
+    assert_eq!(
+        fast_engine.state().all_complete(),
+        ref_engine.state().all_complete(),
+        "completion status diverges"
+    );
+    assert_eq!(
+        fast_engine.ledger().total_abs_net(),
+        ref_engine.ledger().total_abs_net(),
+        "credit ledgers diverge"
+    );
+    let ticks = fast_engine.current_tick().get();
+    let sink = ref_engine.into_sink();
+    sink.assert_clean();
+    assert_eq!(
+        sink.ticks_checked(),
+        u64::from(ticks),
+        "invariant sink missed ticks"
+    );
+    ticks
+}
+
+fn download_capacity(code: u8) -> DownloadCapacity {
+    match code % 3 {
+        0 => DownloadCapacity::Unlimited,
+        1 => DownloadCapacity::Finite(1),
+        _ => DownloadCapacity::Finite(2),
+    }
+}
+
+fn policy(rarest: bool) -> BlockSelection {
+    if rarest {
+        BlockSelection::RarestFirst
+    } else {
+        BlockSelection::Random
+    }
+}
+
+fn collisions(simultaneous: bool) -> CollisionModel {
+    if simultaneous {
+        CollisionModel::Simultaneous
+    } else {
+        CollisionModel::Resolved
+    }
+}
+
+/// Builds either the complete overlay or a random-regular one from the
+/// scenario parameters. Returns `None` for parameter combinations the
+/// regular-graph builder rejects (caller `prop_assume`s those away).
+fn build_topology(
+    n: usize,
+    use_regular: bool,
+    degree: usize,
+    topo_seed: u64,
+) -> Option<Box<dyn Topology>> {
+    if !use_regular {
+        return Some(Box::new(CompleteOverlay::new(n)));
+    }
+    let mut rng = StdRng::seed_from_u64(topo_seed);
+    random_regular(n, degree, &mut rng)
+        .ok()
+        .map(|overlay| Box::new(overlay) as Box<dyn Topology>)
+}
+
+proptest! {
+    /// Cooperative mechanism: optimized swarm vs. naive reference, both
+    /// collision models, both block policies, complete and sparse
+    /// overlays, varying download capacity.
+    #[test]
+    fn cooperative_swarm_matches_reference(
+        n in 3usize..=20,
+        k in 1usize..=12,
+        dl in 0u8..3,
+        rarest in any::<bool>(),
+        simultaneous in any::<bool>(),
+        use_regular in any::<bool>(),
+        degree in 2usize..5,
+        topo_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let topology = build_topology(n, use_regular, degree, topo_seed);
+        prop_assume!(topology.is_some());
+        let topology = topology.unwrap();
+        let cfg = SimConfig::new(n, k).with_download_capacity(download_capacity(dl));
+        let mut fast = SwarmStrategy::with_collision_model(policy(rarest), collisions(simultaneous));
+        let mut reference =
+            ReferenceSwarm::with_collision_model(policy(rarest), collisions(simultaneous));
+        assert_lockstep(cfg, topology.as_ref(), &mut fast, &mut reference, seed);
+    }
+
+    /// Credit-limited barter: the admission predicate gains the
+    /// credit-index path; the reference recomputes `effective_net` from
+    /// the ledger each probe.
+    #[test]
+    fn credit_limited_swarm_matches_reference(
+        n in 3usize..=20,
+        k in 1usize..=12,
+        credit in 1u32..=3,
+        dl in 0u8..3,
+        rarest in any::<bool>(),
+        simultaneous in any::<bool>(),
+        use_regular in any::<bool>(),
+        degree in 2usize..5,
+        topo_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let topology = build_topology(n, use_regular, degree, topo_seed);
+        prop_assume!(topology.is_some());
+        let topology = topology.unwrap();
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::CreditLimited { credit })
+            .with_download_capacity(download_capacity(dl));
+        let mut fast = SwarmStrategy::with_collision_model(policy(rarest), collisions(simultaneous));
+        let mut reference =
+            ReferenceSwarm::with_collision_model(policy(rarest), collisions(simultaneous));
+        assert_lockstep(cfg, topology.as_ref(), &mut fast, &mut reference, seed);
+    }
+
+    /// Triangular barter: pairwise swaps, three-cycles, and the
+    /// credit-slack phase, fast rarity index vs. two-pass recomputation.
+    #[test]
+    fn triangular_swarm_matches_reference(
+        n in 3usize..=20,
+        k in 1usize..=12,
+        credit in 1u32..=3,
+        rarest in any::<bool>(),
+        use_regular in any::<bool>(),
+        degree in 2usize..5,
+        topo_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let topology = build_topology(n, use_regular, degree, topo_seed);
+        prop_assume!(topology.is_some());
+        let topology = topology.unwrap();
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::TriangularBarter { credit })
+            .with_download_capacity(DownloadCapacity::Unlimited);
+        let mut fast = TriangularSwarm::new(policy(rarest));
+        let mut reference = ReferenceTriangular::new(policy(rarest));
+        assert_lockstep(cfg, topology.as_ref(), &mut fast, &mut reference, seed);
+    }
+
+    /// Strict barter: the riffle pipeline is deterministic, so the
+    /// differential here pits the plain engine against the
+    /// invariant-audited engine — every generated schedule must
+    /// revalidate under the strict pairing rule, tick for tick.
+    #[test]
+    fn strict_barter_riffle_survives_audit(
+        n in 3usize..=12,
+        k in 1usize..=12,
+        overlap in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let topology = CompleteOverlay::new(n);
+        let dl = if overlap {
+            DownloadCapacity::Finite(2)
+        } else {
+            DownloadCapacity::Finite(1)
+        };
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::StrictBarter)
+            .with_download_capacity(dl);
+        let mut fast = RifflePipeline::new(n, k, overlap);
+        let mut reference = RifflePipeline::new(n, k, overlap);
+        assert_lockstep(cfg, &topology, &mut fast, &mut reference, seed);
+    }
+}
+
+/// Larger-scale sweep for the nightly job (`--include-ignored`): fixed
+/// seeds, all four mechanisms, n and k past anything the quick generators
+/// reach.
+#[test]
+#[ignore = "nightly scale; run with --include-ignored"]
+fn differential_large_scale() {
+    for seed in [7u64, 21, 1005] {
+        let n = 64;
+        let k = 32;
+        let complete = CompleteOverlay::new(n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let regular = random_regular(n, 8, &mut rng).expect("valid regular graph");
+        for topology in [&complete as &dyn Topology, &regular as &dyn Topology] {
+            let cfg = SimConfig::new(n, k);
+            assert_lockstep(
+                cfg,
+                topology,
+                &mut SwarmStrategy::new(BlockSelection::RarestFirst),
+                &mut ReferenceSwarm::new(BlockSelection::RarestFirst),
+                seed,
+            );
+            let cfg = SimConfig::new(n, k).with_mechanism(Mechanism::CreditLimited { credit: 1 });
+            assert_lockstep(
+                cfg,
+                topology,
+                &mut SwarmStrategy::new(BlockSelection::RarestFirst),
+                &mut ReferenceSwarm::new(BlockSelection::RarestFirst),
+                seed,
+            );
+            let cfg = SimConfig::new(n, k)
+                .with_mechanism(Mechanism::TriangularBarter { credit: 2 })
+                .with_download_capacity(DownloadCapacity::Unlimited);
+            assert_lockstep(
+                cfg,
+                topology,
+                &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+                &mut ReferenceTriangular::new(BlockSelection::RarestFirst),
+                seed,
+            );
+        }
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::StrictBarter)
+            .with_download_capacity(DownloadCapacity::Finite(1));
+        assert_lockstep(
+            cfg,
+            &complete,
+            &mut RifflePipeline::new(n, k, false),
+            &mut RifflePipeline::new(n, k, false),
+            seed,
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Invariant audits of the figure workloads at quick scale.
+//!
+//! Each test attaches an `InvariantSink` to a workload drawn from the
+//! paper-figure experiments (scaled down to seconds), runs it to the end,
+//! and requires a clean audit: block conservation, store-and-forward
+//! discipline, per-node capacity, mechanism admissibility against a
+//! shadow ledger, monotone completion, and honest per-tick gauges. The
+//! completion expectations mirror the corresponding figure tests, so a
+//! violation here points at the engine, not the workload.
+
+use price_of_barter::core::schedules::RifflePipeline;
+use price_of_barter::core::strategies::{
+    BlockSelection, CollisionModel, SwarmStrategy, TriangularSwarm,
+};
+use price_of_barter::model::InvariantSink;
+use price_of_barter::overlay::{random_regular, CompleteOverlay};
+use price_of_barter::sim::{
+    DownloadCapacity, Engine, Mechanism, RunReport, SimConfig, Strategy, Topology,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `strategy` under an `InvariantSink`, asserts the audit is clean
+/// and covered every tick, and returns the report for workload-specific
+/// assertions.
+fn run_audited(
+    cfg: SimConfig,
+    topology: &dyn Topology,
+    strategy: &mut dyn Strategy,
+    seed: u64,
+) -> RunReport {
+    let mut engine = Engine::with_sink(cfg, topology, InvariantSink::new(&cfg));
+    let mut rng = StdRng::seed_from_u64(seed);
+    while engine.step(strategy, &mut rng).expect("mechanism satisfied") {}
+    let report = engine.report();
+    let sink = engine.into_sink();
+    sink.assert_clean();
+    assert_eq!(
+        sink.ticks_checked(),
+        u64::from(report.ticks_run),
+        "audit must cover every tick"
+    );
+    report
+}
+
+#[test]
+fn cooperative_swarm_complete_overlay_is_clean() {
+    let (n, k) = (64usize, 64usize);
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+    let report = run_audited(
+        cfg,
+        &overlay,
+        &mut SwarmStrategy::new(BlockSelection::Random),
+        11,
+    );
+    assert!(report.completed());
+    assert_eq!(report.total_uploads, ((n - 1) * k) as u64);
+}
+
+#[test]
+fn cooperative_swarm_sparse_overlay_is_clean() {
+    let (n, k) = (64usize, 64usize);
+    let mut graph_rng = StdRng::seed_from_u64(13);
+    let overlay = random_regular(n, 3, &mut graph_rng).unwrap();
+    let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+    let report = run_audited(
+        cfg,
+        &overlay,
+        &mut SwarmStrategy::new(BlockSelection::Random),
+        14,
+    );
+    assert!(report.completed());
+}
+
+#[test]
+fn simultaneous_collision_model_is_clean() {
+    let (n, k) = (64usize, 32usize);
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k).with_download_capacity(DownloadCapacity::Unlimited);
+    let report = run_audited(
+        cfg,
+        &overlay,
+        &mut SwarmStrategy::with_collision_model(
+            BlockSelection::Random,
+            CollisionModel::Simultaneous,
+        ),
+        1,
+    );
+    assert!(report.completed());
+}
+
+#[test]
+fn credit_limited_swarm_is_clean() {
+    let (n, k) = (64usize, 64usize);
+    let overlay = CompleteOverlay::new(n);
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+        .with_download_capacity(DownloadCapacity::Unlimited);
+    let report = run_audited(
+        cfg,
+        &overlay,
+        &mut SwarmStrategy::new(BlockSelection::Random),
+        11,
+    );
+    assert!(report.completed());
+}
+
+#[test]
+fn triangular_swarm_is_clean() {
+    let (n, k, d) = (64usize, 64usize, 12usize);
+    let mut graph_rng = StdRng::seed_from_u64(7);
+    let overlay = random_regular(n, d, &mut graph_rng).unwrap();
+    let cfg = SimConfig::new(n, k)
+        .with_mechanism(Mechanism::TriangularBarter { credit: 2 })
+        .with_download_capacity(DownloadCapacity::Unlimited)
+        .with_max_ticks(20 * (n + k) as u32);
+    let report = run_audited(
+        cfg,
+        &overlay,
+        &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+        2,
+    );
+    assert!(report.completed());
+}
+
+#[test]
+fn strict_barter_riffle_is_clean() {
+    let (n, k) = (16usize, 30usize);
+    let overlay = CompleteOverlay::new(n);
+    for overlap in [false, true] {
+        let dl = if overlap {
+            DownloadCapacity::Finite(2)
+        } else {
+            DownloadCapacity::Finite(1)
+        };
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::StrictBarter)
+            .with_download_capacity(dl);
+        let report = run_audited(
+            cfg,
+            &overlay,
+            &mut RifflePipeline::new(n, k, overlap),
+            0,
+        );
+        assert!(report.completed(), "overlap={overlap}");
+    }
+}

@@ -9,6 +9,16 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::{BTreeSet, HashMap};
 
+/// Case count for the expensive whole-run blocks: `default` locally,
+/// overridden by `PROPTEST_CASES` (the nightly CI job raises it 10×).
+/// Blocks without an explicit config follow `PROPTEST_CASES` natively.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
     /// BlockSet agrees with a BTreeSet reference model under a random
     /// operation sequence.
@@ -272,7 +282,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
 
     /// The triangular swarm completes under its enforced mechanism on the
     /// complete overlay for arbitrary shapes.
