@@ -8,8 +8,8 @@ use pob_core::strategies::{BlockSelection, InterestIndex, SwarmStrategy, Triangu
 use pob_overlay::{random_regular, Hypercube, HypercubeEmbedding, LinkCosts};
 use pob_sim::fastmap::PairCounter;
 use pob_sim::{
-    BlockId, BlockSet, CompleteOverlay, DownloadCapacity, Engine, NodeId, SimConfig, SimState,
-    Tick, Transfer,
+    BlockId, BlockMatrix, BlockSet, CompleteOverlay, DownloadCapacity, Engine, NodeId, ShardPolicy,
+    ShardedSwarm, SimConfig, SimState, Tick, Transfer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +62,51 @@ fn blockset_ops(c: &mut Criterion) {
             black_box(&a)
                 .iter_not_in_either(black_box(&b), black_box(&pending))
                 .count()
+        })
+    });
+    group.finish();
+}
+
+fn block_matrix_ops(c: &mut Criterion) {
+    // The sharded planner's SoA hot path: word-level scans over the flat
+    // block-set matrix, with a pending-word overlay. Same densities as
+    // the `blockset` group so the two substrates stay comparable.
+    let k = 2048;
+    let mut m = BlockMatrix::new(2, k);
+    for i in (0..k).step_by(3) {
+        m.set(0, i);
+    }
+    for i in (0..k).step_by(2) {
+        m.set(1, i);
+    }
+    let mut pending = BlockSet::empty(k);
+    for i in (0..k).step_by(5) {
+        pending.insert(BlockId::from_index(i));
+    }
+    let freq: Vec<u32> = (0..k).map(|i| (i % 7) as u32 + 1).collect();
+    let mid = m.count_missing(0, 1, Some(pending.words())) / 2;
+    let mut group = c.benchmark_group("block_matrix");
+    group.throughput(Throughput::Elements(k as u64));
+    group.bench_function("any_missing_k2048", |bench| {
+        bench.iter(|| black_box(&m).any_missing(black_box(0), black_box(1), None))
+    });
+    group.bench_function("count_missing_pending_k2048", |bench| {
+        bench
+            .iter(|| black_box(&m).count_missing(black_box(0), black_box(1), Some(pending.words())))
+    });
+    group.bench_function("nth_missing_pending_k2048", |bench| {
+        bench.iter(|| {
+            black_box(&m).nth_missing(black_box(0), black_box(1), Some(pending.words()), mid)
+        })
+    });
+    group.bench_function("missing_rarity_k2048", |bench| {
+        bench.iter(|| {
+            black_box(&m).missing_rarity(
+                black_box(0),
+                black_box(1),
+                Some(pending.words()),
+                black_box(&freq),
+            )
         })
     });
     group.finish();
@@ -306,6 +351,33 @@ fn engine_runs(c: &mut Criterion) {
     group.finish();
 }
 
+fn sharded_planner(c: &mut Criterion) {
+    // The shard-merge barrier. Same trace at both worker counts (the
+    // trace is a function of the shard count alone), so w1 vs w8 isolates
+    // what the scoped thread pool costs or buys on this host, and w1 vs
+    // the sequential `engine/swarm_n256_k256` bench above prices the
+    // discipline itself (per-shard speculation + merge replay).
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(10);
+    for (name, workers) in [("s8_w1_n256_k256", 1), ("s8_w8_n256_k256", 8)] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let overlay = CompleteOverlay::new(256);
+                let cfg = SimConfig::new(256, 256)
+                    .with_download_capacity(DownloadCapacity::Unlimited)
+                    .with_threads(8);
+                Engine::new(cfg, &overlay)
+                    .run(
+                        &mut ShardedSwarm::new(ShardPolicy::Random, 8).with_worker_threads(workers),
+                        &mut StdRng::seed_from_u64(0),
+                    )
+                    .expect("admissible")
+            })
+        });
+    }
+    group.finish();
+}
+
 fn construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction");
     group.sample_size(10);
@@ -365,11 +437,13 @@ fn barter_engines(c: &mut Criterion) {
 criterion_group!(
     benches,
     blockset_ops,
+    block_matrix_ops,
     interest_index,
     rarity_index,
     credit_index,
     pair_counters,
     engine_runs,
+    sharded_planner,
     construction,
     barter_engines
 );

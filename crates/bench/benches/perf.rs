@@ -11,9 +11,10 @@
 //! noise).
 //!
 //! * default: quick scale (seconds);
-//! * `POB_FULL=1`: the paper-scale points (`n = 10⁴`, `k = 1000`);
+//! * `POB_FULL=1`: the paper-scale points (`n = 10⁴`, `k = 1000`, plus
+//!   the `n = 10⁵` sharded scaling point);
 //! * `POB_BENCH_OUT=path`: where to write the JSON (default
-//!   `<repo>/BENCH_PR3.json`);
+//!   `<repo>/BENCH_PR6.json`);
 //! * `POB_BENCH_BASELINE=path`: compare against a previous JSON and exit
 //!   non-zero if any point's tick throughput (`ticks_per_sec`) regressed
 //!   2× or more.
@@ -25,7 +26,7 @@ use pob_core::strategies::{BlockSelection, SwarmStrategy, TriangularSwarm};
 use pob_overlay::random_regular;
 use pob_sim::{
     CompleteOverlay, DownloadCapacity, Engine, Mechanism, RejectTransferError, RunReport,
-    SimConfig, Topology,
+    ShardPolicy, ShardedSwarm, SimConfig, Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,6 +46,8 @@ struct PointResult {
     fast_ticks: u64,
     rarity_rebuilds: u64,
     credit_invalidations: u64,
+    threads: u32,
+    shard_plan_ms: f64,
 }
 
 fn time_point(
@@ -85,7 +88,21 @@ fn time_point(
         fast_ticks: p.fast_ticks,
         rarity_rebuilds: p.rarity_rebuilds,
         credit_invalidations: p.credit_invalidations,
+        threads: p.threads,
+        shard_plan_ms: p.shard_plan_nanos_total() as f64 / 1e6,
     }
+}
+
+fn sharded_point(n: usize, k: usize, threads: u32, seed: u64) -> RunReport {
+    let cfg = SimConfig::new(n, k)
+        .with_download_capacity(DownloadCapacity::Unlimited)
+        .with_threads(threads);
+    Engine::new(cfg, &CompleteOverlay::new(n))
+        .run(
+            &mut ShardedSwarm::new(ShardPolicy::Random, threads),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .expect("sharded swarm stays admissible")
 }
 
 fn swarm_point(
@@ -129,7 +146,16 @@ fn json_escape_free(s: &str) -> &str {
 fn to_json(mode: &str, results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"pob-bench-perf/1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"engine\": \"pob-sim {}\",",
+        env!("CARGO_PKG_VERSION")
+    );
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let mut threads: Vec<u32> = results.iter().map(|r| r.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let _ = writeln!(out, "  \"threads\": {threads:?},");
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(out, "    {{\"id\": \"{}\", ", json_escape_free(&r.id));
@@ -163,10 +189,12 @@ fn to_json(mode: &str, results: &[PointResult]) -> String {
         let _ = write!(
             out,
             "}}, \"fast_ticks\": {}, \"rarity_rebuilds\": {}, \"credit_invalidations\": {}, \
-             \"completion\": {}}}",
+             \"threads\": {}, \"shard_plan_ms\": {:.3}, \"completion\": {}}}",
             r.fast_ticks,
             r.rarity_rebuilds,
             r.credit_invalidations,
+            r.threads,
+            r.shard_plan_ms,
             r.completion
                 .map_or_else(|| "null".to_owned(), |t| t.to_string()),
         );
@@ -229,6 +257,39 @@ fn main() {
                 seed,
             )
         },
+    ));
+
+    // fig3-t{2,4,8}: the same fig3 workload under the sharded parallel
+    // planner. Trace changes with the shard count (each count is its own
+    // blessed discipline); throughput is the point — near-linear planner
+    // speedup on multi-core hosts, judged against the fig3 point above.
+    for threads in [2u32, 4, 8] {
+        let (n, k) = pob_bench::scaled((1_000, 100), (10_000, 1_000));
+        results.push(time_point(
+            &format!("fig3-t{threads}"),
+            vec![
+                ("n", n.to_string()),
+                ("k", k.to_string()),
+                ("threads", threads.to_string()),
+            ],
+            runs,
+            |seed| sharded_point(n, k, threads, seed),
+        ));
+    }
+
+    // fig3-large: the n = 10⁵ scaling point the flat SoA matrix exists
+    // for (the per-node Vec<BlockSet> layout thrashed at this size).
+    // Sharded at 8, complete overlay, k = 1000 at full scale.
+    let (n, k) = pob_bench::scaled((2_000, 100), (100_000, 1_000));
+    results.push(time_point(
+        "fig3-large",
+        vec![
+            ("n", n.to_string()),
+            ("k", k.to_string()),
+            ("threads", "8".to_owned()),
+        ],
+        runs,
+        |seed| sharded_point(n, k, 8, seed),
     ));
 
     // fig4: T vs k at fixed n (paper: k up to 2000, n = 100).
@@ -346,7 +407,7 @@ fn main() {
     ));
 
     let out_path = std::env::var("POB_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").to_owned()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json").to_owned()
     });
     let json = to_json(if full { "full" } else { "quick" }, &results);
     std::fs::write(&out_path, &json).expect("write bench json");

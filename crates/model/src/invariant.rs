@@ -34,8 +34,8 @@
 //! `preseed` or per-node capacity overrides.
 
 use pob_sim::{
-    BlockSet, CreditLedger, DownloadCapacity, Event, EventSink, Mechanism, NodeId, SimConfig,
-    Tick, Transfer,
+    BlockSet, CreditLedger, DownloadCapacity, Event, EventSink, Mechanism, NodeId, SimConfig, Tick,
+    Transfer,
 };
 
 /// Cap on stored violation messages; further violations are counted but
@@ -344,9 +344,9 @@ impl InvariantSink {
         }
         // Mechanism admissibility: revalidate the committed tick against
         // the shadow ledger (which this settles forward on success).
-        if let Err(v) = self
-            .mechanism
-            .settle_tick(&self.tick_transfers, &mut self.ledger, Tick::new(t))
+        if let Err(v) =
+            self.mechanism
+                .settle_tick(&self.tick_transfers, &mut self.ledger, Tick::new(t))
         {
             self.violation(format!("mechanism: tick {t} fails revalidation: {v}"));
         }

@@ -32,8 +32,10 @@
 
 mod invariant;
 mod reference;
+mod sharded;
 mod triangular;
 
 pub use invariant::InvariantSink;
 pub use reference::ReferenceSwarm;
+pub use sharded::ReferenceSharded;
 pub use triangular::ReferenceTriangular;

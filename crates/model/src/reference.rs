@@ -25,9 +25,7 @@
 //! overlay, and collision model.
 
 use pob_core::strategies::{BlockSelection, CollisionModel};
-use pob_sim::{
-    Mechanism, NeighborSet, NodeId, SimError, Strategy, TickPlanner, Transfer,
-};
+use pob_sim::{Mechanism, NeighborSet, NodeId, SimError, Strategy, TickPlanner, Transfer};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -120,10 +118,7 @@ impl ReferenceSwarm {
     fn selects(&self, p: &TickPlanner<'_>, u: NodeId, v: NodeId) -> bool {
         match self.collisions {
             CollisionModel::Resolved => {
-                u != v
-                    && p.can_download(v)
-                    && Self::credit_allows(p, u, v)
-                    && Self::wants(p, u, v)
+                u != v && p.can_download(v) && Self::credit_allows(p, u, v) && Self::wants(p, u, v)
             }
             CollisionModel::Simultaneous => {
                 u != v && Self::credit_allows(p, u, v) && Self::inv_wants(p, u, v)
@@ -271,8 +266,7 @@ impl Strategy for ReferenceSwarm {
         };
         for &raw in &order {
             let u = NodeId::new(raw);
-            if self.stuck[u.index()] || p.upload_left(u) == 0 || p.state().inventory(u).is_empty()
-            {
+            if self.stuck[u.index()] || p.upload_left(u) == 0 || p.state().inventory(u).is_empty() {
                 continue;
             }
             if complete_overlay && !self.anyone_wants(p, u) {

@@ -1,0 +1,272 @@
+//! Naive reference implementation of the sharded parallel planner.
+//!
+//! [`ReferenceSharded`] re-implements `pob_sim::ShardedSwarm`'s *parallel
+//! RNG discipline* (see `crates/sim/src/shard.rs` and DESIGN.md) decision
+//! for decision and RNG draw for RNG draw, but:
+//!
+//! * plans every shard **sequentially** on one thread, in shard order —
+//!   no thread pool, no scratch reuse;
+//! * recomputes every predicate with naive per-block loops over
+//!   [`BlockSet`](pob_sim::BlockSet) inventories instead of the
+//!   [`BlockMatrix`](pob_sim::BlockMatrix) word scans — the word-level
+//!   `any_missing`/`count_missing`/`missing_rarity` kernels are exactly
+//!   what this reference exists to cross-check;
+//! * tracks shard-local pending blocks and download promises in plain
+//!   `HashMap`s rebuilt from scratch every tick.
+//!
+//! The differential harness runs `ShardedSwarm` vs. this reference in
+//! lockstep over proptest-generated scenarios (all four mechanisms,
+//! shard counts 2, 4, 8) and asserts bit-identical delivery traces.
+
+use pob_sim::{
+    substream_seed, BlockId, DownloadCapacity, Mechanism, NeighborSet, NodeId, ShardPolicy,
+    SimError, Strategy, TickPlanner, MAX_SHARDS, SHARD_REJECTION_TRIES,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Shard-local speculative state, rebuilt naively every tick.
+#[derive(Debug, Default)]
+struct NaiveScratch {
+    /// Blocks this shard promised to each target (`target → k bools`).
+    pending: HashMap<u32, Vec<bool>>,
+    /// Downloads this shard promised to each target.
+    down: HashMap<u32, u32>,
+}
+
+impl NaiveScratch {
+    fn is_pending(&self, v: NodeId, b: usize) -> bool {
+        self.pending.get(&v.raw()).is_some_and(|blocks| blocks[b])
+    }
+
+    fn promise(&mut self, v: NodeId, b: BlockId, k: usize) {
+        self.pending
+            .entry(v.raw())
+            .or_insert_with(|| vec![false; k])[b.index()] = true;
+        *self.down.entry(v.raw()).or_insert(0) += 1;
+    }
+}
+
+/// Whether `to` wants `block` from `from`, excluding this shard's own
+/// promises — the per-block form of the discipline's interest test.
+fn wanted(p: &TickPlanner<'_>, scratch: &NaiveScratch, from: NodeId, to: NodeId, b: usize) -> bool {
+    let block = BlockId::new(b as u32);
+    p.state().holds(from, block) && !p.state().holds(to, block) && !scratch.is_pending(to, b)
+}
+
+/// Deliberately naive sequential reference for
+/// [`ShardedSwarm`](pob_sim::ShardedSwarm).
+///
+/// Given the same engine seed and shard count, a run driven by this
+/// strategy commits the exact same transfer on the exact same tick as a
+/// run driven by the parallel planner, regardless of the latter's worker
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct ReferenceSharded {
+    policy: ShardPolicy,
+    shards: u32,
+}
+
+impl ReferenceSharded {
+    /// Creates the reference with `threads` shards, clamped exactly like
+    /// `ShardedSwarm::new` (to `1..=MAX_SHARDS`).
+    pub fn new(policy: ShardPolicy, threads: u32) -> Self {
+        ReferenceSharded {
+            policy,
+            shards: threads.clamp(1, MAX_SHARDS as u32),
+        }
+    }
+
+    /// Shard-local admissibility against start-of-tick state plus this
+    /// shard's own promises, recomputed pairwise.
+    fn admissible(
+        &self,
+        p: &TickPlanner<'_>,
+        scratch: &NaiveScratch,
+        u: NodeId,
+        v: NodeId,
+    ) -> bool {
+        if v == u {
+            return false;
+        }
+        if let DownloadCapacity::Finite(c) = p.download_caps()[v.index()] {
+            if scratch.down.get(&v.raw()).copied().unwrap_or(0) >= c {
+                return false;
+            }
+        }
+        if let Some(credit) = p.mechanism().credit() {
+            if !u.is_server() && !v.is_server() {
+                // Pre-merge no proposal has been recorded, so the
+                // planner's effective net is exactly the settled ledger
+                // net the parallel shards read.
+                let net = p.effective_net(u, v);
+                let ok = if credit == 0 {
+                    net < 0
+                } else {
+                    net < i64::from(credit)
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        (0..p.block_count()).any(|b| wanted(p, scratch, u, v, b))
+    }
+
+    /// Target sampling: bounded rejection probes, then one draw over the
+    /// ascending-order admissible survivors (zero draws when the
+    /// candidate list or the fallback is empty).
+    fn pick_target(
+        &self,
+        p: &TickPlanner<'_>,
+        scratch: &NaiveScratch,
+        pool: &[u32],
+        u: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let list: Vec<NodeId> = match p.topology().neighbors(u) {
+            NeighborSet::All => pool.iter().map(|&v| NodeId::new(v)).collect(),
+            NeighborSet::List(l) => l.to_vec(),
+        };
+        if list.is_empty() {
+            return None;
+        }
+        for _ in 0..SHARD_REJECTION_TRIES {
+            let v = list[rng.gen_range(0..list.len())];
+            if self.admissible(p, scratch, u, v) {
+                return Some(v);
+            }
+        }
+        let survivors: Vec<NodeId> = list
+            .iter()
+            .copied()
+            .filter(|&v| self.admissible(p, scratch, u, v))
+            .collect();
+        if survivors.is_empty() {
+            None
+        } else {
+            Some(survivors[rng.gen_range(0..survivors.len())])
+        }
+    }
+
+    /// Block selection with the discipline's draw counts: Random consumes
+    /// one draw, Rarest-First one draw iff the minimum frequency is tied.
+    fn pick_block(
+        &self,
+        p: &TickPlanner<'_>,
+        scratch: &NaiveScratch,
+        u: NodeId,
+        v: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<BlockId> {
+        let k = p.block_count();
+        match self.policy {
+            ShardPolicy::Random => {
+                let count = (0..k).filter(|&b| wanted(p, scratch, u, v, b)).count();
+                if count == 0 {
+                    return None;
+                }
+                let j = rng.gen_range(0..count);
+                (0..k)
+                    .filter(|&b| wanted(p, scratch, u, v, b))
+                    .nth(j)
+                    .map(|b| BlockId::new(b as u32))
+            }
+            ShardPolicy::RarestFirst => {
+                let freq = p.state().frequencies();
+                let mut first = None;
+                let mut best = u32::MAX;
+                let mut ties = 0u32;
+                for b in (0..k).filter(|&b| wanted(p, scratch, u, v, b)) {
+                    let f = freq[b];
+                    if f < best {
+                        first = Some(b);
+                        best = f;
+                        ties = 1;
+                    } else if f == best {
+                        ties += 1;
+                    }
+                }
+                let first = first?;
+                if ties <= 1 {
+                    return Some(BlockId::new(first as u32));
+                }
+                let j = rng.gen_range(0..ties);
+                if j == 0 {
+                    return Some(BlockId::new(first as u32));
+                }
+                (0..k)
+                    .filter(|&b| wanted(p, scratch, u, v, b) && freq[b] == best)
+                    .nth(j as usize)
+                    .map(|b| BlockId::new(b as u32))
+            }
+        }
+    }
+}
+
+impl Strategy for ReferenceSharded {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        let n = p.node_count();
+        let shards = self.shards as usize;
+        // The discipline's single engine-RNG draw per tick.
+        let tick_entropy: u64 = rng.gen();
+        let pool: Vec<u32> = (0..n as u32)
+            .filter(|&v| !p.state().is_complete(NodeId::new(v)))
+            .collect();
+
+        // Plan every shard sequentially, in shard order, each against its
+        // private substream and its own speculative scratch.
+        let mut planned: Vec<Vec<(NodeId, NodeId, BlockId)>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let mut srng =
+                StdRng::seed_from_u64(substream_seed(tick_entropy, p.tick().get(), s as u32));
+            let mut scratch = NaiveScratch::default();
+            let mut proposals = Vec::new();
+            let (lo, hi) = ((s * n / shards) as u32, ((s + 1) * n / shards) as u32);
+            for raw in lo..hi {
+                let u = NodeId::new(raw);
+                if p.upload_caps()[u.index()] == 0 || p.state().inventory(u).is_empty() {
+                    continue;
+                }
+                if matches!(p.mechanism(), Mechanism::StrictBarter) && !u.is_server() {
+                    continue;
+                }
+                let Some(v) = self.pick_target(p, &scratch, &pool, u, &mut srng) else {
+                    continue;
+                };
+                let Some(block) = self.pick_block(p, &scratch, u, v, &mut srng) else {
+                    continue;
+                };
+                scratch.promise(v, block, p.block_count());
+                proposals.push((u, v, block));
+            }
+            planned.push(proposals);
+        }
+
+        // Merge barrier in (shard, slot) order; rejections are expected
+        // cross-shard conflicts, identical on both sides of the
+        // differential.
+        let mut conflicts = 0u64;
+        for proposals in &planned {
+            for &(u, v, block) in proposals {
+                if p.propose(u, v, block).is_err() {
+                    conflicts += 1;
+                }
+            }
+        }
+        p.note_merge_conflicts(conflicts);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        match self.policy {
+            ShardPolicy::Random => "reference-sharded(random)",
+            ShardPolicy::RarestFirst => "reference-sharded(rarest-first)",
+        }
+    }
+
+    fn span_label(&self) -> String {
+        format!("{}+shards={}", self.name(), self.shards)
+    }
+}

@@ -49,6 +49,11 @@ pub struct SimConfig {
     /// Record the number of transfers in each tick (costs one `Vec` push
     /// per tick).
     pub record_tick_stats: bool,
+    /// Planner thread count, recorded into [`PerfCounters`] and the
+    /// run-end event for attribution. Informational: the *strategy*
+    /// decides how many threads it actually plans with (see
+    /// `ShardedSwarm`); the engine itself always steps single-threaded.
+    pub threads: u32,
 }
 
 impl SimConfig {
@@ -77,6 +82,7 @@ impl SimConfig {
             client_upload_capacity: 1,
             max_ticks: Self::default_max_ticks(nodes, blocks),
             record_tick_stats: false,
+            threads: 1,
         }
     }
 
@@ -113,6 +119,14 @@ impl SimConfig {
     /// Enables per-tick transfer counts in the report.
     pub fn with_tick_stats(mut self, record: bool) -> Self {
         self.record_tick_stats = record;
+        self
+    }
+
+    /// Records the planner thread count (clamped to at least 1). Pair
+    /// with a sharded strategy constructed for the same count — the
+    /// config field only feeds the perf counters and the run-end event.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -606,6 +620,8 @@ impl<'a, E: EventSink> Engine<'a, E> {
                     fast_ticks: self.bufs.stats.fast_ticks,
                     rarity_rebuilds: self.bufs.stats.rarity_rebuilds,
                     credit_invalidations: self.bufs.credit_index.invalidations,
+                    threads: self.config.threads,
+                    merge_conflicts: self.bufs.stats.merge_conflicts,
                 }),
             });
         }
@@ -634,6 +650,9 @@ impl<'a, E: EventSink> Engine<'a, E> {
                 fast_ticks: self.bufs.stats.fast_ticks,
                 rarity_rebuilds: self.bufs.stats.rarity_rebuilds,
                 credit_invalidations: self.bufs.credit_index.invalidations,
+                threads: self.config.threads,
+                merge_conflicts: self.bufs.stats.merge_conflicts,
+                shard_plan_nanos: self.bufs.stats.shard_plan_nanos,
             },
         }
     }

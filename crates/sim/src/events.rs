@@ -178,7 +178,7 @@ pub struct CreditGauges {
 /// the gauges are present, and decoders treat their absence as `None`,
 /// so streams written before the counters existed still round-trip byte
 /// for byte.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfGauges {
     /// Ticks the strategy planned on its incremental fast path.
@@ -187,6 +187,29 @@ pub struct PerfGauges {
     pub rarity_rebuilds: u64,
     /// Persistent credit-feasibility flag flips applied at settle time.
     pub credit_invalidations: u64,
+    /// Planner thread count the run was configured with. Encoded only
+    /// when it differs from `1` (see [`Event::to_json_line`]) so
+    /// single-threaded streams stay byte-identical to pre-threading ones;
+    /// decoders default an absent field to `1`.
+    pub threads: u32,
+    /// Proposals dropped at the sharded planner's merge barrier. Encoded
+    /// only when non-zero or when `threads != 1`; decoders default an
+    /// absent field to `0`.
+    pub merge_conflicts: u64,
+}
+
+/// `threads` defaults to `1` (a run always has at least one planner
+/// thread); all counters default to zero.
+impl Default for PerfGauges {
+    fn default() -> Self {
+        PerfGauges {
+            fast_ticks: 0,
+            rarity_rebuilds: 0,
+            credit_invalidations: 0,
+            threads: 1,
+            merge_conflicts: 0,
+        }
+    }
 }
 
 /// Per-tick gauges, computed incrementally while a sink is attached.
@@ -428,6 +451,16 @@ impl Event {
                         ",\"fast_ticks\":{},\"rarity_rebuilds\":{},\"credit_invalidations\":{}",
                         p.fast_ticks, p.rarity_rebuilds, p.credit_invalidations,
                     );
+                    // Threading gauges postdate the single-threaded form of
+                    // the schema; omitting them at threads == 1 keeps those
+                    // streams byte-identical (guarded by a test below).
+                    if p.threads != 1 || p.merge_conflicts != 0 {
+                        let _ = write!(
+                            s,
+                            ",\"threads\":{},\"merge_conflicts\":{}",
+                            p.threads, p.merge_conflicts,
+                        );
+                    }
                 }
             }
         }
@@ -544,6 +577,17 @@ impl Event {
                         fast_ticks: obj.u64("fast_ticks")?,
                         rarity_rebuilds: obj.u64("rarity_rebuilds")?,
                         credit_invalidations: obj.u64("credit_invalidations")?,
+                        // Absent on single-threaded streams by design.
+                        threads: if obj.get("threads").is_some() {
+                            obj.u32("threads")?
+                        } else {
+                            1
+                        },
+                        merge_conflicts: if obj.get("merge_conflicts").is_some() {
+                            obj.u64("merge_conflicts")?
+                        } else {
+                            0
+                        },
                     })
                 } else {
                     None
@@ -1153,6 +1197,22 @@ mod tests {
                     fast_ticks: 39,
                     rarity_rebuilds: 1,
                     credit_invalidations: 7,
+                    threads: 1,
+                    merge_conflicts: 0,
+                }),
+            },
+            // Threaded form: the threading gauges are emitted.
+            Event::RunEnd {
+                ticks: 40,
+                completed: true,
+                total_uploads: 224,
+                server_uploads: 40,
+                perf: Some(PerfGauges {
+                    fast_ticks: 0,
+                    rarity_rebuilds: 0,
+                    credit_invalidations: 0,
+                    threads: 8,
+                    merge_conflicts: 17,
                 }),
             },
             // Pre-counter form: the gauges stay omitted on re-encode.
@@ -1173,6 +1233,37 @@ mod tests {
             let back = Event::from_json_line(&line).expect(&line);
             assert_eq!(back, event, "line: {line}");
         }
+    }
+
+    #[test]
+    fn single_threaded_run_end_omits_threading_gauges() {
+        // `--threads 1` streams must stay byte-identical to pre-threading
+        // ones: the keys only appear for multi-thread or conflicted runs.
+        let events = sample_events();
+        let single = events[6].to_json_line();
+        assert!(!single.contains("threads"), "{single}");
+        assert!(!single.contains("merge_conflicts"), "{single}");
+        let threaded = events[7].to_json_line();
+        assert!(threaded.contains("\"threads\":8"), "{threaded}");
+        assert!(threaded.contains("\"merge_conflicts\":17"), "{threaded}");
+        // A conflicted single-thread run still surfaces its conflicts.
+        let conflicted = Event::RunEnd {
+            ticks: 1,
+            completed: false,
+            total_uploads: 0,
+            server_uploads: 0,
+            perf: Some(PerfGauges {
+                threads: 1,
+                merge_conflicts: 3,
+                ..PerfGauges::default()
+            }),
+        };
+        let line = conflicted.to_json_line();
+        assert!(
+            line.contains("\"threads\":1,\"merge_conflicts\":3"),
+            "{line}"
+        );
+        assert_eq!(Event::from_json_line(&line).unwrap(), conflicted);
     }
 
     #[test]

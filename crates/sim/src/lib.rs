@@ -80,6 +80,8 @@ mod ids;
 mod mechanism;
 mod metrics;
 mod planner;
+mod shard;
+mod soa;
 mod state;
 mod topology;
 mod transfer;
@@ -97,6 +99,10 @@ pub use ids::{BlockId, NodeId, Tick};
 pub use mechanism::{CreditLedger, Mechanism};
 pub use metrics::{PerfCounters, RunReport};
 pub use planner::{CreditIndex, TickPlanner};
+pub use shard::{
+    substream_seed, ShardPolicy, ShardedSwarm, MAX_SHARDS, REJECTION_TRIES as SHARD_REJECTION_TRIES,
+};
+pub use soa::BlockMatrix;
 pub use state::SimState;
 pub use topology::{CompleteOverlay, NeighborSet, Topology};
 pub use transfer::Transfer;

@@ -44,6 +44,22 @@ pub struct PerfCounters {
     /// zero when deserializing older reports.
     #[cfg_attr(feature = "serde", serde(default))]
     pub credit_invalidations: u64,
+    /// Planner thread count the run was configured with (`0` only in
+    /// reports written before this field existed; the engine records at
+    /// least `1`).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub threads: u32,
+    /// Proposals dropped at the sharded planner's merge barrier because a
+    /// concurrent shard consumed the capacity or promised the block first.
+    /// Always zero for single-threaded strategies. Defaults to zero when
+    /// deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub merge_conflicts: u64,
+    /// Cumulative planning wall nanoseconds per shard (slots beyond the
+    /// active shard count stay zero; `MAX_SHARDS` slots total). Defaults
+    /// to all-zero when deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub shard_plan_nanos: [u64; crate::MAX_SHARDS],
 }
 
 impl PerfCounters {
@@ -76,6 +92,13 @@ impl PerfCounters {
         RejectTransferError::ALL
             .into_iter()
             .map(|r| (r, self.rejections_by_reason[r.index()]))
+    }
+
+    /// Total planning wall nanoseconds summed over all shards. For a
+    /// single-threaded strategy this is zero (only sharded planners
+    /// report per-shard time).
+    pub fn shard_plan_nanos_total(&self) -> u64 {
+        self.shard_plan_nanos.iter().sum()
     }
 }
 
@@ -310,6 +333,15 @@ mod tests {
         let total: u64 = p.rejection_breakdown().map(|(_, c)| c).sum();
         assert_eq!(total, p.rejections);
         assert_eq!(p.rejection_breakdown().count(), RejectTransferError::COUNT);
+    }
+
+    #[test]
+    fn shard_plan_nanos_total_sums_slots() {
+        let mut p = PerfCounters::default();
+        assert_eq!(p.shard_plan_nanos_total(), 0);
+        p.shard_plan_nanos[0] = 40;
+        p.shard_plan_nanos[7] = 2;
+        assert_eq!(p.shard_plan_nanos_total(), 42);
     }
 
     #[test]

@@ -147,6 +147,12 @@ pub(crate) struct ProposeStats {
     pub(crate) fast_ticks: u64,
     /// Full rarity-index rebuilds the strategy reported.
     pub(crate) rarity_rebuilds: u64,
+    /// Cross-shard proposals dropped at the sharded planner's merge
+    /// barrier.
+    pub(crate) merge_conflicts: u64,
+    /// Cumulative per-shard planning wall time reported by the sharded
+    /// planner, indexed by shard.
+    pub(crate) shard_plan_nanos: [u64; crate::MAX_SHARDS],
 }
 
 /// Reusable per-tick scratch buffers, owned by the engine.
@@ -291,6 +297,26 @@ impl<'a> TickPlanner<'a> {
     #[inline]
     pub fn mechanism(&self) -> Mechanism {
         self.mechanism
+    }
+
+    /// The settled credit ledger (start-of-tick nets, no in-tick deltas).
+    /// Like [`state`](Self::state), the borrow has the planner's inner
+    /// lifetime `'a` — sharded planners hold it while proposing.
+    #[inline]
+    pub fn ledger(&self) -> &'a CreditLedger {
+        self.ledger
+    }
+
+    /// Per-node download capacities, indexed by node. Inner lifetime `'a`.
+    #[inline]
+    pub fn download_caps(&self) -> &'a [DownloadCapacity] {
+        self.download_caps
+    }
+
+    /// Per-node upload capacities, indexed by node. Inner lifetime `'a`.
+    #[inline]
+    pub fn upload_caps(&self) -> &'a [u32] {
+        self.upload_caps
     }
 
     /// Number of nodes, including the server.
@@ -602,6 +628,25 @@ impl<'a> TickPlanner<'a> {
     #[inline]
     pub fn note_rarity_rebuilds(&mut self, n: u64) {
         self.bufs.stats.rarity_rebuilds += n;
+    }
+
+    /// Records `n` proposals dropped at a sharded planner's merge barrier
+    /// this tick (zero is a no-op). Surfaced as
+    /// [`PerfCounters::merge_conflicts`](crate::PerfCounters::merge_conflicts).
+    #[inline]
+    pub fn note_merge_conflicts(&mut self, n: u64) {
+        self.bufs.stats.merge_conflicts += n;
+    }
+
+    /// Records `nanos` of planning wall time spent by `shard` this tick.
+    /// Shards at or beyond [`MAX_SHARDS`](crate::MAX_SHARDS) are ignored.
+    /// Surfaced as
+    /// [`PerfCounters::shard_plan_nanos`](crate::PerfCounters::shard_plan_nanos).
+    #[inline]
+    pub fn note_shard_plan_nanos(&mut self, shard: usize, nanos: u64) {
+        if let Some(slot) = self.bufs.stats.shard_plan_nanos.get_mut(shard) {
+            *slot += nanos;
+        }
     }
 }
 

@@ -1,0 +1,685 @@
+//! Sharded parallel tick planner.
+//!
+//! [`ShardedSwarm`] partitions the uploaders of each tick into
+//! [`shard_count`](ShardedSwarm::shard_count) contiguous shards, plans
+//! every shard independently against the start-of-tick
+//! [`BlockMatrix`](crate::BlockMatrix) on a scoped thread pool, and
+//! merges the speculative proposals through
+//! [`TickPlanner::propose`] at a deterministic tick barrier.
+//!
+//! # The parallel RNG discipline
+//!
+//! Shard planning must be a pure function of `(run seed, tick, shard)`
+//! so the committed trace depends only on the *shard count*, never on
+//! how many OS threads executed the shards or in which order they
+//! finished:
+//!
+//! 1. each tick draws one `u64` of *tick entropy* from the engine RNG
+//!    (the only engine-RNG consumption of the strategy),
+//! 2. shard `s` seeds its own `StdRng` with
+//!    [`substream_seed`]`(tick_entropy, tick, s)`,
+//! 3. shards plan speculatively: admission is evaluated against the
+//!    start-of-tick state plus the shard's *own* promises only,
+//! 4. the merge barrier replays proposals in `(shard, slot)` order
+//!    through the validating [`TickPlanner::propose`]; a proposal
+//!    another shard invalidated (download capacity, duplicate pending
+//!    block) is dropped and counted as a *merge conflict* — never an
+//!    error.
+//!
+//! Uploads `u → v` belong to exactly one shard (the one owning `u`), so
+//! per-pair credit can never conflict across shards; conflicts are
+//! limited to download capacity and duplicate block promises. Under
+//! [`Mechanism::StrictBarter`] the commit-time pairing rule would abort
+//! on any unpaired client upload, so shards plan server uploads only.
+//!
+//! The discipline is deliberately simpler than the sequential
+//! `SwarmStrategy` (no uploader shuffle, no stuck cache, no incremental
+//! interest index): it is a *different, re-blessed* RNG discipline, and
+//! multi-thread runs are therefore not expected to reproduce 1-thread
+//! fixtures. `pob-model`'s `ReferenceSharded` reimplements the same
+//! discipline naively, and the differential suite pins the two to
+//! bit-identical traces for shard counts 2, 4 and 8.
+
+use crate::fastmap::FxHashMap;
+use crate::soa::BlockMatrix;
+use crate::{
+    BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NeighborSet, NodeId, SimError,
+    Strategy, TickPlanner,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Upper bound on the shard count (and on the per-shard slots of
+/// [`PerfCounters::shard_plan_nanos`](crate::PerfCounters::shard_plan_nanos)).
+/// Thread counts above this are clamped.
+pub const MAX_SHARDS: usize = 16;
+
+/// Rejection-sampling attempts before a shard falls back to a full
+/// candidate scan. Reimplementations of the parallel discipline (the
+/// model crate's `ReferenceSharded`) must use the same constant for RNG
+/// parity.
+pub const REJECTION_TRIES: usize = 24;
+
+/// Derives the RNG substream seed of one `(seed, tick, shard)` cell.
+///
+/// A splitmix64-style finalizer over the three inputs: cheap, stateless,
+/// and avalanching, so neighboring ticks and shards land in unrelated
+/// `StdRng` streams. This function is the normative substream derivation
+/// of the parallel RNG discipline (see the module docs and DESIGN.md) —
+/// changing it re-blesses every multi-thread fixture.
+#[must_use]
+pub fn substream_seed(seed: u64, tick: u32, shard: u32) -> u64 {
+    let mut z = seed
+        ^ u64::from(tick).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(shard).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Block-selection policy of the sharded planner.
+///
+/// Mirrors `pob-core`'s `BlockSelection` (the sim crate sits below the
+/// core crate in the dependency order, so it cannot reuse that type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Uniformly random novel block.
+    Random,
+    /// Globally rarest novel block, ties broken uniformly at random.
+    RarestFirst,
+}
+
+/// Per-shard speculative planning state, reused across ticks.
+#[derive(Debug, Clone, Default)]
+struct ShardScratch {
+    /// Planned `(from, to, block)` proposals, in slot order.
+    proposals: Vec<(u32, u32, u32)>,
+    /// Blocks this shard promised to each target this tick.
+    pending: FxHashMap<u32, BlockSet>,
+    /// Downloads this shard promised to each target this tick (dense,
+    /// reset via `touched`).
+    down: Vec<u32>,
+    touched: Vec<u32>,
+    /// Wall nanoseconds the worker spent planning this shard this tick.
+    plan_nanos: u64,
+}
+
+impl ShardScratch {
+    fn new(nodes: usize) -> Self {
+        ShardScratch {
+            down: vec![0; nodes],
+            ..ShardScratch::default()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.proposals.clear();
+        self.pending.clear();
+        for &t in &self.touched {
+            self.down[t as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn pending_words(&self, v: usize) -> Option<&[u64]> {
+        self.pending.get(&(v as u32)).map(|b| b.words())
+    }
+
+    fn promise(&mut self, from: u32, to: u32, block: u32, universe: usize) {
+        self.proposals.push((from, to, block));
+        let vi = to as usize;
+        if self.down[vi] == 0 {
+            self.touched.push(to);
+        }
+        self.down[vi] += 1;
+        self.pending
+            .entry(to)
+            .or_insert_with(|| BlockSet::empty(universe))
+            .insert(BlockId::new(block));
+    }
+}
+
+/// Read-only planning context shared by all shard workers of one tick.
+struct PlanCtx<'a> {
+    matrix: &'a BlockMatrix,
+    freq: &'a [u32],
+    /// Ascending incomplete node ids — the target pool for uploaders
+    /// whose neighbor set is [`NeighborSet::All`].
+    pool: &'a [u32],
+    /// Per-uploader neighbor sets, pre-resolved on the merge thread
+    /// (topology objects are not required to be `Sync`).
+    neighbors: &'a [NeighborSet<'a>],
+    ledger: &'a CreditLedger,
+    download_caps: &'a [DownloadCapacity],
+    upload_caps: &'a [u32],
+    mechanism: Mechanism,
+    policy: ShardPolicy,
+    /// Half-open uploader range of each shard.
+    ranges: &'a [(u32, u32)],
+    tick_entropy: u64,
+    tick: u32,
+}
+
+/// Candidate targets of one uploader: the shared incomplete pool or an
+/// explicit neighbor list.
+#[derive(Clone, Copy)]
+enum Candidates<'a> {
+    Pool(&'a [u32]),
+    List(&'a [NodeId]),
+}
+
+impl Candidates<'_> {
+    #[inline]
+    fn len(self) -> usize {
+        match self {
+            Candidates::Pool(p) => p.len(),
+            Candidates::List(l) => l.len(),
+        }
+    }
+
+    #[inline]
+    fn get(self, i: usize) -> NodeId {
+        match self {
+            Candidates::Pool(p) => NodeId::new(p[i]),
+            Candidates::List(l) => l[i],
+        }
+    }
+}
+
+/// Admission against the start-of-tick state plus this shard's own
+/// promises: distinct endpoints, shard-local download slack, pairwise
+/// credit from the settled ledger, and pending-aware interest.
+fn admissible(ctx: &PlanCtx<'_>, scratch: &ShardScratch, u: NodeId, v: NodeId) -> bool {
+    if v == u {
+        return false;
+    }
+    let vi = v.index();
+    if let DownloadCapacity::Finite(c) = ctx.download_caps[vi] {
+        if scratch.down[vi] >= c {
+            return false;
+        }
+    }
+    if let Some(credit) = ctx.mechanism.credit() {
+        if !u.is_server() && !v.is_server() {
+            // One proposal per uploader and `u → v` owned by `u`'s shard:
+            // the settled net is exact, no in-tick correction needed.
+            let net = ctx.ledger.net(u, v);
+            let ok = if credit == 0 {
+                net < 0
+            } else {
+                net < i64::from(credit)
+            };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    ctx.matrix
+        .any_missing(u.index(), vi, scratch.pending_words(vi))
+}
+
+/// Uniformly random admissible target: [`REJECTION_TRIES`] bounded
+/// probes, then a full scan in ascending candidate order with one final
+/// draw iff any candidate survives. Zero draws for an empty candidate
+/// list, at most `REJECTION_TRIES + 1` draws otherwise.
+fn pick_target(
+    ctx: &PlanCtx<'_>,
+    scratch: &ShardScratch,
+    fallback: &mut Vec<u32>,
+    u: NodeId,
+    rng: &mut StdRng,
+) -> Option<NodeId> {
+    let cands = match ctx.neighbors[u.index()] {
+        NeighborSet::All => Candidates::Pool(ctx.pool),
+        NeighborSet::List(l) => Candidates::List(l),
+    };
+    let len = cands.len();
+    if len == 0 {
+        return None;
+    }
+    for _ in 0..REJECTION_TRIES {
+        let v = cands.get(rng.gen_range(0..len));
+        if admissible(ctx, scratch, u, v) {
+            return Some(v);
+        }
+    }
+    fallback.clear();
+    for i in 0..len {
+        let v = cands.get(i);
+        if admissible(ctx, scratch, u, v) {
+            fallback.push(v.raw());
+        }
+    }
+    if fallback.is_empty() {
+        None
+    } else {
+        Some(NodeId::new(fallback[rng.gen_range(0..fallback.len())]))
+    }
+}
+
+/// Block selection over `inv(u) \ (inv(v) ∪ shard-pending(v))`, with the
+/// same draw discipline as the sequential planner: Random consumes one
+/// draw, Rarest-First consumes one draw iff the minimum frequency is
+/// tied.
+fn pick_block(
+    ctx: &PlanCtx<'_>,
+    scratch: &ShardScratch,
+    u: NodeId,
+    v: NodeId,
+    rng: &mut StdRng,
+) -> Option<u32> {
+    let (ui, vi) = (u.index(), v.index());
+    let pend = scratch.pending_words(vi);
+    match ctx.policy {
+        ShardPolicy::Random => {
+            let count = ctx.matrix.count_missing(ui, vi, pend);
+            if count == 0 {
+                return None;
+            }
+            let j = rng.gen_range(0..count);
+            Some(ctx.matrix.nth_missing(ui, vi, pend, j) as u32)
+        }
+        ShardPolicy::RarestFirst => {
+            let (first, best, ties) = ctx.matrix.missing_rarity(ui, vi, pend, ctx.freq)?;
+            if ties <= 1 {
+                return Some(first as u32);
+            }
+            let j = rng.gen_range(0..ties);
+            if j == 0 {
+                return Some(first as u32);
+            }
+            Some(
+                ctx.matrix
+                    .nth_missing_at_freq(ui, vi, pend, ctx.freq, best, j) as u32,
+            )
+        }
+    }
+}
+
+/// Plans one shard: at most one proposal per owned uploader, in
+/// ascending uploader order, against the shard's private RNG substream.
+fn plan_shard(ctx: &PlanCtx<'_>, shard: usize, scratch: &mut ShardScratch) {
+    let started = Instant::now();
+    scratch.reset();
+    let mut rng = StdRng::seed_from_u64(substream_seed(ctx.tick_entropy, ctx.tick, shard as u32));
+    let mut fallback: Vec<u32> = Vec::new();
+    let (lo, hi) = ctx.ranges[shard];
+    for raw in lo..hi {
+        let u = NodeId::new(raw);
+        if ctx.upload_caps[u.index()] == 0 || ctx.matrix.row_len(u.index()) == 0 {
+            continue;
+        }
+        if matches!(ctx.mechanism, Mechanism::StrictBarter) && !u.is_server() {
+            continue; // unpaired client uploads abort at commit time
+        }
+        let Some(v) = pick_target(ctx, scratch, &mut fallback, u, &mut rng) else {
+            continue;
+        };
+        let Some(block) = pick_block(ctx, scratch, u, v, &mut rng) else {
+            debug_assert!(
+                false,
+                "admissible target {v} lost interest within the shard"
+            );
+            continue;
+        };
+        scratch.promise(u.raw(), v.raw(), block, ctx.matrix.universe());
+    }
+    scratch.plan_nanos = started.elapsed().as_nanos() as u64;
+}
+
+/// Parallel swarm strategy: shard-partitioned speculative planning with
+/// a deterministic merge barrier (see the module docs).
+///
+/// The committed trace is a pure function of `(engine seed, shard
+/// count)`; the *worker* thread count only changes wall time, which
+/// [`with_worker_threads`](Self::with_worker_threads) exploits to test
+/// thread-count invariance on single-core machines.
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::{CompleteOverlay, Engine, ShardPolicy, ShardedSwarm, SimConfig};
+/// use rand::SeedableRng;
+///
+/// let overlay = CompleteOverlay::new(16);
+/// let cfg = SimConfig::new(16, 8).with_threads(4);
+/// let mut strategy = ShardedSwarm::new(ShardPolicy::Random, 4);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let report = Engine::new(cfg, &overlay).run(&mut strategy, &mut rng)?;
+/// assert!(report.completed());
+/// # Ok::<(), pob_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedSwarm {
+    policy: ShardPolicy,
+    shards: u32,
+    workers: u32,
+    scratch: Vec<ShardScratch>,
+    nodes: usize,
+}
+
+impl ShardedSwarm {
+    /// Creates a sharded planner with `threads` shards (clamped to
+    /// `1..=`[`MAX_SHARDS`]) and as many worker threads as shards.
+    pub fn new(policy: ShardPolicy, threads: u32) -> Self {
+        let shards = threads.clamp(1, MAX_SHARDS as u32);
+        ShardedSwarm {
+            policy,
+            shards,
+            workers: shards,
+            scratch: Vec::new(),
+            nodes: 0,
+        }
+    }
+
+    /// Overrides the number of OS worker threads without changing the
+    /// shard count (and therefore without changing the trace). Clamped
+    /// to at least 1.
+    #[must_use]
+    pub fn with_worker_threads(mut self, workers: u32) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The shard count — the quantity traces are keyed on.
+    #[inline]
+    pub fn shard_count(&self) -> u32 {
+        self.shards
+    }
+
+    fn ensure_scratch(&mut self, nodes: usize) {
+        let shards = self.shards as usize;
+        if self.scratch.len() != shards || self.nodes != nodes {
+            self.scratch = (0..shards).map(|_| ShardScratch::new(nodes)).collect();
+            self.nodes = nodes;
+        }
+    }
+}
+
+impl Strategy for ShardedSwarm {
+    fn on_tick(&mut self, p: &mut TickPlanner<'_>, rng: &mut StdRng) -> Result<(), SimError> {
+        let n = p.node_count();
+        self.ensure_scratch(n);
+        let tick_entropy: u64 = rng.gen();
+        let state = p.state();
+        let topology = p.topology();
+        let shards = self.shards as usize;
+
+        // Shared read-only planning inputs, resolved once per tick on
+        // the merge thread.
+        let pool: Vec<u32> = (0..n as u32)
+            .filter(|&v| !state.is_complete(NodeId::new(v)))
+            .collect();
+        let neighbors: Vec<NeighborSet<'_>> = (0..n)
+            .map(|u| topology.neighbors(NodeId::from_index(u)))
+            .collect();
+        let ranges: Vec<(u32, u32)> = (0..shards)
+            .map(|s| ((s * n / shards) as u32, ((s + 1) * n / shards) as u32))
+            .collect();
+        let ctx = PlanCtx {
+            matrix: state.matrix(),
+            freq: state.frequencies(),
+            pool: &pool,
+            neighbors: &neighbors,
+            ledger: p.ledger(),
+            download_caps: p.download_caps(),
+            upload_caps: p.upload_caps(),
+            mechanism: p.mechanism(),
+            policy: self.policy,
+            ranges: &ranges,
+            tick_entropy,
+            tick: p.tick().get(),
+        };
+
+        let workers = (self.workers as usize).min(shards);
+        if workers <= 1 {
+            for (s, scratch) in self.scratch.iter_mut().enumerate() {
+                plan_shard(&ctx, s, scratch);
+            }
+        } else {
+            // One contiguous chunk of shards per worker; the last chunk
+            // runs on the current thread. Chunking (not work stealing)
+            // keeps shard→worker assignment deterministic, though the
+            // trace would not depend on it either way.
+            let chunk = shards.div_ceil(workers);
+            let ctx = &ctx;
+            std::thread::scope(|scope| {
+                let mut rest: &mut [ShardScratch] = &mut self.scratch;
+                let mut base = 0usize;
+                while !rest.is_empty() {
+                    let take = chunk.min(rest.len());
+                    let (head, tail) = rest.split_at_mut(take);
+                    if tail.is_empty() {
+                        for (i, scratch) in head.iter_mut().enumerate() {
+                            plan_shard(ctx, base + i, scratch);
+                        }
+                    } else {
+                        scope.spawn(move || {
+                            for (i, scratch) in head.iter_mut().enumerate() {
+                                plan_shard(ctx, base + i, scratch);
+                            }
+                        });
+                    }
+                    base += take;
+                    rest = tail;
+                }
+            });
+        }
+
+        // Deterministic merge barrier: replay in (shard, slot) order.
+        // Rejections here are cross-shard conflicts, not errors — the
+        // losing proposal is simply dropped.
+        let mut conflicts = 0u64;
+        for (s, scratch) in self.scratch.iter().enumerate() {
+            p.note_shard_plan_nanos(s, scratch.plan_nanos);
+            for &(from, to, block) in &scratch.proposals {
+                if p.propose(NodeId::new(from), NodeId::new(to), BlockId::new(block))
+                    .is_err()
+                {
+                    conflicts += 1;
+                }
+            }
+        }
+        p.note_merge_conflicts(conflicts);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        match self.policy {
+            ShardPolicy::Random => "sharded-swarm(random)",
+            ShardPolicy::RarestFirst => "sharded-swarm(rarest-first)",
+        }
+    }
+
+    fn span_label(&self) -> String {
+        format!("{}+shards={}", self.name(), self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompleteOverlay, Engine, SimConfig, Transfer};
+
+    fn trace(
+        cfg: SimConfig,
+        overlay: &CompleteOverlay,
+        strategy: &mut ShardedSwarm,
+        seed: u64,
+    ) -> (Vec<Vec<Transfer>>, crate::RunReport) {
+        let mut engine = Engine::new(cfg, overlay);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ticks = Vec::new();
+        while engine
+            .step(strategy, &mut rng)
+            .expect("sharded run is admissible")
+        {
+            ticks.push(engine.last_transfers().to_vec());
+        }
+        (ticks, engine.report())
+    }
+
+    #[test]
+    fn substream_seeds_are_deterministic_and_distinct() {
+        assert_eq!(substream_seed(7, 3, 1), substream_seed(7, 3, 1));
+        let cells = [
+            substream_seed(7, 3, 0),
+            substream_seed(7, 3, 1),
+            substream_seed(7, 4, 0),
+            substream_seed(8, 3, 0),
+        ];
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                assert_ne!(a, b, "neighboring (seed, tick, shard) cells must split");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_reproducible() {
+        let overlay = CompleteOverlay::new(24);
+        let cfg = SimConfig::new(24, 12).with_threads(4);
+        let a = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 4),
+            11,
+        );
+        let b = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 4),
+            11,
+        );
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert!(a.1.completed(), "swarm must finish");
+    }
+
+    #[test]
+    fn trace_depends_on_shards_not_workers() {
+        let overlay = CompleteOverlay::new(24);
+        let cfg = SimConfig::new(24, 12).with_threads(4);
+        for policy in [ShardPolicy::Random, ShardPolicy::RarestFirst] {
+            let serial = trace(
+                cfg,
+                &overlay,
+                &mut ShardedSwarm::new(policy, 4).with_worker_threads(1),
+                5,
+            );
+            let threaded = trace(
+                cfg,
+                &overlay,
+                &mut ShardedSwarm::new(policy, 4).with_worker_threads(4),
+                5,
+            );
+            assert_eq!(serial.0, threaded.0, "worker count leaked into the trace");
+        }
+    }
+
+    #[test]
+    fn different_shard_counts_are_different_disciplines() {
+        let overlay = CompleteOverlay::new(24);
+        let cfg = SimConfig::new(24, 12);
+        let two = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 2),
+            9,
+        );
+        let eight = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 8),
+            9,
+        );
+        assert!(two.1.completed() && eight.1.completed());
+        assert_ne!(two.0, eight.0, "shard count is part of the RNG discipline");
+    }
+
+    #[test]
+    fn merge_conflicts_are_counted_not_fatal() {
+        // Tight download capacity on a small swarm with many shards:
+        // cross-shard collisions on the same target are guaranteed over
+        // a run, and must surface as counted conflicts.
+        let overlay = CompleteOverlay::new(12);
+        let cfg = SimConfig::new(12, 16)
+            .with_download_capacity(DownloadCapacity::Finite(1))
+            .with_threads(8);
+        let (_, report) = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 8),
+            3,
+        );
+        assert!(report.completed());
+        assert!(
+            report.perf.merge_conflicts > 0,
+            "expected cross-shard conflicts under Finite(1) downloads"
+        );
+        assert_eq!(report.perf.threads, 8);
+        assert!(report
+            .perf
+            .shard_plan_nanos
+            .iter()
+            .take(8)
+            .any(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn strict_barter_plans_server_only() {
+        let overlay = CompleteOverlay::new(8);
+        let cfg = SimConfig::new(8, 4)
+            .with_mechanism(Mechanism::StrictBarter)
+            .with_threads(4);
+        let (ticks, report) = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::RarestFirst, 4),
+            13,
+        );
+        assert!(
+            report.completed(),
+            "server-only distribution still finishes"
+        );
+        assert!(
+            ticks.iter().flatten().all(|t| t.from == NodeId::SERVER),
+            "strict barter must not plan client uploads"
+        );
+    }
+
+    #[test]
+    fn credit_limited_sharded_run_settles() {
+        let overlay = CompleteOverlay::new(16);
+        for mechanism in [
+            Mechanism::CreditLimited { credit: 1 },
+            Mechanism::TriangularBarter { credit: 2 },
+        ] {
+            let cfg = SimConfig::new(16, 8)
+                .with_mechanism(mechanism)
+                .with_download_capacity(DownloadCapacity::Unlimited)
+                .with_threads(4);
+            let (_, report) = trace(
+                cfg,
+                &overlay,
+                &mut ShardedSwarm::new(ShardPolicy::Random, 4),
+                21,
+            );
+            // Settlement ran every tick without a mechanism violation
+            // (trace() unwraps step errors); completion is not
+            // guaranteed under tight credit, progress is.
+            assert!(report.total_uploads > 0, "{mechanism:?} made no progress");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardedSwarm::new(ShardPolicy::Random, 0).shard_count(), 1);
+        assert_eq!(
+            ShardedSwarm::new(ShardPolicy::Random, 999).shard_count(),
+            MAX_SHARDS as u32
+        );
+    }
+}

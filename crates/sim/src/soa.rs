@@ -1,0 +1,366 @@
+//! Struct-of-arrays swarm state: a flat block-set matrix.
+//!
+//! [`BlockMatrix`] stores every node's inventory bitset in one contiguous
+//! `u64` arena (row-major, one fixed-stride row per node) instead of one
+//! heap allocation per node. The sharded tick planner (`shard.rs`) scans
+//! millions of interest/novelty probes per tick at n ≥ 10^5; keeping the
+//! rows in a single arena turns those probes into sequential word loads
+//! with no pointer chasing, which is what makes the struct-of-arrays
+//! layout worth the mirror-maintenance cost in [`SimState`].
+//!
+//! The matrix is a *mirror* of the per-node [`BlockSet`]s, updated by
+//! [`SimState::deliver`] on the same code path; debug and
+//! `paranoid-checks` builds assert the two stay coherent.
+//!
+//! All scan methods take raw row indices and an optional packed *pending*
+//! word slice (the per-target promise set of the current tick) and
+//! operate on the difference `row(u) \ (row(v) ∪ pending)` — the
+//! candidate blocks for a `u → v` transfer.
+//!
+//! [`SimState`]: crate::SimState
+//! [`SimState::deliver`]: crate::SimState::deliver
+//! [`BlockSet`]: crate::BlockSet
+
+const WORD_BITS: usize = 64;
+
+/// A dense `rows × universe` bit matrix in one flat arena.
+///
+/// Row `r` occupies words `r * stride .. (r + 1) * stride`; block `b`
+/// of row `r` sits at bit `b % 64` of word `r * stride + b / 64`.
+/// Unused tail bits of each row are always zero, so word-level
+/// difference scans never see phantom members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMatrix {
+    words: Vec<u64>,
+    /// Words per row: `universe.div_ceil(64)`.
+    stride: usize,
+    universe: usize,
+    rows: usize,
+    /// Cached per-row popcounts.
+    len: Vec<u32>,
+}
+
+impl BlockMatrix {
+    /// Creates an all-empty matrix of `rows` rows over blocks
+    /// `0 .. universe`.
+    pub fn new(rows: usize, universe: usize) -> Self {
+        let stride = universe.div_ceil(WORD_BITS);
+        BlockMatrix {
+            words: vec![0; rows * stride],
+            stride,
+            universe,
+            rows,
+            len: vec![0; rows],
+        }
+    }
+
+    /// Number of rows (nodes).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The block universe size `k`.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The packed words of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// Number of blocks in row `r`.
+    #[inline]
+    pub fn row_len(&self, r: usize) -> u32 {
+        self.len[r]
+    }
+
+    /// Whether row `r` contains every block of the universe.
+    #[inline]
+    pub fn is_row_full(&self, r: usize) -> bool {
+        self.len[r] as usize == self.universe
+    }
+
+    /// Whether row `r` contains `block`.
+    #[inline]
+    pub fn contains(&self, r: usize, block: usize) -> bool {
+        debug_assert!(block < self.universe);
+        self.words[r * self.stride + block / WORD_BITS] >> (block % WORD_BITS) & 1 == 1
+    }
+
+    /// Inserts `block` into row `r`, returning `true` if newly added.
+    #[inline]
+    pub fn set(&mut self, r: usize, block: usize) -> bool {
+        assert!(block < self.universe, "block {block} outside universe");
+        let word = &mut self.words[r * self.stride + block / WORD_BITS];
+        let mask = 1u64 << (block % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        self.len[r] += u32::from(fresh);
+        fresh
+    }
+
+    /// Fills row `r` with the entire universe.
+    pub fn fill_row(&mut self, r: usize) {
+        let row = &mut self.words[r * self.stride..(r + 1) * self.stride];
+        row.fill(u64::MAX);
+        let rem = self.universe % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = row.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        self.len[r] = self.universe as u32;
+    }
+
+    #[inline]
+    fn diff_word(&self, u: usize, v: usize, pending: Option<&[u64]>, w: usize) -> u64 {
+        let a = self.words[u * self.stride + w];
+        let b = self.words[v * self.stride + w];
+        let p = pending.map_or(0, |p| p[w]);
+        a & !(b | p)
+    }
+
+    /// Whether row `u` has any block in neither row `v` nor `pending` —
+    /// the interest probe of the sharded planner.
+    pub fn any_missing(&self, u: usize, v: usize, pending: Option<&[u64]>) -> bool {
+        // O(1) resolutions first, mirroring `BlockSet::has_any_not_in`:
+        // they matter at swarm extremes (empty early rows, full endgame
+        // rows) where the word scan would be pure overhead.
+        if pending.is_none() {
+            if self.len[u] > self.len[v] {
+                return true;
+            }
+            if self.is_row_full(v) {
+                return false;
+            }
+        }
+        (0..self.stride).any(|w| self.diff_word(u, v, pending, w) != 0)
+    }
+
+    /// Number of blocks of row `u` in neither row `v` nor `pending`.
+    pub fn count_missing(&self, u: usize, v: usize, pending: Option<&[u64]>) -> u32 {
+        (0..self.stride)
+            .map(|w| self.diff_word(u, v, pending, w).count_ones())
+            .sum()
+    }
+
+    /// The `j`-th (0-based, ascending block order) block of row `u` in
+    /// neither row `v` nor `pending`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `j + 1` such blocks exist.
+    pub fn nth_missing(&self, u: usize, v: usize, pending: Option<&[u64]>, j: u32) -> usize {
+        let mut remaining = j;
+        for w in 0..self.stride {
+            let mut diff = self.diff_word(u, v, pending, w);
+            let count = diff.count_ones();
+            if remaining < count {
+                for _ in 0..remaining {
+                    diff &= diff - 1; // clear lowest set bit
+                }
+                return w * WORD_BITS + diff.trailing_zeros() as usize;
+            }
+            remaining -= count;
+        }
+        panic!("nth_missing: only {} candidates, wanted {j}", j - remaining);
+    }
+
+    /// Rarest-first pass 1 over `row(u) \ (row(v) ∪ pending)`: the first
+    /// candidate in block order at the minimum frequency, that frequency,
+    /// and the tie count. `None` when there is no candidate.
+    ///
+    /// The caller draws one uniform index in `0..ties` iff `ties ≥ 2`
+    /// and resolves it with [`nth_missing_at_freq`] — the same
+    /// draw-for-draw discipline as
+    /// [`TickPlanner::select_rarest_block`](crate::TickPlanner::select_rarest_block).
+    ///
+    /// [`nth_missing_at_freq`]: Self::nth_missing_at_freq
+    pub fn missing_rarity(
+        &self,
+        u: usize,
+        v: usize,
+        pending: Option<&[u64]>,
+        freq: &[u32],
+    ) -> Option<(usize, u32, u32)> {
+        let mut first = usize::MAX;
+        let mut best = u32::MAX;
+        let mut ties = 0u32;
+        for w in 0..self.stride {
+            let mut diff = self.diff_word(u, v, pending, w);
+            while diff != 0 {
+                let b = w * WORD_BITS + diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                let f = freq[b];
+                if f < best {
+                    first = b;
+                    best = f;
+                    ties = 1;
+                } else if f == best {
+                    ties += 1;
+                }
+            }
+        }
+        if ties == 0 {
+            None
+        } else {
+            Some((first, best, ties))
+        }
+    }
+
+    /// Rarest-first pass 2: the `j`-th (0-based, ascending block order)
+    /// candidate whose frequency equals `best`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `j + 1` candidates sit at `best`.
+    pub fn nth_missing_at_freq(
+        &self,
+        u: usize,
+        v: usize,
+        pending: Option<&[u64]>,
+        freq: &[u32],
+        best: u32,
+        j: u32,
+    ) -> usize {
+        let mut seen = 0u32;
+        for w in 0..self.stride {
+            let mut diff = self.diff_word(u, v, pending, w);
+            while diff != 0 {
+                let b = w * WORD_BITS + diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                if freq[b] == best {
+                    if seen == j {
+                        return b;
+                    }
+                    seen += 1;
+                }
+            }
+        }
+        panic!("nth_missing_at_freq: only {seen} candidates at frequency {best}, wanted {j}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: usize, universe: usize, fill: &[(usize, &[usize])]) -> BlockMatrix {
+        let mut m = BlockMatrix::new(rows, universe);
+        for &(r, blocks) in fill {
+            for &b in blocks {
+                m.set(r, b);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn construction_and_row_access() {
+        let mut m = BlockMatrix::new(3, 130);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.universe(), 130);
+        assert_eq!(m.stride(), 3);
+        assert_eq!(m.row(1).len(), 3);
+        assert_eq!(m.row_len(0), 0);
+        m.fill_row(0);
+        assert_eq!(m.row_len(0), 130);
+        assert!(m.is_row_full(0));
+        // Tail bits of the filled row must be masked off.
+        assert_eq!(m.row(0)[2].count_ones(), 2);
+    }
+
+    #[test]
+    fn set_and_contains() {
+        let mut m = BlockMatrix::new(2, 70);
+        assert!(m.set(1, 65));
+        assert!(!m.set(1, 65), "double insert reports false");
+        assert!(m.contains(1, 65));
+        assert!(!m.contains(0, 65));
+        assert_eq!(m.row_len(1), 1);
+    }
+
+    #[test]
+    fn any_missing_matches_definition() {
+        let m = matrix(3, 130, &[(0, &[0, 64, 129]), (1, &[0]), (2, &[0, 64, 129])]);
+        assert!(m.any_missing(0, 1, None));
+        assert!(!m.any_missing(1, 0, None), "subset has nothing novel");
+        assert!(!m.any_missing(0, 2, None), "equal rows");
+        // Pending covers the difference: blocks 64 and 129 promised,
+        // block 0 held — nothing left for 2 → 1.
+        let mut pending = vec![0u64; 3];
+        pending[1] = 1; // block 64
+        pending[2] = 2; // block 129
+        assert!(!m.any_missing(2, 1, Some(&pending)));
+        pending[2] = 0;
+        assert!(m.any_missing(2, 1, Some(&pending)), "block 129 uncovered");
+    }
+
+    #[test]
+    fn any_missing_fast_branches() {
+        let mut m = BlockMatrix::new(3, 100);
+        m.fill_row(0);
+        m.set(1, 5);
+        assert!(m.any_missing(0, 1, None), "pigeonhole branch");
+        assert!(!m.any_missing(1, 0, None), "full-other branch");
+    }
+
+    #[test]
+    fn count_and_nth_missing() {
+        let m = matrix(2, 128, &[(0, &[0, 5, 64, 100]), (1, &[5])]);
+        let mut pending = vec![0u64; 2];
+        pending[1] = 1 << (100 - 64);
+        assert_eq!(m.count_missing(0, 1, Some(&pending)), 2);
+        assert_eq!(m.nth_missing(0, 1, Some(&pending), 0), 0);
+        assert_eq!(m.nth_missing(0, 1, Some(&pending), 1), 64);
+        assert_eq!(m.count_missing(0, 1, None), 3);
+        assert_eq!(m.nth_missing(0, 1, None, 2), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "nth_missing")]
+    fn nth_missing_out_of_range_panics() {
+        let m = matrix(2, 64, &[(0, &[1])]);
+        m.nth_missing(0, 1, None, 1);
+    }
+
+    #[test]
+    fn rarity_passes_agree() {
+        // freq: block 0 common (3), blocks 64/100 tied rare (1).
+        let m = matrix(2, 128, &[(0, &[0, 64, 100])]);
+        let mut freq = vec![0u32; 128];
+        freq[0] = 3;
+        freq[64] = 1;
+        freq[100] = 1;
+        let (first, best, ties) = m.missing_rarity(0, 1, None, &freq).unwrap();
+        assert_eq!((first, best, ties), (64, 1, 2));
+        assert_eq!(m.nth_missing_at_freq(0, 1, None, &freq, 1, 0), 64);
+        assert_eq!(m.nth_missing_at_freq(0, 1, None, &freq, 1, 1), 100);
+        // Unique minimum.
+        freq[64] = 5;
+        let (first, best, ties) = m.missing_rarity(0, 1, None, &freq).unwrap();
+        assert_eq!((first, best, ties), (100, 1, 1));
+        // No candidate.
+        let empty = BlockMatrix::new(2, 128);
+        assert_eq!(empty.missing_rarity(0, 1, None, &freq), None);
+    }
+
+    #[test]
+    fn pending_restricts_rarity() {
+        let m = matrix(2, 64, &[(0, &[1, 2, 3])]);
+        let freq = vec![1u32; 64];
+        let pending = vec![0b0110u64]; // blocks 1 and 2 pending
+        let (first, best, ties) = m.missing_rarity(0, 1, Some(&pending), &freq).unwrap();
+        assert_eq!((first, best, ties), (3, 1, 1));
+    }
+}

@@ -1,5 +1,6 @@
 //! Global simulation state: who holds which blocks.
 
+use crate::soa::BlockMatrix;
 use crate::{BlockId, BlockSet, NodeId, Tick};
 
 /// The inventory of every node plus derived statistics.
@@ -26,6 +27,10 @@ use crate::{BlockId, BlockSet, NodeId, Tick};
 pub struct SimState {
     k: usize,
     blocks: Vec<BlockSet>,
+    /// Struct-of-arrays mirror of `blocks`: one flat arena of inventory
+    /// words for cache-friendly cross-row scans (the sharded planner's
+    /// hot path). Kept coherent in [`SimState::deliver`].
+    matrix: BlockMatrix,
     freq: Vec<u32>,
     completion: Vec<Option<Tick>>,
     incomplete: usize,
@@ -48,9 +53,12 @@ impl SimState {
         }
         let mut completion = vec![None; nodes];
         completion[0] = Some(Tick::ZERO);
+        let mut matrix = BlockMatrix::new(nodes, blocks);
+        matrix.fill_row(0);
         SimState {
             k: blocks,
             blocks: sets,
+            matrix,
             freq: vec![1; blocks],
             completion,
             incomplete: nodes - 1,
@@ -99,6 +107,13 @@ impl SimState {
         &self.freq
     }
 
+    /// The flat struct-of-arrays view of all inventories, for word-level
+    /// cross-row scans. Always coherent with [`inventory`](Self::inventory).
+    #[inline]
+    pub fn matrix(&self) -> &BlockMatrix {
+        &self.matrix
+    }
+
     /// Number of nodes still missing at least one block.
     #[inline]
     pub fn incomplete_count(&self) -> usize {
@@ -135,6 +150,8 @@ impl SimState {
     pub fn deliver(&mut self, u: NodeId, block: BlockId, now: Tick) -> bool {
         let fresh = self.blocks[u.index()].insert(block);
         assert!(fresh, "duplicate delivery of {block} to {u}");
+        let mirrored = self.matrix.set(u.index(), block.index());
+        debug_assert!(mirrored, "matrix mirror diverged from block sets");
         self.freq[block.index()] += 1;
         if self.blocks[u.index()].is_full() {
             self.completion[u.index()] = Some(now);
@@ -201,5 +218,24 @@ mod tests {
         let mut s = SimState::new(3, 3);
         s.deliver(NodeId::new(1), BlockId::new(2), Tick::new(1));
         assert_eq!(s.frequencies(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn matrix_mirrors_block_sets() {
+        let mut s = SimState::new(3, 70);
+        s.deliver(NodeId::new(1), BlockId::new(0), Tick::new(1));
+        s.deliver(NodeId::new(1), BlockId::new(69), Tick::new(1));
+        s.deliver(NodeId::new(2), BlockId::new(64), Tick::new(2));
+        for u in 0..3 {
+            let node = NodeId::from_index(u);
+            for b in 0..70 {
+                assert_eq!(
+                    s.matrix().contains(u, b),
+                    s.holds(node, BlockId::new(b as u32)),
+                    "matrix/{node} disagree on block {b}"
+                );
+            }
+            assert_eq!(s.matrix().row_len(u) as usize, s.inventory(node).len());
+        }
     }
 }

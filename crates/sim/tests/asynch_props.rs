@@ -9,9 +9,7 @@
 //!   tandem queue), raising any single node's upload rate never makes
 //!   the overall completion time worse.
 
-use pob_sim::asynch::{
-    run_async, run_async_with_rates, AsyncConfig, AsyncStrategy, AsyncUpload,
-};
+use pob_sim::asynch::{run_async, run_async_with_rates, AsyncConfig, AsyncStrategy, AsyncUpload};
 use pob_sim::{BlockId, CompleteOverlay, NodeId, SimState, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

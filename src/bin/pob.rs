@@ -21,13 +21,13 @@ use pob_core::schedules::{
 use pob_core::strategies::{
     BitTorrentLike, BlockSelection, SplitStream, SwarmStrategy, TriangularSwarm,
 };
-use pob_overlay::{d_ary_tree, path, random_regular, CompleteOverlay, Hypercube};
 use pob_model::InvariantSink;
+use pob_overlay::{d_ary_tree, path, random_regular, CompleteOverlay, Hypercube};
 use pob_sim::events::{Event, EventLog, EventSink, TeeSink};
 use pob_sim::trace::Recorder;
 use pob_sim::{
-    DownloadCapacity, Engine, JsonlSink, Mechanism, RejectTransferError, RunReport, SimConfig,
-    Strategy, Topology,
+    DownloadCapacity, Engine, JsonlSink, Mechanism, RejectTransferError, RunReport, ShardPolicy,
+    ShardedSwarm, SimConfig, Strategy, Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,6 +66,9 @@ OPTIONS (run / trace / sweep):
     --degree <D>      degree for --overlay regular                      [20]
     --arity <D>       arity for multicast / splitstream stripes         [3]
     --policy <P>      random | rarest (randomized strategies)           [random]
+    --threads <T>     planner shards for --algorithm swarm; >1 switches
+                      to the sharded parallel planner, 0 = one shard
+                      per available core                                [1]
     --download <C>    1 | 2 | unlimited                                 [algorithm default]
     --seed <S>        RNG seed                                          [0]
     --max-ticks <T>   tick cap (censored if exceeded)                   [auto]
@@ -83,6 +86,7 @@ struct Options {
     degree: usize,
     arity: usize,
     policy: BlockSelection,
+    threads: u32,
     download: Option<DownloadCapacity>,
     seed: u64,
     max_ticks: Option<u32>,
@@ -104,6 +108,7 @@ impl Default for Options {
             degree: 20,
             arity: 3,
             policy: BlockSelection::Random,
+            threads: 1,
             download: None,
             seed: 0,
             max_ticks: None,
@@ -170,6 +175,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown policy '{other}'")),
                 }
             }
+            "--threads" => {
+                let t: u32 = value()?
+                    .parse()
+                    .map_err(|_| "--threads must be a number".to_owned())?;
+                // 0 = one shard per available core (like `make -j`).
+                opts.threads = if t == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get() as u32)
+                } else {
+                    t
+                };
+            }
             "--download" => {
                 opts.download = Some(match value()?.as_str() {
                     "unlimited" => DownloadCapacity::Unlimited,
@@ -213,6 +229,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.k < 1 {
         return Err("--k must be at least 1".to_owned());
+    }
+    if opts.threads > 1 && opts.algorithm != "swarm" {
+        return Err(format!(
+            "--threads {} only applies to --algorithm swarm (got '{}')",
+            opts.threads, opts.algorithm
+        ));
     }
     Ok(opts)
 }
@@ -277,6 +299,15 @@ fn build_strategy(opts: &Options) -> Result<Box<dyn Strategy>, String> {
         "multicast" => Box::new(MulticastTree::new(opts.arity)),
         "binomial-tree" => Box::new(BinomialTree::new()),
         "riffle" => Box::new(RifflePipeline::new(opts.n, opts.k, true)),
+        // --threads 1 keeps the sequential planner so existing golden
+        // traces stay bit-identical; >1 opts into the sharded discipline.
+        "swarm" if opts.threads > 1 => {
+            let policy = match opts.policy {
+                BlockSelection::Random => ShardPolicy::Random,
+                BlockSelection::RarestFirst => ShardPolicy::RarestFirst,
+            };
+            Box::new(ShardedSwarm::new(policy, opts.threads))
+        }
         "swarm" => Box::new(SwarmStrategy::new(opts.policy)),
         "bittorrent" => Box::new(BitTorrentLike::new()),
         "splitstream" => Box::new(SplitStream::new(opts.n, opts.k, opts.arity)),
@@ -289,7 +320,8 @@ fn build_config(opts: &Options) -> SimConfig {
     let (default_mech, default_dl) = defaults_for(&opts.algorithm);
     let mut cfg = SimConfig::new(opts.n, opts.k)
         .with_mechanism(opts.mechanism.unwrap_or(default_mech))
-        .with_download_capacity(opts.download.unwrap_or(default_dl));
+        .with_download_capacity(opts.download.unwrap_or(default_dl))
+        .with_threads(opts.threads);
     if let Some(cap) = opts.max_ticks {
         cfg = cfg.with_max_ticks(cap);
     }
@@ -362,16 +394,15 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
         .transpose()?;
     let mut checker = MaybeSink(opts.check_invariants.then(|| InvariantSink::new(&cfg)));
     let report = match (trace, jsonl.as_mut()) {
-        (false, None) => Engine::with_sink(cfg, overlay.as_ref(), &mut checker)
-            .run(strategy.as_mut(), &mut rng),
+        (false, None) => {
+            Engine::with_sink(cfg, overlay.as_ref(), &mut checker).run(strategy.as_mut(), &mut rng)
+        }
         (false, Some(sink)) => {
             Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut checker, sink))
                 .run(strategy.as_mut(), &mut rng)
         }
-        (true, None) => {
-            Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut checker, &mut rec))
-                .run(strategy.as_mut(), &mut rng)
-        }
+        (true, None) => Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut checker, &mut rec))
+            .run(strategy.as_mut(), &mut rng),
         (true, Some(sink)) => Engine::with_sink(
             cfg,
             overlay.as_ref(),
@@ -564,6 +595,12 @@ fn cmd_inspect(path: &str) -> Result<(), String> {
             "perf gauges  : {} fast ticks, {} rarity rebuilds, {} credit invalidations",
             perf.fast_ticks, perf.rarity_rebuilds, perf.credit_invalidations
         );
+        if perf.threads > 1 || perf.merge_conflicts > 0 {
+            println!(
+                "parallelism  : {} planner threads, {} merge conflicts",
+                perf.threads, perf.merge_conflicts
+            );
+        }
     }
     Ok(())
 }

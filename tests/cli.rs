@@ -288,7 +288,10 @@ fn inspect_rejects_truncated_stream() {
     assert!(!out.status.success(), "truncated stream must be rejected");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error:"), "{err}");
-    assert!(err.contains("line"), "diagnostic should name the line: {err}");
+    assert!(
+        err.contains("line"),
+        "diagnostic should name the line: {err}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -336,8 +339,7 @@ fn events_stream_reencodes_byte_identical() {
     let stream = std::fs::read_to_string(&events).expect("events file exists");
     assert!(!stream.is_empty());
     for (i, line) in stream.lines().enumerate() {
-        let event = Event::from_json_line(line)
-            .unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        let event = Event::from_json_line(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
         assert_eq!(
             event.to_json_line(),
             line,
@@ -386,6 +388,173 @@ fn inspect_requires_exactly_one_path() {
     let out = pob(&["inspect"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pob inspect"));
+}
+
+/// `--threads N` with N > 1 engages the sharded planner: the run-end
+/// record carries the thread gauge and `inspect` surfaces it.
+#[test]
+fn threads_flag_round_trips_through_events_and_inspect() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_threads_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let events = dir.join("run.ndjson");
+    let events_path = events.to_str().expect("utf-8 temp path");
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "24",
+        "--k",
+        "12",
+        "--threads",
+        "4",
+        "--seed",
+        "3",
+        "--events",
+        events_path,
+        "--check-invariants",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("invariants   : ok"));
+
+    let stream = std::fs::read_to_string(&events).expect("events file exists");
+    let run_end = stream.lines().last().expect("nonempty stream");
+    assert!(run_end.contains("\"event\":\"run-end\""));
+    assert!(run_end.contains("\"threads\":4"), "{run_end}");
+    assert!(run_end.contains("\"merge_conflicts\":"), "{run_end}");
+
+    let out = pob(&["inspect", events_path]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("parallelism  : 4 planner threads"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Blanks the one wall-clock field in a `pob-events/1` stream
+/// (`plan_nanos` on tick-end records) so two runs of the same seed can
+/// be compared byte-for-byte.
+fn strip_plan_nanos(stream: &str) -> String {
+    let mut out = String::with_capacity(stream.len());
+    for line in stream.lines() {
+        if let Some(i) = line.find("\"plan_nanos\":") {
+            let value_at = i + "\"plan_nanos\":".len();
+            let rest = &line[value_at..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            out.push_str(&line[..value_at]);
+            out.push('0');
+            out.push_str(&rest[end..]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `--threads 1` must leave the event stream identical (modulo the
+/// wall-clock `plan_nanos` gauge) to a run without the flag: same
+/// sequential planner, no threading gauges.
+#[test]
+fn threads_one_stream_matches_default_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_threads1_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let base = dir.join("base.ndjson");
+    let t1 = dir.join("t1.ndjson");
+    for (path, extra) in [(&base, None), (&t1, Some(["--threads", "1"]))] {
+        let mut args = vec![
+            "run",
+            "--algorithm",
+            "swarm",
+            "--n",
+            "24",
+            "--k",
+            "12",
+            "--seed",
+            "3",
+            "--events",
+            path.to_str().expect("utf-8 temp path"),
+        ];
+        if let Some(extra) = extra {
+            args.extend(extra);
+        }
+        let out = pob(&args);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let base = strip_plan_nanos(&std::fs::read_to_string(&base).expect("base stream"));
+    let t1 = strip_plan_nanos(&std::fs::read_to_string(&t1).expect("t1 stream"));
+    assert_eq!(base, t1, "--threads 1 changed the event stream");
+    assert!(
+        !base.contains("\"threads\""),
+        "single-threaded streams must omit the thread gauge"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--threads 0` resolves to the host's available parallelism.
+#[test]
+fn threads_zero_resolves_to_available_parallelism() {
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "24",
+        "--k",
+        "12",
+        "--threads",
+        "0",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("completed in"));
+}
+
+#[test]
+fn threads_rejects_non_swarm_algorithms() {
+    let out = pob(&["run", "--algorithm", "binomial", "--threads", "2"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads"), "{err}");
+    assert!(err.contains("swarm"), "{err}");
+}
+
+#[test]
+fn threaded_runs_are_deterministic_given_seed() {
+    let args = [
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "32",
+        "--k",
+        "16",
+        "--threads",
+        "4",
+        "--policy",
+        "rarest",
+        "--seed",
+        "3",
+    ];
+    assert_eq!(stdout(&pob(&args)), stdout(&pob(&args)));
 }
 
 #[test]

@@ -17,9 +17,13 @@ use price_of_barter::core::schedules::RifflePipeline;
 use price_of_barter::core::strategies::{
     BlockSelection, CollisionModel, SwarmStrategy, TriangularSwarm,
 };
-use price_of_barter::model::{InvariantSink, ReferenceSwarm, ReferenceTriangular};
+use price_of_barter::model::{
+    InvariantSink, ReferenceSharded, ReferenceSwarm, ReferenceTriangular,
+};
 use price_of_barter::overlay::{random_regular, CompleteOverlay};
-use price_of_barter::sim::{DownloadCapacity, Engine, Mechanism, SimConfig, Strategy, Topology};
+use price_of_barter::sim::{
+    DownloadCapacity, Engine, Mechanism, ShardPolicy, ShardedSwarm, SimConfig, Strategy, Topology,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,6 +117,33 @@ fn collisions(simultaneous: bool) -> CollisionModel {
         CollisionModel::Simultaneous
     } else {
         CollisionModel::Resolved
+    }
+}
+
+fn shard_policy(rarest: bool) -> ShardPolicy {
+    if rarest {
+        ShardPolicy::RarestFirst
+    } else {
+        ShardPolicy::Random
+    }
+}
+
+/// Shard count for the sharded differential: `POB_THREADS` pins it (the
+/// CI thread matrix sets 1, 2, 8), otherwise the scenario picks one of
+/// {2, 4, 8}.
+fn shard_threads(pick: usize) -> u32 {
+    std::env::var("POB_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or([2, 4, 8][pick % 3])
+}
+
+fn shard_mechanism(code: u8, credit: u32) -> Mechanism {
+    match code % 4 {
+        0 => Mechanism::Cooperative,
+        1 => Mechanism::StrictBarter,
+        2 => Mechanism::CreditLimited { credit },
+        _ => Mechanism::TriangularBarter { credit },
     }
 }
 
@@ -212,6 +243,39 @@ proptest! {
         assert_lockstep(cfg, topology.as_ref(), &mut fast, &mut reference, seed);
     }
 
+    /// Sharded parallel planner vs. its sequential naive reference: the
+    /// parallel RNG discipline (per-shard substreams, shard-local
+    /// speculation, deterministic merge order) must yield a bit-identical
+    /// delivery trace across all four mechanisms, both block policies,
+    /// complete and sparse overlays, and shard counts 2/4/8 — with the
+    /// fast side actually planning on a scoped thread pool.
+    #[test]
+    fn sharded_swarm_matches_reference(
+        n in 3usize..=20,
+        k in 1usize..=12,
+        mech in 0u8..4,
+        credit in 1u32..=3,
+        threads_pick in 0usize..3,
+        dl in 0u8..3,
+        rarest in any::<bool>(),
+        use_regular in any::<bool>(),
+        degree in 2usize..5,
+        topo_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let topology = build_topology(n, use_regular, degree, topo_seed);
+        prop_assume!(topology.is_some());
+        let topology = topology.unwrap();
+        let threads = shard_threads(threads_pick);
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(shard_mechanism(mech, credit))
+            .with_download_capacity(download_capacity(dl))
+            .with_threads(threads);
+        let mut fast = ShardedSwarm::new(shard_policy(rarest), threads);
+        let mut reference = ReferenceSharded::new(shard_policy(rarest), threads);
+        assert_lockstep(cfg, topology.as_ref(), &mut fast, &mut reference, seed);
+    }
+
     /// Strict barter: the riffle pipeline is deterministic, so the
     /// differential here pits the plain engine against the
     /// invariant-audited engine — every generated schedule must
@@ -288,5 +352,17 @@ fn differential_large_scale() {
             &mut RifflePipeline::new(n, k, false),
             seed,
         );
+        for threads in [2u32, 8] {
+            let cfg = SimConfig::new(n, k)
+                .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+                .with_threads(threads);
+            assert_lockstep(
+                cfg,
+                &complete,
+                &mut ShardedSwarm::new(ShardPolicy::RarestFirst, threads),
+                &mut ReferenceSharded::new(ShardPolicy::RarestFirst, threads),
+                seed,
+            );
+        }
     }
 }

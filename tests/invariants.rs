@@ -31,7 +31,10 @@ fn run_audited(
 ) -> RunReport {
     let mut engine = Engine::with_sink(cfg, topology, InvariantSink::new(&cfg));
     let mut rng = StdRng::seed_from_u64(seed);
-    while engine.step(strategy, &mut rng).expect("mechanism satisfied") {}
+    while engine
+        .step(strategy, &mut rng)
+        .expect("mechanism satisfied")
+    {}
     let report = engine.report();
     let sink = engine.into_sink();
     sink.assert_clean();
@@ -137,12 +140,7 @@ fn strict_barter_riffle_is_clean() {
         let cfg = SimConfig::new(n, k)
             .with_mechanism(Mechanism::StrictBarter)
             .with_download_capacity(dl);
-        let report = run_audited(
-            cfg,
-            &overlay,
-            &mut RifflePipeline::new(n, k, overlap),
-            0,
-        );
+        let report = run_audited(cfg, &overlay, &mut RifflePipeline::new(n, k, overlap), 0);
         assert!(report.completed(), "overlap={overlap}");
     }
 }
