@@ -1,0 +1,57 @@
+//! Renders the thread-scaling table from profiled-run rows on stdin.
+//!
+//! Each line is eight whitespace-separated columns extracted from a
+//! captured `pob-events` stream (`pob inspect --json`):
+//!
+//! ```text
+//! label nodes threads ticks wall_nanos plan_nanos merge_nanos stall_nanos
+//! ```
+//!
+//! Usage:
+//!
+//! ```bash
+//! pob run --algorithm swarm --n 2000 --k 100 --threads 8 \
+//!         --metrics-interval 16 --events t8.ndjson
+//! pob inspect --json t8.ndjson   # extract the row, repeat per thread count
+//! cargo run -p pob-analysis --example scaling_table < rows.txt
+//! ```
+
+use pob_analysis::{scaling_table, ScalingPoint};
+use std::io::Read as _;
+
+fn main() {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .expect("read stdin");
+    let mut points = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(
+            cols.len(),
+            8,
+            "line {}: want `label nodes threads ticks wall_nanos plan_nanos merge_nanos stall_nanos`",
+            i + 1
+        );
+        let field = |j: usize| -> u64 {
+            cols[j]
+                .parse()
+                .unwrap_or_else(|e| panic!("line {} column {}: {e}", i + 1, j + 1))
+        };
+        points.push(ScalingPoint {
+            label: cols[0].to_owned(),
+            nodes: field(1) as usize,
+            threads: field(2) as u32,
+            ticks: field(3),
+            wall_nanos: field(4),
+            plan_nanos: field(5),
+            merge_nanos: field(6),
+            stall_nanos: field(7),
+        });
+    }
+    print!("{}", scaling_table(&points).to_ascii());
+}

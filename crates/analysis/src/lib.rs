@@ -11,6 +11,8 @@
 //! * [`run_seeds`] and [`sweep`] — deterministic multi-seed fan-out
 //!   across threads;
 //! * [`Table`] — aligned ASCII and CSV rendering of result series;
+//! * [`ScalingPoint`] and [`scaling_table`] — thread-scaling summaries
+//!   (speedup, merge share, barrier stall) over profiled runs;
 //! * [`welch_t`], [`percentile`], [`Histogram`] — distribution summaries
 //!   and two-sample comparison for strategy shoot-outs.
 //!
@@ -31,12 +33,14 @@
 
 mod compare;
 mod regression;
+mod scaling;
 mod stats;
 mod sweep;
 mod table;
 
 pub use compare::{median, percentile, welch_t, Histogram, WelchResult};
 pub use regression::{fit_t_vs_k_logn, FitError, LinearFit};
+pub use scaling::{scaling_table, ScalingPoint};
 pub use stats::{t_quantile_975, Summary};
 pub use sweep::{default_threads, run_seeds, sweep, SweepPoint};
 pub use table::Table;

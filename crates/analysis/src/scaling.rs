@@ -1,0 +1,185 @@
+//! Thread-scaling summaries over profiled runs.
+//!
+//! The profiling layer (`pob-sim`'s metrics registry) reports per-run
+//! phase totals — planning, shard-merge, merge-barrier stall — and this
+//! module turns a series of such runs at increasing thread counts into
+//! the scaling table the experiments appendix prints: ticks/s, parallel
+//! speedup against the single-thread baseline, and where the non-scaling
+//! fraction of the tick goes. Like the rest of this crate it has no
+//! dependency on the simulator: callers summarize captured
+//! `metrics-snapshot` streams (or bench JSON) into [`ScalingPoint`]s.
+
+use crate::table::Table;
+
+/// One profiled run at a fixed thread count.
+///
+/// All nanosecond fields are totals over the whole run. `plan_nanos`
+/// should be the *summed per-shard* planning time (CPU time across
+/// workers), not the wall-clock planning span — the ratio of the two is
+/// exactly the planner's effective parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Label for the row (e.g. `"fig3-t8"` or `"n=100k"`).
+    pub label: String,
+    /// Swarm size the run simulated.
+    pub nodes: usize,
+    /// Planner threads (shards); `1` is the serial baseline.
+    pub threads: u32,
+    /// Simulated ticks the run executed.
+    pub ticks: u64,
+    /// Total wall-clock nanoseconds of the run.
+    pub wall_nanos: u64,
+    /// Summed per-shard planning nanoseconds (CPU, not wall).
+    pub plan_nanos: u64,
+    /// Merge-replay nanoseconds (serial section after the barrier).
+    pub merge_nanos: u64,
+    /// Summed per-shard barrier-stall nanoseconds (worker finished,
+    /// merge replay not yet reached it).
+    pub stall_nanos: u64,
+}
+
+impl ScalingPoint {
+    /// Simulated ticks per wall-clock second.
+    pub fn ticks_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.ticks as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Fraction of the wall time spent in the serial merge replay.
+    pub fn merge_share(&self) -> f64 {
+        share(self.merge_nanos, self.wall_nanos)
+    }
+
+    /// Barrier stall per shard-second of planning: how much of the
+    /// workers' time was spent already-finished, waiting for the merge
+    /// replay to reach them. `0` for serial runs (nothing to wait for).
+    pub fn stall_share(&self) -> f64 {
+        share(self.stall_nanos, self.plan_nanos.max(1))
+    }
+}
+
+fn share(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Renders a thread-scaling series as an aligned table.
+///
+/// Speedup is each row's [`ticks_per_sec`](ScalingPoint::ticks_per_sec)
+/// over the first `threads == 1` point's; rows show `–` when no serial
+/// baseline is present. Rows keep the caller's order.
+///
+/// # Examples
+///
+/// ```
+/// use pob_analysis::{scaling_table, ScalingPoint};
+///
+/// let base = ScalingPoint {
+///     label: "t1".into(), nodes: 1000, threads: 1, ticks: 100,
+///     wall_nanos: 4_000_000_000, plan_nanos: 3_900_000_000,
+///     merge_nanos: 0, stall_nanos: 0,
+/// };
+/// let par = ScalingPoint {
+///     label: "t4".into(), nodes: 1000, threads: 4, ticks: 100,
+///     wall_nanos: 1_250_000_000, plan_nanos: 4_100_000_000,
+///     merge_nanos: 90_000_000, stall_nanos: 400_000_000,
+/// };
+/// let table = scaling_table(&[base, par]).to_ascii();
+/// assert!(table.contains("3.20x")); // 4.0 / 1.25
+/// ```
+pub fn scaling_table(points: &[ScalingPoint]) -> Table {
+    let baseline = points
+        .iter()
+        .find(|p| p.threads == 1)
+        .map(ScalingPoint::ticks_per_sec)
+        .filter(|tps| *tps > 0.0);
+    let mut table = Table::new([
+        "point", "n", "threads", "ticks/s", "speedup", "merge %", "stall %",
+    ]);
+    for p in points {
+        let speedup = match baseline {
+            Some(base) => format!("{:.2}x", p.ticks_per_sec() / base),
+            None => "–".to_owned(),
+        };
+        table.push_row([
+            p.label.clone(),
+            p.nodes.to_string(),
+            p.threads.to_string(),
+            format!("{:.0}", p.ticks_per_sec()),
+            speedup,
+            format!("{:.1}", 100.0 * p.merge_share()),
+            format!("{:.1}", 100.0 * p.stall_share()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(label: &str, threads: u32, wall_nanos: u64) -> ScalingPoint {
+        ScalingPoint {
+            label: label.to_owned(),
+            nodes: 2_000,
+            threads,
+            ticks: 150,
+            wall_nanos,
+            plan_nanos: wall_nanos.saturating_mul(threads as u64) * 9 / 10,
+            merge_nanos: wall_nanos / 20,
+            stall_nanos: if threads > 1 { wall_nanos / 4 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn ticks_per_sec_handles_zero_wall() {
+        let mut p = point("t1", 1, 0);
+        assert_eq!(p.ticks_per_sec(), 0.0);
+        p.wall_nanos = 3_000_000_000;
+        assert!((p.ticks_per_sec() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_relative_to_serial_baseline() {
+        let table = scaling_table(&[
+            point("t1", 1, 4_000_000_000),
+            point("t2", 2, 2_500_000_000),
+            point("t8", 8, 1_000_000_000),
+        ]);
+        let ascii = table.to_ascii();
+        assert!(ascii.contains("1.00x"), "baseline row:\n{ascii}");
+        assert!(ascii.contains("1.60x"), "t2 row:\n{ascii}");
+        assert!(ascii.contains("4.00x"), "t8 row:\n{ascii}");
+    }
+
+    #[test]
+    fn missing_baseline_renders_dashes() {
+        let table = scaling_table(&[point("t4", 4, 1_000_000_000)]);
+        let ascii = table.to_ascii();
+        assert!(ascii.contains('–'), "no baseline:\n{ascii}");
+    }
+
+    #[test]
+    fn shares_are_bounded_fractions() {
+        let p = point("t8", 8, 1_000_000_000);
+        assert!(p.merge_share() > 0.0 && p.merge_share() < 1.0);
+        assert!(p.stall_share() > 0.0 && p.stall_share() < 1.0);
+        let serial = point("t1", 1, 1_000_000_000);
+        assert_eq!(serial.stall_share(), 0.0);
+    }
+
+    #[test]
+    fn table_keeps_caller_order_and_width() {
+        let table = scaling_table(&[point("b", 2, 10), point("a", 1, 10)]);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.width(), 7);
+        let csv = table.to_csv();
+        let first_data_line = csv.lines().nth(1).unwrap();
+        assert!(first_data_line.starts_with("b,"));
+    }
+}

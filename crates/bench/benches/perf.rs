@@ -3,18 +3,20 @@
 //! Times one representative point of each figure sweep — cooperative
 //! (fig3/4/5), credit-limited barter under both block policies (fig6/7),
 //! strict barter (the riffle pipeline) and triangular barter — and emits
-//! a JSON trajectory (`BENCH_PR3.json` by default) so perf changes are
+//! a JSON trajectory (`BENCH_PR7.json` by default) so perf changes are
 //! visible per mechanism across PRs. Not a criterion bench: each point is
 //! a full simulation run, timed with the engine's own [`PerfCounters`]
 //! plus a monotonic outer clock, and run `POB_SEEDS` times (default 3,
 //! minimum of the measured walls is reported to suppress scheduler
-//! noise).
+//! noise). The timed runs stay *uninstrumented* (the gate judges the
+//! default zero-cost path); one extra instrumented run per engine-driven
+//! point captures the per-phase wall-time breakdown.
 //!
 //! * default: quick scale (seconds);
 //! * `POB_FULL=1`: the paper-scale points (`n = 10⁴`, `k = 1000`, plus
 //!   the `n = 10⁵` sharded scaling point);
 //! * `POB_BENCH_OUT=path`: where to write the JSON (default
-//!   `<repo>/BENCH_PR6.json`);
+//!   `<repo>/BENCH_PR7.json`);
 //! * `POB_BENCH_BASELINE=path`: compare against a previous JSON and exit
 //!   non-zero if any point's tick throughput (`ticks_per_sec`) regressed
 //!   2× or more.
@@ -25,8 +27,9 @@ use pob_core::run::run_riffle_pipeline;
 use pob_core::strategies::{BlockSelection, SwarmStrategy, TriangularSwarm};
 use pob_overlay::random_regular;
 use pob_sim::{
-    CompleteOverlay, DownloadCapacity, Engine, Mechanism, RejectTransferError, RunReport,
-    ShardPolicy, ShardedSwarm, SimConfig, Topology,
+    CompleteOverlay, DownloadCapacity, Engine, Mechanism, MetricsSink, NoopMetrics, NoopSink,
+    Phase, RejectTransferError, RunReport, ShardPolicy, ShardedSwarm, SimConfig, TickProfile,
+    Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,6 +51,31 @@ struct PointResult {
     credit_invalidations: u64,
     threads: u32,
     shard_plan_ms: f64,
+    shard_stall_ms: f64,
+    merge_ms: f64,
+    // Per-phase milliseconds from one *extra* instrumented run; `None`
+    // for points not driven through the engine (the riffle schedule).
+    phase_ms: Option<[f64; Phase::COUNT]>,
+}
+
+/// Bench-local metrics sink: just the summed per-phase nanoseconds.
+#[derive(Debug, Default)]
+struct PhaseAccum {
+    phase_nanos: [u64; Phase::COUNT],
+}
+
+impl PhaseAccum {
+    fn phase_ms(&self) -> [f64; Phase::COUNT] {
+        self.phase_nanos.map(|ns| ns as f64 / 1e6)
+    }
+}
+
+impl MetricsSink for PhaseAccum {
+    fn on_tick_profile(&mut self, profile: &TickProfile) {
+        for (total, nanos) in self.phase_nanos.iter_mut().zip(profile.phase_nanos) {
+            *total += nanos;
+        }
+    }
 }
 
 fn time_point(
@@ -90,14 +118,35 @@ fn time_point(
         credit_invalidations: p.credit_invalidations,
         threads: p.threads,
         shard_plan_ms: p.shard_plan_nanos_total() as f64 / 1e6,
+        shard_stall_ms: p.shard_stall_nanos_total() as f64 / 1e6,
+        merge_ms: p.merge_nanos as f64 / 1e6,
+        phase_ms: None,
     }
 }
 
+/// One extra instrumented run (seed 0) attaching the per-phase wall-time
+/// breakdown to the point the timed (uninstrumented) loop just produced.
+fn profile_point(result: &mut PointResult, run: impl FnOnce(&mut PhaseAccum)) {
+    let mut acc = PhaseAccum::default();
+    run(&mut acc);
+    result.phase_ms = Some(acc.phase_ms());
+}
+
 fn sharded_point(n: usize, k: usize, threads: u32, seed: u64) -> RunReport {
+    sharded_point_with(n, k, threads, seed, NoopMetrics)
+}
+
+fn sharded_point_with<M: MetricsSink>(
+    n: usize,
+    k: usize,
+    threads: u32,
+    seed: u64,
+    metrics: M,
+) -> RunReport {
     let cfg = SimConfig::new(n, k)
         .with_download_capacity(DownloadCapacity::Unlimited)
         .with_threads(threads);
-    Engine::new(cfg, &CompleteOverlay::new(n))
+    Engine::with_instrumentation(cfg, &CompleteOverlay::new(n), NoopSink, metrics)
         .run(
             &mut ShardedSwarm::new(ShardPolicy::Random, threads),
             &mut StdRng::seed_from_u64(seed),
@@ -114,14 +163,28 @@ fn swarm_point(
     cap: Option<u32>,
     seed: u64,
 ) -> RunReport {
+    swarm_point_with(n, k, degree, mechanism, policy, cap, seed, NoopMetrics)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn swarm_point_with<M: MetricsSink>(
+    n: usize,
+    k: usize,
+    degree: Option<usize>,
+    mechanism: Mechanism,
+    policy: BlockSelection,
+    cap: Option<u32>,
+    seed: u64,
+    metrics: M,
+) -> RunReport {
     let mut cfg = SimConfig::new(n, k)
         .with_mechanism(mechanism)
         .with_download_capacity(DownloadCapacity::Unlimited);
     if let Some(cap) = cap {
         cfg = cfg.with_max_ticks(cap);
     }
-    let run = |overlay: &dyn Topology| {
-        Engine::new(cfg, overlay)
+    let run = move |overlay: &dyn Topology| {
+        Engine::with_instrumentation(cfg, overlay, NoopSink, metrics)
             .run(
                 &mut SwarmStrategy::new(policy),
                 &mut StdRng::seed_from_u64(seed),
@@ -189,12 +252,34 @@ fn to_json(mode: &str, results: &[PointResult]) -> String {
         let _ = write!(
             out,
             "}}, \"fast_ticks\": {}, \"rarity_rebuilds\": {}, \"credit_invalidations\": {}, \
-             \"threads\": {}, \"shard_plan_ms\": {:.3}, \"completion\": {}}}",
+             \"threads\": {}, \"shard_plan_ms\": {:.3}, \"shard_stall_ms\": {:.3}, \
+             \"merge_ms\": {:.3}, ",
             r.fast_ticks,
             r.rarity_rebuilds,
             r.credit_invalidations,
             r.threads,
             r.shard_plan_ms,
+            r.shard_stall_ms,
+            r.merge_ms,
+        );
+        // Per-phase map from the instrumented companion run; null for
+        // points that bypass the engine (the riffle pipeline).
+        match &r.phase_ms {
+            None => out.push_str("\"phase_ms\": null"),
+            Some(phase_ms) => {
+                out.push_str("\"phase_ms\": {");
+                for (j, phase) in Phase::ALL.into_iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\": {:.3}", phase.label(), phase_ms[phase.index()]);
+                }
+                out.push('}');
+            }
+        }
+        let _ = write!(
+            out,
+            ", \"completion\": {}}}",
             r.completion
                 .map_or_else(|| "null".to_owned(), |t| t.to_string()),
         );
@@ -258,6 +343,18 @@ fn main() {
             )
         },
     ));
+    profile_point(results.last_mut().expect("fig3 pushed"), |m| {
+        swarm_point_with(
+            n,
+            k,
+            None,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            0,
+            m,
+        );
+    });
 
     // fig3-t{2,4,8}: the same fig3 workload under the sharded parallel
     // planner. Trace changes with the shard count (each count is its own
@@ -275,6 +372,9 @@ fn main() {
             runs,
             |seed| sharded_point(n, k, threads, seed),
         ));
+        profile_point(results.last_mut().expect("fig3-t pushed"), |m| {
+            sharded_point_with(n, k, threads, 0, m);
+        });
     }
 
     // fig3-large: the n = 10⁵ scaling point the flat SoA matrix exists
@@ -291,6 +391,9 @@ fn main() {
         runs,
         |seed| sharded_point(n, k, 8, seed),
     ));
+    profile_point(results.last_mut().expect("fig3-large pushed"), |m| {
+        sharded_point_with(n, k, 8, 0, m);
+    });
 
     // fig4: T vs k at fixed n (paper: k up to 2000, n = 100).
     let (n, k) = pob_bench::scaled((100, 500), (100, 2_000));
@@ -310,6 +413,18 @@ fn main() {
             )
         },
     ));
+    profile_point(results.last_mut().expect("fig4 pushed"), |m| {
+        swarm_point_with(
+            n,
+            k,
+            None,
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            0,
+            m,
+        );
+    });
 
     // fig5: cooperative swarm on a random regular overlay (degree sweep's
     // mid point).
@@ -334,6 +449,18 @@ fn main() {
             )
         },
     ));
+    profile_point(results.last_mut().expect("fig5 pushed"), |m| {
+        swarm_point_with(
+            n,
+            k,
+            Some(d),
+            Mechanism::Cooperative,
+            BlockSelection::Random,
+            None,
+            0,
+            m,
+        );
+    });
 
     // fig6 / fig7: credit-limited barter at a degree above the threshold,
     // Random and Rarest-First policies (capped — sparse credit runs can
@@ -365,6 +492,18 @@ fn main() {
                 )
             },
         ));
+        profile_point(results.last_mut().expect("credit point pushed"), |m| {
+            swarm_point_with(
+                n,
+                k,
+                Some(d),
+                Mechanism::CreditLimited { credit: 3 },
+                policy,
+                cap,
+                0,
+                m,
+            );
+        });
     }
 
     // strict-barter: the riffle pipeline (§3.1.3), the deterministic
@@ -405,9 +544,22 @@ fn main() {
                 .expect("triangular swarm stays admissible")
         },
     ));
+    profile_point(results.last_mut().expect("tri-rarest pushed"), |m| {
+        let overlay = random_regular(n, d, &mut StdRng::seed_from_u64(1)).expect("regular graph");
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(Mechanism::TriangularBarter { credit: 2 })
+            .with_download_capacity(DownloadCapacity::Unlimited)
+            .with_max_ticks(cap);
+        Engine::with_instrumentation(cfg, &overlay, NoopSink, m)
+            .run(
+                &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+                &mut StdRng::seed_from_u64(0),
+            )
+            .expect("triangular swarm stays admissible");
+    });
 
     let out_path = std::env::var("POB_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json").to_owned()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json").to_owned()
     });
     let json = to_json(if full { "full" } else { "quick" }, &results);
     std::fs::write(&out_path, &json).expect("write bench json");

@@ -21,7 +21,8 @@
 
 use super::{BlockSelection, RarityIndex};
 use pob_sim::{
-    BlockId, BlockSet, Mechanism, NeighborSet, NodeId, SimError, SimState, Strategy, TickPlanner,
+    BlockId, BlockSet, IndexCounters, Mechanism, NeighborSet, NodeId, SimError, SimState, Strategy,
+    TickPlanner,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -100,6 +101,10 @@ pub struct SwarmStrategy {
     // rescanning inventories. Deadlocked credit-limited runs then cost
     // O(1) per tick instead of O(n·degree) or O(n·|interested|).
     stuck: Vec<bool>,
+    // Index telemetry for the profiling layer, accumulated over one tick
+    // and flushed to the planner at the end of `on_tick`. Pure counters:
+    // they never touch the RNG stream or any admission decision.
+    telemetry: IndexCounters,
     // Tick through which pool/index/stuck are synchronized; `None` forces
     // a rebuild (fresh strategy, or after `notify_topology_changed`).
     synced_through: Option<u32>,
@@ -161,6 +166,7 @@ impl SwarmStrategy {
             index: InterestIndex::default(),
             rarity: RarityIndex::default(),
             stuck: Vec::new(),
+            telemetry: IndexCounters::default(),
             synced_through: None,
             indexed: false,
             pooled: false,
@@ -232,15 +238,27 @@ impl SwarmStrategy {
         // Fast path: rejection sampling over the pool. On a fast tick the
         // admissibility check is a leaf probe of the interest index plus
         // (under credit-limited barter) an O(1) credit-index probe.
+        let credit_limited = matches!(p.mechanism(), Mechanism::CreditLimited { .. });
         for _ in 0..REJECTION_TRIES {
             let cand = NodeId::new(self.pool[rng.gen_range(0..self.pool.len())]);
+            self.telemetry.interest_probes += 1;
             let admissible = cand != u
                 && if self.fast_tick {
-                    self.index.still_wants(cand, inv) && p.credit_allows(u, cand)
+                    self.index.still_wants(cand, inv) && {
+                        if credit_limited {
+                            self.telemetry.credit_probes += 1;
+                        }
+                        let ok = p.credit_allows(u, cand);
+                        if credit_limited && !ok {
+                            self.telemetry.credit_blocked += 1;
+                        }
+                        ok
+                    }
                 } else {
                     self.selects(p, u, cand)
                 };
             if admissible {
+                self.telemetry.interest_hits += 1;
                 return Some(cand);
             }
         }
@@ -249,6 +267,8 @@ impl SwarmStrategy {
         // admission rules, and pick uniformly.
         self.interested.clear();
         self.index.collect_interested(inv, &mut self.interested);
+        self.telemetry.interest_probes += 1; // one tree enumeration
+        self.telemetry.interest_hits += self.interested.len() as u64;
         if self.fast_tick {
             // Interest and credit are the only admission rules in play,
             // and the tree never reports `u` itself (its own leaf covers
@@ -257,9 +277,12 @@ impl SwarmStrategy {
             if cfg!(any(debug_assertions, feature = "paranoid-checks")) {
                 assert!(!self.interested.contains(&u.raw()));
             }
-            if matches!(p.mechanism(), Mechanism::CreditLimited { .. }) {
+            if credit_limited {
+                let before = self.interested.len();
+                self.telemetry.credit_probes += before as u64;
                 let mut interested = std::mem::take(&mut self.interested);
                 interested.retain(|&v| p.credit_allows(u, NodeId::new(v)));
+                self.telemetry.credit_blocked += (before - interested.len()) as u64;
                 self.interested = interested;
             }
             return if self.interested.is_empty() {
@@ -314,6 +337,7 @@ impl SwarmStrategy {
         let len = self.scan.len();
         let mut persistent_candidate = false;
         if self.collisions == CollisionModel::Resolved {
+            let credit_limited = matches!(p.mechanism(), Mechanism::CreditLimited { .. });
             let inv = p.state().inventory(u);
             for i in 0..len {
                 let j = rng.gen_range(i..len);
@@ -324,7 +348,24 @@ impl SwarmStrategy {
                 if cand == u || cand.is_server() {
                     continue;
                 }
-                if self.index.still_wants(cand, inv) && p.credit_allows(u, cand) {
+                self.telemetry.interest_probes += 1;
+                let wants = self.index.still_wants(cand, inv);
+                if wants {
+                    self.telemetry.interest_hits += 1;
+                }
+                // Same short-circuit as before: credit is only probed for
+                // interested candidates.
+                let within_credit = wants && {
+                    if credit_limited {
+                        self.telemetry.credit_probes += 1;
+                    }
+                    let ok = p.credit_allows(u, cand);
+                    if credit_limited && !ok {
+                        self.telemetry.credit_blocked += 1;
+                    }
+                    ok
+                };
+                if wants && within_credit {
                     if p.can_download(cand) {
                         return Some(cand);
                     }
@@ -383,6 +424,7 @@ impl SwarmStrategy {
             }
         } else {
             self.index.rebuild(p.state());
+            self.telemetry.interest_rebuilds += 1;
         }
         if complete_overlay {
             if synced && self.pooled {
@@ -427,12 +469,15 @@ impl SwarmStrategy {
     ) -> Option<BlockId> {
         match self.policy {
             BlockSelection::Random => p.select_random_block(u, v, rng),
-            BlockSelection::RarestFirst => self.rarity.select(
-                p.state().inventory(u),
-                p.state().inventory(v),
-                p.pending(v),
-                rng,
-            ),
+            BlockSelection::RarestFirst => {
+                self.telemetry.rarity_probes += 1;
+                self.rarity.select(
+                    p.state().inventory(u),
+                    p.state().inventory(v),
+                    p.pending(v),
+                    rng,
+                )
+            }
         }
     }
 }
@@ -466,8 +511,12 @@ impl Strategy for SwarmStrategy {
             if self.stuck[u.index()] || p.upload_left(u) == 0 || p.state().inventory(u).is_empty() {
                 continue;
             }
-            if complete_overlay && !self.index.anyone_interested(p.state().inventory(u)) {
-                continue; // nobody incomplete lacks anything u holds
+            if complete_overlay {
+                self.telemetry.interest_probes += 1; // root test
+                if !self.index.anyone_interested(p.state().inventory(u)) {
+                    continue; // nobody incomplete lacks anything u holds
+                }
+                self.telemetry.interest_hits += 1;
             }
             let target = if complete_overlay {
                 self.pick_from_pool(p, u, rng)
@@ -506,6 +555,7 @@ impl Strategy for SwarmStrategy {
                 }
             }
         }
+        p.note_index_counters(std::mem::take(&mut self.telemetry));
         Ok(())
     }
 

@@ -375,7 +375,7 @@ mod tests {
         // Below ~2 log n, slack 2 deadlocks but slack 4 completes — the
         // credit slack substitutes for the triangles sparse graphs lack.
         let (n, k, d) = (64usize, 64usize, 8usize);
-        let mut graph_rng = StdRng::seed_from_u64(7);
+        let mut graph_rng = StdRng::seed_from_u64(0);
         let overlay = random_regular(n, d, &mut graph_rng).unwrap();
         let run = |credit: u32| {
             let cfg = SimConfig::new(n, k)
@@ -385,7 +385,7 @@ mod tests {
             Engine::new(cfg, &overlay)
                 .run(
                     &mut TriangularSwarm::new(BlockSelection::RarestFirst),
-                    &mut StdRng::seed_from_u64(2),
+                    &mut StdRng::seed_from_u64(0),
                 )
                 .expect("mechanism satisfied")
         };

@@ -478,6 +478,9 @@ impl EventSink for InvariantSink {
             Event::Delivery { tick, transfer } => self.on_delivery(*tick, *transfer),
             Event::NodeComplete { tick, node } => self.on_node_complete(*tick, *node),
             Event::TickEnd { metrics } => self.on_tick_end(metrics),
+            // Profiling snapshots carry wall-time windows, not simulation
+            // state — nothing for the invariant checker to cross-check.
+            Event::MetricsSnapshot { .. } => {}
             Event::RunEnd {
                 ticks,
                 completed,

@@ -496,7 +496,7 @@ mod tests {
         // in flight when a faster copy of the same block lands (seed probed
         // to exhibit the race deterministically).
         let overlay = CompleteOverlay::new(4);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StdRng::seed_from_u64(3);
         let report = run_async(AsyncConfig::new(4, 4, 0.4), &overlay, &mut Racy, &mut rng);
         assert!(report.completed());
         assert!(

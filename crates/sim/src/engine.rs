@@ -8,9 +8,10 @@
 
 use crate::events::{CreditGauges, Event, EventSink, NoopSink, TickMetrics};
 use crate::planner::TickBuffers;
+use crate::profile::{MetricsSink, NoopMetrics, Phase, SnapshotWindow, TickProfile};
 use crate::{
     CreditLedger, DownloadCapacity, Mechanism, NodeId, RunReport, SimError, SimState, Tick,
-    TickPlanner, Topology,
+    TickPlanner, Topology, MAX_SHARDS,
 };
 use rand::rngs::StdRng;
 
@@ -54,6 +55,11 @@ pub struct SimConfig {
     /// decides how many threads it actually plans with (see
     /// `ShardedSwarm`); the engine itself always steps single-threaded.
     pub threads: u32,
+    /// Emit a [`MetricsSnapshot`](crate::MetricsSnapshot) event every
+    /// this many ticks (`0` = never). Snapshots require *both* an enabled
+    /// [`EventSink`] and an enabled [`MetricsSink`] — with either
+    /// disabled the interval is ignored.
+    pub metrics_interval: u32,
 }
 
 impl SimConfig {
@@ -83,6 +89,7 @@ impl SimConfig {
             max_ticks: Self::default_max_ticks(nodes, blocks),
             record_tick_stats: false,
             threads: 1,
+            metrics_interval: 0,
         }
     }
 
@@ -127,6 +134,13 @@ impl SimConfig {
     /// config field only feeds the perf counters and the run-end event.
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the profiling-snapshot interval in ticks (`0` disables
+    /// snapshot events; see [`metrics_interval`](Self::metrics_interval)).
+    pub fn with_metrics_interval(mut self, interval: u32) -> Self {
+        self.metrics_interval = interval;
         self
     }
 }
@@ -249,12 +263,19 @@ impl GaugeTracker {
 /// real sink with [`Engine::with_sink`] to receive the typed event stream
 /// (see [`events`](crate::events)).
 ///
+/// It is likewise monomorphized over its [`MetricsSink`]: the default
+/// [`NoopMetrics`] statically removes the phase-span profiling from
+/// [`step`](Engine::step). Attach a
+/// [`MetricsRegistry`](crate::MetricsRegistry) (or any sink) with
+/// [`Engine::with_instrumentation`] to measure where each tick's wall
+/// time goes.
+///
 /// # Examples
 ///
 /// See [`RunReport`] for a complete end-to-end example and
 /// [`events`](crate::events) for an observed run.
 #[derive(Debug)]
-pub struct Engine<'a, E: EventSink = NoopSink> {
+pub struct Engine<'a, E: EventSink = NoopSink, M: MetricsSink = NoopMetrics> {
     config: SimConfig,
     topology: &'a dyn Topology,
     state: SimState,
@@ -272,6 +293,10 @@ pub struct Engine<'a, E: EventSink = NoopSink> {
     per_tick: Option<Vec<u32>>,
     wall_nanos: u64,
     sink: E,
+    metrics: M,
+    // Accumulator for the current profiling-snapshot window; only touched
+    // while an enabled metrics sink is attached.
+    window: SnapshotWindow,
     // Lazily initialized on the first observed step; stays `None` for
     // disabled sinks.
     gauges: Option<GaugeTracker>,
@@ -303,6 +328,24 @@ impl<'a, E: EventSink> Engine<'a, E> {
     ///
     /// Panics if the overlay's node count differs from `config.nodes`.
     pub fn with_sink(config: SimConfig, topology: &'a dyn Topology, sink: E) -> Self {
+        Engine::with_instrumentation(config, topology, sink, NoopMetrics)
+    }
+}
+
+impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
+    /// Creates an engine that emits its run into `sink` and its per-tick
+    /// phase profiles into `metrics` (pass `&mut` for either to keep
+    /// access after [`run`](Self::run) consumes the engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay's node count differs from `config.nodes`.
+    pub fn with_instrumentation(
+        config: SimConfig,
+        topology: &'a dyn Topology,
+        sink: E,
+        metrics: M,
+    ) -> Self {
         assert_eq!(
             topology.node_count(),
             config.nodes,
@@ -327,6 +370,8 @@ impl<'a, E: EventSink> Engine<'a, E> {
             per_tick: config.record_tick_stats.then(Vec::new),
             wall_nanos: 0,
             sink,
+            metrics,
+            window: SnapshotWindow::default(),
             gauges: None,
             run_started: false,
             run_ended: false,
@@ -337,6 +382,12 @@ impl<'a, E: EventSink> Engine<'a, E> {
     /// [`JsonlSink`](crate::events::JsonlSink) after manual stepping).
     pub fn into_sink(self) -> E {
         self.sink
+    }
+
+    /// Consumes the engine and returns both its event sink and its
+    /// metrics sink (for instrumented manual stepping).
+    pub fn into_instrumentation(self) -> (E, M) {
+        (self.sink, self.metrics)
     }
 
     /// The engine's configuration.
@@ -470,8 +521,11 @@ impl<'a, E: EventSink> Engine<'a, E> {
             return Ok(false);
         }
         // With the default `NoopSink` this is a compile-time `false` and
-        // every `if observing` block below vanishes.
+        // every `if observing` block below vanishes. Same for `profiling`
+        // with the default `NoopMetrics` — an unprofiled step performs no
+        // phase-boundary clock reads at all.
         let observing = self.sink.enabled();
+        let profiling = self.metrics.enabled();
         if observing && !self.run_started {
             self.run_started = true;
             self.sink.on_event(&Event::RunStart {
@@ -496,6 +550,13 @@ impl<'a, E: EventSink> Engine<'a, E> {
         std::mem::swap(&mut self.prev_transfers, &mut self.bufs.transfers);
         self.bufs.reset();
         let rejections_before = self.bufs.stats.rejections;
+        // Pre-plan readings of the run-cumulative sharded-planner stats,
+        // so the per-tick deltas can be attributed to this profile.
+        let shard_before = profiling.then_some((
+            self.bufs.stats.merge_nanos,
+            self.bufs.stats.shard_plan_nanos,
+            self.bufs.stats.shard_stall_nanos,
+        ));
         let plan_started = observing.then(std::time::Instant::now);
         {
             let sink: Option<&mut (dyn EventSink + '_)> = if observing {
@@ -520,6 +581,10 @@ impl<'a, E: EventSink> Engine<'a, E> {
         let plan_nanos = plan_started.map_or(0, |t| {
             u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
         });
+        // Phase marks are cumulative offsets from `started`, so the phase
+        // durations partition the step's wall time by construction (the
+        // only loss is the clock reads themselves).
+        let mark_plan = profiling.then(|| elapsed_nanos(&started));
         // Commit phase: validate the whole tick, settle the credit ledger,
         // then deliver.
         self.config
@@ -530,6 +595,7 @@ impl<'a, E: EventSink> Engine<'a, E> {
                 .credit_index
                 .on_settle(&self.bufs.transfers, &self.ledger, credit);
         }
+        let mark_settle = profiling.then(|| elapsed_nanos(&started));
         let count = self.bufs.transfers.len() as u32;
         for t in &self.bufs.transfers {
             if observing {
@@ -554,10 +620,51 @@ impl<'a, E: EventSink> Engine<'a, E> {
         if let Some(v) = self.per_tick.as_mut() {
             v.push(count);
         }
+        let mark_deliver = profiling.then(|| elapsed_nanos(&started));
         if observing {
             self.emit_tick_end(tick, count, rejections_before, plan_nanos);
         }
-        self.wall_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let step_nanos = elapsed_nanos(&started);
+        self.wall_nanos += step_nanos;
+        if profiling {
+            let (merge_before, plan_before, stall_before) =
+                shard_before.unwrap_or((0, [0; MAX_SHARDS], [0; MAX_SHARDS]));
+            let mark_plan = mark_plan.unwrap_or(0);
+            let mark_settle = mark_settle.unwrap_or(0);
+            let mark_deliver = mark_deliver.unwrap_or(0);
+            // The merge barrier runs inside the strategy's on_tick; carve
+            // its reported time out of the plan span.
+            let merge = self.bufs.stats.merge_nanos.saturating_sub(merge_before);
+            let mut profile = TickProfile {
+                tick: tick.get(),
+                phase_nanos: [
+                    mark_plan.saturating_sub(merge),
+                    merge,
+                    mark_settle.saturating_sub(mark_plan),
+                    mark_deliver.saturating_sub(mark_settle),
+                    step_nanos.saturating_sub(mark_deliver),
+                ],
+                step_nanos,
+                transfers: count,
+                ..TickProfile::default()
+            };
+            debug_assert_eq!(profile.phase_nanos.len(), Phase::COUNT);
+            for s in 0..MAX_SHARDS {
+                profile.shard_plan_nanos[s] =
+                    self.bufs.stats.shard_plan_nanos[s].saturating_sub(plan_before[s]);
+                profile.shard_stall_nanos[s] =
+                    self.bufs.stats.shard_stall_nanos[s].saturating_sub(stall_before[s]);
+            }
+            self.metrics.on_tick_profile(&profile);
+            self.window.observe(&profile);
+            if observing
+                && self.config.metrics_interval > 0
+                && self.window.ticks >= self.config.metrics_interval
+            {
+                let snapshot = self.window.take_snapshot(tick);
+                self.sink.on_event(&Event::MetricsSnapshot { snapshot });
+            }
+        }
         let more = !self.state.all_complete() && self.tick.get() < self.config.max_ticks;
         if !more {
             self.finish_events();
@@ -607,10 +714,16 @@ impl<'a, E: EventSink> Engine<'a, E> {
     }
 
     /// Emits [`Event::RunEnd`] exactly once, when an observed run stops
-    /// (completion or tick cap; not on a [`SimError`] abort).
+    /// (completion or tick cap; not on a [`SimError`] abort). A profiled
+    /// run first flushes the trailing partial snapshot window, so the
+    /// stream always accounts for every profiled tick.
     fn finish_events(&mut self) {
         if self.run_started && !self.run_ended && self.sink.enabled() {
             self.run_ended = true;
+            if self.metrics.enabled() && self.config.metrics_interval > 0 && self.window.ticks > 0 {
+                let snapshot = self.window.take_snapshot(self.tick);
+                self.sink.on_event(&Event::MetricsSnapshot { snapshot });
+            }
             self.sink.on_event(&Event::RunEnd {
                 ticks: self.tick.get(),
                 completed: self.state.all_complete(),
@@ -622,6 +735,8 @@ impl<'a, E: EventSink> Engine<'a, E> {
                     credit_invalidations: self.bufs.credit_index.invalidations,
                     threads: self.config.threads,
                     merge_conflicts: self.bufs.stats.merge_conflicts,
+                    shard_plan_nanos: self.bufs.stats.shard_plan_nanos,
+                    shard_stall_nanos: self.bufs.stats.shard_stall_nanos,
                 }),
             });
         }
@@ -653,6 +768,9 @@ impl<'a, E: EventSink> Engine<'a, E> {
                 threads: self.config.threads,
                 merge_conflicts: self.bufs.stats.merge_conflicts,
                 shard_plan_nanos: self.bufs.stats.shard_plan_nanos,
+                merge_nanos: self.bufs.stats.merge_nanos,
+                shard_stall_nanos: self.bufs.stats.shard_stall_nanos,
+                index: self.bufs.stats.index,
             },
         }
     }
@@ -673,6 +791,12 @@ impl<'a, E: EventSink> Engine<'a, E> {
         while self.step(strategy, rng)? {}
         Ok(self.report())
     }
+}
+
+/// Nanoseconds elapsed since `started`, saturating at `u64::MAX`.
+#[inline]
+fn elapsed_nanos(started: &std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -1331,5 +1455,117 @@ mod tests {
             SimConfig::new(4, 2).max_ticks,
             SimConfig::default_max_ticks(4, 2)
         );
+    }
+
+    /// Buffers every tick profile, for assertions.
+    #[derive(Default)]
+    struct VecMetrics(Vec<TickProfile>);
+    impl MetricsSink for VecMetrics {
+        fn on_tick_profile(&mut self, profile: &TickProfile) {
+            self.0.push(*profile);
+        }
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_run() {
+        let overlay = CompleteOverlay::new(4);
+        let plain = Engine::new(SimConfig::new(4, 5), &overlay)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let mut registry = crate::MetricsRegistry::new();
+        let profiled =
+            Engine::with_instrumentation(SimConfig::new(4, 5), &overlay, NoopSink, &mut registry)
+                .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+                .unwrap();
+        assert_eq!(plain, profiled, "profiling must not perturb the run");
+        // The deterministic perf counters (everything but the clocks)
+        // must agree too; they are excluded from report equality.
+        assert_eq!(plain.perf.proposals, profiled.perf.proposals);
+        assert_eq!(plain.perf.rejections, profiled.perf.rejections);
+        assert_eq!(plain.perf.index, profiled.perf.index);
+        assert!(
+            registry.counter_value("pob_ticks_total") > Some(0),
+            "the registry saw every tick"
+        );
+    }
+
+    #[test]
+    fn phase_spans_cover_step_wall_time() {
+        let overlay = CompleteOverlay::new(16);
+        let mut metrics = VecMetrics::default();
+        let report =
+            Engine::with_instrumentation(SimConfig::new(16, 32), &overlay, NoopSink, &mut metrics)
+                .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+                .unwrap();
+        assert_eq!(metrics.0.len() as u32, report.ticks_run);
+        let stepped: u64 = metrics.0.iter().map(|p| p.step_nanos).sum();
+        let phased: u64 = metrics.0.iter().flat_map(|p| p.phase_nanos).sum();
+        assert!(stepped > 0);
+        assert!(
+            phased as f64 >= 0.95 * stepped as f64,
+            "phases cover {phased} of {stepped} step nanos"
+        );
+        assert!(phased <= stepped, "phases partition the step");
+        let transfers: u64 = metrics.0.iter().map(|p| u64::from(p.transfers)).sum();
+        assert_eq!(transfers, report.total_uploads);
+    }
+
+    #[test]
+    fn snapshot_interval_flushes_trailing_partial_window() {
+        use crate::events::Event;
+        let overlay = CompleteOverlay::new(4);
+        let cfg = SimConfig::new(4, 5).with_metrics_interval(4);
+        let mut sink = VecSink::default();
+        let mut registry = crate::MetricsRegistry::new();
+        let report = Engine::with_instrumentation(cfg, &overlay, &mut sink, &mut registry)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let snapshots: Vec<_> = sink
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                Event::MetricsSnapshot { snapshot } => Some(snapshot),
+                _ => None,
+            })
+            .collect();
+        // 15 uploads at one per tick: 3 full windows of 4 plus a partial.
+        assert_eq!(
+            snapshots.len() as u32,
+            report.ticks_run.div_ceil(4),
+            "every window flushed, the trailing partial one included"
+        );
+        let window_ticks: u32 = snapshots.iter().map(|s| s.ticks).sum();
+        assert_eq!(window_ticks, report.ticks_run, "no tick goes unaccounted");
+        assert!(snapshots.iter().all(|s| s.ticks <= 4));
+        assert_eq!(
+            snapshots.last().unwrap().ticks,
+            report.ticks_run % 4,
+            "the last window is the partial remainder"
+        );
+        let window_transfers: u64 = snapshots.iter().map(|s| s.transfers).sum();
+        assert_eq!(window_transfers, report.total_uploads);
+    }
+
+    #[test]
+    fn zero_tick_run_keeps_registry_and_stream_clean() {
+        use crate::events::Event;
+        let overlay = CompleteOverlay::new(3);
+        let cfg = SimConfig::new(3, 2)
+            .with_max_ticks(0)
+            .with_metrics_interval(8);
+        let mut sink = VecSink::default();
+        let mut registry = crate::MetricsRegistry::new();
+        let report = Engine::with_instrumentation(cfg, &overlay, &mut sink, &mut registry)
+            .run(&mut NaiveServerPush, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        assert_eq!(report.ticks_run, 0);
+        assert!(!sink
+            .0
+            .iter()
+            .any(|e| matches!(e, Event::MetricsSnapshot { .. })));
+        assert_eq!(registry.counter_value("pob_ticks_total"), Some(0));
+        // The exposition is still well-formed (all series at zero).
+        let text = registry.to_prometheus();
+        assert!(text.contains("pob_ticks_total 0"));
     }
 }

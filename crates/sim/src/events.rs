@@ -196,6 +196,16 @@ pub struct PerfGauges {
     /// only when non-zero or when `threads != 1`; decoders default an
     /// absent field to `0`.
     pub merge_conflicts: u64,
+    /// Cumulative per-shard planning wall nanoseconds, indexed by shard.
+    /// Encoded only when any slot is non-zero (trimmed to the last
+    /// populated slot); decoders default an absent field to all zeros.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub shard_plan_nanos: [u64; crate::MAX_SHARDS],
+    /// Cumulative per-shard merge-barrier stall wall nanoseconds, indexed
+    /// by shard. Same conditional encoding as
+    /// [`shard_plan_nanos`](Self::shard_plan_nanos).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub shard_stall_nanos: [u64; crate::MAX_SHARDS],
 }
 
 /// `threads` defaults to `1` (a run always has at least one planner
@@ -208,6 +218,8 @@ impl Default for PerfGauges {
             credit_invalidations: 0,
             threads: 1,
             merge_conflicts: 0,
+            shard_plan_nanos: [0; crate::MAX_SHARDS],
+            shard_stall_nanos: [0; crate::MAX_SHARDS],
         }
     }
 }
@@ -305,6 +317,16 @@ pub enum Event {
         /// The gauges of the finished tick.
         metrics: TickMetrics,
     },
+    /// Periodic profiling record covering the ticks since the previous
+    /// snapshot; emitted only when the engine runs with an enabled
+    /// [`MetricsSink`](crate::MetricsSink) and a non-zero
+    /// `SimConfig::metrics_interval`, so ordinary streams never contain
+    /// it (a new event kind needs no schema bump — consumers ignore
+    /// unknown kinds).
+    MetricsSnapshot {
+        /// The aggregated window.
+        snapshot: crate::MetricsSnapshot,
+    },
     /// The run ended (completion or tick cap). Not emitted when the run
     /// aborts with a [`SimError`](crate::SimError).
     RunEnd {
@@ -332,6 +354,7 @@ impl Event {
             Event::Delivery { .. } => "delivery",
             Event::NodeComplete { .. } => "node-complete",
             Event::TickEnd { .. } => "tick-end",
+            Event::MetricsSnapshot { .. } => "metrics-snapshot",
             Event::RunEnd { .. } => "run-end",
         }
     }
@@ -433,6 +456,44 @@ impl Event {
                     }
                 }
             }
+            Event::MetricsSnapshot { snapshot: snap } => {
+                let _ = write!(
+                    s,
+                    ",\"tick\":{},\"ticks\":{},\"wall_nanos\":{},\"transfers\":{}",
+                    snap.tick.get(),
+                    snap.ticks,
+                    snap.wall_nanos,
+                    snap.transfers,
+                );
+                s.push_str(",\"phases\":{");
+                for (i, phase) in crate::Phase::ALL.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let w = &snap.phases[i];
+                    let _ = write!(
+                        s,
+                        "\"{}\":{{\"nanos\":{},\"hist\":[",
+                        phase.label(),
+                        w.nanos
+                    );
+                    for (j, (b, c)) in w.hist.iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "[{b},{c}]");
+                    }
+                    s.push_str("]}");
+                }
+                s.push_str("},\"shards\":[");
+                for (i, sh) in snap.shards.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "[{},{},{}]", sh.shard, sh.plan_nanos, sh.stall_nanos);
+                }
+                s.push(']');
+            }
             Event::RunEnd {
                 ticks,
                 completed,
@@ -460,6 +521,27 @@ impl Event {
                             ",\"threads\":{},\"merge_conflicts\":{}",
                             p.threads, p.merge_conflicts,
                         );
+                    }
+                    // Per-shard timings postdate the aggregate gauges and
+                    // are only produced by profiled sharded runs; the
+                    // arrays are trimmed to the last populated slot and
+                    // omitted entirely when all-zero, so every earlier
+                    // stream stays byte-identical.
+                    for (key, slots) in [
+                        ("shard_plan_nanos", &p.shard_plan_nanos),
+                        ("shard_stall_nanos", &p.shard_stall_nanos),
+                    ] {
+                        let Some(last) = slots.iter().rposition(|&v| v != 0) else {
+                            continue;
+                        };
+                        let _ = write!(s, ",\"{key}\":[");
+                        for (i, v) in slots[..=last].iter().enumerate() {
+                            if i > 0 {
+                                s.push(',');
+                            }
+                            let _ = write!(s, "{v}");
+                        }
+                        s.push(']');
                     }
                 }
             }
@@ -588,6 +670,9 @@ impl Event {
                         } else {
                             0
                         },
+                        // Absent except on profiled sharded runs.
+                        shard_plan_nanos: decode_shard_nanos(obj, "shard_plan_nanos")?,
+                        shard_stall_nanos: decode_shard_nanos(obj, "shard_stall_nanos")?,
                     })
                 } else {
                     None
@@ -600,9 +685,85 @@ impl Event {
                     perf,
                 })
             }
+            "metrics-snapshot" => {
+                let phases_obj = obj.field("phases")?;
+                let phases_obj = phases_obj.as_object().ok_or("phases must be an object")?;
+                let mut phases: [crate::PhaseWindow; crate::Phase::COUNT] = Default::default();
+                for (i, phase) in crate::Phase::ALL.iter().enumerate() {
+                    let w = phases_obj.field(phase.label())?;
+                    let w = w.as_object().ok_or("phase window must be an object")?;
+                    let hist = w
+                        .field("hist")?
+                        .as_array()
+                        .ok_or("phase hist must be an array")?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_array().ok_or("hist entries are pairs")?;
+                            match pair {
+                                [b, c] => Ok((
+                                    b.as_u64().ok_or("bad bucket")? as u32,
+                                    c.as_u64().ok_or("bad count")?,
+                                )),
+                                _ => Err("hist entries are pairs".to_owned()),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    phases[i] = crate::PhaseWindow {
+                        nanos: w.u64("nanos")?,
+                        hist,
+                    };
+                }
+                let shards = obj
+                    .field("shards")?
+                    .as_array()
+                    .ok_or("shards must be an array")?
+                    .iter()
+                    .map(|row| {
+                        let row = row.as_array().ok_or("shard entries are triples")?;
+                        match row {
+                            [s, p, st] => Ok(crate::ShardWindow {
+                                shard: s.as_u64().ok_or("bad shard index")? as u32,
+                                plan_nanos: p.as_u64().ok_or("bad plan nanos")?,
+                                stall_nanos: st.as_u64().ok_or("bad stall nanos")?,
+                            }),
+                            _ => Err("shard entries are triples".to_owned()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::MetricsSnapshot {
+                    snapshot: crate::MetricsSnapshot {
+                        tick: tick(obj)?,
+                        ticks: obj.u32("ticks")?,
+                        wall_nanos: obj.u64("wall_nanos")?,
+                        transfers: obj.u64("transfers")?,
+                        phases,
+                        shards,
+                    },
+                })
+            }
             other => Err(format!("unknown event kind '{other}'")),
         }
     }
+}
+
+/// Decodes an optional trimmed per-shard nanosecond array from a run-end
+/// record; absent fields mean "not a profiled sharded run" and yield all
+/// zeros. Entries beyond [`MAX_SHARDS`](crate::MAX_SHARDS) are rejected.
+fn decode_shard_nanos(obj: &json::Object, key: &str) -> Result<[u64; crate::MAX_SHARDS], String> {
+    let mut out = [0u64; crate::MAX_SHARDS];
+    let Some(v) = obj.get(key) else {
+        return Ok(out);
+    };
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("{key} must be an array"))?;
+    if arr.len() > crate::MAX_SHARDS {
+        return Err(format!("{key} has more than {} slots", crate::MAX_SHARDS));
+    }
+    for (slot, v) in out.iter_mut().zip(arr.iter()) {
+        *slot = v.as_u64().ok_or_else(|| format!("bad {key} entry"))?;
+    }
+    Ok(out)
 }
 
 fn json_escape(s: &str) -> String {
@@ -720,6 +881,15 @@ impl EventLog {
     pub fn run_perf(&self) -> Option<PerfGauges> {
         self.events.iter().rev().find_map(|e| match e {
             Event::RunEnd { perf, .. } => *perf,
+            _ => None,
+        })
+    }
+
+    /// The profiling snapshots of the stream, in emission order (empty
+    /// for unprofiled runs).
+    pub fn metrics_snapshots(&self) -> impl Iterator<Item = &crate::MetricsSnapshot> {
+        self.events.iter().filter_map(|e| match e {
+            Event::MetricsSnapshot { snapshot } => Some(snapshot),
             _ => None,
         })
     }
@@ -1160,6 +1330,13 @@ mod tests {
         }
     }
 
+    /// Expands a short prefix into a full `MAX_SHARDS`-slot array.
+    fn shard_slots<const N: usize>(prefix: [u64; N]) -> [u64; crate::MAX_SHARDS] {
+        let mut slots = [0u64; crate::MAX_SHARDS];
+        slots[..N].copy_from_slice(&prefix);
+        slots
+    }
+
     fn sample_events() -> Vec<Event> {
         vec![
             Event::RunStart {
@@ -1199,6 +1376,8 @@ mod tests {
                     credit_invalidations: 7,
                     threads: 1,
                     merge_conflicts: 0,
+                    shard_plan_nanos: [0; crate::MAX_SHARDS],
+                    shard_stall_nanos: [0; crate::MAX_SHARDS],
                 }),
             },
             // Threaded form: the threading gauges are emitted.
@@ -1213,6 +1392,8 @@ mod tests {
                     credit_invalidations: 0,
                     threads: 8,
                     merge_conflicts: 17,
+                    shard_plan_nanos: shard_slots([310, 295, 0, 288]),
+                    shard_stall_nanos: shard_slots([4, 11, 0, 2]),
                 }),
             },
             // Pre-counter form: the gauges stay omitted on re-encode.

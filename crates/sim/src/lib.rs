@@ -25,6 +25,10 @@
 //! * [`events`] is the observability layer: an [`EventSink`] the engine
 //!   emits typed events and per-tick gauges into (NDJSON streaming via
 //!   [`JsonlSink`], zero-cost when disabled via the default [`NoopSink`]).
+//! * [`MetricsRegistry`] + [`MetricsSink`] are the profiling layer: phase
+//!   spans over `Engine::step` (plan / merge / settle / deliver / emit),
+//!   per-shard merge-barrier stalls, index telemetry, and power-of-two
+//!   histograms — zero-cost when disabled via the default [`NoopMetrics`].
 //!
 //! # Example
 //!
@@ -80,6 +84,7 @@ mod ids;
 mod mechanism;
 mod metrics;
 mod planner;
+mod profile;
 mod shard;
 mod soa;
 mod state;
@@ -97,8 +102,12 @@ pub use error::{MechanismViolation, RejectTransferError, SimError};
 pub use events::{Event, EventSink, JsonlSink, NoopSink, PerfGauges, TickMetrics};
 pub use ids::{BlockId, NodeId, Tick};
 pub use mechanism::{CreditLedger, Mechanism};
-pub use metrics::{PerfCounters, RunReport};
+pub use metrics::{IndexCounters, MetricId, MetricKind, MetricsRegistry, PerfCounters, RunReport};
 pub use planner::{CreditIndex, TickPlanner};
+pub use profile::{
+    MetricsSink, MetricsSnapshot, NoopMetrics, Phase, PhaseWindow, Pow2Histogram, ProfileSummary,
+    ShardWindow, TickProfile,
+};
 pub use shard::{
     substream_seed, ShardPolicy, ShardedSwarm, MAX_SHARDS, REJECTION_TRIES as SHARD_REJECTION_TRIES,
 };

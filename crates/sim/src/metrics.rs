@@ -1,6 +1,76 @@
-//! Results of a simulation run.
+//! Results of a simulation run, plus the [`MetricsRegistry`] of typed
+//! counters, gauges, and power-of-two histograms behind `pob run
+//! --metrics-out`.
 
+use crate::profile::{MetricsSink, Phase, Pow2Histogram, TickProfile};
 use crate::{Mechanism, NodeId, RejectTransferError, Tick};
+use std::fmt::Write as _;
+
+/// Index-telemetry counters: probe and rebuild counts for the planner-side
+/// and strategy-side acceleration indexes, plus [`BlockMatrix`] kernel
+/// calls from the sharded planner.
+///
+/// Counted unconditionally (plain integer increments on paths that already
+/// do heavier work) and folded into [`PerfCounters::index`] through
+/// [`TickPlanner::note_index_counters`]. All fields default to zero when
+/// deserializing reports written before the telemetry existed.
+///
+/// [`BlockMatrix`]: crate::BlockMatrix
+/// [`TickPlanner::note_index_counters`]: crate::TickPlanner::note_index_counters
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IndexCounters {
+    /// Interest-index candidate probes (leaf tests, tree queries, and the
+    /// sharded planner's `any_missing` admission probes).
+    pub interest_probes: u64,
+    /// Interest probes that found an interested candidate.
+    pub interest_hits: u64,
+    /// Full interest-index rebuilds (steady state is one per run; more
+    /// indicates tick discontinuities forced re-syncs).
+    pub interest_rebuilds: u64,
+    /// Rarity-index block selections (bucket scans or `missing_rarity`
+    /// kernel calls).
+    pub rarity_probes: u64,
+    /// Credit-feasibility probes at candidate admission time.
+    pub credit_probes: u64,
+    /// Credit probes that rejected the candidate.
+    pub credit_blocked: u64,
+    /// [`BlockMatrix`](crate::BlockMatrix) kernel calls issued by the
+    /// sharded planner's workers (`any_missing`, `count_missing`,
+    /// `nth_missing`, `missing_rarity`, `nth_missing_at_freq`).
+    pub matrix_kernels: u64,
+}
+
+impl IndexCounters {
+    /// Adds every counter of `other` into `self`.
+    pub fn add(&mut self, other: &IndexCounters) {
+        self.interest_probes += other.interest_probes;
+        self.interest_hits += other.interest_hits;
+        self.interest_rebuilds += other.interest_rebuilds;
+        self.rarity_probes += other.rarity_probes;
+        self.credit_probes += other.credit_probes;
+        self.credit_blocked += other.credit_blocked;
+        self.matrix_kernels += other.matrix_kernels;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == IndexCounters::default()
+    }
+
+    /// `(name, value)` pairs for every counter, in declaration order.
+    pub fn named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("interest_probes", self.interest_probes),
+            ("interest_hits", self.interest_hits),
+            ("interest_rebuilds", self.interest_rebuilds),
+            ("rarity_probes", self.rarity_probes),
+            ("credit_probes", self.credit_probes),
+            ("credit_blocked", self.credit_blocked),
+            ("matrix_kernels", self.matrix_kernels),
+        ]
+    }
+}
 
 /// Wall-clock and throughput counters for one run.
 ///
@@ -60,6 +130,22 @@ pub struct PerfCounters {
     /// to all-zero when deserializing older reports.
     #[cfg_attr(feature = "serde", serde(default))]
     pub shard_plan_nanos: [u64; crate::MAX_SHARDS],
+    /// Cumulative merge-barrier wall nanoseconds reported by a sharded
+    /// planner (the time spent replaying shard proposals through the
+    /// sequential planner). Defaults to zero when deserializing older
+    /// reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub merge_nanos: u64,
+    /// Cumulative merge-barrier *stall* wall nanoseconds per shard: the
+    /// time between a shard finishing its speculative plan and the merge
+    /// barrier replaying its proposals. Defaults to all-zero when
+    /// deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub shard_stall_nanos: [u64; crate::MAX_SHARDS],
+    /// Index telemetry (probe, rebuild, and kernel-call counts). Defaults
+    /// to all-zero when deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub index: IndexCounters,
 }
 
 impl PerfCounters {
@@ -99,6 +185,469 @@ impl PerfCounters {
     /// report per-shard time).
     pub fn shard_plan_nanos_total(&self) -> u64 {
         self.shard_plan_nanos.iter().sum()
+    }
+
+    /// Total merge-barrier stall wall nanoseconds summed over all shards.
+    pub fn shard_stall_nanos_total(&self) -> u64 {
+        self.shard_stall_nanos.iter().sum()
+    }
+}
+
+/// Handle to a metric registered in a [`MetricsRegistry`]. Valid only for
+/// the registry that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone non-negative integer.
+    Counter,
+    /// Arbitrary instantaneous value.
+    Gauge,
+    /// Power-of-two-bucketed distribution ([`Pow2Histogram`]).
+    Histogram,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    // Boxed: a Pow2Histogram is ~65 buckets of u64, far larger than the
+    // scalar variants, and registries hold mostly counters/gauges.
+    Histogram(Box<Pow2Histogram>),
+}
+
+impl MetricValue {
+    fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MetricEntry {
+    /// Exposition name, optionally with a label set: `pob_phase_nanos_total{phase="plan"}`.
+    name: String,
+    help: String,
+    value: MetricValue,
+}
+
+/// Cached [`MetricId`]s for the metrics the engine feeds per tick.
+#[derive(Debug, Clone, Copy, Default)]
+struct WellKnown {
+    ticks: Option<MetricId>,
+    transfers: Option<MetricId>,
+    tick_wall: Option<MetricId>,
+    phase_total: [Option<MetricId>; Phase::COUNT],
+    phase_hist: [Option<MetricId>; Phase::COUNT],
+    shard_plan: [Option<MetricId>; crate::MAX_SHARDS],
+    shard_stall: [Option<MetricId>; crate::MAX_SHARDS],
+}
+
+/// A registry of typed counters, gauges, and power-of-two histograms —
+/// dependency-free, exported in the Prometheus text exposition format.
+///
+/// Doubles as the engine's [`MetricsSink`]: attach one with
+/// [`Engine::with_instrumentation`](crate::Engine::with_instrumentation)
+/// (usually by `&mut` so it survives [`run`](crate::Engine::run)) and it
+/// accumulates per-phase spans, per-tick histograms, and per-shard
+/// timings under well-known `pob_*` names. Feed it the final
+/// [`PerfCounters`] via [`observe_perf`](Self::observe_perf) for the
+/// run-level totals, then render with
+/// [`to_prometheus`](Self::to_prometheus).
+///
+/// # Examples
+///
+/// ```
+/// use pob_sim::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// let hits = reg.register_counter("pob_cache_hits_total", "Cache hits.");
+/// reg.add(hits, 3);
+/// assert_eq!(reg.counter_value("pob_cache_hits_total"), Some(3));
+/// assert!(reg.to_prometheus().contains("pob_cache_hits_total 3"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<MetricEntry>,
+    ids: WellKnown,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry with the engine's well-known per-tick
+    /// metrics pre-registered (so exposition order is stable).
+    pub fn new() -> Self {
+        let mut r = MetricsRegistry {
+            entries: Vec::new(),
+            ids: WellKnown::default(),
+        };
+        r.ids.ticks = Some(r.register_counter("pob_ticks_total", "Ticks profiled."));
+        r.ids.transfers = Some(r.register_counter(
+            "pob_transfers_total",
+            "Block transfers committed by profiled ticks.",
+        ));
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            r.ids.phase_total[i] = Some(r.register_counter(
+                &format!("pob_phase_nanos_total{{phase=\"{}\"}}", p.label()),
+                "Wall nanoseconds per engine step phase.",
+            ));
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            r.ids.phase_hist[i] = Some(r.register_histogram(
+                &format!("pob_phase_tick_nanos{{phase=\"{}\"}}", p.label()),
+                "Per-tick phase duration distribution (power-of-two buckets).",
+            ));
+        }
+        r.ids.tick_wall = Some(r.register_histogram(
+            "pob_tick_nanos",
+            "Per-tick step wall-time distribution (power-of-two buckets).",
+        ));
+        r
+    }
+
+    /// Registers (or finds) a counter named `name`. Re-registering an
+    /// existing name returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn register_counter(&mut self, name: &str, help: &str) -> MetricId {
+        self.register(name, help, MetricValue::Counter(0))
+    }
+
+    /// Registers (or finds) a gauge named `name`. Re-registering an
+    /// existing name returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn register_gauge(&mut self, name: &str, help: &str) -> MetricId {
+        self.register(name, help, MetricValue::Gauge(0.0))
+    }
+
+    /// Registers (or finds) a power-of-two histogram named `name`.
+    /// Re-registering an existing name returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn register_histogram(&mut self, name: &str, help: &str) -> MetricId {
+        self.register(
+            name,
+            help,
+            MetricValue::Histogram(Box::new(Pow2Histogram::new())),
+        )
+    }
+
+    fn register(&mut self, name: &str, help: &str, fresh: MetricValue) -> MetricId {
+        if let Some(i) = self.entries.iter().position(|e| e.name == name) {
+            assert_eq!(
+                self.entries[i].value.kind(),
+                fresh.kind(),
+                "metric '{name}' re-registered with a different kind"
+            );
+            return MetricId(i);
+        }
+        self.entries.push(MetricEntry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            value: fresh,
+        });
+        MetricId(self.entries.len() - 1)
+    }
+
+    /// Adds `delta` to a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a counter of this registry.
+    #[inline]
+    pub fn add(&mut self, id: MetricId, delta: u64) {
+        match &mut self.entries[id.0].value {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("add() on non-counter metric of kind {:?}", other.kind()),
+        }
+    }
+
+    /// Sets a counter to an absolute value (used when folding in totals
+    /// that were accumulated elsewhere, e.g. [`observe_perf`](Self::observe_perf)).
+    fn set_counter(&mut self, id: MetricId, value: u64) {
+        match &mut self.entries[id.0].value {
+            MetricValue::Counter(c) => *c = value,
+            other => panic!("set_counter() on metric of kind {:?}", other.kind()),
+        }
+    }
+
+    /// Sets a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a gauge of this registry.
+    #[inline]
+    pub fn set(&mut self, id: MetricId, value: f64) {
+        match &mut self.entries[id.0].value {
+            MetricValue::Gauge(g) => *g = value,
+            other => panic!("set() on non-gauge metric of kind {:?}", other.kind()),
+        }
+    }
+
+    /// Records one observation into a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a histogram of this registry.
+    #[inline]
+    pub fn record(&mut self, id: MetricId, value: u64) {
+        match &mut self.entries[id.0].value {
+            MetricValue::Histogram(h) => h.record(value),
+            other => panic!(
+                "record() on non-histogram metric of kind {:?}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current value of the counter named `name` (including any label
+    /// set), if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match e.value {
+                MetricValue::Counter(c) => Some(c),
+                _ => None,
+            })
+    }
+
+    /// The current value of the gauge named `name`, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match e.value {
+                MetricValue::Gauge(g) => Some(g),
+                _ => None,
+            })
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Pow2Histogram> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match &e.value {
+                MetricValue::Histogram(h) => Some(h.as_ref()),
+                _ => None,
+            })
+    }
+
+    /// Total wall nanoseconds attributed to `phase` so far.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.ids.phase_total[phase.index()]
+            .and_then(|id| match self.entries[id.0].value {
+                MetricValue::Counter(c) => Some(c),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Folds a run's final [`PerfCounters`] into run-level `pob_*`
+    /// counters and gauges (idempotent: absolute values, not increments).
+    pub fn observe_perf(&mut self, perf: &PerfCounters) {
+        let pairs: [(&str, &str, u64); 8] = [
+            ("pob_proposals_total", "Planner proposals.", perf.proposals),
+            (
+                "pob_rejections_total",
+                "Rejected proposals.",
+                perf.rejections,
+            ),
+            (
+                "pob_wall_nanos_total",
+                "Wall nanoseconds inside Engine::step.",
+                perf.wall_nanos,
+            ),
+            (
+                "pob_fast_ticks_total",
+                "Ticks planned on the incremental fast path.",
+                perf.fast_ticks,
+            ),
+            (
+                "pob_rarity_rebuilds_total",
+                "Full rarity-index rebuilds.",
+                perf.rarity_rebuilds,
+            ),
+            (
+                "pob_credit_invalidations_total",
+                "Persistent credit-index flag flips.",
+                perf.credit_invalidations,
+            ),
+            (
+                "pob_merge_conflicts_total",
+                "Proposals dropped at the merge barrier.",
+                perf.merge_conflicts,
+            ),
+            (
+                "pob_merge_nanos_total",
+                "Wall nanoseconds inside the merge barrier.",
+                perf.merge_nanos,
+            ),
+        ];
+        for (name, help, value) in pairs {
+            let id = self.register_counter(name, help);
+            self.set_counter(id, value);
+        }
+        for (name, value) in perf.index.named() {
+            let id = self.register_counter(
+                &format!("pob_index_{name}_total"),
+                "Index telemetry (see PerfCounters::index).",
+            );
+            self.set_counter(id, value);
+        }
+        let tps = self.register_gauge("pob_ticks_per_sec", "Simulated ticks per wall second.");
+        self.set(tps, perf.ticks_per_sec());
+        let threads = self.register_gauge("pob_threads", "Configured planner thread count.");
+        self.set(threads, f64::from(perf.threads));
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (suitable for the node-exporter textfile collector). Histograms
+    /// expose cumulative power-of-two `_bucket` series plus `_sum` and
+    /// `_count`.
+    pub fn to_prometheus(&self) -> String {
+        // Group by family (name up to the label set) so each family's
+        // series are contiguous regardless of registration interleaving.
+        fn family(name: &str) -> &str {
+            name.split('{').next().unwrap_or(name)
+        }
+        let mut families: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            let f = family(&e.name);
+            if !families.contains(&f) {
+                families.push(f);
+            }
+        }
+        let mut out = String::new();
+        for f in families {
+            let mut first = true;
+            for e in self.entries.iter().filter(|e| family(&e.name) == f) {
+                if first {
+                    first = false;
+                    if !e.help.is_empty() {
+                        let _ = writeln!(out, "# HELP {f} {}", e.help);
+                    }
+                    let kind = match e.value.kind() {
+                        MetricKind::Counter => "counter",
+                        MetricKind::Gauge => "gauge",
+                        MetricKind::Histogram => "histogram",
+                    };
+                    let _ = writeln!(out, "# TYPE {f} {kind}");
+                }
+                match &e.value {
+                    MetricValue::Counter(c) => {
+                        let _ = writeln!(out, "{} {c}", e.name);
+                    }
+                    MetricValue::Gauge(g) => {
+                        let _ = writeln!(out, "{} {g:?}", e.name);
+                    }
+                    MetricValue::Histogram(h) => {
+                        // Splice `le` into the (possibly empty) label set.
+                        let (base, labels) = match e.name.split_once('{') {
+                            Some((b, rest)) => (b, rest.trim_end_matches('}')),
+                            None => (e.name.as_str(), ""),
+                        };
+                        let sep = if labels.is_empty() { "" } else { "," };
+                        for (bound, cum) in h.cumulative() {
+                            let _ =
+                                writeln!(out, "{base}_bucket{{{labels}{sep}le=\"{bound}\"}} {cum}");
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{base}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+                            h.count()
+                        );
+                        let _ = writeln!(out, "{base}_sum{} {}", label_suffix(labels), h.sum());
+                        let _ = writeln!(out, "{base}_count{} {}", label_suffix(labels), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Re-wraps a stripped label list (`a="b",c="d"`) in braces, or returns an
+/// empty string for unlabeled metrics.
+fn label_suffix(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+impl MetricsSink for MetricsRegistry {
+    fn on_tick_profile(&mut self, tp: &TickProfile) {
+        let ids = self.ids;
+        if let Some(id) = ids.ticks {
+            self.add(id, 1);
+        }
+        if let Some(id) = ids.transfers {
+            self.add(id, u64::from(tp.transfers));
+        }
+        if let Some(id) = ids.tick_wall {
+            self.record(id, tp.step_nanos);
+        }
+        for i in 0..Phase::COUNT {
+            if let Some(id) = ids.phase_total[i] {
+                self.add(id, tp.phase_nanos[i]);
+            }
+            if let Some(id) = ids.phase_hist[i] {
+                self.record(id, tp.phase_nanos[i]);
+            }
+        }
+        for s in 0..crate::MAX_SHARDS {
+            if tp.shard_plan_nanos[s] == 0 && tp.shard_stall_nanos[s] == 0 {
+                continue;
+            }
+            let plan_id = match self.ids.shard_plan[s] {
+                Some(id) => id,
+                None => {
+                    let id = self.register_counter(
+                        &format!("pob_shard_plan_nanos_total{{shard=\"{s}\"}}"),
+                        "Per-shard speculative planning wall nanoseconds.",
+                    );
+                    self.ids.shard_plan[s] = Some(id);
+                    id
+                }
+            };
+            self.add(plan_id, tp.shard_plan_nanos[s]);
+            let stall_id = match self.ids.shard_stall[s] {
+                Some(id) => id,
+                None => {
+                    let id = self.register_counter(
+                        &format!("pob_shard_stall_nanos_total{{shard=\"{s}\"}}"),
+                        "Per-shard merge-barrier stall wall nanoseconds.",
+                    );
+                    self.ids.shard_stall[s] = Some(id);
+                    id
+                }
+            };
+            self.add(stall_id, tp.shard_stall_nanos[s]);
+        }
     }
 }
 
@@ -351,5 +900,142 @@ mod tests {
         assert_eq!(r.mean_client_completion(), Some(10.0));
         r.node_completions = vec![Some(Tick::ZERO), None, None];
         assert_eq!(r.mean_client_completion(), None);
+    }
+
+    #[test]
+    fn index_counters_add_and_named_cover_every_field() {
+        let mut a = IndexCounters {
+            interest_probes: 1,
+            interest_hits: 2,
+            interest_rebuilds: 3,
+            rarity_probes: 4,
+            credit_probes: 5,
+            credit_blocked: 6,
+            matrix_kernels: 7,
+        };
+        assert!(!a.is_zero());
+        assert!(IndexCounters::default().is_zero());
+        a.add(&a.clone());
+        let sum: u64 = a.named().iter().map(|&(_, v)| v).sum();
+        assert_eq!(sum, 2 * (1 + 2 + 3 + 4 + 5 + 6 + 7));
+        // Every field shows up exactly once under a distinct name.
+        let names: std::collections::HashSet<_> = a.named().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names.len(), a.named().len());
+    }
+
+    #[test]
+    fn registry_register_is_idempotent_by_name() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.register_counter("pob_demo_total", "Demo.");
+        let b = reg.register_counter("pob_demo_total", "Demo.");
+        assert_eq!(a, b);
+        reg.add(a, 2);
+        reg.add(b, 3);
+        assert_eq!(reg.counter_value("pob_demo_total"), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_conflicts() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_counter("pob_demo", "Demo.");
+        reg.register_gauge("pob_demo", "Demo.");
+    }
+
+    #[test]
+    fn registry_sink_accumulates_phase_and_shard_series() {
+        use crate::profile::TickProfile;
+        let mut reg = MetricsRegistry::new();
+        let mut tp = TickProfile {
+            tick: 1,
+            transfers: 4,
+            step_nanos: 100,
+            phase_nanos: [50, 20, 10, 10, 10],
+            ..Default::default()
+        };
+        tp.shard_plan_nanos[0] = 30;
+        tp.shard_plan_nanos[1] = 20;
+        tp.shard_stall_nanos[1] = 5;
+        assert!(MetricsSink::enabled(&reg));
+        reg.on_tick_profile(&tp);
+        reg.on_tick_profile(&tp);
+        assert_eq!(reg.counter_value("pob_ticks_total"), Some(2));
+        assert_eq!(reg.counter_value("pob_transfers_total"), Some(8));
+        assert_eq!(reg.phase_nanos(Phase::Plan), 100);
+        assert_eq!(reg.phase_nanos(Phase::Merge), 40);
+        assert_eq!(
+            reg.counter_value("pob_shard_plan_nanos_total{shard=\"1\"}"),
+            Some(40)
+        );
+        assert_eq!(
+            reg.counter_value("pob_shard_stall_nanos_total{shard=\"1\"}"),
+            Some(10)
+        );
+        // Shard 2 never ran: no series materialized for it.
+        assert_eq!(
+            reg.counter_value("pob_shard_plan_nanos_total{shard=\"2\"}"),
+            None
+        );
+        let hist = reg.histogram("pob_tick_nanos").expect("tick histogram");
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 200);
+    }
+
+    #[test]
+    fn registry_prometheus_output_groups_families_and_expands_histograms() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.register_histogram("pob_demo_nanos{phase=\"x\"}", "Demo histogram.");
+        reg.record(h, 3);
+        reg.record(h, 900);
+        let g = reg.register_gauge("pob_demo_ratio", "Demo gauge.");
+        reg.set(g, 0.5);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE pob_demo_nanos histogram"));
+        assert!(text.contains("pob_demo_nanos_bucket{phase=\"x\",le=\"3\"} 1"));
+        assert!(text.contains("pob_demo_nanos_bucket{phase=\"x\",le=\"+Inf\"} 2"));
+        assert!(text.contains("pob_demo_nanos_sum{phase=\"x\"} 903"));
+        assert!(text.contains("pob_demo_nanos_count{phase=\"x\"} 2"));
+        assert!(text.contains("# TYPE pob_demo_ratio gauge"));
+        assert!(text.contains("pob_demo_ratio 0.5"));
+        // Families stay contiguous: each # TYPE line appears exactly once.
+        assert_eq!(text.matches("# TYPE pob_demo_nanos ").count(), 1);
+        // Phase-labelled series share one family header.
+        assert_eq!(text.matches("# TYPE pob_phase_nanos_total ").count(), 1);
+        assert_eq!(
+            text.matches("pob_phase_nanos_total{phase=").count(),
+            Phase::COUNT
+        );
+    }
+
+    #[test]
+    fn observe_perf_is_idempotent_and_exports_index_counters() {
+        let mut reg = MetricsRegistry::new();
+        let perf = PerfCounters {
+            ticks: 100,
+            proposals: 64,
+            rejections: 8,
+            wall_nanos: 1_000_000,
+            merge_conflicts: 3,
+            merge_nanos: 2_000,
+            threads: 1,
+            index: IndexCounters {
+                interest_probes: 11,
+                credit_blocked: 2,
+                ..IndexCounters::default()
+            },
+            ..PerfCounters::default()
+        };
+        reg.observe_perf(&perf);
+        reg.observe_perf(&perf);
+        assert_eq!(reg.counter_value("pob_proposals_total"), Some(64));
+        assert_eq!(reg.counter_value("pob_merge_nanos_total"), Some(2_000));
+        assert_eq!(
+            reg.counter_value("pob_index_interest_probes_total"),
+            Some(11)
+        );
+        assert_eq!(reg.counter_value("pob_index_credit_blocked_total"), Some(2));
+        assert_eq!(reg.gauge_value("pob_threads"), Some(1.0));
+        let tps = reg.gauge_value("pob_ticks_per_sec").expect("tps gauge");
+        assert!((tps - 100_000.0).abs() < 1e-6);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::events::{Event, EventSink};
 use crate::fastmap::{pack, FxHashMap, PairCounter};
+use crate::metrics::IndexCounters;
 use crate::{
     BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NodeId, RejectTransferError,
     SimState, Tick, Topology, Transfer,
@@ -153,6 +154,13 @@ pub(crate) struct ProposeStats {
     /// Cumulative per-shard planning wall time reported by the sharded
     /// planner, indexed by shard.
     pub(crate) shard_plan_nanos: [u64; crate::MAX_SHARDS],
+    /// Cumulative merge-barrier wall time reported by the sharded planner.
+    pub(crate) merge_nanos: u64,
+    /// Cumulative merge-barrier stall per shard: the gap between a shard
+    /// finishing its speculative plan and the barrier replaying it.
+    pub(crate) shard_stall_nanos: [u64; crate::MAX_SHARDS],
+    /// Index telemetry reported by strategies (probe/hit/rebuild counts).
+    pub(crate) index: IndexCounters,
 }
 
 /// Reusable per-tick scratch buffers, owned by the engine.
@@ -526,6 +534,12 @@ impl<'a> TickPlanner<'a> {
         if let Err(reason) = self.admit(from, to, block) {
             self.bufs.stats.rejections += 1;
             self.bufs.stats.rejections_by_reason[reason.index()] += 1;
+            if reason == RejectTransferError::CreditExceeded {
+                // The credit rule is checked last, so reaching it implies
+                // a real index probe happened (server pairs never reject).
+                self.bufs.stats.index.credit_probes += 1;
+                self.bufs.stats.index.credit_blocked += 1;
+            }
             if let Some(sink) = self.sink.as_mut() {
                 sink.on_event(&Event::ProposalRejected {
                     tick: self.tick,
@@ -534,6 +548,14 @@ impl<'a> TickPlanner<'a> {
                 });
             }
             return Err(reason);
+        }
+        if matches!(self.mechanism, Mechanism::CreditLimited { .. })
+            && !from.is_server()
+            && !to.is_server()
+        {
+            // Admission passed every check, so the credit index was probed
+            // (and allowed the pair).
+            self.bufs.stats.index.credit_probes += 1;
         }
         self.record(from, to, block);
         Ok(())
@@ -647,6 +669,34 @@ impl<'a> TickPlanner<'a> {
         if let Some(slot) = self.bufs.stats.shard_plan_nanos.get_mut(shard) {
             *slot += nanos;
         }
+    }
+
+    /// Records `nanos` of merge-barrier wall time spent by a sharded
+    /// planner this tick. The engine subtracts this from the plan span to
+    /// attribute it to the `merge` phase. Surfaced as
+    /// [`PerfCounters::merge_nanos`](crate::PerfCounters::merge_nanos).
+    #[inline]
+    pub fn note_merge_nanos(&mut self, nanos: u64) {
+        self.bufs.stats.merge_nanos += nanos;
+    }
+
+    /// Records `nanos` of merge-barrier stall for `shard` this tick: the
+    /// gap between the shard finishing its speculative plan and the
+    /// barrier replaying its proposals. Shards at or beyond
+    /// [`MAX_SHARDS`](crate::MAX_SHARDS) are ignored. Surfaced as
+    /// [`PerfCounters::shard_stall_nanos`](crate::PerfCounters::shard_stall_nanos).
+    #[inline]
+    pub fn note_shard_stall_nanos(&mut self, shard: usize, nanos: u64) {
+        if let Some(slot) = self.bufs.stats.shard_stall_nanos.get_mut(shard) {
+            *slot += nanos;
+        }
+    }
+
+    /// Folds a strategy's per-tick index telemetry into the run totals.
+    /// Surfaced as [`PerfCounters::index`](crate::PerfCounters::index).
+    #[inline]
+    pub fn note_index_counters(&mut self, delta: IndexCounters) {
+        self.bufs.stats.index.add(&delta);
     }
 }
 

@@ -1,0 +1,646 @@
+//! Phase-level profiling: spans over [`Engine::step`](crate::Engine::step),
+//! power-of-two histograms, and the [`MetricsSink`] the engine is
+//! monomorphized over.
+//!
+//! # Span discipline
+//!
+//! Every step is partitioned into five contiguous phases, timed by a
+//! single monotonic clock read at each boundary:
+//!
+//! | phase     | covers                                                        |
+//! |-----------|---------------------------------------------------------------|
+//! | `plan`    | tick-start emission, buffer reset, `Strategy::on_tick` minus the merge barrier |
+//! | `merge`   | a sharded planner's deterministic merge barrier (reported via [`TickPlanner::note_merge_nanos`](crate::TickPlanner::note_merge_nanos)) |
+//! | `settle`  | mechanism validation and credit-ledger settlement              |
+//! | `deliver` | applying committed transfers to the state                      |
+//! | `emit`    | tick-end gauge assembly and event emission                     |
+//!
+//! Because the boundaries share clock reads, the five phase durations sum
+//! to the step's wall time up to a handful of clock-read instructions —
+//! the engine's acceptance tests pin the coverage at ≥ 95 %.
+//!
+//! # Zero-cost proof obligations
+//!
+//! Mirroring [`NoopSink`](crate::NoopSink), the default [`NoopMetrics`]
+//! reports [`enabled() == false`](MetricsSink::enabled) as a monomorphized
+//! constant, so every profiling block in `Engine::step` is statically
+//! dead by construction. Two test families keep that honest: the golden
+//! fixtures (`golden_seed.tsv`, `barter_seed.tsv`) must stay bit-identical
+//! with metrics disabled, and the per-mechanism bench gate times the
+//! uninstrumented engine.
+
+use crate::ids::Tick;
+use crate::shard::MAX_SHARDS;
+
+/// One phase of [`Engine::step`](crate::Engine::step). See the
+/// [module docs](self) for what each phase covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Strategy planning (minus a sharded planner's merge barrier).
+    Plan,
+    /// The sharded planner's merge barrier.
+    Merge,
+    /// Mechanism validation and credit settlement.
+    Settle,
+    /// Applying committed transfers to the state.
+    Deliver,
+    /// Tick-end gauge assembly and event emission.
+    Emit,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 5;
+
+    /// All phases, in step order (the index of each phase in this array
+    /// is its index into per-phase arrays).
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Plan,
+        Phase::Merge,
+        Phase::Settle,
+        Phase::Deliver,
+        Phase::Emit,
+    ];
+
+    /// The phase's index into per-phase arrays (its position in
+    /// [`ALL`](Self::ALL)).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase label, used in the NDJSON encoding and the
+    /// Prometheus `phase` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Plan => "plan",
+            Phase::Merge => "merge",
+            Phase::Settle => "settle",
+            Phase::Deliver => "deliver",
+            Phase::Emit => "emit",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.label() == label)
+    }
+}
+
+/// HDR-style histogram with power-of-two buckets — dependency-free, fixed
+/// size, mergeable.
+///
+/// Bucket `i` counts recorded values whose bit length is `i` (bucket 0
+/// holds only zeros, bucket `i ≥ 1` holds `2^(i-1) ..= 2^i - 1`), giving
+/// a guaranteed ≤ 2× relative quantile error over the full `u64` range in
+/// 65 fixed slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pow2Histogram {
+    buckets: [u64; Pow2Histogram::BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Pow2Histogram {
+    fn default() -> Self {
+        Pow2Histogram {
+            buckets: [0; Pow2Histogram::BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Pow2Histogram {
+    /// Number of buckets: one per possible bit length of a `u64` (0..=64).
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Pow2Histogram::default()
+    }
+
+    /// The bucket index a value lands in: its bit length.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `i` can hold.
+    fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` clamped
+    /// to `0.0..=1.0`), clamped to the recorded maximum. Returns 0 when
+    /// empty. The bound is exact to within the bucket's 2× resolution.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &Pow2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty `(bucket index, count)` pairs in ascending bucket
+    /// order — the compact encoding used by [`MetricsSnapshot`] records.
+    pub fn sparse(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Folds sparse `(bucket index, count)` pairs (as produced by
+    /// [`sparse`](Self::sparse)) into this histogram. `sum` and `max` are
+    /// reconstructed from bucket upper bounds, so they are exact only to
+    /// bucket resolution; out-of-range bucket indices are ignored.
+    pub fn merge_sparse(&mut self, pairs: &[(u32, u64)]) {
+        for &(i, c) in pairs {
+            let i = i as usize;
+            if i >= Self::BUCKETS || c == 0 {
+                continue;
+            }
+            self.buckets[i] += c;
+            self.count += c;
+            let bound = Self::bucket_bound(i);
+            self.sum = self.sum.saturating_add(bound.saturating_mul(c));
+            self.max = self.max.max(bound);
+        }
+    }
+
+    /// Iterates the cumulative non-empty buckets as
+    /// `(upper bound, cumulative count)` pairs — the shape a Prometheus
+    /// histogram exposition needs.
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(move |(i, &c)| {
+                acc += c;
+                (Self::bucket_bound(i), acc)
+            })
+    }
+}
+
+/// Per-tick profiling sample handed to the engine's [`MetricsSink`]: the
+/// phase durations of one step plus the sharded planner's per-shard
+/// timings for that tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickProfile {
+    /// The 1-based tick this sample describes.
+    pub tick: u32,
+    /// Wall nanoseconds per phase, indexed like [`Phase::ALL`]. The five
+    /// durations partition the step's wall time (see the module docs).
+    pub phase_nanos: [u64; Phase::COUNT],
+    /// Wall nanoseconds of the whole step (phase sum plus the clock-read
+    /// slack between boundaries).
+    pub step_nanos: u64,
+    /// Per-shard planning nanoseconds this tick (all zero for unsharded
+    /// strategies).
+    pub shard_plan_nanos: [u64; MAX_SHARDS],
+    /// Per-shard merge-barrier stall nanoseconds this tick: the time
+    /// between a shard finishing its speculative plan and the merge
+    /// barrier replaying its proposals.
+    pub shard_stall_nanos: [u64; MAX_SHARDS],
+    /// Transfers committed this tick.
+    pub transfers: u32,
+}
+
+/// Receiver for per-tick profiling samples; the engine is monomorphized
+/// over it exactly like it is over [`EventSink`](crate::EventSink).
+///
+/// The default [`NoopMetrics`] reports `enabled() == false` as a
+/// compile-time constant, which statically removes every profiling block
+/// (clock reads included) from `Engine::step`. Attach a real sink — most
+/// commonly a [`MetricsRegistry`](crate::MetricsRegistry) — with
+/// [`Engine::with_instrumentation`](crate::Engine::with_instrumentation).
+pub trait MetricsSink {
+    /// Whether the engine should measure phase spans at all. Must be
+    /// constant for the sink's lifetime.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Called once per committed tick with that tick's profile.
+    fn on_tick_profile(&mut self, profile: &TickProfile);
+}
+
+impl<M: MetricsSink + ?Sized> MetricsSink for &mut M {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn on_tick_profile(&mut self, profile: &TickProfile) {
+        (**self).on_tick_profile(profile)
+    }
+}
+
+/// The default metrics sink: measures nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopMetrics;
+
+impl MetricsSink for NoopMetrics {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn on_tick_profile(&mut self, _profile: &TickProfile) {}
+}
+
+/// Per-phase aggregate inside one [`MetricsSnapshot`] window: total wall
+/// nanoseconds plus the sparse power-of-two histogram of per-tick
+/// durations ([`Pow2Histogram::sparse`] pairs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhaseWindow {
+    /// Total wall nanoseconds the phase consumed in the window.
+    pub nanos: u64,
+    /// Sparse `(bucket index, tick count)` histogram of the phase's
+    /// per-tick durations.
+    pub hist: Vec<(u32, u64)>,
+}
+
+/// Per-shard aggregate inside one [`MetricsSnapshot`] window. Only
+/// populated shards appear in a snapshot's `shards` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShardWindow {
+    /// The shard index.
+    pub shard: u32,
+    /// Planning wall nanoseconds the shard spent in the window.
+    pub plan_nanos: u64,
+    /// Merge-barrier stall nanoseconds the shard accumulated in the
+    /// window.
+    pub stall_nanos: u64,
+}
+
+/// One periodic profiling record in a `pob-events` stream, covering the
+/// window of ticks since the previous snapshot (the final window of a run
+/// is flushed even when partial).
+///
+/// A new event *kind* under the `pob-events/1` rules: consumers ignore
+/// unknown kinds, and runs without an enabled metrics sink never emit it,
+/// so existing streams round-trip byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MetricsSnapshot {
+    /// The last tick covered by the window.
+    pub tick: Tick,
+    /// Number of ticks in the window.
+    pub ticks: u32,
+    /// Total `Engine::step` wall nanoseconds across the window.
+    pub wall_nanos: u64,
+    /// Transfers committed in the window.
+    pub transfers: u64,
+    /// Per-phase aggregates, indexed like [`Phase::ALL`].
+    pub phases: [PhaseWindow; Phase::COUNT],
+    /// Per-shard aggregates for populated shards, ascending by shard.
+    pub shards: Vec<ShardWindow>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of the per-phase totals — compare against
+    /// [`wall_nanos`](Self::wall_nanos) to measure span coverage.
+    pub fn phase_total(&self) -> u64 {
+        self.phases.iter().map(|p| p.nanos).sum()
+    }
+}
+
+/// Engine-internal accumulator for the current snapshot window.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SnapshotWindow {
+    pub(crate) ticks: u32,
+    wall_nanos: u64,
+    transfers: u64,
+    phase_nanos: [u64; Phase::COUNT],
+    phase_hist: [Pow2Histogram; Phase::COUNT],
+    shard_plan_nanos: [u64; MAX_SHARDS],
+    shard_stall_nanos: [u64; MAX_SHARDS],
+}
+
+impl SnapshotWindow {
+    pub(crate) fn observe(&mut self, tp: &TickProfile) {
+        self.ticks += 1;
+        self.wall_nanos += tp.step_nanos;
+        self.transfers += u64::from(tp.transfers);
+        for i in 0..Phase::COUNT {
+            self.phase_nanos[i] += tp.phase_nanos[i];
+            self.phase_hist[i].record(tp.phase_nanos[i]);
+        }
+        for s in 0..MAX_SHARDS {
+            self.shard_plan_nanos[s] += tp.shard_plan_nanos[s];
+            self.shard_stall_nanos[s] += tp.shard_stall_nanos[s];
+        }
+    }
+
+    /// Drains the window into a snapshot record ending at `tick`.
+    pub(crate) fn take_snapshot(&mut self, tick: Tick) -> MetricsSnapshot {
+        let mut phases: [PhaseWindow; Phase::COUNT] = Default::default();
+        for (i, window) in phases.iter_mut().enumerate() {
+            *window = PhaseWindow {
+                nanos: self.phase_nanos[i],
+                hist: self.phase_hist[i].sparse(),
+            };
+        }
+        let shards = (0..MAX_SHARDS)
+            .filter(|&s| self.shard_plan_nanos[s] != 0 || self.shard_stall_nanos[s] != 0)
+            .map(|s| ShardWindow {
+                shard: s as u32,
+                plan_nanos: self.shard_plan_nanos[s],
+                stall_nanos: self.shard_stall_nanos[s],
+            })
+            .collect();
+        let snap = MetricsSnapshot {
+            tick,
+            ticks: self.ticks,
+            wall_nanos: self.wall_nanos,
+            transfers: self.transfers,
+            phases,
+            shards,
+        };
+        *self = SnapshotWindow::default();
+        snap
+    }
+}
+
+/// Whole-run profile aggregated from the [`MetricsSnapshot`] records of a
+/// stream — the data behind `pob inspect --profile` and the analysis
+/// crate's scaling curves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileSummary {
+    /// Ticks covered by the aggregated windows.
+    pub ticks: u64,
+    /// Total step wall nanoseconds across the windows.
+    pub wall_nanos: u64,
+    /// Transfers committed across the windows.
+    pub transfers: u64,
+    /// Per-phase wall totals, indexed like [`Phase::ALL`].
+    pub phase_nanos: [u64; Phase::COUNT],
+    /// Per-phase histograms of per-tick durations, merged across windows.
+    pub phase_hist: [Pow2Histogram; Phase::COUNT],
+    /// Per-shard planning wall totals.
+    pub shard_plan_nanos: [u64; MAX_SHARDS],
+    /// Per-shard merge-barrier stall totals.
+    pub shard_stall_nanos: [u64; MAX_SHARDS],
+}
+
+impl ProfileSummary {
+    /// Aggregates a sequence of snapshots (typically
+    /// [`EventLog::metrics_snapshots`](crate::events::EventLog::metrics_snapshots)).
+    pub fn from_snapshots<'a, I>(snapshots: I) -> Self
+    where
+        I: IntoIterator<Item = &'a MetricsSnapshot>,
+    {
+        let mut out = ProfileSummary::default();
+        for snap in snapshots {
+            out.ticks += u64::from(snap.ticks);
+            out.wall_nanos += snap.wall_nanos;
+            out.transfers += snap.transfers;
+            for (i, w) in snap.phases.iter().enumerate() {
+                out.phase_nanos[i] += w.nanos;
+                out.phase_hist[i].merge_sparse(&w.hist);
+            }
+            for s in &snap.shards {
+                if let Some(slot) = out.shard_plan_nanos.get_mut(s.shard as usize) {
+                    *slot += s.plan_nanos;
+                }
+                if let Some(slot) = out.shard_stall_nanos.get_mut(s.shard as usize) {
+                    *slot += s.stall_nanos;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether no window was aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.ticks == 0
+    }
+
+    /// Sum of the per-phase wall totals.
+    pub fn phase_total(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
+
+    /// Fraction of the step wall time attributed to a phase (1.0 for an
+    /// empty summary).
+    pub fn coverage(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            1.0
+        } else {
+            self.phase_total() as f64 / self.wall_nanos as f64
+        }
+    }
+
+    /// Shard indices with any recorded planning or stall time, ascending.
+    pub fn populated_shards(&self) -> Vec<usize> {
+        (0..MAX_SHARDS)
+            .filter(|&s| self.shard_plan_nanos[s] != 0 || self.shard_stall_nanos[s] != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_bit_length() {
+        assert_eq!(Pow2Histogram::bucket_of(0), 0);
+        assert_eq!(Pow2Histogram::bucket_of(1), 1);
+        assert_eq!(Pow2Histogram::bucket_of(2), 2);
+        assert_eq!(Pow2Histogram::bucket_of(3), 2);
+        assert_eq!(Pow2Histogram::bucket_of(4), 3);
+        assert_eq!(Pow2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn percentile_bounds_are_within_2x() {
+        let mut h = Pow2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.percentile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 bound {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((990..=1023).contains(&p99), "p99 bound {p99}");
+        assert_eq!(h.percentile(1.0), 1000, "p100 clamps to max");
+        assert_eq!(h.percentile(0.0), 1, "p0 is the first bucket bound");
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Pow2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.sparse().is_empty());
+        assert_eq!(h.cumulative().count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Pow2Histogram::new();
+        let mut b = Pow2Histogram::new();
+        let mut both = Pow2Histogram::new();
+        for v in [0u64, 1, 7, 100, 4096, u64::MAX] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 900, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_counts_and_quantiles() {
+        let mut h = Pow2Histogram::new();
+        for v in [5u64, 80, 80, 3000, 70_000] {
+            h.record(v);
+        }
+        let mut back = Pow2Histogram::new();
+        back.merge_sparse(&h.sparse());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sparse(), h.sparse());
+        // Quantile bounds agree because they only depend on buckets (the
+        // max clamp differs by at most bucket resolution).
+        assert_eq!(
+            Pow2Histogram::bucket_of(back.percentile(0.5)),
+            Pow2Histogram::bucket_of(h.percentile(0.5))
+        );
+    }
+
+    #[test]
+    fn phase_labels_roundtrip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+            assert_eq!(Phase::ALL[p.index()], p);
+        }
+        assert_eq!(Phase::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn window_partial_flush_preserves_totals() {
+        let mut w = SnapshotWindow::default();
+        let mut tp = TickProfile {
+            tick: 1,
+            phase_nanos: [10, 0, 2, 3, 5],
+            step_nanos: 21,
+            transfers: 4,
+            ..TickProfile::default()
+        };
+        tp.shard_plan_nanos[2] = 9;
+        tp.shard_stall_nanos[2] = 1;
+        w.observe(&tp);
+        w.observe(&tp);
+        let snap = w.take_snapshot(Tick::new(2));
+        assert_eq!(snap.ticks, 2);
+        assert_eq!(snap.wall_nanos, 42);
+        assert_eq!(snap.transfers, 8);
+        assert_eq!(snap.phase_total(), 40);
+        assert_eq!(
+            snap.shards,
+            vec![ShardWindow {
+                shard: 2,
+                plan_nanos: 18,
+                stall_nanos: 2
+            }]
+        );
+        assert_eq!(w.ticks, 0, "take_snapshot drains the window");
+    }
+
+    #[test]
+    fn summary_aggregates_snapshots() {
+        let mut w = SnapshotWindow::default();
+        let tp = TickProfile {
+            tick: 1,
+            phase_nanos: [7, 1, 1, 1, 1],
+            step_nanos: 11,
+            transfers: 1,
+            ..TickProfile::default()
+        };
+        w.observe(&tp);
+        let a = w.take_snapshot(Tick::new(1));
+        w.observe(&tp);
+        w.observe(&tp);
+        let b = w.take_snapshot(Tick::new(3));
+        let summary = ProfileSummary::from_snapshots([&a, &b]);
+        assert_eq!(summary.ticks, 3);
+        assert_eq!(summary.wall_nanos, 33);
+        assert_eq!(summary.phase_total(), 33);
+        assert!(summary.coverage() > 0.99);
+        assert_eq!(summary.phase_hist[0].count(), 3);
+        assert!(summary.populated_shards().is_empty());
+    }
+}

@@ -41,6 +41,7 @@
 //! bit-identical traces for shard counts 2, 4 and 8.
 
 use crate::fastmap::FxHashMap;
+use crate::metrics::IndexCounters;
 use crate::soa::BlockMatrix;
 use crate::{
     BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NeighborSet, NodeId, SimError,
@@ -103,6 +104,11 @@ struct ShardScratch {
     touched: Vec<u32>,
     /// Wall nanoseconds the worker spent planning this shard this tick.
     plan_nanos: u64,
+    /// When the worker finished planning this shard — the merge barrier
+    /// measures its stall (finish → replay gap) against this.
+    finished: Option<Instant>,
+    /// Index/kernel telemetry accumulated while planning this shard.
+    tally: IndexCounters,
 }
 
 impl ShardScratch {
@@ -120,6 +126,8 @@ impl ShardScratch {
             self.down[t as usize] = 0;
         }
         self.touched.clear();
+        self.finished = None;
+        self.tally = IndexCounters::default();
     }
 
     #[inline]
@@ -191,7 +199,18 @@ impl Candidates<'_> {
 /// Admission against the start-of-tick state plus this shard's own
 /// promises: distinct endpoints, shard-local download slack, pairwise
 /// credit from the settled ledger, and pending-aware interest.
-fn admissible(ctx: &PlanCtx<'_>, scratch: &ShardScratch, u: NodeId, v: NodeId) -> bool {
+///
+/// Each call is one interest probe in the shard's `tally`; the credit
+/// check and the `any_missing` kernel are counted only when actually
+/// evaluated (earlier checks short-circuit past them).
+fn admissible(
+    ctx: &PlanCtx<'_>,
+    scratch: &ShardScratch,
+    tally: &mut IndexCounters,
+    u: NodeId,
+    v: NodeId,
+) -> bool {
+    tally.interest_probes += 1;
     if v == u {
         return false;
     }
@@ -205,6 +224,7 @@ fn admissible(ctx: &PlanCtx<'_>, scratch: &ShardScratch, u: NodeId, v: NodeId) -
         if !u.is_server() && !v.is_server() {
             // One proposal per uploader and `u → v` owned by `u`'s shard:
             // the settled net is exact, no in-tick correction needed.
+            tally.credit_probes += 1;
             let net = ctx.ledger.net(u, v);
             let ok = if credit == 0 {
                 net < 0
@@ -212,12 +232,19 @@ fn admissible(ctx: &PlanCtx<'_>, scratch: &ShardScratch, u: NodeId, v: NodeId) -
                 net < i64::from(credit)
             };
             if !ok {
+                tally.credit_blocked += 1;
                 return false;
             }
         }
     }
-    ctx.matrix
-        .any_missing(u.index(), vi, scratch.pending_words(vi))
+    tally.matrix_kernels += 1;
+    let interested = ctx
+        .matrix
+        .any_missing(u.index(), vi, scratch.pending_words(vi));
+    if interested {
+        tally.interest_hits += 1;
+    }
+    interested
 }
 
 /// Uniformly random admissible target: [`REJECTION_TRIES`] bounded
@@ -227,6 +254,7 @@ fn admissible(ctx: &PlanCtx<'_>, scratch: &ShardScratch, u: NodeId, v: NodeId) -
 fn pick_target(
     ctx: &PlanCtx<'_>,
     scratch: &ShardScratch,
+    tally: &mut IndexCounters,
     fallback: &mut Vec<u32>,
     u: NodeId,
     rng: &mut StdRng,
@@ -241,14 +269,14 @@ fn pick_target(
     }
     for _ in 0..REJECTION_TRIES {
         let v = cands.get(rng.gen_range(0..len));
-        if admissible(ctx, scratch, u, v) {
+        if admissible(ctx, scratch, tally, u, v) {
             return Some(v);
         }
     }
     fallback.clear();
     for i in 0..len {
         let v = cands.get(i);
-        if admissible(ctx, scratch, u, v) {
+        if admissible(ctx, scratch, tally, u, v) {
             fallback.push(v.raw());
         }
     }
@@ -266,6 +294,7 @@ fn pick_target(
 fn pick_block(
     ctx: &PlanCtx<'_>,
     scratch: &ShardScratch,
+    tally: &mut IndexCounters,
     u: NodeId,
     v: NodeId,
     rng: &mut StdRng,
@@ -274,14 +303,18 @@ fn pick_block(
     let pend = scratch.pending_words(vi);
     match ctx.policy {
         ShardPolicy::Random => {
+            tally.matrix_kernels += 1;
             let count = ctx.matrix.count_missing(ui, vi, pend);
             if count == 0 {
                 return None;
             }
             let j = rng.gen_range(0..count);
+            tally.matrix_kernels += 1;
             Some(ctx.matrix.nth_missing(ui, vi, pend, j) as u32)
         }
         ShardPolicy::RarestFirst => {
+            tally.rarity_probes += 1;
+            tally.matrix_kernels += 1;
             let (first, best, ties) = ctx.matrix.missing_rarity(ui, vi, pend, ctx.freq)?;
             if ties <= 1 {
                 return Some(first as u32);
@@ -290,6 +323,7 @@ fn pick_block(
             if j == 0 {
                 return Some(first as u32);
             }
+            tally.matrix_kernels += 1;
             Some(
                 ctx.matrix
                     .nth_missing_at_freq(ui, vi, pend, ctx.freq, best, j) as u32,
@@ -305,6 +339,7 @@ fn plan_shard(ctx: &PlanCtx<'_>, shard: usize, scratch: &mut ShardScratch) {
     scratch.reset();
     let mut rng = StdRng::seed_from_u64(substream_seed(ctx.tick_entropy, ctx.tick, shard as u32));
     let mut fallback: Vec<u32> = Vec::new();
+    let mut tally = IndexCounters::default();
     let (lo, hi) = ctx.ranges[shard];
     for raw in lo..hi {
         let u = NodeId::new(raw);
@@ -314,10 +349,10 @@ fn plan_shard(ctx: &PlanCtx<'_>, shard: usize, scratch: &mut ShardScratch) {
         if matches!(ctx.mechanism, Mechanism::StrictBarter) && !u.is_server() {
             continue; // unpaired client uploads abort at commit time
         }
-        let Some(v) = pick_target(ctx, scratch, &mut fallback, u, &mut rng) else {
+        let Some(v) = pick_target(ctx, scratch, &mut tally, &mut fallback, u, &mut rng) else {
             continue;
         };
-        let Some(block) = pick_block(ctx, scratch, u, v, &mut rng) else {
+        let Some(block) = pick_block(ctx, scratch, &mut tally, u, v, &mut rng) else {
             debug_assert!(
                 false,
                 "admissible target {v} lost interest within the shard"
@@ -327,6 +362,8 @@ fn plan_shard(ctx: &PlanCtx<'_>, shard: usize, scratch: &mut ShardScratch) {
         scratch.promise(u.raw(), v.raw(), block, ctx.matrix.universe());
     }
     scratch.plan_nanos = started.elapsed().as_nanos() as u64;
+    scratch.tally = tally;
+    scratch.finished = Some(Instant::now());
 }
 
 /// Parallel swarm strategy: shard-partitioned speculative planning with
@@ -470,10 +507,20 @@ impl Strategy for ShardedSwarm {
 
         // Deterministic merge barrier: replay in (shard, slot) order.
         // Rejections here are cross-shard conflicts, not errors — the
-        // losing proposal is simply dropped.
+        // losing proposal is simply dropped. A shard's *stall* is the
+        // gap between its worker finishing and the replay loop reaching
+        // it — earlier shards' replay time is part of that wait by
+        // design, since the barrier is strictly ordered.
+        let merge_started = Instant::now();
         let mut conflicts = 0u64;
+        let mut telemetry = IndexCounters::default();
         for (s, scratch) in self.scratch.iter().enumerate() {
             p.note_shard_plan_nanos(s, scratch.plan_nanos);
+            let stall = scratch
+                .finished
+                .map_or(0, |f| f.elapsed().as_nanos() as u64);
+            p.note_shard_stall_nanos(s, stall);
+            telemetry.add(&scratch.tally);
             for &(from, to, block) in &scratch.proposals {
                 if p.propose(NodeId::new(from), NodeId::new(to), BlockId::new(block))
                     .is_err()
@@ -483,6 +530,8 @@ impl Strategy for ShardedSwarm {
             }
         }
         p.note_merge_conflicts(conflicts);
+        p.note_merge_nanos(merge_started.elapsed().as_nanos() as u64);
+        p.note_index_counters(telemetry);
         Ok(())
     }
 
@@ -626,6 +675,68 @@ mod tests {
             .iter()
             .take(8)
             .any(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn merge_barrier_reports_stall_and_index_telemetry() {
+        let overlay = CompleteOverlay::new(16);
+        let cfg = SimConfig::new(16, 8).with_threads(4);
+        let (_, report) = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::RarestFirst, 4),
+            21,
+        );
+        assert!(report.completed());
+        assert!(report.perf.merge_nanos > 0, "merge barrier time not noted");
+        assert!(
+            report
+                .perf
+                .shard_stall_nanos
+                .iter()
+                .take(4)
+                .any(|&ns| ns > 0),
+            "no shard reported barrier-stall time"
+        );
+        assert!(
+            report
+                .perf
+                .shard_stall_nanos
+                .iter()
+                .skip(4)
+                .all(|&ns| ns == 0),
+            "unplanned shard slots must stay zero"
+        );
+        let idx = &report.perf.index;
+        assert!(idx.interest_probes > 0, "admissible() probes not tallied");
+        assert!(idx.interest_hits > 0, "admitted targets not tallied");
+        assert!(idx.interest_hits <= idx.interest_probes);
+        assert!(idx.rarity_probes > 0, "rarest-first probes not tallied");
+        assert!(idx.matrix_kernels > 0, "matrix kernel calls not tallied");
+        // Complete-graph swarm with no credit mechanism: credit index idle.
+        assert_eq!(idx.credit_probes, 0);
+    }
+
+    #[test]
+    fn credit_limited_shards_tally_credit_probes() {
+        let overlay = CompleteOverlay::new(16);
+        let cfg = SimConfig::new(16, 8)
+            .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+            .with_threads(4);
+        let (_, report) = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 4),
+            17,
+        );
+        assert!(report.completed());
+        let idx = &report.perf.index;
+        assert!(idx.credit_probes > 0, "credit checks not tallied");
+        assert!(
+            idx.credit_blocked > 0,
+            "credit=1 swarm should hit the ledger bound"
+        );
+        assert!(idx.credit_blocked <= idx.credit_probes);
     }
 
     #[test]

@@ -26,8 +26,9 @@ use pob_overlay::{d_ary_tree, path, random_regular, CompleteOverlay, Hypercube};
 use pob_sim::events::{Event, EventLog, EventSink, TeeSink};
 use pob_sim::trace::Recorder;
 use pob_sim::{
-    DownloadCapacity, Engine, JsonlSink, Mechanism, RejectTransferError, RunReport, ShardPolicy,
-    ShardedSwarm, SimConfig, Strategy, Topology,
+    DownloadCapacity, Engine, JsonlSink, Mechanism, MetricsRegistry, MetricsSink, Phase,
+    ProfileSummary, RejectTransferError, RunReport, ShardPolicy, ShardedSwarm, SimConfig, Strategy,
+    TickProfile, Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,11 +52,19 @@ COMMANDS:
 USAGE (inspect):
     pob inspect <events.ndjson>   per-tick timeline, rarity/utilization
                                   summaries, rejection-reason breakdown
+    --profile         append the per-phase / per-shard wall-time breakdown
+                      (needs metrics-snapshot records; see --metrics-out)
+    --json            print one machine-readable pob-inspect/1 JSON line
+                      instead of the text report
 
 OPTIONS (run / trace / sweep):
     --events <PATH>   (run/trace) stream pob-events/1 NDJSON to PATH
     --check-invariants  (run/trace) audit the run with the event-stream
                       invariant checker; exits non-zero on any violation
+    --metrics-out <PATH>  (run/trace) enable the metrics registry and write
+                      a Prometheus textfile snapshot to PATH at run end
+    --metrics-interval <T>  (run/trace) flush a metrics-snapshot record into
+                      the --events stream every T ticks                  [32]
     --algorithm <A>   binomial | pipeline | multicast | binomial-tree | riffle
                       | swarm | bittorrent | splitstream | triangular   [binomial]
     --n <N>           number of nodes incl. the server                  [64]
@@ -95,6 +104,8 @@ struct Options {
     versus: String,
     events: Option<String>,
     check_invariants: bool,
+    metrics_out: Option<String>,
+    metrics_interval: Option<u32>,
 }
 
 impl Default for Options {
@@ -117,6 +128,8 @@ impl Default for Options {
             versus: "swarm".to_owned(),
             events: None,
             check_invariants: false,
+            metrics_out: None,
+            metrics_interval: None,
         }
     }
 }
@@ -215,6 +228,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--versus" => opts.versus = value()?.clone(),
             "--events" => opts.events = Some(value()?.clone()),
             "--check-invariants" => opts.check_invariants = true,
+            "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
+            "--metrics-interval" => {
+                let t: u32 = value()?
+                    .parse()
+                    .map_err(|_| "--metrics-interval must be a number".to_owned())?;
+                if t == 0 {
+                    return Err("--metrics-interval must be at least 1".to_owned());
+                }
+                opts.metrics_interval = Some(t);
+            }
             "--degrees" => {
                 opts.degrees = value()?
                     .split(',')
@@ -325,6 +348,9 @@ fn build_config(opts: &Options) -> SimConfig {
     if let Some(cap) = opts.max_ticks {
         cfg = cfg.with_max_ticks(cap);
     }
+    if opts.metrics_out.is_some() || opts.metrics_interval.is_some() {
+        cfg = cfg.with_metrics_interval(opts.metrics_interval.unwrap_or(32));
+    }
     cfg
 }
 
@@ -377,6 +403,22 @@ impl<S: EventSink> EventSink for MaybeSink<S> {
     }
 }
 
+/// Same idea for the metrics side: `None` reports the profiling layer
+/// disabled, so the engine takes no clock reads at all.
+struct MaybeMetrics<'r>(Option<&'r mut MetricsRegistry>);
+
+impl MetricsSink for MaybeMetrics<'_> {
+    fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn on_tick_profile(&mut self, profile: &TickProfile) {
+        if let Some(registry) = self.0.as_mut() {
+            registry.on_tick_profile(profile);
+        }
+    }
+}
+
 fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
     let overlay = build_overlay(opts)?;
     let mut strategy = build_strategy(opts)?;
@@ -393,24 +435,47 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
         })
         .transpose()?;
     let mut checker = MaybeSink(opts.check_invariants.then(|| InvariantSink::new(&cfg)));
+    let mut registry =
+        (opts.metrics_out.is_some() || opts.metrics_interval.is_some()).then(MetricsRegistry::new);
     let report = match (trace, jsonl.as_mut()) {
-        (false, None) => {
-            Engine::with_sink(cfg, overlay.as_ref(), &mut checker).run(strategy.as_mut(), &mut rng)
-        }
-        (false, Some(sink)) => {
-            Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut checker, sink))
-                .run(strategy.as_mut(), &mut rng)
-        }
-        (true, None) => Engine::with_sink(cfg, overlay.as_ref(), TeeSink(&mut checker, &mut rec))
-            .run(strategy.as_mut(), &mut rng),
-        (true, Some(sink)) => Engine::with_sink(
+        (false, None) => Engine::with_instrumentation(
+            cfg,
+            overlay.as_ref(),
+            &mut checker,
+            MaybeMetrics(registry.as_mut()),
+        )
+        .run(strategy.as_mut(), &mut rng),
+        (false, Some(sink)) => Engine::with_instrumentation(
+            cfg,
+            overlay.as_ref(),
+            TeeSink(&mut checker, sink),
+            MaybeMetrics(registry.as_mut()),
+        )
+        .run(strategy.as_mut(), &mut rng),
+        (true, None) => Engine::with_instrumentation(
+            cfg,
+            overlay.as_ref(),
+            TeeSink(&mut checker, &mut rec),
+            MaybeMetrics(registry.as_mut()),
+        )
+        .run(strategy.as_mut(), &mut rng),
+        (true, Some(sink)) => Engine::with_instrumentation(
             cfg,
             overlay.as_ref(),
             TeeSink(&mut checker, TeeSink(&mut rec, sink)),
+            MaybeMetrics(registry.as_mut()),
         )
         .run(strategy.as_mut(), &mut rng),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(registry) = registry.as_mut() {
+        registry.observe_perf(&report.perf);
+        if let Some(path) = opts.metrics_out.as_deref() {
+            std::fs::write(path, registry.to_prometheus())
+                .map_err(|e| format!("cannot write '{path}': {e}"))?;
+            eprintln!("metrics written to {path}");
+        }
+    }
     if let Some(sink) = jsonl {
         let path = opts.events.as_deref().unwrap_or_default();
         sink.finish()
@@ -458,7 +523,87 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
 /// Rows shown at each end of the timeline before eliding the middle.
 const INSPECT_TIMELINE_EDGE: u32 = 20;
 
-fn cmd_inspect(path: &str) -> Result<(), String> {
+/// Nanoseconds rendered as milliseconds for the human tables.
+fn fmt_ms(nanos: u64) -> String {
+    format!("{:.2}", nanos as f64 / 1e6)
+}
+
+/// Nanoseconds rendered as microseconds (per-tick phase quantiles).
+fn fmt_us(nanos: u64) -> String {
+    format!("{:.1}", nanos as f64 / 1e3)
+}
+
+/// Minimal JSON string escaping for the `--json` summary line.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `--profile` view: per-phase totals with per-tick quantiles
+/// from the power-of-two histograms, then the per-shard plan/stall table.
+fn print_profile(summary: &ProfileSummary) {
+    if summary.is_empty() {
+        println!("\nprofile      : no metrics-snapshot records in this stream");
+        println!(
+            "               (capture one with `pob run --events <path> --metrics-interval <t>`)"
+        );
+        return;
+    }
+    println!(
+        "\nphase breakdown ({} ticks profiled, {} ms wall):",
+        summary.ticks,
+        fmt_ms(summary.wall_nanos)
+    );
+    let mut table = Table::new([
+        "phase", "total ms", "share", "p50 us", "p90 us", "p99 us", "max us",
+    ]);
+    for phase in Phase::ALL {
+        let i = phase.index();
+        let hist = &summary.phase_hist[i];
+        table.push_row([
+            phase.label().to_owned(),
+            fmt_ms(summary.phase_nanos[i]),
+            format!(
+                "{:.1}%",
+                100.0 * summary.phase_nanos[i] as f64 / summary.wall_nanos.max(1) as f64
+            ),
+            fmt_us(hist.percentile(0.50)),
+            fmt_us(hist.percentile(0.90)),
+            fmt_us(hist.percentile(0.99)),
+            fmt_us(hist.max()),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+    println!(
+        "phase cover  : {:.1}% of wall time accounted for by the five spans",
+        100.0 * summary.coverage()
+    );
+    let shards = summary.populated_shards();
+    if !shards.is_empty() {
+        println!("\nper-shard planning (stall = worker finish → merge replay gap):");
+        let mut table = Table::new(["shard", "plan ms", "stall ms"]);
+        for s in shards {
+            table.push_row([
+                s.to_string(),
+                fmt_ms(summary.shard_plan_nanos[s]),
+                fmt_ms(summary.shard_stall_nanos[s]),
+            ]);
+        }
+        println!("{}", table.to_ascii());
+    }
+}
+
+fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
     let stream = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let log = EventLog::parse(&stream).map_err(|e| format!("{path}: {e}"))?;
     let Some(Event::RunStart {
@@ -473,6 +618,120 @@ fn cmd_inspect(path: &str) -> Result<(), String> {
     else {
         return Err(format!("{path}: stream has no run-start record"));
     };
+    let summary = ProfileSummary::from_snapshots(log.metrics_snapshots());
+
+    if json {
+        let mut out = String::from("{\"schema\":\"pob-inspect/1\"");
+        out.push_str(&format!(",\"stream\":\"{}\"", json_escape(path)));
+        out.push_str(&format!(",\"events\":{}", log.events.len()));
+        out.push_str(&format!(",\"strategy\":\"{}\"", json_escape(strategy)));
+        out.push_str(&format!(",\"nodes\":{nodes},\"blocks\":{blocks}"));
+        out.push_str(&format!(
+            ",\"mechanism\":\"{}\"",
+            json_escape(&mechanism.label())
+        ));
+        out.push_str(&format!(
+            ",\"server_upload_capacity\":{server_upload_capacity}\
+             ,\"client_upload_capacity\":{client_upload_capacity}\
+             ,\"max_ticks\":{max_ticks}"
+        ));
+        match log.completion_time() {
+            Some(t) => out.push_str(&format!(",\"completed\":true,\"completion_ticks\":{t}")),
+            None => out.push_str(",\"completed\":false,\"completion_ticks\":null"),
+        }
+        out.push_str(&format!(",\"deliveries\":{}", log.total_deliveries()));
+        let totals = log.rejection_totals();
+        out.push_str(",\"rejections\":{");
+        let mut first = true;
+        for reason in RejectTransferError::ALL {
+            let count = totals[reason.index()];
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{count}", reason.label()));
+        }
+        out.push('}');
+        match log.run_perf() {
+            Some(perf) => {
+                out.push_str(&format!(
+                    ",\"perf\":{{\"fast_ticks\":{},\"rarity_rebuilds\":{}\
+                     ,\"credit_invalidations\":{},\"threads\":{}\
+                     ,\"merge_conflicts\":{},\"shards\":[",
+                    perf.fast_ticks,
+                    perf.rarity_rebuilds,
+                    perf.credit_invalidations,
+                    perf.threads,
+                    perf.merge_conflicts,
+                ));
+                let mut first = true;
+                for (s, (&plan, &stall)) in perf
+                    .shard_plan_nanos
+                    .iter()
+                    .zip(&perf.shard_stall_nanos)
+                    .enumerate()
+                {
+                    if plan == 0 && stall == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!(
+                        "{{\"shard\":{s},\"plan_nanos\":{plan},\"stall_nanos\":{stall}}}"
+                    ));
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str(",\"perf\":null"),
+        }
+        if summary.is_empty() {
+            out.push_str(",\"profile\":null");
+        } else {
+            out.push_str(&format!(
+                ",\"profile\":{{\"ticks\":{},\"wall_nanos\":{}\
+                 ,\"transfers\":{},\"phase_coverage\":{:.6},\"phases\":[",
+                summary.ticks,
+                summary.wall_nanos,
+                summary.transfers,
+                summary.coverage(),
+            ));
+            for (i, phase) in Phase::ALL.into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let hist = &summary.phase_hist[i];
+                out.push_str(&format!(
+                    "{{\"phase\":\"{}\",\"nanos\":{},\"p50_nanos\":{}\
+                     ,\"p90_nanos\":{},\"p99_nanos\":{},\"max_nanos\":{}}}",
+                    phase.label(),
+                    summary.phase_nanos[i],
+                    hist.percentile(0.50),
+                    hist.percentile(0.90),
+                    hist.percentile(0.99),
+                    hist.max(),
+                ));
+            }
+            out.push_str("],\"shards\":[");
+            for (i, s) in summary.populated_shards().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"shard\":{s},\"plan_nanos\":{},\"stall_nanos\":{}}}",
+                    summary.shard_plan_nanos[s], summary.shard_stall_nanos[s],
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        println!("{out}");
+        return Ok(());
+    }
 
     println!("stream       : {path} ({} events)", log.events.len());
     println!("strategy     : {strategy}");
@@ -494,6 +753,9 @@ fn cmd_inspect(path: &str) -> Result<(), String> {
     let ticks: Vec<_> = log.tick_metrics().collect();
     if ticks.is_empty() {
         println!("\n(no tick-end records: nothing to summarize)");
+        if profile {
+            print_profile(&summary);
+        }
         return Ok(());
     }
 
@@ -600,7 +862,27 @@ fn cmd_inspect(path: &str) -> Result<(), String> {
                 "parallelism  : {} planner threads, {} merge conflicts",
                 perf.threads, perf.merge_conflicts
             );
+            // Per-shard breakdown: only populated slots, the unused tail
+            // of the fixed arrays stays silent.
+            for (s, (&plan, &stall)) in perf
+                .shard_plan_nanos
+                .iter()
+                .zip(&perf.shard_stall_nanos)
+                .enumerate()
+            {
+                if plan == 0 && stall == 0 {
+                    continue;
+                }
+                println!(
+                    "  shard {s:>2}   : plan {} ms, stall {} ms",
+                    fmt_ms(plan),
+                    fmt_ms(stall)
+                );
+            }
         }
+    }
+    if profile {
+        print_profile(&summary);
     }
     Ok(())
 }
@@ -768,9 +1050,22 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if command.as_str() == "inspect" {
-        let result = match rest {
-            [path] => cmd_inspect(path),
-            _ => Err("usage: pob inspect <events.ndjson>".to_owned()),
+        let mut profile = false;
+        let mut json = false;
+        let mut paths = Vec::new();
+        let mut bad_flag = None;
+        for arg in rest {
+            match arg.as_str() {
+                "--profile" => profile = true,
+                "--json" => json = true,
+                other if other.starts_with("--") => bad_flag = Some(other.to_owned()),
+                path => paths.push(path),
+            }
+        }
+        let result = match (bad_flag, paths.as_slice()) {
+            (Some(flag), _) => Err(format!("unknown inspect option '{flag}' (see `pob help`)")),
+            (None, [path]) => cmd_inspect(path, profile, json),
+            _ => Err("usage: pob inspect [--profile] [--json] <events.ndjson>".to_owned()),
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,

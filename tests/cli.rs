@@ -557,6 +557,153 @@ fn threaded_runs_are_deterministic_given_seed() {
     assert_eq!(stdout(&pob(&args)), stdout(&pob(&args)));
 }
 
+/// The full metrics pipeline: `run --metrics-out --metrics-interval`
+/// writes a Prometheus textfile and metrics-snapshot records, and
+/// `inspect --profile` / `--json` render the per-phase breakdown with
+/// ≥ 95% of the profiled wall time accounted for.
+#[test]
+fn metrics_capture_profile_and_json_pipeline() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_metrics_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let events = dir.join("run.ndjson");
+    let prom = dir.join("run.prom");
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "64",
+        "--k",
+        "32",
+        "--threads",
+        "4",
+        "--seed",
+        "3",
+        "--metrics-interval",
+        "8",
+        "--metrics-out",
+        prom.to_str().expect("utf-8 temp path"),
+        "--events",
+        events.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("metrics written"));
+
+    let exposition = std::fs::read_to_string(&prom).expect("prometheus file");
+    assert!(exposition.contains("# TYPE pob_ticks_total counter"));
+    assert!(exposition.contains("pob_phase_nanos_total"), "{exposition}");
+    assert!(exposition.contains("shard=\"0\""), "{exposition}");
+
+    let stream = std::fs::read_to_string(&events).expect("events file");
+    assert!(
+        stream.contains("\"event\":\"metrics-snapshot\""),
+        "interval runs must flush snapshot records"
+    );
+
+    let events_path = events.to_str().expect("utf-8 temp path");
+    let out = pob(&["inspect", "--profile", events_path]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("phase cover"), "{text}");
+    assert!(text.contains("per-shard planning"), "{text}");
+    assert!(text.contains("plan"), "{text}");
+
+    let out = pob(&["inspect", "--json", events_path]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = stdout(&out);
+    assert!(json.starts_with("{\"schema\":\"pob-inspect/1\""), "{json}");
+    let coverage_at = json
+        .find("\"phase_coverage\":")
+        .unwrap_or_else(|| panic!("no phase_coverage in {json}"));
+    let tail = &json[coverage_at + "\"phase_coverage\":".len()..];
+    let digits: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    let coverage: f64 = digits.parse().expect("numeric coverage");
+    assert!(
+        coverage >= 0.95,
+        "phase spans cover only {coverage} of the wall time"
+    );
+    assert!(json.contains("\"shards\":[{\"shard\":0,"), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Streams captured without the metrics registry report a null profile
+/// in `--json` and a capture hint in `--profile` — never an error.
+#[test]
+fn inspect_without_snapshots_degrades_gracefully() {
+    let dir = std::env::temp_dir().join(format!("pob_cli_noprofile_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let events = dir.join("run.ndjson");
+    let events_path = events.to_str().expect("utf-8 temp path");
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "16",
+        "--k",
+        "8",
+        "--seed",
+        "3",
+        "--events",
+        events_path,
+    ]);
+    assert!(out.status.success());
+
+    let out = pob(&["inspect", "--json", events_path]);
+    assert!(out.status.success());
+    let json = stdout(&out);
+    assert!(json.contains("\"profile\":null"), "{json}");
+    assert!(json.contains("\"deliveries\":"), "{json}");
+
+    let out = pob(&["inspect", "--profile", events_path]);
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("no metrics-snapshot records"),
+        "{}",
+        stdout(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_interval_must_be_positive() {
+    let out = pob(&[
+        "run",
+        "--algorithm",
+        "swarm",
+        "--n",
+        "16",
+        "--k",
+        "8",
+        "--metrics-interval",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 1"));
+}
+
+#[test]
+fn inspect_rejects_unknown_flags() {
+    let out = pob(&["inspect", "--vermicelli", "whatever.ndjson"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown inspect option"));
+}
+
 #[test]
 fn deterministic_given_seed() {
     let a = stdout(&pob(&[

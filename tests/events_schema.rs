@@ -126,3 +126,67 @@ fn golden_fixture_roundtrips_line_by_line() {
         assert_eq!(event.to_json_line(), line);
     }
 }
+
+/// A profiled capture (metrics sink + snapshot interval) stays inside
+/// `pob-events/1`: snapshot records round-trip byte-for-byte, the log
+/// surfaces them, and the derived [`ProfileSummary`] accounts for every
+/// tick with ≥ 95% phase coverage.
+#[test]
+fn profiled_capture_roundtrips_and_summarizes() {
+    use pob_sim::{MetricsRegistry, ProfileSummary};
+
+    let overlay = Hypercube::new(3);
+    let mut sink = JsonlSink::new(Vec::new());
+    let mut registry = MetricsRegistry::new();
+    let report = Engine::with_instrumentation(
+        SimConfig::new(8, 4).with_metrics_interval(3),
+        &overlay,
+        &mut sink,
+        &mut registry,
+    )
+    .run(
+        &mut HypercubeSchedule::new(3),
+        &mut StdRng::seed_from_u64(0),
+    )
+    .expect("hypercube schedule is admissible");
+    let bytes = sink.finish().expect("Vec<u8> writes cannot fail");
+    let stream = String::from_utf8(bytes).expect("NDJSON is UTF-8");
+
+    for (i, line) in stream.lines().enumerate() {
+        let event = Event::from_json_line(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        assert_eq!(event.to_json_line(), line, "line {} round-trips", i + 1);
+    }
+
+    let log = EventLog::parse(&stream).expect("profiled stream parses");
+    let snapshots: Vec<_> = log.metrics_snapshots().collect();
+    assert_eq!(
+        snapshots.len() as u32,
+        report.ticks_run.div_ceil(3),
+        "full windows plus the flushed trailing partial"
+    );
+    let summary = ProfileSummary::from_snapshots(log.metrics_snapshots());
+    assert_eq!(summary.ticks, u64::from(report.ticks_run));
+    assert_eq!(summary.transfers, report.total_uploads);
+    assert!(
+        summary.coverage() >= 0.95,
+        "phase spans cover only {} of the profiled wall time",
+        summary.coverage()
+    );
+}
+
+/// Streams written before the profiling fields existed decode with zero
+/// defaults: a `run-end` perf block without `merge_conflicts` or the
+/// per-shard arrays is still `pob-events/1`.
+#[test]
+fn legacy_perf_gauges_default_new_fields_to_zero() {
+    let legacy = r#"{"event":"run-end","ticks":2,"completed":true,"total_uploads":4,"server_uploads":4,"fast_ticks":2,"rarity_rebuilds":1,"credit_invalidations":0}"#;
+    let event = Event::from_json_line(legacy).expect("legacy run-end decodes");
+    let Event::RunEnd { perf: Some(p), .. } = event else {
+        panic!("perf gauges present");
+    };
+    assert_eq!(p.fast_ticks, 2);
+    assert_eq!(p.threads, 1, "absent thread gauge means the serial planner");
+    assert_eq!(p.merge_conflicts, 0);
+    assert_eq!(p.shard_plan_nanos, [0; pob_sim::MAX_SHARDS]);
+    assert_eq!(p.shard_stall_nanos, [0; pob_sim::MAX_SHARDS]);
+}
