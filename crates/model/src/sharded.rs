@@ -232,6 +232,21 @@ impl Strategy for ReferenceSharded {
                 if matches!(p.mechanism(), Mechanism::StrictBarter) && !u.is_server() {
                     continue;
                 }
+                // Zero-draw interest fast-fail, the naive O(n·k) form of
+                // the parallel planner's interest-tree root probe: skip
+                // `u` without touching the shard RNG when no other node
+                // lacks a block `u` holds.
+                let anyone_wants = (0..n).any(|vi| {
+                    vi != u.index()
+                        && (0..p.block_count()).any(|b| {
+                            let block = BlockId::new(b as u32);
+                            p.state().holds(u, block)
+                                && !p.state().holds(NodeId::from_index(vi), block)
+                        })
+                });
+                if !anyone_wants {
+                    continue;
+                }
                 let Some(v) = self.pick_target(p, &scratch, &pool, u, &mut srng) else {
                     continue;
                 };
@@ -244,9 +259,11 @@ impl Strategy for ReferenceSharded {
             planned.push(proposals);
         }
 
-        // Merge barrier in (shard, slot) order; rejections are expected
-        // cross-shard conflicts, identical on both sides of the
-        // differential.
+        // Merge barrier in (shard, slot) order. The parallel planner
+        // filters cross-shard duplicates through its claim bitmap before
+        // proposing; here `propose()` rejects the same losing copies, so
+        // the committed set (and hence the trace) is identical — only the
+        // conflict/duplicate telemetry split differs.
         let mut conflicts = 0u64;
         for proposals in &planned {
             for &(u, v, block) in proposals {

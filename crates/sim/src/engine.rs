@@ -15,6 +15,11 @@ use crate::{
 };
 use rand::rngs::StdRng;
 
+/// Minimum committed transfers in a tick before the engine pays the
+/// thread-spawn cost of [`SimState::deliver_sharded`]. Below this the
+/// sequential delivery loop is faster than the scope setup.
+const SHARDED_DELIVER_MIN_TRANSFERS: usize = 4096;
+
 /// Static configuration of a simulation run.
 ///
 /// Construct with [`SimConfig::new`] and chain `with_*` methods.
@@ -597,24 +602,40 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
         }
         let mark_settle = profiling.then(|| elapsed_nanos(&started));
         let count = self.bufs.transfers.len() as u32;
-        for t in &self.bufs.transfers {
-            if observing {
-                if let Some(g) = self.gauges.as_mut() {
-                    g.on_delivery(self.state.frequency(t.block));
+        if !observing && self.config.threads > 1 && count as usize >= SHARDED_DELIVER_MIN_TRANSFERS
+        {
+            // Large threaded tick with nobody watching per-delivery
+            // events: commit the deliveries range-parallel. The final
+            // state is identical to the sequential loop below.
+            self.state
+                .deliver_sharded(&self.bufs.transfers, tick, self.config.threads as usize);
+            self.total_uploads += u64::from(count);
+            self.server_uploads += self
+                .bufs
+                .transfers
+                .iter()
+                .filter(|t| t.from.is_server())
+                .count() as u64;
+        } else {
+            for t in &self.bufs.transfers {
+                if observing {
+                    if let Some(g) = self.gauges.as_mut() {
+                        g.on_delivery(self.state.frequency(t.block));
+                    }
+                    self.sink.on_event(&Event::Delivery { tick, transfer: *t });
                 }
-                self.sink.on_event(&Event::Delivery { tick, transfer: *t });
-            }
-            let newly_complete = self.state.deliver(t.to, t.block, tick);
-            self.total_uploads += 1;
-            if t.from.is_server() {
-                self.server_uploads += 1;
-            }
-            if observing && newly_complete {
-                if let Some(g) = self.gauges.as_mut() {
-                    g.completed_clients += 1;
+                let newly_complete = self.state.deliver(t.to, t.block, tick);
+                self.total_uploads += 1;
+                if t.from.is_server() {
+                    self.server_uploads += 1;
                 }
-                self.sink
-                    .on_event(&Event::NodeComplete { tick, node: t.to });
+                if observing && newly_complete {
+                    if let Some(g) = self.gauges.as_mut() {
+                        g.completed_clients += 1;
+                    }
+                    self.sink
+                        .on_event(&Event::NodeComplete { tick, node: t.to });
+                }
             }
         }
         if let Some(v) = self.per_tick.as_mut() {
@@ -735,8 +756,10 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
                     credit_invalidations: self.bufs.credit_index.invalidations,
                     threads: self.config.threads,
                     merge_conflicts: self.bufs.stats.merge_conflicts,
+                    merge_duplicates: self.bufs.stats.merge_duplicates,
                     shard_plan_nanos: self.bufs.stats.shard_plan_nanos,
                     shard_stall_nanos: self.bufs.stats.shard_stall_nanos,
+                    shard_fast_ticks: self.bufs.stats.shard_fast_ticks,
                 }),
             });
         }
@@ -767,9 +790,11 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
                 credit_invalidations: self.bufs.credit_index.invalidations,
                 threads: self.config.threads,
                 merge_conflicts: self.bufs.stats.merge_conflicts,
+                merge_duplicates: self.bufs.stats.merge_duplicates,
                 shard_plan_nanos: self.bufs.stats.shard_plan_nanos,
                 merge_nanos: self.bufs.stats.merge_nanos,
                 shard_stall_nanos: self.bufs.stats.shard_stall_nanos,
+                shard_fast_ticks: self.bufs.stats.shard_fast_ticks,
                 index: self.bufs.stats.index,
             },
         }

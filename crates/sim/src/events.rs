@@ -196,6 +196,13 @@ pub struct PerfGauges {
     /// only when non-zero or when `threads != 1`; decoders default an
     /// absent field to `0`.
     pub merge_conflicts: u64,
+    /// Cross-shard duplicate proposals filtered by the merge barrier's
+    /// claim bitmap (distinct from capacity [`merge_conflicts`]). Encoded
+    /// only when non-zero; decoders default an absent field to `0`.
+    ///
+    /// [`merge_conflicts`]: Self::merge_conflicts
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub merge_duplicates: u64,
     /// Cumulative per-shard planning wall nanoseconds, indexed by shard.
     /// Encoded only when any slot is non-zero (trimmed to the last
     /// populated slot); decoders default an absent field to all zeros.
@@ -206,6 +213,11 @@ pub struct PerfGauges {
     /// [`shard_plan_nanos`](Self::shard_plan_nanos).
     #[cfg_attr(feature = "serde", serde(default))]
     pub shard_stall_nanos: [u64; crate::MAX_SHARDS],
+    /// Per-shard fast-tick counts (ticks each shard planned on the
+    /// single-probe incremental path), indexed by shard. Same conditional
+    /// encoding as [`shard_plan_nanos`](Self::shard_plan_nanos).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub shard_fast_ticks: [u64; crate::MAX_SHARDS],
 }
 
 /// `threads` defaults to `1` (a run always has at least one planner
@@ -218,8 +230,10 @@ impl Default for PerfGauges {
             credit_invalidations: 0,
             threads: 1,
             merge_conflicts: 0,
+            merge_duplicates: 0,
             shard_plan_nanos: [0; crate::MAX_SHARDS],
             shard_stall_nanos: [0; crate::MAX_SHARDS],
+            shard_fast_ticks: [0; crate::MAX_SHARDS],
         }
     }
 }
@@ -264,6 +278,13 @@ pub struct TickMetrics {
 
 /// One engine event. Owned (no borrows) so sinks can buffer or ship them
 /// across threads, and so parsed streams compare equal to emitted ones.
+///
+/// `RunEnd` dwarfs the other variants (three fixed per-shard gauge
+/// arrays), but it is constructed exactly once per run and every sink
+/// receives events by reference, so the size gap costs nothing on the
+/// per-delivery path; boxing the gauges would buy nothing and break the
+/// derived serde round-trip under the offline stand-ins.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Event {
@@ -522,6 +543,12 @@ impl Event {
                             p.threads, p.merge_conflicts,
                         );
                     }
+                    // Duplicate filtering postdates merge_conflicts; only
+                    // sharded runs with a complete-overlay collision ever
+                    // set it, so zero is omitted for byte-stability.
+                    if p.merge_duplicates != 0 {
+                        let _ = write!(s, ",\"merge_duplicates\":{}", p.merge_duplicates);
+                    }
                     // Per-shard timings postdate the aggregate gauges and
                     // are only produced by profiled sharded runs; the
                     // arrays are trimmed to the last populated slot and
@@ -530,6 +557,7 @@ impl Event {
                     for (key, slots) in [
                         ("shard_plan_nanos", &p.shard_plan_nanos),
                         ("shard_stall_nanos", &p.shard_stall_nanos),
+                        ("shard_fast_ticks", &p.shard_fast_ticks),
                     ] {
                         let Some(last) = slots.iter().rposition(|&v| v != 0) else {
                             continue;
@@ -670,9 +698,15 @@ impl Event {
                         } else {
                             0
                         },
+                        merge_duplicates: if obj.get("merge_duplicates").is_some() {
+                            obj.u64("merge_duplicates")?
+                        } else {
+                            0
+                        },
                         // Absent except on profiled sharded runs.
                         shard_plan_nanos: decode_shard_nanos(obj, "shard_plan_nanos")?,
                         shard_stall_nanos: decode_shard_nanos(obj, "shard_stall_nanos")?,
+                        shard_fast_ticks: decode_shard_nanos(obj, "shard_fast_ticks")?,
                     })
                 } else {
                     None
@@ -1376,8 +1410,10 @@ mod tests {
                     credit_invalidations: 7,
                     threads: 1,
                     merge_conflicts: 0,
+                    merge_duplicates: 0,
                     shard_plan_nanos: [0; crate::MAX_SHARDS],
                     shard_stall_nanos: [0; crate::MAX_SHARDS],
+                    shard_fast_ticks: [0; crate::MAX_SHARDS],
                 }),
             },
             // Threaded form: the threading gauges are emitted.
@@ -1392,8 +1428,10 @@ mod tests {
                     credit_invalidations: 0,
                     threads: 8,
                     merge_conflicts: 17,
+                    merge_duplicates: 5,
                     shard_plan_nanos: shard_slots([310, 295, 0, 288]),
                     shard_stall_nanos: shard_slots([4, 11, 0, 2]),
+                    shard_fast_ticks: shard_slots([12, 12, 0, 12]),
                 }),
             },
             // Pre-counter form: the gauges stay omitted on re-encode.
@@ -1424,9 +1462,16 @@ mod tests {
         let single = events[6].to_json_line();
         assert!(!single.contains("threads"), "{single}");
         assert!(!single.contains("merge_conflicts"), "{single}");
+        assert!(!single.contains("merge_duplicates"), "{single}");
+        assert!(!single.contains("shard_fast_ticks"), "{single}");
         let threaded = events[7].to_json_line();
         assert!(threaded.contains("\"threads\":8"), "{threaded}");
         assert!(threaded.contains("\"merge_conflicts\":17"), "{threaded}");
+        assert!(threaded.contains("\"merge_duplicates\":5"), "{threaded}");
+        assert!(
+            threaded.contains("\"shard_fast_ticks\":[12,12,0,12]"),
+            "{threaded}"
+        );
         // A conflicted single-thread run still surfaces its conflicts.
         let conflicted = Event::RunEnd {
             ticks: 1,

@@ -125,6 +125,18 @@ pub struct PerfCounters {
     /// deserializing older reports.
     #[cfg_attr(feature = "serde", serde(default))]
     pub merge_conflicts: u64,
+    /// Cross-shard duplicate `(node, block)` proposals filtered by the
+    /// sharded planner's claim bitmap at the merge barrier, before they
+    /// reach the planner (previously folded into `block-already-pending`
+    /// rejections). Always zero for single-threaded strategies. Defaults
+    /// to zero when deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub merge_duplicates: u64,
+    /// Ticks each shard planned on the fast-tick path (slots beyond the
+    /// active shard count stay zero; `MAX_SHARDS` slots total). Defaults
+    /// to all-zero when deserializing older reports.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub shard_fast_ticks: [u64; crate::MAX_SHARDS],
     /// Cumulative planning wall nanoseconds per shard (slots beyond the
     /// active shard count stay zero; `MAX_SHARDS` slots total). Defaults
     /// to all-zero when deserializing older reports.
@@ -190,6 +202,18 @@ impl PerfCounters {
     /// Total merge-barrier stall wall nanoseconds summed over all shards.
     pub fn shard_stall_nanos_total(&self) -> u64 {
         self.shard_stall_nanos.iter().sum()
+    }
+
+    /// Minimum per-shard fast-tick count over the shards that planned at
+    /// all (non-zero plan time) — `Some(0)` means a planning shard never
+    /// took the fast path, `None` means no shard reported planning time.
+    pub fn min_shard_fast_ticks(&self) -> Option<u64> {
+        self.shard_plan_nanos
+            .iter()
+            .zip(&self.shard_fast_ticks)
+            .filter(|(&plan, _)| plan > 0)
+            .map(|(_, &fast)| fast)
+            .min()
     }
 }
 
@@ -468,7 +492,7 @@ impl MetricsRegistry {
     /// Folds a run's final [`PerfCounters`] into run-level `pob_*`
     /// counters and gauges (idempotent: absolute values, not increments).
     pub fn observe_perf(&mut self, perf: &PerfCounters) {
-        let pairs: [(&str, &str, u64); 8] = [
+        let pairs: [(&str, &str, u64); 9] = [
             ("pob_proposals_total", "Planner proposals.", perf.proposals),
             (
                 "pob_rejections_total",
@@ -499,6 +523,11 @@ impl MetricsRegistry {
                 "pob_merge_conflicts_total",
                 "Proposals dropped at the merge barrier.",
                 perf.merge_conflicts,
+            ),
+            (
+                "pob_merge_duplicates_total",
+                "Cross-shard duplicates filtered by the claim bitmap.",
+                perf.merge_duplicates,
             ),
             (
                 "pob_merge_nanos_total",

@@ -151,6 +151,11 @@ pub(crate) struct ProposeStats {
     /// Cross-shard proposals dropped at the sharded planner's merge
     /// barrier.
     pub(crate) merge_conflicts: u64,
+    /// Cross-shard duplicate `(node, block)` proposals filtered by the
+    /// sharded planner's claim bitmap before reaching the planner.
+    pub(crate) merge_duplicates: u64,
+    /// Ticks each shard planned on the fast-tick path, indexed by shard.
+    pub(crate) shard_fast_ticks: [u64; crate::MAX_SHARDS],
     /// Cumulative per-shard planning wall time reported by the sharded
     /// planner, indexed by shard.
     pub(crate) shard_plan_nanos: [u64; crate::MAX_SHARDS],
@@ -658,6 +663,26 @@ impl<'a> TickPlanner<'a> {
     #[inline]
     pub fn note_merge_conflicts(&mut self, n: u64) {
         self.bufs.stats.merge_conflicts += n;
+    }
+
+    /// Records `n` cross-shard duplicate `(node, block)` proposals
+    /// filtered by a sharded planner's claim bitmap this tick (zero is a
+    /// no-op). Surfaced as
+    /// [`PerfCounters::merge_duplicates`](crate::PerfCounters::merge_duplicates).
+    #[inline]
+    pub fn note_merge_duplicates(&mut self, n: u64) {
+        self.bufs.stats.merge_duplicates += n;
+    }
+
+    /// Records that `shard` planned this tick on the fast-tick path.
+    /// Shards at or beyond [`MAX_SHARDS`](crate::MAX_SHARDS) are ignored.
+    /// Surfaced as
+    /// [`PerfCounters::shard_fast_ticks`](crate::PerfCounters::shard_fast_ticks).
+    #[inline]
+    pub fn note_shard_fast_tick(&mut self, shard: usize) {
+        if let Some(slot) = self.bufs.stats.shard_fast_ticks.get_mut(shard) {
+            *slot += 1;
+        }
     }
 
     /// Records `nanos` of planning wall time spent by `shard` this tick.

@@ -4,8 +4,7 @@
 //! [`shard_count`](ShardedSwarm::shard_count) contiguous shards, plans
 //! every shard independently against the start-of-tick
 //! [`BlockMatrix`](crate::BlockMatrix) on a scoped thread pool, and
-//! merges the speculative proposals through
-//! [`TickPlanner::propose`] at a deterministic tick barrier.
+//! merges the speculative proposals at a deterministic tick barrier.
 //!
 //! # The parallel RNG discipline
 //!
@@ -20,11 +19,9 @@
 //!    [`substream_seed`]`(tick_entropy, tick, s)`,
 //! 3. shards plan speculatively: admission is evaluated against the
 //!    start-of-tick state plus the shard's *own* promises only,
-//! 4. the merge barrier replays proposals in `(shard, slot)` order
-//!    through the validating [`TickPlanner::propose`]; a proposal
-//!    another shard invalidated (download capacity, duplicate pending
-//!    block) is dropped and counted as a *merge conflict* — never an
-//!    error.
+//! 4. the merge barrier replays proposals in `(shard, slot)` order; a
+//!    proposal another shard invalidated is dropped and counted — never
+//!    an error.
 //!
 //! Uploads `u → v` belong to exactly one shard (the one owning `u`), so
 //! per-pair credit can never conflict across shards; conflicts are
@@ -32,23 +29,84 @@
 //! [`Mechanism::StrictBarter`] the commit-time pairing rule would abort
 //! on any unpaired client upload, so shards plan server uploads only.
 //!
-//! The discipline is deliberately simpler than the sequential
-//! `SwarmStrategy` (no uploader shuffle, no stuck cache, no incremental
-//! interest index): it is a *different, re-blessed* RNG discipline, and
-//! multi-thread runs are therefore not expected to reproduce 1-thread
-//! fixtures. `pob-model`'s `ReferenceSharded` reimplements the same
-//! discipline naively, and the differential suite pins the two to
-//! bit-identical traces for shard counts 2, 4 and 8.
+//! # Incremental swarm indexes
+//!
+//! Planning reads three views that persist across ticks and are synced
+//! on the merge thread at the start of each tick from
+//! [`TickPlanner::last_committed`] (full rebuilds happen only on the
+//! first tick, on dimension changes, or when a tick delivered so many
+//! blocks that replaying the deltas would cost more than rebuilding):
+//!
+//! - an [`InterestTree`]: a flat-arena intersection tree over all node
+//!   inventories whose root answers *"does anyone want anything `u`
+//!   holds?"* in `O(stride)` — the zero-draw fast-fail below — and
+//!   whose traversal enumerates the interested nodes in ascending order
+//!   for the rejection-sampling fallback,
+//! - [`RarityBuckets`]: per-frequency block bitmasks mirroring
+//!   `SimState::frequencies`, turning rarest-first tie resolution into
+//!   one masked word scan ([`BlockMatrix::nth_missing_in`]),
+//! - the ascending pool of incomplete nodes, compacted as receivers
+//!   complete.
+//!
+//! Each shard overlays its private promise set on these shared
+//! read-only views, so the views stay shard-local in effect without
+//! per-shard copies.
+//!
+//! # The zero-draw interest fast-fail
+//!
+//! Before drawing any target for uploader `u`, the planner tests the
+//! interest-tree root: if no node in the swarm lacks a block `u` holds,
+//! `u` is skipped *consuming zero RNG draws*. (The previous discipline
+//! burned [`REJECTION_TRIES`] draws plus a full pool scan to discover
+//! the same thing.) This is an intentional, re-blessed change to the
+//! parallel RNG discipline — `pob-model`'s `ReferenceSharded` replays
+//! the same skip naively, and the differential suite pins the two to
+//! bit-identical traces for shard counts 2, 4 and 8. The root test is
+//! sound for every mechanism and overlay: it ignores pending promises,
+//! credit and capacity, all of which only *shrink* the admissible set.
+//!
+//! # Fast ticks and the claim bitmap
+//!
+//! The merge barrier maintains a tick-scoped *claimed-block bitmap*
+//! (`node × block`): a proposal whose `(to, block)` cell was already
+//! claimed by an earlier `(shard, slot)` is dropped at the barrier
+//! *before* reaching the planner and counted as a `merge_duplicates` —
+//! the dominant cross-shard waste (`block-already-pending`) no longer
+//! round-trips through rejection bookkeeping.
+//!
+//! A tick is a *fast tick* when every download capacity is unlimited,
+//! the overlay is complete, and the mechanism is `Cooperative` or
+//! `CreditLimited`. On fast ticks the surviving proposals are committed
+//! through [`TickPlanner::propose_admitted`] — skipping re-validation
+//! the shard already performed (debug and `paranoid-checks` builds
+//! still re-check): upload capacity holds because each shard plans at
+//! most one upload per owned uploader, duplicates are filtered by the
+//! bitmap, receivers cannot gain blocks mid-tick, and the settled
+//! credit check can only loosen at the barrier. Non-fast ticks replay
+//! through the validating [`TickPlanner::propose`]; remaining
+//! rejections (download capacity) are counted as `merge_conflicts`.
+//!
+//! # Stall-free scheduling
+//!
+//! With more than one worker, workers pull shards dynamically in
+//! ascending order (size-balanced: uploader ranges are equal-width)
+//! while the merge thread replays each shard as soon as it finishes,
+//! in shard order — planning and merging pipeline instead of
+//! barrier-separating, so a shard's *stall* (finish → replay gap)
+//! stays below its plan time. With one worker, each shard is merged
+//! immediately after it is planned. Neither schedule affects the
+//! trace: shard RNG substreams are independent of the executor.
 
-use crate::fastmap::FxHashMap;
 use crate::metrics::IndexCounters;
-use crate::soa::BlockMatrix;
+use crate::soa::{kern, BlockMatrix};
 use crate::{
-    BlockId, BlockSet, CreditLedger, DownloadCapacity, Mechanism, NeighborSet, NodeId, SimError,
-    Strategy, TickPlanner,
+    BlockId, CreditLedger, DownloadCapacity, Mechanism, NeighborSet, NodeId, SimError, Strategy,
+    TickPlanner,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Upper bound on the shard count (and on the per-shard slots of
@@ -91,13 +149,282 @@ pub enum ShardPolicy {
     RarestFirst,
 }
 
+/// Intersection tree over all node inventories in one flat `u64` arena.
+///
+/// Leaves sit at arena rows `size + i` (`size` = node count rounded up
+/// to a power of two; pad leaves are all-ones, the intersection
+/// identity); internal row `j` is the word-wise intersection of rows
+/// `2j` and `2j + 1`; the root is row 1. Because every real inventory
+/// row keeps its tail bits zero, pad leaves never contribute phantom
+/// membership to a difference scan.
+///
+/// The root answers the uploader fast-fail — *someone wants a block of
+/// `inv(u)` iff `inv(u) ⊄ root`* (if `inv(u) ⊆ ∩ᵥ inv(v)` nobody lacks
+/// anything `u` has; conversely a block outside the intersection is
+/// missing somewhere) — and a root-to-leaf descent enumerates exactly
+/// the interested nodes.
+#[derive(Debug, Default)]
+struct InterestTree {
+    /// `2 * size` rows of `stride` words; row 0 unused.
+    words: Vec<u64>,
+    stride: usize,
+    /// Leaf base: node count rounded up to a power of two.
+    size: usize,
+    /// Real leaves (node count).
+    nodes: usize,
+}
+
+impl InterestTree {
+    fn matches(&self, nodes: usize, stride: usize) -> bool {
+        self.nodes == nodes && self.stride == stride
+    }
+
+    /// Word count a full rebuild writes — the cost yardstick against
+    /// replaying per-delivery deltas.
+    fn rebuild_words(&self) -> usize {
+        self.size * self.stride
+    }
+
+    #[inline]
+    fn node(&self, j: usize) -> &[u64] {
+        &self.words[j * self.stride..(j + 1) * self.stride]
+    }
+
+    /// Rebuilds every row from the matrix.
+    fn rebuild(&mut self, m: &BlockMatrix) {
+        let (nodes, stride) = (m.rows(), m.stride());
+        let size = nodes.next_power_of_two().max(1);
+        if self.size != size || self.stride != stride {
+            self.words = vec![0; 2 * size * stride];
+        }
+        self.nodes = nodes;
+        self.stride = stride;
+        self.size = size;
+        for i in 0..nodes {
+            self.words[(size + i) * stride..(size + i + 1) * stride].copy_from_slice(m.row(i));
+        }
+        // Pad leaves: all-ones, the identity of intersection.
+        self.words[(size + nodes) * stride..].fill(u64::MAX);
+        for j in (1..size).rev() {
+            for w in 0..stride {
+                self.words[j * stride + w] =
+                    self.words[2 * j * stride + w] & self.words[(2 * j + 1) * stride + w];
+            }
+        }
+    }
+
+    /// Applies one delivery `block → v`: sets the leaf bit and
+    /// propagates upward while the sibling also holds the block (an
+    /// internal row gains a bit only when both children have it).
+    fn deliver(&mut self, v: usize, block: usize) {
+        let (w, mask) = (block / 64, 1u64 << (block % 64));
+        let mut j = self.size + v;
+        self.words[j * self.stride + w] |= mask;
+        while j > 1 {
+            if self.words[(j ^ 1) * self.stride + w] & mask == 0 {
+                break;
+            }
+            j /= 2;
+            let word = &mut self.words[j * self.stride + w];
+            if *word & mask != 0 {
+                break;
+            }
+            *word |= mask;
+        }
+    }
+
+    /// Whether any node lacks a block of the inventory row `inv`.
+    #[inline]
+    fn anyone_wants(&self, inv: &[u64]) -> bool {
+        kern::any_diff(inv, self.node(1), None)
+    }
+
+    /// Pushes (ascending) every node that lacks a block of `inv`.
+    fn collect_wanting(&self, inv: &[u64], out: &mut Vec<u32>) {
+        self.walk(1, inv, out);
+    }
+
+    fn walk(&self, j: usize, inv: &[u64], out: &mut Vec<u32>) {
+        if !kern::any_diff(inv, self.node(j), None) {
+            return;
+        }
+        if j >= self.size {
+            // Pad leaves are all-ones and can never reach here.
+            out.push((j - self.size) as u32);
+            return;
+        }
+        self.walk(2 * j, inv, out);
+        self.walk(2 * j + 1, inv, out);
+    }
+}
+
+/// Per-frequency block bitmasks mirroring `SimState::frequencies`,
+/// giving rarest-first tie resolution a precomputed mask for
+/// [`BlockMatrix::nth_missing_in`]. Bucket `f` holds exactly the blocks
+/// currently replicated on `f` nodes.
+#[derive(Debug, Default)]
+struct RarityBuckets {
+    /// `buckets` rows of `stride` words over the *block* universe.
+    words: Vec<u64>,
+    stride: usize,
+    /// Frequency mirror, kept bit-identical to `SimState::frequencies`.
+    freq: Vec<u32>,
+}
+
+impl RarityBuckets {
+    fn build(freq: &[u32], nodes: usize, stride: usize) -> Self {
+        let mut b = RarityBuckets {
+            words: vec![0; (nodes + 1) * stride],
+            stride,
+            freq: freq.to_vec(),
+        };
+        for (block, &f) in freq.iter().enumerate() {
+            b.words[f as usize * stride + block / 64] |= 1 << (block % 64);
+        }
+        b
+    }
+
+    /// Applies one delivery of `block`: moves its bit up one bucket.
+    fn deliver(&mut self, block: usize) {
+        let f = self.freq[block] as usize;
+        let (w, mask) = (block / 64, 1u64 << (block % 64));
+        self.words[f * self.stride + w] &= !mask;
+        self.words[(f + 1) * self.stride + w] |= mask;
+        self.freq[block] += 1;
+    }
+
+    /// The bitmask of blocks at frequency `f`.
+    #[inline]
+    fn mask(&self, f: u32) -> &[u64] {
+        &self.words[f as usize * self.stride..(f as usize + 1) * self.stride]
+    }
+}
+
+/// The persistent cross-tick planning views and their sync discipline.
+#[derive(Debug, Default)]
+struct SwarmIndexes {
+    tree: InterestTree,
+    rarity: Option<RarityBuckets>,
+    /// Ascending incomplete node ids — the target pool for uploaders
+    /// whose neighbor set is [`NeighborSet::All`].
+    pool: Vec<u32>,
+    /// The tick the views are synced to plan, if any.
+    synced_for: Option<u32>,
+    /// Cached at rebuild: every download capacity is unlimited.
+    caps_unlimited: bool,
+    /// Cached at rebuild: every neighbor set is [`NeighborSet::All`].
+    overlay_complete: bool,
+}
+
+impl SwarmIndexes {
+    /// Brings the views up to the start of tick `p.tick()`: applies the
+    /// previous tick's committed transfers as deltas when the views are
+    /// exactly one tick behind (electing a rebuild when the delta volume
+    /// exceeds the rebuild cost), or rebuilds from scratch. Returns
+    /// `(interest_rebuilds, rarity_rebuilds)` performed.
+    fn sync(&mut self, p: &TickPlanner<'_>, policy: ShardPolicy) -> (u64, u64) {
+        let state = p.state();
+        let m = state.matrix();
+        let t = p.tick().get();
+        let want_rarity = matches!(policy, ShardPolicy::RarestFirst);
+        let delta_ok = self
+            .synced_for
+            .is_some_and(|prev| prev.wrapping_add(1) == t)
+            && self.tree.matches(m.rows(), m.stride())
+            && self.rarity.is_some() == want_rarity;
+        let mut rebuilds = (0u64, 0u64);
+        if delta_ok {
+            let committed = p.last_committed();
+            if 2 * committed.len() >= self.tree.rebuild_words() {
+                // Dense tick: replaying deltas (avg. a few words each)
+                // would out-cost the sequential-write rebuild.
+                self.tree.rebuild(m);
+                rebuilds.0 = 1;
+            } else {
+                for tr in committed {
+                    self.tree.deliver(tr.to.index(), tr.block.index());
+                }
+            }
+            if let Some(r) = &mut self.rarity {
+                for tr in committed {
+                    r.deliver(tr.block.index());
+                }
+            }
+            if committed.iter().any(|tr| state.is_complete(tr.to)) {
+                self.pool.retain(|&v| !state.is_complete(NodeId::new(v)));
+            }
+        } else {
+            self.tree.rebuild(m);
+            rebuilds.0 = 1;
+            self.rarity = want_rarity.then(|| {
+                rebuilds.1 = 1;
+                RarityBuckets::build(state.frequencies(), m.rows(), m.stride())
+            });
+            self.pool = (0..m.rows() as u32)
+                .filter(|&v| !state.is_complete(NodeId::new(v)))
+                .collect();
+            self.caps_unlimited = p.downloads_unlimited();
+            let topology = p.topology();
+            self.overlay_complete = (0..m.rows())
+                .all(|i| matches!(topology.neighbors(NodeId::from_index(i)), NeighborSet::All));
+        }
+        self.synced_for = Some(t);
+        #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
+        self.verify(state);
+        rebuilds
+    }
+
+    /// Re-derives every view from the state and panics on divergence.
+    #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
+    fn verify(&self, state: &crate::SimState) {
+        let m = state.matrix();
+        let mut fresh = InterestTree::default();
+        fresh.rebuild(m);
+        assert_eq!(
+            self.tree.words, fresh.words,
+            "interest tree diverged from the block matrix"
+        );
+        if let Some(r) = &self.rarity {
+            assert_eq!(
+                r.freq,
+                state.frequencies(),
+                "rarity frequency mirror diverged"
+            );
+            let fresh = RarityBuckets::build(state.frequencies(), m.rows(), m.stride());
+            assert_eq!(r.words, fresh.words, "rarity buckets diverged");
+        }
+        let fresh: Vec<u32> = (0..m.rows() as u32)
+            .filter(|&v| !state.is_complete(NodeId::new(v)))
+            .collect();
+        assert_eq!(self.pool, fresh, "incomplete pool diverged");
+    }
+
+    /// Whether the current tick qualifies for the fast-tick merge path
+    /// (see the module docs for why `propose_admitted` is safe here).
+    fn fast_tick(&self, mechanism: Mechanism) -> bool {
+        self.caps_unlimited
+            && self.overlay_complete
+            && matches!(
+                mechanism,
+                Mechanism::Cooperative | Mechanism::CreditLimited { .. }
+            )
+    }
+}
+
 /// Per-shard speculative planning state, reused across ticks.
 #[derive(Debug, Clone, Default)]
 struct ShardScratch {
     /// Planned `(from, to, block)` proposals, in slot order.
     proposals: Vec<(u32, u32, u32)>,
-    /// Blocks this shard promised to each target this tick.
-    pending: FxHashMap<u32, BlockSet>,
+    /// Blocks this shard promised to each target this tick — a dense
+    /// `node × block` bitmap like the merge-barrier claim bitmap. The
+    /// admission probe reads it on every candidate, so it must be an
+    /// index, not a hash lookup, and promising must not allocate.
+    pending: Vec<u64>,
+    /// Indices of nonzero `pending` words, for O(touched) reset.
+    pending_touched: Vec<u32>,
+    /// Words per `pending` row (the matrix stride it was sized for).
+    stride: usize,
     /// Downloads this shard promised to each target this tick (dense,
     /// reset via `touched`).
     down: Vec<u32>,
@@ -121,7 +448,10 @@ impl ShardScratch {
 
     fn reset(&mut self) {
         self.proposals.clear();
-        self.pending.clear();
+        for &w in &self.pending_touched {
+            self.pending[w as usize] = 0;
+        }
+        self.pending_touched.clear();
         for &t in &self.touched {
             self.down[t as usize] = 0;
         }
@@ -130,22 +460,34 @@ impl ShardScratch {
         self.tally = IndexCounters::default();
     }
 
-    #[inline]
-    fn pending_words(&self, v: usize) -> Option<&[u64]> {
-        self.pending.get(&(v as u32)).map(|b| b.words())
+    /// Sizes the pending bitmap for this tick's matrix shape. A resize
+    /// only happens on the first tick (or a node/block-count change),
+    /// where the bitmap is all-zero anyway.
+    fn ensure_pending(&mut self, nodes: usize, stride: usize) {
+        if self.pending.len() != nodes * stride {
+            self.pending = vec![0; nodes * stride];
+            self.pending_touched.clear();
+        }
+        self.stride = stride;
     }
 
-    fn promise(&mut self, from: u32, to: u32, block: u32, universe: usize) {
+    #[inline]
+    fn pending_words(&self, v: usize) -> Option<&[u64]> {
+        Some(&self.pending[v * self.stride..(v + 1) * self.stride])
+    }
+
+    fn promise(&mut self, from: u32, to: u32, block: u32) {
         self.proposals.push((from, to, block));
         let vi = to as usize;
         if self.down[vi] == 0 {
             self.touched.push(to);
         }
         self.down[vi] += 1;
-        self.pending
-            .entry(to)
-            .or_insert_with(|| BlockSet::empty(universe))
-            .insert(BlockId::new(block));
+        let wi = vi * self.stride + block as usize / 64;
+        if self.pending[wi] == 0 {
+            self.pending_touched.push(wi as u32);
+        }
+        self.pending[wi] |= 1 << (block % 64);
     }
 }
 
@@ -153,12 +495,15 @@ impl ShardScratch {
 struct PlanCtx<'a> {
     matrix: &'a BlockMatrix,
     freq: &'a [u32],
-    /// Ascending incomplete node ids — the target pool for uploaders
-    /// whose neighbor set is [`NeighborSet::All`].
+    tree: &'a InterestTree,
+    rarity: Option<&'a RarityBuckets>,
+    /// Ascending incomplete node ids (the persistent pool view).
     pool: &'a [u32],
-    /// Per-uploader neighbor sets, pre-resolved on the merge thread
-    /// (topology objects are not required to be `Sync`).
+    /// Per-uploader neighbor sets — empty when `overlay_complete`
+    /// (every set is [`NeighborSet::All`], so resolving them per tick
+    /// would be `O(n)` virtual calls for nothing).
     neighbors: &'a [NeighborSet<'a>],
+    overlay_complete: bool,
     ledger: &'a CreditLedger,
     download_caps: &'a [DownloadCapacity],
     upload_caps: &'a [u32],
@@ -248,20 +593,33 @@ fn admissible(
 }
 
 /// Uniformly random admissible target: [`REJECTION_TRIES`] bounded
-/// probes, then a full scan in ascending candidate order with one final
-/// draw iff any candidate survives. Zero draws for an empty candidate
-/// list, at most `REJECTION_TRIES + 1` draws otherwise.
+/// probes, then a survivor scan in ascending candidate order with one
+/// final draw iff any candidate survives. Zero draws for an empty
+/// candidate list, at most `REJECTION_TRIES + 1` draws otherwise.
+///
+/// With pool candidates the survivor scan walks the interest tree
+/// (nodes lacking a block of `inv(u)`, ascending) instead of the whole
+/// pool — a strict superset of the admissible survivors, so filtering
+/// it through [`admissible`] yields the identical set, and the draw
+/// discipline is unchanged.
+#[allow(clippy::too_many_arguments)]
 fn pick_target(
     ctx: &PlanCtx<'_>,
     scratch: &ShardScratch,
     tally: &mut IndexCounters,
     fallback: &mut Vec<u32>,
+    open_list: &mut Option<Vec<u32>>,
+    open: usize,
     u: NodeId,
     rng: &mut StdRng,
 ) -> Option<NodeId> {
-    let cands = match ctx.neighbors[u.index()] {
-        NeighborSet::All => Candidates::Pool(ctx.pool),
-        NeighborSet::List(l) => Candidates::List(l),
+    let cands = if ctx.overlay_complete {
+        Candidates::Pool(ctx.pool)
+    } else {
+        match ctx.neighbors[u.index()] {
+            NeighborSet::All => Candidates::Pool(ctx.pool),
+            NeighborSet::List(l) => Candidates::List(l),
+        }
     };
     let len = cands.len();
     if len == 0 {
@@ -274,10 +632,58 @@ fn pick_target(
         }
     }
     fallback.clear();
-    for i in 0..len {
-        let v = cands.get(i);
-        if admissible(ctx, scratch, tally, u, v) {
-            fallback.push(v.raw());
+    match cands {
+        Candidates::Pool(_) if open * 4 < ctx.pool.len() => {
+            // Near-exhaustion survivor scan: the admissible set is a
+            // subset of the shard's open targets (an admissible `v` has
+            // an unpromised missing block by definition), so filtering
+            // the materialized ascending open list yields exactly the
+            // survivors the interest-tree walk would — without touching
+            // the tree, whose walk cannot see shard-local promises and
+            // would enumerate the whole wanting pool on final ticks.
+            let universe = ctx.matrix.universe();
+            let list = open_list.get_or_insert_with(|| {
+                ctx.pool
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        still_open(
+                            ctx.matrix.row(v as usize),
+                            scratch.pending_words(v as usize),
+                            universe,
+                        )
+                    })
+                    .collect()
+            });
+            // One pass: drop targets closed since materialization (a
+            // closed target never reopens within the tick), keep the
+            // admissible survivors in ascending order.
+            list.retain(|&v| {
+                if !still_open(
+                    ctx.matrix.row(v as usize),
+                    scratch.pending_words(v as usize),
+                    universe,
+                ) {
+                    return false;
+                }
+                if admissible(ctx, scratch, tally, u, NodeId::new(v)) {
+                    fallback.push(v);
+                }
+                true
+            });
+        }
+        Candidates::Pool(_) => {
+            tally.matrix_kernels += 1;
+            ctx.tree
+                .collect_wanting(ctx.matrix.row(u.index()), fallback);
+            fallback.retain(|&v| admissible(ctx, scratch, tally, u, NodeId::new(v)));
+        }
+        Candidates::List(l) => {
+            for &v in l {
+                if admissible(ctx, scratch, tally, u, v) {
+                    fallback.push(v.raw());
+                }
+            }
         }
     }
     if fallback.is_empty() {
@@ -290,7 +696,8 @@ fn pick_target(
 /// Block selection over `inv(u) \ (inv(v) ∪ shard-pending(v))`, with the
 /// same draw discipline as the sequential planner: Random consumes one
 /// draw, Rarest-First consumes one draw iff the minimum frequency is
-/// tied.
+/// tied (tie resolution goes through the rarity-bucket mask when the
+/// buckets are live — bit-identical to the frequency-table scan).
 fn pick_block(
     ctx: &PlanCtx<'_>,
     scratch: &ShardScratch,
@@ -324,12 +731,34 @@ fn pick_block(
                 return Some(first as u32);
             }
             tally.matrix_kernels += 1;
-            Some(
-                ctx.matrix
-                    .nth_missing_at_freq(ui, vi, pend, ctx.freq, best, j) as u32,
-            )
+            let block = match ctx.rarity {
+                Some(r) => ctx.matrix.nth_missing_in(ui, vi, pend, r.mask(best), j),
+                None => ctx
+                    .matrix
+                    .nth_missing_at_freq(ui, vi, pend, ctx.freq, best, j),
+            };
+            Some(block as u32)
         }
     }
+}
+
+/// Whether target `v` still has a block that is missing from its
+/// inventory *and* unpromised by this shard — the per-target openness
+/// bit behind the exhaustion break in [`plan_shard`].
+fn still_open(inv: &[u64], pend: Option<&[u64]>, universe: usize) -> bool {
+    for (w, &have) in inv.iter().enumerate() {
+        let tail = universe - w * 64;
+        let mask = if tail >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << tail) - 1
+        };
+        let promised = pend.map_or(0, |p| p[w]);
+        if !have & !promised & mask != 0 {
+            return true;
+        }
+    }
+    false
 }
 
 /// Plans one shard: at most one proposal per owned uploader, in
@@ -337,19 +766,52 @@ fn pick_block(
 fn plan_shard(ctx: &PlanCtx<'_>, shard: usize, scratch: &mut ShardScratch) {
     let started = Instant::now();
     scratch.reset();
+    scratch.ensure_pending(ctx.matrix.rows(), ctx.matrix.stride());
     let mut rng = StdRng::seed_from_u64(substream_seed(ctx.tick_entropy, ctx.tick, shard as u32));
     let mut fallback: Vec<u32> = Vec::new();
     let mut tally = IndexCounters::default();
     let (lo, hi) = ctx.ranges[shard];
+    // Pool targets this shard can still promise something to. Every
+    // successful proposal may close its target; at zero, no candidate
+    // is admissible for *any* remaining uploader (the interest check
+    // fails on all of them), so the rest of the range plans exactly no
+    // proposals — breaking out is trace-invariant because each shard
+    // re-seeds its RNG substream from `(tick_entropy, tick, shard)`
+    // next tick and never reads the abandoned draw positions again.
+    // Without the break, final ticks degrade to O(uploaders × pool)
+    // burned rejection probes plus full survivor scans.
+    let mut open = ctx.pool.len();
+    let mut open_list: Option<Vec<u32>> = None;
     for raw in lo..hi {
+        if open == 0 {
+            break;
+        }
         let u = NodeId::new(raw);
-        if ctx.upload_caps[u.index()] == 0 || ctx.matrix.row_len(u.index()) == 0 {
+        let ui = u.index();
+        if ctx.upload_caps[ui] == 0 || ctx.matrix.row_len(ui) == 0 {
             continue;
         }
         if matches!(ctx.mechanism, Mechanism::StrictBarter) && !u.is_server() {
             continue; // unpaired client uploads abort at commit time
         }
-        let Some(v) = pick_target(ctx, scratch, &mut tally, &mut fallback, u, &mut rng) else {
+        // Zero-draw fast-fail: one root probe instead of a burned draw
+        // budget when nobody wants anything `u` holds.
+        tally.interest_probes += 1;
+        tally.matrix_kernels += 1;
+        if !ctx.tree.anyone_wants(ctx.matrix.row(ui)) {
+            continue;
+        }
+        tally.interest_hits += 1;
+        let Some(v) = pick_target(
+            ctx,
+            scratch,
+            &mut tally,
+            &mut fallback,
+            &mut open_list,
+            open,
+            u,
+            &mut rng,
+        ) else {
             continue;
         };
         let Some(block) = pick_block(ctx, scratch, &mut tally, u, v, &mut rng) else {
@@ -359,11 +821,81 @@ fn plan_shard(ctx: &PlanCtx<'_>, shard: usize, scratch: &mut ShardScratch) {
             );
             continue;
         };
-        scratch.promise(u.raw(), v.raw(), block, ctx.matrix.universe());
+        scratch.promise(u.raw(), v.raw(), block);
+        let vi = v.index();
+        if !still_open(
+            ctx.matrix.row(vi),
+            scratch.pending_words(vi),
+            ctx.matrix.universe(),
+        ) {
+            open -= 1;
+        }
     }
     scratch.plan_nanos = started.elapsed().as_nanos() as u64;
     scratch.tally = tally;
     scratch.finished = Some(Instant::now());
+}
+
+/// Merge-barrier accumulators for one tick.
+#[derive(Default)]
+struct MergeAcc {
+    conflicts: u64,
+    duplicates: u64,
+    merge_nanos: u64,
+    telemetry: IndexCounters,
+}
+
+/// Replays one planned shard into the tick in `(shard, slot)` order:
+/// claim-bitmap filtering, then `propose_admitted` (fast tick) or the
+/// validating `propose`. Also flushes the shard's plan/stall telemetry.
+#[allow(clippy::too_many_arguments)]
+fn merge_shard(
+    p: &mut TickPlanner<'_>,
+    scratch: &ShardScratch,
+    s: usize,
+    fast: bool,
+    range_nonempty: bool,
+    stride: usize,
+    claimed: &mut [u64],
+    claim_touched: &mut Vec<usize>,
+    acc: &mut MergeAcc,
+) {
+    let started = Instant::now();
+    p.note_shard_plan_nanos(s, scratch.plan_nanos);
+    let stall = scratch
+        .finished
+        .map_or(0, |f| f.elapsed().as_nanos() as u64);
+    p.note_shard_stall_nanos(s, stall);
+    if fast && range_nonempty {
+        p.note_shard_fast_tick(s);
+    }
+    acc.telemetry.add(&scratch.tally);
+    for &(from, to, block) in &scratch.proposals {
+        let wi = to as usize * stride + block as usize / 64;
+        let bit = 1u64 << (block % 64);
+        if claimed[wi] & bit != 0 {
+            // An earlier (shard, slot) committed this (node, block):
+            // filtered here, before the planner ever sees it.
+            acc.duplicates += 1;
+            continue;
+        }
+        if fast {
+            p.propose_admitted(NodeId::new(from), NodeId::new(to), BlockId::new(block));
+        } else if p
+            .propose(NodeId::new(from), NodeId::new(to), BlockId::new(block))
+            .is_err()
+        {
+            acc.conflicts += 1;
+            continue;
+        }
+        // Claim only committed transfers, so a capacity-dropped proposal
+        // does not shadow the counter classification of later ones.
+        if claimed[wi] == 0 {
+            claim_touched.push(wi);
+        }
+        claimed[wi] |= bit;
+    }
+    acc.merge_nanos += started.elapsed().as_nanos() as u64;
 }
 
 /// Parallel swarm strategy: shard-partitioned speculative planning with
@@ -395,19 +927,33 @@ pub struct ShardedSwarm {
     workers: u32,
     scratch: Vec<ShardScratch>,
     nodes: usize,
+    indexes: SwarmIndexes,
+    /// Tick-scoped claimed-block bitmap (`node × block`), reset via
+    /// `claim_touched` at the start of each merge.
+    claimed: Vec<u64>,
+    claim_touched: Vec<usize>,
 }
 
 impl ShardedSwarm {
     /// Creates a sharded planner with `threads` shards (clamped to
-    /// `1..=`[`MAX_SHARDS`]) and as many worker threads as shards.
+    /// `1..=`[`MAX_SHARDS`]) and one worker thread per shard, capped at
+    /// the machine's available parallelism. Oversubscribing a small
+    /// core count costs a per-tick spawn + context-switch tax without
+    /// any concurrency in return, and the cap cannot change the trace —
+    /// shard RNG substreams are keyed on `(tick_entropy, tick, shard)`,
+    /// never on which worker ran them.
     pub fn new(policy: ShardPolicy, threads: u32) -> Self {
         let shards = threads.clamp(1, MAX_SHARDS as u32);
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get() as u32);
         ShardedSwarm {
             policy,
             shards,
-            workers: shards,
+            workers: shards.min(cores),
             scratch: Vec::new(),
             nodes: 0,
+            indexes: SwarmIndexes::default(),
+            claimed: Vec::new(),
+            claim_touched: Vec::new(),
         }
     }
 
@@ -440,26 +986,48 @@ impl Strategy for ShardedSwarm {
         let n = p.node_count();
         self.ensure_scratch(n);
         let tick_entropy: u64 = rng.gen();
+        let (tree_rebuilds, rarity_rebuilds) = self.indexes.sync(p, self.policy);
         let state = p.state();
-        let topology = p.topology();
-        let shards = self.shards as usize;
+        let stride = state.matrix().stride();
+        if self.claimed.len() != n * stride {
+            self.claimed = vec![0; n * stride];
+            self.claim_touched.clear();
+        }
+        // Reset the claim bitmap from the previous tick, O(touched).
+        for &wi in &self.claim_touched {
+            self.claimed[wi] = 0;
+        }
+        self.claim_touched.clear();
 
-        // Shared read-only planning inputs, resolved once per tick on
-        // the merge thread.
-        let pool: Vec<u32> = (0..n as u32)
-            .filter(|&v| !state.is_complete(NodeId::new(v)))
-            .collect();
-        let neighbors: Vec<NeighborSet<'_>> = (0..n)
-            .map(|u| topology.neighbors(NodeId::from_index(u)))
-            .collect();
+        let fast = self.indexes.fast_tick(p.mechanism());
+        let shards = self.shards as usize;
+        let topology = p.topology();
+        let neighbors: Vec<NeighborSet<'_>> = if self.indexes.overlay_complete {
+            Vec::new()
+        } else {
+            (0..n)
+                .map(|u| topology.neighbors(NodeId::from_index(u)))
+                .collect()
+        };
         let ranges: Vec<(u32, u32)> = (0..shards)
             .map(|s| ((s * n / shards) as u32, ((s + 1) * n / shards) as u32))
             .collect();
+
+        let Self {
+            indexes,
+            scratch,
+            claimed,
+            claim_touched,
+            ..
+        } = self;
         let ctx = PlanCtx {
             matrix: state.matrix(),
             freq: state.frequencies(),
-            pool: &pool,
+            tree: &indexes.tree,
+            rarity: indexes.rarity.as_ref(),
+            pool: &indexes.pool,
             neighbors: &neighbors,
+            overlay_complete: indexes.overlay_complete,
             ledger: p.ledger(),
             download_caps: p.download_caps(),
             upload_caps: p.upload_caps(),
@@ -470,68 +1038,90 @@ impl Strategy for ShardedSwarm {
             tick: p.tick().get(),
         };
 
+        let mut acc = MergeAcc::default();
         let workers = (self.workers as usize).min(shards);
         if workers <= 1 {
-            for (s, scratch) in self.scratch.iter_mut().enumerate() {
-                plan_shard(&ctx, s, scratch);
+            // Interleaved plan → merge: each shard is replayed the
+            // moment it finishes planning, so its stall is just the
+            // barrier bookkeeping.
+            for (s, sc) in scratch.iter_mut().enumerate() {
+                plan_shard(&ctx, s, sc);
+                let nonempty = ranges[s].0 < ranges[s].1;
+                merge_shard(
+                    p,
+                    sc,
+                    s,
+                    fast,
+                    nonempty,
+                    stride,
+                    claimed,
+                    claim_touched,
+                    &mut acc,
+                );
             }
         } else {
-            // One contiguous chunk of shards per worker; the last chunk
-            // runs on the current thread. Chunking (not work stealing)
-            // keeps shard→worker assignment deterministic, though the
-            // trace would not depend on it either way.
-            let chunk = shards.div_ceil(workers);
+            // Pipelined schedule: workers pull shards dynamically in
+            // ascending order while this thread replays each shard as
+            // soon as it is done, in shard order. Which worker plans
+            // which shard is load-dependent, but the trace cannot see
+            // it — shard RNG substreams depend only on (tick, shard).
+            let cells: Vec<Mutex<ShardScratch>> = std::mem::take(scratch)
+                .into_iter()
+                .map(Mutex::new)
+                .collect();
+            let next = AtomicUsize::new(0);
+            let done = (Mutex::new(0u32), Condvar::new());
             let ctx = &ctx;
             std::thread::scope(|scope| {
-                let mut rest: &mut [ShardScratch] = &mut self.scratch;
-                let mut base = 0usize;
-                while !rest.is_empty() {
-                    let take = chunk.min(rest.len());
-                    let (head, tail) = rest.split_at_mut(take);
-                    if tail.is_empty() {
-                        for (i, scratch) in head.iter_mut().enumerate() {
-                            plan_shard(ctx, base + i, scratch);
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards {
+                            break;
                         }
-                    } else {
-                        scope.spawn(move || {
-                            for (i, scratch) in head.iter_mut().enumerate() {
-                                plan_shard(ctx, base + i, scratch);
-                            }
-                        });
+                        {
+                            let mut sc = cells[s].lock().unwrap();
+                            plan_shard(ctx, s, &mut sc);
+                        }
+                        let mut mask = done.0.lock().unwrap();
+                        *mask |= 1 << s;
+                        done.1.notify_all();
+                    });
+                }
+                for s in 0..shards {
+                    {
+                        let mut mask = done.0.lock().unwrap();
+                        while *mask & (1 << s) == 0 {
+                            mask = done.1.wait(mask).unwrap();
+                        }
                     }
-                    base += take;
-                    rest = tail;
+                    let sc = cells[s].lock().unwrap();
+                    let nonempty = ranges[s].0 < ranges[s].1;
+                    merge_shard(
+                        p,
+                        &sc,
+                        s,
+                        fast,
+                        nonempty,
+                        stride,
+                        claimed,
+                        claim_touched,
+                        &mut acc,
+                    );
                 }
             });
+            *scratch = cells.into_iter().map(|m| m.into_inner().unwrap()).collect();
         }
 
-        // Deterministic merge barrier: replay in (shard, slot) order.
-        // Rejections here are cross-shard conflicts, not errors — the
-        // losing proposal is simply dropped. A shard's *stall* is the
-        // gap between its worker finishing and the replay loop reaching
-        // it — earlier shards' replay time is part of that wait by
-        // design, since the barrier is strictly ordered.
-        let merge_started = Instant::now();
-        let mut conflicts = 0u64;
-        let mut telemetry = IndexCounters::default();
-        for (s, scratch) in self.scratch.iter().enumerate() {
-            p.note_shard_plan_nanos(s, scratch.plan_nanos);
-            let stall = scratch
-                .finished
-                .map_or(0, |f| f.elapsed().as_nanos() as u64);
-            p.note_shard_stall_nanos(s, stall);
-            telemetry.add(&scratch.tally);
-            for &(from, to, block) in &scratch.proposals {
-                if p.propose(NodeId::new(from), NodeId::new(to), BlockId::new(block))
-                    .is_err()
-                {
-                    conflicts += 1;
-                }
-            }
+        acc.telemetry.interest_rebuilds += tree_rebuilds;
+        if fast {
+            p.note_fast_tick();
         }
-        p.note_merge_conflicts(conflicts);
-        p.note_merge_nanos(merge_started.elapsed().as_nanos() as u64);
-        p.note_index_counters(telemetry);
+        p.note_rarity_rebuilds(rarity_rebuilds);
+        p.note_merge_conflicts(acc.conflicts);
+        p.note_merge_duplicates(acc.duplicates);
+        p.note_merge_nanos(acc.merge_nanos);
+        p.note_index_counters(acc.telemetry);
         Ok(())
     }
 
@@ -570,6 +1160,27 @@ mod tests {
         (ticks, engine.report())
     }
 
+    /// Deterministic xorshift for index tests (no RNG crate dependency).
+    fn xorshift(x: &mut u64) -> u64 {
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+
+    fn random_matrix(nodes: usize, universe: usize, seed: u64) -> BlockMatrix {
+        let mut m = BlockMatrix::new(nodes, universe);
+        let mut x = seed | 1;
+        for r in 0..nodes {
+            for b in 0..universe {
+                if xorshift(&mut x).is_multiple_of(3) {
+                    m.set(r, b);
+                }
+            }
+        }
+        m
+    }
+
     #[test]
     fn substream_seeds_are_deterministic_and_distinct() {
         assert_eq!(substream_seed(7, 3, 1), substream_seed(7, 3, 1));
@@ -582,6 +1193,94 @@ mod tests {
         for (i, a) in cells.iter().enumerate() {
             for b in &cells[i + 1..] {
                 assert_ne!(a, b, "neighboring (seed, tick, shard) cells must split");
+            }
+        }
+    }
+
+    #[test]
+    fn interest_tree_root_matches_naive_interest() {
+        for (nodes, universe) in [(1usize, 8usize), (5, 70), (16, 130), (23, 64)] {
+            let m = random_matrix(nodes, universe, 99 + nodes as u64);
+            let mut tree = InterestTree::default();
+            tree.rebuild(&m);
+            for u in 0..nodes {
+                let naive = (0..nodes).any(|v| {
+                    v != u && (0..universe).any(|b| m.contains(u, b) && !m.contains(v, b))
+                });
+                assert_eq!(
+                    tree.anyone_wants(m.row(u)),
+                    naive,
+                    "root test diverged for uploader {u} of {nodes} nodes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interest_tree_collects_wanting_nodes_ascending() {
+        let (nodes, universe) = (13usize, 70usize);
+        let m = random_matrix(nodes, universe, 5);
+        let mut tree = InterestTree::default();
+        tree.rebuild(&m);
+        let mut got = Vec::new();
+        for u in 0..nodes {
+            got.clear();
+            tree.collect_wanting(m.row(u), &mut got);
+            let naive: Vec<u32> = (0..nodes as u32)
+                .filter(|&v| {
+                    v as usize != u
+                        && (0..universe).any(|b| m.contains(u, b) && !m.contains(v as usize, b))
+                })
+                .collect();
+            assert_eq!(got, naive, "wanting set diverged for uploader {u}");
+        }
+    }
+
+    #[test]
+    fn interest_tree_deltas_match_rebuild() {
+        let (nodes, universe) = (11usize, 130usize);
+        let mut m = random_matrix(nodes, universe, 77);
+        let mut tree = InterestTree::default();
+        tree.rebuild(&m);
+        let mut x = 1234u64;
+        for _ in 0..200 {
+            let v = (xorshift(&mut x) % nodes as u64) as usize;
+            let b = (xorshift(&mut x) % universe as u64) as usize;
+            if m.set(v, b) {
+                tree.deliver(v, b);
+            }
+        }
+        let mut fresh = InterestTree::default();
+        fresh.rebuild(&m);
+        assert_eq!(tree.words, fresh.words, "incremental tree drifted");
+    }
+
+    #[test]
+    fn rarity_buckets_track_frequencies() {
+        let universe = 130usize;
+        let nodes = 9usize;
+        let mut freq = vec![0u32; universe];
+        let mut x = 42u64;
+        for f in freq.iter_mut() {
+            *f = (xorshift(&mut x) % nodes as u64) as u32;
+        }
+        let stride = universe.div_ceil(64);
+        let mut buckets = RarityBuckets::build(&freq, nodes, stride);
+        for _ in 0..300 {
+            let b = (xorshift(&mut x) % universe as u64) as usize;
+            if freq[b] < nodes as u32 {
+                buckets.deliver(b);
+                freq[b] += 1;
+            }
+        }
+        assert_eq!(buckets.freq, freq, "frequency mirror drifted");
+        let fresh = RarityBuckets::build(&freq, nodes, stride);
+        assert_eq!(buckets.words, fresh.words, "bucket masks drifted");
+        for f in 0..=nodes as u32 {
+            let mask = buckets.mask(f);
+            for b in 0..universe {
+                let set = mask[b / 64] >> (b % 64) & 1 == 1;
+                assert_eq!(set, freq[b] == f, "block {b} misfiled at frequency {f}");
             }
         }
     }
@@ -668,6 +1367,10 @@ mod tests {
             report.perf.merge_conflicts > 0,
             "expected cross-shard conflicts under Finite(1) downloads"
         );
+        assert_eq!(
+            report.perf.fast_ticks, 0,
+            "finite download caps must not qualify as fast ticks"
+        );
         assert_eq!(report.perf.threads, 8);
         assert!(report
             .perf
@@ -675,6 +1378,73 @@ mod tests {
             .iter()
             .take(8)
             .any(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn fast_ticks_cover_eligible_runs_per_shard() {
+        // Complete overlay + unlimited downloads + Cooperative: every
+        // tick is a fast tick, on every shard with a non-empty range.
+        let overlay = CompleteOverlay::new(16);
+        let cfg = SimConfig::new(16, 8)
+            .with_download_capacity(DownloadCapacity::Unlimited)
+            .with_threads(4);
+        let (_, report) = trace(
+            cfg,
+            &overlay,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 4),
+            29,
+        );
+        assert!(report.completed());
+        assert_eq!(
+            report.perf.fast_ticks,
+            u64::from(report.perf.ticks),
+            "every cooperative unlimited tick must be fast"
+        );
+        for s in 0..4 {
+            assert_eq!(
+                report.perf.shard_fast_ticks[s],
+                u64::from(report.perf.ticks),
+                "shard {s} missed fast ticks"
+            );
+        }
+        assert!(
+            report.perf.shard_fast_ticks[4..].iter().all(|&t| t == 0),
+            "unplanned shard slots must stay zero"
+        );
+        assert!(
+            report.perf.index.interest_rebuilds >= 1,
+            "first tick must rebuild the interest tree"
+        );
+    }
+
+    #[test]
+    fn merge_duplicates_are_filtered_and_counted() {
+        // Tiny block universe with many shards: distinct uploaders in
+        // different shards routinely pick the same (target, block), and
+        // the claim bitmap must count every losing copy.
+        let overlay = CompleteOverlay::new(24);
+        let cfg = SimConfig::new(24, 4)
+            .with_download_capacity(DownloadCapacity::Unlimited)
+            .with_threads(8);
+        let mut dups = 0;
+        for seed in 0..8 {
+            let (_, report) = trace(
+                cfg,
+                &overlay,
+                &mut ShardedSwarm::new(ShardPolicy::Random, 8),
+                seed,
+            );
+            assert!(report.completed());
+            assert_eq!(
+                report.perf.merge_conflicts, 0,
+                "unlimited downloads leave nothing for propose() to reject"
+            );
+            dups += report.perf.merge_duplicates;
+        }
+        assert!(
+            dups > 0,
+            "claim bitmap never saw a cross-shard duplicate over 8 runs"
+        );
     }
 
     #[test]
@@ -722,6 +1492,7 @@ mod tests {
         let overlay = CompleteOverlay::new(16);
         let cfg = SimConfig::new(16, 8)
             .with_mechanism(Mechanism::CreditLimited { credit: 1 })
+            .with_download_capacity(DownloadCapacity::Unlimited)
             .with_threads(4);
         let (_, report) = trace(
             cfg,
@@ -737,6 +1508,10 @@ mod tests {
             "credit=1 swarm should hit the ledger bound"
         );
         assert!(idx.credit_blocked <= idx.credit_probes);
+        assert!(
+            report.perf.fast_ticks > 0,
+            "credit-limited unlimited-download runs stay fast-tick eligible"
+        );
     }
 
     #[test]
@@ -758,6 +1533,10 @@ mod tests {
         assert!(
             ticks.iter().flatten().all(|t| t.from == NodeId::SERVER),
             "strict barter must not plan client uploads"
+        );
+        assert_eq!(
+            report.perf.fast_ticks, 0,
+            "strict barter must not take the fast merge path"
         );
     }
 

@@ -161,6 +161,93 @@ impl SimState {
             false
         }
     }
+
+    /// Delivers a whole tick's transfers across `workers` scoped threads,
+    /// partitioned by *receiver* into contiguous node ranges so every
+    /// mutation is range-local. Frequency updates accumulate in
+    /// per-worker deltas merged afterwards (addition commutes), and each
+    /// receiver's deliveries stay in transfer order within its bucket —
+    /// the final state is identical to replaying [`deliver`](Self::deliver)
+    /// sequentially, including the duplicate-delivery panic.
+    ///
+    /// The caller is responsible for any per-delivery observation
+    /// (events, gauges): this path is only used when no sink is
+    /// listening.
+    pub(crate) fn deliver_sharded(
+        &mut self,
+        transfers: &[crate::Transfer],
+        now: Tick,
+        workers: usize,
+    ) {
+        let n = self.blocks.len();
+        let workers = workers.clamp(1, n.max(1));
+        let bounds: Vec<usize> = (0..=workers).map(|w| w * n / workers).collect();
+        let mut buckets: Vec<Vec<crate::Transfer>> = vec![Vec::new(); workers];
+        for t in transfers {
+            let w = bounds.partition_point(|&b| b <= t.to.index()) - 1;
+            buckets[w].push(*t);
+        }
+        let stride = self.matrix.stride();
+        let k = self.k;
+        let mut matrix_chunks = self.matrix.rows_split_mut(&bounds);
+        let mut block_chunks: Vec<&mut [BlockSet]> = Vec::with_capacity(workers);
+        let mut completion_chunks: Vec<&mut [Option<Tick>]> = Vec::with_capacity(workers);
+        {
+            let mut blocks: &mut [BlockSet] = &mut self.blocks;
+            let mut completion: &mut [Option<Tick>] = &mut self.completion;
+            for pair in bounds.windows(2) {
+                let span = pair[1] - pair[0];
+                let (bh, bt) = blocks.split_at_mut(span);
+                let (ch, ct) = completion.split_at_mut(span);
+                block_chunks.push(bh);
+                completion_chunks.push(ch);
+                blocks = bt;
+                completion = ct;
+            }
+        }
+        let merged: Vec<(Vec<u32>, usize)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, (((bucket, (words, lens)), blocks), completion)) in buckets
+                .iter()
+                .zip(matrix_chunks.drain(..))
+                .zip(block_chunks.drain(..))
+                .zip(completion_chunks.drain(..))
+                .enumerate()
+            {
+                let lo = bounds[w];
+                handles.push(scope.spawn(move || {
+                    let mut freq_delta = vec![0u32; k];
+                    let mut completed = 0usize;
+                    for t in bucket {
+                        let v = t.to.index() - lo;
+                        let fresh = blocks[v].insert(t.block);
+                        assert!(fresh, "duplicate delivery of {} to {}", t.block, t.to);
+                        let wi = v * stride + t.block.index() / 64;
+                        let bit = 1u64 << (t.block.index() % 64);
+                        debug_assert!(
+                            words[wi] & bit == 0,
+                            "matrix mirror diverged from block sets"
+                        );
+                        words[wi] |= bit;
+                        lens[v] += 1;
+                        freq_delta[t.block.index()] += 1;
+                        if blocks[v].is_full() {
+                            completion[v] = Some(now);
+                            completed += 1;
+                        }
+                    }
+                    (freq_delta, completed)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (delta, completed) in merged {
+            for (f, d) in self.freq.iter_mut().zip(delta) {
+                *f += d;
+            }
+            self.incomplete -= completed;
+        }
+    }
 }
 
 #[cfg(test)]

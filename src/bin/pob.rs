@@ -660,21 +660,23 @@ fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
                 out.push_str(&format!(
                     ",\"perf\":{{\"fast_ticks\":{},\"rarity_rebuilds\":{}\
                      ,\"credit_invalidations\":{},\"threads\":{}\
-                     ,\"merge_conflicts\":{},\"shards\":[",
+                     ,\"merge_conflicts\":{},\"merge_duplicates\":{},\"shards\":[",
                     perf.fast_ticks,
                     perf.rarity_rebuilds,
                     perf.credit_invalidations,
                     perf.threads,
                     perf.merge_conflicts,
+                    perf.merge_duplicates,
                 ));
                 let mut first = true;
-                for (s, (&plan, &stall)) in perf
+                for (s, ((&plan, &stall), &fast)) in perf
                     .shard_plan_nanos
                     .iter()
                     .zip(&perf.shard_stall_nanos)
+                    .zip(&perf.shard_fast_ticks)
                     .enumerate()
                 {
-                    if plan == 0 && stall == 0 {
+                    if plan == 0 && stall == 0 && fast == 0 {
                         continue;
                     }
                     if !first {
@@ -682,7 +684,8 @@ fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
                     }
                     first = false;
                     out.push_str(&format!(
-                        "{{\"shard\":{s},\"plan_nanos\":{plan},\"stall_nanos\":{stall}}}"
+                        "{{\"shard\":{s},\"plan_nanos\":{plan},\"stall_nanos\":{stall}\
+                         ,\"fast_ticks\":{fast}}}"
                     ));
                 }
                 out.push_str("]}");
@@ -857,24 +860,25 @@ fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
             "perf gauges  : {} fast ticks, {} rarity rebuilds, {} credit invalidations",
             perf.fast_ticks, perf.rarity_rebuilds, perf.credit_invalidations
         );
-        if perf.threads > 1 || perf.merge_conflicts > 0 {
+        if perf.threads > 1 || perf.merge_conflicts > 0 || perf.merge_duplicates > 0 {
             println!(
-                "parallelism  : {} planner threads, {} merge conflicts",
-                perf.threads, perf.merge_conflicts
+                "parallelism  : {} planner threads, {} merge conflicts, {} duplicates filtered",
+                perf.threads, perf.merge_conflicts, perf.merge_duplicates
             );
             // Per-shard breakdown: only populated slots, the unused tail
             // of the fixed arrays stays silent.
-            for (s, (&plan, &stall)) in perf
+            for (s, ((&plan, &stall), &fast)) in perf
                 .shard_plan_nanos
                 .iter()
                 .zip(&perf.shard_stall_nanos)
+                .zip(&perf.shard_fast_ticks)
                 .enumerate()
             {
-                if plan == 0 && stall == 0 {
+                if plan == 0 && stall == 0 && fast == 0 {
                     continue;
                 }
                 println!(
-                    "  shard {s:>2}   : plan {} ms, stall {} ms",
+                    "  shard {s:>2}   : plan {} ms, stall {} ms, {fast} fast ticks",
                     fmt_ms(plan),
                     fmt_ms(stall)
                 );

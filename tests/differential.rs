@@ -11,7 +11,9 @@
 //!
 //! Case count per test defaults to proptest's 256 and follows the
 //! `PROPTEST_CASES` environment variable (the nightly CI job raises it
-//! 10×). Four tests × 256 cases ≥ 1000 scenarios per run.
+//! 10×). Five lockstep tests × 256 cases ≥ 1000 scenarios per run, plus
+//! a claim-bitmap property (no tick ever commits the same `(node,
+//! block)` delivery twice) run directly against the parallel planner.
 
 use price_of_barter::core::schedules::RifflePipeline;
 use price_of_barter::core::strategies::{
@@ -31,14 +33,15 @@ use rand::SeedableRng;
 /// Runs `fast` and `reference` against identically configured engines and
 /// identically seeded RNGs, asserting a bit-identical trace tick by tick.
 /// The reference engine carries an `InvariantSink`; the run must finish
-/// clean. Returns the number of ticks executed.
+/// clean. Returns the fast engine's report so callers can audit its
+/// perf counters.
 fn assert_lockstep(
     cfg: SimConfig,
     topology: &dyn Topology,
     fast: &mut dyn Strategy,
     reference: &mut dyn Strategy,
     seed: u64,
-) -> u32 {
+) -> price_of_barter::sim::RunReport {
     let mut fast_engine = Engine::new(cfg, topology);
     let mut ref_engine = Engine::with_sink(cfg, topology, InvariantSink::new(&cfg));
     let mut fast_rng = StdRng::seed_from_u64(seed);
@@ -86,6 +89,7 @@ fn assert_lockstep(
         "credit ledgers diverge"
     );
     let ticks = fast_engine.current_tick().get();
+    let report = fast_engine.report();
     let sink = ref_engine.into_sink();
     sink.assert_clean();
     assert_eq!(
@@ -93,7 +97,7 @@ fn assert_lockstep(
         u64::from(ticks),
         "invariant sink missed ticks"
     );
-    ticks
+    report
 }
 
 fn download_capacity(code: u8) -> DownloadCapacity {
@@ -273,7 +277,70 @@ proptest! {
             .with_threads(threads);
         let mut fast = ShardedSwarm::new(shard_policy(rarest), threads);
         let mut reference = ReferenceSharded::new(shard_policy(rarest), threads);
-        assert_lockstep(cfg, topology.as_ref(), &mut fast, &mut reference, seed);
+        let report = assert_lockstep(cfg, topology.as_ref(), &mut fast, &mut reference, seed);
+        // Complete overlay + unlimited downloads + a fast-path mechanism:
+        // every tick must take the single-probe fast path, on every shard
+        // that owns at least one node.
+        let fast_eligible = !use_regular
+            && matches!(download_capacity(dl), DownloadCapacity::Unlimited)
+            && matches!(
+                shard_mechanism(mech, credit),
+                Mechanism::Cooperative | Mechanism::CreditLimited { .. }
+            );
+        if fast_eligible {
+            let ticks = u64::from(report.perf.ticks);
+            prop_assert_eq!(report.perf.fast_ticks, ticks, "eligible run missed fast ticks");
+            let shards = threads as usize;
+            for s in 0..shards {
+                if s * n / shards != (s + 1) * n / shards {
+                    prop_assert_eq!(
+                        report.perf.shard_fast_ticks[s],
+                        ticks,
+                        "shard {} missed fast ticks",
+                        s
+                    );
+                }
+            }
+        }
+    }
+
+    /// Claim-bitmap soundness: whatever the shard count, mechanism, or
+    /// capacity, one tick never commits two deliveries of the same
+    /// `(node, block)` pair — the losing cross-shard copies are filtered
+    /// (and only counted) at the merge barrier.
+    #[test]
+    fn sharded_tick_never_double_delivers(
+        n in 3usize..=24,
+        k in 1usize..=6,
+        mech in 0u8..4,
+        credit in 1u32..=3,
+        threads_pick in 0usize..3,
+        dl in 0u8..3,
+        rarest in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let topology = CompleteOverlay::new(n);
+        let threads = shard_threads(threads_pick);
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(shard_mechanism(mech, credit))
+            .with_download_capacity(download_capacity(dl))
+            .with_threads(threads);
+        let mut strategy = ShardedSwarm::new(shard_policy(rarest), threads);
+        let mut engine = Engine::new(cfg, &topology);
+        let mut rng = StdRng::seed_from_u64(seed);
+        while engine.step(&mut strategy, &mut rng).expect("run must not error") {
+            let tick = engine.current_tick().get();
+            let mut seen = std::collections::HashSet::new();
+            for t in engine.last_transfers() {
+                prop_assert!(
+                    seen.insert((t.to, t.block)),
+                    "tick {} delivered {} to {} twice",
+                    tick,
+                    t.block,
+                    t.to
+                );
+            }
+        }
     }
 
     /// Strict barter: the riffle pipeline is deterministic, so the
