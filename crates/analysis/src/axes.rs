@@ -1,0 +1,134 @@
+//! Perturbation-axis sweeps: adversarial workload vs. clean baseline.
+//!
+//! The scenario layer (crate `pob-scenario`) turns one knob at a time —
+//! churn rate, free-rider fraction, flash-crowd size — and the question
+//! is always the same: *how much slower than the unperturbed swarm?*
+//! These helpers run the paired experiment per axis value and summarize
+//! the slowdown. Like the rest of this crate they know nothing about
+//! the simulator: both arms are seeded closures.
+
+use crate::{default_threads, run_seeds, Summary, Table};
+
+/// One point on a perturbation axis: paired perturbed/baseline samples
+/// at a single axis value, over the same seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisPoint<P> {
+    /// The axis value (churn rate, free-rider count, …).
+    pub param: P,
+    /// Summary of the perturbed completion times.
+    pub perturbed: Summary,
+    /// Summary of the matching unperturbed completion times.
+    pub baseline: Summary,
+    /// Perturbed runs that hit the tick cap instead of completing.
+    pub censored: usize,
+}
+
+impl<P> AxisPoint<P> {
+    /// Mean slowdown of the perturbed arm over the baseline arm.
+    pub fn slowdown(&self) -> f64 {
+        self.perturbed.mean / self.baseline.mean.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Sweeps a perturbation axis with a paired baseline.
+///
+/// For every `param` × seed pair, `perturbed(param, seed)` and
+/// `baseline(seed)` each return `(completion_time, censored)`; both
+/// arms see identical seeds so the comparison is paired. Censored
+/// observations enter the summaries at their capped value, matching
+/// how the paper plots off-the-chart points.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0` or an experiment closure panics.
+pub fn axis_sweep<P, F, B>(
+    params: &[P],
+    seeds: usize,
+    first_seed: u64,
+    baseline: B,
+    perturbed: F,
+) -> Vec<AxisPoint<P>>
+where
+    P: Clone + Sync,
+    F: Fn(&P, u64) -> (f64, bool) + Sync,
+    B: Fn(u64) -> (f64, bool) + Sync,
+{
+    let base: Vec<(f64, bool)> = run_seeds(seeds, first_seed, default_threads(), &baseline);
+    let base_times: Vec<f64> = base.iter().map(|&(v, _)| v).collect();
+    let baseline_summary = Summary::from_samples(&base_times);
+    params
+        .iter()
+        .map(|p| {
+            let results = run_seeds(seeds, first_seed, default_threads(), |seed| {
+                perturbed(p, seed)
+            });
+            let times: Vec<f64> = results.iter().map(|&(v, _)| v).collect();
+            AxisPoint {
+                param: p.clone(),
+                perturbed: Summary::from_samples(&times),
+                baseline: baseline_summary.clone(),
+                censored: results.iter().filter(|&&(_, c)| c).count(),
+            }
+        })
+        .collect()
+}
+
+/// Renders an axis sweep as an aligned table: one row per axis value
+/// with mean ± 95% CI, the paired baseline, the slowdown factor, and
+/// the censoring count.
+pub fn axis_table<P>(
+    axis: &str,
+    points: &[AxisPoint<P>],
+    seeds: usize,
+    mut fmt_param: impl FnMut(&P) -> String,
+) -> Table {
+    let mut table = Table::new([
+        axis,
+        "T mean ± 95% CI",
+        "baseline T",
+        "slowdown",
+        "censored",
+    ]);
+    for point in points {
+        table.push_row([
+            fmt_param(&point.param),
+            format!("{:.1} ± {:.1}", point.perturbed.mean, point.perturbed.ci95),
+            format!("{:.1}", point.baseline.mean),
+            format!("{:.2}x", point.slowdown()),
+            format!("{}/{seeds}", point.censored),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_axes_share_seeds() {
+        let points = axis_sweep(
+            &[1u32, 2, 4],
+            3,
+            0,
+            |seed| (100.0 + seed as f64, false),
+            |&p, seed| (100.0 + seed as f64 + f64::from(p) * 10.0, p == 4),
+        );
+        assert_eq!(points.len(), 3);
+        // Baseline mean over seeds 0..3 is 101; param 2 adds 20.
+        assert!((points[1].baseline.mean - 101.0).abs() < 1e-12);
+        assert!((points[1].perturbed.mean - 121.0).abs() < 1e-12);
+        assert!((points[1].slowdown() - 121.0 / 101.0).abs() < 1e-12);
+        assert_eq!(points[1].censored, 0);
+        assert_eq!(points[2].censored, 3);
+    }
+
+    #[test]
+    fn axis_table_renders_every_point() {
+        let points = axis_sweep(&[8usize], 2, 0, |_| (50.0, false), |_, _| (75.0, false));
+        let rendered = axis_table("riders", &points, 2, |p| p.to_string()).to_ascii();
+        assert!(rendered.contains("riders"));
+        assert!(rendered.contains("1.50x"));
+        assert!(rendered.contains("0/2"));
+    }
+}

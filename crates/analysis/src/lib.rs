@@ -10,6 +10,8 @@
 //! * [`LinearFit`] and [`fit_t_vs_k_logn`] — ordinary least squares;
 //! * [`run_seeds`] and [`sweep`] — deterministic multi-seed fan-out
 //!   across threads;
+//! * [`axis_sweep`] and [`axis_table`] — paired perturbed-vs-baseline
+//!   sweeps over adversarial-scenario axes (churn, free-riders, …);
 //! * [`Table`] — aligned ASCII and CSV rendering of result series;
 //! * [`ScalingPoint`] and [`scaling_table`] — thread-scaling summaries
 //!   (speedup, merge share, barrier stall) over profiled runs;
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod axes;
 mod compare;
 mod regression;
 mod scaling;
@@ -38,6 +41,7 @@ mod stats;
 mod sweep;
 mod table;
 
+pub use axes::{axis_sweep, axis_table, AxisPoint};
 pub use compare::{median, percentile, welch_t, Histogram, WelchResult};
 pub use regression::{fit_t_vs_k_logn, FitError, LinearFit};
 pub use scaling::{scaling_table, ScalingPoint};

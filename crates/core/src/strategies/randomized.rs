@@ -572,6 +572,12 @@ impl Strategy for SwarmStrategy {
             CollisionModel::Simultaneous => format!("{}+simultaneous", self.name()),
         }
     }
+
+    fn notify_state_mutated(&mut self) {
+        // Churn invalidates exactly what a topology swap does: the stuck
+        // cache, the pool, and the interest/rarity indexes.
+        self.notify_topology_changed();
+    }
 }
 
 /// Segment tree of per-client `inventory ∪ pending` intersections.

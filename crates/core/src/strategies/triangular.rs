@@ -292,6 +292,12 @@ impl Strategy for TriangularSwarm {
             BlockSelection::RarestFirst => "triangular-swarm(rarest-first)".to_owned(),
         }
     }
+
+    fn notify_state_mutated(&mut self) {
+        // Forces a rarity rebuild: eviction shrinks frequencies, which
+        // the incremental deltas cannot express.
+        self.synced_through = None;
+    }
 }
 
 #[cfg(test)]

@@ -27,11 +27,23 @@
 //! * **gauge honesty** — transfer counts, server-transfer counts,
 //!   min-rarity, the rarity histogram, and the credit gauges all match
 //!   naive recomputation, and the run-end totals match the sums of the
-//!   stream.
+//!   stream;
+//! * **churn conservation** — a `node-leave` drops exactly the blocks
+//!   its shadow inventory holds (they leave the system; frequencies
+//!   shrink accordingly), joiners start with an empty inventory, no
+//!   delivery touches a departed node, the completed-clients gauge
+//!   stays honest across departures and re-completions, and churn
+//!   stamps sit between ticks (tick jumps are legal only while the
+//!   swarm is drained — the idle fast-forward of scenario runs);
+//! * **free-rider admissibility** — a node whose announced upload
+//!   capacity is zero never uploads (the per-node capacity check with
+//!   the capacities the stream itself announced via `node-join` /
+//!   `capacity-change`).
 //!
 //! The sink assumes the run starts from the standard initial state (a
 //! fully seeded server, empty clients, homogeneous capacities) — i.e. no
-//! `preseed` or per-node capacity overrides.
+//! `preseed`, and capacity overrides only through the churn events the
+//! stream itself carries.
 
 use pob_sim::{
     BlockSet, CreditLedger, DownloadCapacity, Event, EventSink, Mechanism, NodeId, SimConfig, Tick,
@@ -53,9 +65,13 @@ pub struct InvariantSink {
     nodes: usize,
     blocks: usize,
     mechanism: Mechanism,
-    download: DownloadCapacity,
     server_upload: u32,
     client_upload: u32,
+    // Per-node capacities, updated by the stream's churn events.
+    upload_caps: Vec<u32>,
+    download_caps: Vec<DownloadCapacity>,
+    // Per-node liveness, updated by node-leave / node-join events.
+    active: Vec<bool>,
     // Shadow run state, rebuilt purely from events.
     inventories: Vec<BlockSet>,
     received_at: Vec<Vec<u32>>,
@@ -67,6 +83,11 @@ pub struct InvariantSink {
     server_deliveries: u64,
     // Per-tick scratch.
     current_tick: u32,
+    // Set while an idle fast-forward is in flight: a drained swarm may
+    // jump its clock to the next scheduled mutation, so stamps ahead of
+    // `current_tick + 1` are legal exactly then (see
+    // `check_mutation_stamp`).
+    allowed_jump_to: Option<u32>,
     tick_transfers: Vec<Transfer>,
     used_up: Vec<u32>,
     used_down: Vec<u32>,
@@ -92,13 +113,17 @@ impl InvariantSink {
         for slot in &mut received_at[NodeId::SERVER.index()] {
             *slot = 0;
         }
+        let mut upload_caps = vec![config.client_upload_capacity; n];
+        upload_caps[NodeId::SERVER.index()] = config.server_upload_capacity;
         InvariantSink {
             nodes: n,
             blocks: k,
             mechanism: config.mechanism,
-            download: config.download_capacity,
             server_upload: config.server_upload_capacity,
             client_upload: config.client_upload_capacity,
+            upload_caps,
+            download_caps: vec![config.download_capacity; n],
+            active: vec![true; n],
             inventories,
             received_at,
             freq: vec![1; k],
@@ -108,6 +133,7 @@ impl InvariantSink {
             total_deliveries: 0,
             server_deliveries: 0,
             current_tick: 0,
+            allowed_jump_to: None,
             tick_transfers: Vec::new(),
             used_up: vec![0; n],
             used_down: vec![0; n],
@@ -161,11 +187,7 @@ impl InvariantSink {
     }
 
     fn upload_cap(&self, node: NodeId) -> u32 {
-        if node.is_server() {
-            self.server_upload
-        } else {
-            self.client_upload
-        }
+        self.upload_caps[node.index()]
     }
 
     fn in_range(&self, node: NodeId) -> bool {
@@ -203,11 +225,19 @@ impl InvariantSink {
         }
     }
 
+    /// Whether every active client holds the full file — the state in
+    /// which the engine may fast-forward its clock over idle ticks.
+    fn drained(&self) -> bool {
+        (1..self.nodes).all(|i| !self.active[i] || self.inventories[i].is_full())
+    }
+
     fn on_tick_start(&mut self, tick: Tick) {
         let t = tick.get();
-        if t != self.current_tick + 1 {
+        let jump = self.allowed_jump_to.take();
+        if t != self.current_tick + 1 && Some(t) != jump {
             self.violation(format!(
-                "tick {t} started after tick {} (ticks must be contiguous)",
+                "tick {t} started after tick {} (ticks must be contiguous \
+                 outside announced idle jumps)",
                 self.current_tick
             ));
         }
@@ -239,6 +269,14 @@ impl InvariantSink {
             self.violation(format!("delivery {tr} targets the server at tick {t}"));
             return;
         }
+        if !self.active[tr.from.index()] {
+            self.violation(format!("churn: departed node uploads in {tr} at tick {t}"));
+        }
+        if !self.active[tr.to.index()] {
+            self.violation(format!(
+                "churn: delivery {tr} targets a departed node at tick {t}"
+            ));
+        }
         if !self.inventories[tr.from.index()].contains(tr.block) {
             self.violation(format!(
                 "conservation: sender does not hold the block in {tr} at tick {t}"
@@ -264,7 +302,7 @@ impl InvariantSink {
             ));
         }
         self.used_down[tr.to.index()] += 1;
-        if let DownloadCapacity::Finite(d) = self.download {
+        if let DownloadCapacity::Finite(d) = self.download_caps[tr.to.index()] {
             if self.used_down[tr.to.index()] > d {
                 self.violation(format!(
                     "download capacity: {} downloads to {} at tick {t} exceed cap {d}",
@@ -314,6 +352,129 @@ impl InvariantSink {
         }
         self.announced[node.index()] = true;
         self.completions_announced_this_tick += 1;
+    }
+
+    /// Churn events are applied between ticks and stamped with the first
+    /// tick they affect, so the normal legal stamp is `current_tick + 1`.
+    /// One exception: while the swarm is drained (every active client
+    /// complete), a scenario driver may fast-forward the clock to the
+    /// next scheduled mutation — the skipped ticks are provably empty —
+    /// so a farther stamp is legal exactly then, and the next tick-start
+    /// must land on the jumped-to tick. Within one jumped batch, later
+    /// stamps may extend the jump (again only while drained).
+    fn check_mutation_stamp(&mut self, what: &str, t: u32) {
+        let next = self.current_tick + 1;
+        if t == next {
+            return;
+        }
+        if let Some(jump) = self.allowed_jump_to {
+            if t == jump {
+                return;
+            }
+            if t > jump && self.drained() {
+                self.allowed_jump_to = Some(t);
+                return;
+            }
+        } else if t > next && self.drained() {
+            self.allowed_jump_to = Some(t);
+            return;
+        }
+        self.violation(format!(
+            "churn: {what} stamped tick {t} arrived between ticks {} and {next} \
+             with no idle jump available",
+            self.current_tick
+        ));
+    }
+
+    fn on_node_leave(&mut self, tick: Tick, node: NodeId, dropped: u32) {
+        let t = tick.get();
+        self.check_mutation_stamp("node-leave", t);
+        if !self.in_range(node) || node.is_server() {
+            self.violation(format!("churn: illegal node-leave for {node} at tick {t}"));
+            return;
+        }
+        let i = node.index();
+        if !self.active[i] {
+            self.violation(format!(
+                "churn: {node} leaves at tick {t} but already departed"
+            ));
+            return;
+        }
+        let held = self.inventories[i].len() as u32;
+        if dropped != held {
+            self.violation(format!(
+                "churn conservation: node-leave for {node} at tick {t} drops {dropped} \
+                 blocks, shadow inventory holds {held}"
+            ));
+        }
+        // The departed inventory leaves the system: frequencies shrink,
+        // the store-and-forward clock resets, and a complete node stops
+        // counting (it must re-complete — and re-announce — if it
+        // returns).
+        for b in self.inventories[i].iter() {
+            self.freq[b.index()] -= 1;
+        }
+        if self.inventories[i].is_full() {
+            self.completed_clients -= 1;
+        }
+        self.inventories[i].clear();
+        for slot in &mut self.received_at[i] {
+            *slot = u32::MAX;
+        }
+        self.announced[i] = false;
+        self.active[i] = false;
+        self.upload_caps[i] = 0;
+        self.download_caps[i] = DownloadCapacity::Finite(0);
+    }
+
+    fn on_node_join(&mut self, tick: Tick, node: NodeId, upload: u32, download: DownloadCapacity) {
+        let t = tick.get();
+        self.check_mutation_stamp("node-join", t);
+        if !self.in_range(node) || node.is_server() {
+            self.violation(format!("churn: illegal node-join for {node} at tick {t}"));
+            return;
+        }
+        let i = node.index();
+        if self.active[i] {
+            self.violation(format!(
+                "churn: {node} joins at tick {t} but is already present"
+            ));
+            return;
+        }
+        if !self.inventories[i].is_empty() {
+            self.violation(format!(
+                "churn: joiner {node} starts with {} blocks at tick {t} (joiners start empty)",
+                self.inventories[i].len()
+            ));
+        }
+        self.active[i] = true;
+        self.upload_caps[i] = upload;
+        self.download_caps[i] = download;
+    }
+
+    fn on_capacity_change(
+        &mut self,
+        tick: Tick,
+        node: NodeId,
+        upload: u32,
+        download: DownloadCapacity,
+    ) {
+        let t = tick.get();
+        self.check_mutation_stamp("capacity-change", t);
+        if !self.in_range(node) {
+            self.violation(format!(
+                "churn: capacity-change for out-of-range {node} at tick {t}"
+            ));
+            return;
+        }
+        let i = node.index();
+        if !self.active[i] {
+            self.violation(format!(
+                "churn: capacity-change for departed {node} at tick {t}"
+            ));
+        }
+        self.upload_caps[i] = upload;
+        self.download_caps[i] = download;
     }
 
     fn on_tick_end(&mut self, metrics: &pob_sim::TickMetrics) {
@@ -428,11 +589,14 @@ impl InvariantSink {
                 self.current_tick
             ));
         }
-        let all_complete = self.completed_clients as usize == self.nodes - 1;
+        // "Complete" means every *active* client holds the file; departed
+        // nodes do not count toward (or against) termination.
+        let all_complete =
+            (1..self.nodes).all(|i| !self.active[i] || self.inventories[i].is_full());
         if completed != all_complete {
             self.violation(format!(
                 "run-end reports completed={completed}, shadow state says {all_complete} \
-                 ({} of {} clients)",
+                 ({} complete clients of {})",
                 self.completed_clients,
                 self.nodes - 1
             ));
@@ -477,6 +641,23 @@ impl EventSink for InvariantSink {
             Event::ProposalRejected { .. } => {}
             Event::Delivery { tick, transfer } => self.on_delivery(*tick, *transfer),
             Event::NodeComplete { tick, node } => self.on_node_complete(*tick, *node),
+            Event::NodeLeave {
+                tick,
+                node,
+                dropped,
+            } => self.on_node_leave(*tick, *node, *dropped),
+            Event::NodeJoin {
+                tick,
+                node,
+                upload,
+                download,
+            } => self.on_node_join(*tick, *node, *upload, *download),
+            Event::CapacityChange {
+                tick,
+                node,
+                upload,
+                download,
+            } => self.on_capacity_change(*tick, *node, *upload, *download),
             Event::TickEnd { metrics } => self.on_tick_end(metrics),
             // Profiling snapshots carry wall-time windows, not simulation
             // state — nothing for the invariant checker to cross-check.

@@ -325,4 +325,10 @@ impl Strategy for ReferenceSwarm {
             CollisionModel::Simultaneous => format!("{}+simultaneous", self.name()),
         }
     }
+
+    fn notify_state_mutated(&mut self) {
+        // A churned swarm can unstick anyone; reset wholesale, exactly
+        // like the fast path's cache invalidation.
+        self.synced_through = None;
+    }
 }

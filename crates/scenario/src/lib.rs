@@ -1,0 +1,82 @@
+//! Declarative adversarial workloads for the price-of-barter engine.
+//!
+//! The paper's experiments run on a *static* swarm: every node present
+//! from tick 1, identical capacities, nobody misbehaving. This crate is
+//! the dynamic counterpoint — a small TOML-dialect DSL
+//! ([`ScenarioSpec`]) that describes churn, flash crowds, free-riders,
+//! capacity heterogeneity, and multi-swarm contention, compiled
+//! ([`ScenarioSpec::compile`]) into a deterministic, validated
+//! [`ScenarioSchedule`] of engine mutations and replayed against a live
+//! run by a [`ScenarioDriver`].
+//!
+//! Three properties the design holds onto:
+//!
+//! * **Determinism.** A schedule is data, not callbacks: a flat,
+//!   tick-sorted op list with a defined within-tick order. Mutations
+//!   consume no RNG draws, so a scenario run is exactly as reproducible
+//!   as a plain run with the same seed.
+//! * **Differential testability.** The driver mutates engines only
+//!   through their public churn API and invalidates strategy caches
+//!   through [`Strategy::notify_state_mutated`](pob_sim::Strategy); the
+//!   fast and reference implementations see identical perturbations and
+//!   must produce bit-identical delivery traces.
+//! * **Early, located errors.** Parsing and compilation reject bad
+//!   documents with [`ScenarioError`]s carrying the 1-indexed source
+//!   line — an impossible timeline fails before the run starts, not as
+//!   an engine panic mid-run.
+//!
+//! # Example
+//!
+//! ```
+//! use pob_core::strategies::{BlockSelection, SwarmStrategy};
+//! use pob_scenario::{run_scenario, ScenarioDriver, ScenarioSpec};
+//! use pob_sim::{CompleteOverlay, Engine};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let spec = ScenarioSpec::parse(
+//!     r#"
+//!     [sim]
+//!     nodes = 16
+//!     blocks = 8
+//!     seed = 7
+//!
+//!     [free-riders]
+//!     nodes = [3, 4]          # accept blocks, never upload
+//!
+//!     [[churn]]
+//!     at = 6
+//!     leave = [5]             # drops its blocks on the floor
+//!
+//!     [[wave]]
+//!     at = 10
+//!     nodes = [12, 13, 14]    # flash crowd, absent until tick 10
+//!     "#,
+//! )?;
+//! let schedule = spec.compile()?;
+//!
+//! let overlay = CompleteOverlay::new(spec.sim.nodes);
+//! let mut engine = Engine::new(spec.sim_config(), &overlay);
+//! let mut driver = ScenarioDriver::new(schedule);
+//! let mut strategy = SwarmStrategy::new(BlockSelection::RarestFirst);
+//! let mut rng = StdRng::seed_from_u64(spec.sim.seed);
+//! let report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng)?;
+//! assert!(report.completion.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod schedule;
+mod spec;
+
+pub use schedule::{run_scenario, ScenarioDriver, ScenarioOp, ScenarioSchedule, ScheduledOp};
+pub use spec::{
+    CapacityEntry, ChurnEntry, Contention, FreeRiders, ScenarioError, ScenarioErrorKind,
+    ScenarioSpec, SimSection, WaveEntry,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,524 @@
+//! Compiling a spec into a deterministic schedule of engine mutations,
+//! and the driver that replays the schedule against a live run.
+//!
+//! A [`ScenarioSchedule`] is a flat, tick-sorted list of primitive
+//! operations ([`ScenarioOp`]) on the engine's public mutation API
+//! (`node_leave` / `node_join` / `set_node_capacity`). Compilation is
+//! where the declarative sections lower to primitives:
+//!
+//! * free-riders → one `SetCapacity { upload: 0 }` at tick 1;
+//! * waves → `Leave` at tick 1 (the cohort is absent from the start)
+//!   plus `Join` at the arrival tick;
+//! * churn entries → `Leave`s then `Join`s at their tick;
+//! * contention → a square wave of `SetCapacity` toggles every
+//!   half-period, ending with a restore after `until`;
+//!
+//! followed by a timeline replay that rejects impossible histories
+//! (leaving twice, joining while present, throttling an absent node)
+//! with the source line of the offending section.
+//!
+//! Ops scheduled for tick `t` apply *before* tick `t` is stepped, and
+//! the engine stamps the emitted events with that same tick — the first
+//! tick the mutation affects. [`ScenarioDriver::apply_due`] enforces
+//! this ordering; [`run_scenario`] is the standard stepping loop around
+//! it. After any mutation the driver calls
+//! [`Strategy::notify_state_mutated`] so cached strategy indexes
+//! rebuild — on both the fast and the reference paths, which is what
+//! keeps perturbed runs bit-identical across implementations.
+
+use pob_sim::events::EventSink;
+use pob_sim::{DownloadCapacity, Engine, MetricsSink, NodeId, RunReport, SimError, Strategy};
+use rand::rngs::StdRng;
+
+use crate::spec::{ScenarioError, ScenarioErrorKind, ScenarioSpec};
+
+/// One primitive engine mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioOp {
+    /// The node departs: inventory dropped, capacities zeroed.
+    Leave {
+        /// The departing client.
+        node: NodeId,
+    },
+    /// The node (re)arrives empty-handed with the given capacities.
+    Join {
+        /// The arriving client.
+        node: NodeId,
+        /// Its upload capacity per tick.
+        upload: u32,
+        /// Its download capacity per tick.
+        download: DownloadCapacity,
+    },
+    /// The node's capacities change in place (it stays present).
+    SetCapacity {
+        /// The node (the server is allowed here).
+        node: NodeId,
+        /// New upload capacity.
+        upload: u32,
+        /// New download capacity.
+        download: DownloadCapacity,
+    },
+}
+
+/// A [`ScenarioOp`] bound to the first tick it affects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// The op applies immediately before this tick is stepped
+    /// (`tick >= 1`); emitted events carry the same stamp.
+    pub tick: u32,
+    /// The mutation.
+    pub op: ScenarioOp,
+}
+
+/// A compiled, validated, tick-sorted mutation schedule.
+///
+/// Within a tick, ops apply in compilation order: wave departures,
+/// free-rider throttles, churn (leaves before joins per entry),
+/// capacity entries, contention toggles. The order is part of the
+/// format — replaying the same schedule is bit-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSchedule {
+    nodes: usize,
+    ops: Vec<ScheduledOp>,
+}
+
+impl ScenarioSchedule {
+    /// The node universe the schedule was validated against.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The ops, sorted by tick (stable within a tick).
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Number of scheduled ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule perturbs nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl ScenarioSpec {
+    /// Lowers the spec to a validated [`ScenarioSchedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] for out-of-range nodes, server
+    /// churn, role overlaps, and impossible timelines (double leaves,
+    /// joins of present nodes, capacity changes on absent nodes).
+    pub fn compile(&self) -> Result<ScenarioSchedule, ScenarioError> {
+        Compiler::new(self).compile()
+    }
+}
+
+/// An op paired with the source line that produced it, for validation
+/// diagnostics; lines are stripped from the final schedule.
+struct TracedOp {
+    tick: u32,
+    op: ScenarioOp,
+    line: usize,
+}
+
+struct Compiler<'a> {
+    spec: &'a ScenarioSpec,
+    ops: Vec<TracedOp>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(spec: &'a ScenarioSpec) -> Self {
+        Compiler {
+            spec,
+            ops: Vec::new(),
+        }
+    }
+
+    /// A client index: in range and not the server.
+    fn client(&self, node: u32, line: usize) -> Result<NodeId, ScenarioError> {
+        if node as usize >= self.spec.sim.nodes {
+            return Err(ScenarioError::new(
+                line,
+                ScenarioErrorKind::NodeOutOfRange {
+                    node,
+                    nodes: self.spec.sim.nodes,
+                },
+            ));
+        }
+        if node == 0 {
+            return Err(ScenarioError::new(line, ScenarioErrorKind::ServerChurned));
+        }
+        Ok(NodeId::new(node))
+    }
+
+    /// Any node index, server included (capacity entries only).
+    fn any_node(&self, node: u32, line: usize) -> Result<NodeId, ScenarioError> {
+        if node as usize >= self.spec.sim.nodes {
+            return Err(ScenarioError::new(
+                line,
+                ScenarioErrorKind::NodeOutOfRange {
+                    node,
+                    nodes: self.spec.sim.nodes,
+                },
+            ));
+        }
+        Ok(NodeId::new(node))
+    }
+
+    fn check_at(&self, at: u32, line: usize) -> Result<(), ScenarioError> {
+        if at == 0 {
+            return Err(ScenarioError::new(
+                line,
+                ScenarioErrorKind::BadValue {
+                    key: "at".to_owned(),
+                    reason: "ticks are 1-indexed; the earliest mutation tick is 1".to_owned(),
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, tick: u32, op: ScenarioOp, line: usize) {
+        self.ops.push(TracedOp { tick, op, line });
+    }
+
+    fn compile(mut self) -> Result<ScenarioSchedule, ScenarioError> {
+        let sim = &self.spec.sim;
+
+        // The free-rider / wave / contention roles each own a node's
+        // capacity timeline outright; sharing a node would interleave
+        // their SetCapacity/Join ops into nonsense.
+        let mut role_owner: Vec<Option<u8>> = vec![None; sim.nodes];
+        let mut claim = |role: u8, node: u32, line: usize| -> Result<(), ScenarioError> {
+            if let Some(slot) = role_owner.get_mut(node as usize) {
+                if slot.is_some() {
+                    return Err(ScenarioError::new(
+                        line,
+                        ScenarioErrorKind::RoleOverlap { node },
+                    ));
+                }
+                *slot = Some(role);
+            }
+            Ok(())
+        };
+
+        // Wave cohorts are absent from the start: depart before tick 1.
+        for wave in &self.spec.waves {
+            self.check_at(wave.at, wave.line)?;
+            for &raw in &wave.nodes {
+                let node = self.client(raw, wave.line)?;
+                claim(0, raw, wave.line)?;
+                self.push(1, ScenarioOp::Leave { node }, wave.line);
+            }
+        }
+        // Free-riders accept blocks but never upload, from tick 1 on.
+        for &raw in &self.spec.free_riders.nodes {
+            let node = self.client(raw, self.spec.free_riders.line)?;
+            claim(1, raw, self.spec.free_riders.line)?;
+            self.push(
+                1,
+                ScenarioOp::SetCapacity {
+                    node,
+                    upload: 0,
+                    download: sim.download,
+                },
+                self.spec.free_riders.line,
+            );
+        }
+        // Wave arrivals.
+        for wave in &self.spec.waves {
+            let upload = wave.upload.unwrap_or(sim.client_upload);
+            let download = wave.download.unwrap_or(sim.download);
+            for &raw in &wave.nodes {
+                let node = self.client(raw, wave.line)?;
+                self.push(
+                    wave.at,
+                    ScenarioOp::Join {
+                        node,
+                        upload,
+                        download,
+                    },
+                    wave.line,
+                );
+            }
+        }
+        // Churn entries, leaves before joins so a node in both lists is
+        // a crash-and-restart (evicted, then re-admitted empty).
+        for churn in &self.spec.churn {
+            self.check_at(churn.at, churn.line)?;
+            for &raw in &churn.leave {
+                let node = self.client(raw, churn.line)?;
+                self.push(churn.at, ScenarioOp::Leave { node }, churn.line);
+            }
+            let upload = churn.upload.unwrap_or(sim.client_upload);
+            let download = churn.download.unwrap_or(sim.download);
+            for &raw in &churn.join {
+                let node = self.client(raw, churn.line)?;
+                self.push(
+                    churn.at,
+                    ScenarioOp::Join {
+                        node,
+                        upload,
+                        download,
+                    },
+                    churn.line,
+                );
+            }
+        }
+        // Explicit capacity entries (the server is allowed).
+        for cap in &self.spec.capacity {
+            self.check_at(cap.at, cap.line)?;
+            let node = self.any_node(cap.node, cap.line)?;
+            self.push(
+                cap.at,
+                ScenarioOp::SetCapacity {
+                    node,
+                    upload: cap.upload,
+                    download: cap.download,
+                },
+                cap.line,
+            );
+        }
+        // Contention: present for `period` ticks, away for `period`,
+        // starting present at tick 1; restored for good after `until`.
+        if let Some(contention) = &self.spec.contention {
+            for &raw in &contention.nodes {
+                let node = self.client(raw, contention.line)?;
+                claim(2, raw, contention.line)?;
+                let restored = ScenarioOp::SetCapacity {
+                    node,
+                    upload: sim.client_upload,
+                    download: sim.download,
+                };
+                // Away serving the other swarm: no capacity at all on
+                // this one (stays present, keeps its blocks).
+                let away = ScenarioOp::SetCapacity {
+                    node,
+                    upload: 0,
+                    download: DownloadCapacity::Finite(0),
+                };
+                let mut present = true;
+                for multiple in 1u64.. {
+                    let boundary = 1 + multiple * u64::from(contention.period);
+                    let Ok(tick) = u32::try_from(boundary) else {
+                        break; // beyond any representable run
+                    };
+                    if tick > contention.until {
+                        if !present {
+                            // The node was mid-absence: bring it back.
+                            self.push(tick, restored, contention.line);
+                        }
+                        break;
+                    }
+                    present = !present;
+                    self.push(tick, if present { restored } else { away }, contention.line);
+                }
+            }
+        }
+
+        // Tick order with stable within-tick compilation order.
+        self.ops.sort_by_key(|op| op.tick);
+
+        // Timeline replay: the schedule must describe a possible
+        // history over the fixed node universe.
+        let mut active = vec![true; sim.nodes];
+        for traced in &self.ops {
+            match traced.op {
+                ScenarioOp::Leave { node } => {
+                    if !active[node.index()] {
+                        return Err(ScenarioError::new(
+                            traced.line,
+                            ScenarioErrorKind::LeaveInactive {
+                                node: node.raw(),
+                                tick: traced.tick,
+                            },
+                        ));
+                    }
+                    active[node.index()] = false;
+                }
+                ScenarioOp::Join { node, .. } => {
+                    if active[node.index()] {
+                        return Err(ScenarioError::new(
+                            traced.line,
+                            ScenarioErrorKind::JoinActive {
+                                node: node.raw(),
+                                tick: traced.tick,
+                            },
+                        ));
+                    }
+                    active[node.index()] = true;
+                }
+                ScenarioOp::SetCapacity { node, .. } => {
+                    if !active[node.index()] {
+                        return Err(ScenarioError::new(
+                            traced.line,
+                            ScenarioErrorKind::CapacityWhileAway {
+                                node: node.raw(),
+                                tick: traced.tick,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+
+        Ok(ScenarioSchedule {
+            nodes: sim.nodes,
+            ops: self
+                .ops
+                .into_iter()
+                .map(|traced| ScheduledOp {
+                    tick: traced.tick,
+                    op: traced.op,
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Replays a [`ScenarioSchedule`] against a live engine, tick by tick.
+///
+/// The driver is a cursor over the sorted op list; call
+/// [`apply_due`](Self::apply_due) immediately before each
+/// `Engine::step` (that is what [`run_scenario`] does). Mutations
+/// consume no RNG draws, so two engines fed the same schedule stay in
+/// RNG lockstep.
+#[derive(Debug, Clone)]
+pub struct ScenarioDriver {
+    schedule: ScenarioSchedule,
+    cursor: usize,
+}
+
+impl ScenarioDriver {
+    /// Wraps a compiled schedule.
+    pub fn new(schedule: ScenarioSchedule) -> Self {
+        ScenarioDriver {
+            schedule,
+            cursor: 0,
+        }
+    }
+
+    /// Applies every op due at or before the engine's *next* tick and
+    /// returns how many were applied. Calls
+    /// [`Strategy::notify_state_mutated`] once if anything changed, so
+    /// cached indexes rebuild before planning resumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (from the engine's mutation API) if the schedule was
+    /// compiled for a different node universe than the engine runs, or
+    /// if the run already ended.
+    pub fn apply_due<E, M, S>(&mut self, engine: &mut Engine<'_, E, M>, strategy: &mut S) -> usize
+    where
+        E: EventSink,
+        M: MetricsSink,
+        S: Strategy + ?Sized,
+    {
+        let due_through = engine.current_tick().get() + 1;
+        let mut applied = 0;
+        while let Some(scheduled) = self.schedule.ops.get(self.cursor) {
+            if scheduled.tick > due_through {
+                break;
+            }
+            match scheduled.op {
+                ScenarioOp::Leave { node } => {
+                    engine.node_leave(node);
+                }
+                ScenarioOp::Join {
+                    node,
+                    upload,
+                    download,
+                } => engine.node_join(node, upload, download),
+                ScenarioOp::SetCapacity {
+                    node,
+                    upload,
+                    download,
+                } => engine.set_node_capacity(node, upload, download),
+            }
+            self.cursor += 1;
+            applied += 1;
+        }
+        if applied > 0 {
+            strategy.notify_state_mutated();
+        }
+        applied
+    }
+
+    /// Ops not yet applied. Nonzero after a run means the swarm
+    /// finished (or hit the tick cap) before the tail of the schedule.
+    pub fn pending(&self) -> usize {
+        self.schedule.ops.len() - self.cursor
+    }
+
+    /// The tick of the earliest op not yet applied.
+    pub fn next_tick(&self) -> Option<u32> {
+        self.schedule.ops.get(self.cursor).map(|op| op.tick)
+    }
+
+    /// The tick of the earliest not-yet-applied [`ScenarioOp::Join`] —
+    /// the next point the schedule can revive a drained swarm, if any.
+    pub fn next_join_tick(&self) -> Option<u32> {
+        self.schedule.ops[self.cursor..]
+            .iter()
+            .find(|scheduled| matches!(scheduled.op, ScenarioOp::Join { .. }))
+            .map(|scheduled| scheduled.tick)
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &ScenarioSchedule {
+        &self.schedule
+    }
+}
+
+/// The standard scenario stepping loop: apply due ops, step, repeat
+/// until the run ends, then report.
+///
+/// A perturbation can revive a finished-looking swarm — a flash crowd
+/// arriving after every resident client completed — so when the swarm
+/// is drained but a `Join` is still scheduled, the loop idles the
+/// engine's clock forward batch by batch
+/// ([`Engine::advance_idle_to`]): the in-between ticks carry no
+/// transfers and emit no events, and every mutation keeps its exact
+/// scheduled stamp. Once the swarm is drained and no join remains, the
+/// run ends; any leftover leave/capacity ops are moot and stay visible
+/// via [`ScenarioDriver::pending`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine (deterministic-schedule
+/// rejections, mechanism violations).
+pub fn run_scenario<E, M, S>(
+    engine: &mut Engine<'_, E, M>,
+    driver: &mut ScenarioDriver,
+    strategy: &mut S,
+    rng: &mut StdRng,
+) -> Result<RunReport, SimError>
+where
+    E: EventSink,
+    M: MetricsSink,
+    S: Strategy + ?Sized,
+{
+    let max_ticks = engine.config().max_ticks;
+    // A pending join at a reachable tick can revive a drained swarm.
+    let revivable =
+        |driver: &ScenarioDriver| driver.next_join_tick().is_some_and(|t| t <= max_ticks);
+    loop {
+        driver.apply_due(engine, strategy);
+        while engine.state().all_complete() && revivable(driver) {
+            let next = driver
+                .next_tick()
+                .expect("a pending join implies a pending op");
+            engine.advance_idle_to(next);
+            driver.apply_due(engine, strategy);
+        }
+        engine.hold_open(revivable(driver));
+        if !engine.step(strategy, rng)? {
+            break;
+        }
+    }
+    Ok(engine.report())
+}

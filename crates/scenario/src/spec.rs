@@ -1,0 +1,1056 @@
+//! The scenario document: a TOML-subset workload spec and its parser.
+//!
+//! A scenario file describes one adversarial workload declaratively —
+//! which nodes churn and when, who free-rides, which arrival waves hit
+//! the swarm, and how capacities shift mid-run. The parser is
+//! hand-rolled (the workspace takes no external TOML dependency) over a
+//! deliberately small grammar:
+//!
+//! * `[section]` headers and `[[section]]` array-of-tables headers;
+//! * `key = value` lines where a value is an integer, a double-quoted
+//!   string, `true`/`false`, or a flat integer list `[1, 2, 3]`;
+//! * `#` comments (full-line or trailing) and blank lines.
+//!
+//! Every parse failure is a typed [`ScenarioError`] carrying the
+//! 1-indexed source line it points at, so `pob run --scenario` can print
+//! `scenario.toml:12: unknown key "jion"` instead of a shrug.
+//!
+//! # Sections
+//!
+//! | section        | meaning                                                    |
+//! |----------------|------------------------------------------------------------|
+//! | `[sim]`        | run shape: `nodes`, `blocks`, `seed`, optional `mechanism`, `max-ticks`, `server-upload`, `client-upload`, `download` |
+//! | `[free-riders]`| `nodes` whose upload capacity is forced to 0 from tick 1   |
+//! | `[[wave]]`     | flash crowd: `nodes` absent from the start, joining at `at`|
+//! | `[[churn]]`    | `leave` / `join` lists applied before tick `at`            |
+//! | `[[capacity]]` | one node's capacities re-set before tick `at`              |
+//! | `[contention]` | nodes time-multiplexing between two swarms: present for `period` ticks, away for `period`, until tick `until` |
+//!
+//! The [`to_toml`](ScenarioSpec::to_toml) writer emits a canonical
+//! rendering that parses back to an equal spec — the round-trip property
+//! the CLI test suite checks with generated scenarios.
+
+use std::fmt;
+
+use pob_sim::{DownloadCapacity, Mechanism, SimConfig};
+
+/// A parse or validation failure, pointing at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-indexed line in the scenario document (0 when the error is not
+    /// attributable to a single line, e.g. a missing section).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ScenarioErrorKind,
+}
+
+impl ScenarioError {
+    pub(crate) fn new(line: usize, kind: ScenarioErrorKind) -> Self {
+        ScenarioError { line, kind }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario: {}", self.kind)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.kind)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The failure taxonomy for scenario documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioErrorKind {
+    /// The line does not fit the grammar at all.
+    Syntax(String),
+    /// A section header this dialect does not know.
+    UnknownSection(String),
+    /// A non-array section (`[sim]`, `[free-riders]`, `[contention]`)
+    /// appeared twice.
+    DuplicateSection(String),
+    /// A key this section does not know.
+    UnknownKey(String),
+    /// The same key twice in one table.
+    DuplicateKey(String),
+    /// The key holds a value of the wrong shape.
+    TypeMismatch {
+        /// The offending key.
+        key: String,
+        /// What the key needs (`"integer"`, `"string"`, …).
+        expected: &'static str,
+    },
+    /// A required key is absent (`line` points at the section header).
+    MissingKey {
+        /// The section missing it.
+        section: &'static str,
+        /// The absent key.
+        key: &'static str,
+    },
+    /// The value parsed but is out of its domain (unknown mechanism
+    /// label, `nodes < 2`, `at = 0`, …).
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// Why the value is rejected.
+        reason: String,
+    },
+    /// A node index at or beyond `[sim] nodes`.
+    NodeOutOfRange {
+        /// The offending index.
+        node: u32,
+        /// The configured universe size.
+        nodes: usize,
+    },
+    /// Node 0 (the server) listed in a churn, wave, free-rider, or
+    /// contention role — the server never leaves and never free-rides.
+    ServerChurned,
+    /// One node claimed by two of the free-rider / wave / contention
+    /// roles, which would compile conflicting capacity timelines.
+    RoleOverlap {
+        /// The doubly-claimed node.
+        node: u32,
+    },
+    /// A `leave` of a node that is already away at that tick.
+    LeaveInactive {
+        /// The node.
+        node: u32,
+        /// The tick the leave was scheduled for.
+        tick: u32,
+    },
+    /// A `join` of a node that is already present at that tick.
+    JoinActive {
+        /// The node.
+        node: u32,
+        /// The tick the join was scheduled for.
+        tick: u32,
+    },
+    /// A capacity change for a node that is away at that tick.
+    CapacityWhileAway {
+        /// The node.
+        node: u32,
+        /// The tick the change was scheduled for.
+        tick: u32,
+    },
+}
+
+impl fmt::Display for ScenarioErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioErrorKind::Syntax(msg) => write!(f, "{msg}"),
+            ScenarioErrorKind::UnknownSection(name) => write!(f, "unknown section [{name}]"),
+            ScenarioErrorKind::DuplicateSection(name) => write!(f, "duplicate section [{name}]"),
+            ScenarioErrorKind::UnknownKey(key) => write!(f, "unknown key \"{key}\""),
+            ScenarioErrorKind::DuplicateKey(key) => write!(f, "duplicate key \"{key}\""),
+            ScenarioErrorKind::TypeMismatch { key, expected } => {
+                write!(f, "key \"{key}\" expects {expected}")
+            }
+            ScenarioErrorKind::MissingKey { section, key } => {
+                write!(f, "section [{section}] is missing required key \"{key}\"")
+            }
+            ScenarioErrorKind::BadValue { key, reason } => {
+                write!(f, "bad value for \"{key}\": {reason}")
+            }
+            ScenarioErrorKind::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} is outside the universe of {nodes} nodes")
+            }
+            ScenarioErrorKind::ServerChurned => {
+                write!(f, "node 0 is the server; it never leaves or free-rides")
+            }
+            ScenarioErrorKind::RoleOverlap { node } => {
+                write!(
+                    f,
+                    "node {node} is claimed by two of free-riders/wave/contention"
+                )
+            }
+            ScenarioErrorKind::LeaveInactive { node, tick } => {
+                write!(f, "node {node} is already away at tick {tick}")
+            }
+            ScenarioErrorKind::JoinActive { node, tick } => {
+                write!(f, "node {node} is already present at tick {tick}")
+            }
+            ScenarioErrorKind::CapacityWhileAway { node, tick } => {
+                write!(
+                    f,
+                    "capacity change for node {node} at tick {tick}, but it is away"
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed spec
+// ---------------------------------------------------------------------------
+
+/// The `[sim]` section: the run shape every perturbation rides on.
+#[derive(Debug, Clone)]
+pub struct SimSection {
+    /// Node universe size, server included (`nodes >= 2`).
+    pub nodes: usize,
+    /// Blocks in the file (`blocks >= 1`).
+    pub blocks: usize,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Barter mechanism, written as a [`Mechanism::label`] string
+    /// (`"cooperative"`, `"strict-barter"`, `"credit-limited(s=2)"`, …).
+    pub mechanism: Mechanism,
+    /// Tick cap override; `None` uses [`SimConfig::default_max_ticks`].
+    pub max_ticks: Option<u32>,
+    /// Server upload capacity per tick (default 1).
+    pub server_upload: u32,
+    /// Client upload capacity per tick (default 1).
+    pub client_upload: u32,
+    /// Baseline download capacity (default 1; `"unlimited"` allowed).
+    pub download: DownloadCapacity,
+}
+
+impl PartialEq for SimSection {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.blocks == other.blocks
+            && self.seed == other.seed
+            && self.mechanism == other.mechanism
+            && self.max_ticks == other.max_ticks
+            && self.server_upload == other.server_upload
+            && self.client_upload == other.client_upload
+            && self.download == other.download
+    }
+}
+
+impl Eq for SimSection {}
+
+/// One `[[churn]]` entry: departures and (re)arrivals applied together
+/// immediately before tick `at` runs.
+///
+/// A node listed in both `leave` and `join` is evicted and re-admitted
+/// empty in one step — a crash-and-restart. Joins use the entry's
+/// `upload`/`download` caps, falling back to the `[sim]` baselines.
+#[derive(Debug, Clone)]
+pub struct ChurnEntry {
+    /// First tick the mutation affects (`at >= 1`).
+    pub at: u32,
+    /// Nodes leaving (inventory dropped, capacities zeroed).
+    pub leave: Vec<u32>,
+    /// Nodes joining with empty inventories.
+    pub join: Vec<u32>,
+    /// Upload capacity for joiners (default: `[sim] client-upload`).
+    pub upload: Option<u32>,
+    /// Download capacity for joiners (default: `[sim] download`).
+    pub download: Option<DownloadCapacity>,
+    /// Source line of the `[[churn]]` header, for error context.
+    pub line: usize,
+}
+
+impl PartialEq for ChurnEntry {
+    fn eq(&self, other: &Self) -> bool {
+        // `line` is provenance, not content — round-tripped specs compare
+        // equal even though the canonical rendering renumbers lines.
+        self.at == other.at
+            && self.leave == other.leave
+            && self.join == other.join
+            && self.upload == other.upload
+            && self.download == other.download
+    }
+}
+
+impl Eq for ChurnEntry {}
+
+/// One `[[wave]]` entry: a flash-crowd cohort absent from tick 1 that
+/// arrives together, empty-handed, at tick `at`.
+#[derive(Debug, Clone)]
+pub struct WaveEntry {
+    /// Arrival tick (`at >= 1`; `at = 1` degenerates to normal presence).
+    pub at: u32,
+    /// The cohort (clients only).
+    pub nodes: Vec<u32>,
+    /// Upload capacity on arrival (default: `[sim] client-upload`).
+    pub upload: Option<u32>,
+    /// Download capacity on arrival (default: `[sim] download`).
+    pub download: Option<DownloadCapacity>,
+    /// Source line of the `[[wave]]` header.
+    pub line: usize,
+}
+
+impl PartialEq for WaveEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+            && self.nodes == other.nodes
+            && self.upload == other.upload
+            && self.download == other.download
+    }
+}
+
+impl Eq for WaveEntry {}
+
+/// One `[[capacity]]` entry: a single node's capacities re-set
+/// immediately before tick `at`. Node 0 (the server) is allowed here —
+/// server throttling is a legitimate experiment axis.
+#[derive(Debug, Clone)]
+pub struct CapacityEntry {
+    /// First tick the new capacities apply to (`at >= 1`).
+    pub at: u32,
+    /// The node (server allowed).
+    pub node: u32,
+    /// New upload capacity.
+    pub upload: u32,
+    /// New download capacity.
+    pub download: DownloadCapacity,
+    /// Source line of the `[[capacity]]` header.
+    pub line: usize,
+}
+
+impl PartialEq for CapacityEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+            && self.node == other.node
+            && self.upload == other.upload
+            && self.download == other.download
+    }
+}
+
+impl Eq for CapacityEntry {}
+
+/// The `[contention]` section: nodes splitting their capacity between
+/// this swarm and another one, modeled as a square wave — present at
+/// full capacity for `period` ticks, then away (`upload = 0`,
+/// `download = 0`) for `period` ticks, starting present at tick 1.
+/// From the first phase boundary after `until`, the node stays present
+/// for good (the other download finished).
+#[derive(Debug, Clone)]
+pub struct Contention {
+    /// The time-multiplexing nodes (clients only).
+    pub nodes: Vec<u32>,
+    /// Half-period of the square wave, in ticks (`period >= 1`).
+    pub period: u32,
+    /// Last tick the contention is in force (`until >= 1`).
+    pub until: u32,
+    /// Source line of the `[contention]` header.
+    pub line: usize,
+}
+
+impl PartialEq for Contention {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.period == other.period && self.until == other.until
+    }
+}
+
+impl Eq for Contention {}
+
+/// The `[free-riders]` section: nodes whose upload capacity is forced
+/// to zero from tick 1 — they accept blocks but never return any.
+#[derive(Debug, Clone, Default)]
+pub struct FreeRiders {
+    /// The free-riding nodes (clients only).
+    pub nodes: Vec<u32>,
+    /// Source line of the `[free-riders]` header.
+    pub line: usize,
+}
+
+impl PartialEq for FreeRiders {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+    }
+}
+
+impl Eq for FreeRiders {}
+
+/// A parsed scenario document.
+///
+/// Parsing checks grammar, types, and per-section domains; the
+/// cross-section timeline (no double-leaves, joins only of absent
+/// nodes, …) is validated by [`compile`](Self::compile), which turns
+/// the spec into a [`ScenarioSchedule`](crate::ScenarioSchedule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// The `[sim]` section.
+    pub sim: SimSection,
+    /// The `[free-riders]` section (empty when absent).
+    pub free_riders: FreeRiders,
+    /// The `[[wave]]` entries, in document order.
+    pub waves: Vec<WaveEntry>,
+    /// The `[[churn]]` entries, in document order.
+    pub churn: Vec<ChurnEntry>,
+    /// The `[[capacity]]` entries, in document order.
+    pub capacity: Vec<CapacityEntry>,
+    /// The `[contention]` section, if present.
+    pub contention: Option<Contention>,
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] encountered, with the source
+    /// line it points at.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let tables = lex(text)?;
+        build_spec(&tables)
+    }
+
+    /// The engine configuration the `[sim]` section describes.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(self.sim.nodes, self.sim.blocks)
+            .with_mechanism(self.sim.mechanism)
+            .with_download_capacity(self.sim.download)
+            .with_server_upload_capacity(self.sim.server_upload)
+            .with_client_upload_capacity(self.sim.client_upload);
+        if let Some(max_ticks) = self.sim.max_ticks {
+            cfg = cfg.with_max_ticks(max_ticks);
+        }
+        cfg
+    }
+
+    /// Whether the scenario perturbs the run at all. A quiescent spec
+    /// (no churn, waves, free-riders, capacity shifts, or contention)
+    /// must reproduce an unperturbed run bit-for-bit — the static
+    /// equivalence pin in the determinism suite.
+    pub fn is_quiescent(&self) -> bool {
+        self.free_riders.nodes.is_empty()
+            && self.waves.is_empty()
+            && self.churn.is_empty()
+            && self.capacity.is_empty()
+            && self.contention.is_none()
+    }
+
+    /// Renders the spec as a canonical scenario document; parsing the
+    /// output yields an equal spec.
+    pub fn to_toml(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("[sim]\n");
+        let _ = writeln!(out, "nodes = {}", self.sim.nodes);
+        let _ = writeln!(out, "blocks = {}", self.sim.blocks);
+        let _ = writeln!(out, "seed = {}", self.sim.seed);
+        if self.sim.mechanism != Mechanism::Cooperative {
+            let _ = writeln!(out, "mechanism = \"{}\"", self.sim.mechanism.label());
+        }
+        if let Some(max_ticks) = self.sim.max_ticks {
+            let _ = writeln!(out, "max-ticks = {max_ticks}");
+        }
+        if self.sim.server_upload != 1 {
+            let _ = writeln!(out, "server-upload = {}", self.sim.server_upload);
+        }
+        if self.sim.client_upload != 1 {
+            let _ = writeln!(out, "client-upload = {}", self.sim.client_upload);
+        }
+        if self.sim.download != DownloadCapacity::Finite(1) {
+            let _ = writeln!(out, "download = {}", render_download(self.sim.download));
+        }
+        if !self.free_riders.nodes.is_empty() {
+            out.push_str("\n[free-riders]\n");
+            let _ = writeln!(out, "nodes = {}", render_list(&self.free_riders.nodes));
+        }
+        for wave in &self.waves {
+            out.push_str("\n[[wave]]\n");
+            let _ = writeln!(out, "at = {}", wave.at);
+            let _ = writeln!(out, "nodes = {}", render_list(&wave.nodes));
+            if let Some(upload) = wave.upload {
+                let _ = writeln!(out, "upload = {upload}");
+            }
+            if let Some(download) = wave.download {
+                let _ = writeln!(out, "download = {}", render_download(download));
+            }
+        }
+        for churn in &self.churn {
+            out.push_str("\n[[churn]]\n");
+            let _ = writeln!(out, "at = {}", churn.at);
+            if !churn.leave.is_empty() {
+                let _ = writeln!(out, "leave = {}", render_list(&churn.leave));
+            }
+            if !churn.join.is_empty() {
+                let _ = writeln!(out, "join = {}", render_list(&churn.join));
+            }
+            if let Some(upload) = churn.upload {
+                let _ = writeln!(out, "upload = {upload}");
+            }
+            if let Some(download) = churn.download {
+                let _ = writeln!(out, "download = {}", render_download(download));
+            }
+        }
+        for cap in &self.capacity {
+            out.push_str("\n[[capacity]]\n");
+            let _ = writeln!(out, "at = {}", cap.at);
+            let _ = writeln!(out, "node = {}", cap.node);
+            let _ = writeln!(out, "upload = {}", cap.upload);
+            let _ = writeln!(out, "download = {}", render_download(cap.download));
+        }
+        if let Some(contention) = &self.contention {
+            out.push_str("\n[contention]\n");
+            let _ = writeln!(out, "nodes = {}", render_list(&contention.nodes));
+            let _ = writeln!(out, "period = {}", contention.period);
+            let _ = writeln!(out, "until = {}", contention.until);
+        }
+        out
+    }
+}
+
+fn render_download(d: DownloadCapacity) -> String {
+    match d {
+        DownloadCapacity::Unlimited => "\"unlimited\"".to_owned(),
+        DownloadCapacity::Finite(cap) => cap.to_string(),
+    }
+}
+
+fn render_list(nodes: &[u32]) -> String {
+    let items: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+// ---------------------------------------------------------------------------
+// Raw layer: lines -> tables
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum RawValue {
+    Int(i64),
+    Str(String),
+    Bool(bool),
+    List(Vec<i64>),
+}
+
+#[derive(Debug, Clone)]
+struct RawEntry {
+    key: String,
+    value: RawValue,
+    line: usize,
+}
+
+#[derive(Debug, Clone)]
+struct RawTable {
+    name: String,
+    array: bool,
+    line: usize,
+    entries: Vec<RawEntry>,
+}
+
+/// Strips a trailing comment, honoring `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::new(line, ScenarioErrorKind::Syntax(msg.into()))
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<RawValue, ScenarioError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(syntax(line, "missing value after \"=\""));
+    }
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return Err(syntax(line, "unterminated string"));
+        };
+        if inner.contains('"') || inner.contains('\\') {
+            return Err(syntax(line, "strings take no quotes or escapes inside"));
+        }
+        return Ok(RawValue::Str(inner.to_owned()));
+    }
+    if raw == "true" {
+        return Ok(RawValue::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(RawValue::Bool(false));
+    }
+    if let Some(stripped) = raw.strip_prefix('[') {
+        let Some(inner) = stripped.strip_suffix(']') else {
+            return Err(syntax(line, "unterminated list"));
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(RawValue::List(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for item in inner.split(',') {
+            let item = item.trim();
+            let value: i64 = item
+                .parse()
+                .map_err(|_| syntax(line, format!("\"{item}\" is not an integer")))?;
+            items.push(value);
+        }
+        return Ok(RawValue::List(items));
+    }
+    raw.parse::<i64>()
+        .map(RawValue::Int)
+        .map_err(|_| syntax(line, format!("\"{raw}\" is not a value this dialect knows")))
+}
+
+fn lex(text: &str) -> Result<Vec<RawTable>, ScenarioError> {
+    let mut tables: Vec<RawTable> = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let Some(name) = header.strip_suffix("]]") else {
+                return Err(syntax(line_no, "unterminated [[section]] header"));
+            };
+            let name = name.trim();
+            if !valid_key(name) {
+                return Err(syntax(line_no, format!("bad section name \"{name}\"")));
+            }
+            tables.push(RawTable {
+                name: name.to_owned(),
+                array: true,
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(syntax(line_no, "unterminated [section] header"));
+            };
+            let name = name.trim();
+            if !valid_key(name) {
+                return Err(syntax(line_no, format!("bad section name \"{name}\"")));
+            }
+            tables.push(RawTable {
+                name: name.to_owned(),
+                array: false,
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(syntax(line_no, "expected [section] or key = value"));
+        };
+        let key = key.trim();
+        if !valid_key(key) {
+            return Err(syntax(line_no, format!("bad key \"{key}\"")));
+        }
+        let Some(table) = tables.last_mut() else {
+            return Err(syntax(line_no, "key = value before any [section] header"));
+        };
+        table.entries.push(RawEntry {
+            key: key.to_owned(),
+            value: parse_value(value, line_no)?,
+            line: line_no,
+        });
+    }
+    Ok(tables)
+}
+
+// ---------------------------------------------------------------------------
+// Typed layer: tables -> spec
+// ---------------------------------------------------------------------------
+
+/// Cursor over one table's entries that enforces no-duplicate and
+/// no-unknown keys as the typed extractors consume them.
+struct TableReader<'a> {
+    table: &'a RawTable,
+    used: Vec<bool>,
+}
+
+impl<'a> TableReader<'a> {
+    fn new(table: &'a RawTable) -> Self {
+        TableReader {
+            used: vec![false; table.entries.len()],
+            table,
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Result<Option<&'a RawEntry>, ScenarioError> {
+        let mut found: Option<&'a RawEntry> = None;
+        for (i, entry) in self.table.entries.iter().enumerate() {
+            if entry.key == key {
+                if found.is_some() {
+                    return Err(ScenarioError::new(
+                        entry.line,
+                        ScenarioErrorKind::DuplicateKey(key.to_owned()),
+                    ));
+                }
+                self.used[i] = true;
+                found = Some(entry);
+            }
+        }
+        Ok(found)
+    }
+
+    fn int(&mut self, key: &str) -> Result<Option<(i64, usize)>, ScenarioError> {
+        match self.take(key)? {
+            None => Ok(None),
+            Some(entry) => match entry.value {
+                RawValue::Int(v) => Ok(Some((v, entry.line))),
+                _ => Err(ScenarioError::new(
+                    entry.line,
+                    ScenarioErrorKind::TypeMismatch {
+                        key: key.to_owned(),
+                        expected: "integer",
+                    },
+                )),
+            },
+        }
+    }
+
+    /// A non-negative integer that fits the target width.
+    fn uint(&mut self, key: &str, max: u64) -> Result<Option<(u64, usize)>, ScenarioError> {
+        match self.int(key)? {
+            None => Ok(None),
+            Some((v, line)) => {
+                let ok = u64::try_from(v).ok().filter(|&v| v <= max);
+                match ok {
+                    Some(v) => Ok(Some((v, line))),
+                    None => Err(ScenarioError::new(
+                        line,
+                        ScenarioErrorKind::BadValue {
+                            key: key.to_owned(),
+                            reason: format!("{v} is outside 0..={max}"),
+                        },
+                    )),
+                }
+            }
+        }
+    }
+
+    fn u32(&mut self, key: &str) -> Result<Option<(u32, usize)>, ScenarioError> {
+        Ok(self
+            .uint(key, u64::from(u32::MAX))?
+            .map(|(v, line)| (v as u32, line)))
+    }
+
+    fn string(&mut self, key: &str) -> Result<Option<(&'a str, usize)>, ScenarioError> {
+        match self.take(key)? {
+            None => Ok(None),
+            Some(entry) => match &entry.value {
+                RawValue::Str(s) => Ok(Some((s.as_str(), entry.line))),
+                _ => Err(ScenarioError::new(
+                    entry.line,
+                    ScenarioErrorKind::TypeMismatch {
+                        key: key.to_owned(),
+                        expected: "string",
+                    },
+                )),
+            },
+        }
+    }
+
+    fn node_list(&mut self, key: &str) -> Result<Option<(Vec<u32>, usize)>, ScenarioError> {
+        match self.take(key)? {
+            None => Ok(None),
+            Some(entry) => match &entry.value {
+                RawValue::List(items) => {
+                    let mut nodes = Vec::with_capacity(items.len());
+                    for &item in items {
+                        let node = u32::try_from(item).map_err(|_| {
+                            ScenarioError::new(
+                                entry.line,
+                                ScenarioErrorKind::BadValue {
+                                    key: key.to_owned(),
+                                    reason: format!("{item} is not a node index"),
+                                },
+                            )
+                        })?;
+                        nodes.push(node);
+                    }
+                    Ok(Some((nodes, entry.line)))
+                }
+                _ => Err(ScenarioError::new(
+                    entry.line,
+                    ScenarioErrorKind::TypeMismatch {
+                        key: key.to_owned(),
+                        expected: "integer list",
+                    },
+                )),
+            },
+        }
+    }
+
+    /// `download = 3` or `download = "unlimited"`.
+    fn download(&mut self, key: &str) -> Result<Option<(DownloadCapacity, usize)>, ScenarioError> {
+        match self.take(key)? {
+            None => Ok(None),
+            Some(entry) => match &entry.value {
+                RawValue::Int(v) => {
+                    let cap = u32::try_from(*v).map_err(|_| {
+                        ScenarioError::new(
+                            entry.line,
+                            ScenarioErrorKind::BadValue {
+                                key: key.to_owned(),
+                                reason: format!("{v} is not a capacity"),
+                            },
+                        )
+                    })?;
+                    Ok(Some((DownloadCapacity::Finite(cap), entry.line)))
+                }
+                RawValue::Str(s) if s == "unlimited" => {
+                    Ok(Some((DownloadCapacity::Unlimited, entry.line)))
+                }
+                RawValue::Str(_) => Err(ScenarioError::new(
+                    entry.line,
+                    ScenarioErrorKind::BadValue {
+                        key: key.to_owned(),
+                        reason: "only \"unlimited\" or an integer".to_owned(),
+                    },
+                )),
+                _ => Err(ScenarioError::new(
+                    entry.line,
+                    ScenarioErrorKind::TypeMismatch {
+                        key: key.to_owned(),
+                        expected: "integer or \"unlimited\"",
+                    },
+                )),
+            },
+        }
+    }
+
+    fn require<T>(
+        &self,
+        value: Option<T>,
+        section: &'static str,
+        key: &'static str,
+    ) -> Result<T, ScenarioError> {
+        value.ok_or_else(|| {
+            ScenarioError::new(
+                self.table.line,
+                ScenarioErrorKind::MissingKey { section, key },
+            )
+        })
+    }
+
+    /// Rejects any entry no extractor consumed.
+    fn finish(self) -> Result<(), ScenarioError> {
+        for (entry, used) in self.table.entries.iter().zip(&self.used) {
+            if !used {
+                return Err(ScenarioError::new(
+                    entry.line,
+                    ScenarioErrorKind::UnknownKey(entry.key.clone()),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn build_spec(tables: &[RawTable]) -> Result<ScenarioSpec, ScenarioError> {
+    let mut sim: Option<SimSection> = None;
+    let mut free_riders = FreeRiders::default();
+    let mut seen_free_riders = false;
+    let mut waves = Vec::new();
+    let mut churn = Vec::new();
+    let mut capacity = Vec::new();
+    let mut contention: Option<Contention> = None;
+
+    for table in tables {
+        match (table.name.as_str(), table.array) {
+            ("sim", false) => {
+                if sim.is_some() {
+                    return Err(ScenarioError::new(
+                        table.line,
+                        ScenarioErrorKind::DuplicateSection("sim".to_owned()),
+                    ));
+                }
+                sim = Some(build_sim(table)?);
+            }
+            ("free-riders", false) => {
+                if seen_free_riders {
+                    return Err(ScenarioError::new(
+                        table.line,
+                        ScenarioErrorKind::DuplicateSection("free-riders".to_owned()),
+                    ));
+                }
+                seen_free_riders = true;
+                let mut r = TableReader::new(table);
+                let nodes = r.node_list("nodes")?;
+                let nodes = r.require(nodes, "free-riders", "nodes")?.0;
+                r.finish()?;
+                free_riders = FreeRiders {
+                    nodes,
+                    line: table.line,
+                };
+            }
+            ("wave", true) => {
+                let mut r = TableReader::new(table);
+                let at = r.u32("at")?;
+                let at = r.require(at, "wave", "at")?.0;
+                let nodes = r.node_list("nodes")?;
+                let nodes = r.require(nodes, "wave", "nodes")?.0;
+                let upload = r.u32("upload")?.map(|(v, _)| v);
+                let download = r.download("download")?.map(|(v, _)| v);
+                r.finish()?;
+                waves.push(WaveEntry {
+                    at,
+                    nodes,
+                    upload,
+                    download,
+                    line: table.line,
+                });
+            }
+            ("churn", true) => {
+                let mut r = TableReader::new(table);
+                let at = r.u32("at")?;
+                let at = r.require(at, "churn", "at")?.0;
+                let leave = r.node_list("leave")?.map(|(v, _)| v).unwrap_or_default();
+                let join = r.node_list("join")?.map(|(v, _)| v).unwrap_or_default();
+                let upload = r.u32("upload")?.map(|(v, _)| v);
+                let download = r.download("download")?.map(|(v, _)| v);
+                r.finish()?;
+                churn.push(ChurnEntry {
+                    at,
+                    leave,
+                    join,
+                    upload,
+                    download,
+                    line: table.line,
+                });
+            }
+            ("capacity", true) => {
+                let mut r = TableReader::new(table);
+                let at = r.u32("at")?;
+                let at = r.require(at, "capacity", "at")?.0;
+                let node = r.u32("node")?;
+                let node = r.require(node, "capacity", "node")?.0;
+                let upload = r.u32("upload")?;
+                let upload = r.require(upload, "capacity", "upload")?.0;
+                let download = r.download("download")?;
+                let download = r.require(download, "capacity", "download")?.0;
+                r.finish()?;
+                capacity.push(CapacityEntry {
+                    at,
+                    node,
+                    upload,
+                    download,
+                    line: table.line,
+                });
+            }
+            ("contention", false) => {
+                if contention.is_some() {
+                    return Err(ScenarioError::new(
+                        table.line,
+                        ScenarioErrorKind::DuplicateSection("contention".to_owned()),
+                    ));
+                }
+                let mut r = TableReader::new(table);
+                let nodes = r.node_list("nodes")?;
+                let nodes = r.require(nodes, "contention", "nodes")?.0;
+                let period = r.u32("period")?;
+                let (period, period_line) = r.require(period, "contention", "period")?;
+                let until = r.u32("until")?;
+                let until = r.require(until, "contention", "until")?.0;
+                r.finish()?;
+                if period == 0 {
+                    return Err(ScenarioError::new(
+                        period_line,
+                        ScenarioErrorKind::BadValue {
+                            key: "period".to_owned(),
+                            reason: "the half-period must be at least 1 tick".to_owned(),
+                        },
+                    ));
+                }
+                contention = Some(Contention {
+                    nodes,
+                    period,
+                    until,
+                    line: table.line,
+                });
+            }
+            (name, _) => {
+                return Err(ScenarioError::new(
+                    table.line,
+                    ScenarioErrorKind::UnknownSection(name.to_owned()),
+                ));
+            }
+        }
+    }
+
+    let sim = sim.ok_or_else(|| {
+        ScenarioError::new(
+            0,
+            ScenarioErrorKind::MissingKey {
+                section: "sim",
+                key: "nodes",
+            },
+        )
+    })?;
+
+    Ok(ScenarioSpec {
+        sim,
+        free_riders,
+        waves,
+        churn,
+        capacity,
+        contention,
+    })
+}
+
+fn build_sim(table: &RawTable) -> Result<SimSection, ScenarioError> {
+    let mut r = TableReader::new(table);
+    let nodes = r.uint("nodes", u64::try_from(usize::MAX).unwrap_or(u64::MAX))?;
+    let (nodes, nodes_line) = r.require(nodes, "sim", "nodes")?;
+    let blocks = r.uint("blocks", u64::try_from(usize::MAX).unwrap_or(u64::MAX))?;
+    let (blocks, blocks_line) = r.require(blocks, "sim", "blocks")?;
+    // Seeds stay within i64 so the canonical rendering re-parses.
+    let seed = r.uint("seed", i64::MAX as u64)?;
+    let (seed, _) = r.require(seed, "sim", "seed")?;
+    let mechanism = match r.string("mechanism")? {
+        None => Mechanism::Cooperative,
+        Some((label, line)) => Mechanism::parse_label(label).ok_or_else(|| {
+            ScenarioError::new(
+                line,
+                ScenarioErrorKind::BadValue {
+                    key: "mechanism".to_owned(),
+                    reason: format!("\"{label}\" is not a mechanism label"),
+                },
+            )
+        })?,
+    };
+    let max_ticks = r.u32("max-ticks")?.map(|(v, _)| v);
+    let server_upload = r.u32("server-upload")?.map(|(v, _)| v).unwrap_or(1);
+    let client_upload = r.u32("client-upload")?.map(|(v, _)| v).unwrap_or(1);
+    let download = r
+        .download("download")?
+        .map(|(v, _)| v)
+        .unwrap_or(DownloadCapacity::Finite(1));
+    r.finish()?;
+    if nodes < 2 {
+        return Err(ScenarioError::new(
+            nodes_line,
+            ScenarioErrorKind::BadValue {
+                key: "nodes".to_owned(),
+                reason: "need a server and at least one client".to_owned(),
+            },
+        ));
+    }
+    if blocks < 1 {
+        return Err(ScenarioError::new(
+            blocks_line,
+            ScenarioErrorKind::BadValue {
+                key: "blocks".to_owned(),
+                reason: "the file needs at least one block".to_owned(),
+            },
+        ));
+    }
+    Ok(SimSection {
+        nodes: nodes as usize,
+        blocks: blocks as usize,
+        seed,
+        mechanism,
+        max_ticks,
+        server_upload,
+        client_upload,
+        download,
+    })
+}

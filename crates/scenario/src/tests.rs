@@ -1,0 +1,408 @@
+//! Unit tests: parser acceptance/rejection, canonical round-trips,
+//! schedule lowering, and driver runs against the real engine.
+
+use pob_core::strategies::{BlockSelection, SwarmStrategy};
+use pob_sim::events::EventSink;
+use pob_sim::{
+    CompleteOverlay as Complete, DownloadCapacity, Engine, Event, Mechanism, NodeId, SimConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    run_scenario, ScenarioDriver, ScenarioErrorKind, ScenarioOp, ScenarioSpec, ScheduledOp,
+};
+
+/// Buffers every event, for assertions.
+#[derive(Default)]
+struct VecSink(Vec<Event>);
+impl EventSink for VecSink {
+    fn on_event(&mut self, e: &Event) {
+        self.0.push(e.clone());
+    }
+}
+
+const FULL: &str = r#"
+# A kitchen-sink scenario touching every section.
+[sim]
+nodes = 20
+blocks = 8
+seed = 42
+mechanism = "credit-limited(s=2)"   # trailing comment
+max-ticks = 500
+server-upload = 2
+client-upload = 1
+download = "unlimited"
+
+[free-riders]
+nodes = [3, 4]
+
+[[wave]]
+at = 12
+nodes = [15, 16]
+upload = 1
+download = 2
+
+[[churn]]
+at = 6
+leave = [5, 6]
+
+[[churn]]
+at = 9
+join = [5]
+upload = 3
+
+[[capacity]]
+at = 4
+node = 0
+upload = 1
+download = "unlimited"
+
+[contention]
+nodes = [7]
+period = 3
+until = 10
+"#;
+
+fn kind(text: &str) -> ScenarioErrorKind {
+    ScenarioSpec::parse(text).unwrap_err().kind
+}
+
+#[test]
+fn full_document_parses() {
+    let spec = ScenarioSpec::parse(FULL).unwrap();
+    assert_eq!(spec.sim.nodes, 20);
+    assert_eq!(spec.sim.blocks, 8);
+    assert_eq!(spec.sim.seed, 42);
+    assert_eq!(spec.sim.mechanism, Mechanism::CreditLimited { credit: 2 });
+    assert_eq!(spec.sim.max_ticks, Some(500));
+    assert_eq!(spec.sim.server_upload, 2);
+    assert_eq!(spec.sim.download, DownloadCapacity::Unlimited);
+    assert_eq!(spec.free_riders.nodes, vec![3, 4]);
+    assert_eq!(spec.waves.len(), 1);
+    assert_eq!(spec.waves[0].download, Some(DownloadCapacity::Finite(2)));
+    assert_eq!(spec.churn.len(), 2);
+    assert_eq!(spec.churn[0].leave, vec![5, 6]);
+    assert_eq!(spec.churn[1].upload, Some(3));
+    assert_eq!(spec.capacity[0].node, 0);
+    let contention = spec.contention.as_ref().unwrap();
+    assert_eq!((contention.period, contention.until), (3, 10));
+    assert!(!spec.is_quiescent());
+}
+
+#[test]
+fn canonical_rendering_round_trips() {
+    let spec = ScenarioSpec::parse(FULL).unwrap();
+    let rendered = spec.to_toml();
+    let reparsed = ScenarioSpec::parse(&rendered).unwrap();
+    assert_eq!(spec, reparsed, "canonical form:\n{rendered}");
+    // And the canonical form is a fixpoint.
+    assert_eq!(rendered, reparsed.to_toml());
+}
+
+#[test]
+fn minimal_document_defaults() {
+    let spec = ScenarioSpec::parse("[sim]\nnodes = 4\nblocks = 2\nseed = 1\n").unwrap();
+    assert_eq!(spec.sim.mechanism, Mechanism::Cooperative);
+    assert_eq!(spec.sim.download, DownloadCapacity::Finite(1));
+    assert_eq!(spec.sim.client_upload, 1);
+    assert!(spec.is_quiescent());
+    let cfg = spec.sim_config();
+    assert_eq!(cfg.max_ticks, SimConfig::new(4, 2).max_ticks);
+    assert!(spec.compile().unwrap().is_empty());
+}
+
+#[test]
+fn error_lines_point_at_the_offense() {
+    let err =
+        ScenarioSpec::parse("[sim]\nnodes = 4\nblocks = 2\nseed = 1\nnodes = 5\n").unwrap_err();
+    assert_eq!(err.line, 5);
+    assert_eq!(
+        err.kind,
+        ScenarioErrorKind::DuplicateKey("nodes".to_owned())
+    );
+    // Errors render with the line number for CLI display.
+    assert!(err.to_string().contains("line 5"), "{err}");
+}
+
+#[test]
+fn rejection_taxonomy() {
+    let sim = "[sim]\nnodes = 8\nblocks = 2\nseed = 1\n";
+    assert!(matches!(kind("nodes = 4\n"), ScenarioErrorKind::Syntax(_)));
+    assert!(matches!(kind("[sim\n"), ScenarioErrorKind::Syntax(_)));
+    assert!(matches!(
+        kind("[sim]\nnodes = \"many\"\nblocks = 2\nseed = 1\n"),
+        ScenarioErrorKind::TypeMismatch { .. }
+    ));
+    assert!(matches!(
+        kind("[sim]\nnodes = 8\nblocks = 2\nseed = -3\n"),
+        ScenarioErrorKind::BadValue { .. }
+    ));
+    assert!(matches!(
+        kind("[sim]\nnodes = 1\nblocks = 2\nseed = 1\n"),
+        ScenarioErrorKind::BadValue { .. }
+    ));
+    assert!(matches!(
+        kind("[sim]\nnodes = 8\nblocks = 2\nseed = 1\nmechanism = \"potlatch\"\n"),
+        ScenarioErrorKind::BadValue { .. }
+    ));
+    assert!(matches!(
+        kind("[sim]\nnodes = 8\nblocks = 2\n"),
+        ScenarioErrorKind::MissingKey { key: "seed", .. }
+    ));
+    assert!(matches!(
+        kind(&format!("{sim}[party]\n")),
+        ScenarioErrorKind::UnknownSection(_)
+    ));
+    assert!(matches!(
+        kind(&format!("{sim}[free-riders]\nnodes = [2]\npeers = [3]\n")),
+        ScenarioErrorKind::UnknownKey(_)
+    ));
+    assert!(matches!(
+        kind(&format!(
+            "{sim}[free-riders]\nnodes = [2]\n[free-riders]\nnodes = [3]\n"
+        )),
+        ScenarioErrorKind::DuplicateSection(_)
+    ));
+    assert!(matches!(
+        kind(&format!(
+            "{sim}[contention]\nnodes = [2]\nperiod = 0\nuntil = 5\n"
+        )),
+        ScenarioErrorKind::BadValue { .. }
+    ));
+}
+
+fn compile_err(text: &str) -> ScenarioErrorKind {
+    ScenarioSpec::parse(text)
+        .unwrap()
+        .compile()
+        .unwrap_err()
+        .kind
+}
+
+#[test]
+fn compile_validation() {
+    let sim = "[sim]\nnodes = 8\nblocks = 2\nseed = 1\n";
+    assert_eq!(
+        compile_err(&format!("{sim}[free-riders]\nnodes = [9]\n")),
+        ScenarioErrorKind::NodeOutOfRange { node: 9, nodes: 8 }
+    );
+    assert_eq!(
+        compile_err(&format!("{sim}[free-riders]\nnodes = [0]\n")),
+        ScenarioErrorKind::ServerChurned
+    );
+    assert_eq!(
+        compile_err(&format!(
+            "{sim}[free-riders]\nnodes = [2]\n[contention]\nnodes = [2]\nperiod = 2\nuntil = 9\n"
+        )),
+        ScenarioErrorKind::RoleOverlap { node: 2 }
+    );
+    assert_eq!(
+        compile_err(&format!("{sim}[[churn]]\nat = 3\nleave = [2, 2]\n")),
+        ScenarioErrorKind::LeaveInactive { node: 2, tick: 3 }
+    );
+    assert_eq!(
+        compile_err(&format!("{sim}[[churn]]\nat = 3\njoin = [2]\n")),
+        ScenarioErrorKind::JoinActive { node: 2, tick: 3 }
+    );
+    assert_eq!(
+        compile_err(&format!(
+            "{sim}[[wave]]\nat = 9\nnodes = [2]\n[[capacity]]\nat = 4\nnode = 2\nupload = 2\ndownload = 1\n"
+        )),
+        ScenarioErrorKind::CapacityWhileAway { node: 2, tick: 4 }
+    );
+    assert!(matches!(
+        compile_err(&format!("{sim}[[churn]]\nat = 0\nleave = [2]\n")),
+        ScenarioErrorKind::BadValue { .. }
+    ));
+    // The error carries the source line of the offending section.
+    let err = ScenarioSpec::parse(&format!("{sim}[[churn]]\nat = 3\njoin = [2]\n"))
+        .unwrap()
+        .compile()
+        .unwrap_err();
+    assert_eq!(err.line, 5);
+}
+
+#[test]
+fn lowering_shapes() {
+    let spec = ScenarioSpec::parse(
+        "[sim]\nnodes = 8\nblocks = 2\nseed = 1\ndownload = \"unlimited\"\n\
+         [free-riders]\nnodes = [2]\n\
+         [[wave]]\nat = 5\nnodes = [3]\n\
+         [contention]\nnodes = [4]\nperiod = 2\nuntil = 6\n",
+    )
+    .unwrap();
+    let schedule = spec.compile().unwrap();
+    let ops: Vec<ScheduledOp> = schedule.ops().to_vec();
+    let n = |raw: u32| NodeId::new(raw);
+    let away = ScenarioOp::SetCapacity {
+        node: n(4),
+        upload: 0,
+        download: DownloadCapacity::Finite(0),
+    };
+    let restored = ScenarioOp::SetCapacity {
+        node: n(4),
+        upload: 1,
+        download: DownloadCapacity::Unlimited,
+    };
+    assert_eq!(
+        ops,
+        vec![
+            // tick 1, in compilation order: wave departure, free-rider.
+            ScheduledOp {
+                tick: 1,
+                op: ScenarioOp::Leave { node: n(3) }
+            },
+            ScheduledOp {
+                tick: 1,
+                op: ScenarioOp::SetCapacity {
+                    node: n(2),
+                    upload: 0,
+                    download: DownloadCapacity::Unlimited,
+                },
+            },
+            // contention square wave: away at 3, back at 5, away at 7 —
+            // but 7 > until=6, so the final op restores instead.
+            ScheduledOp { tick: 3, op: away },
+            ScheduledOp {
+                tick: 5,
+                op: ScenarioOp::Join {
+                    node: n(3),
+                    upload: 1,
+                    download: DownloadCapacity::Unlimited,
+                },
+            },
+            ScheduledOp {
+                tick: 5,
+                op: restored
+            },
+        ],
+    );
+}
+
+#[test]
+fn contention_mid_absence_gets_restored() {
+    let spec = ScenarioSpec::parse(
+        "[sim]\nnodes = 4\nblocks = 2\nseed = 1\n\
+         [contention]\nnodes = [2]\nperiod = 3\nuntil = 5\n",
+    )
+    .unwrap();
+    let ops = spec.compile().unwrap().ops().to_vec();
+    // Away at 4 (4 <= until), next boundary 7 > until while absent:
+    // restore at 7.
+    assert_eq!(ops.len(), 2);
+    assert_eq!((ops[0].tick, ops[1].tick), (4, 7));
+    assert!(matches!(
+        ops[1].op,
+        ScenarioOp::SetCapacity { upload: 1, .. }
+    ));
+}
+
+#[test]
+fn driver_runs_a_churny_swarm_to_completion() {
+    let spec = ScenarioSpec::parse(
+        "[sim]\nnodes = 12\nblocks = 6\nseed = 9\n\
+         [free-riders]\nnodes = [3]\n\
+         [[churn]]\nat = 4\nleave = [5]\n\
+         [[churn]]\nat = 8\njoin = [5]\n\
+         [[wave]]\nat = 10\nnodes = [9, 10]\n",
+    )
+    .unwrap();
+    let overlay = Complete::new(spec.sim.nodes);
+    let mut engine = Engine::with_sink(spec.sim_config(), &overlay, VecSink::default());
+    let mut driver = ScenarioDriver::new(spec.compile().unwrap());
+    let mut strategy = SwarmStrategy::new(BlockSelection::RarestFirst);
+    let mut rng = StdRng::seed_from_u64(spec.sim.seed);
+    let report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng).unwrap();
+    assert!(report.completion.is_some(), "churny swarm still completes");
+    assert_eq!(driver.pending(), 0);
+    let events = engine.into_sink().0;
+    // Wave departures are pre-run: parked, then flushed right after
+    // RunStart with stamp 1.
+    assert!(matches!(events[0], Event::RunStart { .. }));
+    let leaves = events
+        .iter()
+        .filter(|e| matches!(e, Event::NodeLeave { .. }))
+        .count();
+    let joins = events
+        .iter()
+        .filter(|e| matches!(e, Event::NodeJoin { .. }))
+        .count();
+    assert_eq!(leaves, 3, "two wave members + one churned node");
+    assert_eq!(joins, 3);
+    // Every event stamp is the first tick the mutation affects.
+    for event in &events {
+        if let Event::NodeLeave { tick, .. } | Event::NodeJoin { tick, .. } = event {
+            assert!(tick.get() >= 1);
+        }
+    }
+}
+
+#[test]
+fn free_riders_complete_without_uploading() {
+    let spec = ScenarioSpec::parse(
+        "[sim]\nnodes = 8\nblocks = 4\nseed = 3\n[free-riders]\nnodes = [2, 3]\n",
+    )
+    .unwrap();
+    let overlay = Complete::new(spec.sim.nodes);
+    let mut engine = Engine::with_sink(spec.sim_config(), &overlay, VecSink::default());
+    let mut driver = ScenarioDriver::new(spec.compile().unwrap());
+    let mut strategy = SwarmStrategy::new(BlockSelection::RarestFirst);
+    let mut rng = StdRng::seed_from_u64(spec.sim.seed);
+    let report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng).unwrap();
+    assert!(report.completion.is_some());
+    let events = engine.into_sink().0;
+    for event in &events {
+        if let Event::Delivery { transfer, .. } = event {
+            assert!(
+                transfer.from != NodeId::new(2) && transfer.from != NodeId::new(3),
+                "free-rider uploaded: {transfer:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quiescent_scenario_matches_a_plain_run() {
+    let spec = ScenarioSpec::parse("[sim]\nnodes = 16\nblocks = 8\nseed = 11\n").unwrap();
+    let overlay = Complete::new(spec.sim.nodes);
+
+    let mut engine = Engine::new(spec.sim_config(), &overlay);
+    let mut driver = ScenarioDriver::new(spec.compile().unwrap());
+    let mut strategy = SwarmStrategy::new(BlockSelection::RarestFirst);
+    let mut rng = StdRng::seed_from_u64(spec.sim.seed);
+    let scenario_report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng).unwrap();
+
+    let plain_engine = Engine::new(spec.sim_config(), &overlay);
+    let mut plain_strategy = SwarmStrategy::new(BlockSelection::RarestFirst);
+    let mut plain_rng = StdRng::seed_from_u64(spec.sim.seed);
+    let plain_report = plain_engine
+        .run(&mut plain_strategy, &mut plain_rng)
+        .unwrap();
+
+    assert_eq!(scenario_report.completion, plain_report.completion);
+    assert_eq!(
+        scenario_report.node_completions,
+        plain_report.node_completions
+    );
+    assert_eq!(scenario_report.total_uploads, plain_report.total_uploads);
+}
+
+#[test]
+fn late_wave_revives_a_finished_swarm() {
+    // Everyone completes long before tick 60; the wave must still be
+    // admitted and served, and the run ends only when it finishes too.
+    let spec = ScenarioSpec::parse(
+        "[sim]\nnodes = 6\nblocks = 2\nseed = 5\n[[wave]]\nat = 60\nnodes = [4, 5]\n",
+    )
+    .unwrap();
+    let overlay = Complete::new(spec.sim.nodes);
+    let mut engine = Engine::new(spec.sim_config(), &overlay);
+    let mut driver = ScenarioDriver::new(spec.compile().unwrap());
+    let mut strategy = SwarmStrategy::new(BlockSelection::RarestFirst);
+    let mut rng = StdRng::seed_from_u64(spec.sim.seed);
+    let report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng).unwrap();
+    let completion = report.completion.expect("wave must be served");
+    assert!(completion.get() >= 60, "ended at {completion:?}");
+    assert!(report.node_completions[4].is_some());
+}

@@ -178,6 +178,13 @@ pub trait Strategy {
     fn span_label(&self) -> String {
         self.name().to_owned()
     }
+
+    /// Notifies the strategy that the engine's state was mutated outside
+    /// the ordinary tick cycle (node churn, capacity changes — see
+    /// [`Engine::node_leave`]). Strategies that carry caches keyed on
+    /// tick continuity must drop them here so the next tick rebuilds from
+    /// the mutated state; stateless strategies can ignore it.
+    fn notify_state_mutated(&mut self) {}
 }
 
 impl<S: Strategy + ?Sized> Strategy for &mut S {
@@ -189,6 +196,9 @@ impl<S: Strategy + ?Sized> Strategy for &mut S {
     }
     fn span_label(&self) -> String {
         (**self).span_label()
+    }
+    fn notify_state_mutated(&mut self) {
+        (**self).notify_state_mutated()
     }
 }
 
@@ -218,10 +228,19 @@ impl GaugeTracker {
             hist[f as usize] += 1;
             min_freq = min_freq.min(f);
         }
+        // Only *active* complete clients count: departed nodes lose their
+        // inventory and must re-complete if they return.
+        let completed_clients = state
+            .completion_ticks()
+            .iter()
+            .zip(state.active_flags())
+            .skip(1)
+            .filter(|&(c, &a)| a && c.is_some())
+            .count() as u32;
         let mut tracker = GaugeTracker {
             hist,
             min_freq,
-            completed_clients: (state.node_count() - 1 - state.incomplete_count()) as u32,
+            completed_clients,
             server_cap: 0,
             client_cap_sum: 0,
         };
@@ -305,6 +324,13 @@ pub struct Engine<'a, E: EventSink = NoopSink, M: MetricsSink = NoopMetrics> {
     // Lazily initialized on the first observed step; stays `None` for
     // disabled sinks.
     gauges: Option<GaugeTracker>,
+    // Churn/capacity events issued before the first observed step; they
+    // must appear after `RunStart` in the stream, so they wait here.
+    pending_mutations: Vec<Event>,
+    // While set, a fully-complete swarm does not end the run: the caller
+    // (a scenario driver) has arrivals scheduled that will make it
+    // incomplete again. See `hold_open`.
+    hold_open: bool,
     run_started: bool,
     run_ended: bool,
 }
@@ -378,6 +404,8 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
             metrics,
             window: SnapshotWindow::default(),
             gauges: None,
+            pending_mutations: Vec::new(),
+            hold_open: false,
             run_started: false,
             run_ended: false,
         }
@@ -483,6 +511,147 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
         self.download_caps = caps;
     }
 
+    /// Removes a client from the swarm between ticks: its inventory leaves
+    /// the system (no exit hand-off), its capacities drop to zero so no
+    /// strategy can route blocks through or to it, and it stops counting
+    /// toward run termination. Returns the number of blocks dropped.
+    ///
+    /// The slot stays allocated — the node universe is fixed — and the
+    /// node can return later via [`node_join`](Self::node_join), starting
+    /// empty. Callers driving a strategy must also call
+    /// [`Strategy::notify_state_mutated`] so cached indexes rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the server, is already departed, or the run has
+    /// already ended.
+    pub fn node_leave(&mut self, node: NodeId) -> u32 {
+        assert!(!node.is_server(), "the server never leaves");
+        assert!(!self.run_ended, "mutating a finished run");
+        assert!(self.state.is_active(node), "{node} already departed");
+        self.state.set_active(node, false);
+        let dropped = self.state.evict(node);
+        self.upload_caps[node.index()] = 0;
+        self.download_caps[node.index()] = DownloadCapacity::Finite(0);
+        self.resync_gauges();
+        self.emit_mutation(Event::NodeLeave {
+            tick: self.tick.next(),
+            node,
+            dropped,
+        });
+        dropped
+    }
+
+    /// Adds a departed (or never-arrived) client back into the swarm with
+    /// the given capacities, starting with an empty inventory. The
+    /// counterpart of [`node_leave`](Self::node_leave); see there for the
+    /// cache-invalidation contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the server, is already present, or the run has
+    /// already ended.
+    pub fn node_join(&mut self, node: NodeId, upload: u32, download: DownloadCapacity) {
+        assert!(!node.is_server(), "the server is always present");
+        assert!(!self.run_ended, "mutating a finished run");
+        assert!(!self.state.is_active(node), "{node} is already present");
+        self.state.set_active(node, true);
+        self.upload_caps[node.index()] = upload;
+        self.download_caps[node.index()] = download;
+        self.resync_gauges();
+        self.emit_mutation(Event::NodeJoin {
+            tick: self.tick.next(),
+            node,
+            upload,
+            download,
+        });
+    }
+
+    /// Changes one node's capacities between ticks (bandwidth throttling,
+    /// free-riders via `upload = 0`). Works for the server too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is departed or the run has already ended.
+    pub fn set_node_capacity(&mut self, node: NodeId, upload: u32, download: DownloadCapacity) {
+        assert!(!self.run_ended, "mutating a finished run");
+        assert!(self.state.is_active(node), "{node} is departed");
+        self.upload_caps[node.index()] = upload;
+        self.download_caps[node.index()] = download;
+        if let Some(g) = self.gauges.as_mut() {
+            g.refresh_capacities(&self.upload_caps);
+        }
+        self.emit_mutation(Event::CapacityChange {
+            tick: self.tick.next(),
+            node,
+            upload,
+            download,
+        });
+    }
+
+    /// Keeps a fully-complete swarm's run open (`true`) or restores the
+    /// default end-on-completion behavior (`false`).
+    ///
+    /// Scenario drivers set this while arrivals are still scheduled: a
+    /// flash crowd landing after every resident client completed must
+    /// find the run alive. While held open, a [`step`](Self::step) that
+    /// completes the last client returns `true` without emitting
+    /// `RunEnd`, and a step entered with a drained swarm is a no-op
+    /// returning `true` — the caller promises to mutate state (or
+    /// release the hold) before stepping again, otherwise the stepping
+    /// loop never terminates.
+    pub fn hold_open(&mut self, hold: bool) {
+        self.hold_open = hold;
+    }
+
+    /// Advances a drained swarm's clock so the *next* stepped tick is
+    /// `tick`, without planning anything: every active client is already
+    /// complete, so the skipped ticks carry no transfers and emit no
+    /// events. Scenario drivers use this to idle until a scheduled
+    /// arrival (a flash crowd landing after the resident swarm
+    /// finished); mutations applied after the jump are stamped `tick`,
+    /// and the tick-start that follows matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some active client is still incomplete, the run has
+    /// ended, or `tick` is not ahead of the current tick.
+    pub fn advance_idle_to(&mut self, tick: u32) {
+        assert!(!self.run_ended, "mutating a finished run");
+        assert!(
+            self.state.all_complete(),
+            "idling requires every active client to be complete"
+        );
+        assert!(
+            tick > self.tick.get(),
+            "idle target {tick} is not ahead of tick {}",
+            self.tick.get()
+        );
+        self.tick = Tick::new(tick - 1);
+    }
+
+    /// Rebuilds the gauge tracker from scratch after a churn mutation:
+    /// eviction shrinks frequencies, which the incremental histogram and
+    /// the monotone `min_freq` pointer cannot express.
+    fn resync_gauges(&mut self) {
+        if self.gauges.is_some() {
+            self.gauges = Some(GaugeTracker::new(&self.state, &self.upload_caps));
+        }
+    }
+
+    /// Emits a churn/capacity event, or parks it until `RunStart` goes out
+    /// if the run has not started yet.
+    fn emit_mutation(&mut self, event: Event) {
+        if !self.sink.enabled() {
+            return;
+        }
+        if self.run_started {
+            self.sink.on_event(&event);
+        } else {
+            self.pending_mutations.push(event);
+        }
+    }
+
     /// Seeds a client with blocks it already holds before the run starts —
     /// a node resuming an interrupted download, or a secondary seed.
     /// Blocks the client already holds are ignored.
@@ -522,6 +691,11 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
         rng: &mut StdRng,
     ) -> Result<bool, SimError> {
         if self.state.all_complete() || self.tick.get() >= self.config.max_ticks {
+            if self.hold_open && self.tick.get() < self.config.max_ticks {
+                // Drained but held open: arrivals are scheduled. Nothing
+                // to plan — the caller mutates state before stepping on.
+                return Ok(true);
+            }
             self.finish_events();
             return Ok(false);
         }
@@ -542,6 +716,9 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
                 client_upload_capacity: self.config.client_upload_capacity,
                 max_ticks: self.config.max_ticks,
             });
+            for event in std::mem::take(&mut self.pending_mutations) {
+                self.sink.on_event(&event);
+            }
             self.gauges = Some(GaugeTracker::new(&self.state, &self.upload_caps));
         }
         let started = std::time::Instant::now();
@@ -686,7 +863,8 @@ impl<'a, E: EventSink, M: MetricsSink> Engine<'a, E, M> {
                 self.sink.on_event(&Event::MetricsSnapshot { snapshot });
             }
         }
-        let more = !self.state.all_complete() && self.tick.get() < self.config.max_ticks;
+        let more = (!self.state.all_complete() || self.hold_open)
+            && self.tick.get() < self.config.max_ticks;
         if !more {
             self.finish_events();
         }
@@ -1304,6 +1482,113 @@ mod tests {
         fn on_event(&mut self, e: &Event) {
             self.0.push(e.clone());
         }
+    }
+
+    #[test]
+    fn churn_mutations_update_state_and_event_stream() {
+        let overlay = CompleteOverlay::new(4);
+        let mut engine = Engine::with_sink(SimConfig::new(4, 2), &overlay, VecSink::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        // Pre-run departure: applied now, event parked until RunStart.
+        let dropped = engine.node_leave(NodeId::new(3));
+        assert_eq!(dropped, 0);
+        assert!(!engine.state().is_active(NodeId::new(3)));
+        assert_eq!(engine.state().incomplete_count(), 2);
+        engine.step(&mut NaiveServerPush, &mut rng).unwrap();
+        engine.node_join(NodeId::new(3), 1, DownloadCapacity::Finite(1));
+        assert_eq!(engine.state().incomplete_count(), 3);
+        while engine.step(&mut NaiveServerPush, &mut rng).unwrap() {}
+        assert!(engine.report().completed());
+        let events = engine.into_sink().0;
+        assert!(matches!(events[0], Event::RunStart { .. }));
+        assert!(
+            matches!(
+                events[1],
+                Event::NodeLeave { tick, node, dropped: 0 }
+                    if node == NodeId::new(3) && tick == Tick::new(1)
+            ),
+            "parked churn events flush right after run-start"
+        );
+        let joins = events
+            .iter()
+            .filter(|e| matches!(e, Event::NodeJoin { .. }))
+            .count();
+        assert_eq!(joins, 1);
+    }
+
+    #[test]
+    fn node_leave_drops_inventory_and_frequencies() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 2), &overlay);
+        let mut rng = StdRng::seed_from_u64(0);
+        engine.step(&mut NaiveServerPush, &mut rng).unwrap();
+        let fed = engine.last_transfers()[0].to;
+        assert_eq!(engine.state().inventory(fed).len(), 1);
+        let dropped = engine.node_leave(fed);
+        assert_eq!(dropped, 1);
+        assert!(engine.state().inventory(fed).is_empty());
+        assert!(engine.state().frequencies().iter().all(|&f| f == 1));
+        // The departed node no longer gates termination or admits blocks.
+        while engine.step(&mut NaiveServerPush, &mut rng).unwrap() {}
+        assert!(engine.report().completed());
+        assert!(engine.state().inventory(fed).is_empty());
+    }
+
+    #[test]
+    fn set_node_capacity_turns_off_a_client_upload() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 1), &overlay);
+        engine.set_node_capacity(NodeId::new(1), 0, DownloadCapacity::Finite(1));
+        struct RelayViaC1;
+        impl Strategy for RelayViaC1 {
+            fn on_tick(
+                &mut self,
+                p: &mut TickPlanner<'_>,
+                _r: &mut StdRng,
+            ) -> Result<(), SimError> {
+                if p.tick().get() == 1 {
+                    p.propose(NodeId::SERVER, NodeId::new(1), BlockId::new(0))
+                        .unwrap();
+                } else {
+                    // The free-rider must be refused as an uploader.
+                    let err = p
+                        .propose(NodeId::new(1), NodeId::new(2), BlockId::new(0))
+                        .unwrap_err();
+                    assert_eq!(err, RejectTransferError::NoUploadCapacity);
+                    p.propose(NodeId::SERVER, NodeId::new(2), BlockId::new(0))
+                        .unwrap();
+                }
+                Ok(())
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        while engine.step(&mut RelayViaC1, &mut rng).unwrap() {}
+        assert!(engine.report().completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "the server never leaves")]
+    fn server_leave_rejected() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 1), &overlay);
+        engine.node_leave(NodeId::SERVER);
+    }
+
+    #[test]
+    #[should_panic(expected = "already departed")]
+    fn double_leave_rejected() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 1), &overlay);
+        engine.node_leave(NodeId::new(1));
+        engine.node_leave(NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn joining_a_present_node_rejected() {
+        let overlay = CompleteOverlay::new(3);
+        let mut engine = Engine::new(SimConfig::new(3, 1), &overlay);
+        engine.node_join(NodeId::new(1), 1, DownloadCapacity::Finite(1));
     }
 
     #[test]

@@ -93,7 +93,7 @@
 //! # Ok::<(), pob_sim::SimError>(())
 //! ```
 
-use crate::{BlockId, Mechanism, NodeId, RejectTransferError, Tick, Transfer};
+use crate::{BlockId, DownloadCapacity, Mechanism, NodeId, RejectTransferError, Tick, Transfer};
 use json::FieldAccess as _;
 use std::fmt::Write as _;
 use std::io;
@@ -333,6 +333,42 @@ pub enum Event {
         /// The newly complete client.
         node: NodeId,
     },
+    /// A client left the swarm between ticks (scenario churn): its blocks
+    /// left the system with it and its capacities dropped to zero. Only
+    /// scenario-driven runs emit this, so existing streams are unaffected
+    /// (a new event kind needs no schema bump).
+    NodeLeave {
+        /// The first tick the departure affects.
+        tick: Tick,
+        /// The departed client.
+        node: NodeId,
+        /// Blocks that left the system with the node.
+        dropped: u32,
+    },
+    /// A client (re)joined the swarm between ticks with the given
+    /// capacities, starting with an empty inventory.
+    NodeJoin {
+        /// The first tick the arrival affects.
+        tick: Tick,
+        /// The arriving client.
+        node: NodeId,
+        /// Its per-tick upload capacity.
+        upload: u32,
+        /// Its per-tick download capacity.
+        download: DownloadCapacity,
+    },
+    /// A node's per-tick capacities changed between ticks (bandwidth
+    /// throttling, free-riders switching off their upload).
+    CapacityChange {
+        /// The first tick the new capacities affect.
+        tick: Tick,
+        /// The reconfigured node.
+        node: NodeId,
+        /// The new per-tick upload capacity.
+        upload: u32,
+        /// The new per-tick download capacity.
+        download: DownloadCapacity,
+    },
     /// A tick was committed; carries the per-tick gauges.
     TickEnd {
         /// The gauges of the finished tick.
@@ -374,6 +410,9 @@ impl Event {
             Event::ProposalRejected { .. } => "proposal-rejected",
             Event::Delivery { .. } => "delivery",
             Event::NodeComplete { .. } => "node-complete",
+            Event::NodeLeave { .. } => "node-leave",
+            Event::NodeJoin { .. } => "node-join",
+            Event::CapacityChange { .. } => "capacity-change",
             Event::TickEnd { .. } => "tick-end",
             Event::MetricsSnapshot { .. } => "metrics-snapshot",
             Event::RunEnd { .. } => "run-end",
@@ -438,6 +477,42 @@ impl Event {
             }
             Event::NodeComplete { tick, node } => {
                 let _ = write!(s, ",\"tick\":{},\"node\":{}", tick.get(), node.raw());
+            }
+            Event::NodeLeave {
+                tick,
+                node,
+                dropped,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"tick\":{},\"node\":{},\"dropped\":{dropped}",
+                    tick.get(),
+                    node.raw(),
+                );
+            }
+            Event::NodeJoin {
+                tick,
+                node,
+                upload,
+                download,
+            }
+            | Event::CapacityChange {
+                tick,
+                node,
+                upload,
+                download,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"tick\":{},\"node\":{},\"upload\":{upload}",
+                    tick.get(),
+                    node.raw(),
+                );
+                // Unlimited download is encoded by omission, mirroring the
+                // optional-field conventions elsewhere in the schema.
+                if let DownloadCapacity::Finite(cap) = download {
+                    let _ = write!(s, ",\"download\":{cap}");
+                }
             }
             Event::TickEnd { metrics: m } => {
                 let _ = write!(
@@ -635,6 +710,36 @@ impl Event {
                 tick: tick(obj)?,
                 node: NodeId::new(obj.u32("node")?),
             }),
+            "node-leave" => Ok(Event::NodeLeave {
+                tick: tick(obj)?,
+                node: NodeId::new(obj.u32("node")?),
+                dropped: obj.u32("dropped")?,
+            }),
+            "node-join" | "capacity-change" => {
+                let t = tick(obj)?;
+                let node = NodeId::new(obj.u32("node")?);
+                let upload = obj.u32("upload")?;
+                let download = if obj.get("download").is_some() {
+                    DownloadCapacity::Finite(obj.u32("download")?)
+                } else {
+                    DownloadCapacity::Unlimited
+                };
+                if kind == "node-join" {
+                    Ok(Event::NodeJoin {
+                        tick: t,
+                        node,
+                        upload,
+                        download,
+                    })
+                } else {
+                    Ok(Event::CapacityChange {
+                        tick: t,
+                        node,
+                        upload,
+                        download,
+                    })
+                }
+            }
             "tick-end" => {
                 let hist = obj.field("rarity_hist")?;
                 let hist = hist
@@ -1396,6 +1501,23 @@ mod tests {
                 tick: Tick::new(1),
                 node: NodeId::new(1),
             },
+            Event::NodeLeave {
+                tick: Tick::new(2),
+                node: NodeId::new(3),
+                dropped: 17,
+            },
+            Event::NodeJoin {
+                tick: Tick::new(5),
+                node: NodeId::new(3),
+                upload: 2,
+                download: DownloadCapacity::Finite(3),
+            },
+            Event::CapacityChange {
+                tick: Tick::new(6),
+                node: NodeId::new(4),
+                upload: 0,
+                download: DownloadCapacity::Unlimited,
+            },
             Event::TickEnd {
                 metrics: sample_metrics(),
             },
@@ -1459,12 +1581,12 @@ mod tests {
         // `--threads 1` streams must stay byte-identical to pre-threading
         // ones: the keys only appear for multi-thread or conflicted runs.
         let events = sample_events();
-        let single = events[6].to_json_line();
+        let single = events[9].to_json_line();
         assert!(!single.contains("threads"), "{single}");
         assert!(!single.contains("merge_conflicts"), "{single}");
         assert!(!single.contains("merge_duplicates"), "{single}");
         assert!(!single.contains("shard_fast_ticks"), "{single}");
-        let threaded = events[7].to_json_line();
+        let threaded = events[10].to_json_line();
         assert!(threaded.contains("\"threads\":8"), "{threaded}");
         assert!(threaded.contains("\"merge_conflicts\":17"), "{threaded}");
         assert!(threaded.contains("\"merge_duplicates\":5"), "{threaded}");
@@ -1490,6 +1612,26 @@ mod tests {
             "{line}"
         );
         assert_eq!(Event::from_json_line(&line).unwrap(), conflicted);
+    }
+
+    #[test]
+    fn unlimited_download_is_encoded_by_omission() {
+        let event = Event::NodeJoin {
+            tick: Tick::new(4),
+            node: NodeId::new(2),
+            upload: 1,
+            download: DownloadCapacity::Unlimited,
+        };
+        let line = event.to_json_line();
+        assert!(!line.contains("download"), "{line}");
+        assert_eq!(Event::from_json_line(&line).unwrap(), event);
+        let finite = Event::CapacityChange {
+            tick: Tick::new(4),
+            node: NodeId::new(2),
+            upload: 1,
+            download: DownloadCapacity::Finite(2),
+        };
+        assert!(finite.to_json_line().contains("\"download\":2"));
     }
 
     #[test]

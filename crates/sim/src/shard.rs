@@ -979,6 +979,13 @@ impl ShardedSwarm {
             self.nodes = nodes;
         }
     }
+
+    /// Drops the cross-tick planning views so the next tick rebuilds
+    /// them from the (mutated) state. See
+    /// [`Strategy::notify_state_mutated`].
+    pub fn invalidate_indexes(&mut self) {
+        self.indexes.synced_for = None;
+    }
 }
 
 impl Strategy for ShardedSwarm {
@@ -1134,6 +1141,10 @@ impl Strategy for ShardedSwarm {
 
     fn span_label(&self) -> String {
         format!("{}+shards={}", self.name(), self.shards)
+    }
+
+    fn notify_state_mutated(&mut self) {
+        self.invalidate_indexes();
     }
 }
 

@@ -258,6 +258,12 @@ impl BlockMatrix {
         self.len[r] = self.universe as u32;
     }
 
+    /// Empties row `r`.
+    pub fn clear_row(&mut self, r: usize) {
+        self.words[r * self.stride..(r + 1) * self.stride].fill(0);
+        self.len[r] = 0;
+    }
+
     /// Splits the arena into disjoint mutable row ranges at the given
     /// ascending `bounds` (which must start at `0` and end at
     /// [`rows`](Self::rows)): each returned `(words, lens)` pair covers

@@ -33,6 +33,11 @@ pub struct SimState {
     matrix: BlockMatrix,
     freq: Vec<u32>,
     completion: Vec<Option<Tick>>,
+    /// Per-node liveness flag for churn scenarios. Departed (or not yet
+    /// arrived) nodes stay in the arrays — the node universe is fixed —
+    /// but are excluded from [`incomplete_count`](Self::incomplete_count)
+    /// and hence from run termination.
+    active: Vec<bool>,
     incomplete: usize,
 }
 
@@ -61,6 +66,7 @@ impl SimState {
             matrix,
             freq: vec![1; blocks],
             completion,
+            active: vec![true; nodes],
             incomplete: nodes - 1,
         }
     }
@@ -114,16 +120,65 @@ impl SimState {
         &self.matrix
     }
 
-    /// Number of nodes still missing at least one block.
+    /// Number of *active* nodes still missing at least one block.
     #[inline]
     pub fn incomplete_count(&self) -> usize {
         self.incomplete
     }
 
-    /// Whether every node holds the complete file.
+    /// Whether every active node holds the complete file.
     #[inline]
     pub fn all_complete(&self) -> bool {
         self.incomplete == 0
+    }
+
+    /// Whether `u` is currently part of the swarm.
+    #[inline]
+    pub fn is_active(&self, u: NodeId) -> bool {
+        self.active[u.index()]
+    }
+
+    /// Per-node liveness flags, indexed by node.
+    #[inline]
+    pub fn active_flags(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Marks `u` present or absent, keeping the incomplete count honest:
+    /// an incomplete node only counts toward termination while active.
+    pub(crate) fn set_active(&mut self, u: NodeId, active: bool) {
+        let i = u.index();
+        if self.active[i] == active {
+            return;
+        }
+        self.active[i] = active;
+        if !self.blocks[i].is_full() {
+            if active {
+                self.incomplete += 1;
+            } else {
+                self.incomplete -= 1;
+            }
+        }
+    }
+
+    /// Drops every block held by the (already inactive) node `u`, keeping
+    /// frequencies coherent. Returns how many blocks left the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is still active: callers must deactivate first so the
+    /// incomplete count never observes a half-evicted node.
+    pub(crate) fn evict(&mut self, u: NodeId) -> u32 {
+        let i = u.index();
+        assert!(!self.active[i], "evicting an active node");
+        let dropped = self.blocks[i].len() as u32;
+        for b in self.blocks[i].iter() {
+            self.freq[b.index()] -= 1;
+        }
+        self.blocks[i].clear();
+        self.matrix.clear_row(i);
+        self.completion[i] = None;
+        dropped
     }
 
     /// The tick at which `u` finished downloading, if it has.
@@ -155,7 +210,9 @@ impl SimState {
         self.freq[block.index()] += 1;
         if self.blocks[u.index()].is_full() {
             self.completion[u.index()] = Some(now);
-            self.incomplete -= 1;
+            if self.active[u.index()] {
+                self.incomplete -= 1;
+            }
             true
         } else {
             false
@@ -192,26 +249,32 @@ impl SimState {
         let mut matrix_chunks = self.matrix.rows_split_mut(&bounds);
         let mut block_chunks: Vec<&mut [BlockSet]> = Vec::with_capacity(workers);
         let mut completion_chunks: Vec<&mut [Option<Tick>]> = Vec::with_capacity(workers);
+        let mut active_chunks: Vec<&[bool]> = Vec::with_capacity(workers);
         {
             let mut blocks: &mut [BlockSet] = &mut self.blocks;
             let mut completion: &mut [Option<Tick>] = &mut self.completion;
+            let mut active: &[bool] = &self.active;
             for pair in bounds.windows(2) {
                 let span = pair[1] - pair[0];
                 let (bh, bt) = blocks.split_at_mut(span);
                 let (ch, ct) = completion.split_at_mut(span);
+                let (ah, at) = active.split_at(span);
                 block_chunks.push(bh);
                 completion_chunks.push(ch);
+                active_chunks.push(ah);
                 blocks = bt;
                 completion = ct;
+                active = at;
             }
         }
         let merged: Vec<(Vec<u32>, usize)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for (w, (((bucket, (words, lens)), blocks), completion)) in buckets
+            for (w, ((((bucket, (words, lens)), blocks), completion), active)) in buckets
                 .iter()
                 .zip(matrix_chunks.drain(..))
                 .zip(block_chunks.drain(..))
                 .zip(completion_chunks.drain(..))
+                .zip(active_chunks.drain(..))
                 .enumerate()
             {
                 let lo = bounds[w];
@@ -233,7 +296,9 @@ impl SimState {
                         freq_delta[t.block.index()] += 1;
                         if blocks[v].is_full() {
                             completion[v] = Some(now);
-                            completed += 1;
+                            if active[v] {
+                                completed += 1;
+                            }
                         }
                     }
                     (freq_delta, completed)
@@ -305,6 +370,55 @@ mod tests {
         let mut s = SimState::new(3, 3);
         s.deliver(NodeId::new(1), BlockId::new(2), Tick::new(1));
         assert_eq!(s.frequencies(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn evict_returns_blocks_to_the_ether() {
+        let mut s = SimState::new(3, 4);
+        let c = NodeId::new(1);
+        s.deliver(c, BlockId::new(0), Tick::new(1));
+        s.deliver(c, BlockId::new(3), Tick::new(1));
+        assert_eq!(s.incomplete_count(), 2);
+        s.set_active(c, false);
+        assert_eq!(s.incomplete_count(), 1);
+        assert_eq!(s.evict(c), 2);
+        assert_eq!(s.frequencies(), &[1, 1, 1, 1]);
+        assert!(s.inventory(c).is_empty());
+        assert_eq!(s.matrix().row_len(1), 0);
+        assert_eq!(s.completion_tick(c), None);
+        s.set_active(c, true);
+        assert_eq!(s.incomplete_count(), 2);
+    }
+
+    #[test]
+    fn deactivating_a_complete_node_keeps_incomplete_count() {
+        let mut s = SimState::new(3, 1);
+        let c = NodeId::new(1);
+        s.deliver(c, BlockId::new(0), Tick::new(1));
+        assert_eq!(s.incomplete_count(), 1);
+        s.set_active(c, false);
+        assert_eq!(s.incomplete_count(), 1);
+        assert_eq!(s.evict(c), 1);
+        // Eviction reopened the inventory; reactivation counts it again.
+        s.set_active(c, true);
+        assert_eq!(s.incomplete_count(), 2);
+    }
+
+    #[test]
+    fn inactive_receiver_does_not_retire_incomplete_slot() {
+        let mut s = SimState::new(3, 1);
+        let c = NodeId::new(2);
+        s.set_active(c, false);
+        assert_eq!(s.incomplete_count(), 1);
+        assert!(s.deliver(c, BlockId::new(0), Tick::new(1)));
+        assert_eq!(s.incomplete_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicting an active node")]
+    fn evicting_an_active_node_panics() {
+        let mut s = SimState::new(2, 1);
+        s.evict(NodeId::new(1));
     }
 
     #[test]

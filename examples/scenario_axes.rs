@@ -1,0 +1,134 @@
+//! Scenario-axis sweeps: what adversarial workloads cost the swarm.
+//!
+//! Sweeps three perturbation axes from the scenario DSL — crash-and-
+//! restart churn, free-rider fraction, and flash-crowd size — against a
+//! paired clean baseline on the same seeds, and prints the slowdown
+//! tables reproduced in EXPERIMENTS.md ("Appendix — The price of
+//! adversity"). Every data point is a deterministic `run_scenario`
+//! replay of a compiled TOML spec; the baseline is the same swarm with
+//! a quiescent spec.
+//!
+//! ```bash
+//! cargo run --release --example scenario_axes
+//! ```
+
+use pob_analysis::{axis_sweep, axis_table, AxisPoint};
+use pob_core::strategies::{BlockSelection, SwarmStrategy};
+use pob_scenario::{run_scenario, ScenarioDriver, ScenarioSpec};
+use pob_sim::{CompleteOverlay, Engine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NODES: usize = 64;
+const BLOCKS: usize = 32;
+const SEEDS: usize = 8;
+const MAX_TICKS: u32 = 4000;
+
+/// Runs one compiled scenario to completion and returns the censored
+/// completion time plus whether the cap was hit.
+fn run_spec(toml: &str) -> (f64, bool) {
+    let spec = ScenarioSpec::parse(toml).expect("example specs parse");
+    let schedule = spec.compile().expect("example specs compile");
+    let overlay = CompleteOverlay::new(spec.sim.nodes);
+    let mut strategy = SwarmStrategy::new(BlockSelection::Random);
+    let mut rng = StdRng::seed_from_u64(spec.sim.seed);
+    let mut driver = ScenarioDriver::new(schedule);
+    let mut engine = Engine::new(spec.sim_config(), &overlay);
+    let report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng)
+        .expect("swarm runs never violate the mechanism");
+    (
+        f64::from(report.censored_completion_time()),
+        !report.completed(),
+    )
+}
+
+fn sim_header(seed: u64) -> String {
+    format!("[sim]\nnodes = {NODES}\nblocks = {BLOCKS}\nseed = {seed}\nmax-ticks = {MAX_TICKS}\n")
+}
+
+fn print_axis<P>(title: &str, axis: &str, points: &[AxisPoint<P>], fmt: impl FnMut(&P) -> String) {
+    println!("\n{title}");
+    println!("{}", axis_table(axis, points, SEEDS, fmt).to_ascii());
+}
+
+fn main() {
+    let baseline = |seed: u64| run_spec(&sim_header(seed));
+
+    // Axis 1: churn — c clients crash at tick 6 and restart empty at
+    // tick 12, mid-distribution.
+    let churn = axis_sweep(&[4usize, 8, 16, 32], SEEDS, 0, baseline, |&c, seed| {
+        let nodes: Vec<String> = (1..=c).map(|i| i.to_string()).collect();
+        let list = nodes.join(", ");
+        run_spec(&format!(
+            "{}\n[[churn]]\nat = 6\nleave = [{list}]\n\n[[churn]]\nat = 12\njoin = [{list}]\n",
+            sim_header(seed)
+        ))
+    });
+    print_axis(
+        "Churn: c clients crash at t=6, restart empty at t=12",
+        "crashed",
+        &churn,
+        |c| c.to_string(),
+    );
+
+    // Axis 2: free-riders — f clients accept blocks but never upload.
+    let riders = axis_sweep(&[4usize, 8, 16, 32], SEEDS, 0, baseline, |&f, seed| {
+        let nodes: Vec<String> = (1..=f).map(|i| i.to_string()).collect();
+        run_spec(&format!(
+            "{}\n[free-riders]\nnodes = [{}]\n",
+            sim_header(seed),
+            nodes.join(", ")
+        ))
+    });
+    print_axis(
+        "Free-riders: f clients never upload",
+        "riders",
+        &riders,
+        |f| f.to_string(),
+    );
+
+    // Axis 2b: the same free-rider axis under a barter economy
+    // (credit-limited, s=1 — Figure 7's mechanism), against a barter
+    // baseline. Barter is its own defense: a client that never uploads
+    // earns no credit, so it can only drink from the server's free
+    // drip — the riders starve, not the swarm.
+    let barter = |seed: u64| format!("{}mechanism = \"credit-limited(s=1)\"\n", sim_header(seed));
+    let barter_baseline = |seed: u64| run_spec(&barter(seed));
+    let barter_riders = axis_sweep(
+        &[4usize, 8, 16, 32],
+        SEEDS,
+        0,
+        barter_baseline,
+        |&f, seed| {
+            let nodes: Vec<String> = (1..=f).map(|i| i.to_string()).collect();
+            run_spec(&format!(
+                "{}\n[free-riders]\nnodes = [{}]\n",
+                barter(seed),
+                nodes.join(", ")
+            ))
+        },
+    );
+    print_axis(
+        "Free-riders under credit-limited barter, s=1 (baseline: clean barter run)",
+        "riders",
+        &barter_riders,
+        |f| f.to_string(),
+    );
+
+    // Axis 3: flash crowd — w clients are absent from the start and
+    // all arrive at t=8, once the resident swarm has block diversity.
+    let crowd = axis_sweep(&[8usize, 16, 32], SEEDS, 0, baseline, |&w, seed| {
+        let nodes: Vec<String> = (NODES - w..NODES).map(|i| i.to_string()).collect();
+        run_spec(&format!(
+            "{}\n[[wave]]\nat = 8\nnodes = [{}]\n",
+            sim_header(seed),
+            nodes.join(", ")
+        ))
+    });
+    print_axis(
+        "Flash crowd: w clients all arrive at t=8",
+        "wave size",
+        &crowd,
+        |w| w.to_string(),
+    );
+}

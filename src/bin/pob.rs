@@ -23,12 +23,13 @@ use pob_core::strategies::{
 };
 use pob_model::InvariantSink;
 use pob_overlay::{d_ary_tree, path, random_regular, CompleteOverlay, Hypercube};
+use pob_scenario::{run_scenario, ScenarioDriver, ScenarioSchedule, ScenarioSpec};
 use pob_sim::events::{Event, EventLog, EventSink, TeeSink};
 use pob_sim::trace::Recorder;
 use pob_sim::{
     DownloadCapacity, Engine, JsonlSink, Mechanism, MetricsRegistry, MetricsSink, Phase,
-    ProfileSummary, RejectTransferError, RunReport, ShardPolicy, ShardedSwarm, SimConfig, Strategy,
-    TickProfile, Topology,
+    ProfileSummary, RejectTransferError, RunReport, ShardPolicy, ShardedSwarm, SimConfig, SimError,
+    Strategy, TickProfile, Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,12 +53,19 @@ COMMANDS:
 USAGE (inspect):
     pob inspect <events.ndjson>   per-tick timeline, rarity/utilization
                                   summaries, rejection-reason breakdown
+                                  and, for scenario captures, the churn /
+                                  free-rider summary
     --profile         append the per-phase / per-shard wall-time breakdown
                       (needs metrics-snapshot records; see --metrics-out)
     --json            print one machine-readable pob-inspect/1 JSON line
                       instead of the text report
 
 OPTIONS (run / trace / sweep):
+    --scenario <PATH> (run/trace) drive the run from a TOML scenario spec
+                      (churn, flash crowds, free-riders, contention); the
+                      spec's [sim] section replaces --n/--k/--seed/
+                      --mechanism/--download/--max-ticks, the swarm planner
+                      is used, and --threads/--policy still apply
     --events <PATH>   (run/trace) stream pob-events/1 NDJSON to PATH
     --check-invariants  (run/trace) audit the run with the event-stream
                       invariant checker; exits non-zero on any violation
@@ -103,6 +111,7 @@ struct Options {
     degrees: Vec<usize>,
     versus: String,
     events: Option<String>,
+    scenario: Option<String>,
     check_invariants: bool,
     metrics_out: Option<String>,
     metrics_interval: Option<u32>,
@@ -127,6 +136,7 @@ impl Default for Options {
             degrees: vec![8, 16, 32, 64],
             versus: "swarm".to_owned(),
             events: None,
+            scenario: None,
             check_invariants: false,
             metrics_out: None,
             metrics_interval: None,
@@ -150,10 +160,26 @@ fn parse_mechanism(v: &str) -> Result<Mechanism, String> {
     }
 }
 
+/// Flags a scenario spec's `[sim]` section supersedes; combining them
+/// with `--scenario` is rejected rather than silently ignored.
+const SCENARIO_OWNED_FLAGS: [&str; 9] = [
+    "--algorithm",
+    "--n",
+    "--k",
+    "--mechanism",
+    "--download",
+    "--seed",
+    "--max-ticks",
+    "--overlay",
+    "--degree",
+];
+
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
+    let mut seen: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        seen.push(flag.clone());
         let mut value = || -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{flag} needs a value"))
         };
@@ -227,6 +253,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--versus" => opts.versus = value()?.clone(),
             "--events" => opts.events = Some(value()?.clone()),
+            "--scenario" => opts.scenario = Some(value()?.clone()),
             "--check-invariants" => opts.check_invariants = true,
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
             "--metrics-interval" => {
@@ -253,11 +280,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     if opts.k < 1 {
         return Err("--k must be at least 1".to_owned());
     }
-    if opts.threads > 1 && opts.algorithm != "swarm" {
+    if opts.threads > 1 && opts.algorithm != "swarm" && opts.scenario.is_none() {
         return Err(format!(
             "--threads {} only applies to --algorithm swarm (got '{}')",
             opts.threads, opts.algorithm
         ));
+    }
+    if opts.scenario.is_some() {
+        if let Some(flag) = seen
+            .iter()
+            .find(|f| SCENARIO_OWNED_FLAGS.contains(&f.as_str()))
+        {
+            return Err(format!(
+                "{flag} conflicts with --scenario: the spec's [sim] section \
+                 controls the run's shape (see `pob help`)"
+            ));
+        }
     }
     Ok(opts)
 }
@@ -419,10 +457,61 @@ impl MetricsSink for MaybeMetrics<'_> {
     }
 }
 
+/// Reads and compiles a scenario spec, attributing errors to the file.
+fn load_scenario(path: &str) -> Result<(ScenarioSpec, ScenarioSchedule), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schedule = spec.compile().map_err(|e| format!("{path}: {e}"))?;
+    Ok((spec, schedule))
+}
+
+/// Runs the engine to completion — plain, or driven by a scenario
+/// schedule — and reports how many scheduled ops never got to apply
+/// (the swarm drained with no reachable join left).
+fn drive<E: EventSink, M: MetricsSink>(
+    mut engine: Engine<'_, E, M>,
+    schedule: Option<&ScenarioSchedule>,
+    strategy: &mut dyn Strategy,
+    rng: &mut StdRng,
+) -> (Result<RunReport, SimError>, usize) {
+    match schedule {
+        None => (engine.run(strategy, rng), 0),
+        Some(schedule) => {
+            let mut driver = ScenarioDriver::new(schedule.clone());
+            let result = run_scenario(&mut engine, &mut driver, strategy, rng);
+            (result, driver.pending())
+        }
+    }
+}
+
 fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
+    let scenario = opts.scenario.as_deref().map(load_scenario).transpose()?;
+    // The spec's [sim] section owns the run's shape; fold it into the
+    // options so overlay/strategy construction and the report header
+    // see the real population.
+    let mut opts = opts.clone();
+    if let Some((spec, _)) = &scenario {
+        opts.algorithm = "swarm".to_owned();
+        opts.n = spec.sim.nodes;
+        opts.k = spec.sim.blocks;
+        opts.seed = spec.sim.seed;
+        opts.mechanism = Some(spec.sim.mechanism);
+        opts.download = Some(spec.sim.download);
+        opts.max_ticks = spec.sim.max_ticks;
+    }
+    let opts = &opts;
     let overlay = build_overlay(opts)?;
     let mut strategy = build_strategy(opts)?;
-    let cfg = build_config(opts);
+    let cfg = match &scenario {
+        Some((spec, _)) => {
+            let mut cfg = spec.sim_config().with_threads(opts.threads);
+            if opts.metrics_out.is_some() || opts.metrics_interval.is_some() {
+                cfg = cfg.with_metrics_interval(opts.metrics_interval.unwrap_or(32));
+            }
+            cfg
+        }
+        None => build_config(opts),
+    };
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut rec = Recorder::new();
     let mut jsonl = opts
@@ -437,37 +526,54 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
     let mut checker = MaybeSink(opts.check_invariants.then(|| InvariantSink::new(&cfg)));
     let mut registry =
         (opts.metrics_out.is_some() || opts.metrics_interval.is_some()).then(MetricsRegistry::new);
-    let report = match (trace, jsonl.as_mut()) {
-        (false, None) => Engine::with_instrumentation(
-            cfg,
-            overlay.as_ref(),
-            &mut checker,
-            MaybeMetrics(registry.as_mut()),
-        )
-        .run(strategy.as_mut(), &mut rng),
-        (false, Some(sink)) => Engine::with_instrumentation(
-            cfg,
-            overlay.as_ref(),
-            TeeSink(&mut checker, sink),
-            MaybeMetrics(registry.as_mut()),
-        )
-        .run(strategy.as_mut(), &mut rng),
-        (true, None) => Engine::with_instrumentation(
-            cfg,
-            overlay.as_ref(),
-            TeeSink(&mut checker, &mut rec),
-            MaybeMetrics(registry.as_mut()),
-        )
-        .run(strategy.as_mut(), &mut rng),
-        (true, Some(sink)) => Engine::with_instrumentation(
-            cfg,
-            overlay.as_ref(),
-            TeeSink(&mut checker, TeeSink(&mut rec, sink)),
-            MaybeMetrics(registry.as_mut()),
-        )
-        .run(strategy.as_mut(), &mut rng),
-    }
-    .map_err(|e| e.to_string())?;
+    let schedule = scenario.as_ref().map(|(_, schedule)| schedule);
+    let (result, pending) = match (trace, jsonl.as_mut()) {
+        (false, None) => drive(
+            Engine::with_instrumentation(
+                cfg,
+                overlay.as_ref(),
+                &mut checker,
+                MaybeMetrics(registry.as_mut()),
+            ),
+            schedule,
+            strategy.as_mut(),
+            &mut rng,
+        ),
+        (false, Some(sink)) => drive(
+            Engine::with_instrumentation(
+                cfg,
+                overlay.as_ref(),
+                TeeSink(&mut checker, sink),
+                MaybeMetrics(registry.as_mut()),
+            ),
+            schedule,
+            strategy.as_mut(),
+            &mut rng,
+        ),
+        (true, None) => drive(
+            Engine::with_instrumentation(
+                cfg,
+                overlay.as_ref(),
+                TeeSink(&mut checker, &mut rec),
+                MaybeMetrics(registry.as_mut()),
+            ),
+            schedule,
+            strategy.as_mut(),
+            &mut rng,
+        ),
+        (true, Some(sink)) => drive(
+            Engine::with_instrumentation(
+                cfg,
+                overlay.as_ref(),
+                TeeSink(&mut checker, TeeSink(&mut rec, sink)),
+                MaybeMetrics(registry.as_mut()),
+            ),
+            schedule,
+            strategy.as_mut(),
+            &mut rng,
+        ),
+    };
+    let report = result.map_err(|e| e.to_string())?;
     if let Some(registry) = registry.as_mut() {
         registry.observe_perf(&report.perf);
         if let Some(path) = opts.metrics_out.as_deref() {
@@ -511,6 +617,19 @@ fn cmd_run(opts: &Options, trace: bool) -> Result<(), String> {
         println!("{}", t.summary(opts.n));
     }
     print_report(opts, &report);
+    if let Some((_, schedule)) = &scenario {
+        println!(
+            "scenario     : {} of {} scheduled ops applied",
+            schedule.len() - pending,
+            schedule.len()
+        );
+        if pending > 0 {
+            eprintln!(
+                "warning: {pending} scheduled op(s) never applied — the swarm \
+                 drained with no reachable join left"
+            );
+        }
+    }
     if let Some(checker) = &checker.0 {
         println!(
             "invariants   : ok ({} ticks audited, 0 violations)",
@@ -603,6 +722,77 @@ fn print_profile(summary: &ProfileSummary) {
     }
 }
 
+/// Churn/free-rider gauges aggregated from a scenario capture; absent
+/// (`None`) on streams with no node-leave/node-join/capacity-change
+/// records, so plain runs keep their old inspect output.
+struct ChurnSummary {
+    leaves: u64,
+    joins: u64,
+    capacity_changes: u64,
+    dropped_blocks: u64,
+    /// Nodes whose upload capacity was set to zero at some point, with
+    /// the deliveries they sent over the whole run. A free-rider proper
+    /// sent zero; a nonzero count means the throttle was temporary
+    /// (contention) or arrived after the node had already uploaded.
+    throttled: Vec<(usize, u64)>,
+}
+
+impl ChurnSummary {
+    /// Throttled nodes that never uploaded — free-riders proper.
+    fn free_riders(&self) -> impl Iterator<Item = usize> + '_ {
+        self.throttled
+            .iter()
+            .filter(|(_, uploads)| *uploads == 0)
+            .map(|(node, _)| *node)
+    }
+}
+
+fn churn_summary(log: &EventLog) -> Option<ChurnSummary> {
+    let mut summary = ChurnSummary {
+        leaves: 0,
+        joins: 0,
+        capacity_changes: 0,
+        dropped_blocks: 0,
+        throttled: Vec::new(),
+    };
+    let mut throttled: Vec<usize> = Vec::new();
+    let mut uploads: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+    for event in &log.events {
+        match event {
+            Event::NodeLeave { dropped, .. } => {
+                summary.leaves += 1;
+                summary.dropped_blocks += u64::from(*dropped);
+            }
+            Event::NodeJoin { node, upload, .. } => {
+                summary.joins += 1;
+                if *upload == 0 {
+                    throttled.push(node.index());
+                }
+            }
+            Event::CapacityChange { node, upload, .. } => {
+                summary.capacity_changes += 1;
+                if *upload == 0 {
+                    throttled.push(node.index());
+                }
+            }
+            Event::Delivery { transfer, .. } => {
+                *uploads.entry(transfer.from.index()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    if summary.leaves + summary.joins + summary.capacity_changes == 0 {
+        return None;
+    }
+    throttled.sort_unstable();
+    throttled.dedup();
+    summary.throttled = throttled
+        .into_iter()
+        .map(|node| (node, uploads.get(&node).copied().unwrap_or(0)))
+        .collect();
+    Some(summary)
+}
+
 fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
     let stream = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let log = EventLog::parse(&stream).map_err(|e| format!("{path}: {e}"))?;
@@ -619,6 +809,7 @@ fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
         return Err(format!("{path}: stream has no run-start record"));
     };
     let summary = ProfileSummary::from_snapshots(log.metrics_snapshots());
+    let churn = churn_summary(&log);
 
     if json {
         let mut out = String::from("{\"schema\":\"pob-inspect/1\"");
@@ -655,6 +846,30 @@ fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
             out.push_str(&format!("\"{}\":{count}", reason.label()));
         }
         out.push('}');
+        match &churn {
+            Some(c) => {
+                out.push_str(&format!(
+                    ",\"scenario\":{{\"leaves\":{},\"joins\":{}\
+                     ,\"capacity_changes\":{},\"dropped_blocks\":{},\"throttled\":[",
+                    c.leaves, c.joins, c.capacity_changes, c.dropped_blocks
+                ));
+                for (i, (node, uploads)) in c.throttled.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"node\":{node},\"uploads\":{uploads}}}"));
+                }
+                out.push_str("],\"free_riders\":[");
+                for (i, node) in c.free_riders().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&node.to_string());
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str(",\"scenario\":null"),
+        }
         match log.run_perf() {
             Some(perf) => {
                 out.push_str(&format!(
@@ -752,6 +967,30 @@ fn cmd_inspect(path: &str, profile: bool, json: bool) -> Result<(), String> {
         None => println!("completed in : (run did not complete)"),
     }
     println!("deliveries   : {}", log.total_deliveries());
+    if let Some(c) = &churn {
+        println!(
+            "scenario     : {} leaves ({} blocks dropped), {} joins, {} capacity changes",
+            c.leaves, c.dropped_blocks, c.joins, c.capacity_changes
+        );
+        let riders: Vec<String> = c.free_riders().map(|node| format!("node {node}")).collect();
+        if riders.is_empty() {
+            println!("free-riders  : (none: every upload-throttled node still uploaded)");
+        } else {
+            println!(
+                "free-riders  : {} (upload zeroed, 0 deliveries sent)",
+                riders.join(", ")
+            );
+        }
+        let temporary: Vec<String> = c
+            .throttled
+            .iter()
+            .filter(|(_, uploads)| *uploads > 0)
+            .map(|(node, uploads)| format!("node {node} ({uploads} sent)"))
+            .collect();
+        if !temporary.is_empty() {
+            println!("throttled    : {}", temporary.join(", "));
+        }
+    }
 
     let ticks: Vec<_> = log.tick_metrics().collect();
     if ticks.is_empty() {

@@ -8,7 +8,9 @@
 //! * [`overlay`] — overlay-network topologies;
 //! * [`core`] — the paper's algorithms and bounds;
 //! * [`analysis`] — statistics and the experiment harness;
-//! * [`model`] — naive reference planners and the invariant checker.
+//! * [`model`] — naive reference planners and the invariant checker;
+//! * [`scenario`] — the adversarial-workload DSL (churn, flash crowds,
+//!   free-riders, contention) and its deterministic schedule driver.
 
 #![forbid(unsafe_code)]
 
@@ -16,4 +18,5 @@ pub use pob_analysis as analysis;
 pub use pob_core as core;
 pub use pob_model as model;
 pub use pob_overlay as overlay;
+pub use pob_scenario as scenario;
 pub use pob_sim as sim;

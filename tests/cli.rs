@@ -730,3 +730,266 @@ fn deterministic_given_seed() {
     ]));
     assert_eq!(a, b);
 }
+
+// ---------------------------------------------------------------------
+// Scenario runs: bundled specs end to end, flag hygiene, error context.
+// ---------------------------------------------------------------------
+
+fn example_scenario(name: &str) -> String {
+    format!("{}/examples/scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("pob-cli-{}-{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn scenario_churn_freeride_smoke() {
+    let events = temp_path("churn.jsonl");
+    let events_str = events.to_str().unwrap();
+    let out = pob(&[
+        "run",
+        "--scenario",
+        &example_scenario("churn_freeride.toml"),
+        "--check-invariants",
+        "--events",
+        events_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("scheduled ops applied"), "{text}");
+    assert!(
+        !text.contains("never applied"),
+        "bundled spec left ops unapplied: {text}"
+    );
+    assert!(text.contains("invariants   : ok"), "{text}");
+
+    let inspect = pob(&["inspect", events_str]);
+    assert!(inspect.status.success());
+    let report = stdout(&inspect);
+    assert!(report.contains("leaves"), "{report}");
+    assert!(report.contains("blocks dropped"), "{report}");
+    assert!(report.contains("free-riders  : node 3, node 4"), "{report}");
+    assert!(
+        report.contains("throttled    : node 11"),
+        "contention nodes should report as throttled, not free-riding: {report}"
+    );
+
+    let json_out = pob(&["inspect", "--json", events_str]);
+    assert!(json_out.status.success());
+    let json = stdout(&json_out);
+    assert!(json.contains("\"scenario\":{"), "{json}");
+    assert!(json.contains("\"free_riders\":[3,4]"), "{json}");
+    std::fs::remove_file(&events).ok();
+}
+
+#[test]
+fn scenario_flash_crowd_smoke() {
+    let out = pob(&[
+        "run",
+        "--scenario",
+        &example_scenario("flash_crowd.toml"),
+        "--check-invariants",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("scheduled ops applied"), "{text}");
+    assert!(!text.contains("never applied"), "{text}");
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    let spec = example_scenario("churn_freeride.toml");
+    let a = stdout(&pob(&["run", "--scenario", &spec]));
+    let b = stdout(&pob(&["run", "--scenario", &spec]));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scenario_conflicts_with_shape_flags() {
+    let out = pob(&[
+        "run",
+        "--scenario",
+        &example_scenario("flash_crowd.toml"),
+        "--n",
+        "64",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--n conflicts with --scenario"), "{err}");
+}
+
+#[test]
+fn scenario_parse_errors_cite_the_line() {
+    let bad = temp_path("bad.toml");
+    std::fs::write(
+        &bad,
+        "[sim]\nnodes = 8\nblocks = 4\nseed = 0\n\n[warp-drive]\nx = 1\n",
+    )
+    .unwrap();
+    let out = pob(&["run", "--scenario", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("scenario line 6"), "{err}");
+    assert!(err.contains("warp-drive"), "{err}");
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn scenario_missing_file_is_a_clean_error() {
+    let out = pob(&["run", "--scenario", "/nonexistent/spec.toml"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Scenario DSL parser: generated round-trips and rejection properties.
+// ---------------------------------------------------------------------
+
+mod scenario_dsl {
+    use price_of_barter::scenario::{ScenarioErrorKind, ScenarioSpec};
+    use proptest::prelude::*;
+
+    /// Renders a valid scenario document from generated knobs. Role
+    /// slots are disjoint by construction (riders from 1, churn from 4,
+    /// capacity at 7, contention at 8, wave from 9) so every generated
+    /// document both parses and compiles.
+    #[allow(clippy::too_many_arguments)]
+    fn document(
+        n: usize,
+        k: usize,
+        seed: u64,
+        mechanism: &str,
+        riders: usize,
+        crashed: usize,
+        wave: usize,
+        wave_upload: Option<u32>,
+        capacity: bool,
+        contention: bool,
+    ) -> String {
+        use std::fmt::Write as _;
+        let list = |from: usize, count: usize| {
+            (from..from + count)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut doc = format!("[sim]\nnodes = {n}\nblocks = {k}\nseed = {seed}\n");
+        if mechanism != "cooperative" {
+            let _ = writeln!(doc, "mechanism = \"{mechanism}\"");
+        }
+        let _ = writeln!(doc, "max-ticks = 300");
+        if riders > 0 {
+            let _ = writeln!(doc, "\n[free-riders]\nnodes = [{}]", list(1, riders));
+        }
+        if wave > 0 {
+            let _ = writeln!(doc, "\n[[wave]]\nat = 6\nnodes = [{}]", list(9, wave));
+            if let Some(upload) = wave_upload {
+                let _ = writeln!(doc, "upload = {upload}");
+            }
+        }
+        if crashed > 0 {
+            let _ = writeln!(doc, "\n[[churn]]\nat = 5\nleave = [{}]", list(4, crashed));
+            let _ = writeln!(doc, "\n[[churn]]\nat = 9\njoin = [{}]", list(4, crashed));
+        }
+        if capacity {
+            doc.push_str(
+                "\n[[capacity]]\nat = 3\nnode = 7\nupload = 2\ndownload = \"unlimited\"\n",
+            );
+        }
+        if contention {
+            doc.push_str("\n[contention]\nnodes = [8]\nperiod = 3\nuntil = 20\n");
+        }
+        doc
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+        ))]
+
+        /// parse → to_toml → parse is the identity on specs, and
+        /// to_toml is a fixpoint on its own output.
+        #[test]
+        fn generated_specs_round_trip(
+            n in 12usize..=32,
+            k in 1usize..=16,
+            seed in 0u64..1000,
+            mech_code in 0usize..4,
+            riders in 0usize..=3,
+            crashed in 0usize..=3,
+            wave in 0usize..=3,
+            wave_upload_code in 0u32..=3,
+            capacity in any::<bool>(),
+            contention in any::<bool>(),
+        ) {
+            let mech = ["cooperative", "strict-barter", "credit-limited(s=2)", "triangular(s=1)"]
+                [mech_code];
+            let wave_upload = (wave_upload_code > 0).then_some(wave_upload_code);
+            let doc = document(n, k, seed, mech, riders, crashed, wave, wave_upload, capacity, contention);
+            let spec = ScenarioSpec::parse(&doc).expect("generated doc parses");
+            spec.compile().expect("generated doc compiles");
+            let canonical = spec.to_toml();
+            let reparsed = ScenarioSpec::parse(&canonical).expect("canonical form parses");
+            prop_assert_eq!(&spec, &reparsed);
+            prop_assert_eq!(canonical, reparsed.to_toml());
+        }
+
+        /// Comments and blank lines are noise: they shift line numbers
+        /// but never the parsed spec.
+        #[test]
+        fn comments_and_blank_lines_are_ignored(
+            n in 12usize..=32,
+            k in 1usize..=16,
+            riders in 0usize..=3,
+            wave in 0usize..=3,
+        ) {
+            let doc = document(n, k, 0, "cooperative", riders, 0, wave, None, false, false);
+            let noisy = doc.replace("\n[", "\n# interlude\n\n[");
+            let plain = ScenarioSpec::parse(&doc).expect("plain doc parses");
+            let spec = ScenarioSpec::parse(&noisy).expect("noisy doc parses");
+            prop_assert_eq!(plain, spec);
+        }
+
+        /// An unknown section header is rejected with the exact line it
+        /// sits on, wherever it is injected.
+        #[test]
+        fn unknown_sections_are_rejected_with_line_context(
+            riders in 0usize..=3,
+            wave in 0usize..=3,
+            capacity in any::<bool>(),
+        ) {
+            let doc = document(16, 8, 0, "cooperative", riders, 0, wave, None, capacity, false);
+            let poisoned = format!("{doc}\n[weather]\nrain = 1\n");
+            let header_line = poisoned.lines().position(|l| l == "[weather]").unwrap() + 1;
+            let err = ScenarioSpec::parse(&poisoned).expect_err("unknown section rejected");
+            prop_assert_eq!(err.line, header_line);
+            prop_assert!(matches!(err.kind, ScenarioErrorKind::UnknownSection(ref s) if s == "weather"));
+            prop_assert!(err.to_string().contains(&format!("scenario line {header_line}")));
+        }
+
+        /// An unknown key inside a known section is rejected on its line.
+        #[test]
+        fn unknown_keys_are_rejected_with_line_context(
+            wave in 0usize..=3,
+            contention in any::<bool>(),
+        ) {
+            let doc = document(16, 8, 0, "cooperative", 0, 0, wave, None, false, contention);
+            let poisoned = doc.replacen("[sim]\n", "[sim]\nwarp = 9\n", 1);
+            let err = ScenarioSpec::parse(&poisoned).expect_err("unknown key rejected");
+            prop_assert_eq!(err.line, 2);
+            prop_assert!(matches!(err.kind, ScenarioErrorKind::UnknownKey(ref k) if k == "warp"));
+        }
+    }
+}

@@ -270,3 +270,272 @@ fn engine_state_is_independent_of_overlay_identity() {
     };
     assert_eq!(run(&g1), run(&g2));
 }
+
+// ---------------------------------------------------------------------
+// Scenario replays: golden fixture and static-equivalence pins.
+// ---------------------------------------------------------------------
+
+use pob_scenario::{ScenarioDriver, ScenarioSpec};
+use pob_sim::{ShardPolicy, ShardedSwarm};
+
+/// Golden file pinning the scenario replay path (churn, free-riders, a
+/// post-completion flash crowd through the idle fast-forward) at one
+/// and four planner shards. Self-blessing like the barter golden:
+/// delete the file and rerun to re-bless after an intentional behavior
+/// change (see DESIGN.md, "Golden files and re-blessing").
+const SCENARIO_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/scenario_seed.tsv"
+);
+
+/// The fixture scenario: crash-and-restart churn, two free-riders, a
+/// mid-run server capacity bump, and a flash crowd at t=200 that
+/// revives the drained swarm.
+const SCENARIO_FIXTURE: &str = "\
+[sim]
+nodes = 24
+blocks = 12
+seed = 0
+max-ticks = 400
+
+[free-riders]
+nodes = [3, 4]
+
+[[churn]]
+at = 5
+leave = [7, 8]
+
+[[churn]]
+at = 9
+join = [7]
+
+[[capacity]]
+at = 6
+node = 0
+upload = 2
+download = \"unlimited\"
+
+[[wave]]
+at = 200
+nodes = [20, 21]
+";
+
+/// Steps a compiled scenario to completion, hashing the full transfer
+/// trace like `barter_fingerprint` (same loop as `run_scenario`, with
+/// the hash fold inserted).
+fn scenario_fingerprint(label: &str, doc: &str, strategy: &mut dyn Strategy, seed: u64) -> String {
+    let spec = ScenarioSpec::parse(doc).expect("fixture parses");
+    let schedule = spec.compile().expect("fixture compiles");
+    let overlay = CompleteOverlay::new(spec.sim.nodes);
+    let threads = match label.contains("threads4") {
+        true => 4,
+        false => 1,
+    };
+    let cfg = spec.sim_config().with_threads(threads);
+    let mut engine = Engine::new(cfg, &overlay);
+    let mut driver = ScenarioDriver::new(schedule);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hash = TraceHash::new();
+    let max_ticks = cfg.max_ticks;
+    let revivable = |d: &ScenarioDriver| d.next_join_tick().is_some_and(|t| t <= max_ticks);
+    loop {
+        driver.apply_due(&mut engine, strategy);
+        while engine.state().all_complete() && revivable(&driver) {
+            let next = driver
+                .next_tick()
+                .expect("pending join implies a pending op");
+            engine.advance_idle_to(next);
+            driver.apply_due(&mut engine, strategy);
+        }
+        engine.hold_open(revivable(&driver));
+        if !engine
+            .step(strategy, &mut rng)
+            .expect("scenario swarm stays admissible")
+        {
+            break;
+        }
+        for tr in engine.last_transfers() {
+            hash.word(u64::from(tr.from.raw()));
+            hash.word(u64::from(tr.to.raw()));
+            hash.word(u64::from(tr.block.raw()));
+        }
+        hash.word(u64::MAX);
+    }
+    let report = engine.report();
+    format!(
+        "{label}\tcompletion={:?}\tticks={}\tuploads={}\tserver={}\ttrace={:016x}",
+        report.completion_time(),
+        report.ticks_run,
+        report.total_uploads,
+        report.server_uploads,
+        hash.0
+    )
+}
+
+fn scenario_fingerprints() -> Vec<String> {
+    vec![
+        scenario_fingerprint(
+            "churnwave/threads1/random",
+            SCENARIO_FIXTURE,
+            &mut SwarmStrategy::new(BlockSelection::Random),
+            0xC0FFEE,
+        ),
+        scenario_fingerprint(
+            "churnwave/threads4/random",
+            SCENARIO_FIXTURE,
+            &mut ShardedSwarm::new(ShardPolicy::Random, 4),
+            0xC0FFEE,
+        ),
+    ]
+}
+
+#[test]
+fn scenario_golden_seed_trace_is_bit_stable() {
+    let got = scenario_fingerprints().join("\n") + "\n";
+    match std::fs::read_to_string(SCENARIO_GOLDEN) {
+        Ok(want) => assert_eq!(
+            got, want,
+            "scenario trace diverged from the golden file — a replay-path change \
+             broke bit-identity (delete {SCENARIO_GOLDEN} only for intentional changes)"
+        ),
+        Err(_) => {
+            std::fs::create_dir_all(std::path::Path::new(SCENARIO_GOLDEN).parent().unwrap())
+                .unwrap();
+            std::fs::write(SCENARIO_GOLDEN, &got).unwrap();
+            eprintln!("blessed new golden file at {SCENARIO_GOLDEN}");
+        }
+    }
+}
+
+#[test]
+fn scenario_golden_runs_are_reproducible_in_process() {
+    assert_eq!(scenario_fingerprints(), scenario_fingerprints());
+}
+
+/// Static equivalence, sequential and sharded: a scenario with no
+/// perturbations must reproduce a plain `Engine::run` of the same
+/// config bit for bit — same trace, same report — at one and four
+/// planner shards. This pins `--scenario` as a zero-cost wrapper for
+/// quiescent specs.
+#[test]
+fn quiescent_scenario_is_bit_identical_to_a_plain_run() {
+    let doc = "[sim]\nnodes = 24\nblocks = 12\nseed = 0\nmax-ticks = 400\n";
+    let spec = ScenarioSpec::parse(doc).expect("quiescent spec parses");
+    assert!(spec.is_quiescent());
+    for threads in [1u32, 4] {
+        let overlay = CompleteOverlay::new(spec.sim.nodes);
+        let cfg = spec.sim_config().with_threads(threads);
+        let build = || -> Box<dyn Strategy> {
+            if threads > 1 {
+                Box::new(ShardedSwarm::new(ShardPolicy::Random, threads))
+            } else {
+                Box::new(SwarmStrategy::new(BlockSelection::Random))
+            }
+        };
+
+        let mut plain_rec = Recorder::new();
+        let mut plain_strategy = build();
+        let plain_report = Engine::with_sink(cfg, &overlay, &mut plain_rec)
+            .run(plain_strategy.as_mut(), &mut StdRng::seed_from_u64(9))
+            .expect("plain run succeeds");
+
+        let mut scenario_rec = Recorder::new();
+        let mut scenario_strategy = build();
+        let mut engine = Engine::with_sink(cfg, &overlay, &mut scenario_rec);
+        let mut driver = ScenarioDriver::new(spec.compile().expect("quiescent compiles"));
+        let scenario_report = pob_scenario::run_scenario(
+            &mut engine,
+            &mut driver,
+            scenario_strategy.as_mut(),
+            &mut StdRng::seed_from_u64(9),
+        )
+        .expect("scenario run succeeds");
+        drop(engine);
+
+        assert_eq!(
+            plain_report, scenario_report,
+            "reports diverge at {threads} shards"
+        );
+        let (a, b) = (plain_rec.into_trace(), scenario_rec.into_trace());
+        for tick in 1..=plain_report.ticks_run {
+            assert_eq!(
+                a.tick(tick),
+                b.tick(tick),
+                "quiescent scenario diverges at tick {tick}, {threads} shards"
+            );
+        }
+    }
+}
+
+/// The barter golden runs, re-driven through a quiescent scenario
+/// driver: the wrapper must not disturb a single transfer of the
+/// pinned fig6/fig7/triangular traces.
+#[test]
+fn quiescent_scenario_reproduces_barter_golden_fingerprints() {
+    let n = 96;
+    let sparse = random_regular(n, 16, &mut StdRng::seed_from_u64(43)).unwrap();
+    let credit = Mechanism::CreditLimited { credit: 3 };
+    let quiescent = ScenarioSpec::parse("[sim]\nnodes = 96\nblocks = 32\nseed = 0\n")
+        .expect("quiescent spec parses")
+        .compile()
+        .expect("quiescent spec compiles");
+
+    let drive = |mechanism: Mechanism, strategy: &mut dyn Strategy, label: &str| -> String {
+        let k = 32;
+        let cfg = SimConfig::new(n, k)
+            .with_mechanism(mechanism)
+            .with_download_capacity(DownloadCapacity::Unlimited)
+            .with_max_ticks(20 * (n as u32 + k as u32));
+        let mut engine = Engine::new(cfg, &sparse);
+        let mut driver = ScenarioDriver::new(quiescent.clone());
+        let mut rng = StdRng::seed_from_u64(0xBA27E6);
+        let mut hash = TraceHash::new();
+        loop {
+            driver.apply_due(&mut engine, strategy);
+            if !engine
+                .step(strategy, &mut rng)
+                .expect("barter swarm stays admissible")
+            {
+                break;
+            }
+            for tr in engine.last_transfers() {
+                hash.word(u64::from(tr.from.raw()));
+                hash.word(u64::from(tr.to.raw()));
+                hash.word(u64::from(tr.block.raw()));
+            }
+            hash.word(u64::MAX);
+        }
+        let report = engine.report();
+        format!(
+            "{label}\tcompletion={:?}\tticks={}\tuploads={}\tserver={}\ttrace={:016x}",
+            report.completion_time(),
+            report.ticks_run,
+            report.total_uploads,
+            report.server_uploads,
+            hash.0
+        )
+    };
+
+    let via_scenario = vec![
+        drive(
+            credit,
+            &mut SwarmStrategy::new(BlockSelection::Random),
+            "fig6/regular16/random/credit3",
+        ),
+        drive(
+            credit,
+            &mut SwarmStrategy::new(BlockSelection::RarestFirst),
+            "fig7/regular16/rarest/credit3",
+        ),
+        drive(
+            Mechanism::TriangularBarter { credit: 2 },
+            &mut TriangularSwarm::new(BlockSelection::RarestFirst),
+            "tri/regular16/rarest/credit2",
+        ),
+    ];
+    assert_eq!(
+        via_scenario,
+        barter_fingerprints(),
+        "quiescent scenario driver disturbed the pinned barter traces"
+    );
+}

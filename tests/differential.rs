@@ -433,3 +433,230 @@ fn differential_large_scale() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Scenario differential: adversarial workloads replayed on both engines.
+// ---------------------------------------------------------------------
+
+use price_of_barter::scenario::{ScenarioDriver, ScenarioSchedule, ScenarioSpec};
+
+/// Scenario-aware lockstep: both engines replay the same compiled
+/// schedule (each through its own driver cursor), with the idle
+/// fast-forward applied to both when a flash crowd revives a drained
+/// swarm. The reference engine carries the churn-aware `InvariantSink`,
+/// so every generated scenario is also audited end to end.
+fn assert_scenario_lockstep(
+    cfg: SimConfig,
+    topology: &dyn Topology,
+    schedule: &ScenarioSchedule,
+    fast: &mut dyn Strategy,
+    reference: &mut dyn Strategy,
+    seed: u64,
+) {
+    let mut fast_engine = Engine::new(cfg, topology);
+    let mut ref_engine = Engine::with_sink(cfg, topology, InvariantSink::new(&cfg));
+    let mut fast_rng = StdRng::seed_from_u64(seed);
+    let mut ref_rng = StdRng::seed_from_u64(seed);
+    let mut fast_driver = ScenarioDriver::new(schedule.clone());
+    let mut ref_driver = ScenarioDriver::new(schedule.clone());
+    let max_ticks = cfg.max_ticks;
+    let revivable = |d: &ScenarioDriver| d.next_join_tick().is_some_and(|t| t <= max_ticks);
+
+    loop {
+        fast_driver.apply_due(&mut fast_engine, fast);
+        ref_driver.apply_due(&mut ref_engine, reference);
+        while fast_engine.state().all_complete() && revivable(&fast_driver) {
+            let next = fast_driver
+                .next_tick()
+                .expect("pending join implies a pending op");
+            fast_engine.advance_idle_to(next);
+            ref_engine.advance_idle_to(next);
+            fast_driver.apply_due(&mut fast_engine, fast);
+            ref_driver.apply_due(&mut ref_engine, reference);
+        }
+        fast_engine.hold_open(revivable(&fast_driver));
+        ref_engine.hold_open(revivable(&ref_driver));
+        let fast_more = fast_engine
+            .step(fast, &mut fast_rng)
+            .expect("fast engine must not error");
+        let ref_more = ref_engine
+            .step(reference, &mut ref_rng)
+            .expect("reference engine must not error");
+        let tick = fast_engine.current_tick().get();
+        assert_eq!(
+            fast_more, ref_more,
+            "engines disagree on run continuation at tick {tick}"
+        );
+        assert_eq!(
+            fast_engine.last_transfers(),
+            ref_engine.last_transfers(),
+            "scenario delivery traces diverge at tick {tick} (seed {seed})"
+        );
+        if !fast_more {
+            break;
+        }
+    }
+
+    assert_eq!(
+        fast_engine.current_tick(),
+        ref_engine.current_tick(),
+        "tick counters diverge"
+    );
+    assert_eq!(
+        fast_driver.pending(),
+        ref_driver.pending(),
+        "driver cursors diverge"
+    );
+    assert_eq!(
+        fast_engine.ledger().total_abs_net(),
+        ref_engine.ledger().total_abs_net(),
+        "credit ledgers diverge"
+    );
+    ref_engine.into_sink().assert_clean();
+}
+
+/// Builds a valid scenario document from proptest parameters. Role
+/// slots are disjoint by construction (free-riders 1..=f, churn 3..=4,
+/// capacity node 5, contention node 6, wave 7..), so every generated
+/// document compiles; n >= 10 leaves room for all of them.
+#[allow(clippy::too_many_arguments)]
+fn scenario_document(
+    n: usize,
+    k: usize,
+    mechanism: Mechanism,
+    dl: u8,
+    riders: usize,
+    crashed: usize,
+    crash_at: u32,
+    dwell: u32,
+    cap_at: u32,
+    cap_upload: u32,
+    wave: usize,
+    wave_at: u32,
+    contended: bool,
+    period: u32,
+    until: u32,
+) -> String {
+    let download = match download_capacity(dl) {
+        DownloadCapacity::Unlimited => "\"unlimited\"".to_owned(),
+        DownloadCapacity::Finite(c) => c.to_string(),
+    };
+    let list = |lo: usize, count: usize| {
+        (lo..lo + count)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut doc = format!(
+        "[sim]\nnodes = {n}\nblocks = {k}\nseed = 0\nmechanism = \"{}\"\n\
+         max-ticks = 300\ndownload = {download}\n",
+        mechanism.label()
+    );
+    if riders > 0 {
+        doc.push_str(&format!("\n[free-riders]\nnodes = [{}]\n", list(1, riders)));
+    }
+    if crashed > 0 {
+        doc.push_str(&format!(
+            "\n[[churn]]\nat = {crash_at}\nleave = [{}]\n",
+            list(3, crashed)
+        ));
+        doc.push_str(&format!(
+            "\n[[churn]]\nat = {}\njoin = [{}]\n",
+            crash_at + dwell,
+            list(3, crashed)
+        ));
+    }
+    doc.push_str(&format!(
+        "\n[[capacity]]\nat = {cap_at}\nnode = 5\nupload = {cap_upload}\ndownload = {download}\n"
+    ));
+    if wave > 0 {
+        doc.push_str(&format!(
+            "\n[[wave]]\nat = {wave_at}\nnodes = [{}]\n",
+            list(7, wave)
+        ));
+    }
+    if contended {
+        doc.push_str(&format!(
+            "\n[contention]\nnodes = [6]\nperiod = {period}\nuntil = {until}\n"
+        ));
+    }
+    doc
+}
+
+proptest! {
+    /// Dynamic scenarios (churn, free-riders, flash crowds, capacity
+    /// shifts, contention) replayed on the sharded parallel planner vs.
+    /// the naive sequential reference: bit-identical delivery traces
+    /// across all four mechanisms and the POB_THREADS matrix, with the
+    /// reference run audited by the churn-aware invariant checker.
+    #[test]
+    fn scenario_matches_reference(
+        n in 10usize..=16,
+        k in 1usize..=8,
+        mech in 0u8..4,
+        credit in 1u32..=3,
+        threads_pick in 0usize..3,
+        dl in 0u8..3,
+        rarest in any::<bool>(),
+        riders in 0usize..=2,
+        crashed in 0usize..=2,
+        crash_at in 1u32..=10,
+        dwell in 1u32..=8,
+        cap_at in 1u32..=12,
+        cap_upload in 0u32..=3,
+        wave in 0usize..=2,
+        wave_at in 1u32..=40,
+        contended in any::<bool>(),
+        period in 1u32..=4,
+        until in 2u32..=16,
+        seed in any::<u64>(),
+    ) {
+        let mechanism = shard_mechanism(mech, credit);
+        let doc = scenario_document(
+            n, k, mechanism, dl, riders, crashed, crash_at, dwell, cap_at,
+            cap_upload, wave, wave_at, contended, period, until,
+        );
+        let spec = ScenarioSpec::parse(&doc).expect("generated documents parse");
+        let schedule = spec.compile().expect("generated documents compile");
+        let threads = shard_threads(threads_pick);
+        let cfg = spec.sim_config().with_threads(threads);
+        let topology = CompleteOverlay::new(n);
+        let mut fast = ShardedSwarm::new(shard_policy(rarest), threads);
+        let mut reference = ReferenceSharded::new(shard_policy(rarest), threads);
+        assert_scenario_lockstep(cfg, &topology, &schedule, &mut fast, &mut reference, seed);
+    }
+}
+
+/// Nightly-scale scenario sweep (`--include-ignored`): a bigger swarm,
+/// heavier churn, and a post-completion flash crowd, across all four
+/// mechanisms and shard counts 2/8.
+#[test]
+#[ignore = "nightly scale; run with --include-ignored"]
+fn scenario_differential_large_scale() {
+    let n = 48;
+    let k = 24;
+    for seed in [3u64, 77] {
+        for (mech, credit) in [(0u8, 1u32), (1, 1), (2, 2), (3, 2)] {
+            let mechanism = shard_mechanism(mech, credit);
+            // Wave at t=250: long after the resident swarm finishes, so
+            // the idle fast-forward runs at scale too. Role slots stay
+            // disjoint: riders 1..=2, crash 3..=5, capacity 5 (before
+            // the crash window), contention 6, wave 7..=12.
+            let doc = scenario_document(n, k, mechanism, 0, 2, 3, 8, 10, 5, 2, 6, 250, true, 3, 40);
+            let spec = ScenarioSpec::parse(&doc).expect("document parses");
+            let schedule = spec.compile().expect("document compiles");
+            for threads in [2u32, 8] {
+                let cfg = spec.sim_config().with_threads(threads);
+                let topology = CompleteOverlay::new(n);
+                assert_scenario_lockstep(
+                    cfg,
+                    &topology,
+                    &schedule,
+                    &mut ShardedSwarm::new(ShardPolicy::RarestFirst, threads),
+                    &mut ReferenceSharded::new(ShardPolicy::RarestFirst, threads),
+                    seed,
+                );
+            }
+        }
+    }
+}

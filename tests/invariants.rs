@@ -144,3 +144,170 @@ fn strict_barter_riffle_is_clean() {
         assert!(report.completed(), "overlap={overlap}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Scenario workloads: churn-aware conservation and free-rider audits.
+// ---------------------------------------------------------------------
+
+use price_of_barter::scenario::{run_scenario, ScenarioDriver, ScenarioSpec};
+use price_of_barter::sim::events::{Event, EventSink};
+use price_of_barter::sim::trace::Recorder;
+use price_of_barter::sim::{NodeId, Tick, Transfer};
+
+/// Compiles a scenario document and runs it under the churn-aware
+/// `InvariantSink`, asserting a clean audit over every tick.
+fn run_scenario_audited(doc: &str, seed: u64) -> RunReport {
+    let spec = ScenarioSpec::parse(doc).expect("scenario parses");
+    let schedule = spec.compile().expect("scenario compiles");
+    let overlay = CompleteOverlay::new(spec.sim.nodes);
+    let cfg = spec.sim_config();
+    let mut engine = Engine::with_sink(cfg, &overlay, InvariantSink::new(&cfg));
+    let mut strategy = SwarmStrategy::new(BlockSelection::Random);
+    let mut driver = ScenarioDriver::new(schedule);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng)
+        .expect("mechanism satisfied");
+    let sink = engine.into_sink();
+    sink.assert_clean();
+    report
+}
+
+/// Churn-heavy scenario: the conservation ledger must track blocks
+/// leaving the system with departing nodes and re-admitted nodes
+/// starting empty, across crash-and-restart cycles and a late wave
+/// that revives the drained swarm through the idle fast-forward.
+#[test]
+fn churny_scenario_audit_is_clean() {
+    let report = run_scenario_audited(
+        "[sim]\nnodes = 20\nblocks = 10\nseed = 0\nmax-ticks = 600\n\n\
+         [[churn]]\nat = 4\nleave = [3, 4, 5]\n\n\
+         [[churn]]\nat = 9\njoin = [3, 4]\n\n\
+         [[churn]]\nat = 15\nleave = [3]\njoin = [5]\n\n\
+         [[wave]]\nat = 200\nnodes = [17, 18, 19]\n",
+        13,
+    );
+    // The wave arrives at t=200, long after the residents finish, so a
+    // clean audit must also have accepted the drained-idle tick jump.
+    assert!(report.completed());
+    assert!(report.ticks_run >= 200, "the late wave must have run");
+}
+
+/// Free-riders accept blocks but never upload: the audit must stay
+/// clean (zero-upload capacity is admissible), the riders must finish,
+/// and the committed trace must contain no upload from any rider.
+#[test]
+fn free_riders_are_admissible_and_never_upload() {
+    let doc = "[sim]\nnodes = 16\nblocks = 8\nseed = 0\nmax-ticks = 400\n\n\
+               [free-riders]\nnodes = [1, 2, 3]\n";
+    let spec = ScenarioSpec::parse(doc).expect("scenario parses");
+    let schedule = spec.compile().expect("scenario compiles");
+    let overlay = CompleteOverlay::new(spec.sim.nodes);
+    let cfg = spec.sim_config();
+    let mut recorder = Recorder::new();
+    let mut engine = Engine::with_sink(cfg, &overlay, &mut recorder);
+    let mut strategy = SwarmStrategy::new(BlockSelection::Random);
+    let mut driver = ScenarioDriver::new(schedule);
+    let mut rng = StdRng::seed_from_u64(5);
+    let report = run_scenario(&mut engine, &mut driver, &mut strategy, &mut rng)
+        .expect("mechanism satisfied");
+    assert!(report.completed(), "riders finish on the server drip");
+    drop(engine);
+    let trace = recorder.into_trace();
+    for tick in 1..=report.ticks_run {
+        for tr in trace.tick(tick) {
+            assert!(
+                !(1..=3).contains(&tr.from.raw()),
+                "free-rider {} uploaded {} at tick {tick}",
+                tr.from,
+                tr.block
+            );
+        }
+    }
+    // Also audited clean on a second, sink-carrying run.
+    run_scenario_audited(doc, 5);
+}
+
+/// Feeds the checker a hand-built event stream for a 4-node, 2-block
+/// run up to the first delivery.
+fn primed_sink() -> InvariantSink {
+    let cfg = SimConfig::new(4, 2);
+    let mut sink = InvariantSink::new(&cfg);
+    sink.on_event(&Event::RunStart {
+        nodes: 4,
+        blocks: 2,
+        mechanism: Mechanism::Cooperative,
+        strategy: "injected".to_owned(),
+        server_upload_capacity: 1,
+        client_upload_capacity: 1,
+        max_ticks: 100,
+    });
+    sink.on_event(&Event::TickStart { tick: Tick::new(1) });
+    sink
+}
+
+/// Violation injection: the churn-aware checker is not vacuous. A
+/// delivery from a node that holds nothing must trip store-and-forward
+/// conservation...
+#[test]
+fn injected_bogus_delivery_trips_the_checker() {
+    let mut sink = primed_sink();
+    sink.on_event(&Event::Delivery {
+        tick: Tick::new(1),
+        transfer: Transfer {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            block: price_of_barter::sim::BlockId::new(0),
+        },
+    });
+    assert!(
+        !sink.is_clean(),
+        "sender-lacks-block delivery must be flagged"
+    );
+    assert!(
+        sink.violations().iter().any(|v| v.contains("C1")),
+        "violation should name the offending node: {:?}",
+        sink.violations()
+    );
+}
+
+/// ...and a churn mutation stamped with a tick jump while clients are
+/// still incomplete must trip the stamp discipline (jumps are legal
+/// only while the swarm is drained).
+#[test]
+fn injected_early_tick_jump_trips_the_checker() {
+    let mut sink = primed_sink();
+    sink.on_event(&Event::NodeLeave {
+        tick: Tick::new(7),
+        node: NodeId::new(3),
+        dropped: 0,
+    });
+    assert!(
+        !sink.is_clean(),
+        "a mutation stamped past tick 2 while clients are incomplete must be flagged"
+    );
+}
+
+/// A departed node must stay departed: re-leaving without a join in
+/// between is an impossible history and must be flagged.
+#[test]
+fn injected_double_leave_trips_the_checker() {
+    let mut sink = primed_sink();
+    sink.on_event(&Event::NodeLeave {
+        tick: Tick::new(2),
+        node: NodeId::new(3),
+        dropped: 0,
+    });
+    assert!(
+        sink.is_clean(),
+        "a single leave with an exact stamp is legal"
+    );
+    sink.on_event(&Event::NodeLeave {
+        tick: Tick::new(2),
+        node: NodeId::new(3),
+        dropped: 0,
+    });
+    assert!(
+        !sink.is_clean(),
+        "leaving twice without a join must be flagged"
+    );
+}
